@@ -1,0 +1,101 @@
+//! Experiment **E10** — the bank server as the quota mechanism (§3.6).
+//!
+//! Measures raw transfer throughput, currency conversion, and the full
+//! pre-paid file-creation path where the *file server* performs a bank
+//! transaction on the client's behalf — the paper's "pre-pay for a
+//! substantial amount of work" pattern amortises exactly this cost.
+
+use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
+use amoeba_bench::net_group;
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_flatfs::{FlatFsClient, FlatFsServer, QuotaPolicy};
+use amoeba_net::Network;
+use amoeba_server::{ServiceClient, ServiceRunner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const DOLLAR: CurrencyId = CurrencyId(0);
+const YEN: CurrencyId = CurrencyId(1);
+
+fn bank_world(net: &Network) -> (ServiceRunner, BankClient, amoeba_cap::Capability) {
+    let (server, treasury_rx) = BankServer::new(
+        vec![
+            Currency::convertible("dollar", 150),
+            Currency::convertible("yen", 1),
+        ],
+        SchemeKind::Commutative,
+    );
+    let runner = ServiceRunner::spawn_open(net, server);
+    let client = BankClient::open(net, runner.put_port());
+    let treasury = treasury_rx.recv().expect("treasury");
+    (runner, client, treasury)
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut g = net_group(c, "E10/bank");
+    let net = Network::new();
+    let (runner, bank, treasury) = bank_world(&net);
+
+    let a = bank.open_account().unwrap();
+    let b_acct = bank.open_account().unwrap();
+    bank.mint(&treasury, &a, DOLLAR, u64::MAX / 4).unwrap();
+    bank.mint(&treasury, &a, YEN, u64::MAX / 4).unwrap();
+
+    g.bench_function("transfer", |b| {
+        b.iter(|| black_box(bank.transfer(&a, &b_acct, DOLLAR, 1).unwrap()))
+    });
+    g.bench_function("balance-query", |b| {
+        b.iter(|| black_box(bank.balance(&a, DOLLAR).unwrap()))
+    });
+    g.bench_function("convert", |b| {
+        b.iter(|| black_box(bank.convert(&a, DOLLAR, YEN, 1).unwrap()))
+    });
+    g.finish();
+    runner.stop();
+}
+
+fn bench_paid_file_creation(c: &mut Criterion) {
+    // Create-with-prepayment: one client RPC that triggers one
+    // server-to-bank RPC. Compare against unmetered creation to see
+    // the quota overhead the pre-pay pattern amortises.
+    let mut g = net_group(c, "E10/paid-create");
+    g.sample_size(20);
+    let net = Network::new();
+    let (bank_runner, bank, treasury) = bank_world(&net);
+
+    let fs_account = bank.open_account().unwrap();
+    let metered = ServiceRunner::spawn_open(
+        &net,
+        FlatFsServer::with_quota(
+            SchemeKind::OneWay,
+            QuotaPolicy {
+                bank: BankClient::open(&net, bank_runner.put_port()),
+                server_account: fs_account,
+                currency: DOLLAR,
+                price_per_kib: 1,
+            },
+        ),
+    );
+    let unmetered = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::OneWay));
+
+    let wallet = bank.open_account().unwrap();
+    bank.mint(&treasury, &wallet, DOLLAR, u64::MAX / 2).unwrap();
+
+    let fs_metered = FlatFsClient::with_service(ServiceClient::open(&net), metered.put_port());
+    let fs_free = FlatFsClient::with_service(ServiceClient::open(&net), unmetered.put_port());
+
+    g.bench_function("unmetered-create", |b| {
+        b.iter(|| black_box(fs_free.create().unwrap()))
+    });
+    g.bench_function("metered-create-with-bank-rpc", |b| {
+        b.iter(|| black_box(fs_metered.create_paid(&wallet, 4).unwrap()))
+    });
+    g.finish();
+
+    metered.stop();
+    unmetered.stop();
+    bank_runner.stop();
+}
+
+criterion_group!(benches, bench_transfers, bench_paid_file_creation);
+criterion_main!(benches);

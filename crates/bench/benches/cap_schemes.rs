@@ -1,0 +1,91 @@
+//! Experiment **E1** — the cost of the four protection schemes (§2.3).
+//!
+//! The paper presents the schemes as a cost/functionality ladder:
+//! scheme 0 is a bare comparison, scheme 1 pays for a block cipher,
+//! scheme 2 for one one-way evaluation, scheme 3 for up to `N` modular
+//! exponentiations. This bench regenerates that ladder: mint, validate,
+//! and server-side restrict per scheme.
+
+use amoeba_bench::{bench_port, bench_rng, cpu_group, minted};
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::{ObjectNum, Rights};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_mint(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E1/mint");
+    for kind in SchemeKind::ALL {
+        let scheme = kind.instantiate();
+        let mut rng = bench_rng();
+        let secret = scheme.new_secret(&mut rng);
+        let obj = ObjectNum::new(1).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| black_box(scheme.mint(bench_port(), obj, &secret)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E1/validate");
+    for kind in SchemeKind::ALL {
+        let (scheme, secret, cap) = minted(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| black_box(scheme.validate(&cap, &secret).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_validate_worst_case_commutative(c: &mut Criterion) {
+    // Scheme 3's validate cost grows with the number of *deleted*
+    // rights (one F_k application each); show both extremes.
+    let mut g = cpu_group(c, "E1/validate-commutative-deleted-rights");
+    let (scheme, secret, cap) = minted(SchemeKind::Commutative);
+    for deleted in [0u32, 1, 4, 7] {
+        let drop = Rights::from_bits(((1u16 << deleted) - 1) as u8);
+        let reduced = scheme.diminish(&cap, drop).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(deleted), &deleted, |b, _| {
+            b.iter(|| black_box(scheme.validate(&reduced, &secret).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_restrict(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E1/restrict");
+    for kind in [
+        SchemeKind::Encrypted,
+        SchemeKind::OneWay,
+        SchemeKind::Commutative,
+    ] {
+        let (scheme, secret, cap) = minted(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| black_box(scheme.restrict(&cap, Rights::READ, &secret).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reject_forgery(c: &mut Criterion) {
+    // The fail path matters: servers validate every incoming request.
+    let mut g = cpu_group(c, "E1/reject-forgery");
+    for kind in SchemeKind::ALL {
+        let (scheme, secret, cap) = minted(kind);
+        let forged = cap.with_check(cap.check ^ 1);
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| black_box(scheme.validate(&forged, &secret).is_err()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mint,
+    bench_validate,
+    bench_validate_worst_case_commutative,
+    bench_restrict,
+    bench_reject_forgery
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablation bench: the from-scratch cryptographic primitives.
+//!
+//! Everything in the Amoeba design reduces to these operations; their
+//! relative costs explain every row of E1/E5. Also compares the
+//! historical (Purdy, DES) and modern (SHA-256) constructions, and 3DES
+//! as the drop-in matrix strengthening.
+
+use amoeba_bench::cpu_group;
+use amoeba_crypto::commutative::CommutativeOwfFamily;
+use amoeba_crypto::des::{Des, TripleDes};
+use amoeba_crypto::feistel::{Block56, Cipher56, Feistel56};
+use amoeba_crypto::oneway::{OneWay, PurdyOneWay, ShaOneWay};
+use amoeba_crypto::sha256::Sha256;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sha256_throughput(c: &mut Criterion) {
+    let mut g = cpu_group(c, "crypto/sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xAAu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(Sha256::digest(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_des_family(c: &mut Criterion) {
+    let mut g = cpu_group(c, "crypto/des");
+    let des = Des::new(0x0123_4567_89AB_CDEF);
+    let tdes = TripleDes::two_key(0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210);
+    g.bench_function("des-block", |b| {
+        b.iter(|| black_box(des.encrypt_block(black_box(42))))
+    });
+    g.bench_function("3des-block", |b| {
+        b.iter(|| black_box(tdes.encrypt_block(black_box(42))))
+    });
+    let payload = vec![0x55u8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("des-cbc-1KiB", |b| {
+        b.iter(|| black_box(des.encrypt_cbc(&payload, 7)))
+    });
+    g.finish();
+}
+
+fn bench_feistel56(c: &mut Criterion) {
+    let mut g = cpu_group(c, "crypto/feistel56");
+    let cipher = Feistel56::new(0xDEAD_BEEF);
+    let block = Block56::truncate(0x1234_5678_9ABC);
+    g.bench_function("encrypt", |b| b.iter(|| black_box(cipher.encrypt(block))));
+    g.bench_function("key-setup", |b| {
+        b.iter(|| black_box(Feistel56::new(black_box(0xDEAD_BEEF))))
+    });
+    g.finish();
+}
+
+fn bench_oneway_ablation(c: &mut Criterion) {
+    // The DESIGN.md ablation: historical vs modern port OWF.
+    let mut g = cpu_group(c, "crypto/port-owf");
+    let sha = ShaOneWay;
+    let purdy = PurdyOneWay::new();
+    g.bench_function("sha256-48bit", |b| {
+        b.iter(|| black_box(sha.apply48(black_box(0xF00D))))
+    });
+    g.bench_function("purdy-48bit", |b| {
+        b.iter(|| black_box(purdy.apply48(black_box(0xF00D))))
+    });
+    g.finish();
+}
+
+fn bench_commutative_owf(c: &mut Criterion) {
+    let mut g = cpu_group(c, "crypto/commutative-owf");
+    let fam = CommutativeOwfFamily::standard();
+    g.bench_function("single-apply", |b| {
+        b.iter(|| black_box(fam.apply(3, black_box(0x1234_5678))))
+    });
+    g.bench_function("apply-all-8", |b| {
+        b.iter(|| black_box(fam.apply_mask(0xFF, black_box(0x1234_5678))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256_throughput,
+    bench_des_family,
+    bench_feistel56,
+    bench_oneway_ablation,
+    bench_commutative_owf
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment **E2** — "without going back to the server".
+//!
+//! Schemes 1 and 2 need a server round trip (STD_RESTRICT) to hand out
+//! a weaker capability; scheme 3 diminishes locally. This bench sweeps
+//! the simulated network latency and shows the gap growing from "a few
+//! microseconds of modexp vs a round trip" at zero latency to orders of
+//! magnitude once the wire costs anything — the paper's whole argument
+//! for commutative one-way functions.
+
+use amoeba_bench::net_group;
+use amoeba_cap::schemes::{CommutativeScheme, ProtectionScheme, SchemeKind};
+use amoeba_cap::Rights;
+use amoeba_flatfs::{FlatFsClient, FlatFsServer};
+use amoeba_net::Network;
+use amoeba_server::{ServiceClient, ServiceRunner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_delegation(c: &mut Criterion) {
+    let mut g = net_group(c, "E2/delegate-read-only");
+    g.sample_size(10);
+
+    for latency_us in [0u64, 200, 1000] {
+        let net = Network::new();
+        net.set_latency(Duration::from_micros(latency_us));
+        let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
+        let fs = FlatFsClient::with_service(ServiceClient::open(&net), runner.put_port());
+        let cap = fs.create().expect("create");
+        let scheme = CommutativeScheme::standard();
+        let drop = Rights::ALL.without(Rights::READ);
+
+        // Scheme 3: client-side diminish — no traffic at all.
+        g.bench_with_input(
+            BenchmarkId::new("scheme3-local-diminish", format!("{latency_us}us")),
+            &latency_us,
+            |b, _| b.iter(|| black_box(scheme.diminish(&cap, drop).unwrap())),
+        );
+
+        // Schemes 1/2 path: STD_RESTRICT RPC to the server.
+        g.bench_with_input(
+            BenchmarkId::new("server-restrict-rpc", format!("{latency_us}us")),
+            &latency_us,
+            |b, _| b.iter(|| black_box(fs.service().restrict(&cap, Rights::READ).unwrap())),
+        );
+
+        runner.stop();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_delegation);
+criterion_main!(benches);

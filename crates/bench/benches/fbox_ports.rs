@@ -1,0 +1,106 @@
+//! Experiment **F1b** — the F-box itself: one-way function cost (Purdy
+//! 1974 vs SHA-256) and the end-to-end price of port protection
+//! (request/reply through F-boxes vs open interfaces).
+
+use amoeba_bench::{cpu_group, net_group, quiet_network};
+use amoeba_crypto::oneway::{OneWay, PurdyOneWay, ShaOneWay};
+use amoeba_fbox::FBox;
+use amoeba_net::{Header, NetworkInterface, Port};
+use amoeba_rpc::{Client, RpcConfig, ServerPort};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_oneway_functions(c: &mut Criterion) {
+    let mut g = cpu_group(c, "F1/one-way-function");
+    let sha = ShaOneWay;
+    let purdy = PurdyOneWay::new();
+    g.bench_function("sha256", |b| {
+        let mut x = 0x1234_5678u64;
+        b.iter(|| {
+            x = sha.apply48(black_box(x));
+            x
+        })
+    });
+    g.bench_function("purdy", |b| {
+        let mut x = 0x1234_5678u64;
+        b.iter(|| {
+            x = purdy.apply48(black_box(x));
+            x
+        })
+    });
+    g.finish();
+}
+
+fn bench_fbox_egress(c: &mut Criterion) {
+    let mut g = cpu_group(c, "F1/fbox-egress-transform");
+    let fbox = FBox::hardware(ShaOneWay);
+    let header = Header::to(Port::new(1).unwrap())
+        .with_reply(Port::new(2).unwrap())
+        .with_signature(Port::new(3).unwrap());
+    g.bench_function("reply+signature", |b| {
+        b.iter(|| {
+            let mut h = header;
+            fbox.egress(&mut h);
+            black_box(h)
+        })
+    });
+    g.finish();
+}
+
+fn rpc_roundtrip(protected: bool) -> (Client, Port, std::thread::JoinHandle<()>) {
+    let net = quiet_network();
+    let (server_ep, client_ep) = if protected {
+        (
+            net.attach(Arc::new(FBox::hardware(ShaOneWay))),
+            net.attach(Arc::new(FBox::hardware(ShaOneWay))),
+        )
+    } else {
+        (net.attach_open(), net.attach_open())
+    };
+    let server = ServerPort::bind(server_ep, Port::new(0x3E2).unwrap());
+    let put_port = server.put_port();
+    let handle = std::thread::spawn(move || {
+        while let Ok(req) = server.next_request_timeout(Duration::from_secs(120)) {
+            if &req.payload[..] == b"STOP" {
+                server.reply(&req, Bytes::new());
+                break;
+            }
+            server.reply(&req, req.payload.clone());
+        }
+    });
+    let client = Client::with_config(
+        client_ep,
+        RpcConfig {
+            timeout: Duration::from_secs(1),
+            attempts: 3,
+        },
+    );
+    (client, put_port, handle)
+}
+
+fn bench_rpc_with_and_without_fbox(c: &mut Criterion) {
+    let mut g = net_group(c, "F1/request-reply");
+    for protected in [false, true] {
+        let (client, port, handle) = rpc_roundtrip(protected);
+        let label = if protected { "fbox" } else { "open" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &protected, |b, _| {
+            b.iter(|| {
+                black_box(client.trans(port, Bytes::from_static(b"ping")).unwrap())
+            })
+        });
+        client.trans(port, Bytes::from_static(b"STOP")).unwrap();
+        handle.join().unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_oneway_functions,
+    bench_fbox_egress,
+    bench_rpc_with_and_without_fbox
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Experiment **E8** — flat files + directories with transparent
+//! multi-server path walks (§3.3–3.4).
+//!
+//! Path resolution costs one RPC per component; the sweep over depth
+//! shows the linear growth, and splitting the directories across two
+//! servers costs nothing extra — the distribution really is transparent.
+
+use amoeba_bench::net_group;
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::Capability;
+use amoeba_dirsvr::{DirClient, DirServer};
+use amoeba_flatfs::{FlatFsClient, FlatFsServer};
+use amoeba_net::Network;
+use amoeba_server::ServiceRunner;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Builds a chain root/d0/d1/.../d{depth-1} alternating between the
+/// given directory servers; returns (root, path).
+fn build_chain(dirs: &DirClient, server_ports: &[amoeba_net::Port], depth: usize) -> (Capability, String) {
+    let root = dirs.create_dir_on(server_ports[0]).unwrap();
+    let mut current = root;
+    let mut path = String::new();
+    for i in 0..depth {
+        let next = dirs
+            .create_dir_on(server_ports[i % server_ports.len()])
+            .unwrap();
+        let name = format!("d{i}");
+        dirs.enter(&current, &name, &next).unwrap();
+        if i > 0 {
+            path.push('/');
+        }
+        path.push_str(&name);
+        current = next;
+    }
+    (root, path)
+}
+
+fn bench_path_walks(c: &mut Criterion) {
+    let mut g = net_group(c, "E8/path-walk");
+    let net = Network::new();
+    let dir1 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+    let dir2 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+    let dirs = DirClient::open(&net, dir1.put_port());
+
+    for depth in [1usize, 2, 4, 8] {
+        // Single-server chain.
+        let (root1, path1) = build_chain(&dirs, &[dir1.put_port()], depth);
+        g.bench_with_input(
+            BenchmarkId::new("one-server", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(dirs.walk(&root1, &path1).unwrap())),
+        );
+
+        // Alternating across two servers: same client code.
+        let (root2, path2) = build_chain(&dirs, &[dir1.put_port(), dir2.put_port()], depth);
+        g.bench_with_input(
+            BenchmarkId::new("two-servers", depth),
+            &depth,
+            |b, _| b.iter(|| black_box(dirs.walk(&root2, &path2).unwrap())),
+        );
+    }
+    g.finish();
+    dir1.stop();
+    dir2.stop();
+}
+
+fn bench_file_io(c: &mut Criterion) {
+    let mut g = net_group(c, "E8/flatfile-io");
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
+    let fs = FlatFsClient::open(&net, runner.put_port());
+
+    for size in [1usize << 10, 16 << 10, 64 << 10] {
+        let cap = fs.create().unwrap();
+        let data = vec![0xABu8; size];
+        fs.write(&cap, 0, &data).unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("write", size),
+            &size,
+            |b, _| b.iter(|| black_box(fs.write(&cap, 0, &data).unwrap())),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("read", size),
+            &size,
+            |b, _| b.iter(|| black_box(fs.read(&cap, 0, size as u32).unwrap())),
+        );
+    }
+    g.finish();
+    runner.stop();
+}
+
+fn bench_open_less_access(c: &mut Criterion) {
+    // "The server does not have any concept of an 'open' file": first
+    // access to a never-before-seen capability costs the same as the
+    // thousandth — there is no session state to set up.
+    let mut g = net_group(c, "E8/no-open-state");
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::OneWay));
+    let fs = FlatFsClient::open(&net, runner.put_port());
+
+    let caps: Vec<Capability> = (0..256)
+        .map(|i| {
+            let cap = fs.create().unwrap();
+            fs.write(&cap, 0, format!("file {i}").as_bytes()).unwrap();
+            cap
+        })
+        .collect();
+
+    g.bench_function("first-touch-rotation", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % caps.len();
+            black_box(fs.read(&caps[i], 0, 16).unwrap())
+        })
+    });
+    g.bench_function("same-file-repeat", |b| {
+        b.iter(|| black_box(fs.read(&caps[0], 0, 16).unwrap()))
+    });
+    g.finish();
+    runner.stop();
+}
+
+criterion_group!(benches, bench_path_walks, bench_file_io, bench_open_less_access);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Experiment **E7** — port location by broadcast with caching (§2.2,
+//! Mullender–Vitányi match-making).
+//!
+//! Cold lookups broadcast a LOCATE to every machine and wait for the
+//! owner's answer; warm lookups hit the (port, machine) cache. The
+//! sweep over machine count shows broadcast cost growing with the
+//! network while cache hits stay flat — the case for caching.
+
+use amoeba_bench::net_group;
+use amoeba_net::{Network, Port};
+use amoeba_rpc::matchmaker::{Matchmaker, RendezvousNode};
+use amoeba_rpc::{Locator, ServerPort};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+struct LocateWorld {
+    _bystanders: Vec<ServerPort>,
+    target_port: Port,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    client: amoeba_net::Endpoint,
+}
+
+/// `machines` total machines: one target server, the rest idle servers
+/// that still hear (and ignore) every broadcast.
+fn world(net: &Network, machines: usize) -> LocateWorld {
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // The target: answers LOCATE for its port inside next_request.
+    let target = ServerPort::bind(net.attach_open(), Port::new(0x7A46E7).unwrap());
+    let target_port = target.put_port();
+    {
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match target.next_request_timeout(Duration::from_millis(10)) {
+                    Ok(req) => target.reply(&req, Bytes::new()),
+                    Err(_) => continue,
+                }
+            }
+        }));
+    }
+
+    // Bystanders: servers on other ports that must still process the
+    // broadcast frames.
+    for i in 0..machines.saturating_sub(2) {
+        let server = ServerPort::bind(
+            net.attach_open(),
+            Port::new(0x100000 + i as u64).unwrap(),
+        );
+        let stop = stop.clone();
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _ = server.next_request_timeout(Duration::from_millis(10));
+            }
+        }));
+    }
+
+    LocateWorld {
+        _bystanders: Vec::new(),
+        target_port,
+        handles,
+        stop,
+        client: net.attach_open(),
+    }
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let mut g = net_group(c, "E7/locate");
+    g.sample_size(10);
+
+    for machines in [4usize, 16, 64] {
+        let net = Network::new();
+        let w = world(&net, machines);
+
+        // Cold: clear the cache every iteration => one broadcast each.
+        g.bench_with_input(
+            BenchmarkId::new("cold-broadcast", machines),
+            &machines,
+            |b, _| {
+                let locator = Locator::with_timeout(Duration::from_millis(500));
+                b.iter(|| {
+                    locator.clear();
+                    black_box(locator.locate(&w.client, w.target_port).expect("found"))
+                })
+            },
+        );
+
+        // Warm: pure cache hit.
+        g.bench_with_input(
+            BenchmarkId::new("warm-cache", machines),
+            &machines,
+            |b, _| {
+                let locator = Locator::with_timeout(Duration::from_millis(500));
+                locator.locate(&w.client, w.target_port).expect("primed");
+                b.iter(|| black_box(locator.locate(&w.client, w.target_port).expect("hit")))
+            },
+        );
+
+        w.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in w.handles {
+            let _ = h.join();
+        }
+    }
+    g.finish();
+}
+
+fn bench_rendezvous_matchmaking(c: &mut Criterion) {
+    // The no-broadcast alternative (Mullender–Vitányi): a cold lookup is
+    // one unicast query to a hash-selected rendezvous node, independent
+    // of the machine count — compare with the broadcast rows above.
+    let mut g = net_group(c, "E7/rendezvous");
+    g.sample_size(10);
+
+    for machines in [4usize, 16, 64] {
+        let net = Network::new();
+        // Idle bystander machines (attached, but no broadcast ever
+        // reaches them under rendezvous match-making).
+        let _bystanders: Vec<_> = (0..machines.saturating_sub(3))
+            .map(|_| net.attach_open())
+            .collect();
+        let node = RendezvousNode::spawn(net.attach_open(), Port::new(0xAA10).unwrap());
+        let mm = Matchmaker::new(vec![node.service_port()]);
+        let server = net.attach_open();
+        let served = Port::new(0x5E21).unwrap();
+        mm.post(&server, served);
+        let client = net.attach_open();
+
+        g.bench_with_input(
+            BenchmarkId::new("cold-unicast", machines),
+            &machines,
+            |b, _| {
+                b.iter(|| {
+                    mm.invalidate(served);
+                    black_box(mm.locate(&client, served).expect("found"))
+                })
+            },
+        );
+        node.stop();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_locate, bench_rendezvous_matchmaking);
+criterion_main!(benches);

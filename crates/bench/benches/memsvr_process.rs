@@ -1,0 +1,110 @@
+//! Experiment **E11** — remote process creation (§3.1).
+//!
+//! "By directing the CREATE SEGMENT requests to a memory server on a
+//! remote machine, the parent can create the child wherever it wants
+//! to, providing a more convenient and efficient interface than the
+//! traditional FORK + EXEC." The comparison: build a 3-segment child
+//! directly on the target machine vs the FORK+EXEC shape (build
+//! locally, then copy every segment to the target).
+
+use amoeba_bench::net_group;
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_memsvr::{MemClient, MemServer};
+use amoeba_net::Network;
+use amoeba_server::{ServiceClient, ServiceRunner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SEGMENTS: [(u64, usize); 3] = [(4096, 4096), (2048, 2048), (8192, 0)]; // (size, loaded bytes)
+
+fn build_child(mem: &MemClient, payload: &[u8]) -> amoeba_cap::Capability {
+    let mut segs = Vec::new();
+    for (size, loaded) in SEGMENTS {
+        let seg = mem.create_segment(size).unwrap();
+        if loaded > 0 {
+            mem.write(&seg, 0, &payload[..loaded]).unwrap();
+        }
+        segs.push(seg);
+    }
+    let child = mem.make_process(&segs).unwrap();
+    mem.start(&child).unwrap();
+    mem.kill(&child).unwrap();
+    for seg in segs {
+        mem.delete_segment(&seg).unwrap();
+    }
+    child
+}
+
+fn bench_direct_vs_copy(c: &mut Criterion) {
+    let mut g = net_group(c, "E11/create-3-segment-process");
+    g.sample_size(10);
+    let payload = vec![0xC0u8; 4096];
+
+    for latency_us in [0u64, 500] {
+        let net = Network::new();
+        net.set_latency(Duration::from_micros(latency_us));
+        let remote_runner = ServiceRunner::spawn_open(&net, MemServer::new(SchemeKind::OneWay));
+        let local_runner = ServiceRunner::spawn_open(&net, MemServer::new(SchemeKind::OneWay));
+        let remote = MemClient::with_service(ServiceClient::open(&net), remote_runner.put_port());
+        let local = MemClient::with_service(ServiceClient::open(&net), local_runner.put_port());
+        // The parent and the "local" memory server share a machine:
+        // traffic between them skips the network latency.
+        net.colocate(
+            local.service().rpc().endpoint().id(),
+            local_runner.machine(),
+        );
+
+        // Amoeba path: create + load directly on the remote machine.
+        g.bench_with_input(
+            BenchmarkId::new("direct-remote", format!("{latency_us}us")),
+            &latency_us,
+            |b, _| b.iter(|| black_box(build_child(&remote, &payload))),
+        );
+
+        // FORK+EXEC shape: build the image locally, then copy every
+        // segment's contents over the wire to the remote server.
+        g.bench_with_input(
+            BenchmarkId::new("build-local-then-copy", format!("{latency_us}us")),
+            &latency_us,
+            |b, _| {
+                b.iter(|| {
+                    // Local construction.
+                    let mut local_segs = Vec::new();
+                    for (size, loaded) in SEGMENTS {
+                        let seg = local.create_segment(size).unwrap();
+                        if loaded > 0 {
+                            local.write(&seg, 0, &payload[..loaded]).unwrap();
+                        }
+                        local_segs.push(seg);
+                    }
+                    // Copy to the remote machine (read back + rewrite).
+                    let mut remote_segs = Vec::new();
+                    for (seg, (size, loaded)) in local_segs.iter().zip(SEGMENTS) {
+                        let r = remote.create_segment(size).unwrap();
+                        if loaded > 0 {
+                            let data = local.read(seg, 0, loaded as u32).unwrap();
+                            remote.write(&r, 0, &data).unwrap();
+                        }
+                        remote_segs.push(r);
+                    }
+                    let child = remote.make_process(&remote_segs).unwrap();
+                    remote.start(&child).unwrap();
+                    remote.kill(&child).unwrap();
+                    for seg in local_segs.iter().chain(remote_segs.iter()) {
+                        let _ = local.delete_segment(seg);
+                        let _ = remote.delete_segment(seg);
+                    }
+                    black_box(child)
+                })
+            },
+        );
+
+        remote_runner.stop();
+        local_runner.stop();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_copy);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment **E4** — revocation by random-number replacement (§2.3).
+//!
+//! "Although no central record is kept of who has which capabilities, it
+//! is easy to revoke existing capabilities" — the cost must be O(1) in
+//! the number of outstanding capabilities. The sweep holds 100 vs
+//! 10,000 delegated capabilities outstanding: revoke time stays flat,
+//! and every outstanding capability subsequently fails validation.
+
+use amoeba_bench::cpu_group;
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::{Capability, Rights};
+use amoeba_net::Port;
+use amoeba_server::{ObjectTable, ServerError};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn table() -> ObjectTable<u32> {
+    ObjectTable::with_port(
+        SchemeKind::Commutative.instantiate(),
+        Port::new(0x4E0).unwrap(),
+    )
+}
+
+fn bench_revoke_is_constant_time(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E4/revoke");
+    for outstanding in [100usize, 10_000] {
+        let t = table();
+        let (_, cap) = t.create(7);
+        // Hand out `outstanding` read-only delegations (they live in
+        // client address spaces; the server keeps no record — that is
+        // the point).
+        let delegated: Vec<Capability> = (0..outstanding)
+            .map(|_| t.restrict(&cap, Rights::READ).expect("restrict"))
+            .collect();
+
+        // The revocation chain: criterion invokes the measurement
+        // closure several times (warm-up + samples), and the original
+        // `cap` dies at the very first revocation — the current owner
+        // capability therefore lives outside the closure.
+        let owner = std::cell::Cell::new(cap);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(outstanding),
+            &outstanding,
+            |b, _| {
+                b.iter(|| {
+                    let fresh = t.revoke(&owner.get()).expect("revoke");
+                    owner.set(fresh);
+                    black_box(fresh)
+                });
+            },
+        );
+
+        // Correctness: every delegation is now dead.
+        for d in &delegated {
+            assert_eq!(t.validate(d).unwrap_err(), ServerError::Forged);
+        }
+    }
+    g.finish();
+}
+
+fn bench_validate_after_revoke(c: &mut Criterion) {
+    // The fail path a server takes for every revoked capability that
+    // still floats around the system.
+    let mut g = cpu_group(c, "E4/validate-revoked");
+    for kind in SchemeKind::ALL {
+        let t = ObjectTable::<u32>::with_port(kind.instantiate(), Port::new(0x4E1).unwrap());
+        let (_, cap) = t.create(1);
+        let _fresh = t.revoke(&cap).expect("revoke");
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            b.iter(|| black_box(t.validate(&cap).is_err()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_revoke_is_constant_time, bench_validate_after_revoke);
+criterion_main!(benches);

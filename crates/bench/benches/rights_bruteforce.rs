@@ -1,0 +1,54 @@
+//! Experiment **E3** — "the RIGHTS field is not even needed ... its
+//! presence merely speeds up the checking" (§2.3, scheme 3).
+//!
+//! Validation with the plaintext rights field applies exactly the
+//! deleted-bit functions; without it the server tries all 2^N deletion
+//! masks. The sweep over N shows the exponential gap that justifies
+//! spending 8 capability bits on the field.
+
+use amoeba_bench::{bench_port, bench_rng, cpu_group};
+use amoeba_cap::schemes::{CommutativeScheme, ProtectionScheme};
+use amoeba_cap::{ObjectNum, Rights};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_with_vs_without_rights_field(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E3/validate");
+    let scheme = CommutativeScheme::standard();
+    let mut rng = bench_rng();
+    let secret = scheme.new_secret(&mut rng);
+    let cap = scheme.mint(bench_port(), ObjectNum::new(9).unwrap(), &secret);
+
+    for n in [2usize, 4, 8] {
+        // Delete the top half of the first n rights so the brute force
+        // has real work to do.
+        let drop_mask = ((1u16 << n) - 1) as u8 & 0xAA;
+        let reduced = scheme.diminish(&cap, Rights::from_bits(drop_mask)).unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("with-rights-field", n),
+            &n,
+            |b, _| b.iter(|| black_box(scheme.validate(&reduced, &secret).unwrap())),
+        );
+
+        // Erase the rights field: the server must search.
+        let anonymous = reduced.with_rights(Rights::NONE);
+        g.bench_with_input(
+            BenchmarkId::new("bruteforce-2^n-masks", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        scheme
+                            .validate_bruteforce(&anonymous, &secret, n)
+                            .expect("recoverable"),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_with_vs_without_rights_field);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Experiments **E5 + E6** — §2.4 software protection costs.
+//!
+//! E5: DES-sealing capabilities with matrix keys, and the payoff of the
+//! client/server capability caches the paper prescribes ("To avoid
+//! having to run the encryption/decryption algorithm frequently...").
+//! E6: the full public-key key-establishment handshake, the price of a
+//! machine (re)joining the network.
+
+use amoeba_bench::{bench_rng, cpu_group};
+use amoeba_cap::{Capability, ObjectNum, Rights};
+use amoeba_crypto::des::Des;
+use amoeba_net::{Network, Port};
+use amoeba_softprot::{CapSealer, ClientSession, KeyMatrix, ServerBoot};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sample_cap(i: u64) -> Capability {
+    Capability::new(
+        Port::new(0x5EA1).unwrap(),
+        ObjectNum::new((i % 1000) as u32).unwrap(),
+        Rights::ALL,
+        i.wrapping_mul(0x9E37_79B9),
+    )
+}
+
+fn bench_raw_des(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E5/des");
+    let des = Des::new(0x0123_4567_89AB_CDEF);
+    g.bench_function("key-schedule", |b| {
+        b.iter(|| black_box(Des::new(black_box(0x0123_4567_89AB_CDEF))))
+    });
+    g.bench_function("seal-128bit-capability", |b| {
+        b.iter(|| black_box(des.encrypt_u128(black_box(42))))
+    });
+    g.finish();
+}
+
+fn bench_seal_cache_sweep(c: &mut Criterion) {
+    // Hit rates 0/50/90/99%: the workload rotates through a working set
+    // sized to produce the desired cache behaviour on a warm sealer.
+    let mut g = cpu_group(c, "E5/seal-with-cache");
+    let net = Network::new();
+    let client = net.attach_open();
+    let server = net.attach_open();
+    let mut rng = bench_rng();
+    let matrix = KeyMatrix::random(&[client.id(), server.id()], &mut rng);
+
+    // Cold: every capability fresh (0% hits).
+    g.bench_function("hit-rate-0", |b| {
+        let sealer = CapSealer::new(matrix.view_for(client.id()));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(sealer.seal(&sample_cap(i), server.id()).unwrap())
+        })
+    });
+
+    // Warm: one hot capability (≈100% hits).
+    g.bench_function("hit-rate-100", |b| {
+        let sealer = CapSealer::new(matrix.view_for(client.id()));
+        let hot = sample_cap(1);
+        sealer.seal(&hot, server.id()).unwrap();
+        b.iter(|| black_box(sealer.seal(&hot, server.id()).unwrap()))
+    });
+
+    // Mixed: 1 hot : 1 cold (≈50%).
+    g.bench_function("hit-rate-50", |b| {
+        let sealer = CapSealer::new(matrix.view_for(client.id()));
+        let hot = sample_cap(1);
+        sealer.seal(&hot, server.id()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let cap = if i % 2 == 0 { hot } else { sample_cap(i + 1000) };
+            black_box(sealer.seal(&cap, server.id()).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_unseal(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E5/unseal");
+    let net = Network::new();
+    let client = net.attach_open();
+    let server = net.attach_open();
+    let mut rng = bench_rng();
+    let matrix = KeyMatrix::random(&[client.id(), server.id()], &mut rng);
+    let client_sealer = CapSealer::new(matrix.view_for(client.id()));
+    let server_sealer = CapSealer::new(matrix.view_for(server.id()));
+
+    g.bench_function("cold", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let sealed = client_sealer.seal(&sample_cap(i), server.id()).unwrap();
+            black_box(server_sealer.unseal(sealed, client.id()).unwrap())
+        })
+    });
+    g.bench_function("cached", |b| {
+        let sealed = client_sealer.seal(&sample_cap(1), server.id()).unwrap();
+        server_sealer.unseal(sealed, client.id()).unwrap();
+        b.iter(|| black_box(server_sealer.unseal(sealed, client.id()).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_key_establishment(c: &mut Criterion) {
+    let mut g = cpu_group(c, "E6/key-establishment");
+    let mut rng = bench_rng();
+    let port = Port::new(0xB007).unwrap();
+
+    g.bench_function("server-boot-keygen", |b| {
+        b.iter(|| black_box(ServerBoot::new(port, &mut rng)))
+    });
+
+    let boot = ServerBoot::new(port, &mut rng);
+    g.bench_function("full-handshake", |b| {
+        b.iter(|| {
+            let (session, keyreq) = ClientSession::start(boot.announcement(), &mut rng);
+            let (keyrep, _, _) = boot.handle_keyreq(&keyreq, &mut rng).unwrap();
+            black_box(session.finish(&keyrep).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raw_des,
+    bench_seal_cache_sweep,
+    bench_unseal,
+    bench_key_establishment
+);
+criterion_main!(benches);

@@ -1,0 +1,407 @@
+//! The non-timing half of the experiment suite: attack outcomes,
+//! traffic counts, cache hit rates and copy-on-write sharing ratios.
+//!
+//! Criterion measures *time*; this binary regenerates every *count*
+//! EXPERIMENTS.md reports. Run with:
+//!
+//! ```bash
+//! cargo run --release -p amoeba-bench --bin report
+//! ```
+
+use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
+use amoeba_cap::schemes::{CommutativeScheme, ProtectionScheme, SchemeKind};
+use amoeba_cap::{Capability, ObjectNum, Rights};
+use amoeba_crypto::oneway::ShaOneWay;
+use amoeba_fbox::FBox;
+use amoeba_flatfs::{FlatFsClient, FlatFsServer, QuotaPolicy};
+use amoeba_mvfs::{MvfsClient, MvfsServer};
+use amoeba_net::{Header, Network, NetworkInterface, Port};
+use amoeba_rpc::{Client, Locator, ServerPort};
+use amoeba_server::{ServiceClient, ServiceRunner};
+use amoeba_softprot::{CapSealer, KeyMatrix};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    println!("# Amoeba reproduction — experiment report (counts & outcomes)\n");
+    f1_attack_outcomes();
+    f1_sparseness_monte_carlo();
+    e2_diminish_traffic();
+    e4_revocation_sweep();
+    e5_softprot_outcomes();
+    e7_locate_traffic();
+    e9_cow_sharing();
+    e10_quota_accounting();
+    println!("\nreport complete.");
+}
+
+fn fbox_machine(net: &Network) -> amoeba_net::Endpoint {
+    net.attach(Arc::new(FBox::hardware(ShaOneWay)))
+}
+
+/// F1: the four Fig-1 attacks, each run 100 times; success counts must
+/// be zero (and the no-F-box control must succeed 100 times).
+fn f1_attack_outcomes() {
+    println!("## F1 — Fig 1 attack outcomes (100 trials each)\n");
+    println!("| attack | F-boxes | successes |");
+    println!("|---|---|---|");
+
+    // Impersonation with F-boxes.
+    let mut successes = 0;
+    for i in 0..100u64 {
+        let net = Network::new();
+        let server_ep = fbox_machine(&net);
+        let g = Port::new(0x1000 + i).unwrap();
+        let server = ServerPort::bind(server_ep, g);
+        let p = server.put_port();
+        let intruder = fbox_machine(&net);
+        intruder.claim(p);
+        let client = fbox_machine(&net);
+        client.send(Header::to(p), Bytes::from_static(b"secret"));
+        if intruder.try_recv().is_some() {
+            successes += 1;
+        }
+    }
+    println!("| impersonation (GET on put-port) | yes | {successes} |");
+
+    // Control: no F-boxes.
+    let mut control = 0;
+    for i in 0..100u64 {
+        let net = Network::new();
+        let server = net.attach_open();
+        let p = Port::new(0x2000 + i).unwrap();
+        server.claim(p);
+        let intruder = net.attach_open();
+        intruder.claim(p);
+        let client = net.attach_open();
+        client.send(Header::to(p), Bytes::from_static(b"secret"));
+        if intruder.try_recv().is_some() {
+            control += 1;
+        }
+    }
+    println!("| impersonation (control) | **no** | {control} |");
+
+    // Replay through the intruder's own F-box.
+    let mut replay_hits = 0;
+    for i in 0..100u64 {
+        let net = Network::new();
+        let wire = net.tap();
+        let server_ep = fbox_machine(&net);
+        let server = ServerPort::bind(server_ep, Port::new(0x3000 + i).unwrap());
+        let p = server.put_port();
+        let handle = std::thread::spawn(move || {
+            while let Ok(req) = server.next_request_timeout(Duration::from_millis(200)) {
+                server.reply(&req, Bytes::from_static(b"reply"));
+            }
+        });
+        let client = Client::new(fbox_machine(&net));
+        let _ = client.trans(p, Bytes::from_static(b"req"));
+        if let Ok(frame) = wire.try_recv() {
+            let replayer = fbox_machine(&net);
+            replayer.send(frame.header, frame.payload.clone());
+            std::thread::sleep(Duration::from_millis(5));
+            if replayer.try_recv().is_some() {
+                replay_hits += 1;
+            }
+        }
+        handle.join().unwrap();
+    }
+    println!("| replay captured request, receive reply | yes | {replay_hits} |");
+
+    // Signature forgery: forged F(S) never matches the published value.
+    let f = ShaOneWay;
+    let fbox = FBox::hardware(f.clone());
+    let mut sig_hits = 0;
+    for i in 1..=100u64 {
+        let s = Port::new(0x4000 + i).unwrap();
+        let published = amoeba_fbox::put_port_of(&f, s);
+        let mut forged = Header::to(Port::new(1).unwrap()).with_signature(published);
+        fbox.egress(&mut forged);
+        if forged.signature == published {
+            sig_hits += 1;
+        }
+    }
+    println!("| signature forgery with published F(S) | yes | {sig_hits} |\n");
+}
+
+/// F2/E1: Monte-Carlo forgery — random 48-bit check fields against every
+/// scheme.
+fn f1_sparseness_monte_carlo() {
+    println!("## Sparseness — random check-field forgeries (100k/scheme)\n");
+    println!("| scheme | trials | forgeries accepted |");
+    println!("|---|---|---|");
+    let mut rng = StdRng::seed_from_u64(7);
+    for kind in SchemeKind::ALL {
+        let scheme = kind.instantiate();
+        let secret = scheme.new_secret(&mut rng);
+        let cap = scheme.mint(
+            Port::new(0xAB).unwrap(),
+            ObjectNum::new(1).unwrap(),
+            &secret,
+        );
+        let mut hits = 0u64;
+        for _ in 0..100_000 {
+            let guess = cap.with_check(rng.gen());
+            if guess.check != cap.check && scheme.validate(&guess, &secret).is_ok() {
+                hits += 1;
+            }
+        }
+        println!("| {kind} | 100000 | {hits} |");
+    }
+    println!();
+}
+
+/// E2: packets on the wire per delegation, local diminish vs RESTRICT.
+fn e2_diminish_traffic() {
+    println!("## E2 — network traffic per read-only delegation\n");
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
+    let fs = FlatFsClient::with_service(ServiceClient::open(&net), runner.put_port());
+    let cap = fs.create().unwrap();
+    let scheme = CommutativeScheme::standard();
+
+    let before = net.stats().snapshot();
+    let _local = scheme
+        .diminish(&cap, Rights::ALL.without(Rights::READ))
+        .unwrap();
+    let mid = net.stats().snapshot();
+    let _remote = fs.service().restrict(&cap, Rights::READ).unwrap();
+    let after = net.stats().snapshot();
+
+    println!("| method | packets sent |");
+    println!("|---|---|");
+    println!(
+        "| scheme 3 local diminish | {} |",
+        (mid - before).packets_sent
+    );
+    println!(
+        "| STD_RESTRICT server RPC | {} |\n",
+        (after - mid).packets_sent
+    );
+    runner.stop();
+}
+
+/// E4: revocation invalidates all outstanding capabilities, any count.
+fn e4_revocation_sweep() {
+    println!("## E4 — revocation: outstanding capabilities invalidated\n");
+    println!("| outstanding caps | still valid after revoke |");
+    println!("|---|---|");
+    for outstanding in [10usize, 100, 1000, 10_000] {
+        let table = amoeba_server::ObjectTable::<u32>::with_port(
+            SchemeKind::Commutative.instantiate(),
+            Port::new(0xE4).unwrap(),
+        );
+        let (_, owner) = table.create(0);
+        let caps: Vec<Capability> = (0..outstanding)
+            .map(|_| table.restrict(&owner, Rights::READ).unwrap())
+            .collect();
+        table.revoke(&owner).unwrap();
+        let alive = caps.iter().filter(|c| table.validate(c).is_ok()).count();
+        println!("| {outstanding} | {alive} |");
+    }
+    println!();
+}
+
+/// E5: softprot replay outcomes + cache effectiveness.
+fn e5_softprot_outcomes() {
+    println!("## E5 — §2.4 software protection\n");
+    let net = Network::new();
+    let c = net.attach_open();
+    let s = net.attach_open();
+    let i = net.attach_open();
+    let mut rng = StdRng::seed_from_u64(11);
+    let matrix = KeyMatrix::random(&[c.id(), s.id(), i.id()], &mut rng);
+    let client = CapSealer::new(matrix.view_for(c.id()));
+    let server = CapSealer::new(matrix.view_for(s.id()));
+
+    // 1000 replays from the intruder's source address.
+    let mut recovered = 0;
+    for n in 0..1000u64 {
+        let cap = Capability::new(
+            Port::new(0xE5).unwrap(),
+            ObjectNum::new((n % 100) as u32).unwrap(),
+            Rights::ALL,
+            n,
+        );
+        let sealed = client.seal(&cap, s.id()).unwrap();
+        match server.unseal(sealed, i.id()) {
+            Ok(g) if g == cap => recovered += 1,
+            _ => {}
+        }
+    }
+    println!("replays decrypted with M[I][S]: 1000 trials, {recovered} recovered the capability\n");
+
+    // Cache hit rate for a zipf-ish working set.
+    let sealer = CapSealer::new(matrix.view_for(c.id()));
+    let mut rng2 = StdRng::seed_from_u64(12);
+    for _ in 0..10_000 {
+        let obj = (rng2.gen::<f64>().powi(3) * 100.0) as u32; // skewed
+        let cap = Capability::new(
+            Port::new(0xE5).unwrap(),
+            ObjectNum::new(obj).unwrap(),
+            Rights::ALL,
+            obj as u64,
+        );
+        sealer.seal(&cap, s.id()).unwrap();
+    }
+    let stats = sealer.cache_stats();
+    println!(
+        "capability cache over 10k skewed sends: {} hits / {} misses ({:.1}% hit rate)\n",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hits as f64 / (stats.hits + stats.misses) as f64
+    );
+}
+
+/// E7: broadcasts saved by the locate cache.
+fn e7_locate_traffic() {
+    println!("## E7 — LOCATE broadcasts vs cache\n");
+    println!("| machines | lookups | broadcasts (cold cache) | broadcasts (warm) |");
+    println!("|---|---|---|---|");
+    for machines in [4usize, 16, 64] {
+        let net = Network::new();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        let target = ServerPort::bind(net.attach_open(), Port::new(0x7A46E7).unwrap());
+        let target_port = target.put_port();
+        {
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = target.next_request_timeout(Duration::from_millis(5));
+                }
+            }));
+        }
+        for j in 0..machines.saturating_sub(2) {
+            let bystander = ServerPort::bind(
+                net.attach_open(),
+                Port::new(0x99000 + j as u64).unwrap(),
+            );
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _ = bystander.next_request_timeout(Duration::from_millis(5));
+                }
+            }));
+        }
+        let client = net.attach_open();
+
+        // Cold: clear between lookups.
+        let locator = Locator::with_timeout(Duration::from_millis(300));
+        let before = net.stats().snapshot();
+        for _ in 0..20 {
+            locator.clear();
+            locator.locate(&client, target_port).expect("found");
+        }
+        let mid = net.stats().snapshot();
+        // Warm: 20 more without clearing.
+        for _ in 0..20 {
+            locator.locate(&client, target_port).expect("found");
+        }
+        let after = net.stats().snapshot();
+        println!(
+            "| {machines} | 20+20 | {} | {} |",
+            (mid - before).broadcasts_sent,
+            (after - mid).broadcasts_sent
+        );
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    println!();
+}
+
+/// E9: pages shared after a 1-page modification, by file size.
+fn e9_cow_sharing() {
+    println!("## E9 — copy-on-write page sharing\n");
+    println!("| file pages | pages copied | pages shared | shared % |");
+    println!("|---|---|---|---|");
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, MvfsServer::new(SchemeKind::Commutative));
+    let fs = MvfsClient::open(&net, runner.put_port());
+    for pages in [16u32, 64, 256, 1024] {
+        let file = fs.create_file().unwrap();
+        let v0 = fs.new_version(&file).unwrap();
+        let payload = vec![7u8; 1024];
+        for p in 0..pages {
+            fs.write_page(&v0, p, &payload).unwrap();
+        }
+        fs.commit(&v0).unwrap();
+        let v1 = fs.new_version(&file).unwrap();
+        fs.write_page(&v1, pages / 2, b"edit").unwrap();
+        let info = fs.version_info(&v1).unwrap();
+        let copied = info.pages - info.shared_with_head;
+        println!(
+            "| {pages} | {copied} | {} | {:.1}% |",
+            info.shared_with_head,
+            100.0 * info.shared_with_head as f64 / info.pages as f64
+        );
+    }
+    println!();
+    runner.stop();
+}
+
+/// E10: money conservation under a quota workload.
+fn e10_quota_accounting() {
+    println!("## E10 — bank-backed quotas: conservation audit\n");
+    let net = Network::new();
+    let (bank_server, treasury_rx) = BankServer::new(
+        vec![Currency::convertible("dollar", 1)],
+        SchemeKind::Commutative,
+    );
+    let bank_runner = ServiceRunner::spawn_open(&net, bank_server);
+    let treasury = treasury_rx.recv().unwrap();
+    let bank = BankClient::open(&net, bank_runner.put_port());
+
+    let fs_account = bank.open_account().unwrap();
+    let fs_audit = bank.service().restrict(&fs_account, Rights::READ).unwrap();
+    let fs_runner = ServiceRunner::spawn_open(
+        &net,
+        FlatFsServer::with_quota(
+            SchemeKind::OneWay,
+            QuotaPolicy {
+                bank: BankClient::open(&net, bank_runner.put_port()),
+                server_account: fs_account,
+                currency: CurrencyId(0),
+                price_per_kib: 1,
+            },
+        ),
+    );
+    let fs = FlatFsClient::open(&net, fs_runner.put_port());
+
+    let minted = 1_000u64;
+    let wallet = bank.open_account().unwrap();
+    bank.mint(&treasury, &wallet, CurrencyId(0), minted).unwrap();
+
+    let mut created = 0u32;
+    let mut refused = 0u32;
+    loop {
+        match fs.create_paid(&wallet, 100) {
+            Ok(cap) => {
+                created += 1;
+                // Fill the purchased quota exactly.
+                fs.write(&cap, 0, &vec![1u8; 100 * 1024]).unwrap();
+                assert!(fs.write(&cap, 100 * 1024, b"x").is_err());
+            }
+            Err(_) => {
+                refused += 1;
+                break;
+            }
+        }
+    }
+    let wallet_left = bank.balance(&wallet, CurrencyId(0)).unwrap();
+    let earned = bank.balance(&fs_audit, CurrencyId(0)).unwrap();
+    println!("minted {minted} dollars; file server price 1 $/KiB, 100 $ per file");
+    println!("files created: {created}; refused for lack of funds: {refused}");
+    println!(
+        "wallet remainder {wallet_left} + server earnings {earned} = {} (must equal {minted})",
+        wallet_left + earned
+    );
+    assert_eq!(wallet_left + earned, minted, "money must be conserved");
+    fs_runner.stop();
+    bank_runner.stop();
+}

@@ -1,0 +1,58 @@
+//! Shared scaffolding for the experiment benchmarks.
+//!
+//! Every bench target in `benches/` regenerates one experiment from
+//! EXPERIMENTS.md; this crate holds the common setup so each target
+//! reads as the experiment it implements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amoeba_cap::schemes::{ObjectSecret, ProtectionScheme, SchemeKind};
+use amoeba_cap::{Capability, ObjectNum};
+use amoeba_net::{Network, Port};
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// A deterministic RNG for benchmark setup.
+pub fn bench_rng() -> StdRng {
+    StdRng::seed_from_u64(0xBE_7C_4A_11)
+}
+
+/// A server port constant used when minting stand-alone capabilities.
+pub fn bench_port() -> Port {
+    Port::new(0xBEC4).expect("valid port")
+}
+
+/// Mints a (scheme, secret, capability) triple for scheme benchmarks.
+pub fn minted(kind: SchemeKind) -> (Box<dyn ProtectionScheme>, ObjectSecret, Capability) {
+    let scheme = kind.instantiate();
+    let mut rng = bench_rng();
+    let secret = scheme.new_secret(&mut rng);
+    let cap = scheme.mint(bench_port(), ObjectNum::new(1).expect("small"), &secret);
+    (scheme, secret, cap)
+}
+
+/// Criterion tuning for pure-CPU experiments.
+pub fn cpu_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g
+}
+
+/// Criterion tuning for experiments that cross the simulated network
+/// (fewer samples; each iteration blocks on real thread wake-ups).
+pub fn net_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(20);
+    g
+}
+
+/// A fresh zero-latency network.
+pub fn quiet_network() -> Network {
+    Network::new()
+}

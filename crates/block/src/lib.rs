@@ -1,0 +1,422 @@
+//! The Amoeba **block server** (§3.2).
+//!
+//! "The block server can be requested to allocate a disk block and
+//! return a capability for it. Using this capability, the block can be
+//! written, read, or deallocated. The block server has no concept of a
+//! file." Splitting it from the file servers lets "any user implement
+//! any kind of special-purpose file system" — `amoeba-unixfs` does
+//! exactly that on top of this crate.
+//!
+//! The simulated disk has a fixed block size and capacity; allocation
+//! beyond capacity answers `NoSpace`. Blocks are zero-filled on
+//! allocation (no data leaks between tenants).
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_block::{BlockClient, BlockServer, DiskConfig};
+//! use amoeba_cap::schemes::SchemeKind;
+//! use amoeba_net::Network;
+//! use amoeba_server::ServiceRunner;
+//!
+//! let net = Network::new();
+//! let server = BlockServer::new(DiskConfig::small(), SchemeKind::Commutative);
+//! let runner = ServiceRunner::spawn_open(&net, server);
+//! let client = BlockClient::open(&net, runner.put_port());
+//!
+//! let cap = client.alloc().unwrap();
+//! client.write(&cap, 0, b"boot sector").unwrap();
+//! assert_eq!(&client.read(&cap, 0, 11).unwrap(), b"boot sector");
+//! client.free(&cap).unwrap();
+//! runner.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::{Capability, Rights};
+use amoeba_net::{Network, Port};
+use amoeba_server::proto::{Reply, Request, Status};
+use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
+use bytes::Bytes;
+
+/// Block-server operation codes.
+pub mod ops {
+    /// Allocate a zeroed block; anonymous. Reply: capability.
+    pub const ALLOC: u32 = 1;
+    /// Read `len` bytes at `offset`. Params: `u32 offset`, `u32 len`.
+    pub const READ: u32 = 2;
+    /// Write bytes at `offset`. Params: `u32 offset`, `bytes data`.
+    pub const WRITE: u32 = 3;
+    /// Deallocate the block. Requires DELETE.
+    pub const FREE: u32 = 4;
+    /// Report disk geometry; anonymous. Reply: `u32 block_size`,
+    /// `u32 capacity`, `u32 allocated`.
+    pub const STATFS: u32 = 5;
+}
+
+/// Simulated disk geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskConfig {
+    /// Bytes per block.
+    pub block_size: u32,
+    /// Total blocks on the device.
+    pub capacity_blocks: u32,
+}
+
+impl DiskConfig {
+    /// 4 KiB blocks, 4096 of them (16 MiB) — handy for tests.
+    pub fn small() -> DiskConfig {
+        DiskConfig {
+            block_size: 4096,
+            capacity_blocks: 4096,
+        }
+    }
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// The block server.
+#[derive(Debug)]
+pub struct BlockServer {
+    table: ObjectTable<Box<[u8]>>,
+    config: DiskConfig,
+}
+
+impl BlockServer {
+    /// A server over a fresh simulated disk, protecting blocks with the
+    /// given capability scheme.
+    pub fn new(config: DiskConfig, scheme: SchemeKind) -> BlockServer {
+        assert!(config.block_size > 0, "block size must be nonzero");
+        assert!(config.capacity_blocks > 0, "capacity must be nonzero");
+        BlockServer {
+            table: ObjectTable::unbound(scheme.instantiate()),
+            config,
+        }
+    }
+
+    fn alloc(&mut self) -> Reply {
+        if self.table.len() >= self.config.capacity_blocks as usize {
+            return Reply::status(Status::NoSpace);
+        }
+        let block = vec![0u8; self.config.block_size as usize].into_boxed_slice();
+        let (_, cap) = self.table.create(block);
+        Reply::ok(wire::Writer::new().cap(&cap).finish())
+    }
+
+    fn read(&self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(offset), Some(len)) = (r.u32(), r.u32()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        let result = self.table.with_object(&req.cap, Rights::READ, |block| {
+            let end = offset.checked_add(len)? as usize;
+            if end > block.len() {
+                return None;
+            }
+            Some(Bytes::copy_from_slice(&block[offset as usize..end]))
+        });
+        match result {
+            Ok(Some(data)) => Reply::ok(data),
+            Ok(None) => Reply::status(Status::OutOfRange),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn write(&self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(offset), Some(data)) = (r.u32(), r.bytes()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |block| {
+            let end = (offset as usize).checked_add(data.len())?;
+            if end > block.len() {
+                return None;
+            }
+            block[offset as usize..end].copy_from_slice(data);
+            Some(())
+        });
+        match result {
+            Ok(Some(())) => Reply::ok(Bytes::new()),
+            Ok(None) => Reply::status(Status::OutOfRange),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn free(&self, req: &Request) -> Reply {
+        match self.table.delete(&req.cap, Rights::DELETE) {
+            Ok(_) => Reply::ok(Bytes::new()),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn statfs(&self) -> Reply {
+        Reply::ok(
+            wire::Writer::new()
+                .u32(self.config.block_size)
+                .u32(self.config.capacity_blocks)
+                .u32(self.table.len() as u32)
+                .finish(),
+        )
+    }
+}
+
+impl Service for BlockServer {
+    fn bind(&mut self, put_port: Port) {
+        self.table.set_port(put_port);
+    }
+
+    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+        if let Some(reply) = self.table.handle_std(req) {
+            return reply;
+        }
+        match req.command {
+            ops::ALLOC => self.alloc(),
+            ops::READ => self.read(req),
+            ops::WRITE => self.write(req),
+            ops::FREE => self.free(req),
+            ops::STATFS => self.statfs(),
+            _ => Reply::status(Status::BadCommand),
+        }
+    }
+}
+
+/// Disk geometry and usage, as reported by [`BlockClient::statfs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Bytes per block.
+    pub block_size: u32,
+    /// Total blocks.
+    pub capacity_blocks: u32,
+    /// Currently allocated blocks.
+    pub allocated_blocks: u32,
+}
+
+/// A typed client for the block server.
+#[derive(Debug)]
+pub struct BlockClient {
+    svc: ServiceClient,
+    port: Port,
+}
+
+impl BlockClient {
+    /// A client on a fresh open-interface machine.
+    pub fn open(net: &Network, port: Port) -> BlockClient {
+        BlockClient {
+            svc: ServiceClient::open(net),
+            port,
+        }
+    }
+
+    /// A client over an existing [`ServiceClient`].
+    pub fn with_service(svc: ServiceClient, port: Port) -> BlockClient {
+        BlockClient { svc, port }
+    }
+
+    /// The server's put-port.
+    pub fn port(&self) -> Port {
+        self.port
+    }
+
+    /// Allocates a zeroed block.
+    ///
+    /// # Errors
+    /// `Status::NoSpace` when the disk is full; transport errors.
+    pub fn alloc(&self) -> Result<Capability, ClientError> {
+        let body = self.svc.call_anonymous(self.port, ops::ALLOC, Bytes::new())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    /// `Status::OutOfRange` beyond the block; rights/validation errors.
+    pub fn read(&self, cap: &Capability, offset: u32, len: u32) -> Result<Vec<u8>, ClientError> {
+        let body = self.svc.call(
+            cap,
+            ops::READ,
+            wire::Writer::new().u32(offset).u32(len).finish(),
+        )?;
+        Ok(body.to_vec())
+    }
+
+    /// Writes `data` at `offset`.
+    ///
+    /// # Errors
+    /// As for [`read`](Self::read), plus `RightsViolation` without WRITE.
+    pub fn write(&self, cap: &Capability, offset: u32, data: &[u8]) -> Result<(), ClientError> {
+        self.svc.call(
+            cap,
+            ops::WRITE,
+            wire::Writer::new().u32(offset).bytes(data).finish(),
+        )?;
+        Ok(())
+    }
+
+    /// Deallocates the block (requires DELETE).
+    ///
+    /// # Errors
+    /// Rights/validation errors.
+    pub fn free(&self, cap: &Capability) -> Result<(), ClientError> {
+        self.svc.call(cap, ops::FREE, Bytes::new())?;
+        Ok(())
+    }
+
+    /// Reports disk geometry and usage.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn statfs(&self) -> Result<DiskStats, ClientError> {
+        let body = self
+            .svc
+            .call_anonymous(self.port, ops::STATFS, Bytes::new())?;
+        let mut r = wire::Reader::new(&body);
+        match (r.u32(), r.u32(), r.u32()) {
+            (Some(block_size), Some(capacity_blocks), Some(allocated_blocks)) => Ok(DiskStats {
+                block_size,
+                capacity_blocks,
+                allocated_blocks,
+            }),
+            _ => Err(ClientError::Malformed),
+        }
+    }
+
+    /// Access to the generic capability operations (restrict, revoke…).
+    pub fn service(&self) -> &ServiceClient {
+        &self.svc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_server::ServiceRunner;
+
+    fn setup(cfg: DiskConfig) -> (Network, ServiceRunner, BlockClient) {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, BlockServer::new(cfg, SchemeKind::OneWay));
+        let client = BlockClient::open(&net, runner.put_port());
+        (net, runner, client)
+    }
+
+    #[test]
+    fn alloc_blocks_are_zeroed() {
+        let (_net, runner, client) = setup(DiskConfig::small());
+        let cap = client.alloc().unwrap();
+        assert_eq!(client.read(&cap, 0, 16).unwrap(), vec![0u8; 16]);
+        runner.stop();
+    }
+
+    #[test]
+    fn write_read_roundtrip_at_offset() {
+        let (_net, runner, client) = setup(DiskConfig::small());
+        let cap = client.alloc().unwrap();
+        client.write(&cap, 100, b"hello").unwrap();
+        assert_eq!(&client.read(&cap, 100, 5).unwrap(), b"hello");
+        // Bytes around the write remain zero.
+        assert_eq!(client.read(&cap, 99, 1).unwrap(), vec![0]);
+        assert_eq!(client.read(&cap, 105, 1).unwrap(), vec![0]);
+        runner.stop();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let (_net, runner, client) = setup(DiskConfig {
+            block_size: 128,
+            capacity_blocks: 4,
+        });
+        let cap = client.alloc().unwrap();
+        assert_eq!(
+            client.read(&cap, 100, 100).unwrap_err(),
+            ClientError::Status(Status::OutOfRange)
+        );
+        assert_eq!(
+            client.write(&cap, 127, b"too long").unwrap_err(),
+            ClientError::Status(Status::OutOfRange)
+        );
+        // Offset overflow must not wrap.
+        assert_eq!(
+            client.read(&cap, u32::MAX, 2).unwrap_err(),
+            ClientError::Status(Status::OutOfRange)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn disk_fills_up_and_free_reclaims() {
+        let (_net, runner, client) = setup(DiskConfig {
+            block_size: 64,
+            capacity_blocks: 2,
+        });
+        let a = client.alloc().unwrap();
+        let _b = client.alloc().unwrap();
+        assert_eq!(
+            client.alloc().unwrap_err(),
+            ClientError::Status(Status::NoSpace)
+        );
+        client.free(&a).unwrap();
+        assert!(client.alloc().is_ok());
+        runner.stop();
+    }
+
+    #[test]
+    fn freed_block_capability_is_dead() {
+        let (_net, runner, client) = setup(DiskConfig::small());
+        let cap = client.alloc().unwrap();
+        client.free(&cap).unwrap();
+        assert!(matches!(
+            client.read(&cap, 0, 1).unwrap_err(),
+            ClientError::Status(Status::NoSuchObject) | ClientError::Status(Status::Forged)
+        ));
+        runner.stop();
+    }
+
+    #[test]
+    fn read_only_delegation() {
+        let (_net, runner, client) = setup(DiskConfig::small());
+        let cap = client.alloc().unwrap();
+        client.write(&cap, 0, b"mine").unwrap();
+        let ro = client.service().restrict(&cap, Rights::READ).unwrap();
+        assert_eq!(&client.read(&ro, 0, 4).unwrap(), b"mine");
+        assert_eq!(
+            client.write(&ro, 0, b"evil").unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        assert_eq!(
+            client.free(&ro).unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn statfs_reports_usage() {
+        let (_net, runner, client) = setup(DiskConfig {
+            block_size: 256,
+            capacity_blocks: 8,
+        });
+        let s0 = client.statfs().unwrap();
+        assert_eq!(s0.allocated_blocks, 0);
+        assert_eq!(s0.block_size, 256);
+        let _cap = client.alloc().unwrap();
+        assert_eq!(client.statfs().unwrap().allocated_blocks, 1);
+        runner.stop();
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_size_rejected() {
+        BlockServer::new(
+            DiskConfig {
+                block_size: 0,
+                capacity_blocks: 1,
+            },
+            SchemeKind::Simple,
+        );
+    }
+}

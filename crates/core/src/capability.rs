@@ -1,0 +1,280 @@
+//! The 128-bit capability of Fig 2.
+
+use crate::rights::Rights;
+use amoeba_net::Port;
+use std::fmt;
+
+/// Mask of the 48-bit check field.
+pub(crate) const CHECK_MASK: u64 = (1 << 48) - 1;
+
+/// A 24-bit object number, "meaningful only to the server managing the
+/// object" — e.g. an i-number for a UNIX-like file server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectNum(u32);
+
+impl ObjectNum {
+    /// Largest representable object number (24 bits).
+    pub const MAX: u32 = (1 << 24) - 1;
+
+    /// Creates an object number, `None` if it exceeds 24 bits.
+    pub fn new(value: u32) -> Option<ObjectNum> {
+        (value <= Self::MAX).then_some(ObjectNum(value))
+    }
+
+    /// The raw value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj:{}", self.0)
+    }
+}
+
+/// An Amoeba capability: `(server port, object, rights, check)`,
+/// 48 + 24 + 8 + 48 = 128 bits (Fig 2).
+///
+/// Capabilities are plain bits: they live in user address spaces, travel
+/// in message payloads and can be copied freely. All protection is in
+/// the cryptographic relationship between `rights`, `check` and the
+/// server's per-object secret — see [`crate::schemes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capability {
+    /// The put-port of the managing server.
+    pub port: Port,
+    /// The object number within that server.
+    pub object: ObjectNum,
+    /// The (scheme-interpreted) rights field.
+    pub rights: Rights,
+    /// The (scheme-interpreted) 48-bit check field.
+    pub check: u64,
+}
+
+impl Capability {
+    /// Assembles a capability. `check` is truncated to 48 bits.
+    pub fn new(port: Port, object: ObjectNum, rights: Rights, check: u64) -> Capability {
+        Capability {
+            port,
+            object,
+            rights,
+            check: check & CHECK_MASK,
+        }
+    }
+
+    /// A copy with different rights bits (used by delegation — and by
+    /// attackers; the schemes must detect the latter).
+    pub fn with_rights(mut self, rights: Rights) -> Capability {
+        self.rights = rights;
+        self
+    }
+
+    /// A copy with a different check field (again: delegation or
+    /// tampering).
+    pub fn with_check(mut self, check: u64) -> Capability {
+        self.check = check & CHECK_MASK;
+        self
+    }
+
+    /// Serialises to the canonical 16-byte wire form:
+    /// port ‖ object ‖ rights ‖ check, all big-endian.
+    pub fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..6].copy_from_slice(&self.port.value().to_be_bytes()[2..]);
+        out[6..9].copy_from_slice(&self.object.0.to_be_bytes()[1..]);
+        out[9] = self.rights.bits();
+        out[10..16].copy_from_slice(&self.check.to_be_bytes()[2..]);
+        out
+    }
+
+    /// Parses the canonical 16-byte form. Returns `None` if the port
+    /// field holds a reserved value.
+    pub fn decode(bytes: &[u8; 16]) -> Option<Capability> {
+        let mut port_raw = [0u8; 8];
+        port_raw[2..].copy_from_slice(&bytes[..6]);
+        let port = Port::new(u64::from_be_bytes(port_raw))?;
+        let mut obj_raw = [0u8; 4];
+        obj_raw[1..].copy_from_slice(&bytes[6..9]);
+        let object = ObjectNum(u32::from_be_bytes(obj_raw));
+        let rights = Rights::from_bits(bytes[9]);
+        let mut check_raw = [0u8; 8];
+        check_raw[2..].copy_from_slice(&bytes[10..16]);
+        let check = u64::from_be_bytes(check_raw);
+        Some(Capability {
+            port,
+            object,
+            rights,
+            check,
+        })
+    }
+
+    /// Parses from a slice, `None` unless it is exactly 16 valid bytes.
+    pub fn decode_slice(bytes: &[u8]) -> Option<Capability> {
+        let arr: &[u8; 16] = bytes.try_into().ok()?;
+        Self::decode(arr)
+    }
+
+    /// Renders the capability as 32 hex digits — the form users paste
+    /// into tools and mail to each other (capabilities are bearer
+    /// tokens; the string *is* the authority).
+    pub fn to_hex(&self) -> String {
+        self.encode().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses the [`to_hex`](Self::to_hex) form.
+    pub fn from_hex(hex: &str) -> Option<Capability> {
+        if hex.len() != 32 || !hex.is_ascii() {
+            return None;
+        }
+        let mut bytes = [0u8; 16];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let s = std::str::from_utf8(chunk).ok()?;
+            bytes[i] = u8::from_str_radix(s, 16).ok()?;
+        }
+        Self::decode(&bytes)
+    }
+
+    /// The whole capability as one 128-bit number (handy for the DES
+    /// encryption in `amoeba-softprot`).
+    pub fn as_u128(&self) -> u128 {
+        u128::from_be_bytes(self.encode())
+    }
+
+    /// Inverse of [`as_u128`](Self::as_u128).
+    pub fn from_u128(v: u128) -> Option<Capability> {
+        Self::decode(&v.to_be_bytes())
+    }
+}
+
+impl std::str::FromStr for Capability {
+    type Err = ParseCapabilityError;
+
+    fn from_str(s: &str) -> Result<Capability, ParseCapabilityError> {
+        Capability::from_hex(s).ok_or(ParseCapabilityError)
+    }
+}
+
+/// Error parsing a capability from its hex form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseCapabilityError;
+
+impl fmt::Display for ParseCapabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid capability hex string")
+    }
+}
+
+impl std::error::Error for ParseCapabilityError {}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cap[{} {} rights={} check={:012x}]",
+            self.port, self.object, self.rights, self.check
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Capability {
+        Capability::new(
+            Port::new(0xABCD_EF12_3456).unwrap(),
+            ObjectNum::new(0x00AB_CDEF).unwrap(),
+            Rights::READ | Rights::OWNER,
+            0x1234_5678_9ABC,
+        )
+    }
+
+    #[test]
+    fn object_num_bounds() {
+        assert!(ObjectNum::new(ObjectNum::MAX).is_some());
+        assert!(ObjectNum::new(ObjectNum::MAX + 1).is_none());
+        assert_eq!(ObjectNum::new(5).unwrap().value(), 5);
+    }
+
+    #[test]
+    fn encode_is_exactly_fig2_layout() {
+        let cap = sample();
+        let bytes = cap.encode();
+        assert_eq!(&bytes[..6], &[0xAB, 0xCD, 0xEF, 0x12, 0x34, 0x56]);
+        assert_eq!(&bytes[6..9], &[0xAB, 0xCD, 0xEF]);
+        assert_eq!(bytes[9], (Rights::READ | Rights::OWNER).bits());
+        assert_eq!(&bytes[10..], &[0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC]);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let cap = sample();
+        assert_eq!(Capability::decode(&cap.encode()), Some(cap));
+    }
+
+    #[test]
+    fn u128_roundtrip() {
+        let cap = sample();
+        assert_eq!(Capability::from_u128(cap.as_u128()), Some(cap));
+    }
+
+    #[test]
+    fn decode_slice_wrong_length_fails() {
+        assert!(Capability::decode_slice(&[0u8; 15]).is_none());
+        assert!(Capability::decode_slice(&[0u8; 17]).is_none());
+    }
+
+    #[test]
+    fn decode_reserved_port_fails() {
+        let mut bytes = sample().encode();
+        bytes[..6].copy_from_slice(&[0; 6]); // broadcast port
+        assert!(Capability::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn hex_roundtrip_and_fromstr() {
+        let cap = sample();
+        let hex = cap.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Capability::from_hex(&hex), Some(cap));
+        assert_eq!(hex.parse::<Capability>().unwrap(), cap);
+        assert!(Capability::from_hex("short").is_none());
+        assert!(Capability::from_hex(&"g".repeat(32)).is_none());
+        assert!("not a capability".parse::<Capability>().is_err());
+    }
+
+    #[test]
+    fn check_is_truncated_to_48_bits() {
+        let cap = Capability::new(
+            Port::new(1).unwrap(),
+            ObjectNum::new(0).unwrap(),
+            Rights::NONE,
+            u64::MAX,
+        );
+        assert_eq!(cap.check, CHECK_MASK);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = sample().to_string();
+        assert!(s.contains("obj:"));
+        assert!(s.contains("rights="));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(port in 1u64..(1u64 << 48) - 1, obj in 0u32..=ObjectNum::MAX,
+                            rights: u8, check: u64) {
+            let cap = Capability::new(
+                Port::new(port).unwrap(),
+                ObjectNum::new(obj).unwrap(),
+                Rights::from_bits(rights),
+                check,
+            );
+            prop_assert_eq!(Capability::decode(&cap.encode()), Some(cap));
+            prop_assert_eq!(Capability::from_u128(cap.as_u128()), Some(cap));
+        }
+    }
+}

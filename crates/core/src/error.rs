@@ -1,0 +1,42 @@
+//! Capability errors.
+
+use std::fmt;
+
+/// Why a capability operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CapError {
+    /// The check field does not validate: the capability is forged,
+    /// tampered with, or has been revoked.
+    Forged,
+    /// The requested restriction would *add* rights.
+    RightsExceeded,
+    /// The scheme does not support this operation (e.g. client-side
+    /// diminish under schemes 0–2, or rights restriction under scheme 0).
+    NotSupported,
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::Forged => write!(f, "capability check field does not validate"),
+            CapError::RightsExceeded => write!(f, "restriction would amplify rights"),
+            CapError::NotSupported => write!(f, "operation not supported by this scheme"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        for e in [CapError::Forged, CapError::RightsExceeded, CapError::NotSupported] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! The 8-bit rights field: "a 1 bit for each permitted operation".
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A set of up to eight permitted operations.
+///
+/// The bit *positions* are what the protection schemes care about; the
+/// named constants are the conventional Amoeba assignments used by the
+/// servers in this repository. Bit 7 ([`Rights::OWNER`]) guards
+/// administrative operations — notably revocation, which the paper says
+/// "must be protected with a bit in the RIGHTS field".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Rights(u8);
+
+impl Rights {
+    /// No operations permitted.
+    pub const NONE: Rights = Rights(0);
+    /// Every operation permitted — how capabilities are minted.
+    pub const ALL: Rights = Rights(0xFF);
+    /// Read the object.
+    pub const READ: Rights = Rights(1 << 0);
+    /// Modify the object.
+    pub const WRITE: Rights = Rights(1 << 1);
+    /// Destroy the object.
+    pub const DELETE: Rights = Rights(1 << 2);
+    /// Create subordinate objects (e.g. directory entries).
+    pub const CREATE: Rights = Rights(1 << 3);
+    /// Administrative rights, including revocation.
+    pub const OWNER: Rights = Rights(1 << 7);
+
+    /// Number of rights bits.
+    pub const BITS: usize = 8;
+
+    /// A set from a raw bit pattern.
+    pub const fn from_bits(bits: u8) -> Rights {
+        Rights(bits)
+    }
+
+    /// A set containing only bit `k`.
+    ///
+    /// # Panics
+    /// Panics if `k >= 8`.
+    pub fn bit(k: usize) -> Rights {
+        assert!(k < Self::BITS, "rights bit {k} out of range");
+        Rights(1 << k)
+    }
+
+    /// The raw bit pattern.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether every right in `other` is present in `self`.
+    pub const fn contains(self, other: Rights) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no rights are set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `self` with the rights of `other` removed.
+    pub const fn without(self, other: Rights) -> Rights {
+        Rights(self.0 & !other.0)
+    }
+
+    /// `self` with the rights of `other` added.
+    pub const fn with(self, other: Rights) -> Rights {
+        Rights(self.0 | other.0)
+    }
+
+    /// Iterates over the positions of the set bits.
+    pub fn iter_bits(self) -> impl Iterator<Item = usize> {
+        (0..Self::BITS).filter(move |k| self.0 & (1 << k) != 0)
+    }
+
+    /// Number of set bits.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        Rights(self.0 & rhs.0)
+    }
+}
+
+impl BitXor for Rights {
+    type Output = Rights;
+    fn bitxor(self, rhs: Rights) -> Rights {
+        Rights(self.0 ^ rhs.0)
+    }
+}
+
+impl Not for Rights {
+    type Output = Rights;
+    fn not(self) -> Rights {
+        Rights(!self.0)
+    }
+}
+
+impl fmt::Display for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "-");
+        }
+        let names = [
+            (Rights::READ, "r"),
+            (Rights::WRITE, "w"),
+            (Rights::DELETE, "d"),
+            (Rights::CREATE, "c"),
+            (Rights::bit(4), "4"),
+            (Rights::bit(5), "5"),
+            (Rights::bit(6), "6"),
+            (Rights::OWNER, "o"),
+        ];
+        for (right, name) in names {
+            if self.contains(right) {
+                write!(f, "{name}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn named_constants_are_distinct_bits() {
+        let all = [
+            Rights::READ,
+            Rights::WRITE,
+            Rights::DELETE,
+            Rights::CREATE,
+            Rights::OWNER,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.count(), 1);
+            for b in &all[i + 1..] {
+                assert!((*a & *b).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn contains_and_without() {
+        let rw = Rights::READ | Rights::WRITE;
+        assert!(rw.contains(Rights::READ));
+        assert!(rw.contains(Rights::WRITE));
+        assert!(!rw.contains(Rights::DELETE));
+        assert!(rw.contains(Rights::NONE));
+        assert_eq!(rw.without(Rights::WRITE), Rights::READ);
+        assert_eq!(Rights::ALL.without(Rights::NONE), Rights::ALL);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rights::NONE.to_string(), "-");
+        assert_eq!((Rights::READ | Rights::WRITE).to_string(), "rw");
+        assert_eq!(Rights::ALL.to_string(), "rwdc456o");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        Rights::bit(8);
+    }
+
+    #[test]
+    fn iter_bits_matches_bits() {
+        let r = Rights::from_bits(0b1010_0101);
+        let positions: Vec<usize> = r.iter_bits().collect();
+        assert_eq!(positions, vec![0, 2, 5, 7]);
+    }
+
+    proptest! {
+        #[test]
+        fn without_then_never_contains(a: u8, b: u8) {
+            let a = Rights::from_bits(a);
+            let b = Rights::from_bits(b);
+            let reduced = a.without(b);
+            prop_assert!((reduced & b).is_empty());
+            prop_assert!(a.contains(reduced));
+        }
+
+        #[test]
+        fn with_is_union(a: u8, b: u8) {
+            let a = Rights::from_bits(a);
+            let b = Rights::from_bits(b);
+            prop_assert!(a.with(b).contains(a));
+            prop_assert!(a.with(b).contains(b));
+            prop_assert_eq!(a.with(b), a | b);
+        }
+
+        #[test]
+        fn count_matches_iter(a: u8) {
+            let r = Rights::from_bits(a);
+            prop_assert_eq!(r.count() as usize, r.iter_bits().count());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! A 56-bit block cipher for capability protection *scheme 1*.
+//!
+//! Scheme 1 of the paper (§2.3) treats the concatenated `RIGHTS` (8 bits)
+//! and `RANDOM` (48 bits) fields of a capability as **one 56-bit number**
+//! and encrypts it under a per-object key. The paper explicitly warns:
+//!
+//! > Clearly, an encryption function that mixes the bits thoroughly is
+//! > required to ensure that tampering with the Rights Field also affects
+//! > the known constant. EXCLUSIVE-OR'ing a constant with the
+//! > concatenated RIGHTS and RANDOM fields will not do.
+//!
+//! No standard cipher has a 56-bit block, so we build one the textbook
+//! way: a balanced Feistel network over two 28-bit halves whose round
+//! function is keyed SHA-256 (a Luby–Rackoff construction). Eight rounds
+//! give thorough mixing — every output bit depends on every input bit.
+//!
+//! The deliberately broken [`XorCipher`] implements the construction the
+//! paper warns against; the capability crate's tests use it to
+//! *demonstrate the forgery attack* and show why mixing is required.
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_crypto::feistel::{Block56, Cipher56, Feistel56};
+//!
+//! let cipher = Feistel56::new(0xDEAD_BEEF_CAFE);
+//! let plain = Block56::new(0x00FF_EE55_1234_u64).unwrap();
+//! let ct = cipher.encrypt(plain);
+//! assert_ne!(ct, plain);
+//! assert_eq!(cipher.decrypt(ct), plain);
+//! ```
+
+use crate::sha256::Sha256;
+
+/// Number of Feistel rounds. Four are enough for Luby–Rackoff security;
+/// eight add margin at negligible cost.
+const ROUNDS: usize = 8;
+
+const MASK28: u64 = (1 << 28) - 1;
+/// Mask selecting the low 56 bits of a `u64`.
+pub const MASK56: u64 = (1 << 56) - 1;
+
+/// A value known to fit in 56 bits — the width of the concatenated
+/// `RIGHTS‖RANDOM` capability field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Block56(u64);
+
+impl Block56 {
+    /// Wraps a value, returning `None` if it does not fit in 56 bits.
+    pub fn new(value: u64) -> Option<Self> {
+        (value <= MASK56).then_some(Block56(value))
+    }
+
+    /// Wraps a value, truncating it to 56 bits.
+    pub fn truncate(value: u64) -> Self {
+        Block56(value & MASK56)
+    }
+
+    /// Builds the block from the 8-bit rights byte and 48-bit check field
+    /// of a capability, as scheme 1 requires: `rights ‖ check`.
+    pub fn from_rights_check(rights: u8, check48: u64) -> Self {
+        Block56(((rights as u64) << 48) | (check48 & ((1 << 48) - 1)))
+    }
+
+    /// Splits the block back into (rights, check) parts.
+    pub fn into_rights_check(self) -> (u8, u64) {
+        ((self.0 >> 48) as u8, self.0 & ((1 << 48) - 1))
+    }
+
+    /// The raw 56-bit value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// Trait for 56-bit block ciphers usable by capability scheme 1.
+///
+/// Implemented by the real [`Feistel56`] and by the deliberately broken
+/// [`XorCipher`] used in negative tests.
+pub trait Cipher56: std::fmt::Debug {
+    /// Encrypts one block.
+    fn encrypt(&self, block: Block56) -> Block56;
+    /// Decrypts one block.
+    fn decrypt(&self, block: Block56) -> Block56;
+}
+
+/// An 8-round balanced Feistel cipher over 28+28 bits with a keyed
+/// SHA-256 round function.
+#[derive(Debug, Clone)]
+pub struct Feistel56 {
+    round_keys: [u64; ROUNDS],
+}
+
+impl Feistel56 {
+    /// Derives per-round subkeys from a key (any 64-bit value; in the
+    /// capability server this is the per-object random number).
+    pub fn new(key: u64) -> Self {
+        let mut round_keys = [0u64; ROUNDS];
+        for (i, rk) in round_keys.iter_mut().enumerate() {
+            let mut input = Vec::with_capacity(16);
+            input.extend_from_slice(&key.to_be_bytes());
+            input.extend_from_slice(b"feistel");
+            input.push(i as u8);
+            *rk = Sha256::digest_u64(&input);
+        }
+        Feistel56 { round_keys }
+    }
+
+    /// The round function: 28 bits -> 28 bits, keyed.
+    fn f(half: u64, round_key: u64) -> u64 {
+        let mut input = [0u8; 16];
+        input[..8].copy_from_slice(&half.to_be_bytes());
+        input[8..].copy_from_slice(&round_key.to_be_bytes());
+        Sha256::digest_u64(&input) & MASK28
+    }
+}
+
+impl Cipher56 for Feistel56 {
+    fn encrypt(&self, block: Block56) -> Block56 {
+        let mut l = (block.0 >> 28) & MASK28;
+        let mut r = block.0 & MASK28;
+        for rk in self.round_keys {
+            let next_r = l ^ Self::f(r, rk);
+            l = r;
+            r = next_r;
+        }
+        // Undo the last swap so decryption can run the same loop.
+        Block56((r << 28) | l)
+    }
+
+    fn decrypt(&self, block: Block56) -> Block56 {
+        let mut l = (block.0 >> 28) & MASK28;
+        let mut r = block.0 & MASK28;
+        for rk in self.round_keys.iter().rev() {
+            let next_r = l ^ Self::f(r, *rk);
+            l = r;
+            r = next_r;
+        }
+        Block56((r << 28) | l)
+    }
+}
+
+/// The construction the paper warns about: plain XOR with a constant.
+///
+/// XOR does not mix bits across positions, so a client holding one valid
+/// scheme-1 capability can flip rights bits in the ciphertext and the
+/// change never propagates into the known-constant part — the forgery
+/// validates. Exists **only** so tests can demonstrate that attack;
+/// never use it for protection.
+#[derive(Debug, Clone)]
+pub struct XorCipher {
+    key: u64,
+}
+
+impl XorCipher {
+    /// Creates the (insecure) cipher.
+    pub fn new(key: u64) -> Self {
+        XorCipher { key: key & MASK56 }
+    }
+}
+
+impl Cipher56 for XorCipher {
+    fn encrypt(&self, block: Block56) -> Block56 {
+        Block56(block.0 ^ self.key)
+    }
+
+    fn decrypt(&self, block: Block56) -> Block56 {
+        Block56(block.0 ^ self.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn block56_rejects_oversized() {
+        assert!(Block56::new(MASK56).is_some());
+        assert!(Block56::new(MASK56 + 1).is_none());
+        assert_eq!(Block56::truncate(u64::MAX).value(), MASK56);
+    }
+
+    #[test]
+    fn rights_check_split_roundtrip() {
+        let b = Block56::from_rights_check(0xA5, 0x123456789ABC);
+        assert_eq!(b.into_rights_check(), (0xA5, 0x123456789ABC));
+    }
+
+    #[test]
+    fn encrypt_changes_value_and_decrypt_restores() {
+        let cipher = Feistel56::new(7);
+        let p = Block56::new(0x0102_0304_0506).unwrap();
+        let c = cipher.encrypt(p);
+        assert_ne!(c, p);
+        assert_eq!(cipher.decrypt(c), p);
+    }
+
+    #[test]
+    fn avalanche_flipping_one_rights_bit_changes_many_output_bits() {
+        let cipher = Feistel56::new(0x1234);
+        let a = Block56::from_rights_check(0b0000_0001, 0);
+        let b = Block56::from_rights_check(0b0000_0011, 0);
+        let diff = (cipher.encrypt(a).value() ^ cipher.encrypt(b).value()).count_ones();
+        // Thorough mixing: expect ~28 differing bits; require at least 10.
+        assert!(diff >= 10, "only {diff} bits differ — cipher is not mixing");
+    }
+
+    #[test]
+    fn xor_cipher_demonstrates_the_papers_warning() {
+        // With the XOR "cipher", flipping a rights bit in the ciphertext
+        // flips exactly that bit in the plaintext: the known constant is
+        // untouched and the forgery would validate.
+        let cipher = XorCipher::new(0xCAFE_BABE_F00D);
+        let genuine = Block56::from_rights_check(0xFF, 0); // constant = 0
+        let ct = cipher.encrypt(genuine);
+        let tampered_ct = Block56::truncate(ct.value() ^ (1 << 48)); // flip rights bit 0
+        let (rights, constant) = cipher.decrypt(tampered_ct).into_rights_check();
+        assert_eq!(constant, 0, "constant must survive — that is the attack");
+        assert_eq!(rights, 0xFE);
+    }
+
+    #[test]
+    fn feistel_defeats_the_xor_attack() {
+        let cipher = Feistel56::new(0xCAFE_BABE_F00D);
+        let genuine = Block56::from_rights_check(0xFF, 0);
+        let ct = cipher.encrypt(genuine);
+        let tampered_ct = Block56::truncate(ct.value() ^ (1 << 48));
+        let (_, constant) = cipher.decrypt(tampered_ct).into_rights_check();
+        assert_ne!(constant, 0, "tampering must destroy the known constant");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(key: u64, v in 0u64..=MASK56) {
+            let cipher = Feistel56::new(key);
+            let b = Block56::new(v).unwrap();
+            prop_assert_eq!(cipher.decrypt(cipher.encrypt(b)), b);
+        }
+
+        #[test]
+        fn permutation(key: u64, v1 in 0u64..=MASK56, v2 in 0u64..=MASK56) {
+            if v1 != v2 {
+                let cipher = Feistel56::new(key);
+                prop_assert_ne!(
+                    cipher.encrypt(Block56::new(v1).unwrap()),
+                    cipher.encrypt(Block56::new(v2).unwrap())
+                );
+            }
+        }
+
+        #[test]
+        fn output_stays_in_56_bits(key: u64, v in 0u64..=MASK56) {
+            let cipher = Feistel56::new(key);
+            prop_assert!(cipher.encrypt(Block56::new(v).unwrap()).value() <= MASK56);
+        }
+
+        #[test]
+        fn ciphertext_tampering_corrupts_constant(key: u64, rights: u8, bit in 0u32..56) {
+            // For any key and rights byte, flipping any single ciphertext
+            // bit must disturb the known constant (48 zero bits) on
+            // decryption. A 2^-48 accident is possible in principle but
+            // will not occur in practice.
+            let cipher = Feistel56::new(key);
+            let ct = cipher.encrypt(Block56::from_rights_check(rights, 0));
+            let tampered = Block56::truncate(ct.value() ^ (1 << bit));
+            let (_, constant) = cipher.decrypt(tampered).into_rights_check();
+            prop_assert_ne!(constant, 0);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Modular arithmetic over `u64` moduli, used by the [Purdy
+//! polynomial](crate::purdy), the [commutative one-way
+//! functions](crate::commutative) and [small RSA](crate::rsa).
+//!
+//! All routines use `u128` intermediates, so they are exact for any
+//! modulus that fits in 64 bits.
+
+/// Multiplies `a * b mod m` without overflow.
+///
+/// # Example
+/// ```
+/// assert_eq!(amoeba_crypto::modmath::mul_mod(u64::MAX - 1, 2, u64::MAX), u64::MAX - 2);
+/// ```
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Adds `a + b mod m` without overflow.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 + b as u128) % m as u128) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+///
+/// `pow_mod(x, 0, m)` is `1 % m` for any `x`, matching the mathematical
+/// convention `x^0 = 1`.
+///
+/// # Panics
+/// Panics if `m == 0`.
+///
+/// # Example
+/// ```
+/// // Fermat: 2^(p-1) = 1 mod p for prime p.
+/// assert_eq!(amoeba_crypto::modmath::pow_mod(2, 1_000_000_006, 1_000_000_007), 1);
+/// ```
+pub fn pow_mod(base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut base = base % m;
+    let mut acc: u64 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Computes the greatest common divisor of `a` and `b`.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Computes the modular inverse of `a` modulo `m`, if it exists.
+///
+/// Returns `None` when `gcd(a, m) != 1`.
+///
+/// # Example
+/// ```
+/// use amoeba_crypto::modmath::{inv_mod, mul_mod};
+/// let inv = inv_mod(3, 7).unwrap();
+/// assert_eq!(mul_mod(3, inv, 7), 1);
+/// assert!(inv_mod(2, 4).is_none());
+/// ```
+pub fn inv_mod(a: u64, m: u64) -> Option<u64> {
+    // Extended Euclid over signed 128-bit intermediates.
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        let tmp_r = old_r - q * r;
+        old_r = r;
+        r = tmp_r;
+        let tmp_s = old_s - q * s;
+        old_s = s;
+        s = tmp_s;
+    }
+    if old_r != 1 {
+        return None;
+    }
+    let m_i = m as i128;
+    Some(((old_s % m_i + m_i) % m_i) as u64)
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the fixed witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31,
+/// 37}` which is known to be sufficient for every 64-bit integer.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Returns the smallest prime `>= n` (wrapping is impossible for inputs
+/// below the largest 64-bit prime, which is all we ever use).
+pub fn next_prime(mut n: u64) -> u64 {
+    if n <= 2 {
+        return 2;
+    }
+    if n % 2 == 0 {
+        n += 1;
+    }
+    while !is_prime(n) {
+        n += 2;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10, 1_000_000), 1024);
+        assert_eq!(pow_mod(0, 0, 7), 1);
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(5, 1, 7), 5);
+        assert_eq!(pow_mod(5, 3, 7), 125 % 7);
+        assert_eq!(pow_mod(123, 456, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be nonzero")]
+    fn pow_mod_zero_modulus_panics() {
+        pow_mod(2, 2, 0);
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 13), 1);
+    }
+
+    #[test]
+    fn inv_mod_cases() {
+        assert_eq!(inv_mod(1, 2), Some(1));
+        assert_eq!(inv_mod(3, 7), Some(5));
+        assert_eq!(inv_mod(10, 17), Some(12));
+        assert_eq!(inv_mod(6, 9), None);
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let primes = [2u64, 3, 5, 7, 61, 2_147_483_647, 0x1FFF_FFFF_FFFF_FFFF];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        // 2^61 - 1 is a Mersenne prime.
+        assert!(is_prime((1u64 << 61) - 1));
+        let composites = [0u64, 1, 4, 561, 1_373_653, 25_326_001, 3_215_031_751];
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn next_prime_cases() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(3), 3);
+        assert_eq!(next_prime(4), 5);
+        assert_eq!(next_prime(90), 97);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_mod_matches_u128(a: u64, b: u64, m in 1u64..) {
+            prop_assert_eq!(mul_mod(a, b, m) as u128, (a as u128 * b as u128) % m as u128);
+        }
+
+        #[test]
+        fn pow_mod_matches_iterated_multiplication(base: u64, exp in 0u64..64, m in 2u64..) {
+            let mut acc = 1u64;
+            for _ in 0..exp {
+                acc = mul_mod(acc, base % m, m);
+            }
+            prop_assert_eq!(pow_mod(base, exp, m), acc);
+        }
+
+        #[test]
+        fn inverse_really_inverts(a in 1u64.., m in 2u64..) {
+            if let Some(inv) = inv_mod(a % m, m) {
+                prop_assert_eq!(mul_mod(a % m, inv, m), 1);
+            } else {
+                prop_assert!(gcd(a % m, m) != 1);
+            }
+        }
+
+        #[test]
+        fn fermat_holds_for_next_prime(n in 3u64..1u64 << 40, a in 2u64..1000) {
+            let p = next_prime(n);
+            if a % p != 0 {
+                prop_assert_eq!(pow_mod(a, p - 1, p), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! A from-scratch implementation of SHA-256 (FIPS 180-4).
+//!
+//! SHA-256 is the workhorse behind the modern [`ShaOneWay`] port
+//! function, the round function of the [56-bit Feistel
+//! cipher](crate::feistel), and key derivation in the
+//! [software-protection key matrix](crate::des). It is verified against
+//! the FIPS 180-4 / NIST test vectors in this module's tests.
+//!
+//! [`ShaOneWay`]: crate::oneway::ShaOneWay
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_crypto::sha256::Sha256;
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(digest[0], 0xba);
+//! assert_eq!(Sha256::hex(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+//! ```
+
+/// Streaming SHA-256 hasher.
+///
+/// Construct with [`Sha256::new`], feed data with [`Sha256::update`], and
+/// finish with [`Sha256::finalize`]. For one-shot hashing use
+/// [`Sha256::digest`].
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher in the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(input.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
+            self.buffer_len += take;
+            input = &input[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffer_len = input.len();
+        }
+    }
+
+    /// Completes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian length.
+        self.update_padding();
+        let mut length = [0u8; 8];
+        length.copy_from_slice(&bit_len.to_be_bytes());
+        self.buffer[56..64].copy_from_slice(&length);
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn update_padding(&mut self) {
+        self.buffer[self.buffer_len] = 0x80;
+        for b in &mut self.buffer[self.buffer_len + 1..] {
+            *b = 0;
+        }
+        if self.buffer_len + 1 > 56 {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffer = [0u8; 64];
+        }
+        self.buffer_len = 0;
+    }
+
+    /// One-shot convenience: hashes `data` and returns the digest.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Hashes `data` and returns the first 8 bytes as a big-endian `u64`.
+    ///
+    /// This is the building block for the port-sized one-way functions.
+    pub fn digest_u64(data: &[u8]) -> u64 {
+        let d = Self::digest(data);
+        u64::from_be_bytes(d[..8].try_into().expect("8-byte slice"))
+    }
+
+    /// Renders a digest as lowercase hex, for tests and debugging.
+    pub fn hex(digest: &[u8; 32]) -> String {
+        let mut s = String::with_capacity(64);
+        for b in digest {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[track_caller]
+    fn assert_digest(input: &[u8], expected_hex: &str) {
+        assert_eq!(Sha256::hex(&Sha256::digest(input)), expected_hex);
+    }
+
+    #[test]
+    fn nist_vector_empty() {
+        assert_digest(
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        );
+    }
+
+    #[test]
+    fn nist_vector_abc() {
+        assert_digest(
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        );
+    }
+
+    #[test]
+    fn nist_vector_448_bits() {
+        assert_digest(
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        );
+    }
+
+    #[test]
+    fn nist_vector_896_bits() {
+        assert_digest(
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        );
+    }
+
+    #[test]
+    fn nist_vector_million_a() {
+        let input = vec![b'a'; 1_000_000];
+        let digest = Sha256::digest(&input);
+        assert_eq!(
+            Sha256::hex(&digest),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn nist_monte_carlo_checkpoint() {
+        // The SHAVS Monte Carlo construction: seed, then
+        // MD[i] = SHA256(MD[i-3] || MD[i-2] || MD[i-1]) for 1000 rounds
+        // per checkpoint. Rather than carrying the full NIST response
+        // file, we assert the *self-consistency* property the MCT
+        // exercises (long dependent chains hit every compression-path
+        // corner) plus determinism of the final state.
+        let seed = Sha256::digest(b"amoeba mct seed");
+        let mut md = [seed, seed, seed];
+        for _ in 0..1000 {
+            let mut h = Sha256::new();
+            h.update(&md[0]);
+            h.update(&md[1]);
+            h.update(&md[2]);
+            let next = h.finalize();
+            md = [md[1], md[2], next];
+        }
+        // Two independent replays agree bit for bit.
+        let mut md2 = [seed, seed, seed];
+        for _ in 0..1000 {
+            let mut h = Sha256::new();
+            h.update(&md2[0]);
+            h.update(&md2[1]);
+            h.update(&md2[2]);
+            let next = h.finalize();
+            md2 = [md2[1], md2[2], next];
+        }
+        assert_eq!(md, md2);
+        // And the chain did not collapse to a fixed point.
+        assert_ne!(md[2], seed);
+        assert_ne!(md[2], md[1]);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_for_odd_chunking() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let one_shot = Sha256::digest(&data);
+        for chunk in [1usize, 3, 7, 63, 64, 65, 127, 999] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), one_shot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths_hash_without_panic() {
+        // 55/56/63/64 bytes straddle the padding boundaries.
+        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xAB; len];
+            let d1 = Sha256::digest(&data);
+            let d2 = Sha256::digest(&data);
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn digest_u64_is_prefix_of_digest() {
+        let d = Sha256::digest(b"amoeba");
+        let x = Sha256::digest_u64(b"amoeba");
+        assert_eq!(x.to_be_bytes(), d[..8]);
+    }
+
+    proptest! {
+        #[test]
+        fn split_point_never_matters(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+            let split = split.min(data.len());
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        }
+
+        #[test]
+        fn distinct_short_inputs_do_not_collide(a in proptest::collection::vec(any::<u8>(), 0..32),
+                                                b in proptest::collection::vec(any::<u8>(), 0..32)) {
+            if a != b {
+                prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,548 @@
+//! The Amoeba **directory server** (§3.4).
+//!
+//! "The directory server manages directories, each of which is a set of
+//! (ASCII name, capability) pairs." Lookup takes a directory capability
+//! and a name and returns the stored capability — which may name a file
+//! on any server, or a directory **managed by a different directory
+//! server**: "Unless the client compared the SERVER fields in the two
+//! capabilities, it wouldn't even notice that succeeding requests were
+//! going to different servers. The distribution is completely
+//! transparent."
+//!
+//! [`DirClient::walk`] implements exactly that client-side path walk:
+//! each step routes to the port in the capability returned by the
+//! previous step.
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_cap::schemes::SchemeKind;
+//! use amoeba_dirsvr::{DirClient, DirServer};
+//! use amoeba_net::Network;
+//! use amoeba_server::ServiceRunner;
+//!
+//! let net = Network::new();
+//! let runner = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+//! let dirs = DirClient::open(&net, runner.put_port());
+//!
+//! let root = dirs.create_dir().unwrap();
+//! let home = dirs.create_dir().unwrap();
+//! dirs.enter(&root, "home", &home).unwrap();
+//! let found = dirs.lookup(&root, "home").unwrap();
+//! assert_eq!(found.object, home.object);
+//! runner.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::{Capability, Rights};
+use amoeba_net::{Network, Port};
+use amoeba_server::proto::{Reply, Request, Status};
+use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Directory-server operation codes.
+pub mod ops {
+    /// Create an empty directory; anonymous. Reply: capability.
+    pub const CREATE: u32 = 1;
+    /// Look up a name (requires READ). Params: `str`. Reply: capability.
+    pub const LOOKUP: u32 = 2;
+    /// Enter a (name, capability) pair (requires WRITE). Params: `str`,
+    /// `cap`. `Conflict` if the name exists.
+    pub const ENTER: u32 = 3;
+    /// Remove an entry (requires WRITE). Params: `str`.
+    pub const REMOVE: u32 = 4;
+    /// List names (requires READ). Reply: `u32 n`, then n `str`s.
+    pub const LIST: u32 = 5;
+    /// Delete the (empty) directory (requires DELETE). `Conflict` if
+    /// not empty.
+    pub const DELETE_DIR: u32 = 6;
+    /// Rename an entry (requires WRITE). Params: `str from`, `str to`.
+    /// `NotFound` if `from` is absent, `Conflict` if `to` exists.
+    pub const RENAME: u32 = 7;
+}
+
+type Directory = BTreeMap<String, Capability>;
+
+/// The directory server.
+#[derive(Debug)]
+pub struct DirServer {
+    table: ObjectTable<Directory>,
+}
+
+impl DirServer {
+    /// A server with no directories yet.
+    pub fn new(scheme: SchemeKind) -> DirServer {
+        DirServer {
+            table: ObjectTable::unbound(scheme.instantiate()),
+        }
+    }
+
+    fn lookup(&self, req: &Request) -> Reply {
+        let Some(name) = wire::Reader::new(&req.params).str() else {
+            return Reply::status(Status::BadRequest);
+        };
+        match self
+            .table
+            .with_object(&req.cap, Rights::READ, |d| d.get(&name).copied())
+        {
+            Ok(Some(cap)) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
+            Ok(None) => Reply::status(Status::NotFound),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn enter(&self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(name), Some(cap)) = (r.str(), r.cap()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        if name.is_empty() || name.contains('/') {
+            return Reply::status(Status::BadRequest);
+        }
+        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |d| {
+            if d.contains_key(&name) {
+                false
+            } else {
+                d.insert(name.clone(), cap);
+                true
+            }
+        });
+        match result {
+            Ok(true) => Reply::ok(Bytes::new()),
+            Ok(false) => Reply::status(Status::Conflict),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn remove(&self, req: &Request) -> Reply {
+        let Some(name) = wire::Reader::new(&req.params).str() else {
+            return Reply::status(Status::BadRequest);
+        };
+        match self
+            .table
+            .with_object_mut(&req.cap, Rights::WRITE, |d| d.remove(&name).is_some())
+        {
+            Ok(true) => Reply::ok(Bytes::new()),
+            Ok(false) => Reply::status(Status::NotFound),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn list(&self, req: &Request) -> Reply {
+        match self.table.with_object(&req.cap, Rights::READ, |d| {
+            let mut w = wire::Writer::new().u32(d.len() as u32);
+            for name in d.keys() {
+                w = w.str(name);
+            }
+            w.finish()
+        }) {
+            Ok(body) => Reply::ok(body),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn rename(&self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(from), Some(to)) = (r.str(), r.str()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        if to.is_empty() || to.contains('/') {
+            return Reply::status(Status::BadRequest);
+        }
+        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |d| {
+            if from == to {
+                return if d.contains_key(&from) {
+                    Ok(())
+                } else {
+                    Err(Status::NotFound)
+                };
+            }
+            if d.contains_key(&to) {
+                return Err(Status::Conflict);
+            }
+            match d.remove(&from) {
+                Some(cap) => {
+                    d.insert(to.clone(), cap);
+                    Ok(())
+                }
+                None => Err(Status::NotFound),
+            }
+        });
+        match result {
+            Ok(Ok(())) => Reply::ok(Bytes::new()),
+            Ok(Err(status)) => Reply::status(status),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn delete_dir(&self, req: &Request) -> Reply {
+        // Refuse to delete non-empty directories.
+        match self
+            .table
+            .with_object(&req.cap, Rights::DELETE, |d| d.is_empty())
+        {
+            Ok(false) => return Reply::status(Status::Conflict),
+            Ok(true) => {}
+            Err(e) => return Reply::status(e.into()),
+        }
+        match self.table.delete(&req.cap, Rights::DELETE) {
+            Ok(_) => Reply::ok(Bytes::new()),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+}
+
+impl Service for DirServer {
+    fn bind(&mut self, put_port: Port) {
+        self.table.set_port(put_port);
+    }
+
+    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+        if let Some(reply) = self.table.handle_std(req) {
+            return reply;
+        }
+        match req.command {
+            ops::CREATE => {
+                let (_, cap) = self.table.create(Directory::new());
+                Reply::ok(wire::Writer::new().cap(&cap).finish())
+            }
+            ops::LOOKUP => self.lookup(req),
+            ops::ENTER => self.enter(req),
+            ops::REMOVE => self.remove(req),
+            ops::LIST => self.list(req),
+            ops::DELETE_DIR => self.delete_dir(req),
+            ops::RENAME => self.rename(req),
+            _ => Reply::status(Status::BadCommand),
+        }
+    }
+}
+
+/// A typed client for directory servers.
+///
+/// Note the client is *not* bound to one server: every operation routes
+/// to the port inside the directory capability, so a path walk hops
+/// between servers transparently.
+#[derive(Debug)]
+pub struct DirClient {
+    svc: ServiceClient,
+    default_port: Port,
+}
+
+impl DirClient {
+    /// A client on a fresh open-interface machine. `default_port` is
+    /// only used for [`create_dir`](Self::create_dir), which has no
+    /// capability to route by.
+    pub fn open(net: &Network, default_port: Port) -> DirClient {
+        DirClient {
+            svc: ServiceClient::open(net),
+            default_port,
+        }
+    }
+
+    /// A client over an existing [`ServiceClient`].
+    pub fn with_service(svc: ServiceClient, default_port: Port) -> DirClient {
+        DirClient { svc, default_port }
+    }
+
+    /// Creates an empty directory on the default server.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn create_dir(&self) -> Result<Capability, ClientError> {
+        self.create_dir_on(self.default_port)
+    }
+
+    /// Creates an empty directory on an explicit server.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn create_dir_on(&self, port: Port) -> Result<Capability, ClientError> {
+        let body = self.svc.call_anonymous(port, ops::CREATE, Bytes::new())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Looks `name` up in `dir` (routed to `dir.port`).
+    ///
+    /// # Errors
+    /// `NotFound`, rights/validation errors.
+    pub fn lookup(&self, dir: &Capability, name: &str) -> Result<Capability, ClientError> {
+        let body = self
+            .svc
+            .call(dir, ops::LOOKUP, wire::Writer::new().str(name).finish())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Enters `(name, cap)` into `dir`.
+    ///
+    /// # Errors
+    /// `Conflict` if the name exists; rights/validation errors.
+    pub fn enter(&self, dir: &Capability, name: &str, cap: &Capability) -> Result<(), ClientError> {
+        self.svc.call(
+            dir,
+            ops::ENTER,
+            wire::Writer::new().str(name).cap(cap).finish(),
+        )?;
+        Ok(())
+    }
+
+    /// Removes `name` from `dir`.
+    ///
+    /// # Errors
+    /// `NotFound`; rights/validation errors.
+    pub fn remove(&self, dir: &Capability, name: &str) -> Result<(), ClientError> {
+        self.svc
+            .call(dir, ops::REMOVE, wire::Writer::new().str(name).finish())?;
+        Ok(())
+    }
+
+    /// Lists the names in `dir`.
+    ///
+    /// # Errors
+    /// Rights/validation errors.
+    pub fn list(&self, dir: &Capability) -> Result<Vec<String>, ClientError> {
+        let body = self.svc.call(dir, ops::LIST, Bytes::new())?;
+        let mut r = wire::Reader::new(&body);
+        let n = r.u32().ok_or(ClientError::Malformed)?;
+        let mut names = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            names.push(r.str().ok_or(ClientError::Malformed)?);
+        }
+        Ok(names)
+    }
+
+    /// Renames `from` to `to` within `dir`.
+    ///
+    /// # Errors
+    /// `NotFound` if `from` is absent, `Conflict` if `to` exists;
+    /// rights/validation errors.
+    pub fn rename(&self, dir: &Capability, from: &str, to: &str) -> Result<(), ClientError> {
+        self.svc.call(
+            dir,
+            ops::RENAME,
+            wire::Writer::new().str(from).str(to).finish(),
+        )?;
+        Ok(())
+    }
+
+    /// Deletes an empty directory.
+    ///
+    /// # Errors
+    /// `Conflict` if non-empty; rights/validation errors.
+    pub fn delete_dir(&self, dir: &Capability) -> Result<(), ClientError> {
+        self.svc.call(dir, ops::DELETE_DIR, Bytes::new())?;
+        Ok(())
+    }
+
+    /// Walks a `/`-separated path from `root`, hopping servers as the
+    /// stored capabilities dictate (§3.4's `a/b/c` example). Empty
+    /// segments are ignored, so `"a//b/"` equals `"a/b"`.
+    ///
+    /// # Errors
+    /// `NotFound` at the failing segment; rights/validation errors.
+    pub fn walk(&self, root: &Capability, path: &str) -> Result<Capability, ClientError> {
+        let mut current = *root;
+        for segment in path.split('/').filter(|s| !s.is_empty()) {
+            current = self.lookup(&current, segment)?;
+        }
+        Ok(current)
+    }
+
+    /// Access to the generic capability operations.
+    pub fn service(&self) -> &ServiceClient {
+        &self.svc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_server::ServiceRunner;
+
+    fn setup() -> (Network, ServiceRunner, DirClient) {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+        let client = DirClient::open(&net, runner.put_port());
+        (net, runner, client)
+    }
+
+    #[test]
+    fn enter_lookup_remove() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let target = dirs.create_dir().unwrap();
+        dirs.enter(&d, "x", &target).unwrap();
+        assert_eq!(dirs.lookup(&d, "x").unwrap(), target);
+        dirs.remove(&d, "x").unwrap();
+        assert_eq!(
+            dirs.lookup(&d, "x").unwrap_err(),
+            ClientError::Status(Status::NotFound)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn duplicate_names_conflict() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let t = dirs.create_dir().unwrap();
+        dirs.enter(&d, "x", &t).unwrap();
+        assert_eq!(
+            dirs.enter(&d, "x", &t).unwrap_err(),
+            ClientError::Status(Status::Conflict)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let t = dirs.create_dir().unwrap();
+        assert_eq!(
+            dirs.enter(&d, "", &t).unwrap_err(),
+            ClientError::Status(Status::BadRequest)
+        );
+        assert_eq!(
+            dirs.enter(&d, "a/b", &t).unwrap_err(),
+            ClientError::Status(Status::BadRequest)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let t = dirs.create_dir().unwrap();
+        for name in ["zebra", "alpha", "mid"] {
+            dirs.enter(&d, name, &t).unwrap();
+        }
+        assert_eq!(dirs.list(&d).unwrap(), vec!["alpha", "mid", "zebra"]);
+        runner.stop();
+    }
+
+    #[test]
+    fn read_only_directory_cannot_be_modified() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let t = dirs.create_dir().unwrap();
+        dirs.enter(&d, "x", &t).unwrap();
+        let ro = dirs.service().restrict(&d, Rights::READ).unwrap();
+        assert!(dirs.lookup(&ro, "x").is_ok());
+        assert_eq!(
+            dirs.enter(&ro, "y", &t).unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        assert_eq!(
+            dirs.remove(&ro, "x").unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn delete_requires_empty() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let t = dirs.create_dir().unwrap();
+        dirs.enter(&d, "x", &t).unwrap();
+        assert_eq!(
+            dirs.delete_dir(&d).unwrap_err(),
+            ClientError::Status(Status::Conflict)
+        );
+        dirs.remove(&d, "x").unwrap();
+        dirs.delete_dir(&d).unwrap();
+        runner.stop();
+    }
+
+    #[test]
+    fn rename_entry() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let t = dirs.create_dir().unwrap();
+        dirs.enter(&d, "old", &t).unwrap();
+        dirs.rename(&d, "old", "new").unwrap();
+        assert_eq!(dirs.lookup(&d, "new").unwrap(), t);
+        assert_eq!(
+            dirs.lookup(&d, "old").unwrap_err(),
+            ClientError::Status(Status::NotFound)
+        );
+        // Renaming onto an existing name conflicts.
+        let u = dirs.create_dir().unwrap();
+        dirs.enter(&d, "other", &u).unwrap();
+        assert_eq!(
+            dirs.rename(&d, "new", "other").unwrap_err(),
+            ClientError::Status(Status::Conflict)
+        );
+        // Renaming a missing entry: NotFound.
+        assert_eq!(
+            dirs.rename(&d, "ghost", "x").unwrap_err(),
+            ClientError::Status(Status::NotFound)
+        );
+        // Self-rename of an existing entry is a no-op.
+        dirs.rename(&d, "new", "new").unwrap();
+        assert_eq!(dirs.lookup(&d, "new").unwrap(), t);
+        runner.stop();
+    }
+
+    #[test]
+    fn rename_requires_write() {
+        let (_n, runner, dirs) = setup();
+        let d = dirs.create_dir().unwrap();
+        let t = dirs.create_dir().unwrap();
+        dirs.enter(&d, "a", &t).unwrap();
+        let ro = dirs.service().restrict(&d, Rights::READ).unwrap();
+        assert_eq!(
+            dirs.rename(&ro, "a", "b").unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn walk_within_one_server() {
+        let (_n, runner, dirs) = setup();
+        let root = dirs.create_dir().unwrap();
+        let a = dirs.create_dir().unwrap();
+        let b = dirs.create_dir().unwrap();
+        let c = dirs.create_dir().unwrap();
+        dirs.enter(&root, "a", &a).unwrap();
+        dirs.enter(&a, "b", &b).unwrap();
+        dirs.enter(&b, "c", &c).unwrap();
+        assert_eq!(dirs.walk(&root, "a/b/c").unwrap(), c);
+        assert_eq!(dirs.walk(&root, "/a//b/c/").unwrap(), c, "empty segments");
+        assert_eq!(dirs.walk(&root, "").unwrap(), root);
+        assert_eq!(
+            dirs.walk(&root, "a/missing/c").unwrap_err(),
+            ClientError::Status(Status::NotFound)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn walk_across_two_directory_servers_is_transparent() {
+        // The §3.4 scenario: "b" lives on a different directory server;
+        // the client never notices.
+        let net = Network::new();
+        let runner1 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::OneWay));
+        let runner2 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+        let dirs = DirClient::open(&net, runner1.put_port());
+
+        let root = dirs.create_dir_on(runner1.put_port()).unwrap(); // server 1
+        let a = dirs.create_dir_on(runner2.put_port()).unwrap(); // server 2!
+        let b = dirs.create_dir_on(runner2.put_port()).unwrap();
+        dirs.enter(&root, "a", &a).unwrap();
+        dirs.enter(&a, "b", &b).unwrap();
+
+        let found = dirs.walk(&root, "a/b").unwrap();
+        assert_eq!(found, b);
+        // The hop really did cross servers.
+        assert_ne!(root.port, found.port);
+        runner1.stop();
+        runner2.stop();
+    }
+}

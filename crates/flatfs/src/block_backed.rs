@@ -1,0 +1,302 @@
+//! The *modular* flat file server of §3.2–3.3: file bytes live in
+//! **block-server blocks**, not in the file server's memory.
+//!
+//! "The first file system is highly modular, consisting of a block
+//! server, flat file server, and directory server." This implementation
+//! completes that stack: it speaks the exact same wire protocol as
+//! [`FlatFsServer`](crate::FlatFsServer) (one [`FlatFsClient`] works
+//! against both), but every byte of file data is stored in raw blocks
+//! it allocates, as a client, from a block server — which is what lets
+//! "any user implement any kind of special-purpose file system without
+//! having to get into the details of disk storage management".
+//!
+//! The in-memory [`FlatFsServer`](crate::FlatFsServer) and this one are
+//! an ablation pair: bench `fileserver_paths` can be pointed at either
+//! to price the extra block-server hop.
+//!
+//! [`FlatFsClient`]: crate::FlatFsClient
+
+use crate::ops;
+use amoeba_block::BlockClient;
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::{Capability, Rights};
+use amoeba_net::{Network, Port};
+use amoeba_server::proto::{Reply, Request, Status};
+use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service};
+use bytes::Bytes;
+
+#[derive(Debug)]
+struct Inode {
+    size: u64,
+    /// Full-rights block capabilities, private to this server.
+    blocks: Vec<Capability>,
+}
+
+/// A flat file server whose storage is a block server.
+#[derive(Debug)]
+pub struct BlockFlatFsServer {
+    table: ObjectTable<Inode>,
+    disk: BlockClient,
+    block_size: u64,
+}
+
+impl BlockFlatFsServer {
+    /// Creates the server as a client of the block server at
+    /// `disk_port`.
+    ///
+    /// # Panics
+    /// Panics if the block server cannot be reached to learn its
+    /// geometry.
+    pub fn new(net: &Network, disk_port: Port, scheme: SchemeKind) -> BlockFlatFsServer {
+        let disk = BlockClient::open(net, disk_port);
+        let block_size = disk
+            .statfs()
+            .expect("block server must be reachable at construction")
+            .block_size as u64;
+        BlockFlatFsServer {
+            table: ObjectTable::unbound(scheme.instantiate()),
+            disk,
+            block_size,
+        }
+    }
+
+    fn create(&mut self) -> Reply {
+        let (_, cap) = self.table.create(Inode {
+            size: 0,
+            blocks: Vec::new(),
+        });
+        Reply::ok(wire::Writer::new().cap(&cap).finish())
+    }
+
+    fn read(&self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(offset), Some(len)) = (r.u64(), r.u32()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        let meta = self
+            .table
+            .with_object(&req.cap, Rights::READ, |f| (f.size, f.blocks.clone()));
+        let (size, blocks) = match meta {
+            Ok(m) => m,
+            Err(e) => return Reply::status(e.into()),
+        };
+        let start = offset.min(size);
+        let end = offset.saturating_add(len as u64).min(size);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        let bs = self.block_size;
+        let mut pos = start;
+        while pos < end {
+            let idx = (pos / bs) as usize;
+            let within = (pos % bs) as u32;
+            let take = ((bs - within as u64).min(end - pos)) as u32;
+            match self.disk.read(&blocks[idx], within, take) {
+                Ok(data) => out.extend_from_slice(&data),
+                Err(ClientError::Status(s)) => return Reply::status(s),
+                Err(_) => return Reply::status(Status::NoSpace),
+            }
+            pos += take as u64;
+        }
+        Reply::ok(Bytes::from(out))
+    }
+
+    fn write(&mut self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(offset), Some(data)) = (r.u64(), r.bytes()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        let meta = self
+            .table
+            .with_object(&req.cap, Rights::WRITE, |f| (f.size, f.blocks.clone()));
+        let (old_size, mut blocks) = match meta {
+            Ok(m) => m,
+            Err(e) => return Reply::status(e.into()),
+        };
+        let bs = self.block_size;
+        let Some(end) = offset.checked_add(data.len() as u64) else {
+            return Reply::status(Status::OutOfRange);
+        };
+        let needed = end.div_ceil(bs) as usize;
+        while blocks.len() < needed {
+            match self.disk.alloc() {
+                Ok(cap) => blocks.push(cap),
+                Err(ClientError::Status(s)) => return Reply::status(s),
+                Err(_) => return Reply::status(Status::NoSpace),
+            }
+        }
+        let mut pos = offset;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let idx = (pos / bs) as usize;
+            let within = (pos % bs) as u32;
+            let take = ((bs - within as u64) as usize).min(remaining.len());
+            if let Err(e) = self.disk.write(&blocks[idx], within, &remaining[..take]) {
+                return Reply::status(match e {
+                    ClientError::Status(s) => s,
+                    _ => Status::NoSpace,
+                });
+            }
+            pos += take as u64;
+            remaining = &remaining[take..];
+        }
+        let new_size = old_size.max(end);
+        match self.table.with_object_mut(&req.cap, Rights::WRITE, |f| {
+            f.size = new_size;
+            f.blocks = blocks.clone();
+        }) {
+            Ok(()) => Reply::ok(wire::Writer::new().u64(new_size).finish()),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn size(&self, req: &Request) -> Reply {
+        match self.table.with_object(&req.cap, Rights::READ, |f| f.size) {
+            Ok(s) => Reply::ok(wire::Writer::new().u64(s).finish()),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn destroy(&mut self, req: &Request) -> Reply {
+        match self.table.delete(&req.cap, Rights::DELETE) {
+            Ok(inode) => {
+                for b in inode.blocks {
+                    let _ = self.disk.free(&b);
+                }
+                Reply::ok(Bytes::new())
+            }
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+}
+
+impl Service for BlockFlatFsServer {
+    fn bind(&mut self, put_port: Port) {
+        self.table.set_port(put_port);
+    }
+
+    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+        if let Some(reply) = self.table.handle_std(req) {
+            return reply;
+        }
+        match req.command {
+            ops::CREATE => self.create(),
+            ops::DESTROY => self.destroy(req),
+            ops::READ => self.read(req),
+            ops::WRITE => self.write(req),
+            ops::SIZE => self.size(req),
+            _ => Reply::status(Status::BadCommand),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatFsClient;
+    use amoeba_block::{BlockServer, DiskConfig};
+    use amoeba_server::ServiceRunner;
+
+    fn setup(cfg: DiskConfig) -> (Network, ServiceRunner, ServiceRunner, FlatFsClient) {
+        let net = Network::new();
+        let disk = ServiceRunner::spawn_open(&net, BlockServer::new(cfg, SchemeKind::OneWay));
+        let server = BlockFlatFsServer::new(&net, disk.put_port(), SchemeKind::Commutative);
+        let fs_runner = ServiceRunner::spawn_open(&net, server);
+        let client = FlatFsClient::open(&net, fs_runner.put_port());
+        (net, disk, fs_runner, client)
+    }
+
+    fn small() -> DiskConfig {
+        DiskConfig {
+            block_size: 128,
+            capacity_blocks: 32,
+        }
+    }
+
+    #[test]
+    fn same_client_same_protocol_block_backed_storage() {
+        // The ordinary FlatFsClient drives the modular server untouched.
+        let (_n, disk, fsr, fs) = setup(small());
+        let cap = fs.create().unwrap();
+        fs.write(&cap, 0, b"modular file system").unwrap();
+        assert_eq!(&fs.read(&cap, 8, 4).unwrap(), b"file");
+        assert_eq!(fs.size(&cap).unwrap(), 19);
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn data_really_lives_on_the_block_server() {
+        let (net, disk, fsr, fs) = setup(small());
+        let stats = BlockClient::open(&net, disk.put_port());
+        assert_eq!(stats.statfs().unwrap().allocated_blocks, 0);
+        let cap = fs.create().unwrap();
+        fs.write(&cap, 0, &vec![3u8; 300]).unwrap(); // 3 × 128B blocks
+        assert_eq!(stats.statfs().unwrap().allocated_blocks, 3);
+        fs.destroy(&cap).unwrap();
+        assert_eq!(
+            stats.statfs().unwrap().allocated_blocks,
+            0,
+            "destroy must return its blocks"
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn spanning_writes_and_reads() {
+        let (_n, disk, fsr, fs) = setup(small());
+        let cap = fs.create().unwrap();
+        let data: Vec<u8> = (0..=255u8).chain(0..=255u8).collect(); // 512 B, 4 blocks
+        let mut off = 0u64;
+        for chunk in data.chunks(200) {
+            fs.write(&cap, off, chunk).unwrap();
+            off += chunk.len() as u64;
+        }
+        assert_eq!(fs.read(&cap, 0, 512).unwrap(), data);
+        assert_eq!(fs.read(&cap, 120, 20).unwrap(), data[120..140]);
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn disk_exhaustion_propagates() {
+        let (_n, disk, fsr, fs) = setup(DiskConfig {
+            block_size: 64,
+            capacity_blocks: 2,
+        });
+        let cap = fs.create().unwrap();
+        fs.write(&cap, 0, &vec![1u8; 128]).unwrap();
+        assert_eq!(
+            fs.write(&cap, 128, b"x").unwrap_err(),
+            ClientError::Status(Status::NoSpace)
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn rights_still_enforced_through_the_stack() {
+        let (_n, disk, fsr, fs) = setup(small());
+        let cap = fs.create().unwrap();
+        fs.write(&cap, 0, b"layered").unwrap();
+        let ro = fs.service().restrict(&cap, Rights::READ).unwrap();
+        assert_eq!(&fs.read(&ro, 0, 7).unwrap(), b"layered");
+        assert_eq!(
+            fs.write(&ro, 0, b"x").unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn revocation_works_on_the_modular_server_too() {
+        let (_n, disk, fsr, fs) = setup(small());
+        let cap = fs.create().unwrap();
+        fs.write(&cap, 0, b"will be orphaned").unwrap();
+        let fresh = fs.service().revoke(&cap).unwrap();
+        assert!(fs.read(&cap, 0, 1).is_err());
+        assert_eq!(&fs.read(&fresh, 0, 4).unwrap(), b"will");
+        fsr.stop();
+        disk.stop();
+    }
+}

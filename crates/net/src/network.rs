@@ -1,0 +1,586 @@
+//! The broadcast-medium simulator.
+
+use crate::addr::{MachineId, Port};
+use crate::nic::{NetworkInterface, OpenNic};
+use crate::packet::{Header, Packet};
+use crate::stats::NetworkStats;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct MachineEntry {
+    sender: Sender<Packet>,
+    nic: Arc<dyn NetworkInterface>,
+}
+
+struct NetworkInner {
+    machines: RwLock<HashMap<MachineId, MachineEntry>>,
+    taps: RwLock<Vec<Sender<Packet>>>,
+    colocated: RwLock<HashSet<(MachineId, MachineId)>>,
+    partitioned: RwLock<HashSet<(MachineId, MachineId)>>,
+    next_id: AtomicU32,
+    latency: Mutex<Duration>,
+    drop_rate: Mutex<f64>,
+    rng: Mutex<StdRng>,
+    stats: NetworkStats,
+}
+
+/// A simulated broadcast network.
+///
+/// Cheap to clone (all clones share the same wire). Machines join with
+/// [`attach`](Network::attach) and talk through the returned
+/// [`Endpoint`].
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("machines", &self.inner.machines.read().len())
+            .field("latency", &*self.inner.latency.lock())
+            .finish()
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty network with zero latency and no loss.
+    pub fn new() -> Network {
+        Network {
+            inner: Arc::new(NetworkInner {
+                machines: RwLock::new(HashMap::new()),
+                taps: RwLock::new(Vec::new()),
+                colocated: RwLock::new(HashSet::new()),
+                partitioned: RwLock::new(HashSet::new()),
+                next_id: AtomicU32::new(1),
+                latency: Mutex::new(Duration::ZERO),
+                drop_rate: Mutex::new(0.0),
+                rng: Mutex::new(StdRng::seed_from_u64(0x0A11_0E8A)),
+                stats: NetworkStats::default(),
+            }),
+        }
+    }
+
+    /// Attaches a machine with the given network interface.
+    pub fn attach(&self, nic: Arc<dyn NetworkInterface>) -> Endpoint {
+        let id = MachineId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.inner.machines.write().insert(
+            id,
+            MachineEntry {
+                sender: tx,
+                nic: Arc::clone(&nic),
+            },
+        );
+        Endpoint {
+            id,
+            net: self.clone(),
+            nic,
+            receiver: rx,
+        }
+    }
+
+    /// Attaches a machine with an unprotected [`OpenNic`].
+    pub fn attach_open(&self) -> Endpoint {
+        self.attach(Arc::new(OpenNic::new()))
+    }
+
+    /// Sets the one-way delivery latency for all future packets between
+    /// non-co-located machines.
+    pub fn set_latency(&self, latency: Duration) {
+        *self.inner.latency.lock() = latency;
+    }
+
+    /// Sets the probability (0.0–1.0) that a transmitted packet is lost.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not within `[0, 1]`.
+    pub fn set_drop_rate(&self, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "drop rate must be in [0,1]");
+        *self.inner.drop_rate.lock() = rate;
+    }
+
+    /// Reseeds the loss-decision RNG, for reproducible failure injection.
+    pub fn reseed(&self, seed: u64) {
+        *self.inner.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+
+    /// Declares two machines co-located (same physical host): traffic
+    /// between them skips the network latency. Used to model local
+    /// vs remote memory-server placement (§3.1).
+    pub fn colocate(&self, a: MachineId, b: MachineId) {
+        let mut set = self.inner.colocated.write();
+        set.insert((a, b));
+        set.insert((b, a));
+    }
+
+    /// Severs the link between two machines in both directions: frames
+    /// between them silently vanish until [`heal`](Network::heal) —
+    /// failure injection for partition testing.
+    pub fn partition(&self, a: MachineId, b: MachineId) {
+        let mut set = self.inner.partitioned.write();
+        set.insert((a, b));
+        set.insert((b, a));
+    }
+
+    /// Restores the link severed by [`partition`](Network::partition).
+    pub fn heal(&self, a: MachineId, b: MachineId) {
+        let mut set = self.inner.partitioned.write();
+        set.remove(&(a, b));
+        set.remove(&(b, a));
+    }
+
+    /// Opens a promiscuous tap: the returned receiver observes every
+    /// packet on the wire, exactly what a wiretapping intruder sees.
+    pub fn tap(&self) -> Receiver<Packet> {
+        let (tx, rx) = unbounded();
+        self.inner.taps.write().push(tx);
+        rx
+    }
+
+    /// The cumulative traffic counters.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.inner.stats
+    }
+
+    /// Number of currently attached machines.
+    pub fn machine_count(&self) -> usize {
+        self.inner.machines.read().len()
+    }
+
+    /// Transmits a packet from machine `from`. Returns the number of
+    /// machines the packet was delivered to.
+    ///
+    /// The sender's interface transforms the header (unbypassable), the
+    /// network stamps the source address, and the packet is offered to
+    /// every *other* machine's interface — delivered where the interface
+    /// accepts the destination port, or everywhere for
+    /// [`Port::BROADCAST`].
+    pub(crate) fn send(&self, from: MachineId, mut header: Header, payload: Bytes) -> usize {
+        let stats = &self.inner.stats;
+        {
+            let machines = self.inner.machines.read();
+            let Some(entry) = machines.get(&from) else {
+                return 0; // detached machine
+            };
+            entry.nic.egress(&mut header);
+        }
+        stats.packets_sent.fetch_add(1, Ordering::Relaxed);
+        if header.dest.is_broadcast() {
+            stats.broadcasts_sent.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let drop_rate = *self.inner.drop_rate.lock();
+        if drop_rate > 0.0 && self.inner.rng.lock().gen::<f64>() < drop_rate {
+            stats.packets_dropped.fetch_add(1, Ordering::Relaxed);
+            return 0;
+        }
+
+        let latency = *self.inner.latency.lock();
+        let now = Instant::now();
+
+        // Intruder taps see the frame as transmitted.
+        {
+            let taps = self.inner.taps.read();
+            if !taps.is_empty() {
+                let pkt = Packet {
+                    source: from,
+                    header,
+                    payload: payload.clone(),
+                    deliver_at: now,
+                };
+                for tap in taps.iter() {
+                    let _ = tap.send(pkt.clone());
+                }
+            }
+        }
+
+        let machines = self.inner.machines.read();
+        let colocated = self.inner.colocated.read();
+        let partitioned = self.inner.partitioned.read();
+        let mut delivered = 0;
+        for (&id, entry) in machines.iter() {
+            if id == from {
+                continue; // interfaces do not hear their own frames
+            }
+            if !header.dest.is_broadcast() && !entry.nic.accepts(header.dest) {
+                stats.packets_filtered.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            // A severed link only "drops" frames the peer would actually
+            // have taken; counting filtered noise would be misleading.
+            if partitioned.contains(&(from, id)) {
+                stats.packets_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let deliver_at = if colocated.contains(&(from, id)) {
+                now
+            } else {
+                now + latency
+            };
+            let pkt = Packet {
+                source: from,
+                header,
+                payload: payload.clone(),
+                deliver_at,
+            };
+            if entry.sender.send(pkt).is_ok() {
+                delivered += 1;
+                stats.packets_delivered.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        delivered
+    }
+
+    fn detach(&self, id: MachineId) {
+        self.inner.machines.write().remove(&id);
+    }
+}
+
+/// Error returned by the blocking receive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No packet arrived within the timeout.
+    Timeout,
+    /// The endpoint is detached from the network.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "receive timed out"),
+            RecvError::Disconnected => write!(f, "endpoint detached from network"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A machine's handle onto the network.
+///
+/// Dropping the endpoint detaches the machine.
+pub struct Endpoint {
+    id: MachineId,
+    net: Network,
+    nic: Arc<dyn NetworkInterface>,
+    receiver: Receiver<Packet>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("id", &self.id).finish()
+    }
+}
+
+impl Endpoint {
+    /// This machine's (unforgeable) address.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// The network this endpoint is attached to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The machine's network interface.
+    pub fn nic(&self) -> &Arc<dyn NetworkInterface> {
+        &self.nic
+    }
+
+    /// Registers interest in `port` (a GET in the paper's terms).
+    /// Returns the wire port actually listened on — `F(port)` under an
+    /// F-box.
+    pub fn claim(&self, port: Port) -> Port {
+        self.nic.claim(port)
+    }
+
+    /// Withdraws a claim made with [`claim`](Endpoint::claim).
+    pub fn release(&self, port: Port) {
+        self.nic.release(port)
+    }
+
+    /// Transmits a packet. Returns how many machines received it.
+    pub fn send(&self, header: Header, payload: Bytes) -> usize {
+        self.net.send(self.id, header, payload)
+    }
+
+    /// Blocks until a packet arrives (waiting out simulated latency).
+    ///
+    /// # Errors
+    /// Returns [`RecvError::Disconnected`] if the endpoint has been
+    /// detached.
+    pub fn recv(&self) -> Result<Packet, RecvError> {
+        let pkt = self
+            .receiver
+            .recv()
+            .map_err(|_| RecvError::Disconnected)?;
+        wait_until(pkt.deliver_at);
+        Ok(pkt)
+    }
+
+    /// Like [`recv`](Endpoint::recv) but gives up after `timeout`.
+    ///
+    /// # Errors
+    /// [`RecvError::Timeout`] on expiry, [`RecvError::Disconnected`] if
+    /// detached.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet, RecvError> {
+        let deadline = Instant::now() + timeout;
+        let pkt = self.receiver.recv_deadline(deadline).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })?;
+        // If the packet's simulated arrival lands past the caller's
+        // deadline we still deliver it after waiting (a consumed channel
+        // message cannot be requeued); the leniency only helps callers.
+        wait_until(pkt.deliver_at);
+        Ok(pkt)
+    }
+
+    /// Non-blocking receive of an already-arrived packet.
+    pub fn try_recv(&self) -> Option<Packet> {
+        match self.receiver.try_recv() {
+            Ok(pkt) => {
+                wait_until(pkt.deliver_at);
+                Some(pkt)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+fn wait_until(instant: Instant) {
+    let now = Instant::now();
+    if instant > now {
+        std::thread::sleep(instant - now);
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.net.detach(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port(v: u64) -> Port {
+        Port::new(v).unwrap()
+    }
+
+    #[test]
+    fn unicast_delivers_only_to_claimer() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        let c = net.attach_open();
+        b.claim(port(7));
+
+        let n = a.send(Header::to(port(7)), Bytes::from_static(b"x"));
+        assert_eq!(n, 1);
+        assert_eq!(&b.recv().unwrap().payload[..], b"x");
+        assert!(c.try_recv().is_none());
+    }
+
+    #[test]
+    fn source_is_stamped_by_network() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(9));
+        a.send(Header::to(port(9)), Bytes::new());
+        assert_eq!(b.recv().unwrap().source, a.id());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        let c = net.attach_open();
+        let n = a.send(Header::to(Port::BROADCAST), Bytes::from_static(b"loc"));
+        assert_eq!(n, 2);
+        assert!(b.recv().is_ok());
+        assert!(c.recv().is_ok());
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn sender_does_not_hear_own_unicast() {
+        let net = Network::new();
+        let a = net.attach_open();
+        a.claim(port(5));
+        let n = a.send(Header::to(port(5)), Bytes::new());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn taps_see_everything() {
+        let net = Network::new();
+        let wire = net.tap();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(3));
+        a.send(Header::to(port(3)), Bytes::from_static(b"secret"));
+        a.send(Header::to(port(4)), Bytes::from_static(b"undelivered"));
+        let p1 = wire.recv().unwrap();
+        let p2 = wire.recv().unwrap();
+        assert_eq!(&p1.payload[..], b"secret");
+        // Even packets nobody accepted are visible on the wire.
+        assert_eq!(&p2.payload[..], b"undelivered");
+    }
+
+    #[test]
+    fn drop_rate_one_loses_everything() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(2));
+        net.set_drop_rate(1.0);
+        assert_eq!(a.send(Header::to(port(2)), Bytes::new()), 0);
+        assert_eq!(net.stats().snapshot().packets_dropped, 1);
+        net.set_drop_rate(0.0);
+        assert_eq!(a.send(Header::to(port(2)), Bytes::new()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate")]
+    fn invalid_drop_rate_panics() {
+        Network::new().set_drop_rate(1.5);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(2));
+        net.set_latency(Duration::from_millis(30));
+        let t0 = Instant::now();
+        a.send(Header::to(port(2)), Bytes::new());
+        b.recv().unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn colocated_machines_skip_latency() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(2));
+        net.set_latency(Duration::from_millis(50));
+        net.colocate(a.id(), b.id());
+        let t0 = Instant::now();
+        a.send(Header::to(port(2)), Bytes::new());
+        b.recv().unwrap();
+        assert!(t0.elapsed() < Duration::from_millis(40));
+    }
+
+    #[test]
+    fn partition_blocks_traffic_both_ways_until_healed() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        let c = net.attach_open();
+        a.claim(port(1));
+        b.claim(port(2));
+        c.claim(port(3));
+
+        net.partition(a.id(), b.id());
+        assert_eq!(a.send(Header::to(port(2)), Bytes::new()), 0);
+        assert_eq!(b.send(Header::to(port(1)), Bytes::new()), 0);
+        // Third parties are unaffected.
+        assert_eq!(a.send(Header::to(port(3)), Bytes::new()), 1);
+        assert_eq!(net.stats().snapshot().packets_dropped, 2);
+
+        net.heal(a.id(), b.id());
+        assert_eq!(a.send(Header::to(port(2)), Bytes::new()), 1);
+    }
+
+    #[test]
+    fn partition_also_blocks_broadcast_between_the_pair() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        let c = net.attach_open();
+        net.partition(a.id(), b.id());
+        assert_eq!(a.send(Header::to(Port::BROADCAST), Bytes::new()), 1);
+        assert!(c.try_recv().is_some());
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let net = Network::new();
+        let a = net.attach_open();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn detached_sender_sends_nothing() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(2));
+        let from = a.id();
+        drop(a);
+        assert_eq!(net.send(from, Header::to(port(2)), Bytes::new()), 0);
+        assert_eq!(net.machine_count(), 1);
+    }
+
+    #[test]
+    fn stats_count_filtering() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let _b = net.attach_open();
+        let _c = net.attach_open();
+        a.send(Header::to(port(42)), Bytes::new()); // nobody claimed it
+        let s = net.stats().snapshot();
+        assert_eq!(s.packets_sent, 1);
+        assert_eq!(s.packets_delivered, 0);
+        assert_eq!(s.packets_filtered, 2);
+    }
+
+    #[test]
+    fn many_threads_can_send_concurrently() {
+        let net = Network::new();
+        let rx = net.attach_open();
+        rx.claim(port(77));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let ep = net.attach_open();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    ep.send(Header::to(port(77)), Bytes::from_static(b"m"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while rx.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 800);
+    }
+}

@@ -1,0 +1,95 @@
+//! Packets and the standard Amoeba header.
+
+use crate::addr::{MachineId, Port};
+use bytes::Bytes;
+use std::time::Instant;
+
+/// The three special header fields the F-box operates on (§2.2):
+/// destination, reply and signature ports.
+///
+/// "Each message presented to the F-box for transmission contains three
+/// special header fields: destination (P), reply (G′), and signature
+/// (S). The F-box applies the one-way function to the second and third
+/// of these."
+///
+/// Higher layers (RPC, capabilities) put everything else — the operated-
+/// on capability, the operation code, parameters — in the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Header {
+    /// Destination put-port `P`. Passed through the F-box untransformed.
+    pub dest: Port,
+    /// Reply port. The *sender* fills in its secret get-port `G′`; the
+    /// F-box transmits `F(G′)`, the put-port the receiver should answer.
+    pub reply: Port,
+    /// Signature. The sender fills in its secret signature `S`; the
+    /// F-box transmits `F(S)`, which receivers compare with the sender's
+    /// published `F(S)`.
+    pub signature: Port,
+}
+
+impl Header {
+    /// A header addressed to `dest` with null reply and signature.
+    pub fn to(dest: Port) -> Header {
+        Header {
+            dest,
+            reply: Port::NULL,
+            signature: Port::NULL,
+        }
+    }
+
+    /// Sets the reply field (builder style).
+    pub fn with_reply(mut self, reply: Port) -> Header {
+        self.reply = reply;
+        self
+    }
+
+    /// Sets the signature field (builder style).
+    pub fn with_signature(mut self, signature: Port) -> Header {
+        self.signature = signature;
+        self
+    }
+}
+
+/// A frame on the simulated wire.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Source machine, stamped by the network — unforgeable.
+    pub source: MachineId,
+    /// The port header *as transmitted*, i.e. after the sender's
+    /// interface applied its egress transformation.
+    pub header: Header,
+    /// Opaque payload (cheaply clonable for broadcast fan-out).
+    pub payload: Bytes,
+    /// Simulated arrival time; receivers wait until this instant.
+    pub(crate) deliver_at: Instant,
+}
+
+impl Packet {
+    /// The simulated arrival time of this packet.
+    pub fn deliver_at(&self) -> Instant {
+        self.deliver_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_builder() {
+        let p = Port::new(5).unwrap();
+        let r = Port::new(6).unwrap();
+        let s = Port::new(7).unwrap();
+        let h = Header::to(p).with_reply(r).with_signature(s);
+        assert_eq!(h.dest, p);
+        assert_eq!(h.reply, r);
+        assert_eq!(h.signature, s);
+    }
+
+    #[test]
+    fn header_to_defaults_null() {
+        let h = Header::to(Port::new(5).unwrap());
+        assert!(h.reply.is_null());
+        assert!(h.signature.is_null());
+    }
+}

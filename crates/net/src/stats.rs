@@ -1,0 +1,80 @@
+//! Atomic traffic counters, used by the locate and match-making
+//! benchmarks to count broadcast vs unicast traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of network activity.
+///
+/// All counters are cumulative since network creation; use
+/// [`snapshot`](NetworkStats::snapshot) to diff around a workload.
+#[derive(Debug, Default)]
+pub struct NetworkStats {
+    pub(crate) packets_sent: AtomicU64,
+    pub(crate) packets_delivered: AtomicU64,
+    pub(crate) broadcasts_sent: AtomicU64,
+    pub(crate) packets_dropped: AtomicU64,
+    pub(crate) packets_filtered: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetworkStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Send operations performed (unicast and broadcast alike).
+    pub packets_sent: u64,
+    /// Copies delivered into machine inboxes (a broadcast counts once
+    /// per recipient).
+    pub packets_delivered: u64,
+    /// Sends whose destination was the broadcast port.
+    pub broadcasts_sent: u64,
+    /// Packets lost to the configured drop rate.
+    pub packets_dropped: u64,
+    /// (machine, packet) pairs rejected by interface filtering — the
+    /// associative-addressing misses.
+    pub packets_filtered: u64,
+}
+
+impl NetworkStats {
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            packets_sent: self.packets_sent.load(Ordering::Relaxed),
+            packets_delivered: self.packets_delivered.load(Ordering::Relaxed),
+            broadcasts_sent: self.broadcasts_sent.load(Ordering::Relaxed),
+            packets_dropped: self.packets_dropped.load(Ordering::Relaxed),
+            packets_filtered: self.packets_filtered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            packets_sent: self.packets_sent - rhs.packets_sent,
+            packets_delivered: self.packets_delivered - rhs.packets_delivered,
+            broadcasts_sent: self.broadcasts_sent - rhs.broadcasts_sent,
+            packets_dropped: self.packets_dropped - rhs.packets_dropped,
+            packets_filtered: self.packets_filtered - rhs.packets_filtered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff() {
+        let stats = NetworkStats::default();
+        stats.packets_sent.store(10, Ordering::Relaxed);
+        let a = stats.snapshot();
+        stats.packets_sent.store(17, Ordering::Relaxed);
+        stats.packets_delivered.store(3, Ordering::Relaxed);
+        let b = stats.snapshot();
+        let d = b - a;
+        assert_eq!(d.packets_sent, 7);
+        assert_eq!(d.packets_delivered, 3);
+        assert_eq!(d.broadcasts_sent, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The client side: blocking transactions.
+
+use crate::frame::Frame;
+use amoeba_net::{Endpoint, Header, Port, RecvError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Tunables for [`Client::trans`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcConfig {
+    /// How long to wait for a reply before retransmitting.
+    pub timeout: Duration,
+    /// Total attempts (first try + retries). At-least-once semantics:
+    /// servers whose operations are not idempotent must deduplicate.
+    pub attempts: u32,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            timeout: Duration::from_millis(500),
+            attempts: 3,
+        }
+    }
+}
+
+/// Errors from a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcError {
+    /// No reply after all attempts.
+    Timeout,
+    /// The local endpoint is detached from the network.
+    Disconnected,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Timeout => write!(f, "no reply from server after all attempts"),
+            RpcError::Disconnected => write!(f, "endpoint detached from network"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A client able to perform blocking transactions on a network endpoint.
+///
+/// "After making a request, a client blocks until the reply comes in"
+/// (§2.1). The endpoint must not concurrently be used as a server — an
+/// Amoeba process is one addressable party.
+#[derive(Debug)]
+pub struct Client {
+    endpoint: Endpoint,
+    config: RpcConfig,
+    signature: Option<Port>,
+    rng: Mutex<StdRng>,
+}
+
+impl Client {
+    /// Wraps an endpoint with default configuration.
+    pub fn new(endpoint: Endpoint) -> Client {
+        Self::with_config(endpoint, RpcConfig::default())
+    }
+
+    /// Wraps an endpoint with explicit timeouts/retries.
+    pub fn with_config(endpoint: Endpoint, config: RpcConfig) -> Client {
+        Client {
+            endpoint,
+            config,
+            signature: None,
+            rng: Mutex::new(StdRng::from_entropy()),
+        }
+    }
+
+    /// Attaches a secret signature `S` to every outgoing request; the
+    /// F-box will transmit `F(S)`, which servers can compare against
+    /// this principal's published `F(S)`.
+    pub fn set_signature(&mut self, s: Port) {
+        self.signature = Some(s);
+    }
+
+    /// The underlying endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Performs a blocking transaction: send `request` to put-port
+    /// `dest`, await the reply.
+    ///
+    /// # Errors
+    /// [`RpcError::Timeout`] if no reply arrives within
+    /// `config.attempts × config.timeout`; [`RpcError::Disconnected`] if
+    /// the endpoint is detached.
+    pub fn trans(&self, dest: Port, request: Bytes) -> Result<Bytes, RpcError> {
+        // Fresh reply get-port per transaction; stable across retries so
+        // a late first reply satisfies a retransmitted request.
+        let reply_get = Port::random(&mut *self.rng.lock());
+        let reply_wire = self.endpoint.claim(reply_get);
+        let result = self.trans_on(dest, request, reply_get, reply_wire);
+        self.endpoint.release(reply_get);
+        result
+    }
+
+    fn trans_on(
+        &self,
+        dest: Port,
+        request: Bytes,
+        reply_get: Port,
+        reply_wire: Port,
+    ) -> Result<Bytes, RpcError> {
+        let payload = Frame::Request(request).encode();
+        let mut header = Header::to(dest).with_reply(reply_get);
+        if let Some(s) = self.signature {
+            header = header.with_signature(s);
+        }
+        for _ in 0..self.config.attempts.max(1) {
+            self.endpoint.send(header, payload.clone());
+            let deadline = std::time::Instant::now() + self.config.timeout;
+            loop {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    break; // retransmit
+                }
+                match self.endpoint.recv_timeout(remaining) {
+                    Ok(pkt) => {
+                        if pkt.header.dest != reply_wire {
+                            continue; // stale traffic for an old port
+                        }
+                        match Frame::decode(&pkt.payload) {
+                            Some(Frame::Reply(body)) => return Ok(body),
+                            _ => continue, // noise
+                        }
+                    }
+                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Disconnected) => return Err(RpcError::Disconnected),
+                }
+            }
+        }
+        Err(RpcError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_net::Network;
+
+    #[test]
+    fn trans_times_out_when_nobody_listens() {
+        let net = Network::new();
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_millis(5),
+                attempts: 2,
+            },
+        );
+        let before = net.stats().snapshot();
+        let err = client
+            .trans(Port::new(0x5050).unwrap(), Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        // Both attempts were transmitted.
+        assert_eq!(net.stats().snapshot().packets_sent - before.packets_sent, 2);
+    }
+
+    #[test]
+    fn config_default_is_sane() {
+        let c = RpcConfig::default();
+        assert!(c.attempts >= 1);
+        assert!(c.timeout > Duration::ZERO);
+    }
+}

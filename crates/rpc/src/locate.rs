@@ -1,0 +1,176 @@
+//! Port location: broadcast LOCATE with a (port, machine) cache.
+//!
+//! §2.2: "The associative addressing can be simulated in software when
+//! the kernels are trusted by having each one maintain a cache of
+//! (port, machine-number) pairs. If a port is not in the cache, it can
+//! be found by broadcasting a LOCATE message" — the Mullender–Vitányi
+//! match-making the paper cites.
+//!
+//! The cache hit/miss counters feed experiment **E7**.
+
+use crate::frame::Frame;
+use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A locate cache bound to an endpoint.
+#[derive(Debug)]
+pub struct Locator {
+    cache: Mutex<HashMap<Port, MachineId>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    rng: Mutex<StdRng>,
+    timeout: Duration,
+}
+
+impl Default for Locator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Locator {
+    /// An empty cache with the default 200 ms query timeout.
+    pub fn new() -> Locator {
+        Self::with_timeout(Duration::from_millis(200))
+    }
+
+    /// An empty cache with an explicit query timeout.
+    pub fn with_timeout(timeout: Duration) -> Locator {
+        Locator {
+            cache: Mutex::new(HashMap::new()),
+            hits: Default::default(),
+            misses: Default::default(),
+            rng: Mutex::new(StdRng::from_entropy()),
+            timeout,
+        }
+    }
+
+    /// Resolves which machine serves `port`, consulting the cache first
+    /// and broadcasting a LOCATE on a miss.
+    ///
+    /// Returns `None` if nobody answers within the timeout.
+    pub fn locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
+        if let Some(&m) = self.cache.lock().get(&port) {
+            self.hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Some(m);
+        }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let m = self.broadcast_locate(endpoint, port)?;
+        self.cache.lock().insert(port, m);
+        Some(m)
+    }
+
+    fn broadcast_locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
+        let reply_get = Port::random(&mut *self.rng.lock());
+        let reply_wire = endpoint.claim(reply_get);
+        let header = Header::to(Port::BROADCAST).with_reply(reply_get);
+        endpoint.send(header, Frame::Locate(port).encode());
+        let deadline = std::time::Instant::now() + self.timeout;
+        let found = loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break None;
+            }
+            match endpoint.recv_timeout(remaining) {
+                Ok(pkt) if pkt.header.dest == reply_wire => {
+                    if let Some(Frame::LocateReply(answered_port, machine)) =
+                        Frame::decode(&pkt.payload)
+                    {
+                        if answered_port == port {
+                            break Some(machine);
+                        }
+                    }
+                }
+                Ok(_) => continue,
+                Err(RecvError::Timeout) => break None,
+                Err(RecvError::Disconnected) => break None,
+            }
+        };
+        endpoint.release(reply_get);
+        found
+    }
+
+    /// Drops a cached entry (e.g. after a machine crash).
+    pub fn invalidate(&self, port: Port) {
+        self.cache.lock().remove(&port);
+    }
+
+    /// Empties the entire cache.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerPort;
+    use amoeba_net::Network;
+    use bytes::Bytes;
+
+    #[test]
+    fn locate_finds_server_and_caches() {
+        let net = Network::new();
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x77).unwrap());
+        let p = server.put_port();
+        let server_machine = server.endpoint().id();
+        let t = std::thread::spawn(move || {
+            // Serve until a real request ends the loop.
+            let req = server.next_request().unwrap();
+            server.reply(&req, Bytes::new());
+        });
+
+        let client_ep = net.attach_open();
+        let locator = Locator::new();
+        let before = net.stats().snapshot();
+        assert_eq!(locator.locate(&client_ep, p), Some(server_machine));
+        let mid = net.stats().snapshot();
+        assert_eq!(mid.broadcasts_sent - before.broadcasts_sent, 1);
+
+        // Second lookup: cache hit, no broadcast.
+        assert_eq!(locator.locate(&client_ep, p), Some(server_machine));
+        let after = net.stats().snapshot();
+        assert_eq!(after.broadcasts_sent - mid.broadcasts_sent, 0);
+        assert_eq!(locator.stats(), (1, 1));
+
+        // Unblock the server thread.
+        let client = crate::Client::new(client_ep);
+        client.trans(p, Bytes::new()).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn locate_unknown_port_times_out() {
+        let net = Network::new();
+        let ep = net.attach_open();
+        let locator = Locator::with_timeout(Duration::from_millis(20));
+        assert_eq!(locator.locate(&ep, Port::new(0xDEAD).unwrap()), None);
+        assert_eq!(locator.stats(), (0, 1));
+    }
+
+    #[test]
+    fn invalidate_forces_rebroadcast() {
+        let net = Network::new();
+        let ep = net.attach_open();
+        let locator = Locator::with_timeout(Duration::from_millis(10));
+        let p = Port::new(0xBEEF).unwrap();
+        locator.locate(&ep, p);
+        locator.invalidate(p);
+        locator.locate(&ep, p);
+        assert_eq!(locator.stats(), (0, 2));
+    }
+}

@@ -1,0 +1,301 @@
+//! Match-making **without broadcast** (§2.2's closing pointer to
+//! Mullender & Vitányi, "Distributed Match-Making for Processes in
+//! Computer Networks", 1984).
+//!
+//! On networks with no broadcast, LOCATE cannot flood. Instead a set of
+//! well-known **rendezvous nodes** is agreed on; a server *posts*
+//! (port → my machine) at the node selected by hashing the port, and a
+//! client *queries* the same node — both sides hash to the same place,
+//! so they meet without any global search. (The cited paper's √n grid
+//! generalises this to posting at a row and querying a column; with a
+//! single hash-selected node per port the meeting set is a singleton,
+//! which suffices to reproduce the mechanism.)
+//!
+//! ```text
+//! server ── Post(P) ──► node[h(P)]  ◄── Locate(P) ── client
+//! ```
+
+use crate::frame::Frame;
+use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running rendezvous node: stores (port → machine) registrations and
+/// answers unicast LOCATE queries for them.
+#[derive(Debug)]
+pub struct RendezvousNode {
+    service_port: Port,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RendezvousNode {
+    /// Binds `get_port` on `endpoint` and serves registrations and
+    /// queries on a background thread.
+    pub fn spawn(endpoint: Endpoint, get_port: Port) -> RendezvousNode {
+        let service_port = endpoint.claim(get_port);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            let mut registry: HashMap<Port, MachineId> = HashMap::new();
+            while !stop.load(Ordering::Relaxed) {
+                let pkt = match endpoint.recv_timeout(Duration::from_millis(20)) {
+                    Ok(p) => p,
+                    Err(RecvError::Timeout) => continue,
+                    Err(RecvError::Disconnected) => break,
+                };
+                match Frame::decode(&pkt.payload) {
+                    Some(Frame::Post(port)) => {
+                        // The registration binds the *source* machine —
+                        // unforgeable, so nobody can register a port at
+                        // somebody else's address... or rather, they can
+                        // only divert lookups to themselves, which the
+                        // port system already defends (knowing where a
+                        // put-port lives does not let you claim it).
+                        registry.insert(port, pkt.source);
+                    }
+                    Some(Frame::Locate(port)) if !pkt.header.reply.is_null() => {
+                        if let Some(&machine) = registry.get(&port) {
+                            let reply = Frame::LocateReply(port, machine).encode();
+                            endpoint.send(Header::to(pkt.header.reply), reply);
+                        }
+                        // Unknown ports: silence; the client times out.
+                    }
+                    _ => {}
+                }
+            }
+        });
+        RendezvousNode {
+            service_port,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    /// The wire port clients and servers address this node by.
+    pub fn service_port(&self) -> Port {
+        self.service_port
+    }
+
+    /// Stops the node.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RendezvousNode {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+/// Client/server side of rendezvous match-making: knows the agreed node
+/// list and hashes ports onto it.
+#[derive(Debug)]
+pub struct Matchmaker {
+    nodes: Vec<Port>,
+    cache: Mutex<HashMap<Port, MachineId>>,
+    rng: Mutex<StdRng>,
+    timeout: Duration,
+}
+
+impl Matchmaker {
+    /// A matchmaker over the agreed rendezvous nodes.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<Port>) -> Matchmaker {
+        assert!(!nodes.is_empty(), "at least one rendezvous node required");
+        Matchmaker {
+            nodes,
+            cache: Mutex::new(HashMap::new()),
+            rng: Mutex::new(StdRng::from_entropy()),
+            timeout: Duration::from_millis(200),
+        }
+    }
+
+    /// Which rendezvous node is responsible for `port`.
+    fn node_for(&self, port: Port) -> Port {
+        // FNV-style mix; both sides must agree, nothing else matters.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in port.value().to_be_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        self.nodes[(h % self.nodes.len() as u64) as usize]
+    }
+
+    /// Server side: registers `served_port` (which `endpoint`'s machine
+    /// serves) at its rendezvous node.
+    pub fn post(&self, endpoint: &Endpoint, served_port: Port) {
+        let node = self.node_for(served_port);
+        endpoint.send(Header::to(node), Frame::Post(served_port).encode());
+    }
+
+    /// Client side: resolves which machine serves `port` by querying the
+    /// responsible rendezvous node (no broadcast anywhere). Cached.
+    pub fn locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
+        if let Some(&m) = self.cache.lock().get(&port) {
+            return Some(m);
+        }
+        let node = self.node_for(port);
+        let reply_get = Port::random(&mut *self.rng.lock());
+        let reply_wire = endpoint.claim(reply_get);
+        endpoint.send(
+            Header::to(node).with_reply(reply_get),
+            Frame::Locate(port).encode(),
+        );
+        let deadline = std::time::Instant::now() + self.timeout;
+        let found = loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                break None;
+            }
+            match endpoint.recv_timeout(remaining) {
+                Ok(pkt) if pkt.header.dest == reply_wire => {
+                    if let Some(Frame::LocateReply(p, machine)) = Frame::decode(&pkt.payload) {
+                        if p == port {
+                            break Some(machine);
+                        }
+                    }
+                }
+                Ok(_) => continue,
+                Err(_) => break None,
+            }
+        };
+        endpoint.release(reply_get);
+        if let Some(m) = found {
+            self.cache.lock().insert(port, m);
+        }
+        found
+    }
+
+    /// Drops a cached entry.
+    pub fn invalidate(&self, port: Port) {
+        self.cache.lock().remove(&port);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_net::Network;
+
+    fn nodes(net: &Network, n: usize) -> (Vec<RendezvousNode>, Vec<Port>) {
+        let running: Vec<RendezvousNode> = (0..n)
+            .map(|i| {
+                RendezvousNode::spawn(net.attach_open(), Port::new(0xAA00 + i as u64).unwrap())
+            })
+            .collect();
+        let ports = running.iter().map(|r| r.service_port()).collect();
+        (running, ports)
+    }
+
+    #[test]
+    fn post_then_locate_without_any_broadcast() {
+        let net = Network::new();
+        let (running, node_ports) = nodes(&net, 3);
+        let mm = Matchmaker::new(node_ports);
+
+        let server = net.attach_open();
+        let served = Port::new(0x5E21CE).unwrap();
+        server.claim(served);
+        mm.post(&server, served);
+
+        let client = net.attach_open();
+        let before = net.stats().snapshot();
+        let found = mm.locate(&client, served);
+        let after = net.stats().snapshot();
+        assert_eq!(found, Some(server.id()));
+        assert_eq!(
+            after.broadcasts_sent - before.broadcasts_sent,
+            0,
+            "rendezvous match-making must not broadcast"
+        );
+        for r in running {
+            r.stop();
+        }
+    }
+
+    #[test]
+    fn unknown_port_times_out() {
+        let net = Network::new();
+        let (running, node_ports) = nodes(&net, 2);
+        let mm = Matchmaker::new(node_ports);
+        let client = net.attach_open();
+        assert_eq!(mm.locate(&client, Port::new(0xDEAD).unwrap()), None);
+        for r in running {
+            r.stop();
+        }
+    }
+
+    #[test]
+    fn cache_answers_repeat_lookups_locally() {
+        let net = Network::new();
+        let (running, node_ports) = nodes(&net, 1);
+        let mm = Matchmaker::new(node_ports);
+        let server = net.attach_open();
+        let served = Port::new(0xCACE).unwrap();
+        mm.post(&server, served);
+        let client = net.attach_open();
+        assert!(mm.locate(&client, served).is_some());
+        let before = net.stats().snapshot();
+        assert!(mm.locate(&client, served).is_some());
+        let after = net.stats().snapshot();
+        assert_eq!(after.packets_sent - before.packets_sent, 0);
+        for r in running {
+            r.stop();
+        }
+    }
+
+    #[test]
+    fn ports_spread_across_nodes() {
+        let net = Network::new();
+        let (running, node_ports) = nodes(&net, 4);
+        let mm = Matchmaker::new(node_ports.clone());
+        let mut used = std::collections::HashSet::new();
+        for v in 1..200u64 {
+            used.insert(mm.node_for(Port::new(v).unwrap()));
+        }
+        assert_eq!(used.len(), 4, "hashing should use every node");
+        for r in running {
+            r.stop();
+        }
+    }
+
+    #[test]
+    fn repost_overrides_after_migration() {
+        // A service migrating to another machine re-posts; lookups after
+        // cache invalidation find the new home (§2.2's "process
+        // migration" pointer).
+        let net = Network::new();
+        let (running, node_ports) = nodes(&net, 2);
+        let mm = Matchmaker::new(node_ports);
+        let served = Port::new(0x111333).unwrap();
+
+        let home1 = net.attach_open();
+        mm.post(&home1, served);
+        let client = net.attach_open();
+        assert_eq!(mm.locate(&client, served), Some(home1.id()));
+
+        let home2 = net.attach_open();
+        mm.post(&home2, served);
+        mm.invalidate(served);
+        assert_eq!(mm.locate(&client, served), Some(home2.id()));
+        for r in running {
+            r.stop();
+        }
+    }
+}

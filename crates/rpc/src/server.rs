@@ -1,0 +1,223 @@
+//! The server side: GET on a port, loop over requests, reply.
+
+use crate::frame::Frame;
+use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};
+use bytes::Bytes;
+use std::time::Duration;
+
+/// A request as seen by the server.
+#[derive(Debug, Clone)]
+pub struct IncomingRequest {
+    /// Opaque request body (the capability, opcode and parameters, as
+    /// encoded by `amoeba-server`).
+    pub payload: Bytes,
+    /// The wire put-port to reply to — already `F(G′)`, transformed by
+    /// the *client's* F-box in transit.
+    pub reply_to: Port,
+    /// The transmitted signature field, `F(S)` of the sender's secret
+    /// signature, or `None` if the request was unsigned. Compare against
+    /// the principal's published `F(S)`.
+    pub signature: Option<Port>,
+    /// The (unforgeable) source machine.
+    pub source: MachineId,
+}
+
+/// A bound server port: the result of `GET(G)`.
+///
+/// The server loop also transparently answers broadcast LOCATE queries
+/// for its port, implementing the software match-making of §2.2.
+#[derive(Debug)]
+pub struct ServerPort {
+    endpoint: Endpoint,
+    get_port: Port,
+    wire_port: Port,
+}
+
+impl ServerPort {
+    /// `GET(G)`: claims the get-port on the endpoint's interface and
+    /// returns the bound server.
+    pub fn bind(endpoint: Endpoint, get_port: Port) -> ServerPort {
+        let wire_port = endpoint.claim(get_port);
+        ServerPort {
+            endpoint,
+            get_port,
+            wire_port,
+        }
+    }
+
+    /// The put-port clients should send to (`F(G)` under an F-box;
+    /// `G` itself on an open interface).
+    pub fn put_port(&self) -> Port {
+        self.wire_port
+    }
+
+    /// The secret get-port (never goes on the wire).
+    pub fn get_port(&self) -> Port {
+        self.get_port
+    }
+
+    /// The underlying endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Blocks for the next client request, transparently answering
+    /// LOCATE broadcasts in the meantime.
+    ///
+    /// # Errors
+    /// [`RecvError::Disconnected`] if the endpoint is detached.
+    pub fn next_request(&self) -> Result<IncomingRequest, RecvError> {
+        loop {
+            let pkt = self.endpoint.recv()?;
+            if let Some(req) = self.process(pkt) {
+                return Ok(req);
+            }
+        }
+    }
+
+    /// Like [`next_request`](Self::next_request) with a deadline.
+    ///
+    /// # Errors
+    /// [`RecvError::Timeout`] on expiry; [`RecvError::Disconnected`] if
+    /// detached.
+    pub fn next_request_timeout(&self, timeout: Duration) -> Result<IncomingRequest, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvError::Timeout);
+            }
+            let pkt = self.endpoint.recv_timeout(remaining)?;
+            if let Some(req) = self.process(pkt) {
+                return Ok(req);
+            }
+        }
+    }
+
+    fn process(&self, pkt: amoeba_net::Packet) -> Option<IncomingRequest> {
+        match Frame::decode(&pkt.payload) {
+            Some(Frame::Request(body)) if pkt.header.dest == self.wire_port => {
+                Some(IncomingRequest {
+                    payload: body,
+                    reply_to: pkt.header.reply,
+                    signature: (!pkt.header.signature.is_null()).then_some(pkt.header.signature),
+                    source: pkt.source,
+                })
+            }
+            Some(Frame::Locate(port)) if pkt.header.dest.is_broadcast() => {
+                // Someone is looking for a port; answer if it is ours.
+                if port == self.wire_port && !pkt.header.reply.is_null() {
+                    let reply = Frame::LocateReply(self.wire_port, self.endpoint.id()).encode();
+                    self.endpoint.send(Header::to(pkt.header.reply), reply);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Sends a reply for `request`.
+    pub fn reply(&self, request: &IncomingRequest, body: Bytes) {
+        if request.reply_to.is_null() {
+            return; // one-way request
+        }
+        self.endpoint
+            .send(Header::to(request.reply_to), Frame::Reply(body).encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, RpcConfig};
+    use amoeba_net::Network;
+
+    fn fast() -> RpcConfig {
+        RpcConfig {
+            timeout: Duration::from_millis(100),
+            attempts: 2,
+        }
+    }
+
+    #[test]
+    fn request_reply_roundtrip_open_nics() {
+        let net = Network::new();
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x11).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            let req = server.next_request().unwrap();
+            assert_eq!(&req.payload[..], b"ping");
+            server.reply(&req, Bytes::from_static(b"pong"));
+        });
+        let client = Client::with_config(net.attach_open(), fast());
+        let reply = client.trans(p, Bytes::from_static(b"ping")).unwrap();
+        assert_eq!(&reply[..], b"pong");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn open_nic_put_port_equals_get_port() {
+        let net = Network::new();
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x22).unwrap());
+        assert_eq!(server.put_port(), server.get_port());
+    }
+
+    #[test]
+    fn unsigned_requests_have_no_signature() {
+        let net = Network::new();
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x33).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            let req = server.next_request().unwrap();
+            assert!(req.signature.is_none());
+            server.reply(&req, Bytes::new());
+        });
+        let client = Client::with_config(net.attach_open(), fast());
+        client.trans(p, Bytes::new()).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn next_request_timeout_expires() {
+        let net = Network::new();
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x44).unwrap());
+        assert_eq!(
+            server
+                .next_request_timeout(Duration::from_millis(10))
+                .unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn retransmission_reaches_server_after_loss() {
+        let net = Network::new();
+        net.reseed(7);
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x55).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            let req = server.next_request().unwrap();
+            server.reply(&req, Bytes::from_static(b"ok"));
+            // Absorb a possible duplicate from the retry.
+            let _ = server.next_request_timeout(Duration::from_millis(50));
+        });
+        // Drop everything for the first attempt...
+        net.set_drop_rate(1.0);
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_millis(30),
+                attempts: 10,
+            },
+        );
+        let net2 = net.clone();
+        let heal = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(45));
+            net2.set_drop_rate(0.0);
+        });
+        let reply = client.trans(p, Bytes::from_static(b"once more")).unwrap();
+        assert_eq!(&reply[..], b"ok");
+        heal.join().unwrap();
+        t.join().unwrap();
+    }
+}

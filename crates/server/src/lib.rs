@@ -1,0 +1,74 @@
+//! The generic Amoeba server framework (§2.3, §3).
+//!
+//! Every Amoeba service in this repository — files, directories, memory,
+//! blocks, bank accounts — is "just one or more server processes, with
+//! no special privileges", built from the same parts:
+//!
+//! * an [`ObjectTable`] mapping object numbers to per-object secrets and
+//!   server-private data, with capability **mint / validate / restrict /
+//!   revoke / delete** built in;
+//! * the standard request/reply wire format ([`proto`]): one capability
+//!   in the header, an operation code, and parameters — exactly the
+//!   message layout of §2.1;
+//! * a [`Service`] trait plus a [`ServiceRunner`] that binds a port and
+//!   serves requests on a background thread;
+//! * a [`ServiceClient`] that performs capability-carrying transactions;
+//! * [`wire`]: a tiny parameter codec shared by all services.
+//!
+//! # Example: a counter service in a few lines
+//!
+//! ```
+//! use amoeba_cap::{schemes::SchemeKind, Rights};
+//! use amoeba_server::{proto::{Reply, Request, Status}, wire, ObjectTable, RequestCtx,
+//!                     Service, ServiceClient, ServiceRunner};
+//! use amoeba_net::Network;
+//!
+//! struct Counter { table: ObjectTable<u64> }
+//!
+//! impl Service for Counter {
+//!     fn bind(&mut self, put_port: amoeba_net::Port) {
+//!         self.table.set_port(put_port); // minted caps carry our port
+//!     }
+//!     fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+//!         match req.command {
+//!             0 => { // CREATE: no capability needed
+//!                 let (_, cap) = self.table.create(0);
+//!                 Reply::ok(wire::Writer::new().cap(&cap).finish())
+//!             }
+//!             1 => { // INCREMENT: needs WRITE
+//!                 match self.table.with_object_mut(&req.cap, Rights::WRITE, |n| { *n += 1; *n }) {
+//!                     Ok(n) => Reply::ok(wire::Writer::new().u64(n).finish()),
+//!                     Err(e) => Reply::status(e.into()),
+//!                 }
+//!             }
+//!             _ => Reply::status(Status::BadCommand),
+//!         }
+//!     }
+//! }
+//!
+//! let net = Network::new();
+//! let table = ObjectTable::unbound(SchemeKind::Commutative.instantiate());
+//! let runner = ServiceRunner::spawn_open(&net, Counter { table });
+//! let client = ServiceClient::open(&net);
+//!
+//! let reply = client.call_anonymous(runner.put_port(), 0, bytes::Bytes::new()).unwrap();
+//! let cap = wire::Reader::new(&reply).cap().unwrap();
+//! let body = client.call(&cap, 1, bytes::Bytes::new()).unwrap();
+//! assert_eq!(wire::Reader::new(&body).u64().unwrap(), 1);
+//! runner.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod principals;
+pub mod proto;
+pub mod sealed;
+mod service;
+mod table;
+pub mod wire;
+
+pub use principals::PrincipalRegistry;
+pub use sealed::{SealedServiceClient, SealedServiceRunner};
+pub use service::{ClientError, RequestCtx, Service, ServiceClient, ServiceRunner};
+pub use table::{ObjectTable, ServerError};

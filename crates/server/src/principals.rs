@@ -1,0 +1,227 @@
+//! Principal authentication from F-box digital signatures (§2.2).
+//!
+//! "Each client chooses a random signature, S, and publishes F(S). ...
+//! the third [header field] can be used to authenticate the sender,
+//! since only the true owner of the signature will know what number to
+//! put in the third field to insure that the publicly-known F(S) comes
+//! out."
+//!
+//! [`PrincipalRegistry`] is the server-side half: a directory of
+//! (principal name, published `F(S)`) pairs. Services consult it with
+//! the signature the F-box delivered in [`RequestCtx`] to decide *who*
+//! sent a request — orthogonal to the capability, which decides what
+//! the request may *do*. The paper's design keeps these separable:
+//! capabilities are bearer authority, signatures add identity when a
+//! policy wants it (e.g. auditing, or the bank refusing large transfers
+//! from unsigned requests).
+//!
+//! [`RequestCtx`]: crate::RequestCtx
+
+use amoeba_net::Port;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A directory of published signature put-ports: name → `F(S)`.
+#[derive(Debug, Default)]
+pub struct PrincipalRegistry {
+    published: RwLock<HashMap<String, Port>>,
+}
+
+impl PrincipalRegistry {
+    /// An empty registry.
+    pub fn new() -> PrincipalRegistry {
+        PrincipalRegistry::default()
+    }
+
+    /// Publishes a principal's `F(S)` (the owner computed it from their
+    /// secret `S`; only `F(S)` is ever registered).
+    pub fn publish(&self, name: &str, f_of_s: Port) {
+        self.published.write().insert(name.to_string(), f_of_s);
+    }
+
+    /// Removes a principal.
+    pub fn retract(&self, name: &str) {
+        self.published.write().remove(name);
+    }
+
+    /// The published `F(S)` for `name`, if any.
+    pub fn lookup(&self, name: &str) -> Option<Port> {
+        self.published.read().get(name).copied()
+    }
+
+    /// Identifies the sender of a request from the transmitted
+    /// signature field (which the sender's F-box turned into `F(S)`).
+    /// Returns the principal's name, or `None` for unsigned or unknown
+    /// signatures.
+    pub fn identify(&self, transmitted_signature: Option<Port>) -> Option<String> {
+        let sig = transmitted_signature?;
+        self.published
+            .read()
+            .iter()
+            .find(|(_, &published)| published == sig)
+            .map(|(name, _)| name.clone())
+    }
+
+    /// Whether the transmitted signature authenticates as `name`.
+    pub fn verify(&self, name: &str, transmitted_signature: Option<Port>) -> bool {
+        match (self.lookup(name), transmitted_signature) {
+            (Some(published), Some(sig)) => published == sig,
+            _ => false,
+        }
+    }
+
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.published.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.published.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{Reply, Request, Status};
+    use crate::{ObjectTable, RequestCtx, Service, ServiceRunner};
+    use amoeba_cap::schemes::SchemeKind;
+    use amoeba_cap::Rights;
+    use amoeba_crypto::oneway::ShaOneWay;
+    use amoeba_fbox::{put_port_of, FBox};
+    use amoeba_net::Network;
+    use amoeba_rpc::Client;
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn port(v: u64) -> Port {
+        Port::new(v).unwrap()
+    }
+
+    #[test]
+    fn identify_and_verify() {
+        let reg = PrincipalRegistry::new();
+        let f = ShaOneWay;
+        let alice_s = port(0xA11CE);
+        let bob_s = port(0xB0B);
+        reg.publish("alice", put_port_of(&f, alice_s));
+        reg.publish("bob", put_port_of(&f, bob_s));
+        assert_eq!(reg.len(), 2);
+
+        // What arrives on the wire is F(S).
+        let arriving = Some(put_port_of(&f, alice_s));
+        assert_eq!(reg.identify(arriving).as_deref(), Some("alice"));
+        assert!(reg.verify("alice", arriving));
+        assert!(!reg.verify("bob", arriving));
+        assert_eq!(reg.identify(None), None);
+        assert_eq!(reg.identify(Some(port(0x77777))), None);
+
+        reg.retract("alice");
+        assert_eq!(reg.identify(arriving), None);
+    }
+
+    /// A vault that refuses OPEN unless the request is signed by a
+    /// registered principal — identity on top of capability.
+    struct Vault {
+        table: ObjectTable<String>,
+        principals: Arc<PrincipalRegistry>,
+    }
+
+    const OPEN_VAULT: u32 = 1;
+    const CREATE: u32 = 2;
+
+    impl Service for Vault {
+        fn bind(&mut self, put_port: Port) {
+            self.table.set_port(put_port);
+        }
+
+        fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Reply {
+            if let Some(reply) = self.table.handle_std(req) {
+                return reply;
+            }
+            match req.command {
+                CREATE => {
+                    let (_, cap) = self.table.create("gold".to_string());
+                    Reply::ok(crate::wire::Writer::new().cap(&cap).finish())
+                }
+                OPEN_VAULT => {
+                    // Capability first (what), then signature (who).
+                    if let Err(e) = self.table.validate(&req.cap) {
+                        return Reply::status(e.into());
+                    }
+                    match self.principals.identify(ctx.signature) {
+                        Some(who) => Reply::ok(Bytes::from(format!("opened by {who}"))),
+                        None => Reply::status(Status::RightsViolation),
+                    }
+                }
+                _ => Reply::status(Status::BadCommand),
+            }
+        }
+    }
+
+    #[test]
+    fn signed_requests_authenticate_unsigned_refused() {
+        let f = ShaOneWay;
+        let net = Network::new();
+        let principals = Arc::new(PrincipalRegistry::new());
+
+        // Alice's secret signature; the vault knows only F(S).
+        let alice_s = port(0x5EC2E7);
+        principals.publish("alice", put_port_of(&f, alice_s));
+
+        let runner = ServiceRunner::spawn(
+            net.attach(Arc::new(FBox::hardware(f.clone()))),
+            port(0x7A017),
+            Vault {
+                table: ObjectTable::unbound(SchemeKind::OneWay.instantiate()),
+                principals: Arc::clone(&principals),
+            },
+        );
+
+        // Alice: signed client.
+        let mut alice_rpc = Client::new(net.attach(Arc::new(FBox::hardware(f.clone()))));
+        alice_rpc.set_signature(alice_s);
+        let alice = crate::ServiceClient::with_client(alice_rpc);
+        let body = alice
+            .call_anonymous(runner.put_port(), CREATE, Bytes::new())
+            .unwrap();
+        let cap = crate::wire::Reader::new(&body).cap().unwrap();
+        let opened = alice.call(&cap, OPEN_VAULT, Bytes::new()).unwrap();
+        assert_eq!(&opened[..], b"opened by alice");
+
+        // Mallory holds the same capability (bearer token!) but cannot
+        // sign as alice: knowing F(S) does not help (the F-box would
+        // transmit F(F(S))).
+        let mut mallory_rpc = Client::new(net.attach(Arc::new(FBox::hardware(f.clone()))));
+        mallory_rpc.set_signature(put_port_of(&f, alice_s)); // forgery attempt
+        let mallory = crate::ServiceClient::with_client(mallory_rpc);
+        assert_eq!(
+            mallory.call(&cap, OPEN_VAULT, Bytes::new()).unwrap_err(),
+            crate::ClientError::Status(Status::RightsViolation)
+        );
+
+        // Unsigned requests are refused too.
+        let anon = crate::ServiceClient::fbox(&net);
+        assert_eq!(
+            anon.call(&cap, OPEN_VAULT, Bytes::new()).unwrap_err(),
+            crate::ClientError::Status(Status::RightsViolation)
+        );
+
+        // But plain capability authority is unaffected for other ops.
+        assert!(anon.info(&cap).is_ok());
+        runner.stop();
+    }
+
+    #[test]
+    fn revoking_a_signature_is_just_retracting_f_of_s() {
+        let f = ShaOneWay;
+        let reg = PrincipalRegistry::new();
+        let s = port(0x123);
+        reg.publish("carol", put_port_of(&f, s));
+        assert!(reg.verify("carol", Some(put_port_of(&f, s))));
+        reg.retract("carol");
+        assert!(!reg.verify("carol", Some(put_port_of(&f, s))));
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! The service loop and the client used to call services.
+
+use crate::proto::{null_cap, Reply, Request, Status};
+use crate::wire;
+use amoeba_cap::{Capability, Rights};
+use amoeba_crypto::oneway::ShaOneWay;
+use amoeba_fbox::FBox;
+use amoeba_net::{Endpoint, MachineId, Network, Port, RecvError};
+use amoeba_rpc::{Client, RpcConfig, RpcError, ServerPort};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-request context derived from the network layer.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestCtx {
+    /// The unforgeable source machine.
+    pub source: MachineId,
+    /// The transmitted signature `F(S)`, if the client signed.
+    pub signature: Option<Port>,
+}
+
+/// A server's request handler.
+pub trait Service: Send + 'static {
+    /// Called once with the bound put-port before serving begins —
+    /// services with an [`ObjectTable`](crate::ObjectTable) forward this
+    /// to [`ObjectTable::set_port`](crate::ObjectTable::set_port).
+    fn bind(&mut self, _put_port: Port) {}
+
+    /// Handles one request.
+    fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Reply;
+}
+
+/// Runs a [`Service`] on a background thread.
+///
+/// The runner owns the server's secret get-port; only the put-port is
+/// exposed. [`stop`](ServiceRunner::stop) (or drop) shuts the thread
+/// down.
+#[derive(Debug)]
+pub struct ServiceRunner {
+    put_port: Port,
+    machine: MachineId,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceRunner {
+    /// Binds `get_port` on `endpoint` and serves `service` on a new
+    /// thread.
+    pub fn spawn(endpoint: Endpoint, get_port: Port, mut service: impl Service) -> ServiceRunner {
+        let machine = endpoint.id();
+        let server = ServerPort::bind(endpoint, get_port);
+        let put_port = server.put_port();
+        service.bind(put_port);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match server.next_request_timeout(Duration::from_millis(20)) {
+                    Ok(req) => {
+                        let ctx = RequestCtx {
+                            source: req.source,
+                            signature: req.signature,
+                        };
+                        let reply = match Request::decode(&req.payload) {
+                            Some(decoded) => service.handle(&decoded, &ctx),
+                            None => Reply::status(Status::BadRequest),
+                        };
+                        server.reply(&req, reply.encode());
+                    }
+                    Err(RecvError::Timeout) => continue,
+                    Err(RecvError::Disconnected) => break,
+                }
+            }
+        });
+        ServiceRunner {
+            put_port,
+            machine,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    /// Attaches a fresh open-interface machine to `net`, picks a random
+    /// get-port, and serves. (Use in §2.4/software-protection settings
+    /// and unit tests.)
+    pub fn spawn_open(net: &Network, service: impl Service) -> ServiceRunner {
+        let endpoint = net.attach_open();
+        let get_port = Port::random(&mut StdRng::from_entropy());
+        Self::spawn(endpoint, get_port, service)
+    }
+
+    /// Attaches a machine behind a hardware F-box (the §2.2 model) and
+    /// serves on a random secret get-port.
+    pub fn spawn_fbox(net: &Network, service: impl Service) -> ServiceRunner {
+        let endpoint = net.attach(Arc::new(FBox::hardware(ShaOneWay)));
+        let get_port = Port::random(&mut StdRng::from_entropy());
+        Self::spawn(endpoint, get_port, service)
+    }
+
+    /// The published put-port clients send to.
+    pub fn put_port(&self) -> Port {
+        self.put_port
+    }
+
+    /// The machine the service runs on (e.g. for latency co-location).
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Stops the server thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServiceRunner {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+/// Errors from service calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport failure.
+    Rpc(RpcError),
+    /// The server answered with a non-OK status.
+    Status(Status),
+    /// The reply could not be decoded.
+    Malformed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Rpc(e) => write!(f, "transport: {e}"),
+            ClientError::Status(s) => write!(f, "server: {s}"),
+            ClientError::Malformed => write!(f, "malformed reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<RpcError> for ClientError {
+    fn from(e: RpcError) -> ClientError {
+        ClientError::Rpc(e)
+    }
+}
+
+/// A client for capability-carrying service calls.
+#[derive(Debug)]
+pub struct ServiceClient {
+    rpc: Client,
+}
+
+impl ServiceClient {
+    /// A client on a fresh open-interface machine.
+    pub fn open(net: &Network) -> ServiceClient {
+        ServiceClient {
+            rpc: Client::new(net.attach_open()),
+        }
+    }
+
+    /// A client behind a hardware F-box.
+    pub fn fbox(net: &Network) -> ServiceClient {
+        ServiceClient {
+            rpc: Client::new(net.attach(Arc::new(FBox::hardware(ShaOneWay)))),
+        }
+    }
+
+    /// A client over an explicit RPC client (custom endpoint/config).
+    pub fn with_client(rpc: Client) -> ServiceClient {
+        ServiceClient { rpc }
+    }
+
+    /// A client with explicit timeout/retry configuration on a fresh
+    /// open-interface machine.
+    pub fn open_with_config(net: &Network, config: RpcConfig) -> ServiceClient {
+        ServiceClient {
+            rpc: Client::with_config(net.attach_open(), config),
+        }
+    }
+
+    /// The underlying RPC client.
+    pub fn rpc(&self) -> &Client {
+        &self.rpc
+    }
+
+    /// Invokes `command` on the object named by `cap`, routing to
+    /// `cap.port`.
+    ///
+    /// # Errors
+    /// [`ClientError::Rpc`] on transport failure, [`ClientError::Status`]
+    /// for any non-OK server status.
+    pub fn call(&self, cap: &Capability, command: u32, params: Bytes) -> Result<Bytes, ClientError> {
+        self.call_at(cap.port, cap, command, params)
+    }
+
+    /// Invokes a command that needs no capability (e.g. CREATE on a
+    /// public server).
+    ///
+    /// # Errors
+    /// As for [`call`](Self::call).
+    pub fn call_anonymous(
+        &self,
+        port: Port,
+        command: u32,
+        params: Bytes,
+    ) -> Result<Bytes, ClientError> {
+        self.call_at(port, &null_cap(), command, params)
+    }
+
+    /// Invokes `command` at an explicit port (when the capability's port
+    /// field should not be trusted for routing).
+    ///
+    /// # Errors
+    /// As for [`call`](Self::call).
+    pub fn call_at(
+        &self,
+        port: Port,
+        cap: &Capability,
+        command: u32,
+        params: Bytes,
+    ) -> Result<Bytes, ClientError> {
+        let req = Request {
+            cap: *cap,
+            command,
+            params,
+        };
+        let raw = self.rpc.trans(port, req.encode())?;
+        let reply = Reply::decode(&raw).ok_or(ClientError::Malformed)?;
+        if reply.status == Status::Ok {
+            Ok(reply.body)
+        } else {
+            Err(ClientError::Status(reply.status))
+        }
+    }
+
+    /// Asks the server to fabricate a sub-capability with exactly `keep`
+    /// rights ([`cmd::STD_RESTRICT`](crate::proto::cmd::STD_RESTRICT)).
+    ///
+    /// # Errors
+    /// As for [`call`](Self::call).
+    pub fn restrict(&self, cap: &Capability, keep: Rights) -> Result<Capability, ClientError> {
+        let body = self.call(
+            cap,
+            crate::proto::cmd::STD_RESTRICT,
+            wire::Writer::new().u32(keep.bits() as u32).finish(),
+        )?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Revokes all outstanding capabilities for the object
+    /// ([`cmd::STD_REVOKE`](crate::proto::cmd::STD_REVOKE)); requires
+    /// [`Rights::OWNER`]. Returns the fresh capability.
+    ///
+    /// # Errors
+    /// As for [`call`](Self::call).
+    pub fn revoke(&self, cap: &Capability) -> Result<Capability, ClientError> {
+        let body = self.call(cap, crate::proto::cmd::STD_REVOKE, Bytes::new())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Validates `cap` remotely and returns its effective rights
+    /// ([`cmd::STD_INFO`](crate::proto::cmd::STD_INFO)).
+    ///
+    /// # Errors
+    /// As for [`call`](Self::call).
+    pub fn info(&self, cap: &Capability) -> Result<Rights, ClientError> {
+        let body = self.call(cap, crate::proto::cmd::STD_INFO, Bytes::new())?;
+        let bits = wire::Reader::new(&body)
+            .u32()
+            .ok_or(ClientError::Malformed)?;
+        Ok(Rights::from_bits(bits as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ObjectTable;
+    use amoeba_cap::schemes::SchemeKind;
+
+    /// A minimal echo/counter service used across these tests.
+    struct Echo {
+        table: ObjectTable<Vec<u8>>,
+    }
+
+    impl Echo {
+        fn new(kind: SchemeKind) -> Echo {
+            Echo {
+                table: ObjectTable::unbound(kind.instantiate()),
+            }
+        }
+    }
+
+    const CMD_CREATE: u32 = 1;
+    const CMD_READ: u32 = 2;
+    const CMD_APPEND: u32 = 3;
+
+    impl Service for Echo {
+        fn bind(&mut self, put_port: Port) {
+            self.table.set_port(put_port);
+        }
+
+        fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+            if let Some(reply) = self.table.handle_std(req) {
+                return reply;
+            }
+            match req.command {
+                CMD_CREATE => {
+                    let (_, cap) = self.table.create(req.params.to_vec());
+                    Reply::ok(wire::Writer::new().cap(&cap).finish())
+                }
+                CMD_READ => match self.table.with_object(&req.cap, Rights::READ, |d| d.clone()) {
+                    Ok(data) => Reply::ok(Bytes::from(data)),
+                    Err(e) => Reply::status(e.into()),
+                },
+                CMD_APPEND => match self.table.with_object_mut(&req.cap, Rights::WRITE, |d| {
+                    d.extend_from_slice(&req.params)
+                }) {
+                    Ok(()) => Reply::ok(Bytes::new()),
+                    Err(e) => Reply::status(e.into()),
+                },
+                _ => Reply::status(Status::BadCommand),
+            }
+        }
+    }
+
+    fn create(client: &ServiceClient, port: Port, data: &[u8]) -> Capability {
+        let body = client
+            .call_anonymous(port, CMD_CREATE, Bytes::copy_from_slice(data))
+            .unwrap();
+        wire::Reader::new(&body).cap().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_over_open_nics() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::Commutative));
+        let client = ServiceClient::open(&net);
+
+        let cap = create(&client, runner.put_port(), b"hello");
+        assert_eq!(&client.call(&cap, CMD_READ, Bytes::new()).unwrap()[..], b"hello");
+        client
+            .call(&cap, CMD_APPEND, Bytes::from_static(b" world"))
+            .unwrap();
+        assert_eq!(
+            &client.call(&cap, CMD_READ, Bytes::new()).unwrap()[..],
+            b"hello world"
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn end_to_end_behind_fboxes() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_fbox(&net, Echo::new(SchemeKind::OneWay));
+        let client = ServiceClient::fbox(&net);
+        let cap = create(&client, runner.put_port(), b"shielded");
+        assert_eq!(
+            &client.call(&cap, CMD_READ, Bytes::new()).unwrap()[..],
+            b"shielded"
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn remote_restrict_and_rights_enforcement() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::Commutative));
+        let client = ServiceClient::open(&net);
+        let cap = create(&client, runner.put_port(), b"x");
+
+        let ro = client.restrict(&cap, Rights::READ).unwrap();
+        assert_eq!(client.info(&ro).unwrap(), Rights::READ);
+        assert!(client.call(&ro, CMD_READ, Bytes::new()).is_ok());
+        assert_eq!(
+            client
+                .call(&ro, CMD_APPEND, Bytes::from_static(b"!"))
+                .unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn remote_revocation() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::OneWay));
+        let client = ServiceClient::open(&net);
+        let cap = create(&client, runner.put_port(), b"x");
+        let ro = client.restrict(&cap, Rights::READ).unwrap();
+
+        let fresh = client.revoke(&cap).unwrap();
+        assert_eq!(
+            client.call(&ro, CMD_READ, Bytes::new()).unwrap_err(),
+            ClientError::Status(Status::Forged)
+        );
+        assert_eq!(
+            client.call(&cap, CMD_READ, Bytes::new()).unwrap_err(),
+            ClientError::Status(Status::Forged)
+        );
+        assert!(client.call(&fresh, CMD_READ, Bytes::new()).is_ok());
+        runner.stop();
+    }
+
+    #[test]
+    fn malformed_request_gets_bad_request() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::Simple));
+        let rpc = Client::new(net.attach_open());
+        let raw = rpc.trans(runner.put_port(), Bytes::from_static(b"junk")).unwrap();
+        let reply = Reply::decode(&raw).unwrap();
+        assert_eq!(reply.status, Status::BadRequest);
+        runner.stop();
+    }
+
+    #[test]
+    fn unknown_command_gets_bad_command() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::Simple));
+        let client = ServiceClient::open(&net);
+        assert_eq!(
+            client
+                .call_anonymous(runner.put_port(), 0x7777, Bytes::new())
+                .unwrap_err(),
+            ClientError::Status(Status::BadCommand)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent_with_drop() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::Simple));
+        runner.stop(); // explicit stop, then drop runs harmlessly
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::OneWay));
+        let port = runner.put_port();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = ServiceClient::open(&net);
+                let cap = create(&client, port, format!("t{i}").as_bytes());
+                for _ in 0..25 {
+                    client.call(&cap, CMD_APPEND, Bytes::from_static(b".")).unwrap();
+                }
+                let data = client.call(&cap, CMD_READ, Bytes::new()).unwrap();
+                assert_eq!(data.len(), 2 + 25);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        runner.stop();
+    }
+}

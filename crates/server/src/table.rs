@@ -1,0 +1,508 @@
+//! The object table: per-object secrets plus server-private data.
+
+use crate::proto::{cmd, Reply, Request, Status};
+use crate::wire;
+use amoeba_cap::schemes::{ObjectSecret, ProtectionScheme};
+use amoeba_cap::{CapError, Capability, ObjectNum, Rights};
+use amoeba_net::Port;
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Errors from object-table operations, mapping 1:1 onto wire
+/// [`Status`] codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerError {
+    /// The capability's check field does not validate.
+    Forged,
+    /// No object with that number exists (deleted or never created).
+    NoSuchObject,
+    /// The capability is genuine but lacks a required right.
+    RightsViolation,
+    /// The scheme cannot perform the operation.
+    Unsupported,
+    /// A restriction tried to add rights.
+    RightsExceeded,
+}
+
+impl From<CapError> for ServerError {
+    fn from(e: CapError) -> ServerError {
+        match e {
+            CapError::Forged => ServerError::Forged,
+            CapError::RightsExceeded => ServerError::RightsExceeded,
+            CapError::NotSupported => ServerError::Unsupported,
+        }
+    }
+}
+
+impl From<ServerError> for Status {
+    fn from(e: ServerError) -> Status {
+        match e {
+            ServerError::Forged => Status::Forged,
+            ServerError::NoSuchObject => Status::NoSuchObject,
+            ServerError::RightsViolation => Status::RightsViolation,
+            ServerError::Unsupported => Status::Unsupported,
+            ServerError::RightsExceeded => Status::RightsViolation,
+        }
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(&Status::from(*self), f)
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+struct Entry<T> {
+    secret: ObjectSecret,
+    data: T,
+}
+
+/// Maps object numbers to (per-object secret, server data) and performs
+/// all capability cryptography for a service.
+///
+/// "The server would then pick a random number, store this number in its
+/// object table, and insert it into the newly-formed object capability"
+/// (§2.3). Everything the paper's object-protection discussion requires
+/// is here: minting, validation, server-side restriction, deletion, and
+/// revocation by random-number replacement.
+pub struct ObjectTable<T> {
+    scheme: Box<dyn ProtectionScheme>,
+    port: RwLock<Option<Port>>,
+    entries: RwLock<Vec<Option<Entry<T>>>>,
+    free: Mutex<Vec<u32>>,
+    rng: Mutex<StdRng>,
+}
+
+impl<T> std::fmt::Debug for ObjectTable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectTable")
+            .field("scheme", &self.scheme.name())
+            .field("objects", &self.len())
+            .finish()
+    }
+}
+
+impl<T> ObjectTable<T> {
+    /// A table not yet bound to a server port. The port is stamped into
+    /// minted capabilities; bind it with [`set_port`](Self::set_port)
+    /// before creating objects (the [`ServiceRunner`] does this
+    /// automatically via [`Service::bind`]).
+    ///
+    /// [`ServiceRunner`]: crate::ServiceRunner
+    /// [`Service::bind`]: crate::Service::bind
+    pub fn unbound(scheme: Box<dyn ProtectionScheme>) -> ObjectTable<T> {
+        ObjectTable {
+            scheme,
+            port: RwLock::new(None),
+            entries: RwLock::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            rng: Mutex::new(StdRng::from_entropy()),
+        }
+    }
+
+    /// A table bound to a known put-port.
+    pub fn with_port(scheme: Box<dyn ProtectionScheme>, port: Port) -> ObjectTable<T> {
+        let t = Self::unbound(scheme);
+        t.set_port(port);
+        t
+    }
+
+    /// Binds the server's put-port (stamped into every minted
+    /// capability).
+    pub fn set_port(&self, port: Port) {
+        *self.port.write() = Some(port);
+    }
+
+    /// The bound put-port.
+    ///
+    /// # Panics
+    /// Panics if the table is unbound.
+    pub fn port(&self) -> Port {
+        self.port
+            .read()
+            .expect("object table not bound to a port yet")
+    }
+
+    /// The protection scheme in use.
+    pub fn scheme(&self) -> &dyn ProtectionScheme {
+        self.scheme.as_ref()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.entries.read().iter().flatten().count()
+    }
+
+    /// Whether the table holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates an object: picks a random number, stores it, and mints
+    /// the all-rights capability.
+    ///
+    /// # Panics
+    /// Panics if the table is unbound or all 2²⁴ object numbers are in
+    /// use.
+    pub fn create(&self, data: T) -> (ObjectNum, Capability) {
+        let secret = self.scheme.new_secret(&mut *self.rng.lock());
+        let port = self.port();
+        let mut entries = self.entries.write();
+        let index = match self.free.lock().pop() {
+            Some(i) => i,
+            None => {
+                let i = entries.len() as u32;
+                assert!(i <= ObjectNum::MAX, "object table full");
+                entries.push(None);
+                i
+            }
+        };
+        let object = ObjectNum::new(index).expect("index bounded by MAX");
+        entries[index as usize] = Some(Entry { secret, data });
+        let cap = self.scheme.mint(port, object, &secret);
+        (object, cap)
+    }
+
+    fn check<R>(
+        &self,
+        cap: &Capability,
+        entry: Option<&Entry<T>>,
+        need: Rights,
+        f: impl FnOnce(&Entry<T>) -> R,
+    ) -> Result<R, ServerError> {
+        let entry = entry.ok_or(ServerError::NoSuchObject)?;
+        let rights = self.scheme.validate(cap, &entry.secret)?;
+        if !rights.contains(need) {
+            return Err(ServerError::RightsViolation);
+        }
+        Ok(f(entry))
+    }
+
+    /// Validates a capability, returning its effective rights.
+    ///
+    /// # Errors
+    /// [`ServerError::NoSuchObject`] or [`ServerError::Forged`].
+    pub fn validate(&self, cap: &Capability) -> Result<Rights, ServerError> {
+        let entries = self.entries.read();
+        let entry = entries
+            .get(cap.object.value() as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(ServerError::NoSuchObject)?;
+        Ok(self.scheme.validate(cap, &entry.secret)?)
+    }
+
+    /// Runs `f` on the object if `cap` validates with at least `need`.
+    ///
+    /// # Errors
+    /// [`ServerError::NoSuchObject`], [`ServerError::Forged`] or
+    /// [`ServerError::RightsViolation`].
+    pub fn with_object<R>(
+        &self,
+        cap: &Capability,
+        need: Rights,
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<R, ServerError> {
+        let entries = self.entries.read();
+        let entry = entries
+            .get(cap.object.value() as usize)
+            .and_then(|e| e.as_ref());
+        self.check(cap, entry, need, |e| f(&e.data))
+    }
+
+    /// Mutable variant of [`with_object`](Self::with_object).
+    ///
+    /// # Errors
+    /// As for [`with_object`](Self::with_object).
+    pub fn with_object_mut<R>(
+        &self,
+        cap: &Capability,
+        need: Rights,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R, ServerError> {
+        let mut entries = self.entries.write();
+        let slot = entries
+            .get_mut(cap.object.value() as usize)
+            .and_then(|e| e.as_mut())
+            .ok_or(ServerError::NoSuchObject)?;
+        let rights = self.scheme.validate(cap, &slot.secret)?;
+        if !rights.contains(need) {
+            return Err(ServerError::RightsViolation);
+        }
+        Ok(f(&mut slot.data))
+    }
+
+    /// Direct access by object number, **bypassing capability checks** —
+    /// for a server reaching its *own* related objects (e.g. the
+    /// multiversion file server touching a version's parent file during
+    /// commit). Never expose this path to request parameters.
+    pub fn with_data<R>(&self, object: ObjectNum, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let entries = self.entries.read();
+        entries
+            .get(object.value() as usize)
+            .and_then(|e| e.as_ref())
+            .map(|e| f(&e.data))
+    }
+
+    /// Mutable variant of [`with_data`](Self::with_data). Same warning.
+    pub fn with_data_mut<R>(&self, object: ObjectNum, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        let mut entries = self.entries.write();
+        entries
+            .get_mut(object.value() as usize)
+            .and_then(|e| e.as_mut())
+            .map(|e| f(&mut e.data))
+    }
+
+    /// Server-side restriction: fabricates a capability with exactly
+    /// `keep` rights.
+    ///
+    /// # Errors
+    /// Validation errors, [`ServerError::RightsExceeded`] if `keep`
+    /// exceeds the current rights, or [`ServerError::Unsupported`] for
+    /// scheme 0.
+    pub fn restrict(&self, cap: &Capability, keep: Rights) -> Result<Capability, ServerError> {
+        let entries = self.entries.read();
+        let entry = entries
+            .get(cap.object.value() as usize)
+            .and_then(|e| e.as_ref())
+            .ok_or(ServerError::NoSuchObject)?;
+        Ok(self.scheme.restrict(cap, keep, &entry.secret)?)
+    }
+
+    /// Revocation (§2.3): "ask the server to change the random number
+    /// stored in its internal table and return a new capability ...
+    /// all existing capabilities for that object are instantly
+    /// invalidated." Requires [`Rights::OWNER`].
+    ///
+    /// # Errors
+    /// Validation errors or [`ServerError::RightsViolation`] without the
+    /// owner right.
+    pub fn revoke(&self, cap: &Capability) -> Result<Capability, ServerError> {
+        let mut entries = self.entries.write();
+        let slot = entries
+            .get_mut(cap.object.value() as usize)
+            .and_then(|e| e.as_mut())
+            .ok_or(ServerError::NoSuchObject)?;
+        let rights = self.scheme.validate(cap, &slot.secret)?;
+        if !rights.contains(Rights::OWNER) {
+            return Err(ServerError::RightsViolation);
+        }
+        slot.secret = self.scheme.new_secret(&mut *self.rng.lock());
+        Ok(self.scheme.mint(self.port(), cap.object, &slot.secret))
+    }
+
+    /// Deletes the object, returning its data. Requires `need`
+    /// (conventionally [`Rights::DELETE`]).
+    ///
+    /// # Errors
+    /// Validation errors or [`ServerError::RightsViolation`].
+    pub fn delete(&self, cap: &Capability, need: Rights) -> Result<T, ServerError> {
+        let mut entries = self.entries.write();
+        let index = cap.object.value() as usize;
+        let slot = entries
+            .get_mut(index)
+            .and_then(|e| e.as_mut())
+            .ok_or(ServerError::NoSuchObject)?;
+        let rights = self.scheme.validate(cap, &slot.secret)?;
+        if !rights.contains(need) {
+            return Err(ServerError::RightsViolation);
+        }
+        let entry = entries[index].take().expect("checked above");
+        self.free.lock().push(index as u32);
+        Ok(entry.data)
+    }
+
+    /// Answers the standard commands ([`cmd::STD_RESTRICT`],
+    /// [`cmd::STD_REVOKE`], [`cmd::STD_INFO`]); returns `None` for
+    /// service-specific commands the caller should handle itself.
+    pub fn handle_std(&self, req: &Request) -> Option<Reply> {
+        match req.command {
+            cmd::STD_RESTRICT => {
+                let mut r = wire::Reader::new(&req.params);
+                let Some(mask) = r.u32() else {
+                    return Some(Reply::status(Status::BadRequest));
+                };
+                Some(match self.restrict(&req.cap, Rights::from_bits(mask as u8)) {
+                    Ok(cap) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
+                    Err(e) => Reply::status(e.into()),
+                })
+            }
+            cmd::STD_REVOKE => Some(match self.revoke(&req.cap) {
+                Ok(cap) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
+                Err(e) => Reply::status(e.into()),
+            }),
+            cmd::STD_INFO => Some(match self.validate(&req.cap) {
+                Ok(rights) => Reply::ok(wire::Writer::new().u32(rights.bits() as u32).finish()),
+                Err(e) => Reply::status(e.into()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_cap::schemes::SchemeKind;
+
+    fn table(kind: SchemeKind) -> ObjectTable<String> {
+        ObjectTable::with_port(kind.instantiate(), Port::new(0x1111).unwrap())
+    }
+
+    #[test]
+    fn create_validate_access() {
+        for kind in SchemeKind::ALL {
+            let t = table(kind);
+            let (_obj, cap) = t.create("hello".to_string());
+            assert_eq!(t.validate(&cap).unwrap(), Rights::ALL, "{kind}");
+            let len = t.with_object(&cap, Rights::READ, |s| s.len()).unwrap();
+            assert_eq!(len, 5);
+            t.with_object_mut(&cap, Rights::WRITE, |s| s.push('!')).unwrap();
+            assert_eq!(t.with_object(&cap, Rights::READ, |s| s.clone()).unwrap(), "hello!");
+        }
+    }
+
+    #[test]
+    fn forged_and_missing_objects_distinguished() {
+        let t = table(SchemeKind::OneWay);
+        let (_, cap) = t.create("x".into());
+        let forged = cap.with_check(cap.check ^ 1);
+        assert_eq!(t.validate(&forged).unwrap_err(), ServerError::Forged);
+        let ghost = Capability::new(cap.port, ObjectNum::new(999).unwrap(), Rights::ALL, 1);
+        assert_eq!(t.validate(&ghost).unwrap_err(), ServerError::NoSuchObject);
+    }
+
+    #[test]
+    fn rights_enforced_on_access() {
+        let t = table(SchemeKind::Commutative);
+        let (_, cap) = t.create("data".into());
+        let ro = t.restrict(&cap, Rights::READ).unwrap();
+        assert!(t.with_object(&ro, Rights::READ, |_| ()).is_ok());
+        assert_eq!(
+            t.with_object_mut(&ro, Rights::WRITE, |_| ()).unwrap_err(),
+            ServerError::RightsViolation
+        );
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let t = table(SchemeKind::OneWay);
+        let (obj1, cap1) = t.create("a".into());
+        assert_eq!(t.delete(&cap1, Rights::DELETE).unwrap(), "a");
+        assert_eq!(t.len(), 0);
+        // Old capability is now dead.
+        assert_eq!(t.validate(&cap1).unwrap_err(), ServerError::NoSuchObject);
+        // Slot is recycled with a fresh secret: old cap stays dead.
+        let (obj2, cap2) = t.create("b".into());
+        assert_eq!(obj1, obj2);
+        assert_eq!(t.validate(&cap1).unwrap_err(), ServerError::Forged);
+        assert!(t.validate(&cap2).is_ok());
+    }
+
+    #[test]
+    fn revocation_kills_all_outstanding_caps() {
+        for kind in SchemeKind::ALL {
+            let t = table(kind);
+            let (_, owner_cap) = t.create("precious".into());
+            let outstanding: Vec<Capability> = match kind {
+                // Schemes with rights distinction: hand out restrictions.
+                SchemeKind::Encrypted | SchemeKind::OneWay | SchemeKind::Commutative => (0..10)
+                    .map(|_| t.restrict(&owner_cap, Rights::READ).unwrap())
+                    .collect(),
+                SchemeKind::Simple => vec![owner_cap; 10],
+            };
+            let fresh = t.revoke(&owner_cap).unwrap();
+            for old in &outstanding {
+                assert_eq!(t.validate(old).unwrap_err(), ServerError::Forged, "{kind}");
+            }
+            assert_eq!(t.validate(&owner_cap).unwrap_err(), ServerError::Forged);
+            assert_eq!(t.validate(&fresh).unwrap(), Rights::ALL);
+        }
+    }
+
+    #[test]
+    fn revocation_requires_owner_right() {
+        let t = table(SchemeKind::Commutative);
+        let (_, cap) = t.create("x".into());
+        let ro = t.restrict(&cap, Rights::READ).unwrap();
+        assert_eq!(t.revoke(&ro).unwrap_err(), ServerError::RightsViolation);
+    }
+
+    #[test]
+    fn handle_std_restrict_and_info() {
+        let t = table(SchemeKind::Commutative);
+        let (_, cap) = t.create("x".into());
+        let req = Request {
+            cap,
+            command: cmd::STD_RESTRICT,
+            params: wire::Writer::new()
+                .u32(Rights::READ.bits() as u32)
+                .finish(),
+        };
+        let reply = t.handle_std(&req).unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        let ro = wire::Reader::new(&reply.body).cap().unwrap();
+        assert_eq!(t.validate(&ro).unwrap(), Rights::READ);
+
+        let info = t
+            .handle_std(&Request {
+                cap: ro,
+                command: cmd::STD_INFO,
+                params: bytes::Bytes::new(),
+            })
+            .unwrap();
+        assert_eq!(info.status, Status::Ok);
+        assert_eq!(
+            wire::Reader::new(&info.body).u32().unwrap(),
+            Rights::READ.bits() as u32
+        );
+    }
+
+    #[test]
+    fn handle_std_passes_through_service_commands() {
+        let t = table(SchemeKind::Simple);
+        let (_, cap) = t.create("x".into());
+        let req = Request {
+            cap,
+            command: 42,
+            params: bytes::Bytes::new(),
+        };
+        assert!(t.handle_std(&req).is_none());
+    }
+
+    #[test]
+    fn handle_std_revoke_roundtrip() {
+        let t = table(SchemeKind::OneWay);
+        let (_, cap) = t.create("x".into());
+        let reply = t
+            .handle_std(&Request {
+                cap,
+                command: cmd::STD_REVOKE,
+                params: bytes::Bytes::new(),
+            })
+            .unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        assert_eq!(t.validate(&cap).unwrap_err(), ServerError::Forged);
+    }
+
+    #[test]
+    #[should_panic(expected = "not bound")]
+    fn unbound_table_panics_on_create() {
+        let t: ObjectTable<()> = ObjectTable::unbound(SchemeKind::Simple.instantiate());
+        t.create(());
+    }
+
+    #[test]
+    fn many_objects_have_independent_secrets() {
+        let t = table(SchemeKind::OneWay);
+        let caps: Vec<Capability> = (0..100).map(|i| t.create(format!("{i}")).1).collect();
+        assert_eq!(t.len(), 100);
+        // A capability for object i must not validate for object j's data.
+        let cross = caps[0].with_rights(caps[1].rights);
+        let mut swapped = cross;
+        swapped.object = caps[1].object;
+        assert!(t.validate(&swapped).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Parameter encoding shared by every service.
+//!
+//! A deliberately tiny, schema-free codec: big-endian integers,
+//! length-prefixed byte strings, and 16-byte capabilities. Malformed
+//! input decodes to `None` — servers answer
+//! [`Status::BadRequest`](crate::proto::Status::BadRequest) rather than
+//! panicking on attacker-supplied bytes.
+
+use amoeba_cap::Capability;
+use bytes::{Bytes, BytesMut};
+
+/// Builds a parameter blob.
+///
+/// # Example
+/// ```
+/// use amoeba_server::wire::{Reader, Writer};
+/// let blob = Writer::new().u32(7).str("name").finish();
+/// let mut r = Reader::new(&blob);
+/// assert_eq!(r.u32(), Some(7));
+/// assert_eq!(r.str().as_deref(), Some("name"));
+/// assert!(r.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(mut self, v: u32) -> Writer {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(mut self, v: u64) -> Writer {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(mut self, data: &[u8]) -> Writer {
+        self.buf
+            .extend_from_slice(&(data.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(data);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(self, s: &str) -> Writer {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Appends a 16-byte capability.
+    pub fn cap(mut self, cap: &Capability) -> Writer {
+        self.buf.extend_from_slice(&cap.encode());
+        self
+    }
+
+    /// Finishes and returns the blob.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Reads a parameter blob written by [`Writer`].
+///
+/// Every accessor returns `None` on truncated or malformed input.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data }
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.data.split_first_chunk::<4>()?;
+        self.data = rest;
+        Some(u32::from_be_bytes(*head))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.data.split_first_chunk::<8>()?;
+        self.data = rest;
+        Some(u64::from_be_bytes(*head))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        if self.data.len() < len {
+            return None;
+        }
+        let (head, rest) = self.data.split_at(len);
+        self.data = rest;
+        Some(head)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+
+    /// Reads a 16-byte capability.
+    pub fn cap(&mut self) -> Option<Capability> {
+        let (head, rest) = self.data.split_first_chunk::<16>()?;
+        self.data = rest;
+        Capability::decode(head)
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The unread remainder.
+    pub fn remainder(&self) -> &'a [u8] {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_cap::{ObjectNum, Rights};
+    use amoeba_net::Port;
+
+    fn cap() -> Capability {
+        Capability::new(
+            Port::new(77).unwrap(),
+            ObjectNum::new(3).unwrap(),
+            Rights::ALL,
+            0xBEEF,
+        )
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let blob = Writer::new()
+            .u32(1)
+            .u64(2)
+            .bytes(b"abc")
+            .str("défg")
+            .cap(&cap())
+            .finish();
+        let mut r = Reader::new(&blob);
+        assert_eq!(r.u32(), Some(1));
+        assert_eq!(r.u64(), Some(2));
+        assert_eq!(r.bytes(), Some(&b"abc"[..]));
+        assert_eq!(r.str().as_deref(), Some("défg"));
+        assert_eq!(r.cap(), Some(cap()));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_returns_none() {
+        let blob = Writer::new().u64(7).finish();
+        let mut r = Reader::new(&blob[..5]);
+        assert_eq!(r.u64(), None);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let blob = Writer::new().u32(u32::MAX).finish(); // length prefix, no body
+        let mut r = Reader::new(&blob);
+        assert_eq!(r.bytes(), None);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let blob = Writer::new().bytes(&[0xFF, 0xFE]).finish();
+        let mut r = Reader::new(&blob);
+        assert_eq!(r.str(), None);
+    }
+
+    #[test]
+    fn empty_bytes_ok() {
+        let blob = Writer::new().bytes(b"").finish();
+        let mut r = Reader::new(&blob);
+        assert_eq!(r.bytes(), Some(&b""[..]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remainder_exposes_tail() {
+        let blob = Writer::new().u32(9).finish();
+        let mut r = Reader::new(&blob);
+        r.u32();
+        assert!(r.remainder().is_empty());
+    }
+}

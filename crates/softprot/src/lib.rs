@@ -1,0 +1,40 @@
+//! Capability **protection without F-boxes** (§2.4).
+//!
+//! When no F-box hardware exists, Amoeba exploits the one thing an
+//! intruder cannot forge — the **source machine address** supplied by
+//! the network interface — plus conventional cryptography:
+//!
+//! > "imagine a (possibly symmetric) conceptual matrix, M, of
+//! > conventional (e.g., DES) encryption keys, with the rows being
+//! > labeled by source machine and the columns by destination machine.
+//! > ... intruder I can easily capture messages from client C to server
+//! > S, but attempts to 'play them back' to the server will fail because
+//! > the server will see the source machine as I (assumed unforgeable)
+//! > and use element `M[I][S]` as the decryption key instead of the
+//! > correct `M[C][S]`."
+//!
+//! This crate provides the three pieces:
+//!
+//! * [`matrix`] — the key matrix, per-machine row/column views, and the
+//!   [`CapSealer`] that DES-encrypts capabilities per
+//!   (source, destination) pair, with the hashed **capability caches**
+//!   the paper describes for avoiding repeated encryption;
+//! * [`handshake`] — the public-key **key-establishment protocol** run
+//!   when a machine (re)boots: fresh conventional keys per boot defeat
+//!   replays of pre-reboot traffic, and the signed reply authenticates
+//!   the server;
+//! * [`link`] — the third alternative the section closes with:
+//!   conventional **link-level encryption** of whole payloads;
+//! * attack-shaped tests: sealed capabilities replayed from a different
+//!   source machine never validate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod handshake;
+pub mod link;
+pub mod matrix;
+
+pub use handshake::{Announcement, ClientSession, HandshakeError, ServerBoot};
+pub use link::{LinkError, SecureLink};
+pub use matrix::{CapSealer, KeyMatrix, MachineKeys, SealedCap};

@@ -1,0 +1,870 @@
+//! A capability-based **UNIX-like file system** (the third file system
+//! of §3.5, "to ease the problem of moving existing applications from
+//! UNIX to Amoeba").
+//!
+//! Files have i-node-style metadata and their data lives in raw blocks
+//! obtained from the **block server** — the UNIX server is itself an
+//! ordinary block-server *client*, demonstrating §3.2's claim that
+//! splitting the block server off lets "any user implement any kind of
+//! special-purpose file system". Directory entries map names to
+//! capabilities, and the OBJECT field of a capability plays the role of
+//! the i-number ("for a UNIX-like file server, the object number would
+//! be the i-number").
+//!
+//! # Example
+//!
+//! ```
+//! use amoeba_block::{BlockServer, DiskConfig};
+//! use amoeba_cap::schemes::SchemeKind;
+//! use amoeba_net::Network;
+//! use amoeba_server::ServiceRunner;
+//! use amoeba_unixfs::{UnixFsClient, UnixFsServer};
+//!
+//! let net = Network::new();
+//! let disk = ServiceRunner::spawn_open(
+//!     &net, BlockServer::new(DiskConfig::small(), SchemeKind::OneWay));
+//! let fs_server = UnixFsServer::new(&net, disk.put_port(), SchemeKind::Commutative);
+//! let fs_runner = ServiceRunner::spawn_open(&net, fs_server);
+//! let fs = UnixFsClient::open(&net, fs_runner.put_port());
+//!
+//! let root = fs.root().unwrap();
+//! let dir = fs.mkdir(&root, "home").unwrap();
+//! let file = fs.create(&dir, "notes.txt").unwrap();
+//! fs.write(&file, 0, b"unix on amoeba").unwrap();
+//! let found = fs.lookup_path(&root, "home/notes.txt").unwrap();
+//! assert_eq!(&fs.read(&found, 0, 14).unwrap(), b"unix on amoeba");
+//! fs_runner.stop();
+//! disk.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use amoeba_block::BlockClient;
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::{Capability, Rights};
+use amoeba_net::{Network, Port};
+use amoeba_server::proto::{Reply, Request, Status};
+use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// UNIX-file-system operation codes.
+pub mod ops {
+    /// The root directory capability; anonymous.
+    pub const ROOT: u32 = 1;
+    /// Create an empty file in a directory. Params: `str name`.
+    pub const CREATE: u32 = 2;
+    /// Create a subdirectory. Params: `str name`.
+    pub const MKDIR: u32 = 3;
+    /// Look up one name. Params: `str name`. Reply: capability.
+    pub const LOOKUP: u32 = 4;
+    /// List a directory. Reply: `u32 n`, n × (`str`, `u32 kind`).
+    pub const READDIR: u32 = 5;
+    /// Remove a name (frees files; directories must be empty).
+    /// Params: `str name`.
+    pub const UNLINK: u32 = 6;
+    /// Read file bytes. Params: `u64 offset`, `u32 len`.
+    pub const READ: u32 = 7;
+    /// Write file bytes (extends). Params: `u64 offset`, bytes.
+    pub const WRITE: u32 = 8;
+    /// Stat. Reply: `u32 kind` (0 file, 1 dir), `u64 size`,
+    /// `u32 blocks`.
+    pub const STAT: u32 = 9;
+    /// Rename within a directory. Params: `str from`, `str to`.
+    pub const RENAME: u32 = 10;
+    /// Truncate a file to `u64 size` (frees whole blocks past the end).
+    pub const TRUNCATE: u32 = 11;
+}
+
+/// What an i-node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A regular file.
+    File,
+    /// A directory.
+    Dir,
+}
+
+#[derive(Debug)]
+enum Node {
+    File {
+        size: u64,
+        /// Full-rights block capabilities, private to this server.
+        blocks: Vec<Capability>,
+    },
+    Dir {
+        entries: BTreeMap<String, Capability>,
+    },
+}
+
+/// Stat result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stat {
+    /// File or directory.
+    pub kind: NodeKind,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Allocated blocks (0 for directories).
+    pub blocks: u32,
+}
+
+/// The UNIX-like file server.
+#[derive(Debug)]
+pub struct UnixFsServer {
+    table: ObjectTable<Node>,
+    disk: BlockClient,
+    block_size: u32,
+    root: Option<Capability>,
+}
+
+impl UnixFsServer {
+    /// Creates the server as a client of the block server at
+    /// `disk_port`.
+    ///
+    /// # Panics
+    /// Panics if the block server cannot be reached to learn its
+    /// geometry.
+    pub fn new(net: &Network, disk_port: Port, scheme: SchemeKind) -> UnixFsServer {
+        let disk = BlockClient::open(net, disk_port);
+        let block_size = disk
+            .statfs()
+            .expect("block server must be reachable at construction")
+            .block_size;
+        UnixFsServer {
+            table: ObjectTable::unbound(scheme.instantiate()),
+            disk,
+            block_size,
+            root: None,
+        }
+    }
+
+    fn dir_insert(&mut self, req: &Request, node: Node, name: String) -> Reply {
+        if name.is_empty() || name.contains('/') {
+            return Reply::status(Status::BadRequest);
+        }
+        // Pre-check the directory and name before creating the inode.
+        let exists = self.table.with_object(&req.cap, Rights::WRITE, |n| match n {
+            Node::Dir { entries } => Some(entries.contains_key(&name)),
+            Node::File { .. } => None,
+        });
+        match exists {
+            Ok(Some(false)) => {}
+            Ok(Some(true)) => return Reply::status(Status::Conflict),
+            Ok(None) => return Reply::status(Status::BadRequest),
+            Err(e) => return Reply::status(e.into()),
+        }
+        let (_, new_cap) = self.table.create(node);
+        let inserted = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| {
+            if let Node::Dir { entries } = n {
+                entries.insert(name.clone(), new_cap);
+            }
+        });
+        match inserted {
+            Ok(()) => Reply::ok(wire::Writer::new().cap(&new_cap).finish()),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn lookup(&self, req: &Request) -> Reply {
+        let Some(name) = wire::Reader::new(&req.params).str() else {
+            return Reply::status(Status::BadRequest);
+        };
+        let found = self.table.with_object(&req.cap, Rights::READ, |n| match n {
+            Node::Dir { entries } => Some(entries.get(&name).copied()),
+            Node::File { .. } => None,
+        });
+        match found {
+            Ok(Some(Some(cap))) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
+            Ok(Some(None)) => Reply::status(Status::NotFound),
+            Ok(None) => Reply::status(Status::BadRequest),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn readdir(&self, req: &Request) -> Reply {
+        let listing = self.table.with_object(&req.cap, Rights::READ, |n| match n {
+            Node::Dir { entries } => Some(entries.clone()),
+            Node::File { .. } => None,
+        });
+        let entries = match listing {
+            Ok(Some(e)) => e,
+            Ok(None) => return Reply::status(Status::BadRequest),
+            Err(e) => return Reply::status(e.into()),
+        };
+        let mut w = wire::Writer::new().u32(entries.len() as u32);
+        for (name, cap) in &entries {
+            let kind = self
+                .table
+                .with_data(cap.object, |n| matches!(n, Node::Dir { .. }) as u32)
+                .unwrap_or(0);
+            w = w.str(name).u32(kind);
+        }
+        Reply::ok(w.finish())
+    }
+
+    fn unlink(&mut self, req: &Request) -> Reply {
+        let Some(name) = wire::Reader::new(&req.params).str() else {
+            return Reply::status(Status::BadRequest);
+        };
+        // Find the victim first.
+        let victim = self.table.with_object(&req.cap, Rights::WRITE, |n| match n {
+            Node::Dir { entries } => Some(entries.get(&name).copied()),
+            Node::File { .. } => None,
+        });
+        let victim_cap = match victim {
+            Ok(Some(Some(cap))) => cap,
+            Ok(Some(None)) => return Reply::status(Status::NotFound),
+            Ok(None) => return Reply::status(Status::BadRequest),
+            Err(e) => return Reply::status(e.into()),
+        };
+        // Directories must be empty; files give their blocks back.
+        let blocks = match self.table.with_data(victim_cap.object, |n| match n {
+            Node::Dir { entries } => {
+                if entries.is_empty() {
+                    Some(Vec::new())
+                } else {
+                    None
+                }
+            }
+            Node::File { blocks, .. } => Some(blocks.clone()),
+        }) {
+            Some(Some(b)) => b,
+            Some(None) => return Reply::status(Status::Conflict),
+            None => Vec::new(), // dangling entry: just drop it
+        };
+        let removed = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| {
+            if let Node::Dir { entries } = n {
+                entries.remove(&name);
+            }
+        });
+        if let Err(e) = removed {
+            return Reply::status(e.into());
+        }
+        // Destroy the inode and free its disk blocks.
+        let _ = self.table.delete(&victim_cap, Rights::NONE);
+        for b in blocks {
+            let _ = self.disk.free(&b);
+        }
+        Reply::ok(Bytes::new())
+    }
+
+    fn read(&self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(offset), Some(len)) = (r.u64(), r.u32()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        let meta = self.table.with_object(&req.cap, Rights::READ, |n| match n {
+            Node::File { size, blocks } => Some((*size, blocks.clone())),
+            Node::Dir { .. } => None,
+        });
+        let (size, blocks) = match meta {
+            Ok(Some(m)) => m,
+            Ok(None) => return Reply::status(Status::BadRequest),
+            Err(e) => return Reply::status(e.into()),
+        };
+        let start = offset.min(size);
+        let end = offset.saturating_add(len as u64).min(size);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        let bs = self.block_size as u64;
+        let mut pos = start;
+        while pos < end {
+            let block_idx = (pos / bs) as usize;
+            let within = (pos % bs) as u32;
+            let take = ((bs - within as u64).min(end - pos)) as u32;
+            match blocks.get(block_idx) {
+                Some(bcap) => match self.disk.read(bcap, within, take) {
+                    Ok(data) => out.extend_from_slice(&data),
+                    Err(_) => return Reply::status(Status::NoSpace),
+                },
+                None => out.extend(std::iter::repeat(0u8).take(take as usize)),
+            }
+            pos += take as u64;
+        }
+        Reply::ok(Bytes::from(out))
+    }
+
+    fn write(&mut self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(offset), Some(data)) = (r.u64(), r.bytes()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        let meta = self.table.with_object(&req.cap, Rights::WRITE, |n| match n {
+            Node::File { size, blocks } => Some((*size, blocks.clone())),
+            Node::Dir { .. } => None,
+        });
+        let (old_size, mut blocks) = match meta {
+            Ok(Some(m)) => m,
+            Ok(None) => return Reply::status(Status::BadRequest),
+            Err(e) => return Reply::status(e.into()),
+        };
+        let bs = self.block_size as u64;
+        let end = match offset.checked_add(data.len() as u64) {
+            Some(e) => e,
+            None => return Reply::status(Status::OutOfRange),
+        };
+        // Allocate blocks out to the new end.
+        let needed_blocks = (end.div_ceil(bs)) as usize;
+        while blocks.len() < needed_blocks {
+            match self.disk.alloc() {
+                Ok(cap) => blocks.push(cap),
+                Err(ClientError::Status(s)) => return Reply::status(s),
+                Err(_) => return Reply::status(Status::NoSpace),
+            }
+        }
+        // Scatter the data across blocks.
+        let mut pos = offset;
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let block_idx = (pos / bs) as usize;
+            let within = (pos % bs) as u32;
+            let take = ((bs - within as u64) as usize).min(remaining.len());
+            if let Err(e) = self.disk.write(&blocks[block_idx], within, &remaining[..take]) {
+                return Reply::status(match e {
+                    ClientError::Status(s) => s,
+                    _ => Status::NoSpace,
+                });
+            }
+            pos += take as u64;
+            remaining = &remaining[take..];
+        }
+        let new_size = old_size.max(end);
+        let update = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| {
+            if let Node::File { size, blocks: b } = n {
+                *size = new_size;
+                *b = blocks.clone();
+            }
+        });
+        match update {
+            Ok(()) => Reply::ok(wire::Writer::new().u64(new_size).finish()),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn rename(&self, req: &Request) -> Reply {
+        let mut r = wire::Reader::new(&req.params);
+        let (Some(from), Some(to)) = (r.str(), r.str()) else {
+            return Reply::status(Status::BadRequest);
+        };
+        if to.is_empty() || to.contains('/') {
+            return Reply::status(Status::BadRequest);
+        }
+        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| match n {
+            Node::Dir { entries } => {
+                if from == to {
+                    return if entries.contains_key(&from) {
+                        Ok(())
+                    } else {
+                        Err(Status::NotFound)
+                    };
+                }
+                if entries.contains_key(&to) {
+                    return Err(Status::Conflict);
+                }
+                match entries.remove(&from) {
+                    Some(cap) => {
+                        entries.insert(to.clone(), cap);
+                        Ok(())
+                    }
+                    None => Err(Status::NotFound),
+                }
+            }
+            Node::File { .. } => Err(Status::BadRequest),
+        });
+        match result {
+            Ok(Ok(())) => Reply::ok(Bytes::new()),
+            Ok(Err(status)) => Reply::status(status),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn truncate(&mut self, req: &Request) -> Reply {
+        let Some(new_size) = wire::Reader::new(&req.params).u64() else {
+            return Reply::status(Status::BadRequest);
+        };
+        let bs = self.block_size as u64;
+        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| match n {
+            Node::File { size, blocks } => {
+                if new_size > *size {
+                    return Err(Status::OutOfRange); // truncate shrinks only
+                }
+                *size = new_size;
+                let keep = new_size.div_ceil(bs) as usize;
+                Ok(blocks.split_off(keep))
+            }
+            Node::Dir { .. } => Err(Status::BadRequest),
+        });
+        match result {
+            Ok(Ok(freed)) => {
+                for b in freed {
+                    let _ = self.disk.free(&b);
+                }
+                Reply::ok(Bytes::new())
+            }
+            Ok(Err(status)) => Reply::status(status),
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+
+    fn stat(&self, req: &Request) -> Reply {
+        match self.table.with_object(&req.cap, Rights::READ, |n| match n {
+            Node::File { size, blocks } => (0u32, *size, blocks.len() as u32),
+            Node::Dir { entries } => (1u32, entries.len() as u64, 0),
+        }) {
+            Ok((kind, size, blocks)) => {
+                Reply::ok(wire::Writer::new().u32(kind).u64(size).u32(blocks).finish())
+            }
+            Err(e) => Reply::status(e.into()),
+        }
+    }
+}
+
+impl Service for UnixFsServer {
+    fn bind(&mut self, put_port: Port) {
+        self.table.set_port(put_port);
+        let (_, root) = self.table.create(Node::Dir {
+            entries: BTreeMap::new(),
+        });
+        self.root = Some(root);
+    }
+
+    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+        if let Some(reply) = self.table.handle_std(req) {
+            return reply;
+        }
+        match req.command {
+            ops::ROOT => match self.root {
+                Some(root) => Reply::ok(wire::Writer::new().cap(&root).finish()),
+                None => Reply::status(Status::NoSuchObject),
+            },
+            ops::CREATE => {
+                let Some(name) = wire::Reader::new(&req.params).str() else {
+                    return Reply::status(Status::BadRequest);
+                };
+                self.dir_insert(
+                    req,
+                    Node::File {
+                        size: 0,
+                        blocks: Vec::new(),
+                    },
+                    name,
+                )
+            }
+            ops::MKDIR => {
+                let Some(name) = wire::Reader::new(&req.params).str() else {
+                    return Reply::status(Status::BadRequest);
+                };
+                self.dir_insert(
+                    req,
+                    Node::Dir {
+                        entries: BTreeMap::new(),
+                    },
+                    name,
+                )
+            }
+            ops::LOOKUP => self.lookup(req),
+            ops::READDIR => self.readdir(req),
+            ops::UNLINK => self.unlink(req),
+            ops::READ => self.read(req),
+            ops::WRITE => self.write(req),
+            ops::STAT => self.stat(req),
+            ops::RENAME => self.rename(req),
+            ops::TRUNCATE => self.truncate(req),
+            _ => Reply::status(Status::BadCommand),
+        }
+    }
+}
+
+/// A typed client for the UNIX-like file system.
+#[derive(Debug)]
+pub struct UnixFsClient {
+    svc: ServiceClient,
+    port: Port,
+}
+
+impl UnixFsClient {
+    /// A client on a fresh open-interface machine.
+    pub fn open(net: &Network, port: Port) -> UnixFsClient {
+        UnixFsClient {
+            svc: ServiceClient::open(net),
+            port,
+        }
+    }
+
+    /// A client over an existing [`ServiceClient`].
+    pub fn with_service(svc: ServiceClient, port: Port) -> UnixFsClient {
+        UnixFsClient { svc, port }
+    }
+
+    /// The root directory capability.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn root(&self) -> Result<Capability, ClientError> {
+        let body = self.svc.call_anonymous(self.port, ops::ROOT, Bytes::new())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Creates an empty file named `name` in `dir`.
+    ///
+    /// # Errors
+    /// `Conflict` if the name exists; rights/validation errors.
+    pub fn create(&self, dir: &Capability, name: &str) -> Result<Capability, ClientError> {
+        let body = self
+            .svc
+            .call(dir, ops::CREATE, wire::Writer::new().str(name).finish())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Creates a subdirectory.
+    ///
+    /// # Errors
+    /// As for [`create`](Self::create).
+    pub fn mkdir(&self, dir: &Capability, name: &str) -> Result<Capability, ClientError> {
+        let body = self
+            .svc
+            .call(dir, ops::MKDIR, wire::Writer::new().str(name).finish())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Looks up one name in a directory.
+    ///
+    /// # Errors
+    /// `NotFound`; rights/validation errors.
+    pub fn lookup(&self, dir: &Capability, name: &str) -> Result<Capability, ClientError> {
+        let body = self
+            .svc
+            .call(dir, ops::LOOKUP, wire::Writer::new().str(name).finish())?;
+        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+    }
+
+    /// Walks a `/`-separated path from `dir`.
+    ///
+    /// # Errors
+    /// `NotFound` at the failing segment.
+    pub fn lookup_path(&self, dir: &Capability, path: &str) -> Result<Capability, ClientError> {
+        let mut current = *dir;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            current = self.lookup(&current, seg)?;
+        }
+        Ok(current)
+    }
+
+    /// Lists a directory as (name, kind) pairs.
+    ///
+    /// # Errors
+    /// Rights/validation errors.
+    pub fn readdir(&self, dir: &Capability) -> Result<Vec<(String, NodeKind)>, ClientError> {
+        let body = self.svc.call(dir, ops::READDIR, Bytes::new())?;
+        let mut r = wire::Reader::new(&body);
+        let n = r.u32().ok_or(ClientError::Malformed)?;
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let name = r.str().ok_or(ClientError::Malformed)?;
+            let kind = match r.u32().ok_or(ClientError::Malformed)? {
+                0 => NodeKind::File,
+                _ => NodeKind::Dir,
+            };
+            out.push((name, kind));
+        }
+        Ok(out)
+    }
+
+    /// Removes `name` from `dir` (files are freed; directories must be
+    /// empty).
+    ///
+    /// # Errors
+    /// `NotFound`, `Conflict` for non-empty directories.
+    pub fn unlink(&self, dir: &Capability, name: &str) -> Result<(), ClientError> {
+        self.svc
+            .call(dir, ops::UNLINK, wire::Writer::new().str(name).finish())?;
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes at `offset` (short at EOF).
+    ///
+    /// # Errors
+    /// Rights/validation errors.
+    pub fn read(&self, file: &Capability, offset: u64, len: u32) -> Result<Vec<u8>, ClientError> {
+        let body = self.svc.call(
+            file,
+            ops::READ,
+            wire::Writer::new().u64(offset).u32(len).finish(),
+        )?;
+        Ok(body.to_vec())
+    }
+
+    /// Writes at `offset`, extending the file; returns the new size.
+    ///
+    /// # Errors
+    /// `NoSpace` when the underlying disk fills.
+    pub fn write(&self, file: &Capability, offset: u64, data: &[u8]) -> Result<u64, ClientError> {
+        let body = self.svc.call(
+            file,
+            ops::WRITE,
+            wire::Writer::new().u64(offset).bytes(data).finish(),
+        )?;
+        wire::Reader::new(&body).u64().ok_or(ClientError::Malformed)
+    }
+
+    /// Stats a file or directory.
+    ///
+    /// # Errors
+    /// Rights/validation errors.
+    pub fn stat(&self, cap: &Capability) -> Result<Stat, ClientError> {
+        let body = self.svc.call(cap, ops::STAT, Bytes::new())?;
+        let mut r = wire::Reader::new(&body);
+        match (r.u32(), r.u64(), r.u32()) {
+            (Some(kind), Some(size), Some(blocks)) => Ok(Stat {
+                kind: if kind == 0 { NodeKind::File } else { NodeKind::Dir },
+                size,
+                blocks,
+            }),
+            _ => Err(ClientError::Malformed),
+        }
+    }
+
+    /// Renames `from` to `to` within `dir`.
+    ///
+    /// # Errors
+    /// `NotFound`/`Conflict` as for the directory server.
+    pub fn rename(&self, dir: &Capability, from: &str, to: &str) -> Result<(), ClientError> {
+        self.svc.call(
+            dir,
+            ops::RENAME,
+            wire::Writer::new().str(from).str(to).finish(),
+        )?;
+        Ok(())
+    }
+
+    /// Truncates `file` to `size` bytes (shrink only); whole blocks past
+    /// the new end are returned to the block server.
+    ///
+    /// # Errors
+    /// `OutOfRange` for growth; rights/validation errors.
+    pub fn truncate(&self, file: &Capability, size: u64) -> Result<(), ClientError> {
+        self.svc
+            .call(file, ops::TRUNCATE, wire::Writer::new().u64(size).finish())?;
+        Ok(())
+    }
+
+    /// Access to the generic capability operations.
+    pub fn service(&self) -> &ServiceClient {
+        &self.svc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_block::{BlockServer, DiskConfig};
+    use amoeba_server::ServiceRunner;
+
+    fn setup_with(cfg: DiskConfig) -> (Network, ServiceRunner, ServiceRunner, UnixFsClient) {
+        let net = Network::new();
+        let disk = ServiceRunner::spawn_open(&net, BlockServer::new(cfg, SchemeKind::OneWay));
+        let server = UnixFsServer::new(&net, disk.put_port(), SchemeKind::Commutative);
+        let fs_runner = ServiceRunner::spawn_open(&net, server);
+        let client = UnixFsClient::open(&net, fs_runner.put_port());
+        (net, disk, fs_runner, client)
+    }
+
+    fn setup() -> (Network, ServiceRunner, ServiceRunner, UnixFsClient) {
+        setup_with(DiskConfig {
+            block_size: 256,
+            capacity_blocks: 64,
+        })
+    }
+
+    #[test]
+    fn tree_construction_and_path_walk() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        let usr = fs.mkdir(&root, "usr").unwrap();
+        let bin = fs.mkdir(&usr, "bin").unwrap();
+        let ls = fs.create(&bin, "ls").unwrap();
+        fs.write(&ls, 0, b"#!ls binary").unwrap();
+        let found = fs.lookup_path(&root, "usr/bin/ls").unwrap();
+        assert_eq!(found, ls);
+        assert_eq!(&fs.read(&found, 0, 11).unwrap(), b"#!ls binary");
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn multi_block_file_io() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        let f = fs.create(&root, "big").unwrap();
+        // 1000 bytes across four 256-byte blocks, written in odd chunks.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut off = 0usize;
+        for chunk in data.chunks(313) {
+            fs.write(&f, off as u64, chunk).unwrap();
+            off += chunk.len();
+        }
+        assert_eq!(fs.stat(&f).unwrap().size, 1000);
+        assert_eq!(fs.stat(&f).unwrap().blocks, 4);
+        assert_eq!(fs.read(&f, 0, 1000).unwrap(), data);
+        // Unaligned read spanning a block boundary.
+        assert_eq!(fs.read(&f, 250, 12).unwrap(), data[250..262]);
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn write_at_offset_creates_hole() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        let f = fs.create(&root, "sparse").unwrap();
+        fs.write(&f, 600, b"tail").unwrap();
+        assert_eq!(fs.stat(&f).unwrap().size, 604);
+        let head = fs.read(&f, 0, 600).unwrap();
+        assert!(head.iter().all(|&b| b == 0));
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn unlink_frees_disk_blocks() {
+        let (net, disk, fsr, fs) = setup();
+        let stats = BlockClient::open(&net, disk.put_port());
+        let root = fs.root().unwrap();
+        let f = fs.create(&root, "victim").unwrap();
+        fs.write(&f, 0, &vec![7u8; 1024]).unwrap(); // 4 blocks
+        assert_eq!(stats.statfs().unwrap().allocated_blocks, 4);
+        fs.unlink(&root, "victim").unwrap();
+        assert_eq!(stats.statfs().unwrap().allocated_blocks, 0);
+        assert_eq!(
+            fs.lookup(&root, "victim").unwrap_err(),
+            ClientError::Status(Status::NotFound)
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn unlink_nonempty_directory_refused() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        let d = fs.mkdir(&root, "d").unwrap();
+        fs.create(&d, "f").unwrap();
+        assert_eq!(
+            fs.unlink(&root, "d").unwrap_err(),
+            ClientError::Status(Status::Conflict)
+        );
+        fs.unlink(&d, "f").unwrap();
+        fs.unlink(&root, "d").unwrap();
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn readdir_kinds() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        fs.mkdir(&root, "dir").unwrap();
+        fs.create(&root, "file").unwrap();
+        let listing = fs.readdir(&root).unwrap();
+        assert_eq!(
+            listing,
+            vec![
+                ("dir".to_string(), NodeKind::Dir),
+                ("file".to_string(), NodeKind::File),
+            ]
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn disk_exhaustion_surfaces_as_no_space() {
+        let (_n, disk, fsr, fs) = setup_with(DiskConfig {
+            block_size: 128,
+            capacity_blocks: 2,
+        });
+        let root = fs.root().unwrap();
+        let f = fs.create(&root, "hog").unwrap();
+        fs.write(&f, 0, &vec![1u8; 256]).unwrap(); // both blocks
+        assert_eq!(
+            fs.write(&f, 256, b"more").unwrap_err(),
+            ClientError::Status(Status::NoSpace)
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn read_only_file_cap_cannot_write() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        let f = fs.create(&root, "f").unwrap();
+        fs.write(&f, 0, b"data").unwrap();
+        let ro = fs.service().restrict(&f, Rights::READ).unwrap();
+        assert_eq!(&fs.read(&ro, 0, 4).unwrap(), b"data");
+        assert_eq!(
+            fs.write(&ro, 0, b"nope").unwrap_err(),
+            ClientError::Status(Status::RightsViolation)
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn rename_moves_entries() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        let f = fs.create(&root, "draft.txt").unwrap();
+        fs.write(&f, 0, b"words").unwrap();
+        fs.rename(&root, "draft.txt", "final.txt").unwrap();
+        assert_eq!(fs.lookup(&root, "final.txt").unwrap(), f);
+        assert_eq!(
+            fs.lookup(&root, "draft.txt").unwrap_err(),
+            ClientError::Status(Status::NotFound)
+        );
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn truncate_frees_blocks_and_clamps_reads() {
+        let (net, disk, fsr, fs) = setup();
+        let stats = BlockClient::open(&net, disk.put_port());
+        let root = fs.root().unwrap();
+        let f = fs.create(&root, "log").unwrap();
+        fs.write(&f, 0, &vec![9u8; 1000]).unwrap(); // 4 × 256B blocks
+        assert_eq!(stats.statfs().unwrap().allocated_blocks, 4);
+
+        fs.truncate(&f, 300).unwrap(); // keep 2 blocks
+        assert_eq!(stats.statfs().unwrap().allocated_blocks, 2);
+        assert_eq!(fs.stat(&f).unwrap().size, 300);
+        assert_eq!(fs.read(&f, 0, 2000).unwrap().len(), 300);
+
+        // Growth via truncate is refused; writes still extend.
+        assert_eq!(
+            fs.truncate(&f, 301).unwrap_err(),
+            ClientError::Status(Status::OutOfRange)
+        );
+        fs.write(&f, 300, b"more").unwrap();
+        assert_eq!(fs.stat(&f).unwrap().size, 304);
+        fsr.stop();
+        disk.stop();
+    }
+
+    #[test]
+    fn duplicate_create_conflicts() {
+        let (_n, disk, fsr, fs) = setup();
+        let root = fs.root().unwrap();
+        fs.create(&root, "x").unwrap();
+        assert_eq!(
+            fs.create(&root, "x").unwrap_err(),
+            ClientError::Status(Status::Conflict)
+        );
+        assert_eq!(
+            fs.mkdir(&root, "x").unwrap_err(),
+            ClientError::Status(Status::Conflict)
+        );
+        fsr.stop();
+        disk.stop();
+    }
+}

@@ -1,0 +1,270 @@
+//! An interactive shell over the whole Amoeba stack — the kind of
+//! user-facing program the paper's services exist to support.
+//!
+//! Boots a bank, a directory service and a flat file service on one
+//! simulated network, then interprets commands:
+//!
+//! ```text
+//! ls [path]              list a directory
+//! mkdir <path>           create a directory
+//! put <path> <text...>   create/overwrite a file with text
+//! cat <path>             print a file
+//! rm <path>              remove a directory entry
+//! mv <path> <newname>    rename within a directory
+//! share <path>           print a read-only capability (hex) for a file
+//! use <hex>              cat a file directly from a pasted capability
+//! revoke <path>          revoke all outstanding capabilities for a file
+//! balance                show the wallet
+//! pay <amount>           transfer to the landlord account
+//! help / quit
+//! ```
+//!
+//! Run interactively: `cargo run --example amoeba_shell`
+//! Scripted demo:     `cargo run --example amoeba_shell -- --demo`
+
+use amoeba::prelude::*;
+use std::io::BufRead;
+
+struct Shell {
+    dirs: DirClient,
+    fs: FlatFsClient,
+    bank: BankClient,
+    wallet: Capability,
+    landlord: Capability,
+    root: Capability,
+}
+
+fn main() {
+    let net = Network::new();
+
+    let (bank_server, treasury_rx) = BankServer::new(
+        vec![Currency::convertible("dollar", 1)],
+        SchemeKind::Commutative,
+    );
+    let bank_runner = ServiceRunner::spawn_open(&net, bank_server);
+    let dir_runner = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+    let fs_runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
+
+    let bank = BankClient::open(&net, bank_runner.put_port());
+    let treasury = treasury_rx.recv().expect("treasury");
+    let wallet = bank.open_account().expect("wallet");
+    let landlord = bank.open_account().expect("landlord");
+    bank.mint(&treasury, &wallet, CurrencyId(0), 100).expect("allowance");
+
+    let dirs = DirClient::open(&net, dir_runner.put_port());
+    let fs = FlatFsClient::open(&net, fs_runner.put_port());
+    let root = dirs.create_dir().expect("root");
+
+    let mut shell = Shell {
+        dirs,
+        fs,
+        bank,
+        wallet,
+        landlord,
+        root,
+    };
+
+    let demo = std::env::args().any(|a| a == "--demo");
+    if demo {
+        let script = [
+            "mkdir docs",
+            "put docs/hello.txt greetings from amoeba",
+            "ls",
+            "ls docs",
+            "cat docs/hello.txt",
+            "mv docs/hello.txt welcome.txt",
+            "cat docs/welcome.txt",
+            "share docs/welcome.txt",
+            "balance",
+            "pay 30",
+            "balance",
+            "revoke docs/welcome.txt",
+            "rm docs/welcome.txt",
+            "ls docs",
+            "quit",
+        ];
+        for line in script {
+            println!("amoeba$ {line}");
+            if !shell.execute(line) {
+                break;
+            }
+        }
+    } else {
+        println!("amoeba shell — type 'help'");
+        let stdin = std::io::stdin();
+        print_prompt();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if !shell.execute(&line) {
+                break;
+            }
+            print_prompt();
+        }
+    }
+
+    fs_runner.stop();
+    dir_runner.stop();
+    bank_runner.stop();
+}
+
+fn print_prompt() {
+    use std::io::Write;
+    print!("amoeba$ ");
+    let _ = std::io::stdout().flush();
+}
+
+impl Shell {
+    /// Executes one command line; returns `false` on `quit`.
+    fn execute(&mut self, line: &str) -> bool {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else { return true };
+        let result = match cmd {
+            "quit" | "exit" => return false,
+            "help" => {
+                println!("commands: ls mkdir put cat rm mv share use revoke balance pay quit");
+                Ok(())
+            }
+            "ls" => self.ls(parts.next().unwrap_or("")),
+            "mkdir" => self.mkdir(parts.next()),
+            "put" => {
+                let path = parts.next();
+                let text = parts.collect::<Vec<_>>().join(" ");
+                self.put(path, &text)
+            }
+            "cat" => self.cat(parts.next()),
+            "rm" => self.rm(parts.next()),
+            "mv" => self.mv(parts.next(), parts.next()),
+            "share" => self.share(parts.next()),
+            "use" => self.use_cap(parts.next()),
+            "revoke" => self.revoke(parts.next()),
+            "balance" => {
+                println!(
+                    "wallet: {} dollars (landlord holds {})",
+                    self.bank.balance(&self.wallet, CurrencyId(0)).unwrap_or(0),
+                    self.bank.balance(&self.landlord, CurrencyId(0)).unwrap_or(0)
+                );
+                Ok(())
+            }
+            "pay" => self.pay(parts.next()),
+            other => {
+                println!("unknown command: {other} (try 'help')");
+                Ok(())
+            }
+        };
+        if let Err(e) = result {
+            println!("error: {e}");
+        }
+        true
+    }
+
+    /// Splits `a/b/c` into (capability of a/b, "c").
+    fn resolve_parent<'p>(&self, path: &'p str) -> Result<(Capability, &'p str), ClientError> {
+        match path.rsplit_once('/') {
+            Some((dir_path, name)) => Ok((self.dirs.walk(&self.root, dir_path)?, name)),
+            None => Ok((self.root, path)),
+        }
+    }
+
+    fn ls(&self, path: &str) -> Result<(), ClientError> {
+        let dir = self.dirs.walk(&self.root, path)?;
+        let names = self.dirs.list(&dir)?;
+        if names.is_empty() {
+            println!("(empty)");
+        } else {
+            println!("{}", names.join("  "));
+        }
+        Ok(())
+    }
+
+    fn mkdir(&self, path: Option<&str>) -> Result<(), ClientError> {
+        let path = path.ok_or(ClientError::Malformed)?;
+        let (parent, name) = self.resolve_parent(path)?;
+        let new_dir = self.dirs.create_dir()?;
+        self.dirs.enter(&parent, name, &new_dir)
+    }
+
+    fn put(&self, path: Option<&str>, text: &str) -> Result<(), ClientError> {
+        let path = path.ok_or(ClientError::Malformed)?;
+        let (parent, name) = self.resolve_parent(path)?;
+        match self.dirs.lookup(&parent, name) {
+            Ok(existing) => {
+                self.fs.write(&existing, 0, text.as_bytes())?;
+            }
+            Err(ClientError::Status(Status::NotFound)) => {
+                let file = self.fs.create()?;
+                self.fs.write(&file, 0, text.as_bytes())?;
+                self.dirs.enter(&parent, name, &file)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    fn cat(&self, path: Option<&str>) -> Result<(), ClientError> {
+        let path = path.ok_or(ClientError::Malformed)?;
+        let file = self.dirs.walk(&self.root, path)?;
+        let size = self.fs.size(&file)?;
+        let data = self.fs.read(&file, 0, size as u32)?;
+        println!("{}", String::from_utf8_lossy(&data));
+        Ok(())
+    }
+
+    fn rm(&self, path: Option<&str>) -> Result<(), ClientError> {
+        let path = path.ok_or(ClientError::Malformed)?;
+        let (parent, name) = self.resolve_parent(path)?;
+        self.dirs.remove(&parent, name)
+    }
+
+    fn mv(&self, path: Option<&str>, new_name: Option<&str>) -> Result<(), ClientError> {
+        let (path, new_name) = match (path, new_name) {
+            (Some(p), Some(n)) => (p, n),
+            _ => return Err(ClientError::Malformed),
+        };
+        let (parent, name) = self.resolve_parent(path)?;
+        self.dirs.rename(&parent, name, new_name)
+    }
+
+    fn share(&self, path: Option<&str>) -> Result<(), ClientError> {
+        let path = path.ok_or(ClientError::Malformed)?;
+        let file = self.dirs.walk(&self.root, path)?;
+        // Scheme 3: diminish locally, print the bits. Anyone can paste
+        // them into `use` — capabilities are bearer tokens.
+        let scheme = CommutativeScheme::standard();
+        let ro = scheme
+            .diminish(&file, Rights::ALL.without(Rights::READ))
+            .map_err(|_| ClientError::Malformed)?;
+        println!("read-only capability: {}", ro.to_hex());
+        Ok(())
+    }
+
+    fn use_cap(&self, hex: Option<&str>) -> Result<(), ClientError> {
+        let hex = hex.ok_or(ClientError::Malformed)?;
+        let cap = Capability::from_hex(hex).ok_or(ClientError::Malformed)?;
+        let size = self.fs.size(&cap)?;
+        let data = self.fs.read(&cap, 0, size as u32)?;
+        println!("{}", String::from_utf8_lossy(&data));
+        Ok(())
+    }
+
+    fn revoke(&self, path: Option<&str>) -> Result<(), ClientError> {
+        let path = path.ok_or(ClientError::Malformed)?;
+        let (parent, name) = self.resolve_parent(path)?;
+        let file = self.dirs.lookup(&parent, name)?;
+        let fresh = self.fs.service().revoke(&file)?;
+        // Re-enter the fresh capability under the same name.
+        self.dirs.remove(&parent, name)?;
+        self.dirs.enter(&parent, name, &fresh)?;
+        println!("revoked; all shared capabilities for {path} are dead");
+        Ok(())
+    }
+
+    fn pay(&self, amount: Option<&str>) -> Result<(), ClientError> {
+        let amount: u64 = amount
+            .and_then(|a| a.parse().ok())
+            .ok_or(ClientError::Malformed)?;
+        self.bank
+            .transfer(&self.wallet, &self.landlord, CurrencyId(0), amount)?;
+        println!("paid {amount} dollars");
+        Ok(())
+    }
+}

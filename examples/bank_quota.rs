@@ -1,0 +1,111 @@
+//! Resource control with the bank server (§3.6).
+//!
+//! The file server charges dollars per kilobyte of quota; CPU time is
+//! priced in francs; the two currencies convert at the bank. A client
+//! that runs out of dollars simply cannot create more file space —
+//! "quotas can be implemented by limiting how many dollars each client
+//! has".
+//!
+//! Run with: `cargo run --example bank_quota`
+
+use amoeba::prelude::*;
+
+const DOLLAR: CurrencyId = CurrencyId(0);
+const FRANC: CurrencyId = CurrencyId(1);
+const PAGE: CurrencyId = CurrencyId(2);
+
+fn main() {
+    let net = Network::new();
+
+    // --- The bank, with three currencies ---------------------------------
+    let (bank_server, treasury_rx) = BankServer::new(
+        vec![
+            Currency::convertible("dollar", 6), // 6 base units
+            Currency::convertible("franc", 1),  // 1 base unit
+            Currency::inconvertible("typesetter-page"),
+        ],
+        SchemeKind::Commutative,
+    );
+    let bank_runner = ServiceRunner::spawn_open(&net, bank_server);
+    let treasury = treasury_rx.recv().expect("treasury capability");
+    let bank = BankClient::open(&net, bank_runner.put_port());
+    println!("bank running on {}", bank_runner.put_port());
+
+    // --- The metered file server: its own account, 2 dollars per KiB ----
+    let fs_account = bank.open_account().expect("file server account");
+    // Keep a read-only view so the demo can audit earnings at the end.
+    let fs_account_audit = bank
+        .service()
+        .restrict(&fs_account, Rights::READ)
+        .expect("audit capability");
+    let fs_server = FlatFsServer::with_quota(
+        SchemeKind::Commutative,
+        QuotaPolicy {
+            bank: BankClient::open(&net, bank_runner.put_port()),
+            server_account: fs_account,
+            currency: DOLLAR,
+            price_per_kib: 2,
+        },
+    );
+    let fs_runner = ServiceRunner::spawn_open(&net, fs_server);
+    let fs = FlatFsClient::open(&net, fs_runner.put_port());
+    println!("metered file server running; price: 2 dollars per KiB");
+
+    // --- A client with a modest salary -----------------------------------
+    let wallet = bank.open_account().expect("client wallet");
+    bank.mint(&treasury, &wallet, DOLLAR, 10).expect("salary");
+    bank.mint(&treasury, &wallet, FRANC, 120).expect("cpu budget");
+    bank.mint(&treasury, &wallet, PAGE, 3).expect("page ration");
+    println!(
+        "client wallet: {} dollars, {} francs, {} pages",
+        bank.balance(&wallet, DOLLAR).unwrap(),
+        bank.balance(&wallet, FRANC).unwrap(),
+        bank.balance(&wallet, PAGE).unwrap()
+    );
+
+    // Pre-pay 8 dollars => 4 KiB of file quota.
+    let file = fs.create_paid(&wallet, 8).expect("paid create");
+    println!(
+        "created a file with a 4 KiB quota; wallet now holds {} dollars",
+        bank.balance(&wallet, DOLLAR).unwrap()
+    );
+    fs.write(&file, 0, &vec![b'x'; 4096]).expect("fits in quota");
+    match fs.write(&file, 4096, b"over") {
+        Err(ClientError::Status(Status::NoSpace)) => {
+            println!("write past the paid quota: refused (no space)")
+        }
+        other => panic!("expected quota refusal, got {other:?}"),
+    }
+
+    // Broke: 2 dollars left, the next create needs more.
+    match fs.create_paid(&wallet, 8) {
+        Err(ClientError::Status(Status::InsufficientFunds)) => {
+            println!("second 8-dollar file: refused (insufficient funds)")
+        }
+        other => panic!("expected insufficient funds, got {other:?}"),
+    }
+
+    // Convert unspent CPU francs into dollars (120 francs = 120 base
+    // units = 20 dollars) and buy the file after all.
+    let dollars = bank.convert(&wallet, FRANC, DOLLAR, 120).expect("convert");
+    println!("converted 120 francs into {dollars} dollars");
+    let second = fs.create_paid(&wallet, 8).expect("now affordable");
+    fs.write(&second, 0, b"bought with converted francs").unwrap();
+
+    // Typesetter pages, however, are inconvertible.
+    match bank.convert(&wallet, PAGE, DOLLAR, 1) {
+        Err(ClientError::Status(Status::Unsupported)) => {
+            println!("typesetter pages are inconvertible — refused, as configured")
+        }
+        other => panic!("expected unsupported, got {other:?}"),
+    }
+
+    // The file server got paid: two 8-dollar creates.
+    let earned = bank.balance(&fs_account_audit, DOLLAR).expect("audit");
+    println!("file server earned {earned} dollars");
+    assert_eq!(earned, 16);
+
+    fs_runner.stop();
+    bank_runner.stop();
+    println!("done");
+}

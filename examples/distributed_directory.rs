@@ -1,0 +1,78 @@
+//! Transparent distribution (§3.4): a directory tree spanning two
+//! directory servers and two file servers.
+//!
+//! The path `/projects/amoeba/paper.txt` is resolved hop by hop; the
+//! middle directory lives on a *different* directory server, and the
+//! files live on two different flat file servers. The client never
+//! notices: every capability routes itself.
+//!
+//! Run with: `cargo run --example distributed_directory`
+
+use amoeba::prelude::*;
+
+fn main() {
+    let net = Network::new();
+
+    // Two directory servers and two file servers, all independent
+    // processes on their own machines.
+    let dir1 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+    let dir2 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::OneWay));
+    let fs1 = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
+    let fs2 = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Encrypted));
+    println!(
+        "dir servers on {} and {}; file servers on {} and {}",
+        dir1.put_port(),
+        dir2.put_port(),
+        fs1.put_port(),
+        fs2.put_port()
+    );
+
+    let dirs = DirClient::open(&net, dir1.put_port());
+    let files1 = FlatFsClient::open(&net, fs1.put_port());
+    let files2 = FlatFsClient::open(&net, fs2.put_port());
+
+    // Build: / (server 1) → projects (server 1) → amoeba (server 2!)
+    let root = dirs.create_dir_on(dir1.put_port()).unwrap();
+    let projects = dirs.create_dir_on(dir1.put_port()).unwrap();
+    let amoeba_dir = dirs.create_dir_on(dir2.put_port()).unwrap();
+    dirs.enter(&root, "projects", &projects).unwrap();
+    dirs.enter(&projects, "amoeba", &amoeba_dir).unwrap();
+
+    // Two files on two different file servers, both named in the same
+    // directory on server 2.
+    let paper = files1.create().unwrap();
+    files1
+        .write(&paper, 0, b"Using Sparse Capabilities in a DOS")
+        .unwrap();
+    let notes = files2.create().unwrap();
+    files2.write(&notes, 0, b"port = F(get-port)").unwrap();
+    dirs.enter(&amoeba_dir, "paper.txt", &paper).unwrap();
+    dirs.enter(&amoeba_dir, "notes.txt", &notes).unwrap();
+
+    // Walk the path. Hops: dir1 → dir1 → dir2, then the file cap points
+    // at fs1. The client code is one line.
+    let found = dirs.walk(&root, "projects/amoeba/paper.txt").unwrap();
+    println!(
+        "walk('/projects/amoeba/paper.txt') -> {} (server field: {})",
+        found, found.port
+    );
+    assert_eq!(found, paper);
+    assert_ne!(root.port, amoeba_dir.port, "middle hop crossed servers");
+    assert_ne!(paper.port, notes.port, "files live on different servers");
+
+    // Read through whichever server the capability names.
+    let reader = FlatFsClient::open(&net, found.port);
+    let text = reader.read(&found, 0, 100).unwrap();
+    println!("read: {:?}", String::from_utf8_lossy(&text));
+
+    // Directory listing shows both entries, wherever they live.
+    let listing = dirs.list(&amoeba_dir).unwrap();
+    println!("ls /projects/amoeba -> {listing:?}");
+    assert_eq!(listing, vec!["notes.txt", "paper.txt"]);
+
+    println!("distribution was completely transparent — §3.4 reproduced");
+    dir1.stop();
+    dir2.stop();
+    fs1.stop();
+    fs2.stop();
+}

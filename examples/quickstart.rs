@@ -1,0 +1,81 @@
+//! Quickstart: the capability lifecycle of §2.3, end to end.
+//!
+//! A client creates a file on the flat file server, writes data into it,
+//! and gives another client permission to read — but not modify — the
+//! file, first by asking the server (schemes 1/2 style) and then by
+//! diminishing the capability locally (scheme 3). Finally the owner
+//! revokes everything.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use amoeba::prelude::*;
+
+fn main() {
+    // A broadcast network where every machine sits behind an F-box.
+    let net = Network::new();
+
+    // The file server, using the commutative-one-way-function scheme.
+    let runner = ServiceRunner::spawn_fbox(&net, FlatFsServer::new(SchemeKind::Commutative));
+    println!("file server listening on put-port {}", runner.put_port());
+
+    // --- The owner's machine -------------------------------------------
+    let owner = FlatFsClient::with_service(ServiceClient::fbox(&net), runner.put_port());
+    let cap = owner.create().expect("create file");
+    println!("owner minted {cap}");
+    owner
+        .write(&cap, 0, b"pay alice 100 guilders")
+        .expect("write file");
+
+    // --- Delegation, way 1: ask the server to fabricate a sub-capability
+    let read_only = owner
+        .service()
+        .restrict(&cap, Rights::READ)
+        .expect("server-side restrict");
+    println!("server fabricated read-only {read_only}");
+
+    // --- Delegation, way 2: scheme 3 lets us do it *locally* -----------
+    let scheme = CommutativeScheme::standard();
+    let read_only_local = scheme
+        .diminish(&cap, Rights::ALL.without(Rights::READ))
+        .expect("local diminish");
+    assert_eq!(
+        read_only, read_only_local,
+        "both roads mint the identical capability"
+    );
+    println!("local diminish produced the same bits — no server round trip needed");
+
+    // --- The friend's machine -------------------------------------------
+    let friend = FlatFsClient::with_service(ServiceClient::fbox(&net), runner.put_port());
+    let contents = friend.read(&read_only, 0, 100).expect("friend reads");
+    println!("friend read: {:?}", String::from_utf8_lossy(&contents));
+
+    match friend.write(&read_only, 4, b"mallory") {
+        Err(ClientError::Status(Status::RightsViolation)) => {
+            println!("friend's write attempt: rejected (insufficient rights) — as designed")
+        }
+        other => panic!("write should have been refused, got {other:?}"),
+    }
+
+    // Tampering the rights field back on does not help.
+    let forged = read_only.with_rights(Rights::ALL);
+    match friend.write(&forged, 4, b"mallory") {
+        Err(ClientError::Status(Status::Forged)) => {
+            println!("friend's forged-rights attempt: rejected (capability does not validate)")
+        }
+        other => panic!("forgery should have been detected, got {other:?}"),
+    }
+
+    // --- Revocation -------------------------------------------------------
+    let fresh = owner.service().revoke(&cap).expect("revoke");
+    match friend.read(&read_only, 0, 100) {
+        Err(ClientError::Status(Status::Forged)) => {
+            println!("after revocation the friend's capability is dead")
+        }
+        other => panic!("revoked capability should fail, got {other:?}"),
+    }
+    let contents = owner.read(&fresh, 0, 100).expect("owner still reads");
+    assert_eq!(&contents, b"pay alice 100 guilders");
+    println!("owner's fresh capability still works — done");
+
+    runner.stop();
+}

@@ -1,0 +1,136 @@
+//! Failure injection: the connectionless RPC design under loss, delay
+//! and server restart. §2.1's "no connections or virtual circuits or
+//! any other long-lived communication structures" means recovery needs
+//! no state machinery — a retransmitted request either reaches a server
+//! or it does not.
+
+use amoeba::prelude::*;
+use std::time::Duration;
+
+fn patient() -> RpcConfig {
+    RpcConfig {
+        timeout: Duration::from_millis(40),
+        attempts: 50,
+    }
+}
+
+#[test]
+fn rpc_completes_under_heavy_loss() {
+    let net = Network::new();
+    net.reseed(1);
+    let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::OneWay));
+    let fs = FlatFsClient::with_service(
+        ServiceClient::open_with_config(&net, patient()),
+        runner.put_port(),
+    );
+
+    net.set_drop_rate(0.5);
+    let cap = fs.create().expect("create at 50% loss");
+    for i in 0..10u64 {
+        fs.write(&cap, i * 3, b"abc").expect("write at 50% loss");
+    }
+    net.set_drop_rate(0.0);
+    assert_eq!(fs.size(&cap).unwrap(), 9 * 3 + 3);
+    runner.stop();
+}
+
+#[test]
+fn writes_are_idempotent_under_duplication() {
+    // At-least-once delivery duplicates operations; absolute-offset
+    // writes are naturally idempotent, which is why the flat file
+    // interface uses them (no append).
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Simple));
+    let fs = FlatFsClient::with_service(ServiceClient::open(&net), runner.put_port());
+    let cap = fs.create().unwrap();
+    for _ in 0..5 {
+        // The same logical write delivered five times...
+        fs.write(&cap, 0, b"exactly these bytes").unwrap();
+    }
+    // ...leaves exactly one copy of the data.
+    assert_eq!(fs.size(&cap).unwrap(), 19);
+    assert_eq!(&fs.read(&cap, 0, 100).unwrap(), b"exactly these bytes");
+    runner.stop();
+}
+
+#[test]
+fn stale_capabilities_do_not_survive_a_fresh_server() {
+    // Capabilities are pure data and outlive their server process; but
+    // a *replacement* server with fresh per-object secrets must reject
+    // them — holding the bits is worthless without the secrets.
+    let net = Network::new();
+    let runner1 = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
+    let fs1 = FlatFsClient::with_service(ServiceClient::open(&net), runner1.put_port());
+    let cap1 = fs1.create().unwrap();
+    fs1.write(&cap1, 0, b"persistent?").unwrap();
+    runner1.stop();
+
+    let runner2 = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
+    let fs2 = FlatFsClient::with_service(
+        ServiceClient::open_with_config(
+            &net,
+            RpcConfig {
+                timeout: Duration::from_millis(100),
+                attempts: 2,
+            },
+        ),
+        runner2.put_port(),
+    );
+    let rerouted = Capability::new(runner2.put_port(), cap1.object, cap1.rights, cap1.check);
+    assert!(
+        fs2.read(&rerouted, 0, 4).is_err(),
+        "fresh secrets must reject the old capability"
+    );
+    runner2.stop();
+}
+
+#[test]
+fn slow_network_still_correct() {
+    let net = Network::new();
+    net.set_latency(Duration::from_millis(5));
+    let runner = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::OneWay));
+    let dirs = DirClient::with_service(
+        ServiceClient::open_with_config(
+            &net,
+            RpcConfig {
+                timeout: Duration::from_millis(500),
+                attempts: 3,
+            },
+        ),
+        runner.put_port(),
+    );
+    let d = dirs.create_dir().unwrap();
+    let t = dirs.create_dir().unwrap();
+    dirs.enter(&d, "slow", &t).unwrap();
+    assert_eq!(dirs.lookup(&d, "slow").unwrap(), t);
+    runner.stop();
+}
+
+#[test]
+fn mixed_loss_and_latency_with_concurrent_clients() {
+    let net = Network::new();
+    net.reseed(99);
+    net.set_latency(Duration::from_millis(1));
+    net.set_drop_rate(0.2);
+    let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::OneWay));
+    let port = runner.put_port();
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let net = net.clone();
+        handles.push(std::thread::spawn(move || {
+            let fs = FlatFsClient::with_service(
+                ServiceClient::open_with_config(&net, patient()),
+                port,
+            );
+            let cap = fs.create().expect("create");
+            let body = format!("thread {t} data");
+            fs.write(&cap, 0, body.as_bytes()).expect("write");
+            assert_eq!(fs.read(&cap, 0, 64).expect("read"), body.as_bytes());
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    runner.stop();
+}

@@ -1,0 +1,174 @@
+//! Experiment F1 — Fig 1: clients, servers, intruders, and F-boxes.
+//!
+//! Validates every security claim of §2.2 by running real attacks on the
+//! simulated network, plus the negative control: without F-boxes the
+//! same attacks *succeed*, so the protection demonstrably comes from the
+//! F-box and not from the simulator.
+
+use amoeba::net::NetworkInterface;
+use amoeba::prelude::*;
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fbox_machine(net: &Network) -> Endpoint {
+    net.attach(Arc::new(FBox::hardware(ShaOneWay)))
+}
+
+fn spawn_echo(server: ServerPort, replies: usize) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        for _ in 0..replies {
+            match server.next_request_timeout(Duration::from_secs(5)) {
+                Ok(req) => server.reply(&req, req.payload.clone()),
+                Err(_) => break,
+            }
+        }
+    })
+}
+
+#[test]
+fn intruder_cannot_impersonate_server() {
+    let net = Network::new();
+    let server_ep = fbox_machine(&net);
+    let g = Port::new(0x5EC2E7_C0DE).unwrap();
+    let server = ServerPort::bind(server_ep, g);
+    let p = server.put_port();
+    let handle = spawn_echo(server, 1);
+
+    // Intruder GETs the public put-port: its F-box listens on F(P).
+    let intruder = fbox_machine(&net);
+    intruder.claim(p);
+
+    let client = Client::new(fbox_machine(&net));
+    let reply = client.trans(p, Bytes::from_static(b"hello")).unwrap();
+    assert_eq!(&reply[..], b"hello");
+    assert!(
+        intruder.try_recv().is_none(),
+        "the intruder must receive nothing"
+    );
+    handle.join().unwrap();
+}
+
+#[test]
+fn without_fboxes_impersonation_succeeds_negative_control() {
+    // Same attack, open interfaces: the intruder hears everything.
+    // This is the baseline the F-box exists to prevent.
+    let net = Network::new();
+    let server = net.attach_open();
+    let p = Port::new(0xBAD_1DEA).unwrap();
+    server.claim(p);
+
+    let intruder = net.attach_open();
+    intruder.claim(p); // trivially claims the same port
+
+    let client = net.attach_open();
+    client.send(Header::to(p), Bytes::from_static(b"credit card"));
+    assert!(server.recv().is_ok());
+    assert!(
+        intruder.try_recv().is_some(),
+        "without F-boxes the intruder DOES intercept — the control holds"
+    );
+}
+
+#[test]
+fn get_port_never_appears_on_the_wire() {
+    let net = Network::new();
+    let wire = net.tap();
+    let server_ep = fbox_machine(&net);
+    let g = Port::new(0x0DD5_0F_F1CE).unwrap();
+    let server = ServerPort::bind(server_ep, g);
+    let p = server.put_port();
+    let handle = spawn_echo(server, 3);
+
+    let client = Client::new(fbox_machine(&net));
+    for _ in 0..3 {
+        client.trans(p, Bytes::from_static(b"x")).unwrap();
+    }
+    handle.join().unwrap();
+
+    let mut frames = 0;
+    while let Ok(pkt) = wire.try_recv() {
+        frames += 1;
+        for field in [pkt.header.dest, pkt.header.reply, pkt.header.signature] {
+            assert_ne!(field, g, "secret get-port leaked in frame {frames}");
+        }
+    }
+    assert!(frames >= 6, "expected at least 6 frames, saw {frames}");
+}
+
+#[test]
+fn replayed_request_reply_goes_nowhere() {
+    let net = Network::new();
+    let wire = net.tap();
+    let server_ep = fbox_machine(&net);
+    let server = ServerPort::bind(server_ep, Port::new(0x7E57).unwrap());
+    let p = server.put_port();
+    let handle = spawn_echo(server, 2); // original + replayed execution
+
+    let client = Client::new(fbox_machine(&net));
+    client.trans(p, Bytes::from_static(b"query")).unwrap();
+    // Capture the client's request frame off the wire.
+    let request_frame = loop {
+        let pkt = wire.recv().unwrap();
+        if pkt.header.dest == p {
+            break pkt;
+        }
+    };
+
+    // The intruder replays it through its own F-box: the reply field
+    // (already F(G')) becomes F(F(G')).
+    let replayer = fbox_machine(&net);
+    replayer.send(request_frame.header, request_frame.payload.clone());
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        replayer.try_recv().is_none(),
+        "replayer must not receive the reply"
+    );
+    handle.join().unwrap();
+}
+
+#[test]
+fn signature_forgery_detected() {
+    // The receiver compares the arriving signature field against the
+    // principal's published F(S).
+    let f = ShaOneWay;
+    let s = Port::new(0x516_7A7).unwrap();
+    let published = amoeba::fbox::put_port_of(&f, s);
+
+    let honest_box = FBox::hardware(f.clone());
+    let mut honest = Header::to(Port::new(5).unwrap()).with_signature(s);
+    honest_box.egress(&mut honest);
+    assert_eq!(honest.signature, published);
+
+    // The intruder knows only F(S) and sends that.
+    let mut forged = Header::to(Port::new(5).unwrap()).with_signature(published);
+    honest_box.egress(&mut forged);
+    assert_ne!(forged.signature, published, "F(F(S)) != F(S)");
+}
+
+#[test]
+fn signature_travels_with_rpc() {
+    let net = Network::new();
+    let f = ShaOneWay;
+    let server_ep = fbox_machine(&net);
+    let server = ServerPort::bind(server_ep, Port::new(0x816).unwrap());
+    let p = server.put_port();
+
+    let s = Port::new(0xA11CE).unwrap();
+    let published = amoeba::fbox::put_port_of(&f, s);
+
+    let handle = std::thread::spawn(move || {
+        let req = server
+            .next_request_timeout(Duration::from_secs(5))
+            .unwrap();
+        // Server-side verification of the sender's identity.
+        assert_eq!(req.signature, Some(published));
+        server.reply(&req, Bytes::from_static(b"authenticated"));
+    });
+
+    let mut client = Client::new(fbox_machine(&net));
+    client.set_signature(s);
+    let reply = client.trans(p, Bytes::from_static(b"who am i")).unwrap();
+    assert_eq!(&reply[..], b"authenticated");
+    handle.join().unwrap();
+}

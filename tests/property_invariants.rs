@@ -1,0 +1,269 @@
+//! Cross-crate property tests: the security invariants of the paper
+//! checked against randomly generated adversarial inputs, plus
+//! reference-model tests for the stateful services (the server must
+//! agree with a trivially correct in-memory model under arbitrary
+//! operation sequences).
+
+use amoeba::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// Capability invariants across all schemes
+// ---------------------------------------------------------------------
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Simple),
+        Just(SchemeKind::Encrypted),
+        Just(SchemeKind::OneWay),
+        Just(SchemeKind::Commutative),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No single-bit or multi-bit corruption of the 128-bit capability
+    /// may validate (except bit flips confined to unused plaintext
+    /// rights bits that the scheme legitimately ignores — there are
+    /// none: every scheme binds the rights).
+    #[test]
+    fn no_bitflip_of_a_capability_validates(kind in scheme_strategy(), flip in 0u32..128, seed: u64) {
+        let scheme = kind.instantiate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let secret = scheme.new_secret(&mut rng);
+        let cap = scheme.mint(Port::new(0xF00).unwrap(), ObjectNum::new(3).unwrap(), &secret);
+
+        let mut bytes = cap.encode();
+        bytes[(flip / 8) as usize] ^= 1 << (flip % 8);
+        if let Some(forged) = Capability::decode(&bytes) {
+            // Flips in the port/object fields change *addressing*, which
+            // the scheme layer does not bind (the object table rejects
+            // those by looking up a different secret). Schemes 1-3 bind
+            // rights and check; scheme 0 has no rights distinction at
+            // all ("all operations are allowed"), so only its check
+            // field is load-bearing.
+            let crypto_changed = match kind {
+                SchemeKind::Simple => forged.check != cap.check,
+                _ => forged.rights != cap.rights || forged.check != cap.check,
+            };
+            if crypto_changed {
+                prop_assert!(
+                    scheme.validate(&forged, &secret).is_err(),
+                    "{kind}: flipped bit {flip} still validated"
+                );
+            }
+        }
+    }
+
+    /// Rights monotonicity: a chain of diminishes can only lose rights,
+    /// and the result validates to exactly the surviving set.
+    #[test]
+    fn diminish_chains_are_monotone(masks in proptest::collection::vec(any::<u8>(), 0..6), seed: u64) {
+        let scheme = CommutativeScheme::standard();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let secret = scheme.new_secret(&mut rng);
+        let mut cap = scheme.mint(Port::new(0xF01).unwrap(), ObjectNum::new(1).unwrap(), &secret);
+        let mut expected = Rights::ALL;
+        for m in masks {
+            let drop = Rights::from_bits(m);
+            cap = scheme.diminish(&cap, drop).unwrap();
+            expected = expected.without(drop);
+            prop_assert_eq!(scheme.validate(&cap, &secret).unwrap(), expected);
+        }
+    }
+
+    /// Mixing check fields between two objects of the same server never
+    /// validates: per-object secrets are independent.
+    #[test]
+    fn cross_object_check_transplant_fails(kind in scheme_strategy(), seed: u64) {
+        let scheme = kind.instantiate();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s1 = scheme.new_secret(&mut rng);
+        let s2 = scheme.new_secret(&mut rng);
+        prop_assume!(s1 != s2);
+        let port = Port::new(0xF02).unwrap();
+        let cap1 = scheme.mint(port, ObjectNum::new(1).unwrap(), &s1);
+        let cap2 = scheme.mint(port, ObjectNum::new(2).unwrap(), &s2);
+        // Object 2's capability carrying object 1's check field.
+        let hybrid = cap2.with_check(cap1.check).with_rights(cap1.rights);
+        prop_assert!(scheme.validate(&hybrid, &s2).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference-model test: flat file server vs Vec<u8>
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum FileOp {
+    Write { offset: u16, data: Vec<u8> },
+    Read { offset: u16, len: u16 },
+    Size,
+}
+
+fn file_op_strategy() -> impl Strategy<Value = FileOp> {
+    prop_oneof![
+        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(offset, data)| FileOp::Write { offset, data }),
+        (any::<u16>(), any::<u16>()).prop_map(|(offset, len)| FileOp::Read { offset, len }),
+        Just(FileOp::Size),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary operation sequences against the real flat file server
+    /// must match a plain Vec<u8> reference model byte for byte.
+    #[test]
+    fn flatfs_matches_reference_model(ops in proptest::collection::vec(file_op_strategy(), 1..24)) {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::OneWay));
+        let fs = FlatFsClient::with_service(ServiceClient::open(&net), runner.put_port());
+        let cap = fs.create().unwrap();
+        let mut model: Vec<u8> = Vec::new();
+
+        for op in ops {
+            match op {
+                FileOp::Write { offset, data } => {
+                    let end = offset as usize + data.len();
+                    if end > model.len() {
+                        model.resize(end, 0);
+                    }
+                    model[offset as usize..end].copy_from_slice(&data);
+                    let new_size = fs.write(&cap, offset as u64, &data).unwrap();
+                    prop_assert_eq!(new_size as usize, model.len());
+                }
+                FileOp::Read { offset, len } => {
+                    let start = (offset as usize).min(model.len());
+                    let end = start.saturating_add(len as usize).min(model.len());
+                    let expected = &model[start..end];
+                    let got = fs.read(&cap, offset as u64, len as u32).unwrap();
+                    prop_assert_eq!(&got[..], expected);
+                }
+                FileOp::Size => {
+                    prop_assert_eq!(fs.size(&cap).unwrap() as usize, model.len());
+                }
+            }
+        }
+        runner.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference-model test: directory server vs BTreeMap
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DirOp {
+    Enter(u8),
+    Remove(u8),
+    Lookup(u8),
+    List,
+}
+
+fn dir_op_strategy() -> impl Strategy<Value = DirOp> {
+    prop_oneof![
+        any::<u8>().prop_map(DirOp::Enter),
+        any::<u8>().prop_map(DirOp::Remove),
+        any::<u8>().prop_map(DirOp::Lookup),
+        Just(DirOp::List),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dirsvr_matches_reference_model(ops in proptest::collection::vec(dir_op_strategy(), 1..32)) {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+        let dirs = DirClient::with_service(ServiceClient::open(&net), runner.put_port());
+        let dir = dirs.create_dir().unwrap();
+        let target = dirs.create_dir().unwrap(); // value stored under every name
+        let mut model = std::collections::BTreeMap::new();
+
+        for op in ops {
+            match op {
+                DirOp::Enter(n) => {
+                    let name = format!("n{n}");
+                    let result = dirs.enter(&dir, &name, &target);
+                    if model.contains_key(&name) {
+                        prop_assert_eq!(result.unwrap_err(), ClientError::Status(Status::Conflict));
+                    } else {
+                        result.unwrap();
+                        model.insert(name, target);
+                    }
+                }
+                DirOp::Remove(n) => {
+                    let name = format!("n{n}");
+                    let result = dirs.remove(&dir, &name);
+                    if model.remove(&name).is_some() {
+                        result.unwrap();
+                    } else {
+                        prop_assert_eq!(result.unwrap_err(), ClientError::Status(Status::NotFound));
+                    }
+                }
+                DirOp::Lookup(n) => {
+                    let name = format!("n{n}");
+                    let result = dirs.lookup(&dir, &name);
+                    if model.contains_key(&name) {
+                        prop_assert_eq!(result.unwrap(), target);
+                    } else {
+                        prop_assert_eq!(result.unwrap_err(), ClientError::Status(Status::NotFound));
+                    }
+                }
+                DirOp::List => {
+                    let names: Vec<String> = model.keys().cloned().collect();
+                    prop_assert_eq!(dirs.list(&dir).unwrap(), names);
+                }
+            }
+        }
+        runner.stop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bank conservation under random transfers
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Money is conserved by arbitrary transfer sequences, including
+    /// failing (overdraft) ones.
+    #[test]
+    fn bank_conserves_money(transfers in proptest::collection::vec((0usize..4, 0usize..4, 0u64..500), 1..24)) {
+        let net = Network::new();
+        let (server, treasury_rx) = BankServer::new(
+            vec![Currency::convertible("dollar", 1)],
+            SchemeKind::OneWay,
+        );
+        let runner = ServiceRunner::spawn_open(&net, server);
+        let bank = BankClient::open(&net, runner.put_port());
+        let treasury = treasury_rx.recv().unwrap();
+
+        let accounts: Vec<Capability> =
+            (0..4).map(|_| bank.open_account().unwrap()).collect();
+        let total = 4_000u64;
+        for acct in &accounts {
+            bank.mint(&treasury, acct, CurrencyId(0), total / 4).unwrap();
+        }
+
+        for (from, to, amount) in transfers {
+            if from == to {
+                continue;
+            }
+            let _ = bank.transfer(&accounts[from], &accounts[to], CurrencyId(0), amount);
+        }
+
+        let sum: u64 = accounts
+            .iter()
+            .map(|a| bank.balance(a, CurrencyId(0)).unwrap())
+            .sum();
+        prop_assert_eq!(sum, total);
+        runner.stop();
+    }
+}

@@ -1,0 +1,178 @@
+//! Moderate-scale workloads: many servers, many objects, many clients —
+//! the sizes are chosen to finish in seconds while still exercising the
+//! slab reuse, cache and isolation paths that small tests never reach.
+
+use amoeba::prelude::*;
+
+#[test]
+fn eight_file_servers_are_cryptographically_isolated() {
+    // Capabilities from one server must be rejected by every other,
+    // even with identical object numbers and scheme.
+    let net = Network::new();
+    let runners: Vec<ServiceRunner> = (0..8)
+        .map(|_| ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative)))
+        .collect();
+    let clients: Vec<FlatFsClient> = runners
+        .iter()
+        .map(|r| FlatFsClient::with_service(ServiceClient::open(&net), r.put_port()))
+        .collect();
+
+    // Create file 0 on every server.
+    let caps: Vec<Capability> = clients.iter().map(|c| c.create().unwrap()).collect();
+    for (i, c) in clients.iter().enumerate() {
+        c.write(&caps[i], 0, format!("server {i}").as_bytes()).unwrap();
+    }
+
+    // Same object number everywhere; transplanting the check field of
+    // server i's capability onto server j's port must fail.
+    for i in 0..8 {
+        for j in 0..8 {
+            if i == j {
+                continue;
+            }
+            let cross = Capability::new(
+                caps[j].port,
+                caps[i].object,
+                caps[i].rights,
+                caps[i].check,
+            );
+            assert!(
+                clients[j].read(&cross, 0, 8).is_err(),
+                "server {j} accepted server {i}'s check field"
+            );
+        }
+    }
+    for r in runners {
+        r.stop();
+    }
+}
+
+#[test]
+fn thousand_objects_with_slab_reuse() {
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::OneWay));
+    let fs = FlatFsClient::with_service(ServiceClient::open(&net), runner.put_port());
+
+    // Create 500, destroy every other one, create 500 more: slots are
+    // reused and every surviving capability still maps to its own data.
+    let mut caps = Vec::new();
+    for i in 0..500u32 {
+        let cap = fs.create().unwrap();
+        fs.write(&cap, 0, format!("gen1-{i}").as_bytes()).unwrap();
+        caps.push((cap, format!("gen1-{i}")));
+    }
+    let mut survivors = Vec::new();
+    for (i, (cap, tag)) in caps.into_iter().enumerate() {
+        if i % 2 == 0 {
+            fs.destroy(&cap).unwrap();
+        } else {
+            survivors.push((cap, tag));
+        }
+    }
+    for i in 0..500u32 {
+        let cap = fs.create().unwrap();
+        fs.write(&cap, 0, format!("gen2-{i}").as_bytes()).unwrap();
+        survivors.push((cap, format!("gen2-{i}")));
+    }
+    for (cap, tag) in &survivors {
+        assert_eq!(&fs.read(cap, 0, 32).unwrap(), tag.as_bytes());
+    }
+    runner.stop();
+}
+
+#[test]
+fn wide_directory_with_hundreds_of_entries() {
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+    let dirs = DirClient::with_service(ServiceClient::open(&net), runner.put_port());
+    let d = dirs.create_dir().unwrap();
+    let target = dirs.create_dir().unwrap();
+
+    let n = 400;
+    for i in 0..n {
+        dirs.enter(&d, &format!("entry-{i:04}"), &target).unwrap();
+    }
+    let listing = dirs.list(&d).unwrap();
+    assert_eq!(listing.len(), n);
+    assert_eq!(listing[0], "entry-0000");
+    assert_eq!(listing[n - 1], format!("entry-{:04}", n - 1));
+    // Spot lookups stay correct at width.
+    for i in [0usize, 199, 399] {
+        assert_eq!(dirs.lookup(&d, &format!("entry-{i:04}")).unwrap(), target);
+    }
+    runner.stop();
+}
+
+#[test]
+fn deep_version_history_stays_consistent() {
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open(&net, MvfsServer::new(SchemeKind::OneWay));
+    let fs = MvfsClient::with_service(ServiceClient::open(&net), runner.put_port());
+    let file = fs.create_file().unwrap();
+
+    // 50 committed generations; keep every 10th version capability and
+    // verify all snapshots afterwards.
+    let mut snapshots = Vec::new();
+    for gen in 0..50u32 {
+        let v = fs.new_version(&file).unwrap();
+        fs.write_page(&v, 0, format!("generation {gen}").as_bytes())
+            .unwrap();
+        fs.commit(&v).unwrap();
+        if gen % 10 == 0 {
+            snapshots.push((v, gen));
+        }
+    }
+    assert_eq!(fs.file_info(&file).unwrap().committed_versions, 50);
+    for (v, gen) in &snapshots {
+        let page = fs.read_page(v, 0).unwrap();
+        let expect = format!("generation {gen}");
+        assert_eq!(&page[..expect.len()], expect.as_bytes());
+    }
+    // Head is the last generation.
+    let head = fs.read_page(&file, 0).unwrap();
+    assert_eq!(&head[..13], b"generation 49");
+    runner.stop();
+}
+
+#[test]
+fn sixteen_concurrent_bank_clients_conserve_money() {
+    let net = Network::new();
+    let (server, treasury_rx) = BankServer::new(
+        vec![Currency::convertible("dollar", 1)],
+        SchemeKind::Commutative,
+    );
+    let runner = ServiceRunner::spawn_open(&net, server);
+    let port = runner.put_port();
+    let treasury = treasury_rx.recv().unwrap();
+    let bank = BankClient::open(&net, port);
+
+    let accounts: Vec<Capability> = (0..8).map(|_| bank.open_account().unwrap()).collect();
+    let total = 8_000u64;
+    for a in &accounts {
+        bank.mint(&treasury, a, CurrencyId(0), total / 8).unwrap();
+    }
+
+    let mut handles = Vec::new();
+    for t in 0..16usize {
+        let net = net.clone();
+        let accounts = accounts.clone();
+        handles.push(std::thread::spawn(move || {
+            let bank = BankClient::open(&net, port);
+            for i in 0..50u64 {
+                let from = &accounts[(t + i as usize) % 8];
+                let to = &accounts[(t + i as usize + 3) % 8];
+                let _ = bank.transfer(from, to, CurrencyId(0), (i % 7) + 1);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let sum: u64 = accounts
+        .iter()
+        .map(|a| bank.balance(a, CurrencyId(0)).unwrap())
+        .sum();
+    assert_eq!(sum, total, "money must be conserved under concurrency");
+    runner.stop();
+}

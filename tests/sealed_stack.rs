@@ -1,0 +1,163 @@
+//! A real service (the flat file server) running over §2.4 sealed
+//! transport, driven through the public API — request capabilities are
+//! DES ciphertext on the wire, keyed by the unforgeable source address.
+
+use amoeba::prelude::*;
+use bytes::Bytes;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Builds a sealed flat-file deployment: the flat file server behind a
+/// [`SealedServiceRunner`], a client with matching matrix keys, and an
+/// intruder machine with its own (useless) keys.
+struct SealedWorld {
+    net: Network,
+    runner: SealedServiceRunner,
+    client: SealedServiceClient,
+    server_machine: MachineId,
+}
+
+fn world() -> SealedWorld {
+    let net = Network::new();
+    let server_ep = net.attach_open();
+    let client_ep = net.attach_open();
+    let intruder_ep = net.attach_open();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+    let matrix = KeyMatrix::random(
+        &[server_ep.id(), client_ep.id(), intruder_ep.id()],
+        &mut rng,
+    );
+
+    let server_machine = server_ep.id();
+    let server_sealer = Arc::new(CapSealer::new(matrix.view_for(server_machine)));
+    let client_sealer = Arc::new(CapSealer::new(matrix.view_for(client_ep.id())));
+
+    let runner = SealedServiceRunner::spawn(
+        server_ep,
+        Port::new(0xF17E5).unwrap(),
+        FlatFsServer::new(SchemeKind::Commutative),
+        server_sealer,
+    );
+    // The matrix keys bind to client_ep's machine id, so the sealing
+    // client must ride exactly that endpoint.
+    let client = SealedServiceClient::with_client(
+        Client::new(client_ep),
+        Arc::clone(&client_sealer),
+        server_machine,
+    );
+    drop(intruder_ep);
+    SealedWorld {
+        net,
+        runner,
+        client,
+        server_machine,
+    }
+}
+
+#[test]
+fn flatfs_over_sealed_transport() {
+    let w = world();
+    // CREATE is anonymous; the *reply* carries the capability in the
+    // clear here (the flat file server predates sealing) — the test
+    // focuses on request-path sealing, which the runner enforces.
+    let body = w
+        .client
+        .call_anonymous(w.runner.put_port(), amoeba::flatfs::ops::CREATE, Bytes::new())
+        .unwrap();
+    let cap = amoeba::server::wire::Reader::new(&body).cap().unwrap();
+
+    // WRITE and READ carry the capability sealed.
+    w.client
+        .call(
+            w.runner.put_port(),
+            &cap,
+            amoeba::flatfs::ops::WRITE,
+            amoeba::server::wire::Writer::new()
+                .u64(0)
+                .bytes(b"sealed bytes")
+                .finish(),
+        )
+        .unwrap();
+    let data = w
+        .client
+        .call(
+            w.runner.put_port(),
+            &cap,
+            amoeba::flatfs::ops::READ,
+            amoeba::server::wire::Writer::new().u64(0).u32(64).finish(),
+        )
+        .unwrap();
+    assert_eq!(&data[..], b"sealed bytes");
+    w.runner.stop();
+}
+
+#[test]
+fn request_capability_is_ciphertext_on_the_wire() {
+    let w = world();
+    let body = w
+        .client
+        .call_anonymous(w.runner.put_port(), amoeba::flatfs::ops::CREATE, Bytes::new())
+        .unwrap();
+    let cap = amoeba::server::wire::Reader::new(&body).cap().unwrap();
+
+    let wire = w.net.tap();
+    w.client
+        .call(
+            w.runner.put_port(),
+            &cap,
+            amoeba::flatfs::ops::SIZE,
+            Bytes::new(),
+        )
+        .unwrap();
+    let plain = cap.encode();
+    let mut request_frames = 0;
+    while let Ok(pkt) = wire.try_recv() {
+        if pkt.header.dest == w.runner.put_port() {
+            request_frames += 1;
+            assert!(
+                !pkt.payload.windows(16).any(|win| win == plain),
+                "plaintext capability in a sealed request"
+            );
+        }
+    }
+    assert!(request_frames >= 1, "the request crossed the tap");
+    w.runner.stop();
+}
+
+#[test]
+fn stolen_sealed_bits_are_useless_to_another_machine() {
+    let w = world();
+    let body = w
+        .client
+        .call_anonymous(w.runner.put_port(), amoeba::flatfs::ops::CREATE, Bytes::new())
+        .unwrap();
+    let cap = amoeba::server::wire::Reader::new(&body).cap().unwrap();
+    w.client
+        .call(
+            w.runner.put_port(),
+            &cap,
+            amoeba::flatfs::ops::WRITE,
+            amoeba::server::wire::Writer::new().u64(0).bytes(b"mine").finish(),
+        )
+        .unwrap();
+
+    // An intruder machine without matrix keys cannot even form a sealed
+    // request for the stolen (plaintext) capability — and injecting the
+    // stolen *ciphertext* from its own machine is covered by the
+    // in-crate replay test: the server unseals with M[intruder][server]
+    // and rejects.
+    let intruder_sealer = Arc::new(CapSealer::new(MachineKeys::empty(w.server_machine)));
+    let intruder_client = SealedServiceClient::open(&w.net, intruder_sealer, w.server_machine);
+    assert!(matches!(
+        intruder_client
+            .call(
+                w.runner.put_port(),
+                &cap,
+                amoeba::flatfs::ops::READ,
+                amoeba::server::wire::Writer::new().u64(0).u32(16).finish(),
+            )
+            .unwrap_err(),
+        ClientError::Malformed
+    ));
+    w.runner.stop();
+}
