@@ -221,7 +221,7 @@ impl BankServer {
         self.currencies.get(id as usize)
     }
 
-    fn open(&mut self) -> Reply {
+    fn open(&self) -> Reply {
         let (_, cap) = self.table.create(Account::default());
         Reply::ok(wire::Writer::new().cap(&cap).finish())
     }
@@ -235,14 +235,17 @@ impl BankServer {
             return Reply::status(Status::OutOfRange);
         }
         match self.table.with_object(&req.cap, Rights::READ, |acct| {
-            acct.balances.get(&CurrencyId(currency)).copied().unwrap_or(0)
+            acct.balances
+                .get(&CurrencyId(currency))
+                .copied()
+                .unwrap_or(0)
         }) {
             Ok(v) => Reply::ok(wire::Writer::new().u64(v).finish()),
             Err(e) => Reply::status(e.into()),
         }
     }
 
-    fn transfer(&mut self, req: &Request, minting: bool) -> Reply {
+    fn transfer(&self, req: &Request, minting: bool) -> Reply {
         let mut r = wire::Reader::new(&req.params);
         let (Some(to_cap), Some(currency), Some(amount)) = (r.cap(), r.u32(), r.u64()) else {
             return Reply::status(Status::BadRequest);
@@ -251,6 +254,15 @@ impl BankServer {
             return Reply::status(Status::OutOfRange);
         }
         let cur = CurrencyId(currency);
+
+        // Validate the destination before touching the source: a forged
+        // or already-closed destination must fail the transfer without
+        // ever starting a withdrawal (under concurrent dispatch the
+        // rollback below is best-effort, so not withdrawing at all is
+        // strictly safer).
+        if let Err(e) = self.table.validate(&to_cap) {
+            return Reply::status(e.into());
+        }
 
         if minting {
             // Only the treasury may mint.
@@ -285,7 +297,11 @@ impl BankServer {
 
         // Deposit. The destination capability must be genuine, but any
         // rights suffice: money in your account never hurts you.
-        let credit_kind = if minting { EntryKind::Mint } else { EntryKind::Credit };
+        let credit_kind = if minting {
+            EntryKind::Mint
+        } else {
+            EntryKind::Credit
+        };
         let deposited = self.table.with_object_mut(&to_cap, Rights::NONE, |acct| {
             *acct.balances.entry(cur).or_insert(0) += amount;
             acct.record(credit_kind, cur, amount);
@@ -295,6 +311,10 @@ impl BankServer {
             Err(e) => {
                 if !minting {
                     // Roll the withdrawal back; the transfer is atomic.
+                    // If the source account was concurrently closed the
+                    // rollback finds nothing — the amount is forfeited
+                    // exactly as if it had still been in the account at
+                    // CLOSE ("remaining balances vanish").
                     let _ = self.table.with_object_mut(&req.cap, Rights::WRITE, |acct| {
                         *acct.balances.entry(cur).or_insert(0) += amount;
                         acct.record(EntryKind::Credit, cur, amount);
@@ -305,7 +325,7 @@ impl BankServer {
         }
     }
 
-    fn convert(&mut self, req: &Request) -> Reply {
+    fn convert(&self, req: &Request) -> Reply {
         let mut r = wire::Reader::new(&req.params);
         let (Some(from), Some(to), Some(amount)) = (r.u32(), r.u32(), r.u64()) else {
             return Reply::status(Status::BadRequest);
@@ -353,7 +373,7 @@ impl BankServer {
         }
     }
 
-    fn close(&mut self, req: &Request) -> Reply {
+    fn close(&self, req: &Request) -> Reply {
         match self.table.delete(&req.cap, Rights::DELETE) {
             Ok(_) => Reply::ok(Bytes::new()),
             Err(e) => Reply::status(e.into()),
@@ -376,7 +396,7 @@ impl Service for BankServer {
         }
     }
 
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;
         }
@@ -424,7 +444,9 @@ impl BankClient {
     /// # Errors
     /// Transport errors.
     pub fn open_account(&self) -> Result<Capability, ClientError> {
-        let body = self.svc.call_anonymous(self.port, ops::OPEN, Bytes::new())?;
+        let body = self
+            .svc
+            .call_anonymous(self.port, ops::OPEN, Bytes::new())?;
         wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
     }
 
@@ -455,7 +477,11 @@ impl BankClient {
         self.svc.call(
             from,
             ops::TRANSFER,
-            wire::Writer::new().cap(to).u32(currency.0).u64(amount).finish(),
+            wire::Writer::new()
+                .cap(to)
+                .u32(currency.0)
+                .u64(amount)
+                .finish(),
         )?;
         Ok(())
     }
@@ -475,7 +501,11 @@ impl BankClient {
         self.svc.call(
             treasury,
             ops::MINT,
-            wire::Writer::new().cap(to).u32(currency.0).u64(amount).finish(),
+            wire::Writer::new()
+                .cap(to)
+                .u32(currency.0)
+                .u64(amount)
+                .finish(),
         )?;
         Ok(())
     }
@@ -496,7 +526,11 @@ impl BankClient {
         let body = self.svc.call(
             account,
             ops::CONVERT,
-            wire::Writer::new().u32(from.0).u32(to.0).u64(amount).finish(),
+            wire::Writer::new()
+                .u32(from.0)
+                .u32(to.0)
+                .u64(amount)
+                .finish(),
         )?;
         wire::Reader::new(&body).u64().ok_or(ClientError::Malformed)
     }
@@ -544,7 +578,12 @@ mod tests {
     use super::*;
     use amoeba_server::ServiceRunner;
 
-    fn setup() -> (Network, amoeba_server::ServiceRunner, BankClient, Capability) {
+    fn setup() -> (
+        Network,
+        amoeba_server::ServiceRunner,
+        BankClient,
+        Capability,
+    ) {
         let net = Network::new();
         let (server, treasury_rx) = BankServer::new(
             vec![
@@ -691,12 +730,33 @@ mod tests {
         client.transfer(&a, &b, USD, 30).unwrap();
         client.convert(&a, USD, YEN, 70).unwrap(); // 70 base = 0 yen
         let hist = client.statement(&a).unwrap();
-        assert_eq!(hist[0], StatementEntry { kind: EntryKind::Mint, currency: USD, amount: 100 });
-        assert_eq!(hist[1], StatementEntry { kind: EntryKind::Debit, currency: USD, amount: 30 });
+        assert_eq!(
+            hist[0],
+            StatementEntry {
+                kind: EntryKind::Mint,
+                currency: USD,
+                amount: 100
+            }
+        );
+        assert_eq!(
+            hist[1],
+            StatementEntry {
+                kind: EntryKind::Debit,
+                currency: USD,
+                amount: 30
+            }
+        );
         assert_eq!(hist[2].kind, EntryKind::ConvertOut);
         assert_eq!(hist[3].kind, EntryKind::ConvertIn);
         let hist_b = client.statement(&b).unwrap();
-        assert_eq!(hist_b, vec![StatementEntry { kind: EntryKind::Credit, currency: USD, amount: 30 }]);
+        assert_eq!(
+            hist_b,
+            vec![StatementEntry {
+                kind: EntryKind::Credit,
+                currency: USD,
+                amount: 30
+            }]
+        );
         runner.stop();
     }
 

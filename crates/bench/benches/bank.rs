@@ -42,7 +42,10 @@ fn bench_transfers(c: &mut Criterion) {
     bank.mint(&treasury, &a, YEN, u64::MAX / 4).unwrap();
 
     g.bench_function("transfer", |b| {
-        b.iter(|| black_box(bank.transfer(&a, &b_acct, DOLLAR, 1).unwrap()))
+        b.iter(|| {
+            let _: () = bank.transfer(&a, &b_acct, DOLLAR, 1).unwrap();
+            black_box(())
+        })
     });
     g.bench_function("balance-query", |b| {
         b.iter(|| black_box(bank.balance(&a, DOLLAR).unwrap()))

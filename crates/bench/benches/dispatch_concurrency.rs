@@ -1,0 +1,164 @@
+//! Dispatch concurrency: the worker-pool engine and the lock-striped
+//! object table, measured against their serialised baselines.
+//!
+//! Two experiments:
+//!
+//! * **worker-pool** — eight clients drive metered CREATE/DESTROY
+//!   against one quota-enforcing `FlatFsServer` over a network with
+//!   per-hop latency. Every CREATE blocks its dispatch worker on a
+//!   nested bank RPC (the §3.6 pre-payment), so a single worker
+//!   serialises those waits while a pool overlaps them — multi-worker
+//!   throughput must beat single-worker even on a single-core host.
+//! * **table** — eight threads perform mutating object-table operations
+//!   directly (no network) against a legacy single-shard table vs the
+//!   striped default, isolating the lock-contention component. (On a
+//!   single hardware thread the two tie; the striping payoff appears
+//!   with real parallelism.)
+
+use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::{Capability, Rights};
+use amoeba_flatfs::{FlatFsClient, FlatFsServer, QuotaPolicy};
+use amoeba_net::{Network, Port};
+use amoeba_server::{ObjectTable, ServiceRunner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENT_THREADS: usize = 8;
+const CALLS_PER_CLIENT: usize = 2;
+const TABLE_THREADS: usize = 8;
+const OPS_PER_TABLE_THREAD: usize = 2000;
+
+/// Eight clients doing metered creates: the handler blocks on a bank
+/// round-trip per request, so worker count is what scales throughput.
+fn bench_worker_pool(c: &mut Criterion) {
+    let mut g = amoeba_bench::net_group(c, "dispatch/worker-pool");
+    for workers in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("metered-create", workers),
+            &workers,
+            |b, &workers| {
+                let net = Network::new();
+                // The bank and its accounts.
+                let (bank_server, treasury_rx) =
+                    BankServer::new(vec![Currency::convertible("dollar", 1)], SchemeKind::OneWay);
+                let bank_runner = ServiceRunner::spawn_open(&net, bank_server);
+                let bank_port = bank_runner.put_port();
+                let treasury = treasury_rx.recv().unwrap();
+                let bank = BankClient::open(&net, bank_port);
+                let server_account = bank.open_account().unwrap();
+
+                // The metered file server under test.
+                let runner = ServiceRunner::spawn_open_workers(
+                    &net,
+                    FlatFsServer::with_quota(
+                        SchemeKind::OneWay,
+                        QuotaPolicy {
+                            bank: BankClient::open(&net, bank_port),
+                            server_account,
+                            currency: CurrencyId(0),
+                            price_per_kib: 1,
+                        },
+                    ),
+                    workers,
+                );
+                let port = runner.put_port();
+
+                // One funded wallet per client. DESTROY refunds the
+                // unused quota, so balances are steady across
+                // iterations.
+                let wallets: Arc<Vec<Capability>> = Arc::new(
+                    (0..CLIENT_THREADS)
+                        .map(|_| {
+                            let w = bank.open_account().unwrap();
+                            bank.mint(&treasury, &w, CurrencyId(0), 100).unwrap();
+                            w
+                        })
+                        .collect(),
+                );
+
+                // Only now add wire latency: every nested bank RPC
+                // parks the dispatch worker for two hops.
+                net.set_latency(Duration::from_millis(2));
+                b.iter(|| {
+                    let handles: Vec<_> = (0..CLIENT_THREADS)
+                        .map(|t| {
+                            let net = net.clone();
+                            let wallets = Arc::clone(&wallets);
+                            std::thread::spawn(move || {
+                                let fs = FlatFsClient::open(&net, port);
+                                for _ in 0..CALLS_PER_CLIENT {
+                                    let cap = fs.create_paid(&wallets[t], 1).unwrap();
+                                    black_box(&cap);
+                                    fs.destroy(&cap).unwrap();
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+                net.set_latency(Duration::ZERO);
+                runner.stop();
+                bank_runner.stop();
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Direct object-table contention: every operation needs the shard's
+/// write lock, so one shard serialises all eight threads while sixteen
+/// shards let distinct objects proceed in parallel.
+fn bench_table_striping(c: &mut Criterion) {
+    let mut g = amoeba_bench::net_group(c, "dispatch/table");
+    for shards in [1usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("mutate-contended", shards),
+            &shards,
+            |b, &shards| {
+                let table: Arc<ObjectTable<u64>> = Arc::new(ObjectTable::with_shards(
+                    SchemeKind::Commutative.instantiate(),
+                    shards,
+                ));
+                table.set_port(Port::new(0xD15B).unwrap());
+                let caps: Arc<Vec<Capability>> = Arc::new(
+                    (0..TABLE_THREADS * 8)
+                        .map(|i| table.create(i as u64).1)
+                        .collect(),
+                );
+                b.iter(|| {
+                    let handles: Vec<_> = (0..TABLE_THREADS)
+                        .map(|t| {
+                            let table = Arc::clone(&table);
+                            let caps = Arc::clone(&caps);
+                            std::thread::spawn(move || {
+                                // Each thread mutates its own slice of
+                                // the object space.
+                                for i in 0..OPS_PER_TABLE_THREAD {
+                                    let cap = &caps[t * 8 + (i & 7)];
+                                    table
+                                        .with_object_mut(cap, Rights::WRITE, |v| {
+                                            *v = v.wrapping_add(1)
+                                        })
+                                        .unwrap();
+                                    black_box(table.validate(cap).unwrap());
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_worker_pool, bench_table_striping);
+criterion_main!(benches);

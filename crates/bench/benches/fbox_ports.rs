@@ -87,9 +87,7 @@ fn bench_rpc_with_and_without_fbox(c: &mut Criterion) {
         let (client, port, handle) = rpc_roundtrip(protected);
         let label = if protected { "fbox" } else { "open" };
         g.bench_with_input(BenchmarkId::from_parameter(label), &protected, |b, _| {
-            b.iter(|| {
-                black_box(client.trans(port, Bytes::from_static(b"ping")).unwrap())
-            })
+            b.iter(|| black_box(client.trans(port, Bytes::from_static(b"ping")).unwrap()))
         });
         client.trans(port, Bytes::from_static(b"STOP")).unwrap();
         handle.join().unwrap();

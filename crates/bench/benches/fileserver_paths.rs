@@ -17,7 +17,11 @@ use std::hint::black_box;
 
 /// Builds a chain root/d0/d1/.../d{depth-1} alternating between the
 /// given directory servers; returns (root, path).
-fn build_chain(dirs: &DirClient, server_ports: &[amoeba_net::Port], depth: usize) -> (Capability, String) {
+fn build_chain(
+    dirs: &DirClient,
+    server_ports: &[amoeba_net::Port],
+    depth: usize,
+) -> (Capability, String) {
     let root = dirs.create_dir_on(server_ports[0]).unwrap();
     let mut current = root;
     let mut path = String::new();
@@ -46,19 +50,15 @@ fn bench_path_walks(c: &mut Criterion) {
     for depth in [1usize, 2, 4, 8] {
         // Single-server chain.
         let (root1, path1) = build_chain(&dirs, &[dir1.put_port()], depth);
-        g.bench_with_input(
-            BenchmarkId::new("one-server", depth),
-            &depth,
-            |b, _| b.iter(|| black_box(dirs.walk(&root1, &path1).unwrap())),
-        );
+        g.bench_with_input(BenchmarkId::new("one-server", depth), &depth, |b, _| {
+            b.iter(|| black_box(dirs.walk(&root1, &path1).unwrap()))
+        });
 
         // Alternating across two servers: same client code.
         let (root2, path2) = build_chain(&dirs, &[dir1.put_port(), dir2.put_port()], depth);
-        g.bench_with_input(
-            BenchmarkId::new("two-servers", depth),
-            &depth,
-            |b, _| b.iter(|| black_box(dirs.walk(&root2, &path2).unwrap())),
-        );
+        g.bench_with_input(BenchmarkId::new("two-servers", depth), &depth, |b, _| {
+            b.iter(|| black_box(dirs.walk(&root2, &path2).unwrap()))
+        });
     }
     g.finish();
     dir1.stop();
@@ -76,16 +76,12 @@ fn bench_file_io(c: &mut Criterion) {
         let data = vec![0xABu8; size];
         fs.write(&cap, 0, &data).unwrap();
 
-        g.bench_with_input(
-            BenchmarkId::new("write", size),
-            &size,
-            |b, _| b.iter(|| black_box(fs.write(&cap, 0, &data).unwrap())),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("read", size),
-            &size,
-            |b, _| b.iter(|| black_box(fs.read(&cap, 0, size as u32).unwrap())),
-        );
+        g.bench_with_input(BenchmarkId::new("write", size), &size, |b, _| {
+            b.iter(|| black_box(fs.write(&cap, 0, &data).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("read", size), &size, |b, _| {
+            b.iter(|| black_box(fs.read(&cap, 0, size as u32).unwrap()))
+        });
     }
     g.finish();
     runner.stop();
@@ -122,5 +118,10 @@ fn bench_open_less_access(c: &mut Criterion) {
     runner.stop();
 }
 
-criterion_group!(benches, bench_path_walks, bench_file_io, bench_open_less_access);
+criterion_group!(
+    benches,
+    bench_path_walks,
+    bench_file_io,
+    bench_open_less_access
+);
 criterion_main!(benches);

@@ -47,10 +47,7 @@ fn world(net: &Network, machines: usize) -> LocateWorld {
     // Bystanders: servers on other ports that must still process the
     // broadcast frames.
     for i in 0..machines.saturating_sub(2) {
-        let server = ServerPort::bind(
-            net.attach_open(),
-            Port::new(0x100000 + i as u64).unwrap(),
-        );
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x100000 + i as u64).unwrap());
         let stop = stop.clone();
         handles.push(std::thread::spawn(move || {
             while !stop.load(std::sync::atomic::Ordering::Relaxed) {

@@ -99,5 +99,9 @@ fn bench_commit_conflict_detection(c: &mut Criterion) {
     runner.stop();
 }
 
-criterion_group!(benches, bench_cow_vs_full_copy, bench_commit_conflict_detection);
+criterion_group!(
+    benches,
+    bench_cow_vs_full_copy,
+    bench_commit_conflict_detection
+);
 criterion_main!(benches);

@@ -73,5 +73,9 @@ fn bench_validate_after_revoke(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_revoke_is_constant_time, bench_validate_after_revoke);
+criterion_group!(
+    benches,
+    bench_revoke_is_constant_time,
+    bench_validate_after_revoke
+);
 criterion_main!(benches);

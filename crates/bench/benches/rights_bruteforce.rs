@@ -25,27 +25,21 @@ fn bench_with_vs_without_rights_field(c: &mut Criterion) {
         let drop_mask = ((1u16 << n) - 1) as u8 & 0xAA;
         let reduced = scheme.diminish(&cap, Rights::from_bits(drop_mask)).unwrap();
 
-        g.bench_with_input(
-            BenchmarkId::new("with-rights-field", n),
-            &n,
-            |b, _| b.iter(|| black_box(scheme.validate(&reduced, &secret).unwrap())),
-        );
+        g.bench_with_input(BenchmarkId::new("with-rights-field", n), &n, |b, _| {
+            b.iter(|| black_box(scheme.validate(&reduced, &secret).unwrap()))
+        });
 
         // Erase the rights field: the server must search.
         let anonymous = reduced.with_rights(Rights::NONE);
-        g.bench_with_input(
-            BenchmarkId::new("bruteforce-2^n-masks", n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    black_box(
-                        scheme
-                            .validate_bruteforce(&anonymous, &secret, n)
-                            .expect("recoverable"),
-                    )
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("bruteforce-2^n-masks", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    scheme
+                        .validate_bruteforce(&anonymous, &secret, n)
+                        .expect("recoverable"),
+                )
+            })
+        });
     }
     g.finish();
 }

@@ -71,7 +71,11 @@ fn bench_seal_cache_sweep(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            let cap = if i % 2 == 0 { hot } else { sample_cap(i + 1000) };
+            let cap = if i.is_multiple_of(2) {
+                hot
+            } else {
+                sample_cap(i + 1000)
+            };
             black_box(sealer.seal(&cap, server.id()).unwrap())
         })
     });

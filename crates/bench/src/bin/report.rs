@@ -276,10 +276,8 @@ fn e7_locate_traffic() {
             }));
         }
         for j in 0..machines.saturating_sub(2) {
-            let bystander = ServerPort::bind(
-                net.attach_open(),
-                Port::new(0x99000 + j as u64).unwrap(),
-            );
+            let bystander =
+                ServerPort::bind(net.attach_open(), Port::new(0x99000 + j as u64).unwrap());
             let stop = stop.clone();
             handles.push(std::thread::spawn(move || {
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
@@ -375,7 +373,8 @@ fn e10_quota_accounting() {
 
     let minted = 1_000u64;
     let wallet = bank.open_account().unwrap();
-    bank.mint(&treasury, &wallet, CurrencyId(0), minted).unwrap();
+    bank.mint(&treasury, &wallet, CurrencyId(0), minted)
+        .unwrap();
 
     let mut created = 0u32;
     let mut refused = 0u32;

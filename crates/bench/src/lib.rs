@@ -35,7 +35,10 @@ pub fn minted(kind: SchemeKind) -> (Box<dyn ProtectionScheme>, ObjectSecret, Cap
 }
 
 /// Criterion tuning for pure-CPU experiments.
-pub fn cpu_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+pub fn cpu_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(1));
@@ -44,7 +47,10 @@ pub fn cpu_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGr
 
 /// Criterion tuning for experiments that cross the simulated network
 /// (fewer samples; each iteration blocks on real thread wake-ups).
-pub fn net_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+pub fn net_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(2));

@@ -40,6 +40,7 @@ use amoeba_net::{Network, Port};
 use amoeba_server::proto::{Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
 use bytes::Bytes;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Block-server operation codes.
 pub mod ops {
@@ -86,6 +87,9 @@ impl Default for DiskConfig {
 pub struct BlockServer {
     table: ObjectTable<Box<[u8]>>,
     config: DiskConfig,
+    /// Blocks currently allocated; an atomic reservation counter so
+    /// concurrent ALLOCs cannot overshoot the disk capacity.
+    allocated: AtomicU32,
 }
 
 impl BlockServer {
@@ -97,11 +101,18 @@ impl BlockServer {
         BlockServer {
             table: ObjectTable::unbound(scheme.instantiate()),
             config,
+            allocated: AtomicU32::new(0),
         }
     }
 
-    fn alloc(&mut self) -> Reply {
-        if self.table.len() >= self.config.capacity_blocks as usize {
+    fn alloc(&self) -> Reply {
+        let capacity = self.config.capacity_blocks;
+        let reserved = self
+            .allocated
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < capacity).then_some(cur + 1)
+            });
+        if reserved.is_err() {
             return Reply::status(Status::NoSpace);
         }
         let block = vec![0u8; self.config.block_size as usize].into_boxed_slice();
@@ -133,14 +144,16 @@ impl BlockServer {
         let (Some(offset), Some(data)) = (r.u32(), r.bytes()) else {
             return Reply::status(Status::BadRequest);
         };
-        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |block| {
-            let end = (offset as usize).checked_add(data.len())?;
-            if end > block.len() {
-                return None;
-            }
-            block[offset as usize..end].copy_from_slice(data);
-            Some(())
-        });
+        let result = self
+            .table
+            .with_object_mut(&req.cap, Rights::WRITE, |block| {
+                let end = (offset as usize).checked_add(data.len())?;
+                if end > block.len() {
+                    return None;
+                }
+                block[offset as usize..end].copy_from_slice(data);
+                Some(())
+            });
         match result {
             Ok(Some(())) => Reply::ok(Bytes::new()),
             Ok(None) => Reply::status(Status::OutOfRange),
@@ -150,7 +163,10 @@ impl BlockServer {
 
     fn free(&self, req: &Request) -> Reply {
         match self.table.delete(&req.cap, Rights::DELETE) {
-            Ok(_) => Reply::ok(Bytes::new()),
+            Ok(_) => {
+                self.allocated.fetch_sub(1, Ordering::AcqRel);
+                Reply::ok(Bytes::new())
+            }
             Err(e) => Reply::status(e.into()),
         }
     }
@@ -160,7 +176,7 @@ impl BlockServer {
             wire::Writer::new()
                 .u32(self.config.block_size)
                 .u32(self.config.capacity_blocks)
-                .u32(self.table.len() as u32)
+                .u32(self.allocated.load(Ordering::Acquire))
                 .finish(),
         )
     }
@@ -171,7 +187,7 @@ impl Service for BlockServer {
         self.table.set_port(put_port);
     }
 
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;
         }
@@ -228,7 +244,9 @@ impl BlockClient {
     /// # Errors
     /// `Status::NoSpace` when the disk is full; transport errors.
     pub fn alloc(&self) -> Result<Capability, ClientError> {
-        let body = self.svc.call_anonymous(self.port, ops::ALLOC, Bytes::new())?;
+        let body = self
+            .svc
+            .call_anonymous(self.port, ops::ALLOC, Bytes::new())?;
         wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
     }
 

@@ -33,7 +33,11 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_nonempty() {
-        for e in [CapError::Forged, CapError::RightsExceeded, CapError::NotSupported] {
+        for e in [
+            CapError::Forged,
+            CapError::RightsExceeded,
+            CapError::NotSupported,
+        ] {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());

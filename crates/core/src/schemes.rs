@@ -565,7 +565,10 @@ mod tests {
         ObjectNum::new(99).unwrap()
     }
 
-    fn mint_with(kind: SchemeKind, seed: u64) -> (Box<dyn ProtectionScheme>, ObjectSecret, Capability) {
+    fn mint_with(
+        kind: SchemeKind,
+        seed: u64,
+    ) -> (Box<dyn ProtectionScheme>, ObjectSecret, Capability) {
         let scheme = kind.instantiate();
         let secret = scheme.new_secret(&mut rng(seed));
         let cap = scheme.mint(port(), obj(), &secret);
@@ -610,17 +613,29 @@ mod tests {
 
     #[test]
     fn restricted_caps_validate_with_exactly_kept_rights() {
-        for kind in [SchemeKind::Encrypted, SchemeKind::OneWay, SchemeKind::Commutative] {
+        for kind in [
+            SchemeKind::Encrypted,
+            SchemeKind::OneWay,
+            SchemeKind::Commutative,
+        ] {
             let (scheme, secret, cap) = mint_with(kind, 5);
             let keep = Rights::READ | Rights::WRITE;
             let restricted = scheme.restrict(&cap, keep, &secret).unwrap();
-            assert_eq!(scheme.validate(&restricted, &secret).unwrap(), keep, "{kind}");
+            assert_eq!(
+                scheme.validate(&restricted, &secret).unwrap(),
+                keep,
+                "{kind}"
+            );
         }
     }
 
     #[test]
     fn restriction_cannot_amplify() {
-        for kind in [SchemeKind::Encrypted, SchemeKind::OneWay, SchemeKind::Commutative] {
+        for kind in [
+            SchemeKind::Encrypted,
+            SchemeKind::OneWay,
+            SchemeKind::Commutative,
+        ] {
             let (scheme, secret, cap) = mint_with(kind, 6);
             let read_only = scheme.restrict(&cap, Rights::READ, &secret).unwrap();
             assert_eq!(
@@ -650,7 +665,11 @@ mod tests {
             let (scheme, _secret, cap) = mint_with(kind, 8);
             let expect = kind == SchemeKind::Commutative;
             assert_eq!(scheme.supports_diminish(), expect, "{kind}");
-            assert_eq!(scheme.diminish(&cap, Rights::WRITE).is_ok(), expect, "{kind}");
+            assert_eq!(
+                scheme.diminish(&cap, Rights::WRITE).is_ok(),
+                expect,
+                "{kind}"
+            );
         }
     }
 
@@ -703,7 +722,10 @@ mod tests {
         let cap = scheme.mint(port(), obj(), &secret);
         let restricted = scheme.restrict(&cap, Rights::READ, &secret).unwrap();
         let forged = restricted.with_rights(Rights::ALL);
-        assert_eq!(scheme.validate(&forged, &secret).unwrap_err(), CapError::Forged);
+        assert_eq!(
+            scheme.validate(&forged, &secret).unwrap_err(),
+            CapError::Forged
+        );
     }
 
     #[test]
@@ -737,7 +759,10 @@ mod tests {
             .diminish(&cap, Rights::ALL.without(Rights::READ))
             .unwrap();
         let forged = ro.with_rights(Rights::ALL);
-        assert_eq!(scheme.validate(&forged, &secret).unwrap_err(), CapError::Forged);
+        assert_eq!(
+            scheme.validate(&forged, &secret).unwrap_err(),
+            CapError::Forged
+        );
     }
 
     #[test]

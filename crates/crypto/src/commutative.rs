@@ -48,9 +48,8 @@ pub const NUM_RIGHTS: usize = 8;
 ///
 /// Each is an odd prime coprime to `P48 − 1` (verified by
 /// [`CommutativeOwfFamily::new`] and by tests).
-const STANDARD_EXPONENTS: [u64; NUM_RIGHTS] = [
-    65537, 65539, 65543, 65551, 65557, 65563, 65579, 65581,
-];
+const STANDARD_EXPONENTS: [u64; NUM_RIGHTS] =
+    [65537, 65539, 65543, 65551, 65557, 65563, 65579, 65581];
 
 /// A family of `N` commutative one-way functions over `GF(p)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -136,7 +135,7 @@ mod tests {
     #[test]
     fn p48_is_prime_and_48_bits() {
         assert!(crate::modmath::is_prime(P48));
-        assert!(P48 < (1 << 48));
+        const { assert!(P48 < (1 << 48)) };
         assert_eq!(crate::modmath::next_prime(P48), P48);
     }
 
@@ -177,7 +176,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for _ in 0..1000 {
             let x = fam.random_element(&mut rng);
-            assert!(x >= 2 && x < P48 - 1);
+            assert!((2..P48 - 1).contains(&x));
         }
     }
 

@@ -105,7 +105,7 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
@@ -137,7 +137,7 @@ pub fn next_prime(mut n: u64) -> u64 {
     if n <= 2 {
         return 2;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         n += 1;
     }
     while !is_prime(n) {

@@ -118,7 +118,11 @@ mod tests {
         // constant and hits many values.
         let f = Purdy::with_coefficients(251, [3, 5, 7, 11, 13]);
         let outputs: HashSet<u64> = (0..251).map(|x| f.eval(x)).collect();
-        assert!(outputs.len() > 100, "only {} distinct outputs", outputs.len());
+        assert!(
+            outputs.len() > 100,
+            "only {} distinct outputs",
+            outputs.len()
+        );
     }
 
     #[test]

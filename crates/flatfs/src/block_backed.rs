@@ -24,6 +24,7 @@ use amoeba_net::{Network, Port};
 use amoeba_server::proto::{Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service};
 use bytes::Bytes;
+use parking_lot::Mutex;
 
 #[derive(Debug)]
 struct Inode {
@@ -33,10 +34,20 @@ struct Inode {
 }
 
 /// A flat file server whose storage is a block server.
+///
+/// The RPC client demuxes concurrent transactions, so reads go to the
+/// block server with no locking at all. Mutating operations (WRITE,
+/// DESTROY) serialise on `write_lock`: a write snapshots the inode,
+/// allocates blocks and writes data in separate steps, and two
+/// concurrent writers to one file would otherwise leak blocks and
+/// lose metadata. (The in-memory
+/// [`FlatFsServer`](crate::FlatFsServer) has no disk hop and scales
+/// across workers freely.)
 #[derive(Debug)]
 pub struct BlockFlatFsServer {
     table: ObjectTable<Inode>,
     disk: BlockClient,
+    write_lock: Mutex<()>,
     block_size: u64,
 }
 
@@ -56,11 +67,12 @@ impl BlockFlatFsServer {
         BlockFlatFsServer {
             table: ObjectTable::unbound(scheme.instantiate()),
             disk,
+            write_lock: Mutex::new(()),
             block_size,
         }
     }
 
-    fn create(&mut self) -> Reply {
+    fn create(&self) -> Reply {
         let (_, cap) = self.table.create(Inode {
             size: 0,
             blocks: Vec::new(),
@@ -85,6 +97,8 @@ impl BlockFlatFsServer {
         let mut out = Vec::with_capacity((end - start) as usize);
         let bs = self.block_size;
         let mut pos = start;
+        // No lock on the read path: the RPC client demuxes concurrent
+        // transactions and reads never touch inode metadata.
         while pos < end {
             let idx = (pos / bs) as usize;
             let within = (pos % bs) as u32;
@@ -99,11 +113,15 @@ impl BlockFlatFsServer {
         Reply::ok(Bytes::from(out))
     }
 
-    fn write(&mut self, req: &Request) -> Reply {
+    fn write(&self, req: &Request) -> Reply {
         let mut r = wire::Reader::new(&req.params);
         let (Some(offset), Some(data)) = (r.u64(), r.bytes()) else {
             return Reply::status(Status::BadRequest);
         };
+        // Serialise writers before snapshotting the inode, so a
+        // concurrent writer's allocations are always visible in the
+        // snapshot (no leaked blocks, no lost metadata).
+        let _writing = self.write_lock.lock();
         let meta = self
             .table
             .with_object(&req.cap, Rights::WRITE, |f| (f.size, f.blocks.clone()));
@@ -116,11 +134,25 @@ impl BlockFlatFsServer {
             return Reply::status(Status::OutOfRange);
         };
         let needed = end.div_ceil(bs) as usize;
+        let original_blocks = blocks.len();
+        // On any failure below, give freshly allocated blocks back —
+        // they are not yet in the inode and would otherwise leak disk
+        // capacity forever.
+        let free_new = |blocks: &[Capability]| {
+            for b in &blocks[original_blocks..] {
+                let _ = self.disk.free(b);
+            }
+        };
         while blocks.len() < needed {
             match self.disk.alloc() {
                 Ok(cap) => blocks.push(cap),
-                Err(ClientError::Status(s)) => return Reply::status(s),
-                Err(_) => return Reply::status(Status::NoSpace),
+                Err(e) => {
+                    free_new(&blocks);
+                    return Reply::status(match e {
+                        ClientError::Status(s) => s,
+                        _ => Status::NoSpace,
+                    });
+                }
             }
         }
         let mut pos = offset;
@@ -130,6 +162,7 @@ impl BlockFlatFsServer {
             let within = (pos % bs) as u32;
             let take = ((bs - within as u64) as usize).min(remaining.len());
             if let Err(e) = self.disk.write(&blocks[idx], within, &remaining[..take]) {
+                free_new(&blocks);
                 return Reply::status(match e {
                     ClientError::Status(s) => s,
                     _ => Status::NoSpace,
@@ -144,7 +177,12 @@ impl BlockFlatFsServer {
             f.blocks = blocks.clone();
         }) {
             Ok(()) => Reply::ok(wire::Writer::new().u64(new_size).finish()),
-            Err(e) => Reply::status(e.into()),
+            Err(e) => {
+                // The file vanished mid-write (revoked/destroyed): the
+                // new blocks never made it into any inode.
+                free_new(&blocks);
+                Reply::status(e.into())
+            }
         }
     }
 
@@ -155,9 +193,10 @@ impl BlockFlatFsServer {
         }
     }
 
-    fn destroy(&mut self, req: &Request) -> Reply {
+    fn destroy(&self, req: &Request) -> Reply {
         match self.table.delete(&req.cap, Rights::DELETE) {
             Ok(inode) => {
+                let _writing = self.write_lock.lock();
                 for b in inode.blocks {
                     let _ = self.disk.free(&b);
                 }
@@ -173,7 +212,7 @@ impl Service for BlockFlatFsServer {
         self.table.set_port(put_port);
     }
 
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;
         }
@@ -264,7 +303,7 @@ mod tests {
             capacity_blocks: 2,
         });
         let cap = fs.create().unwrap();
-        fs.write(&cap, 0, &vec![1u8; 128]).unwrap();
+        fs.write(&cap, 0, &[1u8; 128]).unwrap();
         assert_eq!(
             fs.write(&cap, 128, b"x").unwrap_err(),
             ClientError::Status(Status::NoSpace)

@@ -123,7 +123,7 @@ impl FlatFsServer {
         }
     }
 
-    fn create(&mut self, req: &Request) -> Reply {
+    fn create(&self, req: &Request) -> Reply {
         let mut paid = None;
         let quota_bytes = match &self.quota {
             None => None,
@@ -136,10 +136,12 @@ impl FlatFsServer {
                 // Collect the payment with a real bank transaction. The
                 // client's account capability needs WRITE; ours is the
                 // deposit side.
-                match policy
-                    .bank
-                    .transfer(&account, &policy.server_account, policy.currency, prepay)
-                {
+                match policy.bank.transfer(
+                    &account,
+                    &policy.server_account,
+                    policy.currency,
+                    prepay,
+                ) {
                     Ok(()) => {}
                     Err(ClientError::Status(s)) => return Reply::status(s),
                     Err(_) => return Reply::status(Status::BadRequest),
@@ -240,7 +242,7 @@ impl Service for FlatFsServer {
         self.table.set_port(put_port);
     }
 
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;
         }

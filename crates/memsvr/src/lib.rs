@@ -48,6 +48,7 @@ use amoeba_net::{Network, Port};
 use amoeba_server::proto::{Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
 use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Memory-server operation codes.
 pub mod ops {
@@ -115,7 +116,9 @@ pub struct MemServer {
     table: ObjectTable<MemObject>,
     /// Total bytes of segment memory this server will hand out.
     memory_limit: u64,
-    allocated: u64,
+    /// Bytes currently handed out; atomic because CREATE/DELETE run on
+    /// concurrent dispatch workers.
+    allocated: AtomicU64,
 }
 
 impl MemServer {
@@ -129,19 +132,28 @@ impl MemServer {
         MemServer {
             table: ObjectTable::unbound(scheme.instantiate()),
             memory_limit,
-            allocated: 0,
+            allocated: AtomicU64::new(0),
         }
     }
 
-    fn create_segment(&mut self, req: &Request) -> Reply {
+    fn create_segment(&self, req: &Request) -> Reply {
         let Some(size) = wire::Reader::new(&req.params).u64() else {
             return Reply::status(Status::BadRequest);
         };
-        if self.allocated.saturating_add(size) > self.memory_limit {
+        // Atomically reserve the memory: concurrent CREATEs must never
+        // overshoot the limit between check and commit.
+        let limit = self.memory_limit;
+        let reserved = self
+            .allocated
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                cur.checked_add(size).filter(|&next| next <= limit)
+            });
+        if reserved.is_err() {
             return Reply::status(Status::NoSpace);
         }
-        self.allocated += size;
-        let (_, cap) = self.table.create(MemObject::Segment(vec![0; size as usize]));
+        let (_, cap) = self
+            .table
+            .create(MemObject::Segment(vec![0; size as usize]));
         Reply::ok(wire::Writer::new().cap(&cap).finish())
     }
 
@@ -150,16 +162,18 @@ impl MemServer {
         let (Some(offset), Some(len)) = (r.u64(), r.u32()) else {
             return Reply::status(Status::BadRequest);
         };
-        let result = self.table.with_object(&req.cap, Rights::READ, |obj| match obj {
-            MemObject::Segment(data) => {
-                let end = (offset as usize).checked_add(len as usize)?;
-                if end > data.len() {
-                    return None;
+        let result = self
+            .table
+            .with_object(&req.cap, Rights::READ, |obj| match obj {
+                MemObject::Segment(data) => {
+                    let end = (offset as usize).checked_add(len as usize)?;
+                    if end > data.len() {
+                        return None;
+                    }
+                    Some(Bytes::copy_from_slice(&data[offset as usize..end]))
                 }
-                Some(Bytes::copy_from_slice(&data[offset as usize..end]))
-            }
-            MemObject::Process { .. } => None,
-        });
+                MemObject::Process { .. } => None,
+            });
         match result {
             Ok(Some(data)) => Reply::ok(data),
             Ok(None) => Reply::status(Status::OutOfRange),
@@ -193,10 +207,12 @@ impl MemServer {
     }
 
     fn size(&self, req: &Request) -> Reply {
-        let result = self.table.with_object(&req.cap, Rights::READ, |obj| match obj {
-            MemObject::Segment(data) => Some(data.len() as u64),
-            MemObject::Process { .. } => None,
-        });
+        let result = self
+            .table
+            .with_object(&req.cap, Rights::READ, |obj| match obj {
+                MemObject::Segment(data) => Some(data.len() as u64),
+                MemObject::Process { .. } => None,
+            });
         match result {
             Ok(Some(s)) => Reply::ok(wire::Writer::new().u64(s).finish()),
             Ok(None) => Reply::status(Status::BadRequest),
@@ -204,10 +220,11 @@ impl MemServer {
         }
     }
 
-    fn delete_segment(&mut self, req: &Request) -> Reply {
+    fn delete_segment(&self, req: &Request) -> Reply {
         match self.table.delete(&req.cap, Rights::DELETE) {
             Ok(MemObject::Segment(data)) => {
-                self.allocated = self.allocated.saturating_sub(data.len() as u64);
+                self.allocated
+                    .fetch_sub(data.len() as u64, Ordering::AcqRel);
                 Reply::ok(Bytes::new())
             }
             Ok(proc_obj @ MemObject::Process { .. }) => {
@@ -220,7 +237,7 @@ impl MemServer {
         }
     }
 
-    fn make_process(&mut self, req: &Request) -> Reply {
+    fn make_process(&self, req: &Request) -> Reply {
         let mut r = wire::Reader::new(&req.params);
         let Some(n) = r.u32() else {
             return Reply::status(Status::BadRequest);
@@ -236,9 +253,9 @@ impl MemServer {
         // grant at least READ (the child's memory image is loaded from
         // them).
         for cap in &segments {
-            let ok = self
-                .table
-                .with_object(cap, Rights::READ, |obj| matches!(obj, MemObject::Segment(_)));
+            let ok = self.table.with_object(cap, Rights::READ, |obj| {
+                matches!(obj, MemObject::Segment(_))
+            });
             match ok {
                 Ok(true) => {}
                 Ok(false) => return Reply::status(Status::BadRequest),
@@ -279,10 +296,14 @@ impl MemServer {
     }
 
     fn status(&self, req: &Request) -> Reply {
-        let result = self.table.with_object(&req.cap, Rights::READ, |obj| match obj {
-            MemObject::Process { state, segments } => Some((*state as u32, segments.len() as u32)),
-            MemObject::Segment(_) => None,
-        });
+        let result = self
+            .table
+            .with_object(&req.cap, Rights::READ, |obj| match obj {
+                MemObject::Process { state, segments } => {
+                    Some((*state as u32, segments.len() as u32))
+                }
+                MemObject::Segment(_) => None,
+            });
         match result {
             Ok(Some((s, nsegs))) => Reply::ok(wire::Writer::new().u32(s).u32(nsegs).finish()),
             Ok(None) => Reply::status(Status::BadRequest),
@@ -290,12 +311,13 @@ impl MemServer {
         }
     }
 
-    fn kill(&mut self, req: &Request) -> Reply {
+    fn kill(&self, req: &Request) -> Reply {
         match self.table.delete(&req.cap, Rights::DELETE) {
             Ok(MemObject::Process { .. }) => Reply::ok(Bytes::new()),
             Ok(seg @ MemObject::Segment(_)) => {
                 if let MemObject::Segment(data) = seg {
-                    self.allocated = self.allocated.saturating_sub(data.len() as u64);
+                    self.allocated
+                        .fetch_sub(data.len() as u64, Ordering::AcqRel);
                 }
                 Reply::ok(Bytes::new())
             }
@@ -309,7 +331,7 @@ impl Service for MemServer {
         self.table.set_port(put_port);
     }
 
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;
         }
@@ -522,10 +544,8 @@ mod tests {
     #[test]
     fn memory_limit_enforced_and_reclaimed() {
         let net = Network::new();
-        let runner = ServiceRunner::spawn_open(
-            &net,
-            MemServer::with_memory(SchemeKind::Simple, 1000),
-        );
+        let runner =
+            ServiceRunner::spawn_open(&net, MemServer::with_memory(SchemeKind::Simple, 1000));
         let mem = MemClient::open(&net, runner.put_port());
         let a = mem.create_segment(600).unwrap();
         assert_eq!(

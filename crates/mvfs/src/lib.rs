@@ -140,17 +140,19 @@ impl MvfsServer {
         }
     }
 
-    fn new_version(&mut self, req: &Request) -> Reply {
+    fn new_version(&self, req: &Request) -> Reply {
         // Snapshot the parent head under READ|WRITE (deriving a version
         // is a mutation-intent operation).
         let parent_obj = req.cap.object;
-        let snapshot = self.table.with_object(&req.cap, Rights::WRITE, |obj| match obj {
-            MvObject::File {
-                head,
-                committed_versions,
-            } => Some((head.clone(), *committed_versions)),
-            MvObject::Version { .. } => None,
-        });
+        let snapshot = self
+            .table
+            .with_object(&req.cap, Rights::WRITE, |obj| match obj {
+                MvObject::File {
+                    head,
+                    committed_versions,
+                } => Some((head.clone(), *committed_versions)),
+                MvObject::Version { .. } => None,
+            });
         let (pages, base_version) = match snapshot {
             Ok(Some(s)) => s,
             Ok(None) => return Reply::status(Status::BadRequest),
@@ -174,9 +176,7 @@ impl MvfsServer {
                 MvObject::File { head, .. } => head,
                 MvObject::Version { pages, .. } => pages,
             };
-            pages
-                .get(page as usize)
-                .map(|p| Bytes::copy_from_slice(p))
+            pages.get(page as usize).map(|p| Bytes::copy_from_slice(p))
         });
         match result {
             Ok(Some(data)) => Reply::ok(data),
@@ -185,7 +185,7 @@ impl MvfsServer {
         }
     }
 
-    fn write_page(&mut self, req: &Request) -> Reply {
+    fn write_page(&self, req: &Request) -> Reply {
         let mut r = wire::Reader::new(&req.params);
         let (Some(page), Some(data)) = (r.u32(), r.bytes()) else {
             return Reply::status(Status::BadRequest);
@@ -223,17 +223,19 @@ impl MvfsServer {
         }
     }
 
-    fn commit(&mut self, req: &Request) -> Reply {
+    fn commit(&self, req: &Request) -> Reply {
         // Read the version state (must be uncommitted and writable).
-        let version = self.table.with_object(&req.cap, Rights::WRITE, |obj| match obj {
-            MvObject::Version {
-                parent,
-                pages,
-                base_version,
-                committed,
-            } => Some((*parent, pages.clone(), *base_version, *committed)),
-            MvObject::File { .. } => None,
-        });
+        let version = self
+            .table
+            .with_object(&req.cap, Rights::WRITE, |obj| match obj {
+                MvObject::Version {
+                    parent,
+                    pages,
+                    base_version,
+                    committed,
+                } => Some((*parent, pages.clone(), *base_version, *committed)),
+                MvObject::File { .. } => None,
+            });
         let (parent, pages, base_version, committed) = match version {
             Ok(Some(v)) => v,
             Ok(None) => return Reply::status(Status::BadRequest),
@@ -275,13 +277,15 @@ impl MvfsServer {
     }
 
     fn file_info(&self, req: &Request) -> Reply {
-        let result = self.table.with_object(&req.cap, Rights::READ, |obj| match obj {
-            MvObject::File {
-                head,
-                committed_versions,
-            } => Some((*committed_versions, head.len() as u32)),
-            MvObject::Version { .. } => None,
-        });
+        let result = self
+            .table
+            .with_object(&req.cap, Rights::READ, |obj| match obj {
+                MvObject::File {
+                    head,
+                    committed_versions,
+                } => Some((*committed_versions, head.len() as u32)),
+                MvObject::Version { .. } => None,
+            });
         match result {
             Ok(Some((versions, pages))) => {
                 Reply::ok(wire::Writer::new().u64(versions).u32(pages).finish())
@@ -292,15 +296,17 @@ impl MvfsServer {
     }
 
     fn version_info(&self, req: &Request) -> Reply {
-        let version = self.table.with_object(&req.cap, Rights::READ, |obj| match obj {
-            MvObject::Version {
-                parent,
-                pages,
-                base_version,
-                committed,
-            } => Some((*parent, pages.clone(), *base_version, *committed)),
-            MvObject::File { .. } => None,
-        });
+        let version = self
+            .table
+            .with_object(&req.cap, Rights::READ, |obj| match obj {
+                MvObject::Version {
+                    parent,
+                    pages,
+                    base_version,
+                    committed,
+                } => Some((*parent, pages.clone(), *base_version, *committed)),
+                MvObject::File { .. } => None,
+            });
         let (parent, pages, base_version, committed) = match version {
             Ok(Some(v)) => v,
             Ok(None) => return Reply::status(Status::BadRequest),
@@ -327,7 +333,7 @@ impl MvfsServer {
         )
     }
 
-    fn destroy(&mut self, req: &Request) -> Reply {
+    fn destroy(&self, req: &Request) -> Reply {
         match self.table.delete(&req.cap, Rights::DELETE) {
             Ok(_) => Reply::ok(Bytes::new()),
             Err(e) => Reply::status(e.into()),
@@ -340,7 +346,7 @@ impl Service for MvfsServer {
         self.table.set_port(put_port);
     }
 
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;
         }
@@ -359,9 +365,7 @@ impl Service for MvfsServer {
             ops::FILE_INFO => self.file_info(req),
             ops::VERSION_INFO => self.version_info(req),
             ops::DESTROY => self.destroy(req),
-            ops::PAGE_SIZE => {
-                Reply::ok(wire::Writer::new().u32(self.page_size as u32).finish())
-            }
+            ops::PAGE_SIZE => Reply::ok(wire::Writer::new().u32(self.page_size as u32).finish()),
             _ => Reply::status(Status::BadCommand),
         }
     }
@@ -427,7 +431,12 @@ impl MvfsClient {
     /// # Errors
     /// `Conflict` on a committed version; `OutOfRange` if data exceeds
     /// the page size.
-    pub fn write_page(&self, version: &Capability, page: u32, data: &[u8]) -> Result<(), ClientError> {
+    pub fn write_page(
+        &self,
+        version: &Capability,
+        page: u32,
+        data: &[u8],
+    ) -> Result<(), ClientError> {
         self.svc.call(
             version,
             ops::WRITE_PAGE,
@@ -648,7 +657,8 @@ mod tests {
         // Build a 16-page committed file.
         let v = fs.new_version(&file).unwrap();
         for p in 0..16 {
-            fs.write_page(&v, p, format!("page {p}").as_bytes()).unwrap();
+            fs.write_page(&v, p, format!("page {p}").as_bytes())
+                .unwrap();
         }
         fs.commit(&v).unwrap();
         // New version, touch a single page.
@@ -681,10 +691,8 @@ mod tests {
     #[test]
     fn oversized_page_write_rejected() {
         let net = Network::new();
-        let runner = ServiceRunner::spawn_open(
-            &net,
-            MvfsServer::with_page_size(SchemeKind::Simple, 16),
-        );
+        let runner =
+            ServiceRunner::spawn_open(&net, MvfsServer::with_page_size(SchemeKind::Simple, 16));
         let fs = MvfsClient::open(&net, runner.put_port());
         let file = fs.create_file().unwrap();
         let v = fs.new_version(&file).unwrap();

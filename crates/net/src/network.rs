@@ -272,6 +272,10 @@ impl std::error::Error for RecvError {}
 
 /// A machine's handle onto the network.
 ///
+/// The receive queue is an MPMC channel: an endpoint shared across
+/// threads (e.g. behind an `Arc` in a server worker pool) hands each
+/// packet to exactly one concurrent receiver.
+///
 /// Dropping the endpoint detaches the machine.
 pub struct Endpoint {
     id: MachineId,
@@ -325,10 +329,7 @@ impl Endpoint {
     /// Returns [`RecvError::Disconnected`] if the endpoint has been
     /// detached.
     pub fn recv(&self) -> Result<Packet, RecvError> {
-        let pkt = self
-            .receiver
-            .recv()
-            .map_err(|_| RecvError::Disconnected)?;
+        let pkt = self.receiver.recv().map_err(|_| RecvError::Disconnected)?;
         wait_until(pkt.deliver_at);
         Ok(pkt)
     }
@@ -362,6 +363,13 @@ impl Endpoint {
         }
     }
 }
+
+// Server worker pools share one endpoint across threads.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Endpoint>();
+    assert_shareable::<Network>();
+};
 
 fn wait_until(instant: Instant) {
     let now = Instant::now();
@@ -558,6 +566,32 @@ mod tests {
         assert_eq!(s.packets_sent, 1);
         assert_eq!(s.packets_delivered, 0);
         assert_eq!(s.packets_filtered, 2);
+    }
+
+    #[test]
+    fn shared_endpoint_delivers_each_packet_to_one_receiver() {
+        use std::sync::Arc;
+        let net = Network::new();
+        let rx = Arc::new(net.attach_open());
+        rx.claim(port(88));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    while rx.recv_timeout(Duration::from_millis(100)).is_ok() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let tx = net.attach_open();
+        for _ in 0..200 {
+            tx.send(Header::to(port(88)), Bytes::from_static(b"x"));
+        }
+        let total: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 200, "every packet claimed exactly once");
     }
 
     #[test]

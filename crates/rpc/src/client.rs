@@ -1,11 +1,13 @@
 //! The client side: blocking transactions.
 
 use crate::frame::Frame;
-use amoeba_net::{Endpoint, Header, Port, RecvError};
+use amoeba_net::{Endpoint, Header, Packet, Port, RecvError};
 use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// Tunables for [`Client::trans`].
@@ -52,13 +54,33 @@ impl std::error::Error for RpcError {}
 /// "After making a request, a client blocks until the reply comes in"
 /// (§2.1). The endpoint must not concurrently be used as a server — an
 /// Amoeba process is one addressable party.
+///
+/// `trans` is safe to call from many threads at once: every in-flight
+/// transaction registers its private reply port in a demux table, and
+/// whichever waiter pulls a packet off the shared endpoint routes it to
+/// the transaction it belongs to. This is what lets a service embed a
+/// client (file server → bank server, file server → block server) and
+/// still run on a dispatch worker pool.
 #[derive(Debug)]
 pub struct Client {
     endpoint: Endpoint,
     config: RpcConfig,
     signature: Option<Port>,
     rng: Mutex<StdRng>,
+    /// In-flight transactions: wire reply port → that waiter's mailbox.
+    pending: Mutex<HashMap<Port, Sender<Packet>>>,
 }
+
+/// How long a waiter blocks on the shared endpoint before re-checking
+/// its private mailbox when peers are in flight (a peer may have
+/// routed its reply there while it was blocked).
+const DEMUX_TICK: Duration = Duration::from_millis(1);
+
+/// The much coarser tick used when this is the only in-flight
+/// transaction: nobody can steal its reply, so frequent wake-ups would
+/// be pure overhead — the residual tick only covers a peer *starting*
+/// mid-block.
+const IDLE_TICK: Duration = Duration::from_millis(25);
 
 impl Client {
     /// Wraps an endpoint with default configuration.
@@ -73,6 +95,7 @@ impl Client {
             config,
             signature: None,
             rng: Mutex::new(StdRng::from_entropy()),
+            pending: Mutex::new(HashMap::new()),
         }
     }
 
@@ -100,9 +123,22 @@ impl Client {
         // a late first reply satisfies a retransmitted request.
         let reply_get = Port::random(&mut *self.rng.lock());
         let reply_wire = self.endpoint.claim(reply_get);
-        let result = self.trans_on(dest, request, reply_get, reply_wire);
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(reply_wire, tx);
+        let result = self.trans_on(dest, request, reply_get, reply_wire, &rx);
+        self.pending.lock().remove(&reply_wire);
         self.endpoint.release(reply_get);
         result
+    }
+
+    /// Routes a packet that is not ours to whichever in-flight
+    /// transaction owns its destination port (concurrent `trans` calls
+    /// share one endpoint queue). Unclaimed packets are stale noise and
+    /// are dropped.
+    fn route_foreign(&self, pkt: Packet) {
+        if let Some(waiter) = self.pending.lock().get(&pkt.header.dest) {
+            let _ = waiter.send(pkt);
+        }
     }
 
     fn trans_on(
@@ -111,6 +147,7 @@ impl Client {
         request: Bytes,
         reply_get: Port,
         reply_wire: Port,
+        mailbox: &Receiver<Packet>,
     ) -> Result<Bytes, RpcError> {
         let payload = Frame::Request(request).encode();
         let mut header = Header::to(dest).with_reply(reply_get);
@@ -125,17 +162,31 @@ impl Client {
                 if remaining.is_zero() {
                     break; // retransmit
                 }
-                match self.endpoint.recv_timeout(remaining) {
+                // A peer waiter may have claimed our reply from the
+                // shared endpoint and routed it to our mailbox.
+                if let Ok(pkt) = mailbox.try_recv() {
+                    if let Some(Frame::Reply(body)) = Frame::decode(&pkt.payload) {
+                        return Ok(body);
+                    }
+                    continue;
+                }
+                let tick = if self.pending.lock().len() > 1 {
+                    DEMUX_TICK
+                } else {
+                    IDLE_TICK
+                };
+                match self.endpoint.recv_timeout(remaining.min(tick)) {
                     Ok(pkt) => {
                         if pkt.header.dest != reply_wire {
-                            continue; // stale traffic for an old port
+                            self.route_foreign(pkt);
+                            continue;
                         }
                         match Frame::decode(&pkt.payload) {
                             Some(Frame::Reply(body)) => return Ok(body),
                             _ => continue, // noise
                         }
                     }
-                    Err(RecvError::Timeout) => break,
+                    Err(RecvError::Timeout) => continue, // tick: re-check mailbox
                     Err(RecvError::Disconnected) => return Err(RpcError::Disconnected),
                 }
             }
@@ -148,6 +199,7 @@ impl Client {
 mod tests {
     use super::*;
     use amoeba_net::Network;
+    use std::sync::Arc;
 
     #[test]
     fn trans_times_out_when_nobody_listens() {
@@ -166,6 +218,58 @@ mod tests {
         assert_eq!(err, RpcError::Timeout);
         // Both attempts were transmitted.
         assert_eq!(net.stats().snapshot().packets_sent - before.packets_sent, 2);
+    }
+
+    #[test]
+    fn concurrent_transactions_on_one_client_all_complete() {
+        // The demux table must route every reply to its own waiter even
+        // though all waiters share one endpoint queue.
+        let net = Network::new();
+        let server = crate::ServerPort::bind(net.attach_open(), Port::new(0xCC).unwrap());
+        let p = server.put_port();
+        let server_thread = std::thread::spawn(move || {
+            // Echo each request body back, out of order in bursts.
+            let mut backlog = Vec::new();
+            loop {
+                match server.next_request_timeout(Duration::from_millis(300)) {
+                    Ok(req) => {
+                        backlog.push(req);
+                        if backlog.len() >= 4 {
+                            for req in backlog.drain(..).rev() {
+                                server.reply(&req, req.payload.clone());
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        for req in backlog.drain(..) {
+                            server.reply(&req, req.payload.clone());
+                        }
+                        break;
+                    }
+                }
+            }
+        });
+        let client = Arc::new(Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        ));
+        let workers: Vec<_> = (0..8u32)
+            .map(|i| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    let body = Bytes::from(i.to_be_bytes().to_vec());
+                    let reply = client.trans(p, body.clone()).unwrap();
+                    assert_eq!(reply, body, "worker {i} got someone else's reply");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        server_thread.join().unwrap();
     }
 
     #[test]

@@ -160,6 +160,9 @@ mod tests {
         assert_eq!(Frame::decode(&Bytes::new()), None);
         assert_eq!(Frame::decode(&Bytes::from_static(&[9, 1, 2])), None);
         assert_eq!(Frame::decode(&Bytes::from_static(&[2, 1])), None); // short locate
-        assert_eq!(Frame::decode(&Bytes::from_static(&[3, 0, 0, 0, 0, 0, 0, 0, 1])), None);
+        assert_eq!(
+            Frame::decode(&Bytes::from_static(&[3, 0, 0, 0, 0, 0, 0, 0, 1])),
+            None
+        );
     }
 }

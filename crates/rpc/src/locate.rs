@@ -55,8 +55,7 @@ impl Locator {
     /// Returns `None` if nobody answers within the timeout.
     pub fn locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
         if let Some(&m) = self.cache.lock().get(&port) {
-            self.hits
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Some(m);
         }
         self.misses

@@ -26,12 +26,24 @@ pub struct IncomingRequest {
 ///
 /// The server loop also transparently answers broadcast LOCATE queries
 /// for its port, implementing the software match-making of §2.2.
+///
+/// A `ServerPort` is safe to share (e.g. in an `Arc`) across a pool of
+/// dispatch workers: the endpoint's packet queue is an MPMC channel, so
+/// concurrent [`next_request`](Self::next_request) calls each claim a
+/// distinct request, and [`reply`](Self::reply) is a stateless send.
 #[derive(Debug)]
 pub struct ServerPort {
     endpoint: Endpoint,
     get_port: Port,
     wire_port: Port,
 }
+
+// The worker-pool dispatch engine shares one bound port across
+// threads; keep that property from regressing silently.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<ServerPort>();
+};
 
 impl ServerPort {
     /// `GET(G)`: claims the get-port on the endpoint's interface and
@@ -187,6 +199,53 @@ mod tests {
                 .unwrap_err(),
             RecvError::Timeout
         );
+    }
+
+    #[test]
+    fn shared_port_workers_claim_disjoint_requests() {
+        // Two threads drain one bound port; every request is answered
+        // exactly once no matter which worker claims it.
+        use std::sync::Arc;
+        let net = Network::new();
+        let server = Arc::new(ServerPort::bind(
+            net.attach_open(),
+            Port::new(0x66).unwrap(),
+        ));
+        let p = server.put_port();
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let mut served = 0u32;
+                    while let Ok(req) = server.next_request_timeout(Duration::from_millis(200)) {
+                        server.reply(&req, req.payload.clone()); // echo
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        let mut clients = Vec::new();
+        for i in 0..8u32 {
+            let net = net.clone();
+            clients.push(std::thread::spawn(move || {
+                let client = Client::with_config(
+                    net.attach_open(),
+                    RpcConfig {
+                        timeout: Duration::from_millis(500),
+                        attempts: 3,
+                    },
+                );
+                let body = Bytes::from(i.to_be_bytes().to_vec());
+                let reply = client.trans(p, body.clone()).unwrap();
+                assert_eq!(reply, body);
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 8, "each request claimed by exactly one worker");
     }
 
     #[test]

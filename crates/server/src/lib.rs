@@ -11,7 +11,8 @@
 //!   in the header, an operation code, and parameters — exactly the
 //!   message layout of §2.1;
 //! * a [`Service`] trait plus a [`ServiceRunner`] that binds a port and
-//!   serves requests on a background thread;
+//!   serves requests on a background worker — or a whole pool of them
+//!   ([`ServiceRunner::spawn_workers`]) draining one shared port;
 //! * a [`ServiceClient`] that performs capability-carrying transactions;
 //! * [`wire`]: a tiny parameter codec shared by all services.
 //!
@@ -29,7 +30,7 @@
 //!     fn bind(&mut self, put_port: amoeba_net::Port) {
 //!         self.table.set_port(put_port); // minted caps carry our port
 //!     }
-//!     fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+//!     fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
 //!         match req.command {
 //!             0 => { // CREATE: no capability needed
 //!                 let (_, cap) = self.table.create(0);

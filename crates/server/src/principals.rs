@@ -87,7 +87,7 @@ mod tests {
     use crate::proto::{Reply, Request, Status};
     use crate::{ObjectTable, RequestCtx, Service, ServiceRunner};
     use amoeba_cap::schemes::SchemeKind;
-    use amoeba_cap::Rights;
+
     use amoeba_crypto::oneway::ShaOneWay;
     use amoeba_fbox::{put_port_of, FBox};
     use amoeba_net::Network;
@@ -136,7 +136,7 @@ mod tests {
             self.table.set_port(put_port);
         }
 
-        fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Reply {
+        fn handle(&self, req: &Request, ctx: &RequestCtx) -> Reply {
             if let Some(reply) = self.table.handle_std(req) {
                 return reply;
             }

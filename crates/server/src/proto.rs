@@ -258,7 +258,7 @@ mod tests {
 
     #[test]
     fn std_commands_are_distinct_and_high() {
-        assert!(cmd::STD_RESTRICT > 0xFFFF_0000);
+        const { assert!(cmd::STD_RESTRICT > 0xFFFF_0000) };
         assert_ne!(cmd::STD_RESTRICT, cmd::STD_REVOKE);
         assert_ne!(cmd::STD_REVOKE, cmd::STD_INFO);
     }

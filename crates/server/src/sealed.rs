@@ -54,75 +54,113 @@ fn decode_sealed(data: &Bytes) -> Option<(u128, u32, Bytes)> {
     Some((sealed, command, data.slice(20..)))
 }
 
-/// Runs a [`Service`] behind sealed-capability transport.
+/// Serve one sealed request: unseal the capability slot with the key
+/// selected by the packet's unforgeable source, dispatch, reply.
+fn serve_sealed_one(
+    service: &impl Service,
+    sealer: &CapSealer,
+    server: &amoeba_rpc::ServerPort,
+    incoming: &amoeba_rpc::IncomingRequest,
+) {
+    let ctx = RequestCtx {
+        source: incoming.source,
+        signature: incoming.signature,
+    };
+    let reply = match decode_sealed(&incoming.payload) {
+        None => Reply::status(Status::BadRequest),
+        Some((sealed, command, params)) => {
+            let cap = if sealed == ANONYMOUS {
+                Ok(null_cap())
+            } else {
+                match sealer.unseal(SealedCap(sealed), incoming.source) {
+                    Ok(cap) => Ok(cap),
+                    Err(SealError::Garbage) => Err(Status::Forged),
+                    Err(SealError::NoKey) => Err(Status::Forged),
+                }
+            };
+            match cap {
+                Ok(cap) => service.handle(
+                    &Request {
+                        cap,
+                        command,
+                        params,
+                    },
+                    &ctx,
+                ),
+                Err(status) => Reply::status(status),
+            }
+        }
+    };
+    server.reply(incoming, reply.encode());
+}
+
+/// Runs a [`Service`] behind sealed-capability transport, on one or
+/// more dispatch workers sharing the bound port.
 #[derive(Debug)]
 pub struct SealedServiceRunner {
     put_port: Port,
     machine: amoeba_net::MachineId,
     shutdown: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl SealedServiceRunner {
-    /// Binds `get_port` on `endpoint` and serves `service`, unsealing
-    /// every incoming capability with `sealer` (keyed by packet
-    /// source).
+    /// Binds `get_port` on `endpoint` and serves `service` on one
+    /// worker, unsealing every incoming capability with `sealer` (keyed
+    /// by packet source).
     pub fn spawn(
+        endpoint: Endpoint,
+        get_port: Port,
+        service: impl Service,
+        sealer: Arc<CapSealer>,
+    ) -> SealedServiceRunner {
+        Self::spawn_workers(endpoint, get_port, service, sealer, 1)
+    }
+
+    /// Like [`spawn`](Self::spawn) with a pool of `workers` threads
+    /// draining the same bound port.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn spawn_workers(
         endpoint: Endpoint,
         get_port: Port,
         mut service: impl Service,
         sealer: Arc<CapSealer>,
+        workers: usize,
     ) -> SealedServiceRunner {
+        assert!(workers > 0, "a service needs at least one worker");
         let machine = endpoint.id();
         let server = ServerPort::bind(endpoint, get_port);
         let put_port = server.put_port();
         service.bind(put_port);
+        let service = Arc::new(service);
+        let server = Arc::new(server);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let stop = Arc::clone(&shutdown);
-        let handle = std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                let incoming = match server.next_request_timeout(Duration::from_millis(20)) {
-                    Ok(r) => r,
-                    Err(RecvError::Timeout) => continue,
-                    Err(RecvError::Disconnected) => break,
-                };
-                let ctx = RequestCtx {
-                    source: incoming.source,
-                    signature: incoming.signature,
-                };
-                let reply = match decode_sealed(&incoming.payload) {
-                    None => Reply::status(Status::BadRequest),
-                    Some((sealed, command, params)) => {
-                        let cap = if sealed == ANONYMOUS {
-                            Ok(null_cap())
-                        } else {
-                            match sealer.unseal(SealedCap(sealed), incoming.source) {
-                                Ok(cap) => Ok(cap),
-                                Err(SealError::Garbage) => Err(Status::Forged),
-                                Err(SealError::NoKey) => Err(Status::Forged),
+        let handles = (0..workers)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let server = Arc::clone(&server);
+                let sealer = Arc::clone(&sealer);
+                let stop = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match server.next_request_timeout(Duration::from_millis(20)) {
+                            Ok(incoming) => {
+                                serve_sealed_one(&*service, &sealer, &server, &incoming)
                             }
-                        };
-                        match cap {
-                            Ok(cap) => service.handle(
-                                &Request {
-                                    cap,
-                                    command,
-                                    params,
-                                },
-                                &ctx,
-                            ),
-                            Err(status) => Reply::status(status),
+                            Err(RecvError::Timeout) => continue,
+                            Err(RecvError::Disconnected) => break,
                         }
                     }
-                };
-                server.reply(&incoming, reply.encode());
-            }
-        });
+                })
+            })
+            .collect();
         SealedServiceRunner {
             put_port,
             machine,
             shutdown,
-            handle: Some(handle),
+            handles,
         }
     }
 
@@ -148,14 +186,19 @@ impl SealedServiceRunner {
         self.machine
     }
 
-    /// Stops the server thread.
+    /// Number of dispatch workers serving this port.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Stops every worker and waits for them to exit.
     pub fn stop(mut self) {
         self.shutdown_now();
     }
 
     fn shutdown_now(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -263,7 +306,9 @@ impl SealedServiceClient {
         command: u32,
         params: Bytes,
     ) -> Result<Bytes, crate::ClientError> {
-        let raw = self.rpc.trans(port, encode_sealed(sealed, command, &params))?;
+        let raw = self
+            .rpc
+            .trans(port, encode_sealed(sealed, command, &params))?;
         let reply = Reply::decode(&raw).ok_or(crate::ClientError::Malformed)?;
         if reply.status == Status::Ok {
             Ok(reply.body)
@@ -280,13 +325,12 @@ mod tests {
 
     use amoeba_cap::schemes::SchemeKind;
     use amoeba_cap::Rights;
-    use amoeba_softprot::KeyMatrix;
     use amoeba_server_test_util::Echo;
+    use amoeba_softprot::KeyMatrix;
 
     // A tiny echo service shared with the sealed tests.
     mod amoeba_server_test_util {
         use super::*;
-
 
         pub struct Echo {
             pub table: ObjectTable<Vec<u8>>,
@@ -305,16 +349,16 @@ mod tests {
                 self.table.set_port(put_port);
             }
 
-            fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+            fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
                 match req.command {
                     CREATE => {
                         let (_, cap) = self.table.create(Vec::new());
                         // Seal the fresh capability for the requesting
                         // machine before it goes on the wire.
                         match self.sealer.seal(&cap, _ctx.source) {
-                            Ok(sealed) => Reply::ok(Bytes::copy_from_slice(
-                                &sealed.0.to_be_bytes(),
-                            )),
+                            Ok(sealed) => {
+                                Reply::ok(Bytes::copy_from_slice(&sealed.0.to_be_bytes()))
+                            }
                             Err(_) => Reply::status(Status::Forged),
                         }
                     }
@@ -325,11 +369,9 @@ mod tests {
                         Ok(data) => Reply::ok(data),
                         Err(e) => Reply::status(e.into()),
                     },
-                    APPEND => match self
-                        .table
-                        .with_object_mut(&req.cap, Rights::WRITE, |d| {
-                            d.extend_from_slice(&req.params)
-                        }) {
+                    APPEND => match self.table.with_object_mut(&req.cap, Rights::WRITE, |d| {
+                        d.extend_from_slice(&req.params)
+                    }) {
                         Ok(()) => Reply::ok(Bytes::new()),
                         Err(e) => Reply::status(e.into()),
                     },
@@ -393,14 +435,28 @@ mod tests {
     fn sealed_end_to_end() {
         let (_net, runner, client, _intruder, _s) = world();
         let body = client
-            .call_anonymous(runner.put_port(), amoeba_server_test_util::CREATE, Bytes::new())
+            .call_anonymous(
+                runner.put_port(),
+                amoeba_server_test_util::CREATE,
+                Bytes::new(),
+            )
             .unwrap();
         let cap = unseal_reply_cap(&client, &body);
         client
-            .call(runner.put_port(), &cap, amoeba_server_test_util::APPEND, Bytes::from_static(b"sealed!"))
+            .call(
+                runner.put_port(),
+                &cap,
+                amoeba_server_test_util::APPEND,
+                Bytes::from_static(b"sealed!"),
+            )
             .unwrap();
         let data = client
-            .call(runner.put_port(), &cap, amoeba_server_test_util::READ, Bytes::new())
+            .call(
+                runner.put_port(),
+                &cap,
+                amoeba_server_test_util::READ,
+                Bytes::new(),
+            )
             .unwrap();
         assert_eq!(&data[..], b"sealed!");
         runner.stop();
@@ -411,11 +467,20 @@ mod tests {
         let (net, runner, client, _intruder, _s) = world();
         let wire_tap = net.tap();
         let body = client
-            .call_anonymous(runner.put_port(), amoeba_server_test_util::CREATE, Bytes::new())
+            .call_anonymous(
+                runner.put_port(),
+                amoeba_server_test_util::CREATE,
+                Bytes::new(),
+            )
             .unwrap();
         let cap = unseal_reply_cap(&client, &body);
         client
-            .call(runner.put_port(), &cap, amoeba_server_test_util::READ, Bytes::new())
+            .call(
+                runner.put_port(),
+                &cap,
+                amoeba_server_test_util::READ,
+                Bytes::new(),
+            )
             .unwrap();
         let plain = cap.encode();
         while let Ok(pkt) = wire_tap.try_recv() {
@@ -432,11 +497,20 @@ mod tests {
         let (net, runner, client, intruder, _s) = world();
         let wire_tap = net.tap();
         let body = client
-            .call_anonymous(runner.put_port(), amoeba_server_test_util::CREATE, Bytes::new())
+            .call_anonymous(
+                runner.put_port(),
+                amoeba_server_test_util::CREATE,
+                Bytes::new(),
+            )
             .unwrap();
         let cap = unseal_reply_cap(&client, &body);
         client
-            .call(runner.put_port(), &cap, amoeba_server_test_util::APPEND, Bytes::from_static(b"x"))
+            .call(
+                runner.put_port(),
+                &cap,
+                amoeba_server_test_util::APPEND,
+                Bytes::from_static(b"x"),
+            )
             .unwrap();
 
         // Capture the APPEND request off the wire (inside its RPC
@@ -481,7 +555,12 @@ mod tests {
 
         // The honest client is unaffected.
         let data = client
-            .call(runner.put_port(), &cap, amoeba_server_test_util::READ, Bytes::new())
+            .call(
+                runner.put_port(),
+                &cap,
+                amoeba_server_test_util::READ,
+                Bytes::new(),
+            )
             .unwrap();
         assert_eq!(&data[..], b"x");
         runner.stop();

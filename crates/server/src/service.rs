@@ -6,7 +6,7 @@ use amoeba_cap::{Capability, Rights};
 use amoeba_crypto::oneway::ShaOneWay;
 use amoeba_fbox::FBox;
 use amoeba_net::{Endpoint, MachineId, Network, Port, RecvError};
-use amoeba_rpc::{Client, RpcConfig, RpcError, ServerPort};
+use amoeba_rpc::{Client, IncomingRequest, RpcConfig, RpcError, ServerPort};
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -24,63 +24,109 @@ pub struct RequestCtx {
 }
 
 /// A server's request handler.
-pub trait Service: Send + 'static {
+///
+/// `handle` takes `&self`: one service instance is shared by every
+/// worker of a dispatch pool, so all request-path state must use
+/// interior synchronisation ([`ObjectTable`](crate::ObjectTable) is
+/// lock-striped internally; scalar counters use atomics). `bind` still
+/// takes `&mut self` — it runs exactly once, before the service is
+/// shared.
+pub trait Service: Send + Sync + 'static {
     /// Called once with the bound put-port before serving begins —
     /// services with an [`ObjectTable`](crate::ObjectTable) forward this
     /// to [`ObjectTable::set_port`](crate::ObjectTable::set_port).
     fn bind(&mut self, _put_port: Port) {}
 
-    /// Handles one request.
-    fn handle(&mut self, req: &Request, ctx: &RequestCtx) -> Reply;
+    /// Handles one request. May be called from many worker threads at
+    /// once.
+    fn handle(&self, req: &Request, ctx: &RequestCtx) -> Reply;
 }
 
-/// Runs a [`Service`] on a background thread.
+/// Decode one raw request, dispatch it to the service, encode the
+/// reply. Shared by every worker loop (plain and pooled).
+fn serve_one(service: &impl Service, server: &ServerPort, incoming: &IncomingRequest) {
+    let ctx = RequestCtx {
+        source: incoming.source,
+        signature: incoming.signature,
+    };
+    let reply = match Request::decode(&incoming.payload) {
+        Some(decoded) => service.handle(&decoded, &ctx),
+        None => Reply::status(Status::BadRequest),
+    };
+    server.reply(incoming, reply.encode());
+}
+
+/// Runs a [`Service`] on one or more background dispatch workers.
 ///
 /// The runner owns the server's secret get-port; only the put-port is
-/// exposed. [`stop`](ServiceRunner::stop) (or drop) shuts the thread
-/// down.
+/// exposed. All workers share a single bound [`ServerPort`] and drain
+/// its underlying MPMC packet channel concurrently — the classic
+/// worker-pool dispatch engine. [`stop`](ServiceRunner::stop) (or drop)
+/// shuts every worker down.
 #[derive(Debug)]
 pub struct ServiceRunner {
     put_port: Port,
     machine: MachineId,
     shutdown: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServiceRunner {
-    /// Binds `get_port` on `endpoint` and serves `service` on a new
-    /// thread.
-    pub fn spawn(endpoint: Endpoint, get_port: Port, mut service: impl Service) -> ServiceRunner {
+    /// Binds `get_port` on `endpoint` and serves `service` on one
+    /// worker thread — the deterministic default: requests are handled
+    /// strictly in arrival order.
+    pub fn spawn(endpoint: Endpoint, get_port: Port, service: impl Service) -> ServiceRunner {
+        Self::spawn_workers(endpoint, get_port, service, 1)
+    }
+
+    /// Binds `get_port` on `endpoint` and serves `service` on a pool of
+    /// `workers` threads.
+    ///
+    /// All workers receive from the **same** bound port: the endpoint's
+    /// packet queue is a crossbeam MPMC channel, so each request is
+    /// claimed by exactly one worker and handled with `&self` on the
+    /// shared service. Use more than one worker only with services
+    /// whose handlers tolerate concurrent execution (every service in
+    /// this repository does — state lives in the lock-striped
+    /// [`ObjectTable`](crate::ObjectTable) or in atomics).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn spawn_workers(
+        endpoint: Endpoint,
+        get_port: Port,
+        mut service: impl Service,
+        workers: usize,
+    ) -> ServiceRunner {
+        assert!(workers > 0, "a service needs at least one worker");
         let machine = endpoint.id();
         let server = ServerPort::bind(endpoint, get_port);
         let put_port = server.put_port();
         service.bind(put_port);
+        let service = Arc::new(service);
+        let server = Arc::new(server);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let stop = Arc::clone(&shutdown);
-        let handle = std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                match server.next_request_timeout(Duration::from_millis(20)) {
-                    Ok(req) => {
-                        let ctx = RequestCtx {
-                            source: req.source,
-                            signature: req.signature,
-                        };
-                        let reply = match Request::decode(&req.payload) {
-                            Some(decoded) => service.handle(&decoded, &ctx),
-                            None => Reply::status(Status::BadRequest),
-                        };
-                        server.reply(&req, reply.encode());
+        let handles = (0..workers)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match server.next_request_timeout(Duration::from_millis(20)) {
+                            Ok(req) => serve_one(&*service, &server, &req),
+                            Err(RecvError::Timeout) => continue,
+                            Err(RecvError::Disconnected) => break,
+                        }
                     }
-                    Err(RecvError::Timeout) => continue,
-                    Err(RecvError::Disconnected) => break,
-                }
-            }
-        });
+                })
+            })
+            .collect();
         ServiceRunner {
             put_port,
             machine,
             shutdown,
-            handle: Some(handle),
+            handles,
         }
     }
 
@@ -93,12 +139,34 @@ impl ServiceRunner {
         Self::spawn(endpoint, get_port, service)
     }
 
+    /// Like [`spawn_open`](Self::spawn_open) with a worker pool.
+    pub fn spawn_open_workers(
+        net: &Network,
+        service: impl Service,
+        workers: usize,
+    ) -> ServiceRunner {
+        let endpoint = net.attach_open();
+        let get_port = Port::random(&mut StdRng::from_entropy());
+        Self::spawn_workers(endpoint, get_port, service, workers)
+    }
+
     /// Attaches a machine behind a hardware F-box (the §2.2 model) and
     /// serves on a random secret get-port.
     pub fn spawn_fbox(net: &Network, service: impl Service) -> ServiceRunner {
         let endpoint = net.attach(Arc::new(FBox::hardware(ShaOneWay)));
         let get_port = Port::random(&mut StdRng::from_entropy());
         Self::spawn(endpoint, get_port, service)
+    }
+
+    /// Like [`spawn_fbox`](Self::spawn_fbox) with a worker pool.
+    pub fn spawn_fbox_workers(
+        net: &Network,
+        service: impl Service,
+        workers: usize,
+    ) -> ServiceRunner {
+        let endpoint = net.attach(Arc::new(FBox::hardware(ShaOneWay)));
+        let get_port = Port::random(&mut StdRng::from_entropy());
+        Self::spawn_workers(endpoint, get_port, service, workers)
     }
 
     /// The published put-port clients send to.
@@ -111,14 +179,19 @@ impl ServiceRunner {
         self.machine
     }
 
-    /// Stops the server thread and waits for it to exit.
+    /// Number of dispatch workers serving this port.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Stops every worker and waits for them to exit.
     pub fn stop(mut self) {
         self.shutdown_now();
     }
 
     fn shutdown_now(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.handle.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -204,7 +277,12 @@ impl ServiceClient {
     /// # Errors
     /// [`ClientError::Rpc`] on transport failure, [`ClientError::Status`]
     /// for any non-OK server status.
-    pub fn call(&self, cap: &Capability, command: u32, params: Bytes) -> Result<Bytes, ClientError> {
+    pub fn call(
+        &self,
+        cap: &Capability,
+        command: u32,
+        params: Bytes,
+    ) -> Result<Bytes, ClientError> {
         self.call_at(cap.port, cap, command, params)
     }
 
@@ -315,7 +393,7 @@ mod tests {
             self.table.set_port(put_port);
         }
 
-        fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+        fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
             if let Some(reply) = self.table.handle_std(req) {
                 return reply;
             }
@@ -324,7 +402,10 @@ mod tests {
                     let (_, cap) = self.table.create(req.params.to_vec());
                     Reply::ok(wire::Writer::new().cap(&cap).finish())
                 }
-                CMD_READ => match self.table.with_object(&req.cap, Rights::READ, |d| d.clone()) {
+                CMD_READ => match self
+                    .table
+                    .with_object(&req.cap, Rights::READ, |d| d.clone())
+                {
                     Ok(data) => Reply::ok(Bytes::from(data)),
                     Err(e) => Reply::status(e.into()),
                 },
@@ -353,7 +434,10 @@ mod tests {
         let client = ServiceClient::open(&net);
 
         let cap = create(&client, runner.put_port(), b"hello");
-        assert_eq!(&client.call(&cap, CMD_READ, Bytes::new()).unwrap()[..], b"hello");
+        assert_eq!(
+            &client.call(&cap, CMD_READ, Bytes::new()).unwrap()[..],
+            b"hello"
+        );
         client
             .call(&cap, CMD_APPEND, Bytes::from_static(b" world"))
             .unwrap();
@@ -422,7 +506,9 @@ mod tests {
         let net = Network::new();
         let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::Simple));
         let rpc = Client::new(net.attach_open());
-        let raw = rpc.trans(runner.put_port(), Bytes::from_static(b"junk")).unwrap();
+        let raw = rpc
+            .trans(runner.put_port(), Bytes::from_static(b"junk"))
+            .unwrap();
         let reply = Reply::decode(&raw).unwrap();
         assert_eq!(reply.status, Status::BadRequest);
         runner.stop();
@@ -450,6 +536,75 @@ mod tests {
     }
 
     #[test]
+    fn worker_pool_serves_concurrent_clients() {
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open_workers(&net, Echo::new(SchemeKind::OneWay), 4);
+        assert_eq!(runner.workers(), 4);
+        let port = runner.put_port();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = ServiceClient::open(&net);
+                let cap = create(&client, port, format!("w{i}").as_bytes());
+                for _ in 0..25 {
+                    client
+                        .call(&cap, CMD_APPEND, Bytes::from_static(b"."))
+                        .unwrap();
+                }
+                let data = client.call(&cap, CMD_READ, Bytes::new()).unwrap();
+                assert_eq!(data.len(), 2 + 25);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        runner.stop();
+    }
+
+    #[test]
+    fn worker_pool_standard_ops_under_concurrency() {
+        // restrict/revoke/info from many clients against one pooled
+        // server: the striped table must stay consistent.
+        let net = Network::new();
+        let runner = ServiceRunner::spawn_open_workers(&net, Echo::new(SchemeKind::Commutative), 4);
+        let port = runner.put_port();
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = ServiceClient::open(&net);
+                let cap = create(&client, port, b"shared");
+                let ro = client.restrict(&cap, Rights::READ).unwrap();
+                assert_eq!(client.info(&ro).unwrap(), Rights::READ);
+                let fresh = client.revoke(&cap).unwrap();
+                assert_eq!(
+                    client.call(&ro, CMD_READ, Bytes::new()).unwrap_err(),
+                    ClientError::Status(Status::Forged)
+                );
+                assert!(client.call(&fresh, CMD_READ, Bytes::new()).is_ok());
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        runner.stop();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let net = Network::new();
+        let endpoint = net.attach_open();
+        let _ = ServiceRunner::spawn_workers(
+            endpoint,
+            Port::new(0x99).unwrap(),
+            Echo::new(SchemeKind::Simple),
+            0,
+        );
+    }
+
+    #[test]
     fn concurrent_clients() {
         let net = Network::new();
         let runner = ServiceRunner::spawn_open(&net, Echo::new(SchemeKind::OneWay));
@@ -461,7 +616,9 @@ mod tests {
                 let client = ServiceClient::open(&net);
                 let cap = create(&client, port, format!("t{i}").as_bytes());
                 for _ in 0..25 {
-                    client.call(&cap, CMD_APPEND, Bytes::from_static(b".")).unwrap();
+                    client
+                        .call(&cap, CMD_APPEND, Bytes::from_static(b"."))
+                        .unwrap();
                 }
                 let data = client.call(&cap, CMD_READ, Bytes::new()).unwrap();
                 assert_eq!(data.len(), 2 + 25);

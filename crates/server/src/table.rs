@@ -1,4 +1,10 @@
 //! The object table: per-object secrets plus server-private data.
+//!
+//! Since the worker-pool refactor the table is **lock-striped**: entries
+//! are spread over `N` independent shards (object number low bits →
+//! shard), each with its own entry slab, free list and RNG. Capability
+//! validation on distinct objects therefore never contends on a shared
+//! lock, which is what lets one service scale across dispatch workers.
 
 use crate::proto::{cmd, Reply, Request, Status};
 use crate::wire;
@@ -8,6 +14,7 @@ use amoeba_net::Port;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Errors from object-table operations, mapping 1:1 onto wire
 /// [`Status`] codes.
@@ -60,6 +67,33 @@ struct Entry<T> {
     data: T,
 }
 
+/// One independent stripe of the table: a slab of entries plus its own
+/// free list and RNG, so operations on different shards never touch the
+/// same lock.
+struct Shard<T> {
+    entries: RwLock<Vec<Option<Entry<T>>>>,
+    free: Mutex<Vec<u32>>,
+    /// Mirror of `free.len()`, readable without the lock so `create`
+    /// can prefer shards holding reusable slots.
+    free_count: AtomicUsize,
+    rng: Mutex<StdRng>,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Shard<T> {
+        Shard {
+            entries: RwLock::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            free_count: AtomicUsize::new(0),
+            rng: Mutex::new(StdRng::from_entropy()),
+        }
+    }
+}
+
+/// Default number of stripes. Power of two; low object-number bits
+/// select the stripe.
+pub const DEFAULT_SHARDS: usize = 16;
+
 /// Maps object numbers to (per-object secret, server data) and performs
 /// all capability cryptography for a service.
 ///
@@ -68,38 +102,63 @@ struct Entry<T> {
 /// (§2.3). Everything the paper's object-protection discussion requires
 /// is here: minting, validation, server-side restriction, deletion, and
 /// revocation by random-number replacement.
+///
+/// The table is internally sharded ([`DEFAULT_SHARDS`] stripes unless
+/// built with [`with_shards`](Self::with_shards)); every method is
+/// `&self` and safe to call from any number of dispatch workers.
 pub struct ObjectTable<T> {
     scheme: Box<dyn ProtectionScheme>,
     port: RwLock<Option<Port>>,
-    entries: RwLock<Vec<Option<Entry<T>>>>,
-    free: Mutex<Vec<u32>>,
-    rng: Mutex<StdRng>,
+    shards: Box<[Shard<T>]>,
+    /// `log2(shards.len())` — object numbers carry the shard index in
+    /// their low `shard_bits` bits.
+    shard_bits: u32,
+    /// Round-robin cursor for `create`, so fresh objects spread evenly
+    /// over the stripes no matter which thread creates them.
+    next_shard: AtomicUsize,
 }
 
 impl<T> std::fmt::Debug for ObjectTable<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ObjectTable")
             .field("scheme", &self.scheme.name())
+            .field("shards", &self.shards.len())
             .field("objects", &self.len())
             .finish()
     }
 }
 
 impl<T> ObjectTable<T> {
-    /// A table not yet bound to a server port. The port is stamped into
-    /// minted capabilities; bind it with [`set_port`](Self::set_port)
-    /// before creating objects (the [`ServiceRunner`] does this
-    /// automatically via [`Service::bind`]).
+    /// A table not yet bound to a server port, with the default shard
+    /// count. The port is stamped into minted capabilities; bind it
+    /// with [`set_port`](Self::set_port) before creating objects (the
+    /// [`ServiceRunner`] does this automatically via
+    /// [`Service::bind`]).
     ///
     /// [`ServiceRunner`]: crate::ServiceRunner
     /// [`Service::bind`]: crate::Service::bind
     pub fn unbound(scheme: Box<dyn ProtectionScheme>) -> ObjectTable<T> {
+        Self::with_shards(scheme, DEFAULT_SHARDS)
+    }
+
+    /// A table with an explicit number of lock stripes. One shard
+    /// reproduces the legacy fully-serialised table (useful as a
+    /// baseline in benchmarks); production services use a power-of-two
+    /// count ≥ the worker count.
+    ///
+    /// # Panics
+    /// Panics unless `shards` is a power of two between 1 and 256.
+    pub fn with_shards(scheme: Box<dyn ProtectionScheme>, shards: usize) -> ObjectTable<T> {
+        assert!(
+            shards.is_power_of_two() && (1..=256).contains(&shards),
+            "shard count must be a power of two in 1..=256"
+        );
         ObjectTable {
             scheme,
             port: RwLock::new(None),
-            entries: RwLock::new(Vec::new()),
-            free: Mutex::new(Vec::new()),
-            rng: Mutex::new(StdRng::from_entropy()),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            shard_bits: shards.trailing_zeros(),
+            next_shard: AtomicUsize::new(0),
         }
     }
 
@@ -131,9 +190,17 @@ impl<T> ObjectTable<T> {
         self.scheme.as_ref()
     }
 
-    /// Number of live objects.
+    /// The number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of live objects (sums over all shards).
     pub fn len(&self) -> usize {
-        self.entries.read().iter().flatten().count()
+        self.shards
+            .iter()
+            .map(|s| s.entries.read().iter().flatten().count())
+            .sum()
     }
 
     /// Whether the table holds no objects.
@@ -141,44 +208,66 @@ impl<T> ObjectTable<T> {
         self.len() == 0
     }
 
+    /// Splits an object number into (shard, slot).
+    fn locate(&self, object: ObjectNum) -> (&Shard<T>, usize) {
+        let raw = object.value();
+        let shard = (raw as usize) & (self.shards.len() - 1);
+        (&self.shards[shard], (raw >> self.shard_bits) as usize)
+    }
+
+    /// Picks the shard for a new object: any shard advertising a
+    /// reusable slot wins (keeping slabs dense and preserving the
+    /// slot-reuse behaviour of the unsharded table), otherwise the
+    /// round-robin cursor spreads fresh objects evenly.
+    fn create_shard_index(&self) -> usize {
+        let mask = self.shards.len() - 1;
+        let rr = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        for offset in 0..self.shards.len() {
+            let idx = (rr + offset) & mask;
+            if self.shards[idx].free_count.load(Ordering::Acquire) > 0 {
+                return idx;
+            }
+        }
+        rr & mask
+    }
+
     /// Creates an object: picks a random number, stores it, and mints
     /// the all-rights capability.
     ///
+    /// Creation round-robins over the stripes (reusing freed slots
+    /// first), so a table populated by a single thread still spreads
+    /// its objects across every shard — later dispatch workers then
+    /// never contend with each other on distinct objects.
+    ///
     /// # Panics
-    /// Panics if the table is unbound or all 2²⁴ object numbers are in
-    /// use.
+    /// Panics if the table is unbound or the shard's slice of the 2²⁴
+    /// object-number space is exhausted.
     pub fn create(&self, data: T) -> (ObjectNum, Capability) {
-        let secret = self.scheme.new_secret(&mut *self.rng.lock());
         let port = self.port();
-        let mut entries = self.entries.write();
-        let index = match self.free.lock().pop() {
-            Some(i) => i,
+        let shard_index = self.create_shard_index();
+        let shard = &self.shards[shard_index];
+        let secret = self.scheme.new_secret(&mut *shard.rng.lock());
+        let mut entries = shard.entries.write();
+        let slot = match shard.free.lock().pop() {
+            Some(i) => {
+                shard.free_count.fetch_sub(1, Ordering::AcqRel);
+                i
+            }
             None => {
                 let i = entries.len() as u32;
-                assert!(i <= ObjectNum::MAX, "object table full");
+                assert!(
+                    i <= (ObjectNum::MAX >> self.shard_bits),
+                    "object table shard full"
+                );
                 entries.push(None);
                 i
             }
         };
-        let object = ObjectNum::new(index).expect("index bounded by MAX");
-        entries[index as usize] = Some(Entry { secret, data });
+        let raw = (slot << self.shard_bits) | shard_index as u32;
+        let object = ObjectNum::new(raw).expect("slot bounded by MAX >> shard_bits");
+        entries[slot as usize] = Some(Entry { secret, data });
         let cap = self.scheme.mint(port, object, &secret);
         (object, cap)
-    }
-
-    fn check<R>(
-        &self,
-        cap: &Capability,
-        entry: Option<&Entry<T>>,
-        need: Rights,
-        f: impl FnOnce(&Entry<T>) -> R,
-    ) -> Result<R, ServerError> {
-        let entry = entry.ok_or(ServerError::NoSuchObject)?;
-        let rights = self.scheme.validate(cap, &entry.secret)?;
-        if !rights.contains(need) {
-            return Err(ServerError::RightsViolation);
-        }
-        Ok(f(entry))
     }
 
     /// Validates a capability, returning its effective rights.
@@ -186,9 +275,10 @@ impl<T> ObjectTable<T> {
     /// # Errors
     /// [`ServerError::NoSuchObject`] or [`ServerError::Forged`].
     pub fn validate(&self, cap: &Capability) -> Result<Rights, ServerError> {
-        let entries = self.entries.read();
+        let (shard, slot) = self.locate(cap.object);
+        let entries = shard.entries.read();
         let entry = entries
-            .get(cap.object.value() as usize)
+            .get(slot)
             .and_then(|e| e.as_ref())
             .ok_or(ServerError::NoSuchObject)?;
         Ok(self.scheme.validate(cap, &entry.secret)?)
@@ -205,11 +295,17 @@ impl<T> ObjectTable<T> {
         need: Rights,
         f: impl FnOnce(&T) -> R,
     ) -> Result<R, ServerError> {
-        let entries = self.entries.read();
+        let (shard, slot) = self.locate(cap.object);
+        let entries = shard.entries.read();
         let entry = entries
-            .get(cap.object.value() as usize)
-            .and_then(|e| e.as_ref());
-        self.check(cap, entry, need, |e| f(&e.data))
+            .get(slot)
+            .and_then(|e| e.as_ref())
+            .ok_or(ServerError::NoSuchObject)?;
+        let rights = self.scheme.validate(cap, &entry.secret)?;
+        if !rights.contains(need) {
+            return Err(ServerError::RightsViolation);
+        }
+        Ok(f(&entry.data))
     }
 
     /// Mutable variant of [`with_object`](Self::with_object).
@@ -222,16 +318,17 @@ impl<T> ObjectTable<T> {
         need: Rights,
         f: impl FnOnce(&mut T) -> R,
     ) -> Result<R, ServerError> {
-        let mut entries = self.entries.write();
-        let slot = entries
-            .get_mut(cap.object.value() as usize)
+        let (shard, slot) = self.locate(cap.object);
+        let mut entries = shard.entries.write();
+        let slot_entry = entries
+            .get_mut(slot)
             .and_then(|e| e.as_mut())
             .ok_or(ServerError::NoSuchObject)?;
-        let rights = self.scheme.validate(cap, &slot.secret)?;
+        let rights = self.scheme.validate(cap, &slot_entry.secret)?;
         if !rights.contains(need) {
             return Err(ServerError::RightsViolation);
         }
-        Ok(f(&mut slot.data))
+        Ok(f(&mut slot_entry.data))
     }
 
     /// Direct access by object number, **bypassing capability checks** —
@@ -239,18 +336,20 @@ impl<T> ObjectTable<T> {
     /// multiversion file server touching a version's parent file during
     /// commit). Never expose this path to request parameters.
     pub fn with_data<R>(&self, object: ObjectNum, f: impl FnOnce(&T) -> R) -> Option<R> {
-        let entries = self.entries.read();
+        let (shard, slot) = self.locate(object);
+        let entries = shard.entries.read();
         entries
-            .get(object.value() as usize)
+            .get(slot)
             .and_then(|e| e.as_ref())
             .map(|e| f(&e.data))
     }
 
     /// Mutable variant of [`with_data`](Self::with_data). Same warning.
     pub fn with_data_mut<R>(&self, object: ObjectNum, f: impl FnOnce(&mut T) -> R) -> Option<R> {
-        let mut entries = self.entries.write();
+        let (shard, slot) = self.locate(object);
+        let mut entries = shard.entries.write();
         entries
-            .get_mut(object.value() as usize)
+            .get_mut(slot)
             .and_then(|e| e.as_mut())
             .map(|e| f(&mut e.data))
     }
@@ -263,9 +362,10 @@ impl<T> ObjectTable<T> {
     /// exceeds the current rights, or [`ServerError::Unsupported`] for
     /// scheme 0.
     pub fn restrict(&self, cap: &Capability, keep: Rights) -> Result<Capability, ServerError> {
-        let entries = self.entries.read();
+        let (shard, slot) = self.locate(cap.object);
+        let entries = shard.entries.read();
         let entry = entries
-            .get(cap.object.value() as usize)
+            .get(slot)
             .and_then(|e| e.as_ref())
             .ok_or(ServerError::NoSuchObject)?;
         Ok(self.scheme.restrict(cap, keep, &entry.secret)?)
@@ -280,17 +380,19 @@ impl<T> ObjectTable<T> {
     /// Validation errors or [`ServerError::RightsViolation`] without the
     /// owner right.
     pub fn revoke(&self, cap: &Capability) -> Result<Capability, ServerError> {
-        let mut entries = self.entries.write();
-        let slot = entries
-            .get_mut(cap.object.value() as usize)
+        let port = self.port();
+        let (shard, slot) = self.locate(cap.object);
+        let mut entries = shard.entries.write();
+        let slot_entry = entries
+            .get_mut(slot)
             .and_then(|e| e.as_mut())
             .ok_or(ServerError::NoSuchObject)?;
-        let rights = self.scheme.validate(cap, &slot.secret)?;
+        let rights = self.scheme.validate(cap, &slot_entry.secret)?;
         if !rights.contains(Rights::OWNER) {
             return Err(ServerError::RightsViolation);
         }
-        slot.secret = self.scheme.new_secret(&mut *self.rng.lock());
-        Ok(self.scheme.mint(self.port(), cap.object, &slot.secret))
+        slot_entry.secret = self.scheme.new_secret(&mut *shard.rng.lock());
+        Ok(self.scheme.mint(port, cap.object, &slot_entry.secret))
     }
 
     /// Deletes the object, returning its data. Requires `need`
@@ -299,18 +401,19 @@ impl<T> ObjectTable<T> {
     /// # Errors
     /// Validation errors or [`ServerError::RightsViolation`].
     pub fn delete(&self, cap: &Capability, need: Rights) -> Result<T, ServerError> {
-        let mut entries = self.entries.write();
-        let index = cap.object.value() as usize;
-        let slot = entries
-            .get_mut(index)
+        let (shard, slot) = self.locate(cap.object);
+        let mut entries = shard.entries.write();
+        let slot_entry = entries
+            .get_mut(slot)
             .and_then(|e| e.as_mut())
             .ok_or(ServerError::NoSuchObject)?;
-        let rights = self.scheme.validate(cap, &slot.secret)?;
+        let rights = self.scheme.validate(cap, &slot_entry.secret)?;
         if !rights.contains(need) {
             return Err(ServerError::RightsViolation);
         }
-        let entry = entries[index].take().expect("checked above");
-        self.free.lock().push(index as u32);
+        let entry = entries[slot].take().expect("checked above");
+        shard.free.lock().push(slot as u32);
+        shard.free_count.fetch_add(1, Ordering::AcqRel);
         Ok(entry.data)
     }
 
@@ -324,10 +427,12 @@ impl<T> ObjectTable<T> {
                 let Some(mask) = r.u32() else {
                     return Some(Reply::status(Status::BadRequest));
                 };
-                Some(match self.restrict(&req.cap, Rights::from_bits(mask as u8)) {
-                    Ok(cap) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
-                    Err(e) => Reply::status(e.into()),
-                })
+                Some(
+                    match self.restrict(&req.cap, Rights::from_bits(mask as u8)) {
+                        Ok(cap) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
+                        Err(e) => Reply::status(e.into()),
+                    },
+                )
             }
             cmd::STD_REVOKE => Some(match self.revoke(&req.cap) {
                 Ok(cap) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
@@ -346,6 +451,7 @@ impl<T> ObjectTable<T> {
 mod tests {
     use super::*;
     use amoeba_cap::schemes::SchemeKind;
+    use std::sync::Arc;
 
     fn table(kind: SchemeKind) -> ObjectTable<String> {
         ObjectTable::with_port(kind.instantiate(), Port::new(0x1111).unwrap())
@@ -359,8 +465,12 @@ mod tests {
             assert_eq!(t.validate(&cap).unwrap(), Rights::ALL, "{kind}");
             let len = t.with_object(&cap, Rights::READ, |s| s.len()).unwrap();
             assert_eq!(len, 5);
-            t.with_object_mut(&cap, Rights::WRITE, |s| s.push('!')).unwrap();
-            assert_eq!(t.with_object(&cap, Rights::READ, |s| s.clone()).unwrap(), "hello!");
+            t.with_object_mut(&cap, Rights::WRITE, |s| s.push('!'))
+                .unwrap();
+            assert_eq!(
+                t.with_object(&cap, Rights::READ, |s| s.clone()).unwrap(),
+                "hello!"
+            );
         }
     }
 
@@ -370,7 +480,12 @@ mod tests {
         let (_, cap) = t.create("x".into());
         let forged = cap.with_check(cap.check ^ 1);
         assert_eq!(t.validate(&forged).unwrap_err(), ServerError::Forged);
-        let ghost = Capability::new(cap.port, ObjectNum::new(999).unwrap(), Rights::ALL, 1);
+        let ghost = Capability::new(
+            cap.port,
+            ObjectNum::new(cap.object.value() + 999 * DEFAULT_SHARDS as u32).unwrap(),
+            Rights::ALL,
+            1,
+        );
         assert_eq!(t.validate(&ghost).unwrap_err(), ServerError::NoSuchObject);
     }
 
@@ -394,7 +509,8 @@ mod tests {
         assert_eq!(t.len(), 0);
         // Old capability is now dead.
         assert_eq!(t.validate(&cap1).unwrap_err(), ServerError::NoSuchObject);
-        // Slot is recycled with a fresh secret: old cap stays dead.
+        // Slot is recycled with a fresh secret: old cap stays dead
+        // (freed slots are preferred over opening a fresh shard slot).
         let (obj2, cap2) = t.create("b".into());
         assert_eq!(obj1, obj2);
         assert_eq!(t.validate(&cap1).unwrap_err(), ServerError::Forged);
@@ -437,9 +553,7 @@ mod tests {
         let req = Request {
             cap,
             command: cmd::STD_RESTRICT,
-            params: wire::Writer::new()
-                .u32(Rights::READ.bits() as u32)
-                .finish(),
+            params: wire::Writer::new().u32(Rights::READ.bits() as u32).finish(),
         };
         let reply = t.handle_std(&req).unwrap();
         assert_eq!(reply.status, Status::Ok);
@@ -504,5 +618,99 @@ mod tests {
         let mut swapped = cross;
         swapped.object = caps[1].object;
         assert!(t.validate(&swapped).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = ObjectTable::<()>::with_shards(SchemeKind::Simple.instantiate(), 3);
+    }
+
+    #[test]
+    fn single_shard_table_still_works() {
+        let t: ObjectTable<u32> =
+            ObjectTable::with_shards(SchemeKind::Commutative.instantiate(), 1);
+        t.set_port(Port::new(0x77).unwrap());
+        let caps: Vec<_> = (0..20).map(|i| t.create(i).1).collect();
+        assert_eq!(t.len(), 20);
+        for (i, cap) in caps.iter().enumerate() {
+            assert_eq!(t.with_object(cap, Rights::READ, |v| *v).unwrap(), i as u32);
+        }
+    }
+
+    #[test]
+    fn creates_spread_across_shards() {
+        // A single-threaded populator must still stripe its objects
+        // over every shard, or a later worker pool would contend on
+        // one stripe.
+        let t = table(SchemeKind::Simple);
+        let mask = (DEFAULT_SHARDS - 1) as u32;
+        let mut used = std::collections::HashSet::new();
+        for i in 0..(DEFAULT_SHARDS as u32 * 2) {
+            let (obj, _) = t.create(format!("{i}"));
+            used.insert(obj.value() & mask);
+        }
+        assert_eq!(used.len(), DEFAULT_SHARDS, "all shards used");
+    }
+
+    #[test]
+    fn parallel_threads_create_on_distinct_shards() {
+        let t: Arc<ObjectTable<usize>> = Arc::new(ObjectTable::with_port(
+            SchemeKind::OneWay.instantiate(),
+            Port::new(0x1111).unwrap(),
+        ));
+        let mut handles = Vec::new();
+        for worker in 0..8usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                (0..50)
+                    .map(|i| t.create(worker * 1000 + i).0)
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let all: Vec<ObjectNum> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        // Every object number unique, every object retrievable.
+        let mut raw: Vec<u32> = all.iter().map(|o| o.value()).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        assert_eq!(raw.len(), 400, "object numbers must never collide");
+        assert_eq!(t.len(), 400);
+    }
+
+    #[test]
+    fn concurrent_create_delete_validate_hammer() {
+        let t: Arc<ObjectTable<u64>> = Arc::new(ObjectTable::with_port(
+            SchemeKind::Commutative.instantiate(),
+            Port::new(0x1111).unwrap(),
+        ));
+        let mut handles = Vec::new();
+        for seed in 0..8u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let (_, cap) = t.create(seed * 1_000_000 + i);
+                    assert_eq!(t.validate(&cap).unwrap(), Rights::ALL);
+                    let ro = t.restrict(&cap, Rights::READ).unwrap();
+                    assert_eq!(
+                        t.with_object(&ro, Rights::READ, |v| *v).unwrap(),
+                        seed * 1_000_000 + i
+                    );
+                    if i % 2 == 0 {
+                        assert_eq!(
+                            t.delete(&cap, Rights::DELETE).unwrap(),
+                            seed * 1_000_000 + i
+                        );
+                        assert!(t.validate(&cap).is_err(), "deleted cap must die");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 8 * 100);
     }
 }

@@ -142,10 +142,7 @@ mod tests {
         b.endpoint().claim(port);
         a.send_to(b.endpoint().id(), Header::to(port), b"cleartext never");
         let frame = wire.recv().unwrap();
-        assert!(!frame
-            .payload
-            .windows(15)
-            .any(|w| w == b"cleartext never"));
+        assert!(!frame.payload.windows(15).any(|w| w == b"cleartext never"));
         let _ = b.recv().unwrap();
     }
 
@@ -165,10 +162,7 @@ mod tests {
         let port = Port::new(0x13).unwrap();
         a.endpoint().claim(port);
         stranger.send(Header::to(port), Bytes::from_static(b"who am I"));
-        assert_eq!(
-            a.recv().unwrap_err(),
-            LinkError::NoKey(stranger.id())
-        );
+        assert_eq!(a.recv().unwrap_err(), LinkError::NoKey(stranger.id()));
     }
 
     #[test]

@@ -47,6 +47,7 @@ use amoeba_net::{Network, Port};
 use amoeba_server::proto::{Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
 use bytes::Bytes;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// UNIX-file-system operation codes.
@@ -113,7 +114,12 @@ pub struct Stat {
 #[derive(Debug)]
 pub struct UnixFsServer {
     table: ObjectTable<Node>,
+    /// The block-server client. The RPC client demuxes concurrent
+    /// transactions, so reads use it lock-free; mutating operations
+    /// serialise on `write_lock` because they snapshot inode metadata,
+    /// touch the disk, then write the metadata back.
     disk: BlockClient,
+    write_lock: Mutex<()>,
     block_size: u32,
     root: Option<Capability>,
 }
@@ -134,35 +140,45 @@ impl UnixFsServer {
         UnixFsServer {
             table: ObjectTable::unbound(scheme.instantiate()),
             disk,
+            write_lock: Mutex::new(()),
             block_size,
             root: None,
         }
     }
 
-    fn dir_insert(&mut self, req: &Request, node: Node, name: String) -> Reply {
+    fn dir_insert(&self, req: &Request, node: Node, name: String) -> Reply {
         if name.is_empty() || name.contains('/') {
             return Reply::status(Status::BadRequest);
         }
-        // Pre-check the directory and name before creating the inode.
-        let exists = self.table.with_object(&req.cap, Rights::WRITE, |n| match n {
-            Node::Dir { entries } => Some(entries.contains_key(&name)),
-            Node::File { .. } => None,
-        });
-        match exists {
-            Ok(Some(false)) => {}
-            Ok(Some(true)) => return Reply::status(Status::Conflict),
-            Ok(None) => return Reply::status(Status::BadRequest),
-            Err(e) => return Reply::status(e.into()),
-        }
+        // Create the inode first, then claim the name with a single
+        // atomic check-and-insert on the directory: concurrent inserts
+        // of the same name cannot both pass the duplicate check (one
+        // wins, the loser's inode is deleted below). The parent
+        // disappearing between the two steps is handled the same way.
         let (_, new_cap) = self.table.create(node);
-        let inserted = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| {
-            if let Node::Dir { entries } = n {
-                entries.insert(name.clone(), new_cap);
-            }
-        });
+        let inserted = self
+            .table
+            .with_object_mut(&req.cap, Rights::WRITE, |n| match n {
+                Node::Dir { entries } => {
+                    if entries.contains_key(&name) {
+                        Err(Status::Conflict)
+                    } else {
+                        entries.insert(name.clone(), new_cap);
+                        Ok(())
+                    }
+                }
+                Node::File { .. } => Err(Status::BadRequest),
+            });
         match inserted {
-            Ok(()) => Reply::ok(wire::Writer::new().cap(&new_cap).finish()),
-            Err(e) => Reply::status(e.into()),
+            Ok(Ok(())) => Reply::ok(wire::Writer::new().cap(&new_cap).finish()),
+            Ok(Err(status)) => {
+                let _ = self.table.delete(&new_cap, Rights::NONE);
+                Reply::status(status)
+            }
+            Err(e) => {
+                let _ = self.table.delete(&new_cap, Rights::NONE);
+                Reply::status(e.into())
+            }
         }
     }
 
@@ -203,22 +219,32 @@ impl UnixFsServer {
         Reply::ok(w.finish())
     }
 
-    fn unlink(&mut self, req: &Request) -> Reply {
+    fn unlink(&self, req: &Request) -> Reply {
         let Some(name) = wire::Reader::new(&req.params).str() else {
             return Reply::status(Status::BadRequest);
         };
-        // Find the victim first.
-        let victim = self.table.with_object(&req.cap, Rights::WRITE, |n| match n {
-            Node::Dir { entries } => Some(entries.get(&name).copied()),
-            Node::File { .. } => None,
-        });
-        let victim_cap = match victim {
+        // Atomically claim the unlink by removing the entry first:
+        // concurrent unlinks of the same name cannot both proceed, and
+        // a concurrent insert of the same name either lands before the
+        // removal (and is unlinked with it) or after (and survives).
+        let removed = self
+            .table
+            .with_object_mut(&req.cap, Rights::WRITE, |n| match n {
+                Node::Dir { entries } => Some(entries.remove(&name)),
+                Node::File { .. } => None,
+            });
+        let victim_cap = match removed {
             Ok(Some(Some(cap))) => cap,
             Ok(Some(None)) => return Reply::status(Status::NotFound),
             Ok(None) => return Reply::status(Status::BadRequest),
             Err(e) => return Reply::status(e.into()),
         };
-        // Directories must be empty; files give their blocks back.
+        // Directories must be empty; files give their blocks back. A
+        // non-empty directory gets its entry restored. (A bearer of the
+        // victim's own capability can still insert into it between this
+        // check and the delete — inherent to capability semantics; such
+        // a child becomes unreachable exactly as if inserted into a
+        // directory whose last link was already gone.)
         let blocks = match self.table.with_data(victim_cap.object, |n| match n {
             Node::Dir { entries } => {
                 if entries.is_empty() {
@@ -230,19 +256,19 @@ impl UnixFsServer {
             Node::File { blocks, .. } => Some(blocks.clone()),
         }) {
             Some(Some(b)) => b,
-            Some(None) => return Reply::status(Status::Conflict),
+            Some(None) => {
+                let _ = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| {
+                    if let Node::Dir { entries } = n {
+                        entries.entry(name.clone()).or_insert(victim_cap);
+                    }
+                });
+                return Reply::status(Status::Conflict);
+            }
             None => Vec::new(), // dangling entry: just drop it
         };
-        let removed = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| {
-            if let Node::Dir { entries } = n {
-                entries.remove(&name);
-            }
-        });
-        if let Err(e) = removed {
-            return Reply::status(e.into());
-        }
         // Destroy the inode and free its disk blocks.
         let _ = self.table.delete(&victim_cap, Rights::NONE);
+        let _writing = self.write_lock.lock();
         for b in blocks {
             let _ = self.disk.free(&b);
         }
@@ -268,6 +294,8 @@ impl UnixFsServer {
         let mut out = Vec::with_capacity((end - start) as usize);
         let bs = self.block_size as u64;
         let mut pos = start;
+        // No lock on the read path: the RPC client demuxes concurrent
+        // transactions and reads never touch inode metadata.
         while pos < end {
             let block_idx = (pos / bs) as usize;
             let within = (pos % bs) as u32;
@@ -277,22 +305,27 @@ impl UnixFsServer {
                     Ok(data) => out.extend_from_slice(&data),
                     Err(_) => return Reply::status(Status::NoSpace),
                 },
-                None => out.extend(std::iter::repeat(0u8).take(take as usize)),
+                None => out.extend(std::iter::repeat_n(0u8, take as usize)),
             }
             pos += take as u64;
         }
         Reply::ok(Bytes::from(out))
     }
 
-    fn write(&mut self, req: &Request) -> Reply {
+    fn write(&self, req: &Request) -> Reply {
         let mut r = wire::Reader::new(&req.params);
         let (Some(offset), Some(data)) = (r.u64(), r.bytes()) else {
             return Reply::status(Status::BadRequest);
         };
-        let meta = self.table.with_object(&req.cap, Rights::WRITE, |n| match n {
-            Node::File { size, blocks } => Some((*size, blocks.clone())),
-            Node::Dir { .. } => None,
-        });
+        // Serialise writers before snapshotting the inode so concurrent
+        // writers to one file never leak blocks or lose metadata.
+        let _writing = self.write_lock.lock();
+        let meta = self
+            .table
+            .with_object(&req.cap, Rights::WRITE, |n| match n {
+                Node::File { size, blocks } => Some((*size, blocks.clone())),
+                Node::Dir { .. } => None,
+            });
         let (old_size, mut blocks) = match meta {
             Ok(Some(m)) => m,
             Ok(None) => return Reply::status(Status::BadRequest),
@@ -303,13 +336,26 @@ impl UnixFsServer {
             Some(e) => e,
             None => return Reply::status(Status::OutOfRange),
         };
-        // Allocate blocks out to the new end.
+        // Allocate blocks out to the new end. On any failure, freshly
+        // allocated blocks are given back — they are not yet in the
+        // inode and would otherwise leak disk capacity forever.
         let needed_blocks = (end.div_ceil(bs)) as usize;
+        let original_blocks = blocks.len();
+        let free_new = |blocks: &[Capability]| {
+            for b in &blocks[original_blocks..] {
+                let _ = self.disk.free(b);
+            }
+        };
         while blocks.len() < needed_blocks {
             match self.disk.alloc() {
                 Ok(cap) => blocks.push(cap),
-                Err(ClientError::Status(s)) => return Reply::status(s),
-                Err(_) => return Reply::status(Status::NoSpace),
+                Err(e) => {
+                    free_new(&blocks);
+                    return Reply::status(match e {
+                        ClientError::Status(s) => s,
+                        _ => Status::NoSpace,
+                    });
+                }
             }
         }
         // Scatter the data across blocks.
@@ -319,7 +365,11 @@ impl UnixFsServer {
             let block_idx = (pos / bs) as usize;
             let within = (pos % bs) as u32;
             let take = ((bs - within as u64) as usize).min(remaining.len());
-            if let Err(e) = self.disk.write(&blocks[block_idx], within, &remaining[..take]) {
+            if let Err(e) = self
+                .disk
+                .write(&blocks[block_idx], within, &remaining[..take])
+            {
+                free_new(&blocks);
                 return Reply::status(match e {
                     ClientError::Status(s) => s,
                     _ => Status::NoSpace,
@@ -337,7 +387,10 @@ impl UnixFsServer {
         });
         match update {
             Ok(()) => Reply::ok(wire::Writer::new().u64(new_size).finish()),
-            Err(e) => Reply::status(e.into()),
+            Err(e) => {
+                free_new(&blocks);
+                Reply::status(e.into())
+            }
         }
     }
 
@@ -349,28 +402,30 @@ impl UnixFsServer {
         if to.is_empty() || to.contains('/') {
             return Reply::status(Status::BadRequest);
         }
-        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| match n {
-            Node::Dir { entries } => {
-                if from == to {
-                    return if entries.contains_key(&from) {
-                        Ok(())
-                    } else {
-                        Err(Status::NotFound)
-                    };
-                }
-                if entries.contains_key(&to) {
-                    return Err(Status::Conflict);
-                }
-                match entries.remove(&from) {
-                    Some(cap) => {
-                        entries.insert(to.clone(), cap);
-                        Ok(())
+        let result = self
+            .table
+            .with_object_mut(&req.cap, Rights::WRITE, |n| match n {
+                Node::Dir { entries } => {
+                    if from == to {
+                        return if entries.contains_key(&from) {
+                            Ok(())
+                        } else {
+                            Err(Status::NotFound)
+                        };
                     }
-                    None => Err(Status::NotFound),
+                    if entries.contains_key(&to) {
+                        return Err(Status::Conflict);
+                    }
+                    match entries.remove(&from) {
+                        Some(cap) => {
+                            entries.insert(to.clone(), cap);
+                            Ok(())
+                        }
+                        None => Err(Status::NotFound),
+                    }
                 }
-            }
-            Node::File { .. } => Err(Status::BadRequest),
-        });
+                Node::File { .. } => Err(Status::BadRequest),
+            });
         match result {
             Ok(Ok(())) => Reply::ok(Bytes::new()),
             Ok(Err(status)) => Reply::status(status),
@@ -378,24 +433,27 @@ impl UnixFsServer {
         }
     }
 
-    fn truncate(&mut self, req: &Request) -> Reply {
+    fn truncate(&self, req: &Request) -> Reply {
         let Some(new_size) = wire::Reader::new(&req.params).u64() else {
             return Reply::status(Status::BadRequest);
         };
         let bs = self.block_size as u64;
-        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| match n {
-            Node::File { size, blocks } => {
-                if new_size > *size {
-                    return Err(Status::OutOfRange); // truncate shrinks only
+        let result = self
+            .table
+            .with_object_mut(&req.cap, Rights::WRITE, |n| match n {
+                Node::File { size, blocks } => {
+                    if new_size > *size {
+                        return Err(Status::OutOfRange); // truncate shrinks only
+                    }
+                    *size = new_size;
+                    let keep = new_size.div_ceil(bs) as usize;
+                    Ok(blocks.split_off(keep))
                 }
-                *size = new_size;
-                let keep = new_size.div_ceil(bs) as usize;
-                Ok(blocks.split_off(keep))
-            }
-            Node::Dir { .. } => Err(Status::BadRequest),
-        });
+                Node::Dir { .. } => Err(Status::BadRequest),
+            });
         match result {
             Ok(Ok(freed)) => {
+                let _writing = self.write_lock.lock();
                 for b in freed {
                     let _ = self.disk.free(&b);
                 }
@@ -428,7 +486,7 @@ impl Service for UnixFsServer {
         self.root = Some(root);
     }
 
-    fn handle(&mut self, req: &Request, _ctx: &RequestCtx) -> Reply {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;
         }
@@ -501,7 +559,9 @@ impl UnixFsClient {
     /// # Errors
     /// Transport errors.
     pub fn root(&self) -> Result<Capability, ClientError> {
-        let body = self.svc.call_anonymous(self.port, ops::ROOT, Bytes::new())?;
+        let body = self
+            .svc
+            .call_anonymous(self.port, ops::ROOT, Bytes::new())?;
         wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
     }
 
@@ -616,7 +676,11 @@ impl UnixFsClient {
         let mut r = wire::Reader::new(&body);
         match (r.u32(), r.u64(), r.u32()) {
             (Some(kind), Some(size), Some(blocks)) => Ok(Stat {
-                kind: if kind == 0 { NodeKind::File } else { NodeKind::Dir },
+                kind: if kind == 0 {
+                    NodeKind::File
+                } else {
+                    NodeKind::Dir
+                },
                 size,
                 blocks,
             }),

@@ -49,7 +49,8 @@ fn main() {
     let treasury = treasury_rx.recv().expect("treasury");
     let wallet = bank.open_account().expect("wallet");
     let landlord = bank.open_account().expect("landlord");
-    bank.mint(&treasury, &wallet, CurrencyId(0), 100).expect("allowance");
+    bank.mint(&treasury, &wallet, CurrencyId(0), 100)
+        .expect("allowance");
 
     let dirs = DirClient::open(&net, dir_runner.put_port());
     let fs = FlatFsClient::open(&net, fs_runner.put_port());
@@ -141,7 +142,9 @@ impl Shell {
                 println!(
                     "wallet: {} dollars (landlord holds {})",
                     self.bank.balance(&self.wallet, CurrencyId(0)).unwrap_or(0),
-                    self.bank.balance(&self.landlord, CurrencyId(0)).unwrap_or(0)
+                    self.bank
+                        .balance(&self.landlord, CurrencyId(0))
+                        .unwrap_or(0)
                 );
                 Ok(())
             }

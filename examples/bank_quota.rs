@@ -54,7 +54,8 @@ fn main() {
     // --- A client with a modest salary -----------------------------------
     let wallet = bank.open_account().expect("client wallet");
     bank.mint(&treasury, &wallet, DOLLAR, 10).expect("salary");
-    bank.mint(&treasury, &wallet, FRANC, 120).expect("cpu budget");
+    bank.mint(&treasury, &wallet, FRANC, 120)
+        .expect("cpu budget");
     bank.mint(&treasury, &wallet, PAGE, 3).expect("page ration");
     println!(
         "client wallet: {} dollars, {} francs, {} pages",
@@ -69,7 +70,8 @@ fn main() {
         "created a file with a 4 KiB quota; wallet now holds {} dollars",
         bank.balance(&wallet, DOLLAR).unwrap()
     );
-    fs.write(&file, 0, &vec![b'x'; 4096]).expect("fits in quota");
+    fs.write(&file, 0, &vec![b'x'; 4096])
+        .expect("fits in quota");
     match fs.write(&file, 4096, b"over") {
         Err(ClientError::Status(Status::NoSpace)) => {
             println!("write past the paid quota: refused (no space)")
@@ -90,7 +92,8 @@ fn main() {
     let dollars = bank.convert(&wallet, FRANC, DOLLAR, 120).expect("convert");
     println!("converted 120 francs into {dollars} dollars");
     let second = fs.create_paid(&wallet, 8).expect("now affordable");
-    fs.write(&second, 0, b"bought with converted francs").unwrap();
+    fs.write(&second, 0, b"bought with converted francs")
+        .unwrap();
 
     // Typesetter pages, however, are inconvertible.
     match bank.convert(&wallet, PAGE, DOLLAR, 1) {

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example intruder_demo`
 
-use amoeba::prelude::*;
 use amoeba::net::NetworkInterface;
+use amoeba::prelude::*;
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
@@ -81,7 +81,9 @@ fn main() {
     replayer.send(captured.header, captured.payload.clone());
     std::thread::sleep(Duration::from_millis(50));
     assert!(replayer.try_recv().is_none());
-    println!("  server may have executed the echo, but the reply went to F(F(G')) — heard by nobody");
+    println!(
+        "  server may have executed the echo, but the reply went to F(F(G')) — heard by nobody"
+    );
 
     // Attack 4: signature forgery. The client's secret is S; everyone
     // knows F(S). The intruder can only put F(S) in the signature

@@ -67,7 +67,9 @@ fn main() {
     // SEGMENT, and then can be read and written, either by local or
     // remote processes."
     let local = MemClient::open(&net, local_mem.put_port());
-    let disk = local.create_segment(1 << 20).expect("1 MiB electronic disk");
+    let disk = local
+        .create_segment(1 << 20)
+        .expect("1 MiB electronic disk");
     local.write(&disk, 0, b"superblock").expect("format");
     // A remote process mounts it by capability alone.
     let remote_user = MemClient::open(&net, local_mem.put_port());

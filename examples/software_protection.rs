@@ -39,7 +39,10 @@ fn main() {
     let (session, keyreq) = ClientSession::start(ann, &mut rng);
     let reply_port = Port::new(0xC0DE).unwrap();
     client_ep.claim(reply_port);
-    client_ep.send(Header::to(ann.port).with_reply(reply_port), Bytes::from(keyreq));
+    client_ep.send(
+        Header::to(ann.port).with_reply(reply_port),
+        Bytes::from(keyreq),
+    );
 
     // Server answers the key request.
     let req_pkt = server_ep.recv().expect("key request");
@@ -54,7 +57,9 @@ fn main() {
 
     // --- Install keys in both sealers --------------------------------------
     let mut client_keys = MachineKeysView::new(client_ep.id());
-    client_keys.0.learn_send_key(server_ep.id(), session.client_key());
+    client_keys
+        .0
+        .learn_send_key(server_ep.id(), session.client_key());
     client_keys.0.learn_recv_key(server_ep.id(), k_reverse);
     let client_sealer = CapSealer::new(client_keys.0);
 
@@ -76,7 +81,9 @@ fn main() {
         Bytes::copy_from_slice(&sealed.0.to_be_bytes()),
     );
     let data_pkt = server_ep.recv().unwrap();
-    let received = SealedCap(u128::from_be_bytes(data_pkt.payload[..16].try_into().unwrap()));
+    let received = SealedCap(u128::from_be_bytes(
+        data_pkt.payload[..16].try_into().unwrap(),
+    ));
     let opened = server_sealer.unseal(received, data_pkt.source).unwrap();
     assert_eq!(opened, precious);
     println!("capability crossed the wire sealed and unsealed correctly");
@@ -100,7 +107,9 @@ fn main() {
     let replay_pkt = server_ep.recv().unwrap();
     assert_eq!(replay_pkt.source, intruder_ep.id(), "source is unforgeable");
     match server_sealer.unseal(
-        SealedCap(u128::from_be_bytes(replay_pkt.payload[..16].try_into().unwrap())),
+        SealedCap(u128::from_be_bytes(
+            replay_pkt.payload[..16].try_into().unwrap(),
+        )),
         replay_pkt.source,
     ) {
         Err(SealError::NoKey) => {

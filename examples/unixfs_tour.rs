@@ -1,0 +1,75 @@
+//! A tour of the UNIX-like file server (§3.5) over the block server —
+//! directories, files spanning disk blocks, unlink semantics and
+//! truncation, all through capabilities.
+
+use amoeba::prelude::*;
+use amoeba_block::DiskConfig;
+
+fn main() {
+    let net = Network::new();
+    let disk = ServiceRunner::spawn_open(
+        &net,
+        BlockServer::new(
+            DiskConfig {
+                block_size: 128,
+                capacity_blocks: 64,
+            },
+            SchemeKind::OneWay,
+        ),
+    );
+    let fs_server = UnixFsServer::new(&net, disk.put_port(), SchemeKind::Commutative);
+    // The §3.5 server runs on a 4-worker dispatch pool: handlers are
+    // `&self` and the striped object table carries the i-nodes.
+    let fs_runner = ServiceRunner::spawn_open_workers(&net, fs_server, 4);
+    let fs = UnixFsClient::open(&net, fs_runner.put_port());
+    let stats = BlockClient::open(&net, disk.put_port());
+
+    let root = fs.root().unwrap();
+    let home = fs.mkdir(&root, "home").unwrap();
+    let notes = fs.create(&home, "notes.txt").unwrap();
+
+    // A write spanning several 128-byte blocks.
+    let text: Vec<u8> = (b'a'..=b'z').cycle().take(400).collect();
+    fs.write(&notes, 0, &text).unwrap();
+    assert_eq!(fs.read(&notes, 0, 400).unwrap(), text);
+    let st = fs.stat(&notes).unwrap();
+    println!(
+        "notes.txt: {} bytes in {} disk blocks (disk in use: {})",
+        st.size,
+        st.blocks,
+        stats.statfs().unwrap().allocated_blocks
+    );
+
+    // Duplicate names are refused atomically.
+    match fs.create(&home, "notes.txt") {
+        Err(e) => println!("duplicate create refused: {e}"),
+        Ok(_) => panic!("duplicate name accepted"),
+    }
+
+    // Path walk through the directory tree.
+    let found = fs.lookup_path(&root, "home/notes.txt").unwrap();
+    assert_eq!(&fs.read(&found, 0, 3).unwrap(), b"abc");
+
+    // Truncation frees whole blocks past the cut.
+    fs.truncate(&notes, 100).unwrap();
+    println!(
+        "after truncate to 100 bytes: disk in use = {}",
+        stats.statfs().unwrap().allocated_blocks
+    );
+
+    // Non-empty directories refuse unlink; files give blocks back.
+    match fs.unlink(&root, "home") {
+        Err(e) => println!("unlink of non-empty /home refused: {e}"),
+        Ok(()) => panic!("non-empty directory unlinked"),
+    }
+    fs.unlink(&home, "notes.txt").unwrap();
+    fs.unlink(&root, "home").unwrap();
+    println!(
+        "after unlinks: disk in use = {}",
+        stats.statfs().unwrap().allocated_blocks
+    );
+
+    fs_runner.stop();
+    disk.stop();
+    println!("§3.5 UNIX-like file system reproduced — done");
+}

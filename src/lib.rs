@@ -68,8 +68,7 @@ pub mod prelude {
     pub use amoeba_server::proto::{Reply, Request, Status};
     pub use amoeba_server::{
         ClientError, ObjectTable, PrincipalRegistry, RequestCtx, SealedServiceClient,
-        SealedServiceRunner, Service,
-        ServiceClient, ServiceRunner,
+        SealedServiceRunner, Service, ServiceClient, ServiceRunner,
     };
     pub use amoeba_softprot::{
         CapSealer, ClientSession, KeyMatrix, MachineKeys, SealedCap, SecureLink, ServerBoot,

@@ -150,14 +150,12 @@ fn user_session_across_all_services() {
     let found_etc = auditor_dirs.walk(&home, "unix-etc").unwrap();
     let auditor_ufs = UnixFsClient::open(net, w.ufs_port);
     let found_passwd = auditor_ufs.lookup(&found_etc, "passwd").unwrap();
-    assert_eq!(
-        &auditor_ufs.read(&found_passwd, 0, 3).unwrap(),
-        b"ast"
-    );
+    assert_eq!(&auditor_ufs.read(&found_passwd, 0, 3).unwrap(), b"ast");
 
     // 6. Pay for the audit.
     let auditor_account = bank.open_account().unwrap();
-    bank.transfer(&wallet, &auditor_account, DOLLAR, 250).unwrap();
+    bank.transfer(&wallet, &auditor_account, DOLLAR, 250)
+        .unwrap();
     assert_eq!(bank.balance(&wallet, DOLLAR).unwrap(), 750);
     assert_eq!(bank.balance(&auditor_account, DOLLAR).unwrap(), 250);
 
@@ -225,7 +223,12 @@ fn cross_service_capability_misuse_is_rejected() {
     );
 
     // And at the bank (object 0 = treasury exists there!).
-    let cross_bank = Capability::new(w.bank_port, ObjectNum::new(0).unwrap(), Rights::ALL, file_cap.check);
+    let cross_bank = Capability::new(
+        w.bank_port,
+        ObjectNum::new(0).unwrap(),
+        Rights::ALL,
+        file_cap.check,
+    );
     assert!(bank.balance(&cross_bank, DOLLAR).is_err());
 
     for r in w.runners {

@@ -119,10 +119,8 @@ fn mixed_loss_and_latency_with_concurrent_clients() {
     for t in 0..4u64 {
         let net = net.clone();
         handles.push(std::thread::spawn(move || {
-            let fs = FlatFsClient::with_service(
-                ServiceClient::open_with_config(&net, patient()),
-                port,
-            );
+            let fs =
+                FlatFsClient::with_service(ServiceClient::open_with_config(&net, patient()), port);
             let cap = fs.create().expect("create");
             let body = format!("thread {t} data");
             fs.write(&cap, 0, body.as_bytes()).expect("write");

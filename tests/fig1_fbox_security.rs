@@ -30,7 +30,7 @@ fn spawn_echo(server: ServerPort, replies: usize) -> std::thread::JoinHandle<()>
 fn intruder_cannot_impersonate_server() {
     let net = Network::new();
     let server_ep = fbox_machine(&net);
-    let g = Port::new(0x5EC2E7_C0DE).unwrap();
+    let g = Port::new(0x005E_C2E7_C0DE).unwrap();
     let server = ServerPort::bind(server_ep, g);
     let p = server.put_port();
     let handle = spawn_echo(server, 1);
@@ -75,7 +75,7 @@ fn get_port_never_appears_on_the_wire() {
     let net = Network::new();
     let wire = net.tap();
     let server_ep = fbox_machine(&net);
-    let g = Port::new(0x0DD5_0F_F1CE).unwrap();
+    let g = Port::new(0x000D_D50F_F1CE).unwrap();
     let server = ServerPort::bind(server_ep, g);
     let p = server.put_port();
     let handle = spawn_echo(server, 3);
@@ -158,9 +158,7 @@ fn signature_travels_with_rpc() {
     let published = amoeba::fbox::put_port_of(&f, s);
 
     let handle = std::thread::spawn(move || {
-        let req = server
-            .next_request_timeout(Duration::from_secs(5))
-            .unwrap();
+        let req = server.next_request_timeout(Duration::from_secs(5)).unwrap();
         // Server-side verification of the sender's identity.
         assert_eq!(req.signature, Some(published));
         server.reply(&req, Bytes::from_static(b"authenticated"));

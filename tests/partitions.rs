@@ -16,7 +16,10 @@ fn quick() -> RpcConfig {
 fn rpc_fails_during_partition_and_recovers_after_heal() {
     let net = Network::new();
     let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::OneWay));
-    let fs = FlatFsClient::with_service(ServiceClient::open_with_config(&net, quick()), runner.put_port());
+    let fs = FlatFsClient::with_service(
+        ServiceClient::open_with_config(&net, quick()),
+        runner.put_port(),
+    );
     let client_machine = fs.service().rpc().endpoint().id();
 
     let cap = fs.create().expect("pre-partition create");
@@ -37,14 +40,17 @@ fn partition_is_pairwise_not_global() {
     // Two clients; only one is cut off.
     let net = Network::new();
     let runner = ServiceRunner::spawn_open(&net, FlatFsServer::new(SchemeKind::Commutative));
-    let victim = FlatFsClient::with_service(ServiceClient::open_with_config(&net, quick()), runner.put_port());
-    let healthy = FlatFsClient::with_service(ServiceClient::open_with_config(&net, quick()), runner.put_port());
+    let victim = FlatFsClient::with_service(
+        ServiceClient::open_with_config(&net, quick()),
+        runner.put_port(),
+    );
+    let healthy = FlatFsClient::with_service(
+        ServiceClient::open_with_config(&net, quick()),
+        runner.put_port(),
+    );
 
     let cap = healthy.create().unwrap();
-    net.partition(
-        victim.service().rpc().endpoint().id(),
-        runner.machine(),
-    );
+    net.partition(victim.service().rpc().endpoint().id(), runner.machine());
     assert!(victim.read(&cap, 0, 1).is_err());
     assert!(healthy.read(&cap, 0, 1).is_ok());
     runner.stop();

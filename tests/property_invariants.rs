@@ -190,11 +190,11 @@ proptest! {
                 DirOp::Enter(n) => {
                     let name = format!("n{n}");
                     let result = dirs.enter(&dir, &name, &target);
-                    if model.contains_key(&name) {
-                        prop_assert_eq!(result.unwrap_err(), ClientError::Status(Status::Conflict));
-                    } else {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(name) {
                         result.unwrap();
-                        model.insert(name, target);
+                        e.insert(target);
+                    } else {
+                        prop_assert_eq!(result.unwrap_err(), ClientError::Status(Status::Conflict));
                     }
                 }
                 DirOp::Remove(n) => {

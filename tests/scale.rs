@@ -3,6 +3,8 @@
 //! slab reuse, cache and isolation paths that small tests never reach.
 
 use amoeba::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 #[test]
 fn eight_file_servers_are_cryptographically_isolated() {
@@ -20,7 +22,8 @@ fn eight_file_servers_are_cryptographically_isolated() {
     // Create file 0 on every server.
     let caps: Vec<Capability> = clients.iter().map(|c| c.create().unwrap()).collect();
     for (i, c) in clients.iter().enumerate() {
-        c.write(&caps[i], 0, format!("server {i}").as_bytes()).unwrap();
+        c.write(&caps[i], 0, format!("server {i}").as_bytes())
+            .unwrap();
     }
 
     // Same object number everywhere; transplanting the check field of
@@ -30,12 +33,8 @@ fn eight_file_servers_are_cryptographically_isolated() {
             if i == j {
                 continue;
             }
-            let cross = Capability::new(
-                caps[j].port,
-                caps[i].object,
-                caps[i].rights,
-                caps[i].check,
-            );
+            let cross =
+                Capability::new(caps[j].port, caps[i].object, caps[i].rights, caps[i].check);
             assert!(
                 clients[j].read(&cross, 0, 8).is_err(),
                 "server {j} accepted server {i}'s check field"
@@ -174,5 +173,142 @@ fn sixteen_concurrent_bank_clients_conserve_money() {
         .map(|a| bank.balance(a, CurrencyId(0)).unwrap())
         .sum();
     assert_eq!(sum, total, "money must be conserved under concurrency");
+    runner.stop();
+}
+
+#[test]
+fn worker_pool_hammer_keeps_capability_semantics() {
+    // The tentpole test for the concurrent dispatch engine: many client
+    // threads × one FlatFsServer with a 4-worker pool. Capability
+    // checks, revocation and free-list reuse must all stay correct
+    // while requests are claimed by arbitrary workers.
+    const WORKERS: usize = 4;
+    const CLIENTS: usize = 8;
+    const ROUNDS: usize = 12;
+
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open_workers(
+        &net,
+        FlatFsServer::new(SchemeKind::Commutative),
+        WORKERS,
+    );
+    assert_eq!(runner.workers(), WORKERS);
+    let port = runner.put_port();
+    let forged_rejections = Arc::new(AtomicU32::new(0));
+
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        let net = net.clone();
+        let forged_rejections = Arc::clone(&forged_rejections);
+        handles.push(std::thread::spawn(move || {
+            let fs = FlatFsClient::open(&net, port);
+            for round in 0..ROUNDS {
+                // Create, write, read back: plain data-path integrity.
+                let cap = fs.create().unwrap();
+                let tag = format!("client-{t}-round-{round}");
+                fs.write(&cap, 0, tag.as_bytes()).unwrap();
+                assert_eq!(fs.read(&cap, 0, tag.len() as u32).unwrap(), tag.as_bytes());
+
+                // Capability checks: a forged check field must be
+                // rejected by whichever worker picks it up.
+                let forged = cap.with_check(cap.check ^ 0x5A5A);
+                match fs.read(&forged, 0, 4) {
+                    Err(ClientError::Status(Status::Forged)) => {
+                        forged_rejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    other => panic!("forged capability accepted or odd error: {other:?}"),
+                }
+
+                // Restriction + rights enforcement under contention.
+                let ro = fs.service().restrict(&cap, Rights::READ).unwrap();
+                assert!(fs.read(&ro, 0, 4).is_ok());
+                assert!(matches!(
+                    fs.write(&ro, 0, b"nope"),
+                    Err(ClientError::Status(Status::RightsViolation))
+                ));
+
+                // Revocation: the old caps die, the fresh one lives.
+                let fresh = fs.service().revoke(&cap).unwrap();
+                assert!(matches!(
+                    fs.read(&ro, 0, 1),
+                    Err(ClientError::Status(Status::Forged))
+                ));
+                assert!(fs.read(&fresh, 0, 1).is_ok());
+
+                // Delete every other round: exercises free-list reuse
+                // across shards while other clients create.
+                if round % 2 == 0 {
+                    fs.destroy(&fresh).unwrap();
+                    assert!(fs.size(&fresh).is_err(), "deleted file must be gone");
+                } else {
+                    assert_eq!(fs.size(&fresh).unwrap() as usize, tag.len());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        forged_rejections.load(Ordering::Relaxed) as usize,
+        CLIENTS * ROUNDS,
+        "every forgery attempt must be rejected"
+    );
+    runner.stop();
+}
+
+#[test]
+fn worker_pool_free_list_reuse_is_exclusive() {
+    // Hammer create/destroy from many clients at once: a freed slot
+    // must never be handed to two creations, and stale capabilities
+    // must never validate against a recycled slot.
+    const WORKERS: usize = 4;
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 25;
+
+    let net = Network::new();
+    let runner =
+        ServiceRunner::spawn_open_workers(&net, FlatFsServer::new(SchemeKind::OneWay), WORKERS);
+    let port = runner.put_port();
+
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        let net = net.clone();
+        handles.push(std::thread::spawn(move || {
+            let fs = FlatFsClient::open(&net, port);
+            let mut dead: Vec<Capability> = Vec::new();
+            let mut live: Vec<(Capability, Vec<u8>)> = Vec::new();
+            for round in 0..ROUNDS {
+                let cap = fs.create().unwrap();
+                let body = format!("{t}:{round}").into_bytes();
+                fs.write(&cap, 0, &body).unwrap();
+                if round % 3 == 0 {
+                    fs.destroy(&cap).unwrap();
+                    dead.push(cap);
+                } else {
+                    live.push((cap, body));
+                }
+            }
+            // Every live file still holds exactly its own data …
+            for (cap, body) in &live {
+                assert_eq!(&fs.read(cap, 0, 64).unwrap(), body);
+            }
+            // … and every destroyed capability stays dead, even though
+            // other clients have recycled those slots by now.
+            for cap in &dead {
+                assert!(
+                    matches!(
+                        fs.read(cap, 0, 1),
+                        Err(ClientError::Status(Status::Forged))
+                            | Err(ClientError::Status(Status::NoSuchObject))
+                    ),
+                    "stale capability validated against a recycled slot"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
     runner.stop();
 }

@@ -2,9 +2,7 @@
 //! construction really are swappable — and the deliberately broken
 //! variants really are broken.
 
-use amoeba::cap::schemes::{
-    EncryptedScheme, OneWayScheme, ProtectionScheme, XorFactory,
-};
+use amoeba::cap::schemes::{EncryptedScheme, OneWayScheme, ProtectionScheme, XorFactory};
 use amoeba::prelude::*;
 use bytes::Bytes;
 use rand::SeedableRng;
@@ -36,13 +34,16 @@ fn scheme2_works_identically_over_purdy_and_sha() {
     );
 
     // Restriction and tamper-detection hold under both.
-    for (scheme, secret, cap) in [
-        (&sha as &OneWayScheme<ShaOneWay>, &secret_sha, cap_sha),
-    ] {
+    {
+        let (scheme, secret, cap) = (&sha as &OneWayScheme<ShaOneWay>, &secret_sha, cap_sha);
         let ro = scheme.restrict(&cap, Rights::READ, secret).unwrap();
-        assert!(scheme.validate(&ro.with_rights(Rights::ALL), secret).is_err());
+        assert!(scheme
+            .validate(&ro.with_rights(Rights::ALL), secret)
+            .is_err());
     }
-    let ro = purdy.restrict(&cap_purdy, Rights::READ, &secret_purdy).unwrap();
+    let ro = purdy
+        .restrict(&cap_purdy, Rights::READ, &secret_purdy)
+        .unwrap();
     assert!(purdy
         .validate(&ro.with_rights(Rights::ALL), &secret_purdy)
         .is_err());
@@ -67,14 +68,16 @@ fn xor_scheme1_is_breakable_end_to_end() {
     let broken = EncryptedScheme::with_factory(XorFactory);
     let mut r = rng();
     let secret = broken.new_secret(&mut r);
-    let cap = broken.mint(Port::new(0xBAD).unwrap(), ObjectNum::new(1).unwrap(), &secret);
+    let cap = broken.mint(
+        Port::new(0xBAD).unwrap(),
+        ObjectNum::new(1).unwrap(),
+        &secret,
+    );
     let ro = broken.restrict(&cap, Rights::READ, &secret).unwrap();
 
     // Attack: flip the WRITE bit directly in the (XOR-)ciphertext
     // rights field.
-    let forged = ro.with_rights(Rights::from_bits(
-        ro.rights.bits() ^ Rights::WRITE.bits(),
-    ));
+    let forged = ro.with_rights(Rights::from_bits(ro.rights.bits() ^ Rights::WRITE.bits()));
     let recovered = broken.validate(&forged, &secret).unwrap();
     assert!(
         recovered.contains(Rights::WRITE),
@@ -84,11 +87,13 @@ fn xor_scheme1_is_breakable_end_to_end() {
     // Identical attack against the real cipher: detected.
     let sound = EncryptedScheme::new();
     let secret2 = sound.new_secret(&mut r);
-    let cap2 = sound.mint(Port::new(0xFACE).unwrap(), ObjectNum::new(1).unwrap(), &secret2);
+    let cap2 = sound.mint(
+        Port::new(0xFACE).unwrap(),
+        ObjectNum::new(1).unwrap(),
+        &secret2,
+    );
     let ro2 = sound.restrict(&cap2, Rights::READ, &secret2).unwrap();
-    let forged2 = ro2.with_rights(Rights::from_bits(
-        ro2.rights.bits() ^ Rights::WRITE.bits(),
-    ));
+    let forged2 = ro2.with_rights(Rights::from_bits(ro2.rights.bits() ^ Rights::WRITE.bits()));
     assert!(sound.validate(&forged2, &secret2).is_err());
 }
 
@@ -105,7 +110,9 @@ fn fbox_placement_hardware_vs_trusted_kernel_equivalent_end_to_end() {
         server.reply(&req, req.payload.clone());
     });
     let client = Client::new(net.attach(Arc::new(FBox::hardware(ShaOneWay))));
-    let reply = client.trans(p, Bytes::from_static(b"mixed placements")).unwrap();
+    let reply = client
+        .trans(p, Bytes::from_static(b"mixed placements"))
+        .unwrap();
     assert_eq!(&reply[..], b"mixed placements");
     t.join().unwrap();
 }

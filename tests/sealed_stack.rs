@@ -62,7 +62,11 @@ fn flatfs_over_sealed_transport() {
     // focuses on request-path sealing, which the runner enforces.
     let body = w
         .client
-        .call_anonymous(w.runner.put_port(), amoeba::flatfs::ops::CREATE, Bytes::new())
+        .call_anonymous(
+            w.runner.put_port(),
+            amoeba::flatfs::ops::CREATE,
+            Bytes::new(),
+        )
         .unwrap();
     let cap = amoeba::server::wire::Reader::new(&body).cap().unwrap();
 
@@ -96,7 +100,11 @@ fn request_capability_is_ciphertext_on_the_wire() {
     let w = world();
     let body = w
         .client
-        .call_anonymous(w.runner.put_port(), amoeba::flatfs::ops::CREATE, Bytes::new())
+        .call_anonymous(
+            w.runner.put_port(),
+            amoeba::flatfs::ops::CREATE,
+            Bytes::new(),
+        )
         .unwrap();
     let cap = amoeba::server::wire::Reader::new(&body).cap().unwrap();
 
@@ -129,7 +137,11 @@ fn stolen_sealed_bits_are_useless_to_another_machine() {
     let w = world();
     let body = w
         .client
-        .call_anonymous(w.runner.put_port(), amoeba::flatfs::ops::CREATE, Bytes::new())
+        .call_anonymous(
+            w.runner.put_port(),
+            amoeba::flatfs::ops::CREATE,
+            Bytes::new(),
+        )
         .unwrap();
     let cap = amoeba::server::wire::Reader::new(&body).cap().unwrap();
     w.client
@@ -137,7 +149,10 @@ fn stolen_sealed_bits_are_useless_to_another_machine() {
             w.runner.put_port(),
             &cap,
             amoeba::flatfs::ops::WRITE,
-            amoeba::server::wire::Writer::new().u64(0).bytes(b"mine").finish(),
+            amoeba::server::wire::Writer::new()
+                .u64(0)
+                .bytes(b"mine")
+                .finish(),
         )
         .unwrap();
 

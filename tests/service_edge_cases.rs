@@ -171,10 +171,8 @@ fn empty_mvfs_file_has_no_pages() {
 #[test]
 fn bank_self_transfer_conserves() {
     let net = Network::new();
-    let (server, treasury_rx) = BankServer::new(
-        vec![Currency::convertible("dollar", 1)],
-        SchemeKind::OneWay,
-    );
+    let (server, treasury_rx) =
+        BankServer::new(vec![Currency::convertible("dollar", 1)], SchemeKind::OneWay);
     let runner = ServiceRunner::spawn_open(&net, server);
     let bank = BankClient::open(&net, runner.put_port());
     let treasury = treasury_rx.recv().unwrap();
@@ -189,10 +187,8 @@ fn bank_self_transfer_conserves() {
 #[test]
 fn bank_zero_amount_operations() {
     let net = Network::new();
-    let (server, treasury_rx) = BankServer::new(
-        vec![Currency::convertible("dollar", 1)],
-        SchemeKind::Simple,
-    );
+    let (server, treasury_rx) =
+        BankServer::new(vec![Currency::convertible("dollar", 1)], SchemeKind::Simple);
     let runner = ServiceRunner::spawn_open(&net, server);
     let bank = BankClient::open(&net, runner.put_port());
     let _treasury = treasury_rx.recv().unwrap();
@@ -360,7 +356,10 @@ fn noise_on_the_reply_port_does_not_confuse_the_client() {
             if let Ok(pkt) = wire.recv_timeout(std::time::Duration::from_millis(100)) {
                 // Spray malformed junk at whatever reply port appears.
                 if !pkt.header.reply.is_null() {
-                    jammer.send(Header::to(pkt.header.reply), Bytes::from_static(b"\xFFjunk"));
+                    jammer.send(
+                        Header::to(pkt.header.reply),
+                        Bytes::from_static(b"\xFFjunk"),
+                    );
                 }
             } else {
                 break;

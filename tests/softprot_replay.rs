@@ -146,8 +146,18 @@ fn keys_from_handshake_plug_into_the_sealer() {
     let (keyrep, k_cs, k_sc) = boot.handle_keyreq(&keyreq, &mut rng).unwrap();
     let k_reverse = session.finish(&keyrep).unwrap();
 
-    let client_sealer = CapSealer::new(MachineKeysBuilder::client(client.id(), server.id(), session.client_key(), k_reverse));
-    let server_sealer = CapSealer::new(MachineKeysBuilder::server(server.id(), client.id(), k_cs, k_sc));
+    let client_sealer = CapSealer::new(MachineKeysBuilder::client(
+        client.id(),
+        server.id(),
+        session.client_key(),
+        k_reverse,
+    ));
+    let server_sealer = CapSealer::new(MachineKeysBuilder::server(
+        server.id(),
+        client.id(),
+        k_cs,
+        k_sc,
+    ));
 
     let sealed = client_sealer.seal(&a_capability(), server.id()).unwrap();
     assert_eq!(

@@ -1,0 +1,373 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the `amoeba-bench` targets use, with two
+//! execution modes:
+//!
+//! * **`cargo bench`** (cargo passes `--bench`): every benchmark is
+//!   warmed up, then timed over its configured measurement window, and
+//!   a `name ... mean ± stddev (N iters)` line is printed.
+//! * **`cargo test`** (no `--bench` flag): every benchmark body runs
+//!   exactly once as a smoke test so the suite stays fast.
+//!
+//! No plotting, no statistics beyond mean/stddev, no saved baselines —
+//! the numbers land on stdout, which is what the repository's bench
+//! trajectory records.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the measurement marker types.
+pub mod measurement {
+    /// Wall-clock time measurement (the only one implemented).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Forces the compiler to treat a value as used.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    warm_up: Duration,
+    measurement: Duration,
+    /// (mean_ns, stddev_ns, iters) of the last run, if measured.
+    result: Option<(f64, f64, u64)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Measure,
+    /// One iteration only (`cargo test`).
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Measurement: batched samples sized so each batch is ~1/50 of
+        // the measurement window.
+        let target_batches = 50u64;
+        let batch_iters = ((self.measurement.as_secs_f64() / target_batches as f64) / per_iter)
+            .ceil()
+            .max(1.0) as u64;
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        let mut total_iters: u64 = 0;
+        while measure_start.elapsed() < self.measurement || samples.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch_iters as f64);
+            total_iters += batch_iters;
+            if samples.len() > 5000 {
+                break;
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+        self.result = Some((mean, var.sqrt(), total_iters));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples (accepted for API compatibility; the
+    /// harness sizes batches from the measurement window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            result: None,
+        };
+        f(&mut b);
+        self.criterion.report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo invokes bench targets with `--bench`; under `cargo
+        // test` that flag is absent and we only smoke-run each body.
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--bench") {
+            Mode::Measure
+        } else {
+            Mode::Smoke
+        };
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Begins a configuration-sharing benchmark group.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: self.mode,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            result: None,
+        };
+        f(&mut b);
+        let name = name.to_string();
+        self.report(&name, &b, None);
+        self
+    }
+
+    fn report(&self, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        match (self.mode, b.result) {
+            (Mode::Smoke, _) => println!("bench {name}: ok (smoke)"),
+            (Mode::Measure, Some((mean, sd, iters))) => {
+                let mut line = format!(
+                    "{name:<60} {:>12} ± {:<10} ({iters} iters)",
+                    fmt_ns(mean),
+                    fmt_ns(sd)
+                );
+                if let Some(Throughput::Bytes(bytes)) = throughput {
+                    let gib_s = bytes as f64 / mean; // bytes per ns == GB/s
+                    line.push_str(&format!("  {gib_s:.3} GB/s"));
+                }
+                if let Some(Throughput::Elements(n)) = throughput {
+                    let meps = n as f64 * 1e3 / mean; // elements per µs
+                    line.push_str(&format!("  {meps:.3} elem/µs"));
+                }
+                println!("{line}");
+            }
+            (Mode::Measure, None) => println!("bench {name}: no measurement recorded"),
+        }
+    }
+}
+
+/// Declares a function that runs the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+        };
+        let mut runs = 0;
+        c.bench_function("counted", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_records_mean() {
+        let mut c = Criterion {
+            mode: Mode::Measure,
+            filter: None,
+        };
+        let mut g = c.benchmark_group("g");
+        g.warm_up_time(Duration::from_millis(5));
+        g.measurement_time(Duration::from_millis(20));
+        g.bench_function("spin", |b| b.iter(|| black_box(3u64.wrapping_mul(7))));
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}
