@@ -1,0 +1,221 @@
+//! RPC batching: the amortisation experiment behind `docs/PROTOCOL.md`.
+//!
+//! The PR-1 dispatch bench showed the per-frame channel hops in
+//! `net`/`rpc` dominating the zero-latency profile; this bench measures
+//! what batch framing buys back on the same metered-create workload
+//! (every CREATE is pre-paid through a nested bank transaction, §3.6):
+//!
+//! * **batched / metered-create / {1,4,16}** — one `BATCH_REQUEST`
+//!   frame carrying N pre-paid CREATEs (then one batched DESTROY round
+//!   to refund the quota and keep wallet balances steady). The file
+//!   server runs a 4-worker pool, so entries fan out; its embedded bank
+//!   client is **pipelined**, so the workers' concurrent payment
+//!   transfers coalesce into shared frames too.
+//! * **unbatched / metered-create / 16** — the same 16 CREATE+DESTROY
+//!   pairs as sequential single-frame transactions (the pre-batching
+//!   client behaviour).
+//!
+//! Besides wall time, the run prints a frames-on-the-wire comparison
+//! diffed from the `net` stats counters; the 16-entry batch must beat
+//! the unbatched path by ≥ 4× (asserted by `tests/scale.rs`, where the
+//! numbers are checked, not just printed).
+
+use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::Capability;
+use amoeba_flatfs::{ops, FlatFsClient, FlatFsServer, QuotaPolicy};
+use amoeba_net::Network;
+use amoeba_rpc::{Client, DemuxPolicy, PipelineConfig, RpcConfig};
+use amoeba_server::proto::null_cap;
+use amoeba_server::{wire, ServiceClient, ServiceRunner};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const POOL_WORKERS: usize = 4;
+const CALLS: usize = 16;
+const PREPAY: u64 = 1;
+
+/// A metered file server (4 workers, pipelined embedded bank client),
+/// its bank, and a funded wallet.
+struct Rig {
+    net: Network,
+    _bank_runner: ServiceRunner,
+    fs_runner: Option<ServiceRunner>,
+    fs_port: amoeba_net::Port,
+    wallet: Capability,
+}
+
+fn rig() -> Rig {
+    let net = Network::new();
+    let (bank_server, treasury_rx) =
+        BankServer::new(vec![Currency::convertible("dollar", 1)], SchemeKind::OneWay);
+    let bank_runner = ServiceRunner::spawn_open(&net, bank_server);
+    let bank_port = bank_runner.put_port();
+    let treasury = treasury_rx.recv().unwrap();
+    let bank = BankClient::open(&net, bank_port);
+    let server_account = bank.open_account().unwrap();
+    let wallet = bank.open_account().unwrap();
+    bank.mint(&treasury, &wallet, CurrencyId(0), 1_000_000)
+        .unwrap();
+
+    // The server's own bank client is pipelined: payment transfers
+    // issued concurrently by the four dispatch workers coalesce into
+    // shared wire frames.
+    let quota_bank = BankClient::with_service(
+        ServiceClient::with_client(
+            Client::with_config(
+                net.attach_open(),
+                RpcConfig {
+                    timeout: Duration::from_secs(2),
+                    attempts: 3,
+                },
+            )
+            // The workers' coalesced transfers ride one batch frame, so
+            // their waiters contend on the shared endpoint; a tighter
+            // contended tick keeps demux routing off the critical path.
+            .with_demux_policy(DemuxPolicy {
+                contended_tick: Duration::from_micros(250),
+                idle_tick: DemuxPolicy::DEFAULT_IDLE_TICK,
+            })
+            .with_pipeline(PipelineConfig {
+                flush_window: Duration::from_millis(1),
+                max_entries: 16,
+            }),
+        ),
+        bank_port,
+    );
+    let fs_runner = ServiceRunner::spawn_open_workers(
+        &net,
+        FlatFsServer::with_quota(
+            SchemeKind::OneWay,
+            QuotaPolicy {
+                bank: quota_bank,
+                server_account,
+                currency: CurrencyId(0),
+                price_per_kib: 1,
+            },
+        ),
+        POOL_WORKERS,
+    );
+    let fs_port = fs_runner.put_port();
+    Rig {
+        net,
+        _bank_runner: bank_runner,
+        fs_runner: Some(fs_runner),
+        fs_port,
+        wallet,
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        self.net.set_latency(Duration::ZERO);
+        if let Some(r) = self.fs_runner.take() {
+            r.stop();
+        }
+    }
+}
+
+/// N pre-paid CREATEs in one batch frame, then one batched DESTROY
+/// round (refunds keep the wallet steady across iterations).
+fn batched_round(rig: &Rig, svc: &ServiceClient, n: usize) {
+    let create = wire::Writer::new().cap(&rig.wallet).u64(PREPAY).finish();
+    let calls = (0..n)
+        .map(|_| (null_cap(), ops::CREATE, create.clone()))
+        .collect();
+    let caps: Vec<Capability> = svc
+        .call_batch(rig.fs_port, calls)
+        .unwrap()
+        .into_iter()
+        .map(|r| wire::Reader::new(&r.unwrap()).cap().unwrap())
+        .collect();
+    black_box(&caps);
+    let destroys = caps
+        .into_iter()
+        .map(|cap| (cap, ops::DESTROY, Bytes::new()))
+        .collect();
+    for r in svc.call_batch(rig.fs_port, destroys).unwrap() {
+        r.unwrap();
+    }
+}
+
+/// The same workload as sequential single-frame transactions.
+fn unbatched_round(rig: &Rig, fs: &FlatFsClient, n: usize) {
+    for _ in 0..n {
+        let cap = fs.create_paid(&rig.wallet, PREPAY).unwrap();
+        black_box(&cap);
+        fs.destroy(&cap).unwrap();
+    }
+}
+
+fn bench_rpc_batching(c: &mut Criterion) {
+    let mut g = amoeba_bench::net_group(c, "rpc-batching");
+    for n in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("batched/metered-create", n),
+            &n,
+            |b, &n| {
+                let rig = rig();
+                let svc = ServiceClient::open(&rig.net);
+                rig.net.set_latency(Duration::from_millis(2));
+                b.iter(|| batched_round(&rig, &svc, n));
+            },
+        );
+    }
+    g.bench_with_input(
+        BenchmarkId::new("unbatched/metered-create", CALLS),
+        &CALLS,
+        |b, &n| {
+            let rig = rig();
+            let fs = FlatFsClient::open(&rig.net, rig.fs_port);
+            rig.net.set_latency(Duration::from_millis(2));
+            b.iter(|| unbatched_round(&rig, &fs, n));
+        },
+    );
+    g.finish();
+
+    // Frames-on-the-wire comparison: the number criterion cannot see.
+    // CREATE only (DESTROY refunds would double-count bank traffic the
+    // same way on both sides); diffed from the net stats counters.
+    let rig = rig();
+    let svc = ServiceClient::open(&rig.net);
+    let fs = FlatFsClient::open(&rig.net, rig.fs_port);
+    rig.net.set_latency(Duration::from_millis(2));
+
+    let before = rig.net.stats().snapshot();
+    let mut caps = Vec::new();
+    for _ in 0..CALLS {
+        caps.push(fs.create_paid(&rig.wallet, PREPAY).unwrap());
+    }
+    let unbatched = rig.net.stats().snapshot() - before;
+    for cap in caps.drain(..) {
+        fs.destroy(&cap).unwrap();
+    }
+
+    let before = rig.net.stats().snapshot();
+    let create = wire::Writer::new().cap(&rig.wallet).u64(PREPAY).finish();
+    let calls = (0..CALLS)
+        .map(|_| (null_cap(), ops::CREATE, create.clone()))
+        .collect();
+    let results = svc.call_batch(rig.fs_port, calls).unwrap();
+    let batched = rig.net.stats().snapshot() - before;
+    for r in results {
+        let cap = wire::Reader::new(&r.unwrap()).cap().unwrap();
+        fs.destroy(&cap).unwrap();
+    }
+
+    println!(
+        "rpc-batching/frames-on-the-wire/metered-create/{CALLS}: \
+         unbatched={} batched={} ({:.1}x fewer), wire bytes {} vs {}",
+        unbatched.packets_sent,
+        batched.packets_sent,
+        unbatched.packets_sent as f64 / batched.packets_sent.max(1) as f64,
+        unbatched.bytes_sent,
+        batched.bytes_sent,
+    );
+}
+
+criterion_group!(benches, bench_rpc_batching);
+criterion_main!(benches);

@@ -1,4 +1,33 @@
-//! The broadcast-medium simulator.
+//! The broadcast-medium simulator: one shared wire, per-machine
+//! interfaces, and fault injection.
+//!
+//! A [`Network`] models the paper's single broadcast LAN. Machines join
+//! with [`Network::attach`], providing a
+//! [`NetworkInterface`](crate::NetworkInterface) (an open NIC or an
+//! F-box) and receiving an [`Endpoint`] — their only handle onto the
+//! wire. Every send is offered to every *other* machine's interface;
+//! the interface decides, by destination port, whether the frame is
+//! taken (associative addressing). The network, not the sender, stamps
+//! the unforgeable source machine id.
+//!
+//! # Delivery model
+//!
+//! Each machine owns one unbounded MPMC packet channel. That MPMC
+//! property is load-bearing for the dispatch engine: a server worker
+//! pool shares a single `Endpoint` behind an `Arc`, and each arriving
+//! packet is claimed by exactly one concurrent receiver. Simulated
+//! latency is applied at *receive* time (packets carry a `deliver_at`
+//! instant), so senders never block.
+//!
+//! # Fault and topology injection
+//!
+//! [`Network::set_latency`], [`Network::set_drop_rate`],
+//! [`Network::partition`]/[`Network::heal`] and [`Network::colocate`]
+//! inject wide-area behaviour into tests and benchmarks;
+//! [`Network::tap`] wiretaps every frame as transmitted (the intruder's
+//! view). [`Network::stats`] exposes the cumulative frame/byte
+//! counters ([`NetworkStats`]) that the locate and RPC-batching
+//! benchmarks diff around workloads.
 
 use crate::addr::{MachineId, Port};
 use crate::nic::{NetworkInterface, OpenNic};
@@ -179,6 +208,13 @@ impl Network {
             entry.nic.egress(&mut header);
         }
         stats.packets_sent.fetch_add(1, Ordering::Relaxed);
+        stats.bytes_sent.fetch_add(
+            Packet::WIRE_HEADER_BYTES + payload.len() as u64,
+            Ordering::Relaxed,
+        );
+        stats
+            .payload_bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         if header.dest.is_broadcast() {
             stats.broadcasts_sent.fetch_add(1, Ordering::Relaxed);
         }

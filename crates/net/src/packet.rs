@@ -65,9 +65,21 @@ pub struct Packet {
 }
 
 impl Packet {
+    /// Fixed per-frame overhead charged by the wire-byte accounting:
+    /// three 8-byte port fields (destination, reply, signature) plus the
+    /// 4-byte source machine stamp. Every frame pays this regardless of
+    /// payload size — it is exactly what request batching amortises.
+    pub const WIRE_HEADER_BYTES: u64 = 3 * 8 + 4;
+
     /// The simulated arrival time of this packet.
     pub fn deliver_at(&self) -> Instant {
         self.deliver_at
+    }
+
+    /// Bytes this frame occupies on the wire: header overhead plus
+    /// payload.
+    pub fn wire_len(&self) -> u64 {
+        Self::WIRE_HEADER_BYTES + self.payload.len() as u64
     }
 }
 

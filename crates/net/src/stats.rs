@@ -1,5 +1,6 @@
 //! Atomic traffic counters, used by the locate and match-making
-//! benchmarks to count broadcast vs unicast traffic.
+//! benchmarks to count broadcast vs unicast traffic, and by the RPC
+//! batching benchmark to count frames and bytes on the wire.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -14,6 +15,8 @@ pub struct NetworkStats {
     pub(crate) broadcasts_sent: AtomicU64,
     pub(crate) packets_dropped: AtomicU64,
     pub(crate) packets_filtered: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) payload_bytes_sent: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetworkStats`].
@@ -31,6 +34,15 @@ pub struct StatsSnapshot {
     /// (machine, packet) pairs rejected by interface filtering — the
     /// associative-addressing misses.
     pub packets_filtered: u64,
+    /// Wire bytes in send operations: payload plus the fixed per-frame
+    /// header overhead ([`Packet::WIRE_HEADER_BYTES`]); what batching
+    /// amortises is exactly the header share of this.
+    ///
+    /// [`Packet::WIRE_HEADER_BYTES`]: crate::Packet::WIRE_HEADER_BYTES
+    pub bytes_sent: u64,
+    /// Payload bytes alone in send operations (excluding the per-frame
+    /// header overhead).
+    pub payload_bytes_sent: u64,
 }
 
 impl NetworkStats {
@@ -42,6 +54,8 @@ impl NetworkStats {
             broadcasts_sent: self.broadcasts_sent.load(Ordering::Relaxed),
             packets_dropped: self.packets_dropped.load(Ordering::Relaxed),
             packets_filtered: self.packets_filtered.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            payload_bytes_sent: self.payload_bytes_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -56,6 +70,8 @@ impl std::ops::Sub for StatsSnapshot {
             broadcasts_sent: self.broadcasts_sent - rhs.broadcasts_sent,
             packets_dropped: self.packets_dropped - rhs.packets_dropped,
             packets_filtered: self.packets_filtered - rhs.packets_filtered,
+            bytes_sent: self.bytes_sent - rhs.bytes_sent,
+            payload_bytes_sent: self.payload_bytes_sent - rhs.payload_bytes_sent,
         }
     }
 }

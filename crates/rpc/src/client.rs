@@ -1,6 +1,48 @@
-//! The client side: blocking transactions.
+//! The client side: blocking transactions, explicit batches, and the
+//! opportunistic pipeliner.
+//!
+//! # The demultiplexer and its back-off policy
+//!
+//! One [`Client`] may serve many threads at once (a dispatch worker
+//! pool embedding a client does exactly that). All in-flight
+//! transactions share the endpoint's single packet queue, so whichever
+//! waiter happens to pull a packet routes it to the transaction that
+//! owns its destination port via the *pending* table, and every waiter
+//! alternates between two waits:
+//!
+//! 1. a non-blocking check of its private mailbox (a peer may have
+//!    routed its reply there), then
+//! 2. a bounded block on the shared endpoint queue.
+//!
+//! The bound on (2) is the **demux tick**. It back-offs in two steps,
+//! both configurable via [`DemuxPolicy`]:
+//!
+//! * **contended** ([`DemuxPolicy::contended_tick`], default
+//!   [`DemuxPolicy::DEFAULT_CONTENDED_TICK`]): while more than one
+//!   transaction is in flight, a waiter's reply can be claimed by a
+//!   peer at any moment, so it re-checks its mailbox frequently.
+//! * **idle** ([`DemuxPolicy::idle_tick`], default
+//!   [`DemuxPolicy::DEFAULT_IDLE_TICK`]): when a waiter is the *only*
+//!   in-flight transaction nobody can steal its reply, so frequent
+//!   wake-ups would be pure overhead; the residual coarse tick only
+//!   covers a peer *starting* mid-block.
+//!
+//! # Batching and pipelining
+//!
+//! [`Client::trans_batch`] ships many request bodies in one
+//! `BATCH_REQUEST` frame and demultiplexes the matching `BATCH_REPLY`
+//! by `(batch id, entry index)` — see `docs/PROTOCOL.md`. On top of it,
+//! a client built with [`Client::with_pipeline`] coalesces *concurrent*
+//! [`Client::trans`] calls opportunistically: the first caller into an
+//! empty per-destination queue becomes the flusher, waits one
+//! [`PipelineConfig::flush_window`], then ships everything queued for
+//! that destination as a single wire frame and hands each caller its
+//! own reply. Callers that arrive alone still progress (the window
+//! bounds their extra latency); callers that arrive together share one
+//! frame — exactly the pool-worker fan-in pattern the dispatch engine
+//! produces.
 
-use crate::frame::Frame;
+use crate::frame::{BatchStatus, Frame, MAX_BATCH_ENTRIES};
 use amoeba_net::{Endpoint, Header, Packet, Port, RecvError};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -8,6 +50,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
 /// Tunables for [`Client::trans`].
@@ -29,6 +72,69 @@ impl Default for RpcConfig {
     }
 }
 
+/// The two-step back-off a waiter applies while blocking on the shared
+/// endpoint queue (see the module docs for the policy rationale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemuxPolicy {
+    /// Re-check period while *other* transactions are in flight and a
+    /// peer may have routed this waiter's reply to its mailbox.
+    pub contended_tick: Duration,
+    /// Re-check period while this is the only in-flight transaction.
+    pub idle_tick: Duration,
+}
+
+impl DemuxPolicy {
+    /// Default contended tick: 1 ms. Short enough that a reply parked
+    /// in a waiter's mailbox by a peer is picked up promptly; long
+    /// enough that a pool of blocked waiters is not a spin loop.
+    pub const DEFAULT_CONTENDED_TICK: Duration = Duration::from_millis(1);
+
+    /// Default idle tick: 25 ms. A lone waiter's reply can only arrive
+    /// via the endpoint queue it is already blocked on, so this only
+    /// bounds how stale its "am I still alone?" view may get.
+    pub const DEFAULT_IDLE_TICK: Duration = Duration::from_millis(25);
+}
+
+impl Default for DemuxPolicy {
+    fn default() -> Self {
+        DemuxPolicy {
+            contended_tick: Self::DEFAULT_CONTENDED_TICK,
+            idle_tick: Self::DEFAULT_IDLE_TICK,
+        }
+    }
+}
+
+/// Tunables for the opportunistic pipeliner
+/// ([`Client::with_pipeline`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// How long the flusher waits for concurrent callers to pile onto
+    /// the queue before shipping the accumulated frame. Also the upper
+    /// bound on the extra latency a lone call pays for pipelining.
+    pub flush_window: Duration,
+    /// Maximum entries per shipped frame; a longer queue is split into
+    /// several frames. Must be `1..=`[`MAX_BATCH_ENTRIES`].
+    pub max_entries: usize,
+}
+
+impl PipelineConfig {
+    /// Default flush window: 500 µs — wide enough to catch pool workers
+    /// that blocked on the same hop, narrow next to any real wire RTT.
+    pub const DEFAULT_FLUSH_WINDOW: Duration = Duration::from_micros(500);
+
+    /// Default per-frame entry cap.
+    pub const DEFAULT_MAX_ENTRIES: usize = 16;
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            flush_window: Self::DEFAULT_FLUSH_WINDOW,
+            max_entries: Self::DEFAULT_MAX_ENTRIES,
+        }
+    }
+}
+
 /// Errors from a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RpcError {
@@ -36,6 +142,10 @@ pub enum RpcError {
     Timeout,
     /// The local endpoint is detached from the network.
     Disconnected,
+    /// The server's RPC layer rejected this batch entry before
+    /// dispatch (transport-level rejection; see `docs/PROTOCOL.md`,
+    /// "Error and partial-failure semantics").
+    Rejected,
 }
 
 impl std::fmt::Display for RpcError {
@@ -43,11 +153,33 @@ impl std::fmt::Display for RpcError {
         match self {
             RpcError::Timeout => write!(f, "no reply from server after all attempts"),
             RpcError::Disconnected => write!(f, "endpoint detached from network"),
+            RpcError::Rejected => write!(f, "server rejected the batch entry as malformed"),
         }
     }
 }
 
 impl std::error::Error for RpcError {}
+
+/// Per-entry result of a batch transaction.
+pub type BatchResult = Result<Bytes, RpcError>;
+
+type WaiterTx = Sender<BatchResult>;
+
+/// A queued-but-unflushed pipeline call for one destination.
+#[derive(Debug, Default)]
+struct DestQueue {
+    entries: Vec<(Bytes, WaiterTx)>,
+    /// Whether some caller is already sitting out the flush window for
+    /// this destination (there is at most one flusher per destination
+    /// at a time).
+    flusher_active: bool,
+}
+
+#[derive(Debug)]
+struct PipelineState {
+    config: PipelineConfig,
+    queues: Mutex<HashMap<Port, DestQueue>>,
+}
 
 /// A client able to perform blocking transactions on a network endpoint.
 ///
@@ -60,27 +192,23 @@ impl std::error::Error for RpcError {}
 /// whichever waiter pulls a packet off the shared endpoint routes it to
 /// the transaction it belongs to. This is what lets a service embed a
 /// client (file server → bank server, file server → block server) and
-/// still run on a dispatch worker pool.
+/// still run on a dispatch worker pool. The waiting cadence is governed
+/// by the [`DemuxPolicy`] (see the module docs).
 #[derive(Debug)]
 pub struct Client {
     endpoint: Endpoint,
     config: RpcConfig,
+    demux: DemuxPolicy,
     signature: Option<Port>,
     rng: Mutex<StdRng>,
+    /// Monotonic source of batch ids; uniqueness per client plus the
+    /// per-batch private reply port makes `(reply port, id)` unique on
+    /// the wire.
+    next_batch_id: AtomicU32,
+    pipeline: Option<PipelineState>,
     /// In-flight transactions: wire reply port → that waiter's mailbox.
     pending: Mutex<HashMap<Port, Sender<Packet>>>,
 }
-
-/// How long a waiter blocks on the shared endpoint before re-checking
-/// its private mailbox when peers are in flight (a peer may have
-/// routed its reply there while it was blocked).
-const DEMUX_TICK: Duration = Duration::from_millis(1);
-
-/// The much coarser tick used when this is the only in-flight
-/// transaction: nobody can steal its reply, so frequent wake-ups would
-/// be pure overhead — the residual tick only covers a peer *starting*
-/// mid-block.
-const IDLE_TICK: Duration = Duration::from_millis(25);
 
 impl Client {
     /// Wraps an endpoint with default configuration.
@@ -93,10 +221,40 @@ impl Client {
         Client {
             endpoint,
             config,
+            demux: DemuxPolicy::default(),
             signature: None,
             rng: Mutex::new(StdRng::from_entropy()),
+            next_batch_id: AtomicU32::new(1),
+            pipeline: None,
             pending: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Builder knob: replaces the demux back-off policy (see
+    /// [`DemuxPolicy`]). The pipeliner benches set a tighter contended
+    /// tick so batch replies are routed with minimal added latency.
+    pub fn with_demux_policy(mut self, demux: DemuxPolicy) -> Client {
+        self.demux = demux;
+        self
+    }
+
+    /// Builder knob: enables the opportunistic pipeliner. Concurrent
+    /// [`trans`](Self::trans) calls to the same destination are
+    /// coalesced into one wire frame per flush window.
+    ///
+    /// # Panics
+    /// Panics if `config.max_entries` is zero or exceeds
+    /// [`MAX_BATCH_ENTRIES`].
+    pub fn with_pipeline(mut self, config: PipelineConfig) -> Client {
+        assert!(
+            (1..=MAX_BATCH_ENTRIES).contains(&config.max_entries),
+            "pipeline max_entries must be in 1..={MAX_BATCH_ENTRIES}"
+        );
+        self.pipeline = Some(PipelineState {
+            config,
+            queues: Mutex::new(HashMap::new()),
+        });
+        self
     }
 
     /// Attaches a secret signature `S` to every outgoing request; the
@@ -114,21 +272,148 @@ impl Client {
     /// Performs a blocking transaction: send `request` to put-port
     /// `dest`, await the reply.
     ///
+    /// On a pipelined client ([`with_pipeline`](Self::with_pipeline))
+    /// the call may share a wire frame with concurrent `trans` calls to
+    /// the same destination; semantics are unchanged.
+    ///
     /// # Errors
     /// [`RpcError::Timeout`] if no reply arrives within
     /// `config.attempts × config.timeout`; [`RpcError::Disconnected`] if
     /// the endpoint is detached.
     pub fn trans(&self, dest: Port, request: Bytes) -> Result<Bytes, RpcError> {
-        // Fresh reply get-port per transaction; stable across retries so
-        // a late first reply satisfies a retransmitted request.
-        let reply_get = Port::random(&mut *self.rng.lock());
-        let reply_wire = self.endpoint.claim(reply_get);
+        match &self.pipeline {
+            Some(_) => self.trans_pipelined(dest, request),
+            None => self.trans_single(dest, request),
+        }
+    }
+
+    /// Performs a batch transaction: ships every request body in one
+    /// `BATCH_REQUEST` frame (several frames if `requests` exceeds
+    /// [`MAX_BATCH_ENTRIES`]) and returns one result per entry, in
+    /// request order.
+    ///
+    /// Partial failure is per entry: an entry the server rejected
+    /// before dispatch comes back as [`RpcError::Rejected`]; entries
+    /// missing from a (hostile or truncated) reply come back as
+    /// [`RpcError::Timeout`]. Application-level failures are ordinary
+    /// reply bodies.
+    ///
+    /// # Errors
+    /// [`RpcError::Timeout`]/[`RpcError::Disconnected`] as for
+    /// [`trans`](Self::trans), applied per wire frame: if one chunk's
+    /// frame times out the whole call fails, since the caller can no
+    /// longer line results up with requests.
+    pub fn trans_batch(
+        &self,
+        dest: Port,
+        requests: Vec<Bytes>,
+    ) -> Result<Vec<BatchResult>, RpcError> {
+        let mut results = Vec::with_capacity(requests.len());
+        if requests.is_empty() {
+            return Ok(results);
+        }
+        for chunk in requests.chunks(MAX_BATCH_ENTRIES) {
+            results.extend(self.trans_batch_chunk(dest, chunk)?);
+        }
+        Ok(results)
+    }
+
+    /// The plain single-frame transaction path.
+    fn trans_single(&self, dest: Port, request: Bytes) -> Result<Bytes, RpcError> {
+        let payload = Frame::Request(request).encode();
+        self.transact(dest, payload, |frame| match frame {
+            Frame::Reply(body) => Some(body),
+            _ => None,
+        })
+    }
+
+    /// One wire frame's worth of a batch transaction.
+    fn trans_batch_chunk(
+        &self,
+        dest: Port,
+        requests: &[Bytes],
+    ) -> Result<Vec<BatchResult>, RpcError> {
+        let id = self.next_batch_id.fetch_add(1, Ordering::Relaxed);
+        let payload = Frame::BatchRequest {
+            id,
+            entries: requests.to_vec(),
+        }
+        .encode();
+        let n = requests.len();
+        self.transact(dest, payload, move |frame| match frame {
+            Frame::BatchReply { id: rid, entries } if rid == id => {
+                // Entries the server never answered (impossible from
+                // our server, conceivable from a hostile one) surface
+                // as per-entry timeouts rather than misaligned bodies.
+                let mut results: Vec<BatchResult> = vec![Err(RpcError::Timeout); n];
+                for e in entries {
+                    if let Some(slot) = results.get_mut(e.index as usize) {
+                        *slot = match e.status {
+                            BatchStatus::Ok => Ok(e.body),
+                            BatchStatus::Rejected => Err(RpcError::Rejected),
+                        };
+                    }
+                }
+                Some(results)
+            }
+            _ => None,
+        })
+    }
+
+    /// The pipelined path of [`trans`](Self::trans): enqueue, and either
+    /// become the flusher for this destination or wait for the current
+    /// flusher to deliver the reply.
+    fn trans_pipelined(&self, dest: Port, request: Bytes) -> Result<Bytes, RpcError> {
+        let state = self.pipeline.as_ref().expect("pipelined path");
         let (tx, rx) = unbounded();
-        self.pending.lock().insert(reply_wire, tx);
-        let result = self.trans_on(dest, request, reply_get, reply_wire, &rx);
-        self.pending.lock().remove(&reply_wire);
-        self.endpoint.release(reply_get);
-        result
+        let flusher = {
+            let mut queues = state.queues.lock();
+            let q = queues.entry(dest).or_default();
+            q.entries.push((request, tx));
+            !std::mem::replace(&mut q.flusher_active, true)
+        };
+        if flusher {
+            std::thread::sleep(state.config.flush_window);
+            let entries = {
+                let mut queues = state.queues.lock();
+                // Everything queued so far (ours included) ships in
+                // this flush, so drop the whole map entry: a long-lived
+                // client must not grow one dead queue per destination.
+                let q = queues.remove(&dest).expect("flusher owns a queue");
+                q.entries
+            };
+            self.flush(dest, entries, state.config.max_entries);
+        }
+        // A dropped sender means the flusher died mid-flight (its
+        // thread panicked); treat it like a torn-down endpoint.
+        rx.recv().unwrap_or(Err(RpcError::Disconnected))
+    }
+
+    /// Ships a drained pipeline queue as one or more wire frames and
+    /// hands every waiter its own result.
+    fn flush(&self, dest: Port, mut entries: Vec<(Bytes, WaiterTx)>, max_entries: usize) {
+        while !entries.is_empty() {
+            let chunk: Vec<(Bytes, WaiterTx)> =
+                entries.drain(..entries.len().min(max_entries)).collect();
+            if let [(request, tx)] = &chunk[..] {
+                // A lone call needs no batch container.
+                let _ = tx.send(self.trans_single(dest, request.clone()));
+                continue;
+            }
+            let bodies: Vec<Bytes> = chunk.iter().map(|(b, _)| b.clone()).collect();
+            match self.trans_batch_chunk(dest, &bodies) {
+                Ok(results) => {
+                    for ((_, tx), result) in chunk.into_iter().zip(results) {
+                        let _ = tx.send(result);
+                    }
+                }
+                Err(e) => {
+                    for (_, tx) in chunk {
+                        let _ = tx.send(Err(e));
+                    }
+                }
+            }
+        }
     }
 
     /// Routes a packet that is not ours to whichever in-flight
@@ -141,15 +426,37 @@ impl Client {
         }
     }
 
-    fn trans_on(
+    /// The shared request/await/retransmit engine: registers a fresh
+    /// reply port in the demux table, transmits `payload`, and waits —
+    /// under the [`DemuxPolicy`] cadence — for a packet whose decoded
+    /// frame `accept` recognises.
+    fn transact<T>(
         &self,
         dest: Port,
-        request: Bytes,
+        payload: Bytes,
+        accept: impl Fn(Frame) -> Option<T>,
+    ) -> Result<T, RpcError> {
+        // Fresh reply get-port per transaction; stable across retries so
+        // a late first reply satisfies a retransmitted request.
+        let reply_get = Port::random(&mut *self.rng.lock());
+        let reply_wire = self.endpoint.claim(reply_get);
+        let (tx, rx) = unbounded();
+        self.pending.lock().insert(reply_wire, tx);
+        let result = self.await_reply(dest, payload, reply_get, reply_wire, &rx, accept);
+        self.pending.lock().remove(&reply_wire);
+        self.endpoint.release(reply_get);
+        result
+    }
+
+    fn await_reply<T>(
+        &self,
+        dest: Port,
+        payload: Bytes,
         reply_get: Port,
         reply_wire: Port,
         mailbox: &Receiver<Packet>,
-    ) -> Result<Bytes, RpcError> {
-        let payload = Frame::Request(request).encode();
+        accept: impl Fn(Frame) -> Option<T>,
+    ) -> Result<T, RpcError> {
         let mut header = Header::to(dest).with_reply(reply_get);
         if let Some(s) = self.signature {
             header = header.with_signature(s);
@@ -165,15 +472,15 @@ impl Client {
                 // A peer waiter may have claimed our reply from the
                 // shared endpoint and routed it to our mailbox.
                 if let Ok(pkt) = mailbox.try_recv() {
-                    if let Some(Frame::Reply(body)) = Frame::decode(&pkt.payload) {
-                        return Ok(body);
+                    if let Some(value) = Frame::decode(&pkt.payload).and_then(&accept) {
+                        return Ok(value);
                     }
                     continue;
                 }
                 let tick = if self.pending.lock().len() > 1 {
-                    DEMUX_TICK
+                    self.demux.contended_tick
                 } else {
-                    IDLE_TICK
+                    self.demux.idle_tick
                 };
                 match self.endpoint.recv_timeout(remaining.min(tick)) {
                     Ok(pkt) => {
@@ -181,9 +488,9 @@ impl Client {
                             self.route_foreign(pkt);
                             continue;
                         }
-                        match Frame::decode(&pkt.payload) {
-                            Some(Frame::Reply(body)) => return Ok(body),
-                            _ => continue, // noise
+                        match Frame::decode(&pkt.payload).and_then(&accept) {
+                            Some(value) => return Ok(value),
+                            None => continue, // noise
                         }
                     }
                     Err(RecvError::Timeout) => continue, // tick: re-check mailbox
@@ -277,5 +584,135 @@ mod tests {
         let c = RpcConfig::default();
         assert!(c.attempts >= 1);
         assert!(c.timeout > Duration::ZERO);
+    }
+
+    #[test]
+    fn demux_policy_defaults_back_off() {
+        let p = DemuxPolicy::default();
+        assert!(
+            p.contended_tick < p.idle_tick,
+            "idle must be the coarser tick"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let net = Network::new();
+        let client = Client::new(net.attach_open());
+        let before = net.stats().snapshot();
+        let results = client
+            .trans_batch(Port::new(0x7).unwrap(), Vec::new())
+            .unwrap();
+        assert!(results.is_empty());
+        assert_eq!(net.stats().snapshot().packets_sent, before.packets_sent);
+    }
+
+    #[test]
+    fn batch_round_trip_uses_one_frame_each_way() {
+        let net = Network::new();
+        let server = crate::ServerPort::bind(net.attach_open(), Port::new(0xB0).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            for _ in 0..8 {
+                let req = server.next_request().unwrap();
+                let mut body = req.payload.to_vec();
+                body.reverse();
+                server.reply(&req, Bytes::from(body));
+            }
+        });
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        );
+        let before = net.stats().snapshot();
+        let results = client
+            .trans_batch(p, (0..8u8).map(|i| Bytes::from(vec![i, b'x'])).collect())
+            .unwrap();
+        let frames = net.stats().snapshot().packets_sent - before.packets_sent;
+        assert_eq!(
+            frames, 2,
+            "8 transactions must cost 1 request + 1 reply frame"
+        );
+        for (i, r) in results.into_iter().enumerate() {
+            assert_eq!(r.unwrap(), Bytes::from(vec![b'x', i as u8]));
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_client_coalesces_concurrent_trans_calls() {
+        let net = Network::new();
+        let server = crate::ServerPort::bind(net.attach_open(), Port::new(0xAB).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            let mut served = 0;
+            while served < 6 {
+                let req = server.next_request().unwrap();
+                served += 1;
+                server.reply(&req, req.payload.clone());
+            }
+        });
+        let client = Arc::new(
+            Client::with_config(
+                net.attach_open(),
+                RpcConfig {
+                    timeout: Duration::from_secs(2),
+                    attempts: 2,
+                },
+            )
+            .with_pipeline(PipelineConfig {
+                flush_window: Duration::from_millis(5),
+                max_entries: 16,
+            }),
+        );
+        let before = net.stats().snapshot();
+        let workers: Vec<_> = (0..6u32)
+            .map(|i| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    let body = Bytes::from(i.to_be_bytes().to_vec());
+                    assert_eq!(client.trans(p, body.clone()).unwrap(), body);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let frames = net.stats().snapshot().packets_sent - before.packets_sent;
+        assert!(
+            frames < 12,
+            "6 concurrent calls should coalesce below 6 request + 6 reply frames, used {frames}"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_lone_call_still_completes() {
+        let net = Network::new();
+        let server = crate::ServerPort::bind(net.attach_open(), Port::new(0xA1).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            let req = server.next_request().unwrap();
+            server.reply(&req, Bytes::from_static(b"solo"));
+        });
+        let client = Client::new(net.attach_open()).with_pipeline(PipelineConfig::default());
+        assert_eq!(
+            &client.trans(p, Bytes::from_static(b"one")).unwrap()[..],
+            b"solo"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_entries")]
+    fn zero_max_entries_rejected() {
+        let net = Network::new();
+        let _ = Client::new(net.attach_open()).with_pipeline(PipelineConfig {
+            flush_window: Duration::from_millis(1),
+            max_entries: 0,
+        });
     }
 }

@@ -1,8 +1,46 @@
-//! The tiny wire framing used above raw packets.
+//! The wire framing used above raw packets — the repository's **wire
+//! protocol**, documented byte-for-byte in `docs/PROTOCOL.md` (the two
+//! must stay in sync; `documented_example_frames` below parses the
+//! spec's example frames verbatim).
 //!
-//! One tag byte distinguishes requests, replies and the two LOCATE
-//! messages; everything else (capabilities, opcodes, parameters) lives
-//! in the opaque body and is defined by `amoeba-server`.
+//! # Frame families
+//!
+//! * **Single frames** (tags `0x00`–`0x04`, protocol v0): one tag byte
+//!   distinguishes requests, replies, the two LOCATE messages and the
+//!   rendezvous POST; everything else (capabilities, opcodes,
+//!   parameters) lives in the opaque body and is defined by
+//!   `amoeba-server`. These are unchanged since the first protocol
+//!   version, and every peer must accept them forever.
+//! * **Batch frames** (tags `0x05`–`0x06`, added in batch-format
+//!   version 1): a length-prefixed multi-request container that carries
+//!   up to [`MAX_BATCH_ENTRIES`] request (or reply) bodies in one
+//!   packet, amortising the per-packet channel hops that dominate the
+//!   zero-latency profile. A batch is identified by a 32-bit **batch
+//!   id** chosen by the client; reply entries are matched to request
+//!   entries by `(batch id, entry index)`.
+//!
+//! # Versioning policy
+//!
+//! Single frames carry no version byte — their layout is frozen. Batch
+//! frames carry an explicit format version ([`BATCH_VERSION`]) right
+//! after the tag; decoders **drop** frames with an unknown version
+//! exactly as they drop unknown tags. Any incompatible change to the
+//! batch layout must bump the version byte, and peers that do not
+//! understand it simply never reply, which the client's retransmission
+//! logic already handles (the sender can then fall back to single
+//! frames). New frame *kinds* take new tag values; tags are never
+//! reused.
+//!
+//! # Robustness
+//!
+//! Malformed frames are *dropped*, not errors: on a broadcast network,
+//! noise addressed to your port is an expected condition. The batch
+//! decoder additionally enforces [`MAX_BATCH_ENTRIES`] and exact buffer
+//! consumption so hostile frames (truncated entry tables, oversized
+//! counts, trailing garbage) are rejected without panicking and without
+//! amplification — entry bodies are zero-copy slices of the received
+//! buffer, never fresh allocations sized from attacker-controlled
+//! lengths.
 
 use amoeba_net::{MachineId, Port};
 use bytes::{Bytes, BytesMut};
@@ -22,6 +60,10 @@ pub enum FrameKind {
     /// Rendezvous registration: "the sending machine serves this port"
     /// (match-making without broadcast). Body is the 48-bit port.
     Post = 4,
+    /// A batch of client requests sharing one packet (batch-format v1).
+    BatchRequest = 5,
+    /// The batch of replies answering a [`FrameKind::BatchRequest`].
+    BatchReply = 6,
 }
 
 impl FrameKind {
@@ -32,9 +74,59 @@ impl FrameKind {
             2 => Some(FrameKind::Locate),
             3 => Some(FrameKind::LocateReply),
             4 => Some(FrameKind::Post),
+            5 => Some(FrameKind::BatchRequest),
+            6 => Some(FrameKind::BatchReply),
             _ => None,
         }
     }
+}
+
+/// The batch-frame format version this implementation speaks. Bumped on
+/// any incompatible layout change; decoders drop unknown versions.
+pub const BATCH_VERSION: u8 = 1;
+
+/// Upper bound on entries per batch frame, enforced by both encoder and
+/// decoder. Keeps a hostile `count` field from driving large allocations
+/// and bounds the per-frame work a server commits to before replying.
+pub const MAX_BATCH_ENTRIES: usize = 1024;
+
+/// Per-entry outcome carried in a [`Frame::BatchReply`].
+///
+/// This is **transport-level** status only: it says whether the server's
+/// RPC layer produced a reply body for the entry at all. Application
+/// failures (bad capability, rights violation, …) travel as ordinary
+/// reply bodies with `status == Ok` here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum BatchStatus {
+    /// The entry was dispatched and its body is the service's reply.
+    Ok = 0,
+    /// The entry was rejected before dispatch (e.g. its body could not
+    /// be decoded); the body is empty.
+    Rejected = 1,
+}
+
+impl BatchStatus {
+    fn from_u8(v: u8) -> Option<BatchStatus> {
+        match v {
+            0 => Some(BatchStatus::Ok),
+            1 => Some(BatchStatus::Rejected),
+            _ => None,
+        }
+    }
+}
+
+/// One reply inside a [`Frame::BatchReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReplyEntry {
+    /// Index of the request entry this answers (position in the
+    /// [`Frame::BatchRequest`] entry table).
+    pub index: u16,
+    /// Transport-level outcome for this entry.
+    pub status: BatchStatus,
+    /// The reply body (empty when `status` is
+    /// [`BatchStatus::Rejected`]).
+    pub body: Bytes,
 }
 
 /// A decoded frame.
@@ -51,10 +143,31 @@ pub enum Frame {
     /// "I (the packet's source) serve `port`" — sent to a rendezvous
     /// node instead of broadcast.
     Post(Port),
+    /// A batch of request bodies identified by a client-chosen id.
+    BatchRequest {
+        /// Client-chosen identifier echoed by the reply; with the reply
+        /// port it keys the client's demultiplexer.
+        id: u32,
+        /// The request bodies, in entry-index order.
+        entries: Vec<Bytes>,
+    },
+    /// The replies for a batch, in any entry order.
+    BatchReply {
+        /// The id of the [`Frame::BatchRequest`] being answered.
+        id: u32,
+        /// One entry per request entry, each tagged with its index.
+        entries: Vec<BatchReplyEntry>,
+    },
 }
 
 impl Frame {
     /// Encodes the frame for transmission.
+    ///
+    /// # Panics
+    /// Panics if a batch frame has zero entries, more than
+    /// [`MAX_BATCH_ENTRIES`], or an entry longer than `u32::MAX` —
+    /// all programming errors on the sending side, never reachable
+    /// from received (attacker-controlled) data.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
         match self {
@@ -79,6 +192,24 @@ impl Frame {
                 buf.extend_from_slice(&[FrameKind::Post as u8]);
                 buf.extend_from_slice(&port.value().to_be_bytes());
             }
+            Frame::BatchRequest { id, entries } => {
+                batch_preamble(&mut buf, FrameKind::BatchRequest, *id, entries.len());
+                for body in entries {
+                    let len = u32::try_from(body.len()).expect("batch entry fits in u32");
+                    buf.extend_from_slice(&len.to_be_bytes());
+                    buf.extend_from_slice(body);
+                }
+            }
+            Frame::BatchReply { id, entries } => {
+                batch_preamble(&mut buf, FrameKind::BatchReply, *id, entries.len());
+                for e in entries {
+                    buf.extend_from_slice(&e.index.to_be_bytes());
+                    buf.extend_from_slice(&[e.status as u8]);
+                    let len = u32::try_from(e.body.len()).expect("batch entry fits in u32");
+                    buf.extend_from_slice(&len.to_be_bytes());
+                    buf.extend_from_slice(&e.body);
+                }
+            }
         }
         buf.freeze()
     }
@@ -87,6 +218,9 @@ impl Frame {
     ///
     /// Malformed frames are *dropped*, not errors: on a broadcast
     /// network, noise addressed to your port is an expected condition.
+    /// Batch frames with an unknown version byte, a zero or oversized
+    /// entry count, a truncated entry table, or trailing bytes are all
+    /// rejected here.
     pub fn decode(data: &Bytes) -> Option<Frame> {
         let (&tag, rest) = data.split_first()?;
         match FrameKind::from_u8(tag)? {
@@ -108,8 +242,72 @@ impl Frame {
                 let raw = u64::from_be_bytes(rest.get(..8)?.try_into().ok()?);
                 Some(Frame::Post(Port::new(raw)?))
             }
+            FrameKind::BatchRequest => {
+                let (id, count, mut at) = decode_batch_preamble(rest)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let (body, next) = take_entry_body(data, rest, at)?;
+                    entries.push(body);
+                    at = next;
+                }
+                (at == rest.len()).then_some(Frame::BatchRequest { id, entries })
+            }
+            FrameKind::BatchReply => {
+                let (id, count, mut at) = decode_batch_preamble(rest)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let index = u16::from_be_bytes(rest.get(at..at + 2)?.try_into().ok()?);
+                    let status = BatchStatus::from_u8(*rest.get(at + 2)?)?;
+                    let (body, next) = take_entry_body(data, rest, at + 3)?;
+                    entries.push(BatchReplyEntry {
+                        index,
+                        status,
+                        body,
+                    });
+                    at = next;
+                }
+                (at == rest.len()).then_some(Frame::BatchReply { id, entries })
+            }
         }
     }
+}
+
+/// Writes `tag ‖ version ‖ id ‖ count`, the common batch-frame prefix.
+fn batch_preamble(buf: &mut BytesMut, kind: FrameKind, id: u32, count: usize) {
+    assert!(count > 0, "batch frames must carry at least one entry");
+    assert!(
+        count <= MAX_BATCH_ENTRIES,
+        "batch frames carry at most {MAX_BATCH_ENTRIES} entries"
+    );
+    buf.extend_from_slice(&[kind as u8, BATCH_VERSION]);
+    buf.extend_from_slice(&id.to_be_bytes());
+    buf.extend_from_slice(&(count as u16).to_be_bytes());
+}
+
+/// Parses `version ‖ id ‖ count` from the bytes after the tag; returns
+/// `(id, count, offset of the first entry)`.
+fn decode_batch_preamble(rest: &[u8]) -> Option<(u32, usize, usize)> {
+    if *rest.first()? != BATCH_VERSION {
+        return None; // unknown batch format version
+    }
+    let id = u32::from_be_bytes(rest.get(1..5)?.try_into().ok()?);
+    let count = u16::from_be_bytes(rest.get(5..7)?.try_into().ok()?) as usize;
+    if count == 0 || count > MAX_BATCH_ENTRIES {
+        return None;
+    }
+    Some((id, count, 7))
+}
+
+/// Reads a `len:u32 ‖ body` entry starting at `rest[at..]`; returns the
+/// body as a zero-copy slice of `data` and the offset past the entry.
+/// (`rest` is `data` minus the tag byte, so slice indexes shift by 1.)
+fn take_entry_body(data: &Bytes, rest: &[u8], at: usize) -> Option<(Bytes, usize)> {
+    let len = u32::from_be_bytes(rest.get(at..at + 4)?.try_into().ok()?) as usize;
+    let end = (at + 4).checked_add(len)?;
+    if end > rest.len() {
+        return None; // truncated entry
+    }
+    Some((data.slice(1 + at + 4..1 + end), end))
 }
 
 // MachineId's constructor is crate-private in amoeba-net by design; the
@@ -156,6 +354,102 @@ mod tests {
     }
 
     #[test]
+    fn batch_request_roundtrip() {
+        let f = Frame::BatchRequest {
+            id: 0xDEAD_BEEF,
+            entries: vec![
+                Bytes::from_static(b"first"),
+                Bytes::new(),
+                Bytes::from_static(b"third entry"),
+            ],
+        };
+        assert_eq!(Frame::decode(&f.encode()), Some(f));
+    }
+
+    #[test]
+    fn batch_reply_roundtrip_out_of_order() {
+        let f = Frame::BatchReply {
+            id: 7,
+            entries: vec![
+                BatchReplyEntry {
+                    index: 2,
+                    status: BatchStatus::Ok,
+                    body: Bytes::from_static(b"late"),
+                },
+                BatchReplyEntry {
+                    index: 0,
+                    status: BatchStatus::Rejected,
+                    body: Bytes::new(),
+                },
+                BatchReplyEntry {
+                    index: 1,
+                    status: BatchStatus::Ok,
+                    body: Bytes::from_static(b"ok"),
+                },
+            ],
+        };
+        assert_eq!(Frame::decode(&f.encode()), Some(f));
+    }
+
+    /// The example frames from `docs/PROTOCOL.md`, byte for byte. If
+    /// this test fails, either the encoder or the documentation is
+    /// wrong — fix whichever diverged.
+    #[test]
+    fn documented_example_frames() {
+        // PROTOCOL.md "Worked example": a 2-entry batch request with
+        // id 0x00000007 carrying bodies "hi" and "!".
+        let documented: &[u8] = &[
+            0x05, // tag: BATCH_REQUEST
+            0x01, // batch-format version 1
+            0x00, 0x00, 0x00, 0x07, // batch id 7
+            0x00, 0x02, // count 2
+            0x00, 0x00, 0x00, 0x02, // entry 0 length 2
+            b'h', b'i', // entry 0 body
+            0x00, 0x00, 0x00, 0x01, // entry 1 length 1
+            b'!', // entry 1 body
+        ];
+        let expect = Frame::BatchRequest {
+            id: 7,
+            entries: vec![Bytes::from_static(b"hi"), Bytes::from_static(b"!")],
+        };
+        assert_eq!(expect.encode(), Bytes::from_static(documented));
+        assert_eq!(Frame::decode(&Bytes::from_static(documented)), Some(expect));
+
+        // PROTOCOL.md "Worked example": the matching reply, entry 1
+        // first (answered out of order), entry 0 rejected.
+        let documented: &[u8] = &[
+            0x06, // tag: BATCH_REPLY
+            0x01, // batch-format version 1
+            0x00, 0x00, 0x00, 0x07, // batch id 7
+            0x00, 0x02, // count 2
+            0x00, 0x01, // entry index 1
+            0x00, // status: OK
+            0x00, 0x00, 0x00, 0x02, // length 2
+            b'o', b'k', // body
+            0x00, 0x00, // entry index 0
+            0x01, // status: REJECTED
+            0x00, 0x00, 0x00, 0x00, // length 0
+        ];
+        let expect = Frame::BatchReply {
+            id: 7,
+            entries: vec![
+                BatchReplyEntry {
+                    index: 1,
+                    status: BatchStatus::Ok,
+                    body: Bytes::from_static(b"ok"),
+                },
+                BatchReplyEntry {
+                    index: 0,
+                    status: BatchStatus::Rejected,
+                    body: Bytes::new(),
+                },
+            ],
+        };
+        assert_eq!(expect.encode(), Bytes::from_static(documented));
+        assert_eq!(Frame::decode(&Bytes::from_static(documented)), Some(expect));
+    }
+
+    #[test]
     fn malformed_frames_rejected() {
         assert_eq!(Frame::decode(&Bytes::new()), None);
         assert_eq!(Frame::decode(&Bytes::from_static(&[9, 1, 2])), None);
@@ -164,5 +458,81 @@ mod tests {
             Frame::decode(&Bytes::from_static(&[3, 0, 0, 0, 0, 0, 0, 0, 1])),
             None
         );
+    }
+
+    #[test]
+    fn hostile_batch_frames_rejected() {
+        let good = Frame::BatchRequest {
+            id: 1,
+            entries: vec![Bytes::from_static(b"abc")],
+        }
+        .encode();
+
+        // Unknown version byte.
+        let mut bad = good.to_vec();
+        bad[1] = 2;
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+
+        // Zero entry count.
+        let mut bad = good.to_vec();
+        bad[6] = 0;
+        bad[7] = 0;
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+
+        // Count larger than MAX_BATCH_ENTRIES.
+        let mut bad = good.to_vec();
+        bad[6] = 0xFF;
+        bad[7] = 0xFF;
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+
+        // Count claims more entries than the buffer holds.
+        let mut bad = good.to_vec();
+        bad[7] = 2;
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+
+        // Entry length overruns the buffer.
+        let mut bad = good.to_vec();
+        bad[11] = 0xFF;
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+
+        // Entry length ~u32::MAX must not overflow offset math.
+        let mut bad = good.to_vec();
+        bad[8] = 0xFF;
+        bad[9] = 0xFF;
+        bad[10] = 0xFF;
+        bad[11] = 0xFF;
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+
+        // Trailing garbage after the last entry.
+        let mut bad = good.to_vec();
+        bad.push(0);
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+
+        // Truncated preamble.
+        assert_eq!(Frame::decode(&Bytes::from_static(&[5, 1, 0, 0])), None);
+
+        // Reply with an unknown status byte.
+        let reply = Frame::BatchReply {
+            id: 1,
+            entries: vec![BatchReplyEntry {
+                index: 0,
+                status: BatchStatus::Ok,
+                body: Bytes::new(),
+            }],
+        }
+        .encode();
+        let mut bad = reply.to_vec();
+        bad[10] = 9; // status byte of entry 0
+        assert_eq!(Frame::decode(&Bytes::from(bad)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn encoding_empty_batch_panics() {
+        let _ = Frame::BatchRequest {
+            id: 0,
+            entries: Vec::new(),
+        }
+        .encode();
     }
 }

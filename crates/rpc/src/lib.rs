@@ -15,6 +15,12 @@
 //!   serves a port by broadcasting a LOCATE message; servers answer for
 //!   ports they have claimed. Results are cached, and the
 //!   [`Locator`]'s hit/miss counters feed the match-making benchmark.
+//! * **Batching** ([`Client::trans_batch`]) ships many request bodies
+//!   in one wire frame, and a **pipelined** client
+//!   ([`Client::with_pipeline`]) opportunistically coalesces concurrent
+//!   [`Client::trans`] calls into batch frames; servers explode batches
+//!   across their worker pool and fan replies back into one frame. The
+//!   wire layout is specified in `docs/PROTOCOL.md`.
 //!
 //! # Example
 //!
@@ -55,8 +61,8 @@ mod locate;
 pub mod matchmaker;
 mod server;
 
-pub use client::{Client, RpcConfig, RpcError};
-pub use frame::{Frame, FrameKind};
+pub use client::{BatchResult, Client, DemuxPolicy, PipelineConfig, RpcConfig, RpcError};
+pub use frame::{BatchReplyEntry, BatchStatus, Frame, FrameKind, BATCH_VERSION, MAX_BATCH_ENTRIES};
 pub use locate::Locator;
 pub use matchmaker::{Matchmaker, RendezvousNode};
-pub use server::{IncomingRequest, ServerPort};
+pub use server::{IncomingRequest, ServerPort, PUMP_TAKEOVER_TICK};

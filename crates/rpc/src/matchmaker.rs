@@ -14,6 +14,16 @@
 //! ```text
 //! server ── Post(P) ──► node[h(P)]  ◄── Locate(P) ── client
 //! ```
+//!
+//! # Demultiplexing
+//!
+//! A LOCATE query claims a fresh private reply port and matches the
+//! answering `LOCATE_REPLY` by `(reply port, queried port)` — the same
+//! private-reply-port discipline the RPC client uses for transactions
+//! (and, with a batch id added to the key, for batch transactions; see
+//! `docs/PROTOCOL.md`, "Demultiplexing keys"). Stale or foreign
+//! packets on the reply port are ignored, not errors: ports are cheap
+//! and noise is expected on a broadcast medium.
 
 use crate::frame::Frame;
 use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};

@@ -1,9 +1,48 @@
 //! The server side: GET on a port, loop over requests, reply.
+//!
+//! # Dispatch model
+//!
+//! A [`ServerPort`] is shared (via `Arc`) by every worker of a dispatch
+//! pool. Internally it separates **pumping** from **serving**:
+//!
+//! * At most one worker at a time is the *pump* (a try-lock decides):
+//!   it drains the endpoint's packet queue, decodes frames, and pushes
+//!   ready-to-serve [`IncomingRequest`]s onto an internal MPMC queue.
+//!   A single-frame request yields one entry; a `BATCH_REQUEST` frame
+//!   is **exploded** into one entry per batch element, so the elements
+//!   fan out across the whole pool.
+//! * Every other worker blocks on the ready queue (waking instantly
+//!   when the pump pushes) and periodically — every
+//!   [`PUMP_TAKEOVER_TICK`] — retries the pump lock, so the pump role
+//!   migrates when its holder goes off to execute a handler.
+//!
+//! # Batch fan-in
+//!
+//! Each exploded batch entry carries a shared accumulator.
+//! [`ServerPort::reply`] deposits the entry's reply body there instead
+//! of sending a frame; whichever worker deposits the **last** body
+//! encodes the complete `BATCH_REPLY` frame and transmits it. One frame
+//! in, one frame out, regardless of how many workers served the
+//! entries. If any entry is never replied to, no batch reply is sent
+//! and the client's retransmission machinery takes over — identical to
+//! the single-frame contract.
+//!
+//! The server loop also transparently answers broadcast LOCATE queries
+//! for its port, implementing the software match-making of §2.2.
 
-use crate::frame::Frame;
+use crate::frame::{BatchReplyEntry, BatchStatus, Frame};
 use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};
 use bytes::Bytes;
-use std::time::Duration;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a worker blocked on the ready queue retries the pump lock.
+/// Bounds the hand-off gap when the current pump leaves for a handler:
+/// packets sit undecoded for at most this long while blocked workers
+/// are available.
+pub const PUMP_TAKEOVER_TICK: Duration = Duration::from_millis(1);
 
 /// A request as seen by the server.
 #[derive(Debug, Clone)]
@@ -20,22 +59,108 @@ pub struct IncomingRequest {
     pub signature: Option<Port>,
     /// The (unforgeable) source machine.
     pub source: MachineId,
+    /// Present when this request arrived as one entry of a batch frame;
+    /// routes the reply into the batch's fan-in accumulator.
+    batch: Option<BatchSlot>,
+}
+
+impl IncomingRequest {
+    /// `(batch id, entry index)` when this request arrived inside a
+    /// `BATCH_REQUEST` frame, `None` for a single-frame request.
+    pub fn batch_context(&self) -> Option<(u32, u16)> {
+        self.batch.as_ref().map(|s| (s.acc.id, s.index))
+    }
+}
+
+/// One entry's handle into its batch's reply accumulator.
+#[derive(Debug, Clone)]
+struct BatchSlot {
+    acc: Arc<BatchAccumulator>,
+    index: u16,
+}
+
+/// Collects per-entry replies until the batch is complete.
+#[derive(Debug)]
+struct BatchAccumulator {
+    id: u32,
+    reply_to: Port,
+    slots: Mutex<BatchSlots>,
+}
+
+#[derive(Debug)]
+struct BatchSlots {
+    entries: Vec<Option<(BatchStatus, Bytes)>>,
+    filled: usize,
+}
+
+impl BatchAccumulator {
+    fn new(id: u32, reply_to: Port, count: usize) -> BatchAccumulator {
+        BatchAccumulator {
+            id,
+            reply_to,
+            slots: Mutex::new(BatchSlots {
+                entries: vec![None; count],
+                filled: 0,
+            }),
+        }
+    }
+
+    /// Deposits one entry's reply; returns the encoded `BATCH_REPLY`
+    /// frame when this was the last outstanding entry. Duplicate
+    /// deposits for an index are ignored (a retransmitted batch can
+    /// race its original through two workers).
+    fn submit(&self, index: u16, status: BatchStatus, body: Bytes) -> Option<Bytes> {
+        let mut slots = self.slots.lock();
+        let slot = slots.entries.get_mut(index as usize)?;
+        if slot.is_some() {
+            return None;
+        }
+        *slot = Some((status, body));
+        slots.filled += 1;
+        if slots.filled < slots.entries.len() {
+            return None;
+        }
+        let entries = slots
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (status, body) = s.clone().expect("all slots filled");
+                BatchReplyEntry {
+                    index: i as u16,
+                    status,
+                    body,
+                }
+            })
+            .collect();
+        Some(
+            Frame::BatchReply {
+                id: self.id,
+                entries,
+            }
+            .encode(),
+        )
+    }
 }
 
 /// A bound server port: the result of `GET(G)`.
 ///
-/// The server loop also transparently answers broadcast LOCATE queries
-/// for its port, implementing the software match-making of §2.2.
-///
 /// A `ServerPort` is safe to share (e.g. in an `Arc`) across a pool of
-/// dispatch workers: the endpoint's packet queue is an MPMC channel, so
-/// concurrent [`next_request`](Self::next_request) calls each claim a
-/// distinct request, and [`reply`](Self::reply) is a stateless send.
+/// dispatch workers: concurrent [`next_request`](Self::next_request)
+/// calls each claim a distinct request (batch entries included), and
+/// [`reply`](Self::reply) is stateless for single frames and
+/// internally synchronised for batch fan-in. See the module docs for
+/// the pump/serve split.
 #[derive(Debug)]
 pub struct ServerPort {
     endpoint: Endpoint,
     get_port: Port,
     wire_port: Port,
+    /// Decoded, ready-to-serve requests (MPMC: each claimed once).
+    ready_tx: Sender<IncomingRequest>,
+    ready_rx: Receiver<IncomingRequest>,
+    /// Held by the one worker currently draining the endpoint.
+    pump: Mutex<()>,
 }
 
 // The worker-pool dispatch engine shares one bound port across
@@ -50,10 +175,14 @@ impl ServerPort {
     /// returns the bound server.
     pub fn bind(endpoint: Endpoint, get_port: Port) -> ServerPort {
         let wire_port = endpoint.claim(get_port);
+        let (ready_tx, ready_rx) = unbounded();
         ServerPort {
             endpoint,
             get_port,
             wire_port,
+            ready_tx,
+            ready_rx,
+            pump: Mutex::new(()),
         }
     }
 
@@ -80,9 +209,9 @@ impl ServerPort {
     /// [`RecvError::Disconnected`] if the endpoint is detached.
     pub fn next_request(&self) -> Result<IncomingRequest, RecvError> {
         loop {
-            let pkt = self.endpoint.recv()?;
-            if let Some(req) = self.process(pkt) {
-                return Ok(req);
+            match self.next_request_deadline(None) {
+                Err(RecvError::Timeout) => continue, // pump tick, not a real deadline
+                other => return other,
             }
         }
     }
@@ -93,49 +222,139 @@ impl ServerPort {
     /// [`RecvError::Timeout`] on expiry; [`RecvError::Disconnected`] if
     /// detached.
     pub fn next_request_timeout(&self, timeout: Duration) -> Result<IncomingRequest, RecvError> {
-        let deadline = std::time::Instant::now() + timeout;
+        self.next_request_deadline(Some(Instant::now() + timeout))
+    }
+
+    /// The pump/serve loop shared by both receive paths. `None` means
+    /// "no deadline" (but the caller must treat a `Timeout` result as
+    /// "keep looping": the pump still wakes periodically).
+    fn next_request_deadline(
+        &self,
+        deadline: Option<Instant>,
+    ) -> Result<IncomingRequest, RecvError> {
         loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
-                return Err(RecvError::Timeout);
+            // Serve decoded work first — the pump may have queued
+            // several entries from one batch frame.
+            match self.ready_rx.try_recv() {
+                Ok(req) => return Ok(req),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => unreachable!("we hold a ready sender"),
             }
-            let pkt = self.endpoint.recv_timeout(remaining)?;
-            if let Some(req) = self.process(pkt) {
-                return Ok(req);
+            let remaining = match deadline {
+                Some(d) => {
+                    let r = d.saturating_duration_since(Instant::now());
+                    if r.is_zero() {
+                        return Err(RecvError::Timeout);
+                    }
+                    r
+                }
+                // Bounded so an undeadlined pump still re-checks the
+                // ready queue now and then; next_request() loops on it.
+                None => Duration::from_secs(60),
+            };
+            if let Some(_pumping) = self.pump.try_lock() {
+                // The previous pump may have pushed entries between our
+                // ready-queue check above and winning the lock; serve
+                // those before blocking on the wire (only a lock holder
+                // can push, so this check cannot race).
+                if let Ok(req) = self.ready_rx.try_recv() {
+                    return Ok(req);
+                }
+                // We are the pump: drain the wire into the ready queue.
+                match self.endpoint.recv_timeout(remaining) {
+                    Ok(pkt) => self.process(pkt),
+                    Err(RecvError::Timeout) => {
+                        if deadline.is_some() {
+                            return Err(RecvError::Timeout);
+                        }
+                    }
+                    Err(RecvError::Disconnected) => return Err(RecvError::Disconnected),
+                }
+            } else {
+                // Someone else pumps; wait for them to feed the ready
+                // queue, but retry the pump role periodically in case
+                // they left for a handler.
+                match self
+                    .ready_rx
+                    .recv_timeout(remaining.min(PUMP_TAKEOVER_TICK))
+                {
+                    Ok(req) => return Ok(req),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("we hold a ready sender")
+                    }
+                }
             }
         }
     }
 
-    fn process(&self, pkt: amoeba_net::Packet) -> Option<IncomingRequest> {
+    /// Decodes one packet into zero or more ready requests.
+    fn process(&self, pkt: amoeba_net::Packet) {
         match Frame::decode(&pkt.payload) {
             Some(Frame::Request(body)) if pkt.header.dest == self.wire_port => {
-                Some(IncomingRequest {
+                let _ = self.ready_tx.send(IncomingRequest {
                     payload: body,
                     reply_to: pkt.header.reply,
-                    signature: (!pkt.header.signature.is_null()).then_some(pkt.header.signature),
+                    signature: signature_of(&pkt),
                     source: pkt.source,
-                })
+                    batch: None,
+                });
             }
-            Some(Frame::Locate(port)) if pkt.header.dest.is_broadcast() => {
-                // Someone is looking for a port; answer if it is ours.
-                if port == self.wire_port && !pkt.header.reply.is_null() {
-                    let reply = Frame::LocateReply(self.wire_port, self.endpoint.id()).encode();
-                    self.endpoint.send(Header::to(pkt.header.reply), reply);
+            Some(Frame::BatchRequest { id, entries }) if pkt.header.dest == self.wire_port => {
+                // One-way batches (null reply port) are dispatched with
+                // no accumulator: every entry is served, nothing is
+                // sent back — mirroring one-way single frames.
+                let acc = (!pkt.header.reply.is_null())
+                    .then(|| Arc::new(BatchAccumulator::new(id, pkt.header.reply, entries.len())));
+                for (index, body) in entries.into_iter().enumerate() {
+                    let _ = self.ready_tx.send(IncomingRequest {
+                        payload: body,
+                        reply_to: pkt.header.reply,
+                        signature: signature_of(&pkt),
+                        source: pkt.source,
+                        batch: acc.as_ref().map(|acc| BatchSlot {
+                            acc: Arc::clone(acc),
+                            index: index as u16,
+                        }),
+                    });
                 }
-                None
             }
-            _ => None,
+            // Someone broadcast a LOCATE for our port; answer it.
+            Some(Frame::Locate(port))
+                if pkt.header.dest.is_broadcast()
+                    && port == self.wire_port
+                    && !pkt.header.reply.is_null() =>
+            {
+                let reply = Frame::LocateReply(self.wire_port, self.endpoint.id()).encode();
+                self.endpoint.send(Header::to(pkt.header.reply), reply);
+            }
+            _ => {}
         }
     }
 
-    /// Sends a reply for `request`.
+    /// Sends a reply for `request`. For a batch entry this deposits the
+    /// body in the batch's accumulator; the worker depositing the final
+    /// entry transmits the whole `BATCH_REPLY` frame.
     pub fn reply(&self, request: &IncomingRequest, body: Bytes) {
-        if request.reply_to.is_null() {
-            return; // one-way request
+        match &request.batch {
+            Some(slot) => {
+                if let Some(frame) = slot.acc.submit(slot.index, BatchStatus::Ok, body) {
+                    self.endpoint.send(Header::to(slot.acc.reply_to), frame);
+                }
+            }
+            None => {
+                if request.reply_to.is_null() {
+                    return; // one-way request
+                }
+                self.endpoint
+                    .send(Header::to(request.reply_to), Frame::Reply(body).encode());
+            }
         }
-        self.endpoint
-            .send(Header::to(request.reply_to), Frame::Reply(body).encode());
     }
+}
+
+fn signature_of(pkt: &amoeba_net::Packet) -> Option<Port> {
+    (!pkt.header.signature.is_null()).then_some(pkt.header.signature)
 }
 
 #[cfg(test)]
@@ -159,6 +378,7 @@ mod tests {
         let t = std::thread::spawn(move || {
             let req = server.next_request().unwrap();
             assert_eq!(&req.payload[..], b"ping");
+            assert!(req.batch_context().is_none());
             server.reply(&req, Bytes::from_static(b"pong"));
         });
         let client = Client::with_config(net.attach_open(), fast());
@@ -246,6 +466,51 @@ mod tests {
         }
         let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
         assert_eq!(total, 8, "each request claimed by exactly one worker");
+    }
+
+    #[test]
+    fn batch_entries_fan_out_across_workers_and_fan_in_one_reply() {
+        use std::sync::Arc;
+        let net = Network::new();
+        let server = Arc::new(ServerPort::bind(
+            net.attach_open(),
+            Port::new(0x77).unwrap(),
+        ));
+        let p = server.put_port();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let mut served = 0u32;
+                    while let Ok(req) = server.next_request_timeout(Duration::from_millis(300)) {
+                        assert!(req.batch_context().is_some());
+                        server.reply(&req, req.payload.clone());
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        );
+        let before = net.stats().snapshot();
+        let bodies: Vec<Bytes> = (0..12u8).map(|i| Bytes::from(vec![i])).collect();
+        let results = client.trans_batch(p, bodies.clone()).unwrap();
+        for (expect, got) in bodies.iter().zip(&results) {
+            assert_eq!(got.as_ref().unwrap(), expect);
+        }
+        assert_eq!(
+            net.stats().snapshot().packets_sent - before.packets_sent,
+            2,
+            "12 entries, 1 frame each way"
+        );
+        let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 12, "every batch entry claimed exactly once");
     }
 
     #[test]

@@ -326,6 +326,50 @@ impl ServiceClient {
         }
     }
 
+    /// Invokes many commands at `port` in **one wire frame**
+    /// (`BATCH_REQUEST`; see `docs/PROTOCOL.md`), returning one result
+    /// per call in request order.
+    ///
+    /// The server dispatches the entries across its worker pool and
+    /// fans the replies back into a single frame, so a batch of N calls
+    /// costs 2 frames on the wire instead of 2·N. Entries fail
+    /// independently: a bad capability in one entry yields
+    /// [`ClientError::Status`] for that entry only.
+    ///
+    /// # Errors
+    /// A top-level [`ClientError::Rpc`] if the batch itself could not
+    /// be transacted (timeout, detached endpoint).
+    pub fn call_batch(
+        &self,
+        port: Port,
+        calls: Vec<(Capability, u32, Bytes)>,
+    ) -> Result<Vec<Result<Bytes, ClientError>>, ClientError> {
+        let bodies = calls
+            .into_iter()
+            .map(|(cap, command, params)| {
+                Request {
+                    cap,
+                    command,
+                    params,
+                }
+                .encode()
+            })
+            .collect();
+        let results = self.rpc.trans_batch(port, bodies)?;
+        Ok(results
+            .into_iter()
+            .map(|entry| {
+                let raw = entry.map_err(ClientError::Rpc)?;
+                let reply = Reply::decode(&raw).ok_or(ClientError::Malformed)?;
+                if reply.status == Status::Ok {
+                    Ok(reply.body)
+                } else {
+                    Err(ClientError::Status(reply.status))
+                }
+            })
+            .collect())
+    }
+
     /// Asks the server to fabricate a sub-capability with exactly `keep`
     /// rights ([`cmd::STD_RESTRICT`](crate::proto::cmd::STD_RESTRICT)).
     ///

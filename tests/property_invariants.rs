@@ -267,3 +267,105 @@ proptest! {
         runner.stop();
     }
 }
+
+// ---------------------------------------------------------------------
+// Batch wire-frame invariants (docs/PROTOCOL.md)
+// ---------------------------------------------------------------------
+
+use amoeba::rpc::{BatchReplyEntry, BatchStatus, Frame};
+use bytes::Bytes;
+
+fn body_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..48)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every well-formed batch-request frame survives an encode/decode
+    /// round trip bit-exactly.
+    #[test]
+    fn batch_request_frames_roundtrip(
+        id: u32,
+        entries in proptest::collection::vec(body_strategy(), 1..24),
+    ) {
+        let frame = Frame::BatchRequest {
+            id,
+            entries: entries.into_iter().map(Bytes::from).collect(),
+        };
+        prop_assert_eq!(Frame::decode(&frame.encode()), Some(frame));
+    }
+
+    /// Batch-reply frames round trip including out-of-order entry
+    /// indexes and the REJECTED status.
+    #[test]
+    fn batch_reply_frames_roundtrip(
+        id: u32,
+        raw in proptest::collection::vec((any::<u16>(), any::<u8>(), body_strategy()), 1..24),
+    ) {
+        let entries: Vec<BatchReplyEntry> = raw
+            .into_iter()
+            .map(|(index, status, body)| BatchReplyEntry {
+                index,
+                status: if status % 2 == 0 { BatchStatus::Ok } else { BatchStatus::Rejected },
+                body: Bytes::from(body),
+            })
+            .collect();
+        let frame = Frame::BatchReply { id, entries };
+        prop_assert_eq!(Frame::decode(&frame.encode()), Some(frame));
+    }
+
+    /// No strict prefix of a batch frame decodes (the layout is
+    /// length-prefixed and self-delimiting), and neither does a frame
+    /// with trailing garbage; truncation can never smuggle a shorter
+    /// valid frame through.
+    #[test]
+    fn truncated_or_padded_batch_frames_rejected(
+        id: u32,
+        entries in proptest::collection::vec(body_strategy(), 1..8),
+    ) {
+        let wire = Frame::BatchRequest {
+            id,
+            entries: entries.into_iter().map(Bytes::from).collect(),
+        }
+        .encode();
+        for cut in 0..wire.len() {
+            prop_assert_eq!(Frame::decode(&wire.slice(..cut)), None, "prefix {cut} decoded");
+        }
+        let mut padded = wire.to_vec();
+        padded.push(0);
+        prop_assert_eq!(Frame::decode(&Bytes::from(padded)), None);
+    }
+
+    /// Arbitrary (hostile) bytes never panic the decoder — they decode
+    /// to some frame or to None.
+    #[test]
+    fn hostile_frames_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&Bytes::from(data));
+    }
+
+    /// Hostile mutations of a valid batch frame's preamble (version,
+    /// count, entry lengths) are rejected without panicking.
+    #[test]
+    fn mutated_batch_preambles_rejected_or_consistent(
+        id: u32,
+        entries in proptest::collection::vec(body_strategy(), 1..6),
+        at in 0usize..8,
+        xor in 1u8..=255,
+    ) {
+        let wire = Frame::BatchRequest {
+            id,
+            entries: entries.into_iter().map(Bytes::from).collect(),
+        }
+        .encode();
+        let mut mutated = wire.to_vec();
+        let at = at.min(mutated.len() - 1);
+        mutated[at] ^= xor;
+        // Must not panic; flipping id bytes still decodes (ids are
+        // opaque), anything else either decodes consistently or is
+        // dropped.
+        if let Some(Frame::BatchRequest { entries, .. }) = Frame::decode(&Bytes::from(mutated)) {
+            prop_assert!(!entries.is_empty());
+        }
+    }
+}

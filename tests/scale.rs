@@ -312,3 +312,223 @@ fn worker_pool_free_list_reuse_is_exclusive() {
     }
     runner.stop();
 }
+
+#[test]
+fn mixed_batched_and_single_traffic_hammer() {
+    // Four clients — two speaking single frames, two speaking batch
+    // frames — hammer one 4-worker FlatFsServer at once. Batch entries
+    // interleave with single requests in the same worker pool, and a
+    // deliberately forged entry inside each batch must fail alone
+    // without poisoning its neighbours.
+    use amoeba::flatfs::ops;
+    use amoeba::server::proto::null_cap;
+    use amoeba::server::wire;
+    use bytes::Bytes;
+
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 6;
+    const BATCH: usize = 8;
+
+    let net = Network::new();
+    let runner = ServiceRunner::spawn_open_workers(
+        &net,
+        FlatFsServer::new(SchemeKind::Commutative),
+        WORKERS,
+    );
+    let port = runner.put_port();
+
+    let mut handles = Vec::new();
+    for t in 0..2usize {
+        // Batched clients.
+        let net = net.clone();
+        handles.push(std::thread::spawn(move || {
+            let svc = ServiceClient::open(&net);
+            for round in 0..ROUNDS {
+                // One batch: create BATCH files.
+                let creates = (0..BATCH)
+                    .map(|_| (null_cap(), ops::CREATE, Bytes::new()))
+                    .collect();
+                let caps: Vec<Capability> = svc
+                    .call_batch(port, creates)
+                    .unwrap()
+                    .into_iter()
+                    .map(|r| wire::Reader::new(&r.unwrap()).cap().unwrap())
+                    .collect();
+
+                // One batch: write every file, with a forged-capability
+                // entry slipped into the middle.
+                let mut writes: Vec<(Capability, u32, Bytes)> = caps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cap)| {
+                        let tag = format!("b{t}-r{round}-f{i}");
+                        (
+                            *cap,
+                            ops::WRITE,
+                            wire::Writer::new().u64(0).bytes(tag.as_bytes()).finish(),
+                        )
+                    })
+                    .collect();
+                let forged = caps[0].with_check(caps[0].check ^ 0x0F0F);
+                writes.insert(
+                    BATCH / 2,
+                    (
+                        forged,
+                        ops::WRITE,
+                        wire::Writer::new().u64(0).bytes(b"evil").finish(),
+                    ),
+                );
+                let results = svc.call_batch(port, writes).unwrap();
+                for (i, r) in results.iter().enumerate() {
+                    if i == BATCH / 2 {
+                        assert!(
+                            matches!(r, Err(ClientError::Status(Status::Forged))),
+                            "forged batch entry must fail alone: {r:?}"
+                        );
+                    } else {
+                        assert!(r.is_ok(), "honest entry {i} failed: {r:?}");
+                    }
+                }
+
+                // One batch: read back and verify, then destroy.
+                let reads = caps
+                    .iter()
+                    .map(|cap| (*cap, ops::READ, wire::Writer::new().u64(0).u32(64).finish()))
+                    .collect();
+                for (i, r) in svc.call_batch(port, reads).unwrap().into_iter().enumerate() {
+                    let expect = format!("b{t}-r{round}-f{i}");
+                    assert_eq!(&r.unwrap()[..], expect.as_bytes());
+                }
+                let destroys = caps
+                    .iter()
+                    .map(|cap| (*cap, ops::DESTROY, Bytes::new()))
+                    .collect();
+                for r in svc.call_batch(port, destroys).unwrap() {
+                    r.unwrap();
+                }
+            }
+        }));
+    }
+    for t in 0..2usize {
+        // Single-frame clients, interleaving with the batches.
+        let net = net.clone();
+        handles.push(std::thread::spawn(move || {
+            let fs = FlatFsClient::open(&net, port);
+            for round in 0..ROUNDS * 2 {
+                let cap = fs.create().unwrap();
+                let tag = format!("s{t}-r{round}");
+                fs.write(&cap, 0, tag.as_bytes()).unwrap();
+                assert_eq!(fs.read(&cap, 0, 64).unwrap(), tag.as_bytes());
+                fs.destroy(&cap).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    runner.stop();
+}
+
+#[test]
+fn batched_metered_create_is_4x_cheaper_in_frames() {
+    // The acceptance bar for the batching tentpole: a 16-entry batched
+    // metered-create round must put ≥ 4× fewer frames on the wire than
+    // 16 sequential single-frame creates — counted with the net stats,
+    // nested bank traffic included (the file server's embedded bank
+    // client is pipelined, so the pool workers' payment transfers
+    // coalesce too).
+    use amoeba::flatfs::ops;
+    use amoeba::rpc::{DemuxPolicy, PipelineConfig};
+    use amoeba::server::proto::null_cap;
+    use amoeba::server::wire;
+    use std::time::Duration;
+
+    const CALLS: usize = 16;
+
+    let net = Network::new();
+    let (bank_server, treasury_rx) =
+        BankServer::new(vec![Currency::convertible("dollar", 1)], SchemeKind::OneWay);
+    let bank_runner = ServiceRunner::spawn_open(&net, bank_server);
+    let bank_port = bank_runner.put_port();
+    let treasury = treasury_rx.recv().unwrap();
+    let bank = BankClient::open(&net, bank_port);
+    let server_account = bank.open_account().unwrap();
+    let wallet = bank.open_account().unwrap();
+    bank.mint(&treasury, &wallet, CurrencyId(0), 10_000)
+        .unwrap();
+
+    let quota_bank = BankClient::with_service(
+        ServiceClient::with_client(
+            Client::with_config(
+                net.attach_open(),
+                RpcConfig {
+                    timeout: Duration::from_secs(2),
+                    attempts: 3,
+                },
+            )
+            .with_demux_policy(DemuxPolicy {
+                contended_tick: Duration::from_micros(250),
+                idle_tick: DemuxPolicy::DEFAULT_IDLE_TICK,
+            })
+            .with_pipeline(PipelineConfig {
+                flush_window: Duration::from_millis(10),
+                max_entries: 16,
+            }),
+        ),
+        bank_port,
+    );
+    // One worker per batch entry and a generous flush window: all 16
+    // payment transfers run concurrently and coalesce reliably even on
+    // a loaded single-core CI host, keeping the ≥4× gate deterministic
+    // (worst case needs only ≤7 coalesced bank rounds; this setup
+    // produces 1-2).
+    let runner = ServiceRunner::spawn_open_workers(
+        &net,
+        FlatFsServer::with_quota(
+            SchemeKind::OneWay,
+            QuotaPolicy {
+                bank: quota_bank,
+                server_account,
+                currency: CurrencyId(0),
+                price_per_kib: 1,
+            },
+        ),
+        16,
+    );
+    let port = runner.put_port();
+    let svc = ServiceClient::open(&net);
+    let fs = FlatFsClient::open(&net, port);
+    net.set_latency(Duration::from_millis(2));
+
+    // Unbatched: 16 sequential pre-paid creates.
+    let before = net.stats().snapshot();
+    let mut caps = Vec::new();
+    for _ in 0..CALLS {
+        caps.push(fs.create_paid(&wallet, 1).unwrap());
+    }
+    let unbatched = (net.stats().snapshot() - before).packets_sent;
+    for cap in caps.drain(..) {
+        fs.destroy(&cap).unwrap();
+    }
+
+    // Batched: the same 16 creates in one BATCH_REQUEST frame.
+    let before = net.stats().snapshot();
+    let create = wire::Writer::new().cap(&wallet).u64(1).finish();
+    let calls = (0..CALLS)
+        .map(|_| (null_cap(), ops::CREATE, create.clone()))
+        .collect();
+    let results = svc.call_batch(port, calls).unwrap();
+    let batched = (net.stats().snapshot() - before).packets_sent;
+    for r in results {
+        let cap = wire::Reader::new(&r.unwrap()).cap().unwrap();
+        fs.destroy(&cap).unwrap();
+    }
+    net.set_latency(Duration::ZERO);
+
+    assert!(
+        batched * 4 <= unbatched,
+        "batched metered-create must be ≥4x cheaper in frames: batched={batched} unbatched={unbatched}"
+    );
+    runner.stop();
+    bank_runner.stop();
+}

@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset this workspace's property tests use: the
-//! [`Strategy`] trait with range / tuple / `Just` / `prop_map` /
+//! [`Strategy`](strategy::Strategy) trait with range / tuple / `Just` / `prop_map` /
 //! `prop_oneof!` / `collection::vec` combinators, `any::<T>()` for the
 //! integer primitives, and the `proptest!` / `prop_assert*!` /
 //! `prop_assume!` macros. Each test case draws from a **deterministic
@@ -56,7 +56,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use rand::Rng;
@@ -180,7 +180,7 @@ pub mod strategy {
     );
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait.
+/// `any::<T>()` and the `Arbitrary` trait.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
@@ -265,7 +265,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
