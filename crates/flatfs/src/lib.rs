@@ -242,6 +242,13 @@ impl Service for FlatFsServer {
         self.table.set_port(put_port);
     }
 
+    fn bind_shard_range(&mut self, owner: usize, replicas: usize) {
+        // As replica `owner` of a sharded placement group, only mint
+        // file numbers in the owned shard range so every capability's
+        // object number names the replica that stores the file.
+        self.table.set_owned_shards(owner, replicas);
+    }
+
     fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
         if let Some(reply) = self.table.handle_std(req) {
             return reply;

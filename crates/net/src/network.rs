@@ -46,6 +46,10 @@ use std::time::{Duration, Instant};
 struct MachineEntry {
     sender: Sender<Packet>,
     nic: Arc<dyn NetworkInterface>,
+    /// The machine's advertised load gauge (e.g. in-flight requests),
+    /// shared with the machine's [`Endpoint`]. Placement policies read
+    /// it when choosing among service replicas.
+    load: Arc<AtomicU32>,
 }
 
 struct NetworkInner {
@@ -107,11 +111,13 @@ impl Network {
     pub fn attach(&self, nic: Arc<dyn NetworkInterface>) -> Endpoint {
         let id = MachineId(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = unbounded();
+        let load = Arc::new(AtomicU32::new(0));
         self.inner.machines.write().insert(
             id,
             MachineEntry {
                 sender: tx,
                 nic: Arc::clone(&nic),
+                load: Arc::clone(&load),
             },
         );
         Endpoint {
@@ -119,6 +125,7 @@ impl Network {
             net: self.clone(),
             nic,
             receiver: rx,
+            load,
         }
     }
 
@@ -185,6 +192,16 @@ impl Network {
         &self.inner.stats
     }
 
+    /// The advertised load gauge of an attached machine, or `None` if
+    /// the machine has detached. See [`Endpoint::set_load`].
+    pub fn load_of(&self, id: MachineId) -> Option<u32> {
+        self.inner
+            .machines
+            .read()
+            .get(&id)
+            .map(|e| e.load.load(Ordering::Relaxed))
+    }
+
     /// Number of currently attached machines.
     pub fn machine_count(&self) -> usize {
         self.inner.machines.read().len()
@@ -217,6 +234,12 @@ impl Network {
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
         if header.dest.is_broadcast() {
             stats.broadcasts_sent.fetch_add(1, Ordering::Relaxed);
+            // Discovery traffic (LOCATE et al.) is accounted separately
+            // so placement benchmarks can report its overhead honestly.
+            stats.broadcast_bytes_sent.fetch_add(
+                Packet::WIRE_HEADER_BYTES + payload.len() as u64,
+                Ordering::Relaxed,
+            );
         }
 
         let drop_rate = *self.inner.drop_rate.lock();
@@ -251,6 +274,11 @@ impl Network {
         for (&id, entry) in machines.iter() {
             if id == from {
                 continue; // interfaces do not hear their own frames
+            }
+            // A machine-targeted frame is addressed, not offered: other
+            // machines never see it (broadcast ignores the hint).
+            if !header.dest.is_broadcast() && header.target.is_some_and(|t| t != id) {
+                continue;
             }
             if !header.dest.is_broadcast() && !entry.nic.accepts(header.dest) {
                 stats.packets_filtered.fetch_add(1, Ordering::Relaxed);
@@ -318,6 +346,7 @@ pub struct Endpoint {
     net: Network,
     nic: Arc<dyn NetworkInterface>,
     receiver: Receiver<Packet>,
+    load: Arc<AtomicU32>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -340,6 +369,33 @@ impl Endpoint {
     /// The machine's network interface.
     pub fn nic(&self) -> &Arc<dyn NetworkInterface> {
         &self.nic
+    }
+
+    /// Sets this machine's advertised load gauge (an arbitrary
+    /// unit — the dispatch engine publishes its in-flight request
+    /// count). Placement policies compare gauges across the replicas
+    /// of a service; see [`Network::load_of`].
+    pub fn set_load(&self, load: u32) {
+        self.load.store(load, Ordering::Relaxed);
+    }
+
+    /// Increments the load gauge (a request entered service).
+    pub fn add_load(&self, delta: u32) {
+        self.load.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Decrements the load gauge, saturating at zero.
+    pub fn sub_load(&self, delta: u32) {
+        let _ = self
+            .load
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(delta))
+            });
+    }
+
+    /// The current value of this machine's load gauge.
+    pub fn load(&self) -> u32 {
+        self.load.load(Ordering::Relaxed)
     }
 
     /// Registers interest in `port` (a GET in the paper's terms).
@@ -602,6 +658,94 @@ mod tests {
         assert_eq!(s.packets_sent, 1);
         assert_eq!(s.packets_delivered, 0);
         assert_eq!(s.packets_filtered, 2);
+    }
+
+    #[test]
+    fn targeted_frame_reaches_only_the_named_claimer() {
+        // Two machines claim the same port (service replicas); a
+        // machine-targeted frame must reach the named one only.
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        let c = net.attach_open();
+        b.claim(port(7));
+        c.claim(port(7));
+
+        // Untargeted: associative addressing delivers to both claimers.
+        assert_eq!(a.send(Header::to(port(7)), Bytes::new()), 2);
+        assert!(b.try_recv().is_some());
+        assert!(c.try_recv().is_some());
+
+        // Targeted: only machine b hears it.
+        assert_eq!(
+            a.send(Header::to(port(7)).targeted(b.id()), Bytes::new()),
+            1
+        );
+        assert!(b.try_recv().is_some());
+        assert!(c.try_recv().is_none());
+    }
+
+    #[test]
+    fn target_cannot_bypass_port_filtering() {
+        // Targeting a machine that never claimed the port delivers
+        // nothing: the interface's accept check still gates.
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        assert_eq!(
+            a.send(Header::to(port(9)).targeted(b.id()), Bytes::new()),
+            0
+        );
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn broadcast_ignores_target_hint() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        let c = net.attach_open();
+        let n = a.send(Header::to(Port::BROADCAST).targeted(b.id()), Bytes::new());
+        assert_eq!(n, 2, "broadcast still reaches every other machine");
+        assert!(b.try_recv().is_some());
+        assert!(c.try_recv().is_some());
+    }
+
+    #[test]
+    fn load_gauge_is_shared_and_saturating() {
+        let net = Network::new();
+        let a = net.attach_open();
+        assert_eq!(net.load_of(a.id()), Some(0));
+        a.add_load(3);
+        assert_eq!(a.load(), 3);
+        assert_eq!(net.load_of(a.id()), Some(3));
+        a.sub_load(5);
+        assert_eq!(net.load_of(a.id()), Some(0), "gauge saturates at zero");
+        a.set_load(7);
+        assert_eq!(net.load_of(a.id()), Some(7));
+        let id = a.id();
+        drop(a);
+        assert_eq!(net.load_of(id), None, "detached machines have no gauge");
+    }
+
+    #[test]
+    fn broadcast_bytes_are_accounted_separately() {
+        let net = Network::new();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(3));
+        a.send(Header::to(port(3)), Bytes::from_static(b"req"));
+        let s = net.stats().snapshot();
+        assert_eq!(s.broadcast_bytes_sent, 0, "unicast is not discovery");
+
+        a.send(Header::to(Port::BROADCAST), Bytes::from_static(b"locate!"));
+        let s = net.stats().snapshot();
+        assert_eq!(
+            s.broadcast_bytes_sent,
+            Packet::WIRE_HEADER_BYTES + 7,
+            "broadcast frames charge header + payload to discovery"
+        );
+        assert!(s.bytes_sent > s.broadcast_bytes_sent, "subset of total");
     }
 
     #[test]

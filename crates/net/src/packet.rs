@@ -25,6 +25,15 @@ pub struct Header {
     /// F-box transmits `F(S)`, which receivers compare with the sender's
     /// published `F(S)`.
     pub signature: Port,
+    /// Optional machine hint: when set, the network delivers the frame
+    /// only to this machine (if its interface accepts `dest`). This is
+    /// the §2.2 software simulation of associative addressing — a
+    /// kernel's `(port, machine-number)` cache turns a logical port
+    /// into a machine-addressed frame — and what lets several replicas
+    /// serve one put-port without every replica hearing every request.
+    /// `None` keeps the pure associative behaviour: every claimer of
+    /// `dest` receives the frame. Broadcast destinations ignore it.
+    pub target: Option<MachineId>,
 }
 
 impl Header {
@@ -34,6 +43,7 @@ impl Header {
             dest,
             reply: Port::NULL,
             signature: Port::NULL,
+            target: None,
         }
     }
 
@@ -46,6 +56,13 @@ impl Header {
     /// Sets the signature field (builder style).
     pub fn with_signature(mut self, signature: Port) -> Header {
         self.signature = signature;
+        self
+    }
+
+    /// Restricts delivery to one machine (builder style) — the cached
+    /// `(port, machine)` pair of a LOCATE answer turned into routing.
+    pub fn targeted(mut self, machine: MachineId) -> Header {
+        self.target = Some(machine);
         self
     }
 }
@@ -66,10 +83,11 @@ pub struct Packet {
 
 impl Packet {
     /// Fixed per-frame overhead charged by the wire-byte accounting:
-    /// three 8-byte port fields (destination, reply, signature) plus the
-    /// 4-byte source machine stamp. Every frame pays this regardless of
+    /// three 8-byte port fields (destination, reply, signature), the
+    /// 4-byte source machine stamp, and the 4-byte machine-hint field
+    /// (null when untargeted). Every frame pays this regardless of
     /// payload size — it is exactly what request batching amortises.
-    pub const WIRE_HEADER_BYTES: u64 = 3 * 8 + 4;
+    pub const WIRE_HEADER_BYTES: u64 = 3 * 8 + 4 + 4;
 
     /// The simulated arrival time of this packet.
     pub fn deliver_at(&self) -> Instant {

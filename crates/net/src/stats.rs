@@ -17,6 +17,7 @@ pub struct NetworkStats {
     pub(crate) packets_filtered: AtomicU64,
     pub(crate) bytes_sent: AtomicU64,
     pub(crate) payload_bytes_sent: AtomicU64,
+    pub(crate) broadcast_bytes_sent: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetworkStats`].
@@ -43,6 +44,11 @@ pub struct StatsSnapshot {
     /// Payload bytes alone in send operations (excluding the per-frame
     /// header overhead).
     pub payload_bytes_sent: u64,
+    /// Wire bytes (header + payload) of broadcast-destination frames —
+    /// the LOCATE discovery traffic. A subset of `bytes_sent`, split
+    /// out so placement benchmarks can report discovery overhead
+    /// separately from request/reply traffic.
+    pub broadcast_bytes_sent: u64,
 }
 
 impl NetworkStats {
@@ -56,6 +62,7 @@ impl NetworkStats {
             packets_filtered: self.packets_filtered.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             payload_bytes_sent: self.payload_bytes_sent.load(Ordering::Relaxed),
+            broadcast_bytes_sent: self.broadcast_bytes_sent.load(Ordering::Relaxed),
         }
     }
 }
@@ -72,6 +79,7 @@ impl std::ops::Sub for StatsSnapshot {
             packets_filtered: self.packets_filtered - rhs.packets_filtered,
             bytes_sent: self.bytes_sent - rhs.bytes_sent,
             payload_bytes_sent: self.payload_bytes_sent - rhs.payload_bytes_sent,
+            broadcast_bytes_sent: self.broadcast_bytes_sent - rhs.broadcast_bytes_sent,
         }
     }
 }

@@ -43,7 +43,7 @@
 //! produces.
 
 use crate::frame::{BatchStatus, Frame, MAX_BATCH_ENTRIES};
-use amoeba_net::{Endpoint, Header, Packet, Port, RecvError};
+use amoeba_net::{Endpoint, Header, MachineId, Packet, Port, RecvError};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -287,6 +287,33 @@ impl Client {
         }
     }
 
+    /// Performs a blocking transaction addressed to one specific
+    /// machine: the frame is delivered only to `machine` (if it claims
+    /// `dest`), not to every claimer of the port.
+    ///
+    /// This is how a placement-aware caller turns a cached
+    /// `(port, machine)` LOCATE answer into routing when several
+    /// replicas serve one put-port. Targeted calls never share a
+    /// pipeline frame — the batch would have a single destination
+    /// machine, defeating the placement choice of its other entries.
+    ///
+    /// # Errors
+    /// As for [`trans`](Self::trans); in particular a dead or detached
+    /// `machine` surfaces as [`RpcError::Timeout`], which failover
+    /// callers treat as "invalidate this replica and try the next".
+    pub fn trans_to(
+        &self,
+        dest: Port,
+        machine: MachineId,
+        request: Bytes,
+    ) -> Result<Bytes, RpcError> {
+        let payload = Frame::Request(request).encode();
+        self.transact(dest, Some(machine), payload, |frame| match frame {
+            Frame::Reply(body) => Some(body),
+            _ => None,
+        })
+    }
+
     /// Performs a batch transaction: ships every request body in one
     /// `BATCH_REQUEST` frame (several frames if `requests` exceeds
     /// [`MAX_BATCH_ENTRIES`]) and returns one result per entry, in
@@ -321,7 +348,7 @@ impl Client {
     /// The plain single-frame transaction path.
     fn trans_single(&self, dest: Port, request: Bytes) -> Result<Bytes, RpcError> {
         let payload = Frame::Request(request).encode();
-        self.transact(dest, payload, |frame| match frame {
+        self.transact(dest, None, payload, |frame| match frame {
             Frame::Reply(body) => Some(body),
             _ => None,
         })
@@ -340,7 +367,7 @@ impl Client {
         }
         .encode();
         let n = requests.len();
-        self.transact(dest, payload, move |frame| match frame {
+        self.transact(dest, None, payload, move |frame| match frame {
             Frame::BatchReply { id: rid, entries } if rid == id => {
                 // Entries the server never answered (impossible from
                 // our server, conceivable from a hostile one) surface
@@ -433,6 +460,7 @@ impl Client {
     fn transact<T>(
         &self,
         dest: Port,
+        target: Option<MachineId>,
         payload: Bytes,
         accept: impl Fn(Frame) -> Option<T>,
     ) -> Result<T, RpcError> {
@@ -442,15 +470,17 @@ impl Client {
         let reply_wire = self.endpoint.claim(reply_get);
         let (tx, rx) = unbounded();
         self.pending.lock().insert(reply_wire, tx);
-        let result = self.await_reply(dest, payload, reply_get, reply_wire, &rx, accept);
+        let result = self.await_reply(dest, target, payload, reply_get, reply_wire, &rx, accept);
         self.pending.lock().remove(&reply_wire);
         self.endpoint.release(reply_get);
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn await_reply<T>(
         &self,
         dest: Port,
+        target: Option<MachineId>,
         payload: Bytes,
         reply_get: Port,
         reply_wire: Port,
@@ -458,6 +488,9 @@ impl Client {
         accept: impl Fn(Frame) -> Option<T>,
     ) -> Result<T, RpcError> {
         let mut header = Header::to(dest).with_reply(reply_get);
+        if let Some(machine) = target {
+            header = header.targeted(machine);
+        }
         if let Some(s) = self.signature {
             header = header.with_signature(s);
         }
@@ -577,6 +610,61 @@ mod tests {
             w.join().unwrap();
         }
         server_thread.join().unwrap();
+    }
+
+    #[test]
+    fn targeted_trans_reaches_only_the_named_replica() {
+        // Two servers bind the same put-port; a targeted transaction
+        // must be served by the named machine and leave the other
+        // replica's queue untouched.
+        let net = Network::new();
+        let a = crate::ServerPort::bind(net.attach_open(), Port::new(0xEE).unwrap());
+        let b = crate::ServerPort::bind(net.attach_open(), Port::new(0xEE).unwrap());
+        let p = a.put_port();
+        let a_machine = a.endpoint().id();
+        let t = std::thread::spawn(move || {
+            let req = a.next_request().unwrap();
+            a.reply(&req, Bytes::from_static(b"from-a"));
+        });
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        );
+        let reply = client
+            .trans_to(p, a_machine, Bytes::from_static(b"hi"))
+            .unwrap();
+        assert_eq!(&reply[..], b"from-a");
+        t.join().unwrap();
+        // Replica b never even saw the frame.
+        assert_eq!(
+            b.next_request_timeout(Duration::from_millis(30))
+                .unwrap_err(),
+            amoeba_net::RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn targeted_trans_to_dead_machine_times_out() {
+        let net = Network::new();
+        let server = crate::ServerPort::bind(net.attach_open(), Port::new(0xEF).unwrap());
+        let p = server.put_port();
+        let ghost = net.attach_open().id(); // detached immediately
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_millis(20),
+                attempts: 2,
+            },
+        );
+        assert_eq!(
+            client.trans_to(p, ghost, Bytes::new()).unwrap_err(),
+            RpcError::Timeout,
+            "failover callers need Timeout, not a hang"
+        );
+        drop(server);
     }
 
     #[test]

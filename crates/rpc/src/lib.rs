@@ -13,8 +13,12 @@
 //!   sender's published `F(S)` — digital signatures for free (§2.2).
 //! * **LOCATE** (§2.2): when asked, a client can resolve which machine
 //!   serves a port by broadcasting a LOCATE message; servers answer for
-//!   ports they have claimed. Results are cached, and the
-//!   [`Locator`]'s hit/miss counters feed the match-making benchmark.
+//!   ports they have claimed. One port may be served by several
+//!   machines (service replicas): the [`Locator`] caches the full
+//!   replica set, picks one per call under a [`PlacementPolicy`], and
+//!   exposes [`Locator::invalidate_machine`] so failover code can drop
+//!   a dead replica without losing the survivors. The hit/miss
+//!   counters feed the match-making benchmark.
 //! * **Batching** ([`Client::trans_batch`]) ships many request bodies
 //!   in one wire frame, and a **pipelined** client
 //!   ([`Client::with_pipeline`]) opportunistically coalesces concurrent
@@ -62,7 +66,10 @@ pub mod matchmaker;
 mod server;
 
 pub use client::{BatchResult, Client, DemuxPolicy, PipelineConfig, RpcConfig, RpcError};
-pub use frame::{BatchReplyEntry, BatchStatus, Frame, FrameKind, BATCH_VERSION, MAX_BATCH_ENTRIES};
-pub use locate::Locator;
+pub use frame::{
+    BatchReplyEntry, BatchStatus, Frame, FrameKind, ReplicaInfo, BATCH_VERSION, CLUSTER_VERSION,
+    MAX_BATCH_ENTRIES, MAX_LOCATE_REPLICAS,
+};
+pub use locate::{Locator, PlacementPolicy, Replica, ReplicaCache};
 pub use matchmaker::{Matchmaker, RendezvousNode};
 pub use server::{IncomingRequest, ServerPort, PUMP_TAKEOVER_TICK};

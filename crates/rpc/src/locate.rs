@@ -1,10 +1,33 @@
-//! Port location: broadcast LOCATE with a (port, machine) cache.
+//! Port location: broadcast LOCATE with a **replica-set** cache.
 //!
 //! §2.2: "The associative addressing can be simulated in software when
 //! the kernels are trusted by having each one maintain a cache of
 //! (port, machine-number) pairs. If a port is not in the cache, it can
 //! be found by broadcasting a LOCATE message" — the Mullender–Vitányi
 //! match-making the paper cites.
+//!
+//! Since the cluster subsystem, one port may be served by *several*
+//! machines at once (§3.4's transparent distribution, horizontally).
+//! The cache therefore maps each port to the full set of live replicas
+//! that answered the LOCATE broadcast, and [`Locator::locate`] picks
+//! one per call under a [`PlacementPolicy`]. Three hardening rules
+//! apply to answers, all exercised by the tests below:
+//!
+//! * **Asked-for ports only** — a reply naming a port we did not ask
+//!   about is dropped, never cached (a hostile node cannot seed the
+//!   cache for other services).
+//! * **Self-answers only** — on the broadcast path a server answers for
+//!   itself, so a reply whose claimed machine differs from the packet's
+//!   unforgeable source machine is dropped (a hostile node cannot
+//!   divert another port's traffic to a third machine).
+//! * **Entries expire** — cached sets older than the TTL are
+//!   re-resolved, so a migrated or crashed replica stops being handed
+//!   out even if no caller reported a failure.
+//!
+//! [`Locator::invalidate_machine`] is the explicit
+//! invalidate-on-transport-error path: failover code calls it when a
+//! transaction against a cached machine times out, dropping that one
+//! replica while the survivors keep serving.
 //!
 //! The cache hit/miss counters feed experiment **E7**.
 
@@ -14,16 +37,184 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// One live replica of a port, as cached client-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Replica {
+    /// The machine serving the port.
+    pub machine: MachineId,
+    /// The replica's advertised load at resolution time (0 when the
+    /// discovery path carries no load information).
+    pub load: u32,
+}
+
+impl From<crate::frame::ReplicaInfo> for Replica {
+    /// Converts a wire-level replica entry into the cached form; the
+    /// single conversion point between the frame layer and the cache.
+    fn from(r: crate::frame::ReplicaInfo) -> Replica {
+        Replica {
+            machine: r.machine,
+            load: r.load,
+        }
+    }
+}
+
+/// How [`Locator::locate`] (and the cluster client built on it) picks
+/// among the live replicas of a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Rotate through the replica set — fair without load information
+    /// (the broadcast discovery path carries none).
+    #[default]
+    RoundRobin,
+    /// Prefer the replica with the smallest advertised load gauge,
+    /// breaking ties by machine id. Only better than round-robin when
+    /// the discovery path carries loads (the registry path does).
+    LeastLoad,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    replicas: Vec<Replica>,
+    /// Round-robin cursor over `replicas`.
+    cursor: usize,
+    inserted: Instant,
+}
+
+/// The client-side replica-set cache shared by the broadcast
+/// [`Locator`] and the rendezvous [`Matchmaker`](crate::Matchmaker).
+///
+/// Pure state, no I/O: resolution paths insert replica sets, placement
+/// picks replicas, and failure reports invalidate single machines. The
+/// invariant the cluster layer leans on — **a pick never returns a
+/// machine that was invalidated after the last insert** — is pinned by
+/// a proptest in this module.
+#[derive(Debug)]
+pub struct ReplicaCache {
+    entries: Mutex<HashMap<Port, CacheEntry>>,
+    ttl: Duration,
+}
+
+impl ReplicaCache {
+    /// An empty cache whose entries expire `ttl` after insertion.
+    pub fn new(ttl: Duration) -> ReplicaCache {
+        ReplicaCache {
+            entries: Mutex::new(HashMap::new()),
+            ttl,
+        }
+    }
+
+    /// Caches the replica set for `port`, replacing any previous set.
+    /// Duplicate machines are collapsed (last load wins); an empty set
+    /// just drops the entry.
+    pub fn insert(&self, port: Port, replicas: Vec<Replica>) {
+        let mut deduped: Vec<Replica> = Vec::with_capacity(replicas.len());
+        for r in replicas {
+            match deduped.iter_mut().find(|d| d.machine == r.machine) {
+                Some(d) => d.load = r.load,
+                None => deduped.push(r),
+            }
+        }
+        let mut entries = self.entries.lock();
+        if deduped.is_empty() {
+            entries.remove(&port);
+        } else {
+            entries.insert(
+                port,
+                CacheEntry {
+                    replicas: deduped,
+                    cursor: 0,
+                    inserted: Instant::now(),
+                },
+            );
+        }
+    }
+
+    /// Picks one live replica for `port` under `policy`, or `None` if
+    /// the port is uncached or the entry has expired (expired entries
+    /// are dropped on the way out).
+    pub fn pick(&self, port: Port, policy: PlacementPolicy) -> Option<Replica> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get_mut(&port)?;
+        if entry.inserted.elapsed() > self.ttl {
+            entries.remove(&port);
+            return None;
+        }
+        Some(match policy {
+            PlacementPolicy::RoundRobin => {
+                let r = entry.replicas[entry.cursor % entry.replicas.len()];
+                entry.cursor = entry.cursor.wrapping_add(1);
+                r
+            }
+            PlacementPolicy::LeastLoad => *entry
+                .replicas
+                .iter()
+                .min_by_key(|r| (r.load, r.machine))
+                .expect("cached sets are never empty"),
+        })
+    }
+
+    /// The full cached replica set, or `None` if uncached/expired.
+    pub fn all(&self, port: Port) -> Option<Vec<Replica>> {
+        let mut entries = self.entries.lock();
+        let entry = entries.get(&port)?;
+        if entry.inserted.elapsed() > self.ttl {
+            entries.remove(&port);
+            return None;
+        }
+        Some(entry.replicas.clone())
+    }
+
+    /// Drops the whole cached set for `port`.
+    pub fn invalidate(&self, port: Port) {
+        self.entries.lock().remove(&port);
+    }
+
+    /// Drops one machine from `port`'s cached set (transport error
+    /// observed against it); removes the entry entirely when the last
+    /// replica goes.
+    pub fn invalidate_machine(&self, port: Port, machine: MachineId) {
+        let mut entries = self.entries.lock();
+        if let Some(entry) = entries.get_mut(&port) {
+            entry.replicas.retain(|r| r.machine != machine);
+            if entry.replicas.is_empty() {
+                entries.remove(&port);
+            }
+        }
+    }
+
+    /// Empties the cache.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// Number of cached ports.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
 
 /// A locate cache bound to an endpoint.
 #[derive(Debug)]
 pub struct Locator {
-    cache: Mutex<HashMap<Port, MachineId>>,
+    cache: ReplicaCache,
+    policy: PlacementPolicy,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
     rng: Mutex<StdRng>,
     timeout: Duration,
+    gather: Duration,
+    /// Serialises cache-miss resolution: two threads gathering LOCATE
+    /// answers on one endpoint would consume each other's replies
+    /// (each gather drains the shared receive queue and drops packets
+    /// for reply ports it does not own).
+    resolving: Mutex<()>,
 }
 
 impl Default for Locator {
@@ -33,6 +224,16 @@ impl Default for Locator {
 }
 
 impl Locator {
+    /// Default time-to-live of a cached replica set. Long enough that a
+    /// steady client almost always hits, short enough that a crashed
+    /// replica stops being handed out even when nobody reports it.
+    pub const DEFAULT_TTL: Duration = Duration::from_secs(5);
+
+    /// Default extra window spent collecting further answers after the
+    /// first LOCATE reply arrives — on a broadcast medium every live
+    /// replica answers, but not in the same instant.
+    pub const DEFAULT_GATHER_WINDOW: Duration = Duration::from_millis(10);
+
     /// An empty cache with the default 200 ms query timeout.
     pub fn new() -> Locator {
         Self::with_timeout(Duration::from_millis(200))
@@ -41,68 +242,163 @@ impl Locator {
     /// An empty cache with an explicit query timeout.
     pub fn with_timeout(timeout: Duration) -> Locator {
         Locator {
-            cache: Mutex::new(HashMap::new()),
+            cache: ReplicaCache::new(Self::DEFAULT_TTL),
+            policy: PlacementPolicy::default(),
             hits: Default::default(),
             misses: Default::default(),
             rng: Mutex::new(StdRng::from_entropy()),
             timeout,
+            gather: Self::DEFAULT_GATHER_WINDOW,
+            resolving: Mutex::new(()),
         }
+    }
+
+    /// Builder knob: replaces the cache TTL.
+    pub fn with_ttl(mut self, ttl: Duration) -> Locator {
+        self.cache = ReplicaCache::new(ttl);
+        self
+    }
+
+    /// Builder knob: replaces the placement policy.
+    pub fn with_policy(mut self, policy: PlacementPolicy) -> Locator {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder knob: replaces the reply-gathering window.
+    pub fn with_gather_window(mut self, gather: Duration) -> Locator {
+        self.gather = gather;
+        self
     }
 
     /// Resolves which machine serves `port`, consulting the cache first
-    /// and broadcasting a LOCATE on a miss.
+    /// and broadcasting a LOCATE on a miss. With several live replicas
+    /// the configured [`PlacementPolicy`] picks one per call.
     ///
     /// Returns `None` if nobody answers within the timeout.
     pub fn locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
-        if let Some(&m) = self.cache.lock().get(&port) {
+        if let Some(r) = self.cache.pick(port, self.policy) {
             self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            return Some(m);
+            return Some(r.machine);
         }
         self.misses
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let m = self.broadcast_locate(endpoint, port)?;
-        self.cache.lock().insert(port, m);
-        Some(m)
+        let _gathering = self.resolving.lock();
+        // A peer may have resolved this port while we waited for the
+        // resolution lock.
+        if let Some(r) = self.cache.pick(port, self.policy) {
+            return Some(r.machine);
+        }
+        let found = self.broadcast_locate(endpoint, port);
+        self.cache.insert(port, found);
+        self.cache.pick(port, self.policy).map(|r| r.machine)
     }
 
-    fn broadcast_locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
+    /// Picks a replica from the cache alone — no network, no miss
+    /// accounting. `None` means uncached or expired; callers that can
+    /// resolve should then fall back to [`locate`](Self::locate).
+    /// This is the fast path a failover client takes without holding
+    /// any resolution lock.
+    pub fn pick_cached(&self, port: Port) -> Option<MachineId> {
+        self.cache.pick(port, self.policy).map(|r| r.machine)
+    }
+
+    /// Resolves the **full** live replica set for `port` (cache or
+    /// broadcast). Empty if nobody answers.
+    pub fn replicas(&self, endpoint: &Endpoint, port: Port) -> Vec<Replica> {
+        if let Some(set) = self.cache.all(port) {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return set;
+        }
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let _gathering = self.resolving.lock();
+        if let Some(set) = self.cache.all(port) {
+            return set; // a peer resolved while we waited
+        }
+        let found = self.broadcast_locate(endpoint, port);
+        self.cache.insert(port, found);
+        self.cache.all(port).unwrap_or_default()
+    }
+
+    /// Broadcasts one LOCATE and gathers every valid answer: waits up
+    /// to the query timeout for the first reply, then keeps collecting
+    /// for the gather window so slower replicas make it into the set.
+    fn broadcast_locate(&self, endpoint: &Endpoint, port: Port) -> Vec<Replica> {
         let reply_get = Port::random(&mut *self.rng.lock());
         let reply_wire = endpoint.claim(reply_get);
         let header = Header::to(Port::BROADCAST).with_reply(reply_get);
         endpoint.send(header, Frame::Locate(port).encode());
-        let deadline = std::time::Instant::now() + self.timeout;
-        let found = loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        let hard_deadline = Instant::now() + self.timeout;
+        let mut deadline = hard_deadline;
+        let mut found: Vec<Replica> = Vec::new();
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
-                break None;
+                break;
             }
-            match endpoint.recv_timeout(remaining) {
-                Ok(pkt) if pkt.header.dest == reply_wire => {
-                    if let Some(Frame::LocateReply(answered_port, machine)) =
-                        Frame::decode(&pkt.payload)
-                    {
-                        if answered_port == port {
-                            break Some(machine);
+            let pkt = match endpoint.recv_timeout(remaining) {
+                Ok(pkt) if pkt.header.dest == reply_wire => pkt,
+                Ok(_) => continue,
+                Err(RecvError::Timeout) | Err(RecvError::Disconnected) => break,
+            };
+            // Hostile-reply validation: only answers for the port we
+            // asked about, and only machines answering for themselves
+            // (the packet source is stamped by the network, unforgeable).
+            let mut accepted = false;
+            match Frame::decode(&pkt.payload) {
+                Some(Frame::LocateReply(answered_port, machine))
+                    if answered_port == port && machine == pkt.source =>
+                {
+                    // Duplicates are fine; `ReplicaCache::insert`
+                    // collapses them when the gathered set is cached.
+                    found.push(Replica { machine, load: 0 });
+                    accepted = true;
+                }
+                Some(Frame::LocateReplyMulti { port: p, replicas }) if p == port => {
+                    for r in replicas {
+                        if r.machine == pkt.source {
+                            found.push(Replica::from(r));
+                            accepted = true;
                         }
                     }
                 }
-                Ok(_) => continue,
-                Err(RecvError::Timeout) => break None,
-                Err(RecvError::Disconnected) => break None,
+                _ => {} // noise or hostile: drop, keep listening
             }
-        };
+            if accepted {
+                // First valid answer shortens the wait to the gather
+                // window: collect the stragglers, then stop. (`min`
+                // only ever tightens, so the hard deadline holds.)
+                deadline = deadline.min(Instant::now() + self.gather);
+            }
+        }
         endpoint.release(reply_get);
         found
     }
 
-    /// Drops a cached entry (e.g. after a machine crash).
+    /// Drops the whole cached replica set for a port (e.g. after a
+    /// service migration).
     pub fn invalidate(&self, port: Port) {
-        self.cache.lock().remove(&port);
+        self.cache.invalidate(port);
+    }
+
+    /// Drops one machine from a port's cached set — the shared
+    /// invalidate-on-transport-error path: failover code calls this
+    /// when a transaction against the machine timed out, and the next
+    /// [`locate`](Self::locate) hands out a surviving replica (or
+    /// re-broadcasts once the set is empty).
+    pub fn invalidate_machine(&self, port: Port, machine: MachineId) {
+        self.cache.invalidate_machine(port, machine);
     }
 
     /// Empties the entire cache.
     pub fn clear(&self) {
-        self.cache.lock().clear();
+        self.cache.clear();
+    }
+
+    /// Direct access to the replica-set cache.
+    pub fn cache(&self) -> &ReplicaCache {
+        &self.cache
     }
 
     /// (cache hits, cache misses) so far.
@@ -171,5 +467,254 @@ mod tests {
         locator.invalidate(p);
         locator.locate(&ep, p);
         assert_eq!(locator.stats(), (0, 2));
+    }
+
+    #[test]
+    fn cache_entries_expire_after_ttl() {
+        let net = Network::new();
+        let server = ServerPort::bind(net.attach_open(), Port::new(0x88).unwrap());
+        let p = server.put_port();
+        let t = answer_locates_for(server, 2);
+
+        let ep = net.attach_open();
+        let locator = Locator::new().with_ttl(Duration::from_millis(30));
+        assert!(locator.locate(&ep, p).is_some());
+        std::thread::sleep(Duration::from_millis(50));
+        let before = net.stats().snapshot();
+        assert!(locator.locate(&ep, p).is_some(), "re-resolves after expiry");
+        assert_eq!(
+            net.stats().snapshot().broadcasts_sent - before.broadcasts_sent,
+            1,
+            "expired entry must trigger a fresh broadcast"
+        );
+        assert_eq!(locator.stats(), (0, 2));
+        t.join().unwrap();
+    }
+
+    /// Spawns a thread that pumps `n` LOCATE broadcasts through a bound
+    /// server port (the pump answers them as a side effect of waiting).
+    fn answer_locates_for(server: ServerPort, n: usize) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            for _ in 0..n {
+                // Each locate wakes the pump once; the timeout bounds
+                // the test if a broadcast goes missing.
+                let _ = server.next_request_timeout(Duration::from_millis(500));
+            }
+        })
+    }
+
+    #[test]
+    fn locate_gathers_every_live_replica() {
+        // Three servers claim the same put-port: one LOCATE broadcast
+        // must discover all of them, and round-robin placement must
+        // rotate through the full set.
+        let net = Network::new();
+        let servers: Vec<ServerPort> = (0..3)
+            .map(|_| ServerPort::bind(net.attach_open(), Port::new(0x99).unwrap()))
+            .collect();
+        let p = servers[0].put_port();
+        let machines: std::collections::HashSet<MachineId> =
+            servers.iter().map(|s| s.endpoint().id()).collect();
+        let threads: Vec<_> = servers
+            .into_iter()
+            .map(|s| answer_locates_for(s, 1))
+            .collect();
+
+        let ep = net.attach_open();
+        let locator = Locator::new();
+        let set: std::collections::HashSet<MachineId> = locator
+            .replicas(&ep, p)
+            .into_iter()
+            .map(|r| r.machine)
+            .collect();
+        assert_eq!(set, machines, "every replica must be discovered");
+
+        // Round-robin visits all three across consecutive picks.
+        let picks: std::collections::HashSet<MachineId> =
+            (0..3).map(|_| locator.locate(&ep, p).unwrap()).collect();
+        assert_eq!(picks, machines, "round-robin must rotate the set");
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn hostile_replies_are_ignored() {
+        // A hostile node answers every LOCATE with (a) a reply for a
+        // different port and (b) a reply for the right port naming a
+        // third machine. Neither may enter the cache.
+        let net = Network::new();
+        let victim_port = Port::new(0x600D).unwrap();
+        let other_port = Port::new(0xBAD).unwrap();
+        let hostile = net.attach_open();
+        let third_machine = net.attach_open();
+        let third_id = third_machine.id();
+        let hostile_thread = std::thread::spawn(move || {
+            let pkt = hostile.recv_timeout(Duration::from_secs(1)).unwrap();
+            let reply_to = pkt.header.reply;
+            // (a) unsolicited port
+            hostile.send(
+                Header::to(reply_to),
+                Frame::LocateReply(other_port, hostile.id()).encode(),
+            );
+            // (b) right port, diverted to a third machine
+            hostile.send(
+                Header::to(reply_to),
+                Frame::LocateReply(victim_port, third_id).encode(),
+            );
+        });
+
+        let ep = net.attach_open();
+        let locator = Locator::with_timeout(Duration::from_millis(60));
+        assert_eq!(
+            locator.locate(&ep, victim_port),
+            None,
+            "diverting reply must be dropped"
+        );
+        assert!(
+            locator.cache().all(other_port).is_none(),
+            "unsolicited port must never be cached"
+        );
+        hostile_thread.join().unwrap();
+    }
+
+    #[test]
+    fn invalidate_machine_drops_only_that_replica() {
+        let cache = ReplicaCache::new(Duration::from_secs(60));
+        let p = Port::new(0x1234).unwrap();
+        let m1 = MachineId::from(1);
+        let m2 = MachineId::from(2);
+        cache.insert(
+            p,
+            vec![
+                Replica {
+                    machine: m1,
+                    load: 0,
+                },
+                Replica {
+                    machine: m2,
+                    load: 0,
+                },
+            ],
+        );
+        cache.invalidate_machine(p, m1);
+        for _ in 0..4 {
+            assert_eq!(
+                cache.pick(p, PlacementPolicy::RoundRobin).unwrap().machine,
+                m2
+            );
+        }
+        cache.invalidate_machine(p, m2);
+        assert!(cache.pick(p, PlacementPolicy::RoundRobin).is_none());
+        assert!(cache.is_empty(), "empty sets drop the entry entirely");
+    }
+
+    #[test]
+    fn least_load_prefers_idle_replicas() {
+        let cache = ReplicaCache::new(Duration::from_secs(60));
+        let p = Port::new(0x4321).unwrap();
+        cache.insert(
+            p,
+            vec![
+                Replica {
+                    machine: MachineId::from(1),
+                    load: 9,
+                },
+                Replica {
+                    machine: MachineId::from(2),
+                    load: 2,
+                },
+                Replica {
+                    machine: MachineId::from(3),
+                    load: 5,
+                },
+            ],
+        );
+        assert_eq!(
+            cache.pick(p, PlacementPolicy::LeastLoad).unwrap().machine,
+            MachineId::from(2)
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One step of the cache-state machine the proptest drives.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(Vec<u8>),
+            InvalidateMachine(u8),
+            Invalidate,
+            Pick(bool), // true = LeastLoad
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                proptest::collection::vec(0u8..8, 1..5).prop_map(Op::Insert),
+                (0u8..8).prop_map(Op::InvalidateMachine),
+                Just(Op::Invalidate),
+                any::<bool>().prop_map(Op::Pick),
+            ]
+        }
+
+        proptest! {
+            /// Pinning the failover invariant: after any interleaving
+            /// of inserts and invalidations, a pick never returns a
+            /// machine invalidated since the last insert of that port.
+            #[test]
+            fn pick_never_returns_an_invalidated_machine(
+                ops in proptest::collection::vec(op_strategy(), 1..40)
+            ) {
+                let cache = ReplicaCache::new(Duration::from_secs(3600));
+                let port = Port::new(0x7E57).unwrap();
+                let mut live: std::collections::HashSet<u8> =
+                    std::collections::HashSet::new();
+                for op in ops {
+                    match op {
+                        Op::Insert(machines) => {
+                            live = machines.iter().copied().collect();
+                            cache.insert(
+                                port,
+                                machines
+                                    .iter()
+                                    .map(|&m| Replica {
+                                        machine: MachineId::from(m as u32),
+                                        load: m as u32,
+                                    })
+                                    .collect(),
+                            );
+                        }
+                        Op::InvalidateMachine(m) => {
+                            live.remove(&m);
+                            cache.invalidate_machine(port, MachineId::from(m as u32));
+                        }
+                        Op::Invalidate => {
+                            live.clear();
+                            cache.invalidate(port);
+                        }
+                        Op::Pick(least_load) => {
+                            let policy = if least_load {
+                                PlacementPolicy::LeastLoad
+                            } else {
+                                PlacementPolicy::RoundRobin
+                            };
+                            match cache.pick(port, policy) {
+                                Some(r) => prop_assert!(
+                                    live.contains(&(r.machine.as_u32() as u8)),
+                                    "picked invalidated machine {:?}",
+                                    r.machine
+                                ),
+                                None => prop_assert!(
+                                    live.is_empty(),
+                                    "cache empty while {} replicas live",
+                                    live.len()
+                                ),
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -72,4 +72,4 @@ pub mod wire;
 pub use principals::PrincipalRegistry;
 pub use sealed::{SealedServiceClient, SealedServiceRunner};
 pub use service::{ClientError, RequestCtx, Service, ServiceClient, ServiceRunner};
-pub use table::{ObjectTable, ServerError, DEFAULT_SHARDS};
+pub use table::{placement_range, ObjectTable, ServerError, DEFAULT_SHARDS};

@@ -37,9 +37,35 @@ pub trait Service: Send + Sync + 'static {
     /// to [`ObjectTable::set_port`](crate::ObjectTable::set_port).
     fn bind(&mut self, _put_port: Port) {}
 
+    /// Called once, before serving begins, when this instance is
+    /// replica `owner` of a `replicas`-way sharded placement group.
+    /// Stateful services forward this to
+    /// [`ObjectTable::set_owned_shards`](crate::ObjectTable::set_owned_shards)
+    /// so every object they mint carries the replica's placement range
+    /// in its number; stateless services may ignore it (the default).
+    ///
+    /// Contract: an implementation that forwards this must do so on a
+    /// table striped with the default
+    /// [`DEFAULT_SHARDS`](crate::DEFAULT_SHARDS) — routing clients
+    /// recover the placement range with
+    /// `placement_range(object, DEFAULT_SHARDS, replicas)`, so a
+    /// non-default shard count on the server would misroute every
+    /// capability (failing closed with `NoSuchObject`, but failing).
+    fn bind_shard_range(&mut self, _owner: usize, _replicas: usize) {}
+
     /// Handles one request. May be called from many worker threads at
     /// once.
     fn handle(&self, req: &Request, ctx: &RequestCtx) -> Reply;
+}
+
+/// Decrements the machine load gauge on drop — unwinding included, so
+/// a panicking handler cannot permanently inflate the advertised load.
+struct LoadGuard<'a>(&'a Endpoint);
+
+impl Drop for LoadGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub_load(1);
+    }
 }
 
 /// Decode one raw request, dispatch it to the service, encode the
@@ -67,6 +93,12 @@ fn serve_one(service: &impl Service, server: &ServerPort, incoming: &IncomingReq
 pub struct ServiceRunner {
     put_port: Port,
     machine: MachineId,
+    /// Kept so the runner can answer load queries and register with a
+    /// rendezvous registry from its own machine (registrations bind the
+    /// unforgeable source address). Also pins the endpoint: a *stopped*
+    /// runner still claims its port, modelling a crashed server whose
+    /// clients see timeouts rather than instant disconnects.
+    server: Arc<ServerPort>,
     shutdown: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -114,7 +146,18 @@ impl ServiceRunner {
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
                         match server.next_request_timeout(Duration::from_millis(20)) {
-                            Ok(req) => serve_one(&*service, &server, &req),
+                            Ok(req) => {
+                                // Publish in-flight work on the machine's
+                                // load gauge; replica placement policies
+                                // compare these across a service cluster.
+                                // The decrement rides a drop guard so a
+                                // panicking handler cannot leave the
+                                // gauge inflated for the machine's
+                                // lifetime.
+                                server.endpoint().add_load(1);
+                                let _in_flight = LoadGuard(server.endpoint());
+                                serve_one(&*service, &server, &req);
+                            }
                             Err(RecvError::Timeout) => continue,
                             Err(RecvError::Disconnected) => break,
                         }
@@ -125,6 +168,7 @@ impl ServiceRunner {
         ServiceRunner {
             put_port,
             machine,
+            server,
             shutdown,
             handles,
         }
@@ -184,8 +228,39 @@ impl ServiceRunner {
         self.handles.len()
     }
 
+    /// The machine's current load gauge (in-flight requests).
+    pub fn load(&self) -> u32 {
+        self.server.endpoint().load()
+    }
+
+    /// Registers this runner as a live replica of its put-port at the
+    /// rendezvous registry, advertising the current load gauge. Sent
+    /// from the runner's own machine, so the registration carries the
+    /// unforgeable source address. Re-call to refresh the advertised
+    /// load.
+    pub fn register(&self, registry: &amoeba_rpc::Matchmaker) {
+        registry.post_load(self.server.endpoint(), self.put_port, self.load());
+    }
+
+    /// Withdraws this runner's registration (planned shutdown; crashed
+    /// replicas are instead dropped by clients invalidating on
+    /// timeout).
+    pub fn deregister(&self, registry: &amoeba_rpc::Matchmaker) {
+        registry.unpost(self.server.endpoint(), self.put_port);
+    }
+
     /// Stops every worker and waits for them to exit.
     pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    /// Stops every worker **without releasing the machine**: the
+    /// endpoint stays attached and the port stays claimed, but nothing
+    /// is served or answered any more — a crashed or hung server as
+    /// its clients experience it (timeouts, not disconnects). Failover
+    /// tests halt one replica mid-hammer; `stop`/drop later reclaims
+    /// the machine. Idempotent.
+    pub fn halt(&mut self) {
         self.shutdown_now();
     }
 
@@ -318,6 +393,68 @@ impl ServiceClient {
             params,
         };
         let raw = self.rpc.trans(port, req.encode())?;
+        self.decode_reply(raw)
+    }
+
+    /// Invokes `command` on the object named by `cap`, delivered only
+    /// to `machine` — the replica a placement policy picked among the
+    /// machines serving `cap.port`. Semantics are otherwise identical
+    /// to [`call`](Self::call).
+    ///
+    /// # Errors
+    /// As for [`call`](Self::call); a dead replica surfaces as
+    /// `ClientError::Rpc(RpcError::Timeout)`.
+    pub fn call_on(
+        &self,
+        machine: MachineId,
+        cap: &Capability,
+        command: u32,
+        params: Bytes,
+    ) -> Result<Bytes, ClientError> {
+        self.call_at_on(cap.port, machine, cap, command, params)
+    }
+
+    /// Invokes a capability-less command at `port`, delivered only to
+    /// `machine` (the targeted variant of
+    /// [`call_anonymous`](Self::call_anonymous)).
+    ///
+    /// # Errors
+    /// As for [`call_on`](Self::call_on).
+    pub fn call_anonymous_on(
+        &self,
+        port: Port,
+        machine: MachineId,
+        command: u32,
+        params: Bytes,
+    ) -> Result<Bytes, ClientError> {
+        self.call_at_on(port, machine, &null_cap(), command, params)
+    }
+
+    /// The fully general machine-targeted call: `command` with `cap`,
+    /// routed to `port`, delivered only to `machine`. The other
+    /// targeted variants and the cluster failover client delegate
+    /// here.
+    ///
+    /// # Errors
+    /// As for [`call_on`](Self::call_on).
+    pub fn call_at_on(
+        &self,
+        port: Port,
+        machine: MachineId,
+        cap: &Capability,
+        command: u32,
+        params: Bytes,
+    ) -> Result<Bytes, ClientError> {
+        let req = Request {
+            cap: *cap,
+            command,
+            params,
+        };
+        let raw = self.rpc.trans_to(port, machine, req.encode())?;
+        self.decode_reply(raw)
+    }
+
+    fn decode_reply(&self, raw: Bytes) -> Result<Bytes, ClientError> {
         let reply = Reply::decode(&raw).ok_or(ClientError::Malformed)?;
         if reply.status == Status::Ok {
             Ok(reply.body)

@@ -94,6 +94,21 @@ impl<T> Shard<T> {
 /// select the stripe.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// The placement key of an object in a `replicas`-way sharded group:
+/// which replica owns the object, derived from the shard index in the
+/// object number's low bits. The inverse of
+/// [`ObjectTable::set_owned_shards`] — a table configured as
+/// `set_owned_shards(i, replicas)` only mints objects whose
+/// `placement_range(object, shards, replicas) == i`.
+///
+/// # Panics
+/// Panics unless `shards` is a power of two and `replicas` is nonzero.
+pub fn placement_range(object: ObjectNum, shards: usize, replicas: usize) -> usize {
+    assert!(shards.is_power_of_two(), "shard count is a power of two");
+    assert!(replicas > 0, "a placement group has at least one replica");
+    (object.value() as usize & (shards - 1)) % replicas
+}
+
 /// Maps object numbers to (per-object secret, server data) and performs
 /// all capability cryptography for a service.
 ///
@@ -116,6 +131,11 @@ pub struct ObjectTable<T> {
     /// Round-robin cursor for `create`, so fresh objects spread evenly
     /// over the stripes no matter which thread creates them.
     next_shard: AtomicUsize,
+    /// When this table is one replica of a sharded placement group
+    /// ([`set_owned_shards`](Self::set_owned_shards)): the shard
+    /// indices `create` may mint into. `None` = every shard (the
+    /// single-machine default).
+    owned: RwLock<Option<Box<[usize]>>>,
 }
 
 impl<T> std::fmt::Debug for ObjectTable<T> {
@@ -159,6 +179,7 @@ impl<T> ObjectTable<T> {
             shards: (0..shards).map(|_| Shard::new()).collect(),
             shard_bits: shards.trailing_zeros(),
             next_shard: AtomicUsize::new(0),
+            owned: RwLock::new(None),
         }
     }
 
@@ -195,6 +216,33 @@ impl<T> ObjectTable<T> {
         self.shards.len()
     }
 
+    /// Declares this table replica `owner` of a `replicas`-way sharded
+    /// placement group: `create` will only mint object numbers whose
+    /// shard index satisfies `shard % replicas == owner`, so the low
+    /// bits of every object number identify the replica that owns it —
+    /// the placement key the cluster layer routes by (see
+    /// [`placement_range`]). Validation and lookup are unaffected;
+    /// capabilities for foreign ranges simply fail with
+    /// `NoSuchObject`, because their objects live on another machine.
+    ///
+    /// # Panics
+    /// Panics unless `owner < replicas` and `replicas ≤ shard count`.
+    pub fn set_owned_shards(&self, owner: usize, replicas: usize) {
+        assert!(
+            owner < replicas,
+            "shard owner index must be below the replica count"
+        );
+        assert!(
+            replicas <= self.shards.len(),
+            "cannot split {} shards over {replicas} replicas",
+            self.shards.len()
+        );
+        let owned: Box<[usize]> = (0..self.shards.len())
+            .filter(|s| s % replicas == owner)
+            .collect();
+        *self.owned.write() = Some(owned);
+    }
+
     /// Number of live objects (sums over all shards).
     pub fn len(&self) -> usize {
         self.shards
@@ -218,17 +266,33 @@ impl<T> ObjectTable<T> {
     /// Picks the shard for a new object: any shard advertising a
     /// reusable slot wins (keeping slabs dense and preserving the
     /// slot-reuse behaviour of the unsharded table), otherwise the
-    /// round-robin cursor spreads fresh objects evenly.
+    /// round-robin cursor spreads fresh objects evenly. With an owned
+    /// set ([`set_owned_shards`](Self::set_owned_shards)) only owned
+    /// shards are considered.
     fn create_shard_index(&self) -> usize {
-        let mask = self.shards.len() - 1;
         let rr = self.next_shard.fetch_add(1, Ordering::Relaxed);
-        for offset in 0..self.shards.len() {
-            let idx = (rr + offset) & mask;
-            if self.shards[idx].free_count.load(Ordering::Acquire) > 0 {
-                return idx;
+        let owned = self.owned.read();
+        match owned.as_deref() {
+            Some(owned) => {
+                for offset in 0..owned.len() {
+                    let idx = owned[(rr + offset) % owned.len()];
+                    if self.shards[idx].free_count.load(Ordering::Acquire) > 0 {
+                        return idx;
+                    }
+                }
+                owned[rr % owned.len()]
+            }
+            None => {
+                let mask = self.shards.len() - 1;
+                for offset in 0..self.shards.len() {
+                    let idx = (rr + offset) & mask;
+                    if self.shards[idx].free_count.load(Ordering::Acquire) > 0 {
+                        return idx;
+                    }
+                }
+                rr & mask
             }
         }
-        rr & mask
     }
 
     /// Creates an object: picks a random number, stores it, and mints
@@ -651,6 +715,57 @@ mod tests {
             used.insert(obj.value() & mask);
         }
         assert_eq!(used.len(), DEFAULT_SHARDS, "all shards used");
+    }
+
+    #[test]
+    fn owned_shards_constrain_creation_to_the_replica_range() {
+        for replicas in [2usize, 3, 4] {
+            for owner in 0..replicas {
+                let t = table(SchemeKind::OneWay);
+                t.set_owned_shards(owner, replicas);
+                for i in 0..40 {
+                    let (obj, cap) = t.create(format!("{i}"));
+                    assert_eq!(
+                        placement_range(obj, DEFAULT_SHARDS, replicas),
+                        owner,
+                        "replica {owner}/{replicas} minted a foreign object"
+                    );
+                    assert!(t.validate(&cap).is_ok());
+                }
+                // Objects still spread across the owned stripes.
+                let mask = (DEFAULT_SHARDS - 1) as u32;
+                let used: std::collections::HashSet<u32> = (0..DEFAULT_SHARDS as u32)
+                    .map(|_| t.create("x".into()).0.value() & mask)
+                    .collect();
+                assert!(used.len() > 1, "owned creates must still stripe");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_shards_prefer_freed_slots_within_the_range() {
+        let t = table(SchemeKind::Commutative);
+        t.set_owned_shards(1, 4);
+        let (obj, cap) = t.create("a".into());
+        t.delete(&cap, Rights::DELETE).unwrap();
+        let (obj2, _) = t.create("b".into());
+        assert_eq!(obj, obj2, "freed owned slot is recycled first");
+    }
+
+    #[test]
+    #[should_panic(expected = "below the replica count")]
+    fn owner_out_of_range_rejected() {
+        let t = table(SchemeKind::Simple);
+        t.set_owned_shards(3, 3);
+    }
+
+    #[test]
+    fn placement_range_matches_shard_low_bits() {
+        let obj = ObjectNum::new(0b1010_0110).unwrap();
+        // Shard index = low 4 bits = 6; 6 % 3 == 0, 6 % 4 == 2.
+        assert_eq!(placement_range(obj, 16, 3), 0);
+        assert_eq!(placement_range(obj, 16, 4), 2);
+        assert_eq!(placement_range(obj, 16, 1), 0);
     }
 
     #[test]

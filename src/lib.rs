@@ -36,6 +36,7 @@
 pub use amoeba_bank as bank;
 pub use amoeba_block as block;
 pub use amoeba_cap as cap;
+pub use amoeba_cluster as cluster;
 pub use amoeba_crypto as crypto;
 pub use amoeba_dirsvr as dirsvr;
 pub use amoeba_fbox as fbox;
@@ -57,6 +58,10 @@ pub mod prelude {
         SchemeKind, SimpleScheme,
     };
     pub use amoeba_cap::{CapError, Capability, ObjectNum, Rights};
+    pub use amoeba_cluster::{
+        ClusterClient, ClusterRegistry, PlacementPolicy, ServiceCluster, ShardedClient,
+        ShardedCluster,
+    };
     pub use amoeba_crypto::oneway::{OneWay, PurdyOneWay, ShaOneWay};
     pub use amoeba_dirsvr::{DirClient, DirServer};
     pub use amoeba_fbox::FBox;

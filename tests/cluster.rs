@@ -1,0 +1,255 @@
+//! Cluster subsystem integration: replicated failover under load and
+//! sharded multi-node placement of the metered-create workload.
+
+use amoeba::prelude::*;
+use amoeba::server::proto::Reply;
+use amoeba::server::wire;
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A stateless service any replica can serve: sums the bytes of the
+/// request parameters.
+struct Summer;
+
+const CMD_SUM: u32 = 1;
+
+impl Service for Summer {
+    fn handle(&self, req: &Request, _ctx: &amoeba::server::RequestCtx) -> Reply {
+        let sum: u64 = req.params.iter().map(|&b| b as u64).sum();
+        Reply::ok(wire::Writer::new().u64(sum).finish())
+    }
+}
+
+#[test]
+fn killing_one_of_three_replicas_mid_hammer_loses_no_requests() {
+    // The failover acceptance test: three replicas serve one port; one
+    // is halted (machine stays up, workers dead — a crash as clients
+    // see it) while four client threads hammer the service. Every call
+    // must succeed: callers pay retries, never see errors.
+    const CLIENTS: usize = 4;
+    const CALLS: usize = 24;
+
+    let net = Network::new();
+    let mut cluster = ServiceCluster::spawn_open(&net, 3, 1, |_| Summer);
+    let port = cluster.put_port();
+    let client = Arc::new(ClusterClient::broadcast(&net));
+    // Warm the replica cache so the halted machine is definitely in
+    // it. On a loaded host a replica can miss the first gather window;
+    // re-resolve until all three have answered.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while client.replicas(port).len() < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "replicas never all answered LOCATE: {:?}",
+            client.replicas(port)
+        );
+        client.invalidate(port);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || {
+                for i in 0..CALLS {
+                    let params = Bytes::from(vec![t as u8, i as u8, 7]);
+                    let expect = t as u64 + i as u64 + 7;
+                    let body = client
+                        .call_anonymous(port, CMD_SUM, params)
+                        .unwrap_or_else(|e| {
+                            panic!("client {t} call {i} failed during failover: {e}")
+                        });
+                    assert_eq!(wire::Reader::new(&body).u64().unwrap(), expect);
+                    // Spread the hammer so the halt lands mid-flight.
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            })
+        })
+        .collect();
+
+    // Let the hammer ramp up, then kill one replica under it.
+    std::thread::sleep(Duration::from_millis(15));
+    let dead = cluster.halt_replica(1);
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(
+        client.failovers() >= 1,
+        "the halted replica was cached, so at least one call must have failed over"
+    );
+    let survivors: Vec<_> = client
+        .replicas(port)
+        .into_iter()
+        .map(|r| r.machine)
+        .collect();
+    assert!(
+        !survivors.contains(&dead),
+        "the dead machine must stay invalidated"
+    );
+    cluster.stop();
+}
+
+/// Builds the metered flat file service (§3.6 pre-payment through a
+/// nested bank transaction) behind a sharded cluster of `replicas`
+/// machines, plus a funded wallet.
+fn metered_rig(
+    net: &Network,
+    replicas: usize,
+    workers: usize,
+) -> (ServiceRunner, ShardedCluster, Capability) {
+    let (bank_server, treasury_rx) =
+        BankServer::new(vec![Currency::convertible("dollar", 1)], SchemeKind::OneWay);
+    let bank_runner = ServiceRunner::spawn_open(net, bank_server);
+    let bank_port = bank_runner.put_port();
+    let treasury = treasury_rx.recv().unwrap();
+    let bank = BankClient::open(net, bank_port);
+    let server_account = bank.open_account().unwrap();
+    let wallet = bank.open_account().unwrap();
+    bank.mint(&treasury, &wallet, CurrencyId(0), 1_000_000)
+        .unwrap();
+
+    let cluster = ShardedCluster::spawn_open(net, replicas, workers, |_| {
+        // Every replica runs its own embedded bank client against the
+        // one shared bank; payments land in one server account.
+        FlatFsServer::with_quota(
+            SchemeKind::OneWay,
+            QuotaPolicy {
+                bank: BankClient::open(net, bank_port),
+                server_account,
+                currency: CurrencyId(0),
+                price_per_kib: 1,
+            },
+        )
+    });
+    (bank_runner, cluster, wallet)
+}
+
+/// One client thread's share of the metered-create workload. Every
+/// create parks the owning replica's dispatch worker on a nested bank
+/// round-trip, so replica count is what sets throughput.
+fn hammer_creates(client: &ShardedClient, wallet: &Capability, calls: usize) {
+    for _ in 0..calls {
+        let params = wire::Writer::new().cap(wallet).u64(1).finish();
+        let body = client
+            .call_create(amoeba::flatfs::ops::CREATE, params)
+            .unwrap();
+        wire::Reader::new(&body).cap().unwrap();
+    }
+}
+
+fn timed_metered_round(net: &Network, replicas: usize) -> Duration {
+    const CLIENTS: usize = 12;
+    const CALLS: usize = 2;
+    let (bank_runner, cluster, wallet) = metered_rig(net, replicas, 1);
+    let clients: Vec<Arc<ShardedClient>> = (0..CLIENTS)
+        .map(|_| {
+            Arc::new(ShardedClient::new(
+                ServiceClient::open(net),
+                cluster.range_ports().to_vec(),
+            ))
+        })
+        .collect();
+    net.set_latency(Duration::from_millis(2));
+    let t0 = Instant::now();
+    let handles: Vec<_> = clients
+        .into_iter()
+        .map(|client| std::thread::spawn(move || hammer_creates(&client, &wallet, CALLS)))
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+    net.set_latency(Duration::ZERO);
+    cluster.stop();
+    bank_runner.stop();
+    elapsed
+}
+
+#[test]
+fn three_sharded_replicas_at_least_double_metered_create_throughput() {
+    // The placement acceptance bar: on the metered-create workload at
+    // nonzero hop latency, 3 replicas must be ≥2× the throughput of 1.
+    // Every create parks a dispatch worker on a nested bank round-trip
+    // (2 ms per hop), so capacity scales with machines, not cycles —
+    // which is why the gate holds even on a single-core host. The
+    // expected ratio is ~2.8; one re-measure absorbs scheduler noise
+    // from unrelated load without weakening the ≥2× bar itself.
+    let mut rounds = Vec::new();
+    for _ in 0..2 {
+        let net = Network::new();
+        let single = timed_metered_round(&net, 1);
+        let triple = timed_metered_round(&net, 3);
+        if triple * 2 <= single {
+            return; // gate met
+        }
+        rounds.push((single, triple));
+    }
+    panic!("3 replicas must be ≥2× faster on metered creates; measured {rounds:?}");
+}
+
+#[test]
+fn sharded_capabilities_survive_cross_client_use() {
+    // Capabilities minted through one sharded client route correctly
+    // through another (the range map, not client state, places them).
+    let net = Network::new();
+    let (bank_runner, cluster, wallet) = metered_rig(&net, 3, 1);
+    let a = ShardedClient::new(ServiceClient::open(&net), cluster.range_ports().to_vec());
+    let b = ShardedClient::new(ServiceClient::open(&net), cluster.range_ports().to_vec());
+
+    let params = wire::Writer::new().cap(&wallet).u64(1).finish();
+    let caps: Vec<Capability> = (0..6)
+        .map(|_| {
+            let body = a
+                .call_create(amoeba::flatfs::ops::CREATE, params.clone())
+                .unwrap();
+            wire::Reader::new(&body).cap().unwrap()
+        })
+        .collect();
+    for (i, cap) in caps.iter().enumerate() {
+        b.call(
+            cap,
+            amoeba::flatfs::ops::WRITE,
+            wire::Writer::new()
+                .u64(0)
+                .bytes(format!("x{i}").as_bytes())
+                .finish(),
+        )
+        .unwrap();
+        let read = b
+            .call(
+                cap,
+                amoeba::flatfs::ops::READ,
+                wire::Writer::new().u64(0).u32(8).finish(),
+            )
+            .unwrap();
+        assert_eq!(&read[..], format!("x{i}").as_bytes());
+    }
+    cluster.stop();
+    bank_runner.stop();
+}
+
+#[test]
+fn discovery_traffic_is_accounted_as_broadcast_bytes() {
+    // The placement bench reports discovery overhead from the
+    // broadcast byte counter; make sure LOCATE traffic is what lands
+    // there and request/reply traffic is not.
+    let net = Network::new();
+    let cluster = ServiceCluster::spawn_open(&net, 3, 1, |_| Summer);
+    let client = ClusterClient::broadcast(&net);
+    let before = net.stats().snapshot();
+    for i in 0..8u8 {
+        client
+            .call_anonymous(cluster.put_port(), CMD_SUM, Bytes::from(vec![i]))
+            .unwrap();
+    }
+    let d = net.stats().snapshot() - before;
+    assert_eq!(d.broadcasts_sent, 1, "one LOCATE for eight calls");
+    assert!(
+        d.broadcast_bytes_sent > 0 && d.broadcast_bytes_sent < d.bytes_sent / 4,
+        "discovery bytes ({}) must be a small, separately-visible slice of {}",
+        d.broadcast_bytes_sent,
+        d.bytes_sent
+    );
+    cluster.stop();
+}
