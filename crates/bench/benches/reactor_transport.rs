@@ -1,0 +1,139 @@
+//! Reactor transport: what the virtual clock buys in wall-clock terms,
+//! and how many services a small driver pool can carry.
+//!
+//! Two experiments:
+//!
+//! * **virtual-vs-wall / metered-create** — the §3.6 metered-create
+//!   workload (every CREATE pays through a nested bank transaction) at
+//!   2 ms per hop, run once on the wall clock (hops are real sleeps)
+//!   and once on the virtual clock (hops are timeline jumps), with
+//!   identical request counts and reply contents. The acceptance bar
+//!   (asserted in `tests/scale.rs`) is a ≥10× wall-clock speedup; the
+//!   virtual figure takes the fastest of three runs since host
+//!   scheduling can only slow a virtual run down.
+//! * **driver-pool density** — `spawn_reactor` drives 64 services on 4
+//!   driver threads through the scale hammer (8 client threads
+//!   spraying echo traffic across every port); the headline is
+//!   services per driver thread, the regression guard is that the
+//!   hammer completes at all (no deadlock).
+//!
+//! Besides stdout, the run writes the headline numbers to
+//! `BENCH_reactor.json` (override the path with `BENCH_REACTOR_OUT`)
+//! so CI can archive the perf trajectory. The JSON is written in both
+//! smoke and measure modes — the numbers come from direct wall-clock
+//! measurement, not the criterion harness.
+
+use amoeba_bench::METERED_HOP_LATENCY;
+use amoeba_net::Network;
+use amoeba_server::proto::{Reply, Request, Status};
+use amoeba_server::{RequestCtx, Service, ServiceClient, ServiceRunner};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+const CREATES: usize = 16;
+const POOL_SERVICES: usize = 64;
+const POOL_DRIVERS: usize = 4;
+
+/// A stateless echo used for the driver-pool density hammer.
+struct Echo;
+
+impl Service for Echo {
+    fn handle(&self, req: &Request, _ctx: &RequestCtx) -> Reply {
+        if req.command == 1 {
+            Reply::ok(req.params.clone())
+        } else {
+            Reply::status(Status::BadCommand)
+        }
+    }
+}
+
+/// Hammers a reactor pool of `services` echoes on `drivers` threads;
+/// returns the wall-clock for the whole hammer.
+fn pool_hammer(services: usize, drivers: usize) -> Duration {
+    const CLIENTS: usize = 8;
+    const CALLS: usize = 24;
+    let net = Network::new();
+    let boxed: Vec<Box<dyn Service>> = (0..services)
+        .map(|_| Box::new(Echo) as Box<dyn Service>)
+        .collect();
+    let pool = ServiceRunner::spawn_reactor(&net, boxed, drivers);
+    let ports = pool.put_ports().to_vec();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let net = net.clone();
+            let ports = ports.clone();
+            std::thread::spawn(move || {
+                let client = ServiceClient::open(&net);
+                for i in 0..CALLS {
+                    let port = ports[(t * 11 + i * 7) % ports.len()];
+                    let body = Bytes::from((i as u32).to_be_bytes().to_vec());
+                    assert_eq!(client.call_anonymous(port, 1, body.clone()).unwrap(), body);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+    pool.stop();
+    elapsed
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = amoeba_bench::net_group(c, "reactor-transport");
+    g.sample_size(10);
+    g.bench_function("metered-create/virtual", |b| {
+        b.iter(|| amoeba_bench::metered_create_round(&Network::new_virtual(), CREATES))
+    });
+    g.finish();
+}
+
+fn report_headline_numbers() {
+    let wall = amoeba_bench::metered_create_round(&Network::new(), CREATES);
+    let virt = (0..3)
+        .map(|_| amoeba_bench::metered_create_round(&Network::new_virtual(), CREATES))
+        .min()
+        .unwrap();
+    let ratio = wall.as_secs_f64() / virt.as_secs_f64();
+    let hammer = pool_hammer(POOL_SERVICES, POOL_DRIVERS);
+
+    println!(
+        "reactor-transport/metered-create ({CREATES} creates at \
+         {METERED_HOP_LATENCY:?}/hop): wall {wall:?}, virtual {virt:?} ({ratio:.1}x)"
+    );
+    println!(
+        "reactor-transport/driver-pool: {POOL_SERVICES} services on \
+         {POOL_DRIVERS} drivers ({} services/driver), hammer {hammer:?}",
+        POOL_SERVICES / POOL_DRIVERS
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"metered-create\",\n  \"creates\": {CREATES},\n  \
+         \"hop_latency_ms\": {},\n  \"wall_clock_ms\": {:.3},\n  \
+         \"virtual_clock_ms\": {:.3},\n  \"virtual_speedup\": {:.3},\n  \
+         \"pool_services\": {POOL_SERVICES},\n  \"pool_drivers\": {POOL_DRIVERS},\n  \
+         \"services_per_driver\": {},\n  \"pool_hammer_ms\": {:.3}\n}}\n",
+        METERED_HOP_LATENCY.as_millis(),
+        wall.as_secs_f64() * 1e3,
+        virt.as_secs_f64() * 1e3,
+        ratio,
+        POOL_SERVICES / POOL_DRIVERS,
+        hammer.as_secs_f64() * 1e3,
+    );
+    let out = std::env::var("BENCH_REACTOR_OUT").unwrap_or_else(|_| "BENCH_reactor.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("reactor-transport: wrote {out}"),
+        Err(e) => println!("reactor-transport: could not write {out}: {e}"),
+    }
+}
+
+fn bench_reactor(c: &mut Criterion) {
+    bench_rounds(c);
+    report_headline_numbers();
+}
+
+criterion_group!(benches, bench_reactor);
+criterion_main!(benches);

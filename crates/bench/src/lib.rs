@@ -62,3 +62,65 @@ pub fn net_group<'a>(
 pub fn quiet_network() -> Network {
     Network::new()
 }
+
+/// The hop latency the metered-create comparisons run at.
+pub const METERED_HOP_LATENCY: Duration = Duration::from_millis(2);
+
+/// One §3.6 metered-create round — every CREATE pays through a nested
+/// bank transaction — at [`METERED_HOP_LATENCY`] per hop, on whichever
+/// clock `net` carries. Returns the **real wall-clock** the round
+/// took; under `Network::new_virtual()` the hops are timeline jumps,
+/// under `Network::new()` they are slept out. Shared by the
+/// `reactor_transport` bench and the `tests/scale.rs` ≥10× acceptance
+/// gate so both measure the identical workload.
+pub fn metered_create_round(net: &Network, creates: usize) -> Duration {
+    use amoeba_bank::{BankClient, Currency, CurrencyId};
+    use amoeba_cap::schemes::SchemeKind as Kind;
+    use amoeba_flatfs::{FlatFsClient, FlatFsServer, QuotaPolicy};
+    use amoeba_server::{ServiceClient, ServiceRunner};
+
+    let patient = amoeba_rpc::RpcConfig {
+        timeout: Duration::from_secs(30),
+        attempts: 2,
+    };
+    let (bank_server, treasury_rx) =
+        amoeba_bank::BankServer::new(vec![Currency::convertible("dollar", 1)], Kind::OneWay);
+    let bank_runner = ServiceRunner::spawn_open(net, bank_server);
+    let treasury = treasury_rx.recv().expect("treasury cap");
+    let bank = BankClient::open(net, bank_runner.put_port());
+    let server_account = bank.open_account().expect("server account");
+    let wallet = bank.open_account().expect("wallet");
+    bank.mint(&treasury, &wallet, CurrencyId(0), 100_000)
+        .expect("mint");
+    let runner = ServiceRunner::spawn_open_workers(
+        net,
+        FlatFsServer::with_quota(
+            Kind::OneWay,
+            QuotaPolicy {
+                bank: BankClient::with_service(
+                    ServiceClient::open_with_config(net, patient),
+                    bank_runner.put_port(),
+                ),
+                server_account,
+                currency: CurrencyId(0),
+                price_per_kib: 1,
+            },
+        ),
+        2,
+    );
+    let fs = FlatFsClient::with_service(
+        ServiceClient::open_with_config(net, patient),
+        runner.put_port(),
+    );
+    net.set_latency(METERED_HOP_LATENCY);
+    let t0 = std::time::Instant::now();
+    for _ in 0..creates {
+        let cap = fs.create_paid(&wallet, 1).expect("metered create");
+        fs.destroy(&cap).expect("destroy");
+    }
+    let elapsed = t0.elapsed();
+    net.set_latency(Duration::ZERO);
+    runner.stop();
+    bank_runner.stop();
+    elapsed
+}

@@ -44,5 +44,5 @@ mod sharded;
 
 pub use amoeba_rpc::{PlacementPolicy, Replica};
 pub use registry::ClusterRegistry;
-pub use replicated::{ClusterClient, ServiceCluster};
+pub use replicated::{ClusterClient, HealthProber, ServiceCluster};
 pub use sharded::{range_capability, ShardedClient, ShardedCluster};

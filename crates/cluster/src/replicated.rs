@@ -7,9 +7,12 @@ use amoeba_rpc::{Client, Locator, Matchmaker, PlacementPolicy, Replica, RpcConfi
 use amoeba_server::proto::null_cap;
 use amoeba_server::{ClientError, Service, ServiceClient, ServiceRunner};
 use bytes::Bytes;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A group of [`ServiceRunner`] replicas serving **one** put-port from
@@ -108,17 +111,10 @@ enum Discovery {
 }
 
 impl Discovery {
-    fn pick_cached(&self, port: Port) -> Option<MachineId> {
+    fn pick_cached(&self, endpoint: &amoeba_net::Endpoint, port: Port) -> Option<MachineId> {
         match self {
-            Discovery::Broadcast(l) => l.pick_cached(port),
-            Discovery::Registry(m) => m.pick_cached(port),
-        }
-    }
-
-    fn pick(&self, endpoint: &amoeba_net::Endpoint, port: Port) -> Option<MachineId> {
-        match self {
-            Discovery::Broadcast(l) => l.locate(endpoint, port),
-            Discovery::Registry(m) => m.locate(endpoint, port),
+            Discovery::Broadcast(l) => l.pick_cached(endpoint, port),
+            Discovery::Registry(m) => m.pick_cached(endpoint, port),
         }
     }
 
@@ -180,6 +176,19 @@ pub struct ClusterClient {
     /// Transparent retries performed so far (observability: "callers
     /// see retries, not errors").
     failovers: AtomicU64,
+    /// Machines this client considers dead, per port, with the number
+    /// of consecutive probe misses: invalidated on a transport error,
+    /// or observed to have vanished from a fresh resolve (the
+    /// TTL-expiry path, where a crashed replica silently drops out of
+    /// the re-resolved set). The health probe's worklist; a machine
+    /// leaves when a re-LOCATE shows it answering again (re-admission)
+    /// or after [`MAX_PROBE_MISSES`](Self::MAX_PROBE_MISSES)
+    /// consecutive misses (presumed permanently departed — a planned
+    /// scale-down, not a crash).
+    dead: Mutex<HashMap<Port, HashMap<MachineId, u32>>>,
+    /// Every machine ever resolved for each port — the baseline the
+    /// vanish detection diffs fresh resolves against.
+    known: Mutex<HashMap<Port, HashSet<MachineId>>>,
 }
 
 impl ClusterClient {
@@ -234,16 +243,59 @@ impl ClusterClient {
             discovery_ep: net.attach_open(),
             max_attempts: 4,
             failovers: AtomicU64::new(0),
+            dead: Mutex::new(HashMap::new()),
+            known: Mutex::new(HashMap::new()),
         }
     }
 
     fn pick(&self, port: Port) -> Option<MachineId> {
         // Fast path: a cached set costs one cache lock, no network;
         // only misses enter the (internally serialised) resolve path.
-        if let Some(machine) = self.discovery.pick_cached(port) {
+        if let Some(machine) = self.discovery.pick_cached(&self.discovery_ep, port) {
             return Some(machine);
         }
-        self.discovery.pick(&self.discovery_ep, port)
+        // Cache miss: resolve the full set (one broadcast/lookup, same
+        // cost as a single pick) so the vanish detection sees it, then
+        // pick from the refreshed cache.
+        let set = self.discovery.replicas(&self.discovery_ep, port);
+        self.note_live(port, &set);
+        self.discovery.pick_cached(&self.discovery_ep, port)
+    }
+
+    /// Records a fresh resolve: machines seen before but missing from
+    /// `live` go on the dead list (they vanished — crash plus cache
+    /// TTL expiry never produces a transport error to catch them);
+    /// dead-listed machines present in `live` are re-admitted. Returns
+    /// how many were re-admitted.
+    fn note_live(&self, port: Port, live: &[Replica]) -> usize {
+        // An empty set is a failed or timed-out resolve, not evidence
+        // that every replica vanished: dead-listing the whole baseline
+        // on one discovery blip would have the prober tearing down the
+        // hot cache every interval. A genuinely dead sole replica is
+        // still caught by the transport-error path.
+        if live.is_empty() {
+            return 0;
+        }
+        let live_set: HashSet<MachineId> = live.iter().map(|r| r.machine).collect();
+        let mut known = self.known.lock();
+        let baseline = known.entry(port).or_default();
+        let mut dead = self.dead.lock();
+        for &m in baseline.iter() {
+            if !live_set.contains(&m) {
+                dead.entry(port).or_default().entry(m).or_insert(0);
+            }
+        }
+        let mut readmitted = 0;
+        if let Some(set) = dead.get_mut(&port) {
+            let before = set.len();
+            set.retain(|m, _| !live_set.contains(m));
+            readmitted = before - set.len();
+            if set.is_empty() {
+                dead.remove(&port);
+            }
+        }
+        baseline.extend(live_set);
+        readmitted
     }
 
     /// Builder knob: the maximum number of distinct replicas tried per
@@ -260,7 +312,9 @@ impl ClusterClient {
     /// The live replica set of `port` as this client currently sees it
     /// (resolving if uncached).
     pub fn replicas(&self, port: Port) -> Vec<Replica> {
-        self.discovery.replicas(&self.discovery_ep, port)
+        let set = self.discovery.replicas(&self.discovery_ep, port);
+        self.note_live(port, &set);
+        set
     }
 
     /// Drops the cached replica set for `port`, forcing the next call
@@ -275,9 +329,129 @@ impl ClusterClient {
         self.failovers.load(Ordering::Relaxed)
     }
 
+    /// Consecutive health-probe misses before a dead-listed machine is
+    /// presumed permanently departed (planned scale-down rather than a
+    /// crash) and dropped from the probe's worklist — without this, a
+    /// deregistered replica would keep the prober broadcasting LOCATE
+    /// and churning the replica cache forever.
+    pub const MAX_PROBE_MISSES: u32 = 8;
+
+    /// The machines this client currently considers dead for `port`
+    /// (invalidated on transport error or vanished from a resolve, not
+    /// yet re-admitted or given up on).
+    pub fn dead_replicas(&self, port: Port) -> Vec<MachineId> {
+        self.dead
+            .lock()
+            .get(&port)
+            .map(|s| s.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The **active health probe** (PR 3 follow-up: re-join used to be
+    /// passive). For every port with dead-listed machines, forces one
+    /// fresh discovery round (broadcast LOCATE / registry `LOCATE_ALL`)
+    /// and re-admits every dead machine that answered — the fresh set
+    /// replaces the cache, so a revived replica starts taking traffic
+    /// on the next call instead of waiting out the cache TTL. Returns
+    /// the number of machines re-admitted.
+    ///
+    /// Cheap when healthy: with an empty dead list this is one lock
+    /// acquisition, no network traffic.
+    pub fn probe_dead_once(&self) -> usize {
+        let worklist: Vec<Port> = self.dead.lock().keys().copied().collect();
+        let mut readmitted = 0;
+        for port in worklist {
+            // Force a fresh resolution (the cached set, by
+            // construction, excludes the dead machines).
+            self.discovery.invalidate(port);
+            let set = self.discovery.replicas(&self.discovery_ep, port);
+            readmitted += self.note_live(port, &set);
+            // Charge a miss to every machine still dead after the
+            // resolve; persistent no-shows are presumed departed and
+            // leave both the worklist and the vanish baseline (if they
+            // ever return, discovery re-learns them from scratch).
+            //
+            // Lock order: the `dead` lock is released before touching
+            // `known` — `note_live` nests them the other way round
+            // (known → dead), and holding both here would be an ABBA
+            // deadlock against a concurrent resolve.
+            let departed: Vec<MachineId> = {
+                let mut dead = self.dead.lock();
+                let mut departed = Vec::new();
+                if let Some(entries) = dead.get_mut(&port) {
+                    for (&machine, misses) in entries.iter_mut() {
+                        *misses += 1;
+                        if *misses >= Self::MAX_PROBE_MISSES {
+                            departed.push(machine);
+                        }
+                    }
+                    for machine in &departed {
+                        entries.remove(machine);
+                    }
+                    if entries.is_empty() {
+                        dead.remove(&port);
+                    }
+                }
+                departed
+            };
+            if !departed.is_empty() {
+                if let Some(known) = self.known.lock().get_mut(&port) {
+                    for machine in &departed {
+                        known.remove(machine);
+                    }
+                }
+            }
+        }
+        readmitted
+    }
+
+    /// Spawns a background prober that calls
+    /// [`probe_dead_once`](Self::probe_dead_once) every `interval` of
+    /// **timeline** time (the network's clock: virtual-time tests probe
+    /// in virtual time). Returns the prober handle; dropping (or
+    /// [`stop`](HealthProber::stop)ping) it ends the thread.
+    pub fn spawn_health_prober(self: &Arc<Self>, interval: Duration) -> HealthProber {
+        let client = Arc::clone(self);
+        let reactor = Arc::clone(self.discovery_ep.reactor());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            let reactor = Arc::clone(client.discovery_ep.reactor());
+            while !stop.load(Ordering::Relaxed) {
+                // Interruptible timeline sleep: wakes at the interval
+                // or when the stop flag is raised (stop() notifies).
+                let deadline = reactor.now() + interval;
+                let _: Option<()> = reactor.park_until(Some(deadline), || {
+                    stop.load(Ordering::Relaxed).then_some(())
+                });
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                client.probe_dead_once();
+            }
+        });
+        HealthProber {
+            shutdown,
+            reactor,
+            handle: Some(handle),
+        }
+    }
+
     /// The underlying generic service client.
     pub fn service(&self) -> &ServiceClient {
         &self.svc
+    }
+
+    /// The machine transactions are sent from (for topology/fault
+    /// injection in tests).
+    pub fn machine(&self) -> MachineId {
+        self.svc.rpc().endpoint().id()
+    }
+
+    /// The machine discovery (LOCATE) runs from — a second interface
+    /// on the client host.
+    pub fn discovery_machine(&self) -> MachineId {
+        self.discovery_ep.id()
     }
 
     /// Invokes `command` on the object named by `cap`, on whichever
@@ -334,8 +508,12 @@ impl ClusterClient {
                     // The §3.4 moment: drop the dead replica from the
                     // cached set and let the next iteration route the
                     // same request to a survivor. The caller never
-                    // sees this happen.
+                    // sees this happen. The machine also lands on the
+                    // health probe's dead list for later re-admission
+                    // (a fresh transport error restarts its probe
+                    // budget).
                     self.discovery.invalidate_machine(port, machine);
+                    self.dead.lock().entry(port).or_default().insert(machine, 0);
                     if attempt + 1 < self.max_attempts {
                         self.failovers.fetch_add(1, Ordering::Relaxed);
                     }
@@ -345,6 +523,38 @@ impl ClusterClient {
             }
         }
         Err(last)
+    }
+}
+
+/// A running background health probe for a [`ClusterClient`]; see
+/// [`ClusterClient::spawn_health_prober`]. Stops on drop.
+#[derive(Debug)]
+pub struct HealthProber {
+    shutdown: Arc<AtomicBool>,
+    reactor: Arc<amoeba_net::Reactor>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthProber {
+    /// Stops the probe thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // The prober parks on the reactor between rounds; wake it so
+        // it observes the flag.
+        self.reactor.notify();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HealthProber {
+    fn drop(&mut self) {
+        self.shutdown_now();
     }
 }
 
@@ -439,6 +649,110 @@ mod tests {
             .map(|r| r.machine)
             .collect();
         assert!(!survivors.contains(&dead), "dead replica stays dropped");
+        cluster.stop();
+    }
+
+    /// Severs (or restores) both of the client's interfaces to a
+    /// replica machine — transactions and discovery alike.
+    fn set_link(net: &Network, client: &ClusterClient, machine: MachineId, up: bool) {
+        if up {
+            net.heal(client.machine(), machine);
+            net.heal(client.discovery_machine(), machine);
+        } else {
+            net.partition(client.machine(), machine);
+            net.partition(client.discovery_machine(), machine);
+        }
+    }
+
+    /// Calls until `victim` lands on the dead list (round-robin needs
+    /// a few calls to trip over it), asserting every call succeeds.
+    fn drive_until_dead(client: &ClusterClient, port: Port, victim: MachineId) {
+        for i in 0..8u32 {
+            let body = Bytes::from(i.to_be_bytes().to_vec());
+            assert_eq!(
+                client.call_anonymous(port, CMD_ECHO, body.clone()).unwrap(),
+                body
+            );
+            if client.dead_replicas(port).contains(&victim) {
+                return;
+            }
+        }
+        panic!(
+            "victim never invalidated: dead={:?}",
+            client.dead_replicas(port)
+        );
+    }
+
+    #[test]
+    fn health_probe_readmits_a_healed_replica() {
+        let net = Network::new();
+        let cluster = spawn_echo_cluster(&net, 2);
+        let port = cluster.put_port();
+        let client = ClusterClient::broadcast(&net);
+        warm_cache(&client, port, 2);
+
+        let victim = cluster.machines()[0];
+        set_link(&net, &client, victim, false);
+        drive_until_dead(&client, port, victim);
+
+        // While the replica stays unreachable the probe re-admits
+        // nothing — a dead machine must not come back on hope alone.
+        assert_eq!(client.probe_dead_once(), 0);
+        assert!(client.dead_replicas(port).contains(&victim));
+
+        // Heal the link: the next probe re-LOCATEs and re-admits.
+        set_link(&net, &client, victim, true);
+        assert_eq!(client.probe_dead_once(), 1, "healed replica re-admitted");
+        assert!(client.dead_replicas(port).is_empty());
+        let live: Vec<MachineId> = client
+            .replicas(port)
+            .into_iter()
+            .map(|r| r.machine)
+            .collect();
+        assert!(live.contains(&victim), "revived replica back in the set");
+
+        // And it serves traffic again: spread calls until the victim
+        // answers one (round-robin reaches it within the set size).
+        for i in 0..4u32 {
+            client
+                .call_anonymous(port, CMD_ECHO, Bytes::from(i.to_be_bytes().to_vec()))
+                .unwrap();
+        }
+        assert_eq!(client.failovers(), 1, "no new failovers after re-admission");
+        cluster.stop();
+    }
+
+    #[test]
+    fn background_prober_readmits_on_the_virtual_clock() {
+        let net = Network::new_virtual();
+        let cluster = spawn_echo_cluster(&net, 2);
+        let port = cluster.put_port();
+        let client = Arc::new(ClusterClient::broadcast(&net));
+        warm_cache(&client, port, 2);
+        let prober = client.spawn_health_prober(Duration::from_millis(50));
+
+        let victim = cluster.machines()[1];
+        set_link(&net, &client, victim, false);
+        drive_until_dead(&client, port, victim);
+        set_link(&net, &client, victim, true);
+
+        // The background prober runs on the virtual clock; give it
+        // real time to do its (virtually timed) rounds.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !client.dead_replicas(port).is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "prober never re-admitted the healed replica"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let live: Vec<MachineId> = client
+            .replicas(port)
+            .into_iter()
+            .map(|r| r.machine)
+            .collect();
+        assert!(live.contains(&victim));
+        prober.stop();
         cluster.stop();
     }
 

@@ -50,10 +50,12 @@ mod addr;
 mod network;
 mod nic;
 mod packet;
+mod reactor;
 mod stats;
 
 pub use addr::{MachineId, Port};
 pub use network::{Endpoint, Network, RecvError};
 pub use nic::{NetworkInterface, OpenNic};
 pub use packet::{Header, Packet};
+pub use reactor::{Clock, Gate, Reactor, Timestamp, VirtualClock, WallClock, QUIESCENCE_GRACE};
 pub use stats::NetworkStats;

@@ -32,16 +32,17 @@
 use crate::addr::{MachineId, Port};
 use crate::nic::{NetworkInterface, OpenNic};
 use crate::packet::{Header, Packet};
+use crate::reactor::{Clock, Reactor, Timestamp};
 use crate::stats::NetworkStats;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct MachineEntry {
     sender: Sender<Packet>,
@@ -53,6 +54,7 @@ struct MachineEntry {
 }
 
 struct NetworkInner {
+    reactor: Arc<Reactor>,
     machines: RwLock<HashMap<MachineId, MachineEntry>>,
     taps: RwLock<Vec<Sender<Packet>>>,
     colocated: RwLock<HashSet<(MachineId, MachineId)>>,
@@ -90,10 +92,29 @@ impl Default for Network {
 }
 
 impl Network {
-    /// Creates an empty network with zero latency and no loss.
+    /// Creates an empty network with zero latency and no loss, on the
+    /// wall clock (simulated latency costs real wall-clock).
     pub fn new() -> Network {
+        Self::with_reactor(Reactor::wall())
+    }
+
+    /// Creates an empty network on the **virtual clock**: simulated
+    /// latency and timeouts advance the network's timeline without
+    /// blocking real time. See [`Reactor`] for the event/quiescence
+    /// model.
+    pub fn new_virtual() -> Network {
+        Self::with_reactor(Reactor::virtual_time())
+    }
+
+    /// Creates an empty network over an explicit clock.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Network {
+        Self::with_reactor(Reactor::new(clock))
+    }
+
+    fn with_reactor(reactor: Arc<Reactor>) -> Network {
         Network {
             inner: Arc::new(NetworkInner {
+                reactor,
                 machines: RwLock::new(HashMap::new()),
                 taps: RwLock::new(Vec::new()),
                 colocated: RwLock::new(HashSet::new()),
@@ -105,6 +126,22 @@ impl Network {
                 stats: NetworkStats::default(),
             }),
         }
+    }
+
+    /// The network's reactor (scheduler + clock).
+    pub fn reactor(&self) -> &Arc<Reactor> {
+        &self.inner.reactor
+    }
+
+    /// The current point on the network's timeline.
+    pub fn now(&self) -> Timestamp {
+        self.inner.reactor.now()
+    }
+
+    /// Sleeps `d` of timeline time (real under the wall clock, a
+    /// scheduled wakeup under the virtual clock).
+    pub fn sleep(&self, d: Duration) {
+        self.inner.reactor.sleep(d);
     }
 
     /// Attaches a machine with the given network interface.
@@ -249,9 +286,10 @@ impl Network {
         }
 
         let latency = *self.inner.latency.lock();
-        let now = Instant::now();
+        let now = self.inner.reactor.now();
 
-        // Intruder taps see the frame as transmitted.
+        // Intruder taps see the frame as transmitted. Tap copies are
+        // diagnostics, not deliveries: they carry no gate.
         {
             let taps = self.inner.taps.read();
             if !taps.is_empty() {
@@ -260,6 +298,7 @@ impl Network {
                     header,
                     payload: payload.clone(),
                     deliver_at: now,
+                    gate: None,
                 };
                 for tap in taps.iter() {
                     let _ = tap.send(pkt.clone());
@@ -295,22 +334,45 @@ impl Network {
             } else {
                 now + latency
             };
+            // Under the virtual clock every enqueued packet gates the
+            // timeline at its arrival instant until consumed, keeping
+            // concurrent flows causally ordered (see Reactor::deliver).
+            let gate = self
+                .inner
+                .reactor
+                .is_virtual()
+                .then(|| self.inner.reactor.register_gate(deliver_at));
             let pkt = Packet {
                 source: from,
                 header,
                 payload: payload.clone(),
                 deliver_at,
+                gate,
             };
             if entry.sender.send(pkt).is_ok() {
                 delivered += 1;
                 stats.packets_delivered.fetch_add(1, Ordering::Relaxed);
+            } else if let Some(gate) = gate {
+                // Nobody will ever consume it; free the timeline.
+                self.inner.reactor.release_gate(gate);
             }
         }
+        drop(machines);
+        drop(colocated);
+        drop(partitioned);
+        // Wake every parked receiver to re-poll its queue. The
+        // wall-clock fast paths block on the channels themselves, so
+        // this only matters to reactor-parked waiters (virtual-clock
+        // receives, driver pools).
+        self.inner.reactor.notify();
         delivered
     }
 
     fn detach(&self, id: MachineId) {
         self.inner.machines.write().remove(&id);
+        // Parked receivers of the detached endpoint observe the
+        // disconnect on their next poll.
+        self.inner.reactor.notify();
     }
 }
 
@@ -398,6 +460,22 @@ impl Endpoint {
         self.load.load(Ordering::Relaxed)
     }
 
+    /// The network's reactor (scheduler + clock) — the clock every
+    /// timeout above this endpoint should be computed against.
+    pub fn reactor(&self) -> &Arc<Reactor> {
+        self.net.reactor()
+    }
+
+    /// The current point on the network's timeline.
+    pub fn now(&self) -> Timestamp {
+        self.net.now()
+    }
+
+    /// Sleeps `d` of timeline time (see [`Network::sleep`]).
+    pub fn sleep(&self, d: Duration) {
+        self.net.sleep(d);
+    }
+
     /// Registers interest in `port` (a GET in the paper's terms).
     /// Returns the wire port actually listened on — `F(port)` under an
     /// F-box.
@@ -415,44 +493,101 @@ impl Endpoint {
         self.net.send(self.id, header, payload)
     }
 
-    /// Blocks until a packet arrives (waiting out simulated latency).
+    /// Blocks until a packet arrives (advancing the clock over its
+    /// simulated latency: a real wait on the wall clock, a jump on the
+    /// virtual one).
     ///
     /// # Errors
     /// Returns [`RecvError::Disconnected`] if the endpoint has been
     /// detached.
     pub fn recv(&self) -> Result<Packet, RecvError> {
+        let reactor = self.net.reactor();
+        if reactor.is_virtual() {
+            return self.recv_parked(None);
+        }
         let pkt = self.receiver.recv().map_err(|_| RecvError::Disconnected)?;
-        wait_until(pkt.deliver_at);
+        reactor.deliver(&pkt);
         Ok(pkt)
     }
 
-    /// Like [`recv`](Endpoint::recv) but gives up after `timeout`.
+    /// Like [`recv`](Endpoint::recv) but gives up after `timeout` of
+    /// timeline time.
     ///
     /// # Errors
     /// [`RecvError::Timeout`] on expiry, [`RecvError::Disconnected`] if
     /// detached.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Packet, RecvError> {
-        let deadline = Instant::now() + timeout;
-        let pkt = self.receiver.recv_deadline(deadline).map_err(|e| match e {
+        self.recv_deadline(self.net.now() + timeout)
+    }
+
+    /// Like [`recv`](Endpoint::recv) but gives up once the timeline
+    /// reaches `deadline`.
+    ///
+    /// # Errors
+    /// As for [`recv_timeout`](Endpoint::recv_timeout).
+    pub fn recv_deadline(&self, deadline: Timestamp) -> Result<Packet, RecvError> {
+        let reactor = self.net.reactor();
+        if reactor.is_virtual() {
+            return self.recv_parked(Some(deadline));
+        }
+        let real = reactor
+            .clock()
+            .real_instant(deadline)
+            .expect("wall clocks map to real instants");
+        let pkt = self.receiver.recv_deadline(real).map_err(|e| match e {
             crossbeam::channel::RecvTimeoutError::Timeout => RecvError::Timeout,
             crossbeam::channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
         })?;
         // If the packet's simulated arrival lands past the caller's
         // deadline we still deliver it after waiting (a consumed channel
         // message cannot be requeued); the leniency only helps callers.
-        wait_until(pkt.deliver_at);
+        reactor.deliver(&pkt);
         Ok(pkt)
     }
 
-    /// Non-blocking receive of an already-arrived packet.
-    pub fn try_recv(&self) -> Option<Packet> {
-        match self.receiver.try_recv() {
-            Ok(pkt) => {
-                wait_until(pkt.deliver_at);
-                Some(pkt)
+    /// The reactor-parked receive: registers this waiter with the
+    /// reactor and re-polls the queue on every event, instead of
+    /// blocking an OS thread on the channel.
+    fn recv_parked(&self, deadline: Option<Timestamp>) -> Result<Packet, RecvError> {
+        let reactor = self.net.reactor();
+        let got = reactor.park_until(deadline, || match self.receiver.try_recv() {
+            Ok(pkt) => Some(Ok(pkt)),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(RecvError::Disconnected)),
+        });
+        match got {
+            Some(Ok(pkt)) => {
+                reactor.deliver(&pkt);
+                Ok(pkt)
             }
-            Err(_) => None,
+            Some(Err(e)) => Err(e),
+            None => Err(RecvError::Timeout),
         }
+    }
+
+    /// Non-blocking receive of an already-arrived packet (the clock is
+    /// still advanced over the packet's simulated latency).
+    pub fn try_recv(&self) -> Option<Packet> {
+        let pkt = self.poll_arrival()?;
+        self.net.reactor().deliver(&pkt);
+        Some(pkt)
+    }
+
+    /// Pops the next queued packet **without consuming its delivery**
+    /// (the clock is not advanced, the gate not released). This is the
+    /// building block for reactor-driven consumers whose poll runs
+    /// inside [`Reactor::park_until`] (where delivering would re-enter
+    /// the reactor): they pass the packet to
+    /// [`Reactor::deliver`](crate::Reactor::deliver) once parked-out.
+    /// Most callers want [`try_recv`](Endpoint::try_recv).
+    pub fn poll_arrival(&self) -> Option<Packet> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Whether at least one packet is queued on this endpoint
+    /// (regardless of its simulated arrival time).
+    pub fn has_arrivals(&self) -> bool {
+        !self.receiver.is_empty()
     }
 }
 
@@ -463,22 +598,21 @@ const _: () = {
     assert_shareable::<Network>();
 };
 
-fn wait_until(instant: Instant) {
-    let now = Instant::now();
-    if instant > now {
-        std::thread::sleep(instant - now);
-    }
-}
-
 impl Drop for Endpoint {
     fn drop(&mut self) {
         self.net.detach(self.id);
+        // Packets still queued here will never be consumed; release
+        // their delivery gates so the virtual timeline is not wedged.
+        while let Ok(pkt) = self.receiver.try_recv() {
+            self.net.reactor().discard(&pkt);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     fn port(v: u64) -> Port {
         Port::new(v).unwrap()
@@ -772,6 +906,71 @@ mod tests {
         }
         let total: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 200, "every packet claimed exactly once");
+    }
+
+    #[test]
+    fn virtual_clock_makes_latency_free_in_real_time() {
+        let net = Network::new_virtual();
+        let a = net.attach_open();
+        let b = net.attach_open();
+        b.claim(port(2));
+        net.set_latency(Duration::from_millis(500));
+        let t0 = std::time::Instant::now();
+        let v0 = net.now();
+        a.send(Header::to(port(2)), Bytes::new());
+        b.recv().unwrap();
+        assert!(
+            net.now().saturating_duration_since(v0) >= Duration::from_millis(500),
+            "virtual time must cover the hop latency"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "the 500 ms hop must not cost real wall-clock: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn virtual_recv_timeout_expires_without_real_waiting() {
+        let net = Network::new_virtual();
+        let a = net.attach_open();
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(2)).unwrap_err(),
+            RecvError::Timeout
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "a 2 s virtual timeout must expire via the reactor, not a sleep"
+        );
+        assert!(net.now().since_epoch() >= Duration::from_secs(2));
+    }
+
+    #[test]
+    fn virtual_shared_endpoint_still_delivers_each_packet_once() {
+        use std::sync::Arc;
+        let net = Network::new_virtual();
+        net.set_latency(Duration::from_millis(2));
+        let rx = Arc::new(net.attach_open());
+        rx.claim(port(88));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || {
+                    let mut got = 0u32;
+                    while rx.recv_timeout(Duration::from_millis(100)).is_ok() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let tx = net.attach_open();
+        for _ in 0..100 {
+            tx.send(Header::to(port(88)), Bytes::from_static(b"x"));
+        }
+        let total: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 100, "every packet claimed exactly once");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Packets and the standard Amoeba header.
 
 use crate::addr::{MachineId, Port};
+use crate::reactor::{Gate, Timestamp};
 use bytes::Bytes;
-use std::time::Instant;
 
 /// The three special header fields the F-box operates on (§2.2):
 /// destination, reply and signature ports.
@@ -77,8 +77,17 @@ pub struct Packet {
     pub header: Header,
     /// Opaque payload (cheaply clonable for broadcast fan-out).
     pub payload: Bytes,
-    /// Simulated arrival time; receivers wait until this instant.
-    pub(crate) deliver_at: Instant,
+    /// Simulated arrival point on the network's timeline; receivers
+    /// advance the clock to it before acting on the packet (a real
+    /// wait under [`WallClock`](crate::WallClock), a jump under
+    /// [`VirtualClock`](crate::VirtualClock)).
+    pub(crate) deliver_at: Timestamp,
+    /// The delivery gate holding the virtual timeline at `deliver_at`
+    /// until this packet is consumed ([`Reactor::deliver`]); `None`
+    /// under a wall clock and on tap copies.
+    ///
+    /// [`Reactor::deliver`]: crate::Reactor::deliver
+    pub(crate) gate: Option<Gate>,
 }
 
 impl Packet {
@@ -89,8 +98,9 @@ impl Packet {
     /// payload size — it is exactly what request batching amortises.
     pub const WIRE_HEADER_BYTES: u64 = 3 * 8 + 4 + 4;
 
-    /// The simulated arrival time of this packet.
-    pub fn deliver_at(&self) -> Instant {
+    /// The simulated arrival time of this packet on the network's
+    /// timeline.
+    pub fn deliver_at(&self) -> Timestamp {
         self.deliver_at
     }
 

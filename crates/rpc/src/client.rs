@@ -43,7 +43,7 @@
 //! produces.
 
 use crate::frame::{BatchStatus, Frame, MAX_BATCH_ENTRIES};
-use amoeba_net::{Endpoint, Header, MachineId, Packet, Port, RecvError};
+use amoeba_net::{Endpoint, Header, MachineId, Packet, Port, RecvError, Timestamp};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -400,7 +400,9 @@ impl Client {
             !std::mem::replace(&mut q.flusher_active, true)
         };
         if flusher {
-            std::thread::sleep(state.config.flush_window);
+            // Timeline sleep: real under the wall clock, a scheduled
+            // reactor wakeup under the virtual one.
+            self.endpoint.sleep(state.config.flush_window);
             let entries = {
                 let mut queues = state.queues.lock();
                 // Everything queued so far (ours included) ships in
@@ -447,46 +449,85 @@ impl Client {
     /// transaction owns its destination port (concurrent `trans` calls
     /// share one endpoint queue). Unclaimed packets are stale noise and
     /// are dropped.
-    fn route_foreign(&self, pkt: Packet) {
-        if let Some(waiter) = self.pending.lock().get(&pkt.header.dest) {
-            let _ = waiter.send(pkt);
+    fn route_foreign(&self, mut pkt: Packet) {
+        let pending = self.pending.lock();
+        if let Some(waiter) = pending.get(&pkt.header.dest) {
+            // Re-gate the handed-off packet: the virtual timeline may
+            // not run past its arrival until the owner consumes it.
+            self.endpoint.reactor().regate(&mut pkt);
+            match waiter.send(pkt) {
+                Ok(()) => {
+                    drop(pending);
+                    // The owner may be parked on the reactor (virtual
+                    // clock); mailbox deposits are not network events,
+                    // so wake it explicitly.
+                    self.endpoint.reactor().notify();
+                }
+                Err(e) => self.endpoint.reactor().discard(&e.0),
+            }
         }
     }
 
-    /// The shared request/await/retransmit engine: registers a fresh
-    /// reply port in the demux table, transmits `payload`, and waits —
-    /// under the [`DemuxPolicy`] cadence — for a packet whose decoded
-    /// frame `accept` recognises.
+    /// Starts a transaction and returns its completion handle without
+    /// blocking: the request frame is already on the wire when this
+    /// returns, and the caller decides when (and whether) to
+    /// [`wait`](Completion::wait) or [`poll`](Completion::poll) for the
+    /// reply. [`trans`](Self::trans) is exactly
+    /// `trans_async(..).wait()`; batch and pipelined transactions wrap
+    /// the same engine.
+    ///
+    /// Dropping the handle abandons the transaction (the reply port is
+    /// released; a late reply is dropped as stale noise).
+    pub fn trans_async(&self, dest: Port, request: Bytes) -> Completion<'_, Bytes> {
+        let payload = Frame::Request(request).encode();
+        self.start(dest, None, payload, |frame| match frame {
+            Frame::Reply(body) => Some(body),
+            _ => None,
+        })
+    }
+
+    /// The machine-targeted variant of [`trans_async`](Self::trans_async).
+    pub fn trans_async_to(
+        &self,
+        dest: Port,
+        machine: MachineId,
+        request: Bytes,
+    ) -> Completion<'_, Bytes> {
+        let payload = Frame::Request(request).encode();
+        self.start(dest, Some(machine), payload, |frame| match frame {
+            Frame::Reply(body) => Some(body),
+            _ => None,
+        })
+    }
+
+    /// The shared request/await/retransmit engine behind every
+    /// transaction shape: registers a fresh reply port in the demux
+    /// table, transmits `payload`, and blocks on the completion.
     fn transact<T>(
         &self,
         dest: Port,
         target: Option<MachineId>,
         payload: Bytes,
-        accept: impl Fn(Frame) -> Option<T>,
+        accept: impl Fn(Frame) -> Option<T> + Send + Sync + 'static,
     ) -> Result<T, RpcError> {
+        self.start(dest, target, payload, accept).wait()
+    }
+
+    /// Registers the demux entry, transmits the first attempt, and
+    /// hands back the in-flight transaction state.
+    fn start<T>(
+        &self,
+        dest: Port,
+        target: Option<MachineId>,
+        payload: Bytes,
+        accept: impl Fn(Frame) -> Option<T> + Send + Sync + 'static,
+    ) -> Completion<'_, T> {
         // Fresh reply get-port per transaction; stable across retries so
         // a late first reply satisfies a retransmitted request.
         let reply_get = Port::random(&mut *self.rng.lock());
         let reply_wire = self.endpoint.claim(reply_get);
         let (tx, rx) = unbounded();
         self.pending.lock().insert(reply_wire, tx);
-        let result = self.await_reply(dest, target, payload, reply_get, reply_wire, &rx, accept);
-        self.pending.lock().remove(&reply_wire);
-        self.endpoint.release(reply_get);
-        result
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn await_reply<T>(
-        &self,
-        dest: Port,
-        target: Option<MachineId>,
-        payload: Bytes,
-        reply_get: Port,
-        reply_wire: Port,
-        mailbox: &Receiver<Packet>,
-        accept: impl Fn(Frame) -> Option<T>,
-    ) -> Result<T, RpcError> {
         let mut header = Header::to(dest).with_reply(reply_get);
         if let Some(machine) = target {
             header = header.targeted(machine);
@@ -494,44 +535,173 @@ impl Client {
         if let Some(s) = self.signature {
             header = header.with_signature(s);
         }
-        for _ in 0..self.config.attempts.max(1) {
-            self.endpoint.send(header, payload.clone());
-            let deadline = std::time::Instant::now() + self.config.timeout;
-            loop {
-                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-                if remaining.is_zero() {
-                    break; // retransmit
+        let mut completion = Completion {
+            client: self,
+            header,
+            payload,
+            reply_get,
+            reply_wire,
+            mailbox: rx,
+            accept: Box::new(accept),
+            attempts_left: self.config.attempts.max(1),
+            attempt_deadline: Timestamp::ZERO,
+        };
+        completion.transmit();
+        completion
+    }
+}
+
+/// An in-flight transaction: the completion side of
+/// [`Client::trans_async`].
+///
+/// The handle owns the transaction's demux registration and drives the
+/// retransmission schedule. Progress is made whenever the caller calls
+/// [`poll`](Self::poll) (non-blocking) or [`wait`](Self::wait)
+/// (blocking, reactor-parked under a virtual clock) — there is no
+/// hidden thread. Dropping the handle abandons the transaction.
+pub struct Completion<'c, T> {
+    client: &'c Client,
+    header: Header,
+    payload: Bytes,
+    reply_get: Port,
+    reply_wire: Port,
+    /// Replies claimed from the shared endpoint by *peer* waiters and
+    /// routed here.
+    mailbox: Receiver<Packet>,
+    accept: Box<dyn Fn(Frame) -> Option<T> + Send + Sync>,
+    /// Attempts not yet transmitted (the first transmit happens in
+    /// [`Client::start`]).
+    attempts_left: u32,
+    attempt_deadline: Timestamp,
+}
+
+impl<T> std::fmt::Debug for Completion<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Completion")
+            .field("dest", &self.header.dest)
+            .field("attempts_left", &self.attempts_left)
+            .finish()
+    }
+}
+
+impl<T> Completion<'_, T> {
+    /// Transmits one attempt and arms its retransmission deadline.
+    fn transmit(&mut self) {
+        self.attempts_left -= 1;
+        self.client.endpoint.send(self.header, self.payload.clone());
+        self.attempt_deadline = self.client.endpoint.now() + self.client.config.timeout;
+    }
+
+    /// Decodes a packet against this transaction; foreign packets are
+    /// routed to their owner and yield `None`.
+    fn check_packet(&self, pkt: Packet) -> Option<T> {
+        if pkt.header.dest != self.reply_wire {
+            self.client.route_foreign(pkt);
+            return None;
+        }
+        Frame::decode(&pkt.payload).and_then(&*self.accept)
+    }
+
+    /// Makes all currently-possible progress: drains the mailbox and
+    /// the shared endpoint queue, and retransmits (or gives up) when
+    /// the attempt deadline has passed.
+    ///
+    /// Non-blocking caveat: consuming an arrived packet advances the
+    /// clock over its remaining simulated latency — a jump under the
+    /// virtual clock, but a **real wait** under the wall clock (and a
+    /// brief ordered-delivery wait under the virtual one). A caller
+    /// multiplexing other work on its thread should poll on a
+    /// virtual-clock network, where this returns promptly.
+    ///
+    /// Returns `Some(result)` once the transaction completed, `None`
+    /// while it is still in flight. After `Some` is returned the
+    /// handle is spent and must be dropped.
+    pub fn poll(&mut self) -> Option<Result<T, RpcError>> {
+        loop {
+            // A peer waiter may have claimed our reply from the shared
+            // endpoint and routed it to our mailbox.
+            while let Ok(pkt) = self.mailbox.try_recv() {
+                self.client.endpoint.reactor().deliver(&pkt);
+                if let Some(value) = self.check_packet(pkt) {
+                    return Some(Ok(value));
                 }
-                // A peer waiter may have claimed our reply from the
-                // shared endpoint and routed it to our mailbox.
-                if let Ok(pkt) = mailbox.try_recv() {
-                    if let Some(value) = Frame::decode(&pkt.payload).and_then(&accept) {
-                        return Ok(value);
-                    }
-                    continue;
+            }
+            if let Some(pkt) = self.client.endpoint.poll_arrival() {
+                self.client.endpoint.reactor().deliver(&pkt);
+                if let Some(value) = self.check_packet(pkt) {
+                    return Some(Ok(value));
                 }
-                let tick = if self.pending.lock().len() > 1 {
-                    self.demux.contended_tick
+                continue; // keep draining
+            }
+            if self.client.endpoint.now() >= self.attempt_deadline {
+                if self.attempts_left == 0 {
+                    return Some(Err(RpcError::Timeout));
+                }
+                self.transmit();
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// Blocks until the transaction completes: the blocking face of
+    /// the completion. Under a [`VirtualClock`](amoeba_net::VirtualClock)
+    /// the waiter parks on the reactor and wakes per event; under the
+    /// wall clock it blocks on the shared endpoint queue in
+    /// [`DemuxPolicy`] ticks (re-checking its mailbox each tick),
+    /// exactly the pre-reactor cadence.
+    ///
+    /// # Errors
+    /// [`RpcError::Timeout`] after all attempts,
+    /// [`RpcError::Disconnected`] if the endpoint is detached.
+    pub fn wait(mut self) -> Result<T, RpcError> {
+        let client = self.client;
+        let endpoint = &client.endpoint;
+        loop {
+            if let Some(result) = self.poll() {
+                return result;
+            }
+            if endpoint.reactor().is_virtual() {
+                // Reactor-parked: wake on any mailbox deposit or
+                // endpoint arrival, or at the attempt deadline
+                // (whichever the timeline reaches first). poll() then
+                // classifies what happened.
+                let deadline = self.attempt_deadline;
+                let mailbox = &self.mailbox;
+                let _woke: Option<()> = endpoint.reactor().park_until(Some(deadline), || {
+                    (!mailbox.is_empty() || endpoint.has_arrivals()).then_some(())
+                });
+            } else {
+                let tick = if client.pending.lock().len() > 1 {
+                    client.demux.contended_tick
                 } else {
-                    self.demux.idle_tick
+                    client.demux.idle_tick
                 };
-                match self.endpoint.recv_timeout(remaining.min(tick)) {
+                let deadline = self.attempt_deadline.min(endpoint.now() + tick);
+                match endpoint.recv_deadline(deadline) {
                     Ok(pkt) => {
-                        if pkt.header.dest != reply_wire {
-                            self.route_foreign(pkt);
-                            continue;
-                        }
-                        match Frame::decode(&pkt.payload).and_then(&accept) {
-                            Some(value) => return Ok(value),
-                            None => continue, // noise
+                        if let Some(value) = self.check_packet(pkt) {
+                            return Ok(value);
                         }
                     }
-                    Err(RecvError::Timeout) => continue, // tick: re-check mailbox
+                    Err(RecvError::Timeout) => {} // tick: poll() re-checks
                     Err(RecvError::Disconnected) => return Err(RpcError::Disconnected),
                 }
             }
         }
-        Err(RpcError::Timeout)
+    }
+}
+
+impl<T> Drop for Completion<'_, T> {
+    fn drop(&mut self) {
+        self.client.pending.lock().remove(&self.reply_wire);
+        self.client.endpoint.release(self.reply_get);
+        // Deposits never consumed (late replies to an abandoned or
+        // already-completed transaction) must release their delivery
+        // gates, or the virtual timeline wedges.
+        while let Ok(pkt) = self.mailbox.try_recv() {
+            self.client.endpoint.reactor().discard(&pkt);
+        }
     }
 }
 
@@ -665,6 +835,119 @@ mod tests {
             "failover callers need Timeout, not a hang"
         );
         drop(server);
+    }
+
+    #[test]
+    fn trans_async_completes_via_poll_and_wait() {
+        let net = Network::new();
+        let server = crate::ServerPort::bind(net.attach_open(), Port::new(0xA5).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let req = server.next_request().unwrap();
+                server.reply(&req, req.payload.clone());
+            }
+        });
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        );
+        // Completion via wait().
+        let pending = client.trans_async(p, Bytes::from_static(b"one"));
+        assert_eq!(&pending.wait().unwrap()[..], b"one");
+        // Completion via poll(): the caller drives progress.
+        let mut pending = client.trans_async(p, Bytes::from_static(b"two"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let result = loop {
+            if let Some(r) = pending.poll() {
+                break r;
+            }
+            assert!(std::time::Instant::now() < deadline, "poll never completed");
+            std::thread::yield_now();
+        };
+        drop(pending);
+        assert_eq!(&result.unwrap()[..], b"two");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_a_completion_abandons_the_transaction() {
+        let net = Network::new();
+        let client = Client::new(net.attach_open());
+        let pending = client.trans_async(Port::new(0xAB).unwrap(), Bytes::from_static(b"x"));
+        drop(pending); // releases the demux entry and the reply port
+        assert!(client.pending.lock().is_empty(), "demux entry must be gone");
+    }
+
+    #[test]
+    fn virtual_clock_transactions_round_trip_without_real_latency_cost() {
+        // A 50 ms-per-hop network under the virtual clock: the
+        // request/reply pair covers ≥100 ms of timeline but only
+        // microseconds-to-milliseconds of wall-clock.
+        let net = Network::new_virtual();
+        net.set_latency(Duration::from_millis(50));
+        let server = crate::ServerPort::bind(net.attach_open(), Port::new(0xC3).unwrap());
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            for _ in 0..4 {
+                let req = server.next_request().unwrap();
+                server.reply(&req, req.payload.clone());
+            }
+        });
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let v0 = net.now();
+        for i in 0..4u32 {
+            let body = Bytes::from(i.to_be_bytes().to_vec());
+            assert_eq!(client.trans(p, body.clone()).unwrap(), body);
+        }
+        assert!(
+            net.now().saturating_duration_since(v0) >= Duration::from_millis(400),
+            "4 transactions × 2 hops × 50 ms must show on the timeline"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "virtual hops must not cost wall-clock: {:?}",
+            t0.elapsed()
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn virtual_clock_timeout_expires_fast_in_real_time() {
+        let net = Network::new_virtual();
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_millis(500),
+                attempts: 3,
+            },
+        );
+        let before = net.stats().snapshot();
+        let t0 = std::time::Instant::now();
+        let err = client
+            .trans(Port::new(0x5051).unwrap(), Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        assert_eq!(
+            net.stats().snapshot().packets_sent - before.packets_sent,
+            3,
+            "all attempts must still be transmitted"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(750),
+            "1.5 s of virtual timeout must not block wall-clock: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

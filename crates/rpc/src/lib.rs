@@ -65,7 +65,9 @@ mod locate;
 pub mod matchmaker;
 mod server;
 
-pub use client::{BatchResult, Client, DemuxPolicy, PipelineConfig, RpcConfig, RpcError};
+pub use client::{
+    BatchResult, Client, Completion, DemuxPolicy, PipelineConfig, RpcConfig, RpcError,
+};
 pub use frame::{
     BatchReplyEntry, BatchStatus, Frame, FrameKind, ReplicaInfo, BATCH_VERSION, CLUSTER_VERSION,
     MAX_BATCH_ENTRIES, MAX_LOCATE_REPLICAS,

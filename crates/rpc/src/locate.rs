@@ -32,12 +32,12 @@
 //! The cache hit/miss counters feed experiment **E7**.
 
 use crate::frame::Frame;
-use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};
+use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError, Timestamp};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One live replica of a port, as cached client-side.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +79,9 @@ struct CacheEntry {
     replicas: Vec<Replica>,
     /// Round-robin cursor over `replicas`.
     cursor: usize,
-    inserted: Instant,
+    /// Timeline point of insertion — TTL expiry runs on the network's
+    /// clock (virtual time in virtual tests), not the OS clock.
+    inserted: Timestamp,
 }
 
 /// The client-side replica-set cache shared by the broadcast
@@ -105,10 +107,10 @@ impl ReplicaCache {
         }
     }
 
-    /// Caches the replica set for `port`, replacing any previous set.
-    /// Duplicate machines are collapsed (last load wins); an empty set
-    /// just drops the entry.
-    pub fn insert(&self, port: Port, replicas: Vec<Replica>) {
+    /// Caches the replica set for `port` at timeline point `now`,
+    /// replacing any previous set. Duplicate machines are collapsed
+    /// (last load wins); an empty set just drops the entry.
+    pub fn insert(&self, port: Port, replicas: Vec<Replica>, now: Timestamp) {
         let mut deduped: Vec<Replica> = Vec::with_capacity(replicas.len());
         for r in replicas {
             match deduped.iter_mut().find(|d| d.machine == r.machine) {
@@ -125,19 +127,19 @@ impl ReplicaCache {
                 CacheEntry {
                     replicas: deduped,
                     cursor: 0,
-                    inserted: Instant::now(),
+                    inserted: now,
                 },
             );
         }
     }
 
     /// Picks one live replica for `port` under `policy`, or `None` if
-    /// the port is uncached or the entry has expired (expired entries
-    /// are dropped on the way out).
-    pub fn pick(&self, port: Port, policy: PlacementPolicy) -> Option<Replica> {
+    /// the port is uncached or the entry has expired by timeline point
+    /// `now` (expired entries are dropped on the way out).
+    pub fn pick(&self, port: Port, policy: PlacementPolicy, now: Timestamp) -> Option<Replica> {
         let mut entries = self.entries.lock();
         let entry = entries.get_mut(&port)?;
-        if entry.inserted.elapsed() > self.ttl {
+        if now.saturating_duration_since(entry.inserted) > self.ttl {
             entries.remove(&port);
             return None;
         }
@@ -155,11 +157,12 @@ impl ReplicaCache {
         })
     }
 
-    /// The full cached replica set, or `None` if uncached/expired.
-    pub fn all(&self, port: Port) -> Option<Vec<Replica>> {
+    /// The full cached replica set, or `None` if uncached or expired
+    /// by timeline point `now`.
+    pub fn all(&self, port: Port, now: Timestamp) -> Option<Vec<Replica>> {
         let mut entries = self.entries.lock();
         let entry = entries.get(&port)?;
-        if entry.inserted.elapsed() > self.ttl {
+        if now.saturating_duration_since(entry.inserted) > self.ttl {
             entries.remove(&port);
             return None;
         }
@@ -277,7 +280,7 @@ impl Locator {
     ///
     /// Returns `None` if nobody answers within the timeout.
     pub fn locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
-        if let Some(r) = self.cache.pick(port, self.policy) {
+        if let Some(r) = self.cache.pick(port, self.policy, endpoint.now()) {
             self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Some(r.machine);
         }
@@ -286,39 +289,44 @@ impl Locator {
         let _gathering = self.resolving.lock();
         // A peer may have resolved this port while we waited for the
         // resolution lock.
-        if let Some(r) = self.cache.pick(port, self.policy) {
+        if let Some(r) = self.cache.pick(port, self.policy, endpoint.now()) {
             return Some(r.machine);
         }
         let found = self.broadcast_locate(endpoint, port);
-        self.cache.insert(port, found);
-        self.cache.pick(port, self.policy).map(|r| r.machine)
+        self.cache.insert(port, found, endpoint.now());
+        self.cache
+            .pick(port, self.policy, endpoint.now())
+            .map(|r| r.machine)
     }
 
     /// Picks a replica from the cache alone — no network, no miss
-    /// accounting. `None` means uncached or expired; callers that can
+    /// accounting (the endpoint only supplies the timeline point for
+    /// TTL expiry). `None` means uncached or expired; callers that can
     /// resolve should then fall back to [`locate`](Self::locate).
     /// This is the fast path a failover client takes without holding
     /// any resolution lock.
-    pub fn pick_cached(&self, port: Port) -> Option<MachineId> {
-        self.cache.pick(port, self.policy).map(|r| r.machine)
+    pub fn pick_cached(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
+        self.cache
+            .pick(port, self.policy, endpoint.now())
+            .map(|r| r.machine)
     }
 
     /// Resolves the **full** live replica set for `port` (cache or
     /// broadcast). Empty if nobody answers.
     pub fn replicas(&self, endpoint: &Endpoint, port: Port) -> Vec<Replica> {
-        if let Some(set) = self.cache.all(port) {
+        if let Some(set) = self.cache.all(port, endpoint.now()) {
             self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return set;
         }
         self.misses
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let _gathering = self.resolving.lock();
-        if let Some(set) = self.cache.all(port) {
+        if let Some(set) = self.cache.all(port, endpoint.now()) {
             return set; // a peer resolved while we waited
         }
         let found = self.broadcast_locate(endpoint, port);
-        self.cache.insert(port, found);
-        self.cache.all(port).unwrap_or_default()
+        self.cache.insert(port, found, endpoint.now());
+        self.cache.all(port, endpoint.now()).unwrap_or_default()
     }
 
     /// Broadcasts one LOCATE and gathers every valid answer: waits up
@@ -329,15 +337,14 @@ impl Locator {
         let reply_wire = endpoint.claim(reply_get);
         let header = Header::to(Port::BROADCAST).with_reply(reply_get);
         endpoint.send(header, Frame::Locate(port).encode());
-        let hard_deadline = Instant::now() + self.timeout;
+        let hard_deadline = endpoint.now() + self.timeout;
         let mut deadline = hard_deadline;
         let mut found: Vec<Replica> = Vec::new();
         loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
+            if endpoint.now() >= deadline {
                 break;
             }
-            let pkt = match endpoint.recv_timeout(remaining) {
+            let pkt = match endpoint.recv_deadline(deadline) {
                 Ok(pkt) if pkt.header.dest == reply_wire => pkt,
                 Ok(_) => continue,
                 Err(RecvError::Timeout) | Err(RecvError::Disconnected) => break,
@@ -369,7 +376,7 @@ impl Locator {
                 // First valid answer shortens the wait to the gather
                 // window: collect the stragglers, then stop. (`min`
                 // only ever tightens, so the hard deadline holds.)
-                deadline = deadline.min(Instant::now() + self.gather);
+                deadline = deadline.min(endpoint.now() + self.gather);
             }
         }
         endpoint.release(reply_get);
@@ -572,7 +579,7 @@ mod tests {
             "diverting reply must be dropped"
         );
         assert!(
-            locator.cache().all(other_port).is_none(),
+            locator.cache().all(other_port, ep.now()).is_none(),
             "unsolicited port must never be cached"
         );
         hostile_thread.join().unwrap();
@@ -581,6 +588,7 @@ mod tests {
     #[test]
     fn invalidate_machine_drops_only_that_replica() {
         let cache = ReplicaCache::new(Duration::from_secs(60));
+        let now = Timestamp::ZERO;
         let p = Port::new(0x1234).unwrap();
         let m1 = MachineId::from(1);
         let m2 = MachineId::from(2);
@@ -596,22 +604,27 @@ mod tests {
                     load: 0,
                 },
             ],
+            now,
         );
         cache.invalidate_machine(p, m1);
         for _ in 0..4 {
             assert_eq!(
-                cache.pick(p, PlacementPolicy::RoundRobin).unwrap().machine,
+                cache
+                    .pick(p, PlacementPolicy::RoundRobin, now)
+                    .unwrap()
+                    .machine,
                 m2
             );
         }
         cache.invalidate_machine(p, m2);
-        assert!(cache.pick(p, PlacementPolicy::RoundRobin).is_none());
+        assert!(cache.pick(p, PlacementPolicy::RoundRobin, now).is_none());
         assert!(cache.is_empty(), "empty sets drop the entry entirely");
     }
 
     #[test]
     fn least_load_prefers_idle_replicas() {
         let cache = ReplicaCache::new(Duration::from_secs(60));
+        let now = Timestamp::ZERO;
         let p = Port::new(0x4321).unwrap();
         cache.insert(
             p,
@@ -629,9 +642,13 @@ mod tests {
                     load: 5,
                 },
             ],
+            now,
         );
         assert_eq!(
-            cache.pick(p, PlacementPolicy::LeastLoad).unwrap().machine,
+            cache
+                .pick(p, PlacementPolicy::LeastLoad, now)
+                .unwrap()
+                .machine,
             MachineId::from(2)
         );
     }
@@ -667,6 +684,7 @@ mod tests {
                 ops in proptest::collection::vec(op_strategy(), 1..40)
             ) {
                 let cache = ReplicaCache::new(Duration::from_secs(3600));
+                let now = Timestamp::ZERO;
                 let port = Port::new(0x7E57).unwrap();
                 let mut live: std::collections::HashSet<u8> =
                     std::collections::HashSet::new();
@@ -683,6 +701,7 @@ mod tests {
                                         load: m as u32,
                                     })
                                     .collect(),
+                                now,
                             );
                         }
                         Op::InvalidateMachine(m) => {
@@ -699,7 +718,7 @@ mod tests {
                             } else {
                                 PlacementPolicy::RoundRobin
                             };
-                            match cache.pick(port, policy) {
+                            match cache.pick(port, policy, now) {
                                 Some(r) => prop_assert!(
                                     live.contains(&(r.machine.as_u32() as u8)),
                                     "picked invalidated machine {:?}",

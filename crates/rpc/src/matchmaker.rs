@@ -41,7 +41,7 @@
 
 use crate::frame::{Frame, ReplicaInfo, MAX_LOCATE_REPLICAS};
 use crate::locate::{PlacementPolicy, Replica, ReplicaCache};
-use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};
+use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError, Timestamp};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,6 +61,8 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct RendezvousNode {
     service_port: Port,
+    /// For waking the reactor-parked node thread at shutdown.
+    reactor: Arc<amoeba_net::Reactor>,
     shutdown: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -82,6 +84,7 @@ impl RendezvousNode {
     /// Like [`spawn`](Self::spawn) with an explicit registration lease.
     pub fn spawn_with_ttl(endpoint: Endpoint, get_port: Port, ttl: Duration) -> RendezvousNode {
         let service_port = endpoint.claim(get_port);
+        let reactor = Arc::clone(endpoint.reactor());
         let shutdown = Arc::new(AtomicBool::new(false));
         let stop = Arc::clone(&shutdown);
         let handle = std::thread::spawn(move || {
@@ -92,40 +95,70 @@ impl RendezvousNode {
             // to themselves, which the port system already defends
             // (knowing where a put-port lives does not let you claim
             // it).
-            let mut registry: HashMap<Port, BTreeMap<MachineId, (u32, std::time::Instant)>> =
-                HashMap::new();
-            let live =
-                |registry: &mut HashMap<Port, BTreeMap<MachineId, (u32, std::time::Instant)>>,
-                 port: Port|
-                 -> Option<Vec<(MachineId, u32)>> {
-                    let set = registry.get_mut(&port)?;
-                    set.retain(|_, &mut (_, at)| at.elapsed() <= ttl);
-                    if set.is_empty() {
-                        registry.remove(&port);
-                        return None;
-                    }
-                    Some(set.iter().map(|(&m, &(l, _))| (m, l)).collect())
-                };
-            let mut last_sweep = std::time::Instant::now();
+            // Lease bookkeeping runs on the network's timeline (the
+            // reactor clock), so registration expiry is exercised in
+            // virtual time exactly like every other cluster timer.
+            let mut registry: HashMap<Port, BTreeMap<MachineId, (u32, Timestamp)>> = HashMap::new();
+            let live = |registry: &mut HashMap<Port, BTreeMap<MachineId, (u32, Timestamp)>>,
+                        port: Port,
+                        now: Timestamp|
+             -> Option<Vec<(MachineId, u32)>> {
+                let set = registry.get_mut(&port)?;
+                set.retain(|_, &mut (_, at)| now.saturating_duration_since(at) <= ttl);
+                if set.is_empty() {
+                    registry.remove(&port);
+                    return None;
+                }
+                Some(set.iter().map(|(&m, &(l, _))| (m, l)).collect())
+            };
+            let mut last_sweep = endpoint.now();
             while !stop.load(Ordering::Relaxed) {
                 // Periodic full sweep: lazy pruning on lookups alone
                 // would let registrations for never-queried ports
                 // accumulate without bound (a hostile poster streaming
                 // POSTs for distinct ports, or ordinary churn of
                 // short-lived services nobody resolves).
-                if last_sweep.elapsed() > ttl {
+                let sweep_now = endpoint.now();
+                if sweep_now.saturating_duration_since(last_sweep) > ttl {
                     registry.retain(|_, set| {
-                        set.retain(|_, &mut (_, at)| at.elapsed() <= ttl);
+                        set.retain(|_, &mut (_, at)| {
+                            sweep_now.saturating_duration_since(at) <= ttl
+                        });
                         !set.is_empty()
                     });
-                    last_sweep = std::time::Instant::now();
+                    last_sweep = sweep_now;
                 }
-                let pkt = match endpoint.recv_timeout(Duration::from_millis(20)) {
-                    Ok(p) => p,
-                    Err(RecvError::Timeout) => continue,
-                    Err(RecvError::Disconnected) => break,
+                // Event-parked under the virtual clock (a re-arming
+                // 20 ms poll tick would hand the idle virtual timeline
+                // a sleeper ladder to climb); bounded poll on the wall
+                // clock so the shutdown flag is still observed.
+                let reactor = endpoint.reactor();
+                let pkt = if reactor.is_virtual() {
+                    enum Wake {
+                        Packet(amoeba_net::Packet),
+                        Cancelled,
+                    }
+                    let woke = reactor.park_until(None, || {
+                        if stop.load(Ordering::Relaxed) {
+                            return Some(Wake::Cancelled);
+                        }
+                        endpoint.poll_arrival().map(Wake::Packet)
+                    });
+                    match woke {
+                        Some(Wake::Packet(p)) => {
+                            reactor.deliver(&p);
+                            p
+                        }
+                        Some(Wake::Cancelled) | None => continue,
+                    }
+                } else {
+                    match endpoint.recv_timeout(Duration::from_millis(20)) {
+                        Ok(p) => p,
+                        Err(RecvError::Timeout) => continue,
+                        Err(RecvError::Disconnected) => break,
+                    }
                 };
-                let now = std::time::Instant::now();
+                let now = endpoint.now();
                 match Frame::decode(&pkt.payload) {
                     Some(Frame::Post(port)) => {
                         registry
@@ -150,7 +183,7 @@ impl RendezvousNode {
                     Some(Frame::Locate(port)) if !pkt.header.reply.is_null() => {
                         // The frozen v0 exchange: one machine. With
                         // several replicas, hand out the least loaded.
-                        if let Some((machine, _)) = live(&mut registry, port)
+                        if let Some((machine, _)) = live(&mut registry, port, now)
                             .and_then(|set| set.into_iter().min_by_key(|&(m, l)| (l, m)))
                         {
                             let reply = Frame::LocateReply(port, machine).encode();
@@ -159,7 +192,7 @@ impl RendezvousNode {
                         // Unknown ports: silence; the client times out.
                     }
                     Some(Frame::LocateAll(port)) if !pkt.header.reply.is_null() => {
-                        if let Some(set) = live(&mut registry, port) {
+                        if let Some(set) = live(&mut registry, port, now) {
                             let mut replicas: Vec<ReplicaInfo> = set
                                 .into_iter()
                                 .map(|(machine, load)| ReplicaInfo { machine, load })
@@ -176,6 +209,7 @@ impl RendezvousNode {
         });
         RendezvousNode {
             service_port,
+            reactor,
             shutdown,
             handle: Some(handle),
         }
@@ -193,6 +227,8 @@ impl RendezvousNode {
 
     fn shutdown_now(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // The node thread may be event-parked on the reactor.
+        self.reactor.notify();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -293,38 +329,44 @@ impl Matchmaker {
     /// several live replicas the configured [`PlacementPolicy`] picks
     /// one per call.
     pub fn locate(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
-        if let Some(r) = self.cache.pick(port, self.policy) {
+        if let Some(r) = self.cache.pick(port, self.policy, endpoint.now()) {
             return Some(r.machine);
         }
         let _querying = self.resolving.lock();
         // A peer may have resolved this port while we waited.
-        if let Some(r) = self.cache.pick(port, self.policy) {
+        if let Some(r) = self.cache.pick(port, self.policy, endpoint.now()) {
             return Some(r.machine);
         }
-        self.cache.insert(port, self.resolve_all(endpoint, port));
-        self.cache.pick(port, self.policy).map(|r| r.machine)
+        self.cache
+            .insert(port, self.resolve_all(endpoint, port), endpoint.now());
+        self.cache
+            .pick(port, self.policy, endpoint.now())
+            .map(|r| r.machine)
     }
 
-    /// Picks a replica from the cache alone — no network round-trip.
+    /// Picks a replica from the cache alone — no network round-trip
+    /// (the endpoint only supplies the timeline point for TTL expiry).
     /// `None` means uncached or expired; see
     /// [`Locator::pick_cached`](crate::Locator::pick_cached).
-    pub fn pick_cached(&self, port: Port) -> Option<MachineId> {
-        self.cache.pick(port, self.policy).map(|r| r.machine)
+    pub fn pick_cached(&self, endpoint: &Endpoint, port: Port) -> Option<MachineId> {
+        self.cache
+            .pick(port, self.policy, endpoint.now())
+            .map(|r| r.machine)
     }
 
     /// Client side: resolves the **full** live replica set for `port`
     /// (cache or one `LOCATE_ALL` round-trip). Empty if the node knows
     /// nobody or does not answer.
     pub fn locate_all(&self, endpoint: &Endpoint, port: Port) -> Vec<Replica> {
-        if let Some(set) = self.cache.all(port) {
+        if let Some(set) = self.cache.all(port, endpoint.now()) {
             return set;
         }
         let _querying = self.resolving.lock();
-        if let Some(set) = self.cache.all(port) {
+        if let Some(set) = self.cache.all(port, endpoint.now()) {
             return set; // a peer resolved while we waited
         }
         let found = self.resolve_all(endpoint, port);
-        self.cache.insert(port, found.clone());
+        self.cache.insert(port, found.clone(), endpoint.now());
         found
     }
 
@@ -337,13 +379,12 @@ impl Matchmaker {
             Header::to(node).with_reply(reply_get),
             Frame::LocateAll(port).encode(),
         );
-        let deadline = std::time::Instant::now() + self.timeout;
+        let deadline = endpoint.now() + self.timeout;
         let found = loop {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            if remaining.is_zero() {
+            if endpoint.now() >= deadline {
                 break Vec::new();
             }
-            match endpoint.recv_timeout(remaining) {
+            match endpoint.recv_deadline(deadline) {
                 Ok(pkt) if pkt.header.dest == reply_wire => {
                     match Frame::decode(&pkt.payload) {
                         // Only answers for the port we asked about.

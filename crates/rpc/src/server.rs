@@ -31,12 +31,12 @@
 //! for its port, implementing the software match-making of §2.2.
 
 use crate::frame::{BatchReplyEntry, BatchStatus, Frame};
-use amoeba_net::{Endpoint, Header, MachineId, Port, RecvError};
+use amoeba_net::{Endpoint, Gate, Header, MachineId, Port, RecvError, Timestamp};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How often a worker blocked on the ready queue retries the pump lock.
 /// Bounds the hand-off gap when the current pump leaves for a handler:
@@ -62,6 +62,9 @@ pub struct IncomingRequest {
     /// Present when this request arrived as one entry of a batch frame;
     /// routes the reply into the batch's fan-in accumulator.
     batch: Option<BatchSlot>,
+    /// Virtual-clock delivery gate, held while the decoded request
+    /// waits in the ready queue and released when a worker claims it.
+    gate: Option<Gate>,
 }
 
 impl IncomingRequest {
@@ -222,7 +225,68 @@ impl ServerPort {
     /// [`RecvError::Timeout`] on expiry; [`RecvError::Disconnected`] if
     /// detached.
     pub fn next_request_timeout(&self, timeout: Duration) -> Result<IncomingRequest, RecvError> {
-        self.next_request_deadline(Some(Instant::now() + timeout))
+        self.next_request_deadline(Some(self.endpoint.now() + timeout))
+    }
+
+    /// Gates a decoded request while it waits in the ready queue
+    /// (virtual clock only): the timeline may not pass its arrival
+    /// instant until a worker claims it, so a slow hand-off cannot
+    /// distort other flows' timing.
+    fn ready_gate(&self, pkt: &amoeba_net::Packet) -> Option<Gate> {
+        let reactor = self.endpoint.reactor();
+        reactor
+            .is_virtual()
+            .then(|| reactor.register_gate(pkt.deliver_at()))
+    }
+
+    /// Claims a request off the ready queue, releasing its gate.
+    fn claim(&self, req: IncomingRequest) -> IncomingRequest {
+        if let Some(gate) = req.gate {
+            self.endpoint.reactor().release_gate(gate);
+        }
+        req
+    }
+
+    /// Non-blocking receive for reactor driver loops: serves an
+    /// already-decoded request if one is ready, otherwise (if the pump
+    /// role is free) drains every queued packet into the ready queue
+    /// and tries again. Never parks the thread (though under a virtual
+    /// clock consuming a delivery may briefly wait for earlier
+    /// deliveries to be consumed); a driver multiplexing many bound
+    /// ports calls this in a scan and parks on the reactor only when
+    /// every port comes up empty.
+    pub fn poll_request(&self) -> Option<IncomingRequest> {
+        if let Ok(req) = self.ready_rx.try_recv() {
+            return Some(self.claim(req));
+        }
+        if let Some(_pumping) = self.pump.try_lock() {
+            while let Some(pkt) = self.endpoint.poll_arrival() {
+                // Consume the delivery (ordered under the virtual
+                // clock) before decoding.
+                self.endpoint.reactor().deliver(&pkt);
+                self.process(pkt);
+            }
+        }
+        self.ready_rx.try_recv().ok().map(|req| self.claim(req))
+    }
+
+    /// Whether a call to [`poll_request`](Self::poll_request) could
+    /// make progress right now: a decoded request is ready, or
+    /// undecoded arrivals are queued **and** the pump role is free to
+    /// claim (a held pump means another worker is already draining —
+    /// waking for that would be a busy-spin). The pump probe is a
+    /// `try_lock`, never a block.
+    pub fn has_claimable_work(&self) -> bool {
+        if !self.ready_rx.is_empty() {
+            return true;
+        }
+        if self.endpoint.has_arrivals() {
+            if let Some(free) = self.pump.try_lock() {
+                drop(free);
+                return true;
+            }
+        }
+        false
     }
 
     /// The pump/serve loop shared by both receive paths. `None` means
@@ -230,55 +294,137 @@ impl ServerPort {
     /// "keep looping": the pump still wakes periodically).
     fn next_request_deadline(
         &self,
-        deadline: Option<Instant>,
+        deadline: Option<Timestamp>,
     ) -> Result<IncomingRequest, RecvError> {
         loop {
             // Serve decoded work first — the pump may have queued
             // several entries from one batch frame.
             match self.ready_rx.try_recv() {
-                Ok(req) => return Ok(req),
+                Ok(req) => return Ok(self.claim(req)),
                 Err(TryRecvError::Empty) => {}
                 Err(TryRecvError::Disconnected) => unreachable!("we hold a ready sender"),
             }
-            let remaining = match deadline {
-                Some(d) => {
-                    let r = d.saturating_duration_since(Instant::now());
-                    if r.is_zero() {
-                        return Err(RecvError::Timeout);
-                    }
-                    r
-                }
-                // Bounded so an undeadlined pump still re-checks the
-                // ready queue now and then; next_request() loops on it.
-                None => Duration::from_secs(60),
-            };
-            if let Some(_pumping) = self.pump.try_lock() {
-                // The previous pump may have pushed entries between our
-                // ready-queue check above and winning the lock; serve
-                // those before blocking on the wire (only a lock holder
-                // can push, so this check cannot race).
-                if let Ok(req) = self.ready_rx.try_recv() {
-                    return Ok(req);
-                }
-                // We are the pump: drain the wire into the ready queue.
-                match self.endpoint.recv_timeout(remaining) {
-                    Ok(pkt) => self.process(pkt),
-                    Err(RecvError::Timeout) => {
-                        if deadline.is_some() {
-                            return Err(RecvError::Timeout);
+            let now = self.endpoint.now();
+            if deadline.is_some_and(|d| now >= d) {
+                return Err(RecvError::Timeout);
+            }
+            // Wall-clock paths bound an undeadlined wait so the pump
+            // still re-checks the ready queue now and then
+            // (next_request() loops on the Timeout). Virtual paths
+            // must NOT synthesize a deadline: it would register a
+            // re-arming far-future sleeper that drags the virtual
+            // timeline forward whenever the system idles.
+            let wall_wait_until = deadline.unwrap_or(now + Duration::from_secs(60));
+            enum Outcome {
+                Return(Result<IncomingRequest, RecvError>),
+                Pumped,
+                NotPump,
+            }
+            let outcome = match self.pump.try_lock() {
+                Some(_pumping) => {
+                    // The previous pump may have pushed entries between
+                    // our ready-queue check above and winning the lock;
+                    // serve those before blocking on the wire (only a
+                    // lock holder can push, so this check cannot race).
+                    if let Ok(req) = self.ready_rx.try_recv() {
+                        Outcome::Return(Ok(self.claim(req)))
+                    } else {
+                        // We are the pump: drain the wire into the
+                        // ready queue (event-parked when undeadlined
+                        // on the virtual clock).
+                        let pumped = match (self.endpoint.reactor().is_virtual(), deadline) {
+                            (true, None) => self.endpoint.recv(),
+                            (true, Some(d)) => self.endpoint.recv_deadline(d),
+                            (false, _) => self.endpoint.recv_deadline(wall_wait_until),
+                        };
+                        match pumped {
+                            Ok(pkt) => {
+                                self.process(pkt);
+                                Outcome::Pumped
+                            }
+                            Err(RecvError::Timeout) => {
+                                if deadline.is_some() {
+                                    Outcome::Return(Err(RecvError::Timeout))
+                                } else {
+                                    Outcome::Pumped
+                                }
+                            }
+                            Err(RecvError::Disconnected) => {
+                                Outcome::Return(Err(RecvError::Disconnected))
+                            }
                         }
                     }
-                    Err(RecvError::Disconnected) => return Err(RecvError::Disconnected),
+                    // The pump guard drops here — every path below runs
+                    // with the role released.
                 }
+                None => Outcome::NotPump,
+            };
+            match outcome {
+                Outcome::Return(result) => {
+                    // We just released the pump role; if undecoded
+                    // arrivals remain, wake a successor explicitly — a
+                    // delivery may have jumped the (virtual) clock past
+                    // every waiter's takeover tick.
+                    if self.endpoint.has_arrivals() {
+                        self.endpoint.reactor().notify();
+                    }
+                    return result;
+                }
+                Outcome::Pumped => {
+                    if self.endpoint.has_arrivals() {
+                        self.endpoint.reactor().notify();
+                    }
+                    continue;
+                }
+                Outcome::NotPump => {}
+            }
+            // Someone else pumps; wait for them to feed the ready
+            // queue, but retry the pump role periodically in case
+            // they left for a handler.
+            let reactor = self.endpoint.reactor();
+            if reactor.is_virtual() {
+                // Reactor wakeup instead of a parked OS thread, and no
+                // takeover tick: re-arming sub-millisecond tick
+                // deadlines would hand the virtual clock a ladder to
+                // climb. Takeover is purely event-driven — two wake
+                // conditions: a ready push (the pump notifies on every
+                // one), or *undecoded arrivals with the pump role
+                // free* (the previous pump released it on the way to a
+                // handler and notified). The role-free check keeps
+                // this edge-triggered: while somebody actively pumps,
+                // waiters stay parked instead of spinning.
+                enum Wake {
+                    Ready(IncomingRequest),
+                    Takeover,
+                }
+                let woke = reactor.park_until(deadline, || {
+                    if let Ok(req) = self.ready_rx.try_recv() {
+                        return Some(Wake::Ready(req));
+                    }
+                    if self.endpoint.has_arrivals() {
+                        // try_lock as a probe only (never blocks, so
+                        // the reactor-lock → pump-lock order cannot
+                        // deadlock against the pump's reverse order).
+                        if let Some(free) = self.pump.try_lock() {
+                            drop(free);
+                            return Some(Wake::Takeover);
+                        }
+                    }
+                    None
+                });
+                if let Some(Wake::Ready(req)) = woke {
+                    return Ok(self.claim(req));
+                }
+                // Takeover signal or deadline expiry: loop and retry
+                // the pump lock.
             } else {
-                // Someone else pumps; wait for them to feed the ready
-                // queue, but retry the pump role periodically in case
-                // they left for a handler.
-                match self
-                    .ready_rx
-                    .recv_timeout(remaining.min(PUMP_TAKEOVER_TICK))
-                {
-                    Ok(req) => return Ok(req),
+                let tick_deadline = wall_wait_until.min(now + PUMP_TAKEOVER_TICK);
+                let real = reactor
+                    .clock()
+                    .real_instant(tick_deadline)
+                    .expect("wall clocks map to real instants");
+                match self.ready_rx.recv_deadline(real) {
+                    Ok(req) => return Ok(self.claim(req)),
                     Err(RecvTimeoutError::Timeout) => continue,
                     Err(RecvTimeoutError::Disconnected) => {
                         unreachable!("we hold a ready sender")
@@ -298,7 +444,11 @@ impl ServerPort {
                     signature: signature_of(&pkt),
                     source: pkt.source,
                     batch: None,
+                    gate: self.ready_gate(&pkt),
                 });
+                // Ready pushes are not network events; wake
+                // reactor-parked workers explicitly.
+                self.endpoint.reactor().notify();
             }
             Some(Frame::BatchRequest { id, entries }) if pkt.header.dest == self.wire_port => {
                 // One-way batches (null reply port) are dispatched with
@@ -316,8 +466,10 @@ impl ServerPort {
                             acc: Arc::clone(acc),
                             index: index as u16,
                         }),
+                        gate: self.ready_gate(&pkt),
                     });
                 }
+                self.endpoint.reactor().notify();
             }
             // Someone broadcast a LOCATE for our port; answer it.
             Some(Frame::Locate(port))
@@ -348,6 +500,18 @@ impl ServerPort {
                 }
                 self.endpoint
                     .send(Header::to(request.reply_to), Frame::Reply(body).encode());
+            }
+        }
+    }
+}
+
+impl Drop for ServerPort {
+    fn drop(&mut self) {
+        // Decoded requests never claimed would otherwise hold their
+        // ready-queue gates forever and wedge the virtual timeline.
+        while let Ok(req) = self.ready_rx.try_recv() {
+            if let Some(gate) = req.gate {
+                self.endpoint.reactor().release_gate(gate);
             }
         }
     }

@@ -1,0 +1,152 @@
+//! Timing fidelity of the RPC stack under the virtual clock: modeled
+//! latency shows up on the timeline, overlapping flows overlap, and
+//! host scheduling does not serialise what the model runs in parallel.
+//!
+//! Timeline measurements take the minimum over a few runs where noted:
+//! host-scheduling lag can only *inflate* the virtual timeline (a late
+//! thread stamps later sends), never deflate it, so the minimum is the
+//! faithful figure on an oversubscribed machine.
+
+use amoeba_net::{Network, Port};
+use amoeba_rpc::{Client, RpcConfig, ServerPort};
+use bytes::Bytes;
+use std::sync::Arc;
+use std::time::Duration;
+
+const HOP: Duration = Duration::from_millis(200);
+
+fn patient() -> RpcConfig {
+    RpcConfig {
+        timeout: Duration::from_secs(60),
+        attempts: 2,
+    }
+}
+
+/// Four concurrent transactions on one shared client must cost one
+/// RTT of timeline, not four: the demux overlaps them.
+#[test]
+fn concurrent_trans_on_one_client_cost_one_rtt() {
+    let run = || {
+        let net = Network::new_virtual();
+        let server = Arc::new(ServerPort::bind(
+            net.attach_open(),
+            Port::new(0xEE).unwrap(),
+        ));
+        let p = server.put_port();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    while let Ok(req) = server.next_request_timeout(Duration::from_secs(2)) {
+                        server.reply(&req, req.payload.clone());
+                    }
+                })
+            })
+            .collect();
+        let client = Arc::new(Client::with_config(net.attach_open(), patient()));
+        net.set_latency(HOP);
+        let v0 = net.now();
+        let calls: Vec<_> = (0..4u32)
+            .map(|i| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    let body = Bytes::from(i.to_be_bytes().to_vec());
+                    assert_eq!(client.trans(p, body.clone()).unwrap(), body);
+                })
+            })
+            .collect();
+        for c in calls {
+            c.join().unwrap();
+        }
+        let elapsed = net.now().saturating_duration_since(v0);
+        net.set_latency(Duration::ZERO);
+        for w in workers {
+            w.join().unwrap();
+        }
+        elapsed
+    };
+    let best = (0..5).map(|_| run()).min().unwrap();
+    assert!(
+        best >= 2 * HOP,
+        "one RTT of modeled latency must appear on the timeline: {best:?}"
+    );
+    // Full serialisation would cost 4 RTTs (1.6 s); allow inflation
+    // headroom for an oversubscribed host while still ruling it out.
+    assert!(
+        best < 5 * HOP,
+        "4 concurrent transactions must overlap, not serialise: {best:?}"
+    );
+}
+
+/// The nested shape (frontend workers calling a backend through one
+/// shared embedded client — the metered-create pattern): four outer
+/// calls must cost ~2 RTTs of timeline, not 5.
+#[test]
+fn nested_service_calls_overlap() {
+    let run = || {
+        let net = Network::new_virtual();
+        let backend = Arc::new(ServerPort::bind(
+            net.attach_open(),
+            Port::new(0xB1).unwrap(),
+        ));
+        let bp = backend.put_port();
+        let backend_workers: Vec<_> = (0..4)
+            .map(|_| {
+                let backend = Arc::clone(&backend);
+                std::thread::spawn(move || {
+                    while let Ok(req) = backend.next_request_timeout(Duration::from_secs(2)) {
+                        backend.reply(&req, req.payload.clone());
+                    }
+                })
+            })
+            .collect();
+        let frontend = Arc::new(ServerPort::bind(
+            net.attach_open(),
+            Port::new(0xF1).unwrap(),
+        ));
+        let fp = frontend.put_port();
+        let nested = Arc::new(Client::with_config(net.attach_open(), patient()));
+        let frontend_workers: Vec<_> = (0..4)
+            .map(|_| {
+                let frontend = Arc::clone(&frontend);
+                let nested = Arc::clone(&nested);
+                std::thread::spawn(move || {
+                    while let Ok(req) = frontend.next_request_timeout(Duration::from_secs(2)) {
+                        let inner = nested.trans(bp, req.payload.clone()).unwrap();
+                        frontend.reply(&req, inner);
+                    }
+                })
+            })
+            .collect();
+
+        net.set_latency(HOP);
+        let v0 = net.now();
+        let calls: Vec<_> = (0..4u32)
+            .map(|i| {
+                let net = net.clone();
+                std::thread::spawn(move || {
+                    let client = Client::with_config(net.attach_open(), patient());
+                    let body = Bytes::from(i.to_be_bytes().to_vec());
+                    assert_eq!(client.trans(fp, body.clone()).unwrap(), body);
+                })
+            })
+            .collect();
+        for c in calls {
+            c.join().unwrap();
+        }
+        let elapsed = net.now().saturating_duration_since(v0);
+        net.set_latency(Duration::ZERO);
+        for w in frontend_workers.into_iter().chain(backend_workers) {
+            w.join().unwrap();
+        }
+        elapsed
+    };
+    let best = (0..5).map(|_| run()).min().unwrap();
+    assert!(best >= 4 * HOP, "2 nested RTTs on the timeline: {best:?}");
+    // Serialised inner transactions would cost ≥ 2 s (outer RTT plus
+    // four back-to-back inner RTTs); stay clearly below that.
+    assert!(
+        best < 9 * HOP,
+        "4 nested calls must overlap their inner transactions: {best:?}"
+    );
+}

@@ -62,14 +62,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod locks;
 pub mod principals;
 pub mod proto;
+mod reactor_pool;
 pub mod sealed;
 mod service;
 mod table;
 pub mod wire;
 
+pub use locks::{ObjectLocks, DEFAULT_OBJECT_LOCK_STRIPES};
 pub use principals::PrincipalRegistry;
+pub use reactor_pool::{ReactorPool, MAX_BURST};
 pub use sealed::{SealedServiceClient, SealedServiceRunner};
 pub use service::{ClientError, RequestCtx, Service, ServiceClient, ServiceRunner};
 pub use table::{placement_range, ObjectTable, ServerError, DEFAULT_SHARDS};

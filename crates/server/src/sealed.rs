@@ -30,7 +30,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Marker value in the sealed slot for capability-less requests
 /// (CREATE etc.); sealing the null capability would needlessly leak a
@@ -100,6 +99,8 @@ fn serve_sealed_one(
 pub struct SealedServiceRunner {
     put_port: Port,
     machine: amoeba_net::MachineId,
+    /// For waking reactor-parked workers at shutdown.
+    reactor: Arc<amoeba_net::Reactor>,
     shutdown: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -136,6 +137,7 @@ impl SealedServiceRunner {
         service.bind(put_port);
         let service = Arc::new(service);
         let server = Arc::new(server);
+        let reactor = Arc::clone(server.endpoint().reactor());
         let shutdown = Arc::new(AtomicBool::new(false));
         let handles = (0..workers)
             .map(|_| {
@@ -145,7 +147,10 @@ impl SealedServiceRunner {
                 let stop = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        match server.next_request_timeout(Duration::from_millis(20)) {
+                        // Bounded wait, mirroring ServiceRunner (a
+                        // standing parked pump tightens virtual-clock
+                        // fidelity; see the comment there).
+                        match server.next_request_timeout(std::time::Duration::from_millis(20)) {
                             Ok(incoming) => {
                                 serve_sealed_one(&*service, &sealer, &server, &incoming)
                             }
@@ -159,6 +164,7 @@ impl SealedServiceRunner {
         SealedServiceRunner {
             put_port,
             machine,
+            reactor,
             shutdown,
             handles,
         }
@@ -198,6 +204,8 @@ impl SealedServiceRunner {
 
     fn shutdown_now(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Workers may be event-parked on the reactor (virtual clock).
+        self.reactor.notify();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

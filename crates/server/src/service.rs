@@ -12,7 +12,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Per-request context derived from the network layer.
 #[derive(Debug, Clone, Copy)]
@@ -60,7 +59,7 @@ pub trait Service: Send + Sync + 'static {
 
 /// Decrements the machine load gauge on drop — unwinding included, so
 /// a panicking handler cannot permanently inflate the advertised load.
-struct LoadGuard<'a>(&'a Endpoint);
+pub(crate) struct LoadGuard<'a>(pub(crate) &'a Endpoint);
 
 impl Drop for LoadGuard<'_> {
     fn drop(&mut self) {
@@ -69,8 +68,13 @@ impl Drop for LoadGuard<'_> {
 }
 
 /// Decode one raw request, dispatch it to the service, encode the
-/// reply. Shared by every worker loop (plain and pooled).
-fn serve_one(service: &impl Service, server: &ServerPort, incoming: &IncomingRequest) {
+/// reply. Shared by every worker loop (plain, pooled, and the reactor
+/// driver pool).
+pub(crate) fn serve_one(
+    service: &(impl Service + ?Sized),
+    server: &ServerPort,
+    incoming: &IncomingRequest,
+) {
     let ctx = RequestCtx {
         source: incoming.source,
         signature: incoming.signature,
@@ -145,7 +149,14 @@ impl ServiceRunner {
                 let stop = Arc::clone(&shutdown);
                 std::thread::spawn(move || {
                     while !stop.load(Ordering::Relaxed) {
-                        match server.next_request_timeout(Duration::from_millis(20)) {
+                        // A bounded wait, deliberately not an
+                        // event-only park: keeping one worker parked
+                        // *inside* the pump (and the pool's deadlines
+                        // as near jump targets) measurably tightens
+                        // virtual-clock timeline fidelity under
+                        // concurrency, at the cost of a modest idle
+                        // tick.
+                        match server.next_request_timeout(std::time::Duration::from_millis(20)) {
                             Ok(req) => {
                                 // Publish in-flight work on the machine's
                                 // load gauge; replica placement policies
@@ -172,6 +183,22 @@ impl ServiceRunner {
             shutdown,
             handles,
         }
+    }
+
+    /// The **reactor dispatch mode**: binds every service in
+    /// `services` (one fresh open-interface machine and random
+    /// get-port each) and multiplexes all of them onto a pool of
+    /// `threads` driver threads — N services ≫ N threads, where
+    /// [`spawn_workers`](Self::spawn_workers) would burn at least one
+    /// thread per service. Returns the owning
+    /// [`ReactorPool`](crate::ReactorPool); `spawn_workers` remains
+    /// the compatibility path for single-service deployments.
+    pub fn spawn_reactor(
+        net: &Network,
+        services: Vec<Box<dyn Service>>,
+        threads: usize,
+    ) -> crate::ReactorPool {
+        crate::ReactorPool::spawn_open(net, services, threads)
     }
 
     /// Attaches a fresh open-interface machine to `net`, picks a random
@@ -266,6 +293,9 @@ impl ServiceRunner {
 
     fn shutdown_now(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Workers may be event-parked on the reactor (virtual clock);
+        // wake them so they observe the flag.
+        self.server.endpoint().reactor().notify();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

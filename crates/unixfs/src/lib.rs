@@ -45,9 +45,10 @@ use amoeba_cap::schemes::SchemeKind;
 use amoeba_cap::{Capability, Rights};
 use amoeba_net::{Network, Port};
 use amoeba_server::proto::{Reply, Request, Status};
-use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
+use amoeba_server::{
+    wire, ClientError, ObjectLocks, ObjectTable, RequestCtx, Service, ServiceClient,
+};
 use bytes::Bytes;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
 /// UNIX-file-system operation codes.
@@ -116,10 +117,12 @@ pub struct UnixFsServer {
     table: ObjectTable<Node>,
     /// The block-server client. The RPC client demuxes concurrent
     /// transactions, so reads use it lock-free; mutating operations
-    /// serialise on `write_lock` because they snapshot inode metadata,
-    /// touch the disk, then write the metadata back.
+    /// serialise **per inode** on `inode_locks` because they snapshot
+    /// inode metadata, touch the disk, then write the metadata back —
+    /// writers to distinct files share no metadata and run in parallel
+    /// across the worker pool.
     disk: BlockClient,
-    write_lock: Mutex<()>,
+    inode_locks: ObjectLocks,
     block_size: u32,
     root: Option<Capability>,
 }
@@ -140,7 +143,7 @@ impl UnixFsServer {
         UnixFsServer {
             table: ObjectTable::unbound(scheme.instantiate()),
             disk,
-            write_lock: Mutex::new(()),
+            inode_locks: ObjectLocks::default(),
             block_size,
             root: None,
         }
@@ -266,9 +269,10 @@ impl UnixFsServer {
             }
             None => Vec::new(), // dangling entry: just drop it
         };
-        // Destroy the inode and free its disk blocks.
+        // Destroy the inode and free its disk blocks, waiting out any
+        // in-flight writer of this inode (unrelated files unaffected).
         let _ = self.table.delete(&victim_cap, Rights::NONE);
-        let _writing = self.write_lock.lock();
+        let _writing = self.inode_locks.lock(victim_cap.object);
         for b in blocks {
             let _ = self.disk.free(&b);
         }
@@ -317,9 +321,10 @@ impl UnixFsServer {
         let (Some(offset), Some(data)) = (r.u64(), r.bytes()) else {
             return Reply::status(Status::BadRequest);
         };
-        // Serialise writers before snapshotting the inode so concurrent
-        // writers to one file never leak blocks or lose metadata.
-        let _writing = self.write_lock.lock();
+        // Serialise writers *of this inode* before snapshotting it so
+        // concurrent writers to one file never leak blocks or lose
+        // metadata; writers to other files take other stripes.
+        let _writing = self.inode_locks.lock(req.cap.object);
         let meta = self
             .table
             .with_object(&req.cap, Rights::WRITE, |n| match n {
@@ -453,7 +458,7 @@ impl UnixFsServer {
             });
         match result {
             Ok(Ok(freed)) => {
-                let _writing = self.write_lock.lock();
+                let _writing = self.inode_locks.lock(req.cap.object);
                 for b in freed {
                     let _ = self.disk.free(&b);
                 }

@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use amoeba_cap::{CapError, Capability, ObjectNum, Rights};
     pub use amoeba_cluster::{
-        ClusterClient, ClusterRegistry, PlacementPolicy, ServiceCluster, ShardedClient,
-        ShardedCluster,
+        ClusterClient, ClusterRegistry, HealthProber, PlacementPolicy, ServiceCluster,
+        ShardedClient, ShardedCluster,
     };
     pub use amoeba_crypto::oneway::{OneWay, PurdyOneWay, ShaOneWay};
     pub use amoeba_dirsvr::{DirClient, DirServer};
@@ -68,12 +68,15 @@ pub mod prelude {
     pub use amoeba_flatfs::{BlockFlatFsServer, FlatFsClient, FlatFsServer, QuotaPolicy};
     pub use amoeba_memsvr::{MemClient, MemServer, ProcState};
     pub use amoeba_mvfs::{MvfsClient, MvfsServer};
-    pub use amoeba_net::{Endpoint, Header, MachineId, Network, Port};
+    pub use amoeba_net::{
+        Clock, Endpoint, Header, MachineId, Network, Port, Reactor, Timestamp, VirtualClock,
+        WallClock,
+    };
     pub use amoeba_rpc::{Client, Locator, Matchmaker, RendezvousNode, RpcConfig, ServerPort};
     pub use amoeba_server::proto::{Reply, Request, Status};
     pub use amoeba_server::{
-        ClientError, ObjectTable, PrincipalRegistry, RequestCtx, SealedServiceClient,
-        SealedServiceRunner, Service, ServiceClient, ServiceRunner,
+        ClientError, ObjectLocks, ObjectTable, PrincipalRegistry, ReactorPool, RequestCtx,
+        SealedServiceClient, SealedServiceRunner, Service, ServiceClient, ServiceRunner,
     };
     pub use amoeba_softprot::{
         CapSealer, ClientSession, KeyMatrix, MachineKeys, SealedCap, SecureLink, ServerBoot,

@@ -1,5 +1,10 @@
 //! Cluster subsystem integration: replicated failover under load and
 //! sharded multi-node placement of the metered-create workload.
+//!
+//! The failover and placement tests run on the **virtual clock**
+//! (`Network::new_virtual`): the 2 ms hops and failover-detection
+//! timeouts are modeled time, so the assertions measure the model, not
+//! wall-clock margins on a loaded runner.
 
 use amoeba::prelude::*;
 use amoeba::server::proto::Reply;
@@ -7,6 +12,16 @@ use amoeba::server::wire;
 use bytes::Bytes;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A patient RPC config for virtual-time workloads: modeled queueing
+/// easily exceeds the default 500 ms timeout once the timeline, not
+/// the wall clock, is what advances.
+fn patient() -> amoeba::rpc::RpcConfig {
+    amoeba::rpc::RpcConfig {
+        timeout: Duration::from_secs(30),
+        attempts: 2,
+    }
+}
 
 /// A stateless service any replica can serve: sums the bytes of the
 /// request parameters.
@@ -30,7 +45,7 @@ fn killing_one_of_three_replicas_mid_hammer_loses_no_requests() {
     const CLIENTS: usize = 4;
     const CALLS: usize = 24;
 
-    let net = Network::new();
+    let net = Network::new_virtual();
     let mut cluster = ServiceCluster::spawn_open(&net, 3, 1, |_| Summer);
     let port = cluster.put_port();
     let client = Arc::new(ClusterClient::broadcast(&net));
@@ -48,9 +63,12 @@ fn killing_one_of_three_replicas_mid_hammer_loses_no_requests() {
         std::thread::sleep(Duration::from_millis(5));
     }
 
+    let progress = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let workers: Vec<_> = (0..CLIENTS)
         .map(|t| {
             let client = Arc::clone(&client);
+            let net = net.clone();
+            let progress = Arc::clone(&progress);
             std::thread::spawn(move || {
                 for i in 0..CALLS {
                     let params = Bytes::from(vec![t as u8, i as u8, 7]);
@@ -61,22 +79,35 @@ fn killing_one_of_three_replicas_mid_hammer_loses_no_requests() {
                             panic!("client {t} call {i} failed during failover: {e}")
                         });
                     assert_eq!(wire::Reader::new(&body).u64().unwrap(), expect);
-                    // Spread the hammer so the halt lands mid-flight.
-                    std::thread::sleep(Duration::from_millis(2));
+                    progress.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    // Spread the hammer (in timeline time) so the halt
+                    // lands mid-flight.
+                    net.sleep(Duration::from_millis(2));
                 }
             })
         })
         .collect();
 
-    // Let the hammer ramp up, then kill one replica under it.
-    std::thread::sleep(Duration::from_millis(15));
+    // Let the hammer demonstrably ramp up, then kill one replica under
+    // it — progress-based, so the halt lands mid-flight regardless of
+    // how fast the virtual clock makes the calls in real time.
+    let ramp = Instant::now() + Duration::from_secs(10);
+    while progress.load(std::sync::atomic::Ordering::Relaxed) < CLIENTS * 2 {
+        assert!(Instant::now() < ramp, "hammer never ramped up");
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let dead = cluster.halt_replica(1);
     for w in workers {
         w.join().unwrap();
     }
+    // The crash must have been *noticed*: either a call tripped over
+    // the cached dead replica and failed over, or (virtual clock) the
+    // cache TTL expired mid-hammer and the re-resolve dead-listed the
+    // vanished machine. Both routes route around the crash with zero
+    // caller-visible errors.
     assert!(
-        client.failovers() >= 1,
-        "the halted replica was cached, so at least one call must have failed over"
+        client.failovers() >= 1 || client.dead_replicas(port).contains(&dead),
+        "the halted replica was neither failed over nor dead-listed"
     );
     let survivors: Vec<_> = client
         .replicas(port)
@@ -111,11 +142,16 @@ fn metered_rig(
 
     let cluster = ShardedCluster::spawn_open(net, replicas, workers, |_| {
         // Every replica runs its own embedded bank client against the
-        // one shared bank; payments land in one server account.
+        // one shared bank; payments land in one server account. The
+        // embedded client is patient: on the virtual clock the queue
+        // at the single bank is modeled time.
         FlatFsServer::with_quota(
             SchemeKind::OneWay,
             QuotaPolicy {
-                bank: BankClient::open(net, bank_port),
+                bank: BankClient::with_service(
+                    ServiceClient::open_with_config(net, patient()),
+                    bank_port,
+                ),
                 server_account,
                 currency: CurrencyId(0),
                 price_per_kib: 1,
@@ -139,19 +175,22 @@ fn hammer_creates(client: &ShardedClient, wallet: &Capability, calls: usize) {
 }
 
 fn timed_metered_round(net: &Network, replicas: usize) -> Duration {
+    // Large enough that modeled latency dominates the (roughly
+    // constant) timeline inflation host scheduling adds per hand-off:
+    // the model says ~3x for 3 replicas, and the gate is 2x.
     const CLIENTS: usize = 12;
-    const CALLS: usize = 2;
+    const CALLS: usize = 4;
     let (bank_runner, cluster, wallet) = metered_rig(net, replicas, 1);
     let clients: Vec<Arc<ShardedClient>> = (0..CLIENTS)
         .map(|_| {
             Arc::new(ShardedClient::new(
-                ServiceClient::open(net),
+                ServiceClient::open_with_config(net, patient()),
                 cluster.range_ports().to_vec(),
             ))
         })
         .collect();
     net.set_latency(Duration::from_millis(2));
-    let t0 = Instant::now();
+    let v0 = net.now();
     let handles: Vec<_> = clients
         .into_iter()
         .map(|client| std::thread::spawn(move || hammer_creates(&client, &wallet, CALLS)))
@@ -159,7 +198,9 @@ fn timed_metered_round(net: &Network, replicas: usize) -> Duration {
     for h in handles {
         h.join().unwrap();
     }
-    let elapsed = t0.elapsed();
+    // Timeline elapsed, not wall-clock: under the virtual clock this
+    // measures the modeled latency/queueing, host speed excluded.
+    let elapsed = net.now().saturating_duration_since(v0);
     net.set_latency(Duration::ZERO);
     cluster.stop();
     bank_runner.stop();
@@ -171,13 +212,15 @@ fn three_sharded_replicas_at_least_double_metered_create_throughput() {
     // The placement acceptance bar: on the metered-create workload at
     // nonzero hop latency, 3 replicas must be ≥2× the throughput of 1.
     // Every create parks a dispatch worker on a nested bank round-trip
-    // (2 ms per hop), so capacity scales with machines, not cycles —
-    // which is why the gate holds even on a single-core host. The
-    // expected ratio is ~2.8; one re-measure absorbs scheduler noise
-    // from unrelated load without weakening the ≥2× bar itself.
+    // (2 ms per hop), so capacity scales with machines, not cycles.
+    // Measured in virtual time on the reactor clock: the ratio is a
+    // property of the model, not of wall-clock margins on a slow
+    // runner; the retry rounds absorb residual host-scheduling noise
+    // (which can only inflate the timeline) without weakening the ≥2×
+    // bar itself.
     let mut rounds = Vec::new();
-    for _ in 0..2 {
-        let net = Network::new();
+    for _ in 0..3 {
+        let net = Network::new_virtual();
         let single = timed_metered_round(&net, 1);
         let triple = timed_metered_round(&net, 3);
         if triple * 2 <= single {
