@@ -66,6 +66,170 @@ pub fn quiet_network() -> Network {
 /// The hop latency the metered-create comparisons run at.
 pub const METERED_HOP_LATENCY: Duration = Duration::from_millis(2);
 
+/// One measured leg of the hot-path experiment: how much CPU-side cost
+/// (buffer allocations, one-way-function evaluations, wire frames,
+/// wall-clock) a batch of metered creates paid.
+#[derive(Debug, Clone, Copy)]
+pub struct HotPathMeasure {
+    /// Operations measured (one op = one paid create + one destroy).
+    pub ops: u64,
+    /// Real wall-clock of the measured phase.
+    pub elapsed: Duration,
+    /// Fresh frame/body-buffer allocations by the parties' shared
+    /// [`amoeba_net::BufPool`] during the measured phase.
+    pub fresh_allocs: u64,
+    /// Buffer takes (fresh + recycled) during the measured phase.
+    pub pool_takes: u64,
+    /// One-way-function (`F`) evaluations by the parties' F-boxes
+    /// during the measured phase.
+    pub oneway_evals: u64,
+    /// Wire frames sent during the measured phase.
+    pub frames: u64,
+}
+
+impl HotPathMeasure {
+    /// Fresh buffer allocations per operation.
+    pub fn allocs_per_op(&self) -> f64 {
+        self.fresh_allocs as f64 / self.ops as f64
+    }
+
+    /// `F` evaluations per operation.
+    pub fn oneway_per_op(&self) -> f64 {
+        self.oneway_evals as f64 / self.ops as f64
+    }
+
+    /// Nanoseconds of real wall-clock per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e9 / self.ops as f64
+    }
+}
+
+/// The steady-state §3.6 metered-create workload with **every machine
+/// behind an F-box**, instrumented for per-operation hot-path cost.
+///
+/// All parties — bank server, file server (with its embedded bank
+/// client), and the hammering client — share one
+/// [`BufPool`](amoeba_net::BufPool) handle, so `fresh_allocs` is the
+/// whole fleet's codec allocation count, race-free even when other
+/// tests run in the same process. `legacy = true` runs the pre-PR
+/// codec (no buffer pooling, fresh random reply ports, uncached
+/// F-boxes); `legacy = false` runs the zero-copy fast path. The wire
+/// bytes are identical either way, which is the point: the comparison
+/// isolates codec cost.
+///
+/// `warmup` operations run before counters are snapshotted so pools
+/// and memo tables reach steady state; `creates` operations are then
+/// measured. Shared by the `hot_path` bench and the acceptance gates
+/// in `tests/scale.rs`.
+pub fn hot_path_round(
+    net: &Network,
+    legacy: bool,
+    warmup: usize,
+    creates: usize,
+) -> HotPathMeasure {
+    use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
+    use amoeba_cap::schemes::SchemeKind as Kind;
+    use amoeba_crypto::oneway::ShaOneWay;
+    use amoeba_fbox::FBox;
+    use amoeba_flatfs::{FlatFsClient, FlatFsServer, QuotaPolicy};
+    use amoeba_net::Endpoint;
+    use amoeba_rpc::{Client, CodecConfig};
+    use amoeba_server::{ServiceClient, ServiceRunner};
+    use std::sync::Arc;
+
+    let patient = amoeba_rpc::RpcConfig {
+        timeout: Duration::from_secs(30),
+        attempts: 2,
+    };
+    // One pool handle for the whole fleet (disabled = the baseline that
+    // allocates on every take, but still counts).
+    let codec = if legacy {
+        CodecConfig::legacy()
+    } else {
+        CodecConfig::default()
+    };
+    let pool = codec.pool.clone();
+    let attach_fbox = |net: &Network| -> Endpoint {
+        if legacy {
+            net.attach(Arc::new(FBox::uncached(ShaOneWay)))
+        } else {
+            net.attach(Arc::new(FBox::hardware(ShaOneWay)))
+        }
+    };
+    let mut rng = bench_rng();
+
+    let (bank_server, treasury_rx) =
+        BankServer::new(vec![Currency::convertible("dollar", 1)], Kind::OneWay);
+    let bank_runner = ServiceRunner::spawn_workers_with_codec(
+        attach_fbox(net),
+        Port::random(&mut rng),
+        bank_server,
+        1,
+        codec.clone(),
+    );
+    let bank_port = bank_runner.put_port();
+    let treasury = treasury_rx.recv().expect("treasury cap");
+    let svc_client = |net: &Network| {
+        ServiceClient::with_client(
+            Client::with_config(attach_fbox(net), patient).with_codec(codec.clone()),
+        )
+    };
+    let bank = BankClient::with_service(svc_client(net), bank_port);
+    let server_account = bank.open_account().expect("server account");
+    let wallet = bank.open_account().expect("wallet");
+    bank.mint(&treasury, &wallet, CurrencyId(0), 1_000_000)
+        .expect("mint");
+
+    let runner = ServiceRunner::spawn_workers_with_codec(
+        attach_fbox(net),
+        Port::random(&mut rng),
+        FlatFsServer::with_quota(
+            Kind::OneWay,
+            QuotaPolicy {
+                bank: BankClient::with_service(svc_client(net), bank_port),
+                server_account,
+                currency: CurrencyId(0),
+                price_per_kib: 1,
+            },
+        ),
+        2,
+        codec.clone(),
+    );
+    let fs = FlatFsClient::with_service(svc_client(net), runner.put_port());
+
+    net.set_latency(METERED_HOP_LATENCY);
+    let one_op = |fs: &FlatFsClient| {
+        let cap = fs.create_paid(&wallet, 1).expect("metered create");
+        fs.destroy(&cap).expect("destroy");
+    };
+    for _ in 0..warmup {
+        one_op(&fs);
+    }
+
+    let allocs0 = pool.fresh_allocs();
+    let takes0 = pool.takes();
+    let hot0 = net.hot_path();
+    let t0 = std::time::Instant::now();
+    for _ in 0..creates {
+        one_op(&fs);
+    }
+    let elapsed = t0.elapsed();
+    let hot = net.hot_path() - hot0;
+    let measure = HotPathMeasure {
+        ops: creates as u64,
+        elapsed,
+        fresh_allocs: pool.fresh_allocs() - allocs0,
+        pool_takes: pool.takes() - takes0,
+        oneway_evals: hot.oneway_evals,
+        frames: hot.frames_sent,
+    };
+
+    net.set_latency(Duration::ZERO);
+    runner.stop();
+    bank_runner.stop();
+    measure
+}
+
 /// One §3.6 metered-create round — every CREATE pays through a nested
 /// bank transaction — at [`METERED_HOP_LATENCY`] per hop, on whichever
 /// clock `net` carries. Returns the **real wall-clock** the round

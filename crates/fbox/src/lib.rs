@@ -48,7 +48,14 @@
 use amoeba_crypto::oneway::OneWay;
 use amoeba_net::{Header, NetworkInterface, Port};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Capacity bound of the per-box `F` memo table. When full the table
+/// is cleared wholesale (memoization is a pure cache — correctness
+/// never depends on a hit), so a client churning through random
+/// transaction ports cannot grow it without bound.
+pub const FBOX_CACHE_CAPACITY: usize = 1024;
 
 /// Where the F-box transformation is enforced.
 ///
@@ -73,6 +80,16 @@ pub struct FBox<F: OneWay> {
     f: F,
     placement: Placement,
     listening: Mutex<HashSet<Port>>,
+    /// Memo table `x → F(x)`, `None` when memoization is off. The paper
+    /// imagines `F` as VLSI precisely because it sits on the per-packet
+    /// path; this cache makes the same assumption explicit in software —
+    /// `F` runs once per *port*, not once per packet. Safe because `F`
+    /// is pure and public: caching changes cost, never results.
+    cache: Option<Mutex<HashMap<u64, u64>>>,
+    /// Actual `F` evaluations performed (cache hits excluded) — the
+    /// crypto cost this box has really paid, exposed through
+    /// [`NetworkInterface::crypto_evals`].
+    evals: AtomicU64,
 }
 
 impl<F: OneWay> FBox<F> {
@@ -86,12 +103,25 @@ impl<F: OneWay> FBox<F> {
         Self::with_placement(f, Placement::TrustedKernel)
     }
 
-    /// An F-box with explicit placement.
+    /// An F-box with explicit placement (memoized, the default).
     pub fn with_placement(f: F, placement: Placement) -> Self {
+        Self::build(f, placement, true)
+    }
+
+    /// A hardware-placement F-box that recomputes `F` on **every**
+    /// claim and egress — the pre-memoization behaviour, kept callable
+    /// so benchmarks can measure exactly what the cache buys.
+    pub fn uncached(f: F) -> Self {
+        Self::build(f, Placement::Hardware, false)
+    }
+
+    fn build(f: F, placement: Placement, cached: bool) -> Self {
         FBox {
             f,
             placement,
             listening: Mutex::new(HashSet::new()),
+            cache: cached.then(|| Mutex::new(HashMap::new())),
+            evals: AtomicU64::new(0),
         }
     }
 
@@ -100,10 +130,33 @@ impl<F: OneWay> FBox<F> {
         self.placement
     }
 
+    /// One-way-function evaluations actually performed by this box
+    /// (memoization hits excluded).
+    pub fn evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
     /// Computes the put-port `P = F(G)` for a get-port — what a server
-    /// publishes to its clients.
+    /// publishes to its clients. Memoized per box (bounded by
+    /// [`FBOX_CACHE_CAPACITY`]) unless built with
+    /// [`uncached`](Self::uncached).
     pub fn put_port(&self, get_port: Port) -> Port {
-        Port::from_raw(self.f.apply48(get_port.value()))
+        let x = get_port.value();
+        if let Some(cache) = &self.cache {
+            if let Some(&y) = cache.lock().get(&x) {
+                return Port::from_raw(y);
+            }
+        }
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        let y = self.f.apply48(x);
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock();
+            if cache.len() >= FBOX_CACHE_CAPACITY {
+                cache.clear();
+            }
+            cache.insert(x, y);
+        }
+        Port::from_raw(y)
     }
 }
 
@@ -141,6 +194,10 @@ impl<F: OneWay> NetworkInterface for FBox<F> {
 
     fn accepts(&self, dest: Port) -> bool {
         self.listening.lock().contains(&dest)
+    }
+
+    fn crypto_evals(&self) -> u64 {
+        self.evals()
     }
 }
 
@@ -247,5 +304,49 @@ mod tests {
         let fbox = FBox::hardware(f.clone());
         let g = port(0xFEED);
         assert_eq!(put_port_of(&f, g), fbox.put_port(g));
+    }
+
+    #[test]
+    fn memoized_box_evaluates_f_once_per_port() {
+        let fbox = FBox::hardware(ShaOneWay);
+        let g = port(0x1001);
+        let p = fbox.put_port(g);
+        assert_eq!(fbox.evals(), 1);
+        // Repeated sends/claims on the same port hit the cache.
+        for _ in 0..100 {
+            assert_eq!(fbox.put_port(g), p);
+            let mut h = Header::to(port(1)).with_reply(g);
+            fbox.egress(&mut h);
+            assert_eq!(h.reply, p);
+        }
+        assert_eq!(fbox.evals(), 1, "F must run once per port, not per packet");
+        assert_eq!(FBox::uncached(ShaOneWay).put_port(g), p, "cache is pure");
+    }
+
+    #[test]
+    fn uncached_box_pays_f_every_time() {
+        let fbox = FBox::uncached(ShaOneWay);
+        let g = port(0x1002);
+        for _ in 0..5 {
+            fbox.put_port(g);
+        }
+        assert_eq!(fbox.evals(), 5);
+        assert_eq!(fbox.crypto_evals(), 5, "NIC hook mirrors the counter");
+    }
+
+    #[test]
+    fn cache_stays_bounded_under_port_churn() {
+        let fbox = FBox::hardware(ShaOneWay);
+        for v in 1..=(2 * FBOX_CACHE_CAPACITY as u64 + 7) {
+            fbox.put_port(port(v));
+        }
+        let cached = fbox.cache.as_ref().unwrap().lock().len();
+        assert!(
+            cached <= FBOX_CACHE_CAPACITY,
+            "memo table exceeded its bound: {cached}"
+        );
+        // Still correct after the wholesale clears.
+        let g = port(3);
+        assert_eq!(fbox.put_port(g), put_port_of(&ShaOneWay, g));
     }
 }

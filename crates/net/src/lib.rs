@@ -50,6 +50,7 @@ mod addr;
 mod network;
 mod nic;
 mod packet;
+mod pool;
 mod reactor;
 mod stats;
 
@@ -57,5 +58,6 @@ pub use addr::{MachineId, Port};
 pub use network::{Endpoint, Network, RecvError};
 pub use nic::{NetworkInterface, OpenNic};
 pub use packet::{Header, Packet};
+pub use pool::BufPool;
 pub use reactor::{Clock, Gate, Reactor, Timestamp, VirtualClock, WallClock, QUIESCENCE_GRACE};
-pub use stats::NetworkStats;
+pub use stats::{HotPathSnapshot, NetworkStats};

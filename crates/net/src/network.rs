@@ -33,7 +33,7 @@ use crate::addr::{MachineId, Port};
 use crate::nic::{NetworkInterface, OpenNic};
 use crate::packet::{Header, Packet};
 use crate::reactor::{Clock, Reactor, Timestamp};
-use crate::stats::NetworkStats;
+use crate::stats::{HotPathSnapshot, NetworkStats};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
@@ -159,6 +159,8 @@ impl Network {
         );
         Endpoint {
             id,
+            // Must clone: the endpoint owns its own handle onto the
+            // shared wire (an Arc bump; all clones are one network).
             net: self.clone(),
             nic,
             receiver: rx,
@@ -229,6 +231,26 @@ impl Network {
         &self.inner.stats
     }
 
+    /// Snapshots the hot-path cost counters: frames sent on this
+    /// network, one-way-function evaluations by its attached
+    /// interfaces, and process-wide payload-buffer allocations. See
+    /// [`HotPathSnapshot`] for the accounting caveats.
+    pub fn hot_path(&self) -> HotPathSnapshot {
+        use std::sync::atomic::Ordering;
+        let oneway_evals = self
+            .inner
+            .machines
+            .read()
+            .values()
+            .map(|e| e.nic.crypto_evals())
+            .sum();
+        HotPathSnapshot {
+            frames_sent: self.inner.stats.packets_sent.load(Ordering::Relaxed),
+            oneway_evals,
+            buffer_allocs: bytes::stats::buffer_allocs(),
+        }
+    }
+
     /// The advertised load gauge of an attached machine, or `None` if
     /// the machine has detached. See [`Endpoint::set_load`].
     pub fn load_of(&self, id: MachineId) -> Option<u32> {
@@ -295,8 +317,10 @@ impl Network {
             if !taps.is_empty() {
                 let pkt = Packet {
                     source: from,
-                    header,
+                    // Must clone: each tap owns its copy — an O(1)
+                    // refcount bump, the payload bytes are shared.
                     payload: payload.clone(),
+                    header,
                     deliver_at: now,
                     gate: None,
                 };
@@ -345,6 +369,9 @@ impl Network {
             let pkt = Packet {
                 source: from,
                 header,
+                // Must clone: broadcast fan-out gives every recipient
+                // its own handle onto the one shared payload buffer
+                // (refcount bump, no byte copy).
                 payload: payload.clone(),
                 deliver_at,
                 gate,

@@ -37,6 +37,18 @@ pub trait NetworkInterface: Send + Sync + std::fmt::Debug {
     /// Whether a packet destined to `dest` should be delivered to this
     /// machine. Broadcast packets bypass this check.
     fn accepts(&self, dest: Port) -> bool;
+
+    /// Cumulative one-way-function evaluations this interface has
+    /// performed (its real crypto work, memoization hits excluded).
+    /// Interfaces with no crypto — like [`OpenNic`] — report zero;
+    /// `amoeba_fbox::FBox` reports its F-eval counter. Summed across a
+    /// network's machines by [`Network::hot_path`] so benchmarks can
+    /// meter crypto cost per operation.
+    ///
+    /// [`Network::hot_path`]: crate::Network::hot_path
+    fn crypto_evals(&self) -> u64 {
+        0
+    }
 }
 
 /// An interface with no protection: claims are literal, egress is the

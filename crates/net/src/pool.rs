@@ -1,0 +1,299 @@
+//! Reusable frame-buffer pools for the allocation-free send path.
+//!
+//! Every wire frame this workspace transmits is built in a `BytesMut`
+//! and frozen into the packet's [`Bytes`] payload. Before this pool
+//! existed, each frame paid a fresh heap allocation; with it, the
+//! steady-state send path allocates **nothing**: the encoder takes a
+//! recycled buffer from its endpoint's [`BufPool`], the sender retires
+//! the frozen frame back into the pool after transmission, and the
+//! pool resurrects the backing storage once every receiver has dropped
+//! its zero-copy slices of the payload.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! take() ──► BytesMut ──encode──► freeze() ──send──► retire()
+//!    ▲                                                  │
+//!    │            (receivers still hold slices)         ▼
+//!  free list ◄──try_reclaim() once unique──── retired queue
+//! ```
+//!
+//! A retired frame whose payload is still referenced (a packet in
+//! flight, a decoded body held by a handler) parks in a bounded FIFO;
+//! each `take` first sweeps that FIFO for buffers that have become
+//! uniquely owned. Both the free list and the FIFO are bounded, so a
+//! pool can never hoard more than a fixed amount of memory, and
+//! oversized buffers are dropped rather than retained.
+//!
+//! # Measurement
+//!
+//! The pool counts `takes`, `fresh_allocs` (takes that had to allocate)
+//! and `reuses` (takes served from recycled storage) per instance —
+//! race-free accounting for benchmarks and acceptance gates even when
+//! unrelated tests run concurrently in the same process. A pool built
+//! with [`BufPool::disabled`] never recycles (every take is a fresh
+//! allocation) but still counts, which is exactly the pre-pool baseline
+//! the `hot_path` bench compares against. The metric is **backing
+//! storage**: each take→freeze→retire cycle still creates and frees
+//! one small `Arc` control block for shared ownership of the payload —
+//! bounded, size-independent, and deliberately outside the counter
+//! (see `bytes::stats`).
+
+use bytes::{Bytes, BytesMut};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Initial capacity of freshly allocated pool buffers — enough for a
+/// typical request/reply frame (tag + 16-byte capability header + small
+/// params) without a growth reallocation; batch frames grow once and
+/// then keep their larger capacity across reuses.
+const FRESH_CAPACITY: usize = 256;
+
+/// Upper bound on reclaimed buffers kept ready in the free list.
+const MAX_FREE: usize = 64;
+
+/// Upper bound on retired-but-still-shared frames awaiting reclamation.
+/// Beyond this the oldest entry is dropped (its storage simply returns
+/// to the allocator when the last reference dies).
+const MAX_RETIRED: usize = 128;
+
+/// Buffers that grew beyond this are dropped instead of pooled, so one
+/// giant frame cannot pin megabytes in every pool forever.
+const MAX_RETAINED_CAPACITY: usize = 64 * 1024;
+
+#[derive(Debug)]
+struct PoolInner {
+    /// `false` for the measurement baseline: take() always allocates.
+    enabled: bool,
+    /// Reclaimed storage, ready to hand out.
+    free: Mutex<Vec<Vec<u8>>>,
+    /// Sent frames whose payload may still be referenced by receivers.
+    retired: Mutex<VecDeque<Bytes>>,
+    takes: AtomicU64,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+/// A bounded pool of reusable frame buffers (see the module docs).
+///
+/// Cheap to clone — clones share the same pool, so one pool can serve
+/// an endpoint's encoder and the completion handles that retire frames
+/// back into it.
+#[derive(Debug, Clone)]
+pub struct BufPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BufPool {
+    /// An enabled pool (the production default).
+    pub fn new() -> BufPool {
+        Self::with_enabled(true)
+    }
+
+    /// A pass-through pool that never recycles: every [`take`] is a
+    /// fresh allocation and [`retire`] drops its argument. This is the
+    /// pre-pool codec, kept callable so benchmarks and acceptance gates
+    /// can measure exactly what pooling buys.
+    ///
+    /// [`take`]: BufPool::take
+    /// [`retire`]: BufPool::retire
+    pub fn disabled() -> BufPool {
+        Self::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> BufPool {
+        BufPool {
+            inner: Arc::new(PoolInner {
+                enabled,
+                free: Mutex::new(Vec::new()),
+                retired: Mutex::new(VecDeque::new()),
+                takes: AtomicU64::new(0),
+                fresh: AtomicU64::new(0),
+                reused: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Whether this pool actually recycles buffers.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Hands out an empty buffer: recycled storage when available, a
+    /// fresh allocation otherwise. The retired queue is swept only
+    /// when the free list is empty — the common steady-state take is
+    /// one lock and one pop.
+    pub fn take(&self) -> BytesMut {
+        self.inner.takes.fetch_add(1, Ordering::Relaxed);
+        if self.inner.enabled {
+            if let Some(storage) = self.inner.free.lock().pop() {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                return BytesMut::from_recycled(storage);
+            }
+            self.sweep_retired();
+            if let Some(storage) = self.inner.free.lock().pop() {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                return BytesMut::from_recycled(storage);
+            }
+        }
+        self.inner.fresh.fetch_add(1, Ordering::Relaxed);
+        BytesMut::with_capacity(FRESH_CAPACITY)
+    }
+
+    /// Returns a sent frame (or a spent body) to the pool. If the
+    /// payload is still shared — receivers hold zero-copy slices — it
+    /// parks in the retired queue until it becomes uniquely owned;
+    /// reclamation happens lazily on later [`take`](BufPool::take)s.
+    pub fn retire(&self, frame: Bytes) {
+        // Static-backed buffers can never be reclaimed; parking them
+        // would waste retired-queue slots on permanent misses.
+        if !self.inner.enabled || frame.is_empty() || frame.is_static() {
+            return;
+        }
+        match frame.try_reclaim() {
+            Ok(storage) => self.stash(storage),
+            Err(still_shared) => {
+                let mut retired = self.inner.retired.lock();
+                retired.push_back(still_shared);
+                if retired.len() > MAX_RETIRED {
+                    retired.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Moves every retired frame that has become uniquely owned into
+    /// the free list.
+    fn sweep_retired(&self) {
+        let mut retired = self.inner.retired.lock();
+        for _ in 0..retired.len() {
+            let Some(frame) = retired.pop_front() else {
+                break;
+            };
+            match frame.try_reclaim() {
+                Ok(storage) => {
+                    drop(retired);
+                    self.stash(storage);
+                    retired = self.inner.retired.lock();
+                }
+                Err(still_shared) => retired.push_back(still_shared),
+            }
+        }
+    }
+
+    fn stash(&self, storage: Vec<u8>) {
+        if storage.capacity() > MAX_RETAINED_CAPACITY {
+            return; // oversized: let the allocator have it back
+        }
+        let mut free = self.inner.free.lock();
+        if free.len() < MAX_FREE {
+            free.push(storage);
+        }
+    }
+
+    /// Takes served so far (fresh + reused).
+    pub fn takes(&self) -> u64 {
+        self.inner.takes.load(Ordering::Relaxed)
+    }
+
+    /// Takes that had to allocate fresh storage — the hot-path
+    /// allocation count benchmarks gate on.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.inner.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Takes served from recycled storage.
+    pub fn reuses(&self) -> u64 {
+        self.inner.reused.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retired_unique_frames_are_reused() {
+        let pool = BufPool::new();
+        let mut buf = pool.take();
+        buf.extend_from_slice(b"frame one");
+        let frame = buf.freeze();
+        pool.retire(frame); // sole owner: reclaimable immediately
+
+        let buf = pool.take();
+        assert_eq!(pool.takes(), 2);
+        assert_eq!(pool.fresh_allocs(), 1, "second take must reuse");
+        assert_eq!(pool.reuses(), 1);
+        assert!(buf.is_empty(), "recycled buffers come back empty");
+    }
+
+    #[test]
+    fn shared_frames_park_until_receivers_drop() {
+        let pool = BufPool::new();
+        let mut buf = pool.take();
+        buf.extend_from_slice(b"payload");
+        let frame = buf.freeze();
+        let receiver_slice = frame.slice(1..4); // a decoded body
+        pool.retire(frame);
+
+        // Still shared: the next take cannot reclaim it.
+        let _other = pool.take();
+        assert_eq!(pool.fresh_allocs(), 2);
+
+        drop(receiver_slice);
+        let _third = pool.take();
+        assert_eq!(pool.fresh_allocs(), 2, "freed slice unlocks reuse");
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn disabled_pool_always_allocates() {
+        let pool = BufPool::disabled();
+        for _ in 0..4 {
+            let frame = pool.take().freeze();
+            pool.retire(frame);
+        }
+        assert_eq!(pool.takes(), 4);
+        assert_eq!(pool.fresh_allocs(), 4);
+        assert_eq!(pool.reuses(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let pool = BufPool::new();
+        let retirer = pool.clone();
+        let mut buf = pool.take();
+        buf.extend_from_slice(b"x");
+        retirer.retire(buf.freeze());
+        let _again = pool.take();
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(retirer.reuses(), 1, "counters are shared");
+    }
+
+    #[test]
+    fn bounded_queues_never_grow_past_their_caps() {
+        let pool = BufPool::new();
+        // Park far more shared frames than MAX_RETIRED allows.
+        let mut keep_alive = Vec::new();
+        for _ in 0..(MAX_RETIRED + 50) {
+            let mut buf = pool.take();
+            buf.extend_from_slice(b"y");
+            let frame = buf.freeze();
+            keep_alive.push(frame.clone());
+            pool.retire(frame);
+        }
+        assert!(pool.inner.retired.lock().len() <= MAX_RETIRED);
+        drop(keep_alive);
+        // Everything reclaimable now, but the free list stays bounded.
+        let _ = pool.take();
+        assert!(pool.inner.free.lock().len() <= MAX_FREE);
+    }
+}

@@ -67,6 +67,45 @@ impl NetworkStats {
     }
 }
 
+/// A point-in-time view of the three hot-path cost counters the
+/// zero-copy codec optimises: frames on the wire, payload-buffer
+/// allocations, and one-way-function evaluations. Diff two snapshots
+/// around a workload to get per-operation costs.
+///
+/// `frames_sent` is per network; `oneway_evals` sums the
+/// [`crypto_evals`](crate::NetworkInterface::crypto_evals) of the
+/// machines *currently attached* (detached machines take their counts
+/// with them, so snapshot while the fleet is stable); `buffer_allocs`
+/// is the process-wide counter from the vendored `bytes` shim (for
+/// race-free per-workload accounting prefer diffing
+/// [`BufPool`](crate::BufPool) instances directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HotPathSnapshot {
+    /// Send operations performed on this network.
+    pub frames_sent: u64,
+    /// One-way-function evaluations by this network's attached
+    /// interfaces.
+    pub oneway_evals: u64,
+    /// Process-wide fresh payload-buffer allocations
+    /// ([`bytes::stats::buffer_allocs`]).
+    pub buffer_allocs: u64,
+}
+
+impl std::ops::Sub for HotPathSnapshot {
+    type Output = HotPathSnapshot;
+
+    fn sub(self, rhs: HotPathSnapshot) -> HotPathSnapshot {
+        HotPathSnapshot {
+            frames_sent: self.frames_sent - rhs.frames_sent,
+            // Saturating: the eval sum spans *currently attached*
+            // machines, so it can legitimately shrink when a machine
+            // detaches between snapshots (e.g. a halted replica).
+            oneway_evals: self.oneway_evals.saturating_sub(rhs.oneway_evals),
+            buffer_allocs: self.buffer_allocs - rhs.buffer_allocs,
+        }
+    }
+}
+
 impl std::ops::Sub for StatsSnapshot {
     type Output = StatsSnapshot;
 

@@ -42,8 +42,8 @@
 //! frame — exactly the pool-worker fan-in pattern the dispatch engine
 //! produces.
 
-use crate::frame::{BatchStatus, Frame, MAX_BATCH_ENTRIES};
-use amoeba_net::{Endpoint, Header, MachineId, Packet, Port, RecvError, Timestamp};
+use crate::frame::{self, BatchStatus, Frame, MAX_BATCH_ENTRIES};
+use amoeba_net::{BufPool, Endpoint, Header, MachineId, Packet, Port, RecvError, Timestamp};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -135,6 +135,59 @@ impl Default for PipelineConfig {
     }
 }
 
+/// How the codec allocates and addresses on the hot path — shared by
+/// [`Client`] and [`ServerPort`](crate::ServerPort).
+///
+/// The default is the zero-copy fast path: wire frames are encoded into
+/// recycled [`BufPool`] buffers (steady-state sends allocate nothing)
+/// and a client reuses the reply ports of cleanly completed
+/// transactions instead of minting a fresh random port — which also
+/// lets an F-box's `F` memo table hit instead of hashing a
+/// never-seen-before port on every send. [`CodecConfig::legacy`] is the
+/// pre-pool behaviour, kept callable so the `hot_path` bench and the
+/// acceptance gates in `tests/scale.rs` can measure exactly what the
+/// fast path buys. Wire bytes are identical either way.
+#[derive(Debug, Clone)]
+pub struct CodecConfig {
+    /// The frame-buffer pool ([`BufPool::disabled`] for the
+    /// allocate-every-frame baseline). Share one handle across
+    /// cooperating parties to aggregate their allocation counters.
+    pub pool: BufPool,
+    /// Whether a client may reuse the private reply port of a
+    /// transaction that completed on its first transmission. Ports of
+    /// timed-out, retransmitted or abandoned transactions are never
+    /// reused (a straggler reply could alias a later transaction), so
+    /// recycling is invisible to correctness — it only removes the
+    /// per-transaction random-port mint and its one-way-function
+    /// evaluations.
+    pub recycle_reply_ports: bool,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig {
+            pool: BufPool::new(),
+            recycle_reply_ports: true,
+        }
+    }
+}
+
+impl CodecConfig {
+    /// The pre-pool codec: a fresh allocation per frame, a fresh random
+    /// reply port per transaction. The measurement baseline.
+    pub fn legacy() -> Self {
+        CodecConfig {
+            pool: BufPool::disabled(),
+            recycle_reply_ports: false,
+        }
+    }
+}
+
+/// Upper bound on recycled reply-port pairs a client parks between
+/// transactions; beyond it ports are released normally. Bounds both the
+/// claim table and the concurrency level that benefits from recycling.
+const MAX_RECYCLED_REPLY_PORTS: usize = 64;
+
 /// Errors from a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RpcError {
@@ -208,6 +261,11 @@ pub struct Client {
     pipeline: Option<PipelineState>,
     /// In-flight transactions: wire reply port → that waiter's mailbox.
     pending: Mutex<HashMap<Port, Sender<Packet>>>,
+    /// Hot-path knobs: frame-buffer pool + reply-port recycling.
+    codec: CodecConfig,
+    /// Parked `(get, wire)` reply-port pairs from cleanly completed
+    /// transactions, still claimed on the interface, ready for reuse.
+    reply_ports: Mutex<Vec<(Port, Port)>>,
 }
 
 impl Client {
@@ -227,7 +285,23 @@ impl Client {
             next_batch_id: AtomicU32::new(1),
             pipeline: None,
             pending: Mutex::new(HashMap::new()),
+            codec: CodecConfig::default(),
+            reply_ports: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Builder knob: replaces the hot-path codec configuration (frame
+    /// pooling, reply-port recycling). See [`CodecConfig`].
+    pub fn with_codec(mut self, codec: CodecConfig) -> Client {
+        self.codec = codec;
+        self
+    }
+
+    /// The frame-buffer pool this client encodes into. Callers that
+    /// build request bodies can take/retire buffers here so body
+    /// allocations ride the same recycling as frame allocations.
+    pub fn buf_pool(&self) -> &BufPool {
+        &self.codec.pool
     }
 
     /// Builder knob: replaces the demux back-off policy (see
@@ -307,11 +381,21 @@ impl Client {
         machine: MachineId,
         request: Bytes,
     ) -> Result<Bytes, RpcError> {
-        let payload = Frame::Request(request).encode();
+        let payload = self.encode_request_frame(request);
         self.transact(dest, Some(machine), payload, |frame| match frame {
             Frame::Reply(body) => Some(body),
             _ => None,
         })
+    }
+
+    /// Encodes a REQUEST frame into a pooled buffer and retires the
+    /// body — the frame carries its own copy of the bytes, so the
+    /// body's storage can be recycled once every other holder drops it.
+    fn encode_request_frame(&self, request: Bytes) -> Bytes {
+        let mut buf = self.codec.pool.take();
+        frame::encode_request_into(&mut buf, &request);
+        self.codec.pool.retire(request);
+        buf.freeze()
     }
 
     /// Performs a batch transaction: ships every request body in one
@@ -342,12 +426,17 @@ impl Client {
         for chunk in requests.chunks(MAX_BATCH_ENTRIES) {
             results.extend(self.trans_batch_chunk(dest, chunk)?);
         }
+        // The wire frames carried copies of every body; recycle the
+        // body buffers for the next batch.
+        for body in requests {
+            self.codec.pool.retire(body);
+        }
         Ok(results)
     }
 
     /// The plain single-frame transaction path.
     fn trans_single(&self, dest: Port, request: Bytes) -> Result<Bytes, RpcError> {
-        let payload = Frame::Request(request).encode();
+        let payload = self.encode_request_frame(request);
         self.transact(dest, None, payload, |frame| match frame {
             Frame::Reply(body) => Some(body),
             _ => None,
@@ -361,11 +450,13 @@ impl Client {
         requests: &[Bytes],
     ) -> Result<Vec<BatchResult>, RpcError> {
         let id = self.next_batch_id.fetch_add(1, Ordering::Relaxed);
-        let payload = Frame::BatchRequest {
-            id,
-            entries: requests.to_vec(),
-        }
-        .encode();
+        // Encoded straight from the borrowed entry table into a pooled
+        // buffer — no owned Frame, no per-chunk entry-table copy.
+        let payload = {
+            let mut buf = self.codec.pool.take();
+            frame::encode_batch_request_into(&mut buf, id, requests);
+            buf.freeze()
+        };
         let n = requests.len();
         self.transact(dest, None, payload, move |frame| match frame {
             Frame::BatchReply { id: rid, entries } if rid == id => {
@@ -422,23 +513,29 @@ impl Client {
     /// hands every waiter its own result.
     fn flush(&self, dest: Port, mut entries: Vec<(Bytes, WaiterTx)>, max_entries: usize) {
         while !entries.is_empty() {
-            let chunk: Vec<(Bytes, WaiterTx)> =
+            let mut chunk: Vec<(Bytes, WaiterTx)> =
                 entries.drain(..entries.len().min(max_entries)).collect();
-            if let [(request, tx)] = &chunk[..] {
+            if chunk.len() == 1 {
                 // A lone call needs no batch container.
-                let _ = tx.send(self.trans_single(dest, request.clone()));
+                let (request, tx) = chunk.pop().expect("one entry");
+                let _ = tx.send(self.trans_single(dest, request));
                 continue;
             }
+            // Must copy the entry table: the encoder wants a contiguous
+            // `&[Bytes]` while each body stays paired with its waiter
+            // for reply delivery. Bytes clones are refcount bumps.
             let bodies: Vec<Bytes> = chunk.iter().map(|(b, _)| b.clone()).collect();
             match self.trans_batch_chunk(dest, &bodies) {
                 Ok(results) => {
-                    for ((_, tx), result) in chunk.into_iter().zip(results) {
+                    for ((body, tx), result) in chunk.into_iter().zip(results) {
                         let _ = tx.send(result);
+                        self.codec.pool.retire(body);
                     }
                 }
                 Err(e) => {
-                    for (_, tx) in chunk {
+                    for (body, tx) in chunk {
                         let _ = tx.send(Err(e));
+                        self.codec.pool.retire(body);
                     }
                 }
             }
@@ -479,7 +576,7 @@ impl Client {
     /// Dropping the handle abandons the transaction (the reply port is
     /// released; a late reply is dropped as stale noise).
     pub fn trans_async(&self, dest: Port, request: Bytes) -> Completion<'_, Bytes> {
-        let payload = Frame::Request(request).encode();
+        let payload = self.encode_request_frame(request);
         self.start(dest, None, payload, |frame| match frame {
             Frame::Reply(body) => Some(body),
             _ => None,
@@ -493,7 +590,7 @@ impl Client {
         machine: MachineId,
         request: Bytes,
     ) -> Completion<'_, Bytes> {
-        let payload = Frame::Request(request).encode();
+        let payload = self.encode_request_frame(request);
         self.start(dest, Some(machine), payload, |frame| match frame {
             Frame::Reply(body) => Some(body),
             _ => None,
@@ -522,10 +619,20 @@ impl Client {
         payload: Bytes,
         accept: impl Fn(Frame) -> Option<T> + Send + Sync + 'static,
     ) -> Completion<'_, T> {
-        // Fresh reply get-port per transaction; stable across retries so
-        // a late first reply satisfies a retransmitted request.
-        let reply_get = Port::random(&mut *self.rng.lock());
-        let reply_wire = self.endpoint.claim(reply_get);
+        // Reply get-port per transaction, stable across retries so a
+        // late first reply satisfies a retransmitted request. Recycled
+        // from a cleanly completed transaction when allowed (the port
+        // is then already claimed, and an F-box has its F values
+        // memoized); minted fresh and claimed otherwise.
+        let recycled = self
+            .codec
+            .recycle_reply_ports
+            .then(|| self.reply_ports.lock().pop())
+            .flatten();
+        let (reply_get, reply_wire) = recycled.unwrap_or_else(|| {
+            let reply_get = Port::random(&mut *self.rng.lock());
+            (reply_get, self.endpoint.claim(reply_get))
+        });
         let (tx, rx) = unbounded();
         self.pending.lock().insert(reply_wire, tx);
         let mut header = Header::to(dest).with_reply(reply_get);
@@ -545,6 +652,8 @@ impl Client {
             accept: Box::new(accept),
             attempts_left: self.config.attempts.max(1),
             attempt_deadline: Timestamp::ZERO,
+            transmits: 0,
+            completed: false,
         };
         completion.transmit();
         completion
@@ -573,6 +682,13 @@ pub struct Completion<'c, T> {
     /// [`Client::start`]).
     attempts_left: u32,
     attempt_deadline: Timestamp,
+    /// Attempts actually put on the wire.
+    transmits: u32,
+    /// Whether the transaction finished with an accepted reply. Only a
+    /// `completed && transmits == 1` transaction may recycle its reply
+    /// port: exactly one request frame existed, so exactly one reply
+    /// could ever have been produced — and it was consumed.
+    completed: bool,
 }
 
 impl<T> std::fmt::Debug for Completion<'_, T> {
@@ -588,6 +704,9 @@ impl<T> Completion<'_, T> {
     /// Transmits one attempt and arms its retransmission deadline.
     fn transmit(&mut self) {
         self.attempts_left -= 1;
+        self.transmits += 1;
+        // Must clone: the payload is retained for retransmission until
+        // the transaction completes (a refcount bump, no byte copy).
         self.client.endpoint.send(self.header, self.payload.clone());
         self.attempt_deadline = self.client.endpoint.now() + self.client.config.timeout;
     }
@@ -623,12 +742,14 @@ impl<T> Completion<'_, T> {
             while let Ok(pkt) = self.mailbox.try_recv() {
                 self.client.endpoint.reactor().deliver(&pkt);
                 if let Some(value) = self.check_packet(pkt) {
+                    self.completed = true;
                     return Some(Ok(value));
                 }
             }
             if let Some(pkt) = self.client.endpoint.poll_arrival() {
                 self.client.endpoint.reactor().deliver(&pkt);
                 if let Some(value) = self.check_packet(pkt) {
+                    self.completed = true;
                     return Some(Ok(value));
                 }
                 continue; // keep draining
@@ -681,6 +802,7 @@ impl<T> Completion<'_, T> {
                 match endpoint.recv_deadline(deadline) {
                     Ok(pkt) => {
                         if let Some(value) = self.check_packet(pkt) {
+                            self.completed = true;
                             return Ok(value);
                         }
                     }
@@ -695,13 +817,34 @@ impl<T> Completion<'_, T> {
 impl<T> Drop for Completion<'_, T> {
     fn drop(&mut self) {
         self.client.pending.lock().remove(&self.reply_wire);
-        self.client.endpoint.release(self.reply_get);
         // Deposits never consumed (late replies to an abandoned or
         // already-completed transaction) must release their delivery
         // gates, or the virtual timeline wedges.
+        let mut stale_deposits = false;
         while let Ok(pkt) = self.mailbox.try_recv() {
+            stale_deposits = true;
             self.client.endpoint.reactor().discard(&pkt);
         }
+        // The frame buffer returns to the pool for the next encode.
+        self.client
+            .codec
+            .pool
+            .retire(std::mem::take(&mut self.payload));
+        // A transaction that completed on its single transmission and
+        // left no stragglers can park its reply port (still claimed)
+        // for reuse — no packet addressed to it can ever arrive again.
+        // Timed-out, retransmitted or abandoned transactions release
+        // the port instead: a late reply must find a dead port, never a
+        // recycled one.
+        let clean = self.completed && self.transmits == 1 && !stale_deposits;
+        if clean && self.client.codec.recycle_reply_ports {
+            let mut parked = self.client.reply_ports.lock();
+            if parked.len() < MAX_RECYCLED_REPLY_PORTS {
+                parked.push((self.reply_get, self.reply_wire));
+                return;
+            }
+        }
+        self.client.endpoint.release(self.reply_get);
     }
 }
 

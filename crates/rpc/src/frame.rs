@@ -223,24 +223,33 @@ pub enum Frame {
 }
 
 impl Frame {
-    /// Encodes the frame for transmission.
+    /// Encodes the frame for transmission into a fresh buffer.
+    ///
+    /// Thin compatibility wrapper over
+    /// [`encode_into`](Self::encode_into); hot paths take a recycled
+    /// buffer from a [`BufPool`](amoeba_net::BufPool) and call
+    /// `encode_into` directly so steady-state sends allocate nothing.
+    /// Both produce byte-identical wire frames.
+    ///
+    /// # Panics
+    /// As for [`encode_into`](Self::encode_into).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes the frame for transmission, appending to `buf`.
     ///
     /// # Panics
     /// Panics if a batch frame has zero entries, more than
     /// [`MAX_BATCH_ENTRIES`], or an entry longer than `u32::MAX` —
     /// all programming errors on the sending side, never reachable
     /// from received (attacker-controlled) data.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::new();
+    pub fn encode_into(&self, buf: &mut BytesMut) {
         match self {
-            Frame::Request(body) => {
-                buf.extend_from_slice(&[FrameKind::Request as u8]);
-                buf.extend_from_slice(body);
-            }
-            Frame::Reply(body) => {
-                buf.extend_from_slice(&[FrameKind::Reply as u8]);
-                buf.extend_from_slice(body);
-            }
+            Frame::Request(body) => encode_request_into(buf, body),
+            Frame::Reply(body) => encode_reply_into(buf, body),
             Frame::Locate(port) => {
                 buf.extend_from_slice(&[FrameKind::Locate as u8]);
                 buf.extend_from_slice(&port.value().to_be_bytes());
@@ -255,15 +264,10 @@ impl Frame {
                 buf.extend_from_slice(&port.value().to_be_bytes());
             }
             Frame::BatchRequest { id, entries } => {
-                batch_preamble(&mut buf, FrameKind::BatchRequest, *id, entries.len());
-                for body in entries {
-                    let len = u32::try_from(body.len()).expect("batch entry fits in u32");
-                    buf.extend_from_slice(&len.to_be_bytes());
-                    buf.extend_from_slice(body);
-                }
+                encode_batch_request_into(buf, *id, entries);
             }
             Frame::BatchReply { id, entries } => {
-                batch_preamble(&mut buf, FrameKind::BatchReply, *id, entries.len());
+                batch_preamble(buf, FrameKind::BatchReply, *id, entries.len());
                 for e in entries {
                     buf.extend_from_slice(&e.index.to_be_bytes());
                     buf.extend_from_slice(&[e.status as u8]);
@@ -303,7 +307,6 @@ impl Frame {
                 }
             }
         }
-        buf.freeze()
     }
 
     /// Decodes a frame, or `None` for malformed input.
@@ -405,6 +408,35 @@ impl Frame {
 /// unknown tag).
 fn cluster_body(rest: &[u8]) -> Option<&[u8]> {
     (*rest.first()? == CLUSTER_VERSION).then(|| &rest[1..])
+}
+
+/// Appends a REQUEST frame (`tag ‖ body`) — the single hottest encode,
+/// callable without constructing a [`Frame`] so the client can build it
+/// straight into a pooled buffer from a borrowed body.
+pub(crate) fn encode_request_into(buf: &mut BytesMut, body: &[u8]) {
+    buf.extend_from_slice(&[FrameKind::Request as u8]);
+    buf.extend_from_slice(body);
+}
+
+/// Appends a REPLY frame (`tag ‖ body`); see [`encode_request_into`].
+pub(crate) fn encode_reply_into(buf: &mut BytesMut, body: &[u8]) {
+    buf.extend_from_slice(&[FrameKind::Reply as u8]);
+    buf.extend_from_slice(body);
+}
+
+/// Appends a BATCH_REQUEST frame from a borrowed entry table, so the
+/// batching client encodes straight from its callers' bodies instead of
+/// first copying them into an owned [`Frame`].
+///
+/// # Panics
+/// As for [`Frame::encode_into`] on empty/oversized batches.
+pub(crate) fn encode_batch_request_into(buf: &mut BytesMut, id: u32, entries: &[Bytes]) {
+    batch_preamble(buf, FrameKind::BatchRequest, id, entries.len());
+    for body in entries {
+        let len = u32::try_from(body.len()).expect("batch entry fits in u32");
+        buf.extend_from_slice(&len.to_be_bytes());
+        buf.extend_from_slice(body);
+    }
 }
 
 /// Writes `tag ‖ version ‖ id ‖ count`, the common batch-frame prefix.

@@ -66,7 +66,7 @@ pub mod matchmaker;
 mod server;
 
 pub use client::{
-    BatchResult, Client, Completion, DemuxPolicy, PipelineConfig, RpcConfig, RpcError,
+    BatchResult, Client, CodecConfig, Completion, DemuxPolicy, PipelineConfig, RpcConfig, RpcError,
 };
 pub use frame::{
     BatchReplyEntry, BatchStatus, Frame, FrameKind, ReplicaInfo, BATCH_VERSION, CLUSTER_VERSION,

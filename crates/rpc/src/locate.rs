@@ -166,6 +166,9 @@ impl ReplicaCache {
             entries.remove(&port);
             return None;
         }
+        // Must copy: callers keep the set past this lock (iterating,
+        // diffing against later resolves); entries are small Copy
+        // structs, so this is a short memcpy, not a deep clone.
         Some(entry.replicas.clone())
     }
 

@@ -366,6 +366,8 @@ impl Matchmaker {
             return set; // a peer resolved while we waited
         }
         let found = self.resolve_all(endpoint, port);
+        // Must copy: the cache keeps its own set while the caller gets
+        // the fresh one (small Copy structs — a short memcpy).
         self.cache.insert(port, found.clone(), endpoint.now());
         found
     }

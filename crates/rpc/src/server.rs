@@ -30,8 +30,9 @@
 //! The server loop also transparently answers broadcast LOCATE queries
 //! for its port, implementing the software match-making of §2.2.
 
-use crate::frame::{BatchReplyEntry, BatchStatus, Frame};
-use amoeba_net::{Endpoint, Gate, Header, MachineId, Port, RecvError, Timestamp};
+use crate::client::CodecConfig;
+use crate::frame::{self, BatchReplyEntry, BatchStatus, Frame};
+use amoeba_net::{BufPool, Endpoint, Gate, Header, MachineId, Port, RecvError, Timestamp};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -94,6 +95,12 @@ struct BatchAccumulator {
 struct BatchSlots {
     entries: Vec<Option<(BatchStatus, Bytes)>>,
     filled: usize,
+    /// Set once the final entry fan-in has consumed the slots. The
+    /// rebuild takes the bodies out of the slots (so their buffers can
+    /// be retired), which means emptiness no longer distinguishes
+    /// "never deposited" from "already shipped" — this flag does, and
+    /// keeps a post-completion duplicate deposit a no-op.
+    done: bool,
 }
 
 impl BatchAccumulator {
@@ -104,16 +111,28 @@ impl BatchAccumulator {
             slots: Mutex::new(BatchSlots {
                 entries: vec![None; count],
                 filled: 0,
+                done: false,
             }),
         }
     }
 
     /// Deposits one entry's reply; returns the encoded `BATCH_REPLY`
-    /// frame when this was the last outstanding entry. Duplicate
-    /// deposits for an index are ignored (a retransmitted batch can
-    /// race its original through two workers).
-    fn submit(&self, index: u16, status: BatchStatus, body: Bytes) -> Option<Bytes> {
+    /// frame when this was the last outstanding entry, built in a
+    /// pooled buffer with the entry bodies retired back to the pool.
+    /// Duplicate deposits for an index — before or after the batch
+    /// completed — are ignored (a retransmitted batch can race its
+    /// original through two workers).
+    fn submit(
+        &self,
+        index: u16,
+        status: BatchStatus,
+        body: Bytes,
+        pool: &BufPool,
+    ) -> Option<Bytes> {
         let mut slots = self.slots.lock();
+        if slots.done {
+            return None;
+        }
         let slot = slots.entries.get_mut(index as usize)?;
         if slot.is_some() {
             return None;
@@ -123,12 +142,13 @@ impl BatchAccumulator {
         if slots.filled < slots.entries.len() {
             return None;
         }
-        let entries = slots
+        slots.done = true;
+        let entries: Vec<BatchReplyEntry> = slots
             .entries
-            .iter()
+            .iter_mut()
             .enumerate()
             .map(|(i, s)| {
-                let (status, body) = s.clone().expect("all slots filled");
+                let (status, body) = s.take().expect("all slots filled");
                 BatchReplyEntry {
                     index: i as u16,
                     status,
@@ -136,13 +156,20 @@ impl BatchAccumulator {
                 }
             })
             .collect();
-        Some(
-            Frame::BatchReply {
-                id: self.id,
-                entries,
+        let reply = Frame::BatchReply {
+            id: self.id,
+            entries,
+        };
+        let mut buf = pool.take();
+        reply.encode_into(&mut buf);
+        // The frame now carries copies of every body; retire the body
+        // buffers so they recycle once their other holders drop.
+        if let Frame::BatchReply { entries, .. } = reply {
+            for e in entries {
+                pool.retire(e.body);
             }
-            .encode(),
-        )
+        }
+        Some(buf.freeze())
     }
 }
 
@@ -164,6 +191,10 @@ pub struct ServerPort {
     ready_rx: Receiver<IncomingRequest>,
     /// Held by the one worker currently draining the endpoint.
     pump: Mutex<()>,
+    /// Reply frames (and handler-built bodies) are encoded into and
+    /// retired back to this pool; steady-state replies allocate
+    /// nothing.
+    pool: BufPool,
 }
 
 // The worker-pool dispatch engine shares one bound port across
@@ -175,8 +206,17 @@ const _: () = {
 
 impl ServerPort {
     /// `GET(G)`: claims the get-port on the endpoint's interface and
-    /// returns the bound server.
+    /// returns the bound server (default codec: pooled buffers).
     pub fn bind(endpoint: Endpoint, get_port: Port) -> ServerPort {
+        Self::bind_with_codec(endpoint, get_port, CodecConfig::default())
+    }
+
+    /// [`bind`](Self::bind) with explicit hot-path codec knobs — pass
+    /// [`CodecConfig::legacy`] to measure the pre-pool baseline, or a
+    /// shared [`BufPool`] handle to aggregate allocation counters
+    /// across parties. (Reply-port recycling is a client knob; only the
+    /// pool applies here.)
+    pub fn bind_with_codec(endpoint: Endpoint, get_port: Port, codec: CodecConfig) -> ServerPort {
         let wire_port = endpoint.claim(get_port);
         let (ready_tx, ready_rx) = unbounded();
         ServerPort {
@@ -186,7 +226,15 @@ impl ServerPort {
             ready_tx,
             ready_rx,
             pump: Mutex::new(()),
+            pool: codec.pool,
         }
+    }
+
+    /// The frame-buffer pool replies are encoded into. Handlers can
+    /// take/retire body buffers here so body allocations ride the same
+    /// recycling as frame allocations.
+    pub fn buf_pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// The put-port clients should send to (`F(G)` under an F-box;
@@ -477,8 +525,12 @@ impl ServerPort {
                     && port == self.wire_port
                     && !pkt.header.reply.is_null() =>
             {
-                let reply = Frame::LocateReply(self.wire_port, self.endpoint.id()).encode();
-                self.endpoint.send(Header::to(pkt.header.reply), reply);
+                let mut buf = self.pool.take();
+                Frame::LocateReply(self.wire_port, self.endpoint.id()).encode_into(&mut buf);
+                let reply = buf.freeze();
+                self.endpoint
+                    .send(Header::to(pkt.header.reply), reply.clone());
+                self.pool.retire(reply);
             }
             _ => {}
         }
@@ -487,19 +539,37 @@ impl ServerPort {
     /// Sends a reply for `request`. For a batch entry this deposits the
     /// body in the batch's accumulator; the worker depositing the final
     /// entry transmits the whole `BATCH_REPLY` frame.
+    ///
+    /// Reply frames are encoded into pooled buffers and retired after
+    /// transmission, so a steady-state server replies without touching
+    /// the allocator.
     pub fn reply(&self, request: &IncomingRequest, body: Bytes) {
         match &request.batch {
             Some(slot) => {
-                if let Some(frame) = slot.acc.submit(slot.index, BatchStatus::Ok, body) {
-                    self.endpoint.send(Header::to(slot.acc.reply_to), frame);
+                if let Some(frame) = slot
+                    .acc
+                    .submit(slot.index, BatchStatus::Ok, body, &self.pool)
+                {
+                    self.endpoint
+                        .send(Header::to(slot.acc.reply_to), frame.clone());
+                    self.pool.retire(frame);
                 }
             }
             None => {
                 if request.reply_to.is_null() {
-                    return; // one-way request
+                    // One-way request: nothing goes on the wire, but
+                    // the (typically pooled) body buffer still
+                    // recycles.
+                    self.pool.retire(body);
+                    return;
                 }
+                let mut buf = self.pool.take();
+                frame::encode_reply_into(&mut buf, &body);
+                self.pool.retire(body);
+                let frame = buf.freeze();
                 self.endpoint
-                    .send(Header::to(request.reply_to), Frame::Reply(body).encode());
+                    .send(Header::to(request.reply_to), frame.clone());
+                self.pool.retire(frame);
             }
         }
     }
@@ -675,6 +745,33 @@ mod tests {
         );
         let total: u32 = workers.into_iter().map(|w| w.join().unwrap()).sum();
         assert_eq!(total, 12, "every batch entry claimed exactly once");
+    }
+
+    #[test]
+    fn duplicate_batch_deposit_after_completion_is_ignored() {
+        // A retransmitted batch can race its original through two
+        // workers, so deposits may land *after* the reply frame
+        // shipped (when the slots have been consumed for body
+        // retirement). They must be no-ops — not panics, not second
+        // frames.
+        let pool = amoeba_net::BufPool::new();
+        let acc = BatchAccumulator::new(7, Port::new(0x99).unwrap(), 2);
+        assert!(acc
+            .submit(0, BatchStatus::Ok, Bytes::from_static(b"a"), &pool)
+            .is_none());
+        assert!(acc
+            .submit(1, BatchStatus::Ok, Bytes::from_static(b"b"), &pool)
+            .is_some());
+        assert!(acc
+            .submit(0, BatchStatus::Ok, Bytes::from_static(b"a"), &pool)
+            .is_none());
+        assert!(acc
+            .submit(1, BatchStatus::Rejected, Bytes::new(), &pool)
+            .is_none());
+        // Out-of-range duplicates stay harmless too.
+        assert!(acc
+            .submit(9, BatchStatus::Ok, Bytes::new(), &pool)
+            .is_none());
     }
 
     #[test]

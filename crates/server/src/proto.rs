@@ -56,12 +56,21 @@ pub struct Request {
 
 impl Request {
     /// Encodes for transmission: capability ‖ command ‖ params.
+    ///
+    /// Fresh-buffer wrapper over [`encode_into`](Self::encode_into);
+    /// hot paths encode into a recycled
+    /// [`BufPool`](amoeba_net::BufPool) buffer instead.
     pub fn encode(&self) -> Bytes {
         let mut buf = bytes::BytesMut::with_capacity(20 + self.params.len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes for transmission, appending to `buf`.
+    pub fn encode_into(&self, buf: &mut bytes::BytesMut) {
         buf.extend_from_slice(&self.cap.encode());
         buf.extend_from_slice(&self.command.to_be_bytes());
         buf.extend_from_slice(&self.params);
-        buf.freeze()
     }
 
     /// Decodes a request body; `None` if malformed.
@@ -181,11 +190,20 @@ impl Reply {
     }
 
     /// Encodes for transmission: status ‖ body.
+    ///
+    /// Fresh-buffer wrapper over [`encode_into`](Self::encode_into);
+    /// the dispatch loop encodes into a recycled
+    /// [`BufPool`](amoeba_net::BufPool) buffer instead.
     pub fn encode(&self) -> Bytes {
         let mut buf = bytes::BytesMut::with_capacity(4 + self.body.len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encodes for transmission, appending to `buf`.
+    pub fn encode_into(&self, buf: &mut bytes::BytesMut) {
         buf.extend_from_slice(&(self.status as u32).to_be_bytes());
         buf.extend_from_slice(&self.body);
-        buf.freeze()
     }
 
     /// Decodes a reply body; `None` if malformed.

@@ -90,7 +90,14 @@ fn serve_sealed_one(
             }
         }
     };
-    server.reply(incoming, reply.encode());
+    // Same pooled-encode discipline as the plain dispatch path
+    // (service.rs serve_one): reply bodies ride recycled buffers.
+    let pool = server.buf_pool();
+    let mut buf = pool.take();
+    reply.encode_into(&mut buf);
+    let Reply { body, .. } = reply;
+    pool.retire(body);
+    server.reply(incoming, buf.freeze());
 }
 
 /// Runs a [`Service`] behind sealed-capability transport, on one or

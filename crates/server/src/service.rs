@@ -70,6 +70,11 @@ impl Drop for LoadGuard<'_> {
 /// Decode one raw request, dispatch it to the service, encode the
 /// reply. Shared by every worker loop (plain, pooled, and the reactor
 /// driver pool).
+///
+/// The reply body is encoded into a recycled buffer from the bound
+/// port's [`BufPool`](amoeba_net::BufPool) and the handler's body bytes
+/// are retired back into it, so a steady-state dispatch loop serves
+/// without touching the allocator.
 pub(crate) fn serve_one(
     service: &(impl Service + ?Sized),
     server: &ServerPort,
@@ -83,7 +88,12 @@ pub(crate) fn serve_one(
         Some(decoded) => service.handle(&decoded, &ctx),
         None => Reply::status(Status::BadRequest),
     };
-    server.reply(incoming, reply.encode());
+    let pool = server.buf_pool();
+    let mut buf = pool.take();
+    reply.encode_into(&mut buf);
+    let Reply { body, .. } = reply;
+    pool.retire(body);
+    server.reply(incoming, buf.freeze());
 }
 
 /// Runs a [`Service`] on one or more background dispatch workers.
@@ -131,12 +141,37 @@ impl ServiceRunner {
     pub fn spawn_workers(
         endpoint: Endpoint,
         get_port: Port,
+        service: impl Service,
+        workers: usize,
+    ) -> ServiceRunner {
+        Self::spawn_workers_with_codec(
+            endpoint,
+            get_port,
+            service,
+            workers,
+            amoeba_rpc::CodecConfig::default(),
+        )
+    }
+
+    /// [`spawn_workers`](Self::spawn_workers) with explicit hot-path
+    /// codec knobs for the bound port — pass
+    /// [`CodecConfig::legacy`](amoeba_rpc::CodecConfig::legacy) to
+    /// measure the pre-pool baseline, or a shared
+    /// [`BufPool`](amoeba_net::BufPool) handle to aggregate allocation
+    /// counters across parties.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn spawn_workers_with_codec(
+        endpoint: Endpoint,
+        get_port: Port,
         mut service: impl Service,
         workers: usize,
+        codec: amoeba_rpc::CodecConfig,
     ) -> ServiceRunner {
         assert!(workers > 0, "a service needs at least one worker");
         let machine = endpoint.id();
-        let server = ServerPort::bind(endpoint, get_port);
+        let server = ServerPort::bind_with_codec(endpoint, get_port, codec);
         let put_port = server.put_port();
         service.bind(put_port);
         let service = Arc::new(service);
@@ -417,13 +452,26 @@ impl ServiceClient {
         command: u32,
         params: Bytes,
     ) -> Result<Bytes, ClientError> {
+        let raw = self
+            .rpc
+            .trans(port, self.encode_request(cap, command, params))?;
+        self.decode_reply(raw)
+    }
+
+    /// Encodes a request body into a recycled buffer from the client's
+    /// [`BufPool`](amoeba_net::BufPool), retiring the params bytes — a
+    /// steady-state call allocates nothing on the way out.
+    fn encode_request(&self, cap: &Capability, command: u32, params: Bytes) -> Bytes {
         let req = Request {
             cap: *cap,
             command,
             params,
         };
-        let raw = self.rpc.trans(port, req.encode())?;
-        self.decode_reply(raw)
+        let pool = self.rpc.buf_pool();
+        let mut buf = pool.take();
+        req.encode_into(&mut buf);
+        pool.retire(req.params);
+        buf.freeze()
     }
 
     /// Invokes `command` on the object named by `cap`, delivered only
@@ -475,12 +523,9 @@ impl ServiceClient {
         command: u32,
         params: Bytes,
     ) -> Result<Bytes, ClientError> {
-        let req = Request {
-            cap: *cap,
-            command,
-            params,
-        };
-        let raw = self.rpc.trans_to(port, machine, req.encode())?;
+        let raw = self
+            .rpc
+            .trans_to(port, machine, self.encode_request(cap, command, params))?;
         self.decode_reply(raw)
     }
 
@@ -513,14 +558,7 @@ impl ServiceClient {
     ) -> Result<Vec<Result<Bytes, ClientError>>, ClientError> {
         let bodies = calls
             .into_iter()
-            .map(|(cap, command, params)| {
-                Request {
-                    cap,
-                    command,
-                    params,
-                }
-                .encode()
-            })
+            .map(|(cap, command, params)| self.encode_request(&cap, command, params))
             .collect();
         let results = self.rpc.trans_batch(port, bodies)?;
         Ok(results

@@ -69,10 +69,12 @@ pub mod prelude {
     pub use amoeba_memsvr::{MemClient, MemServer, ProcState};
     pub use amoeba_mvfs::{MvfsClient, MvfsServer};
     pub use amoeba_net::{
-        Clock, Endpoint, Header, MachineId, Network, Port, Reactor, Timestamp, VirtualClock,
-        WallClock,
+        BufPool, Clock, Endpoint, Header, HotPathSnapshot, MachineId, Network, Port, Reactor,
+        Timestamp, VirtualClock, WallClock,
     };
-    pub use amoeba_rpc::{Client, Locator, Matchmaker, RendezvousNode, RpcConfig, ServerPort};
+    pub use amoeba_rpc::{
+        Client, CodecConfig, Locator, Matchmaker, RendezvousNode, RpcConfig, ServerPort,
+    };
     pub use amoeba_server::proto::{Reply, Request, Status};
     pub use amoeba_server::{
         ClientError, ObjectLocks, ObjectTable, PrincipalRegistry, ReactorPool, RequestCtx,

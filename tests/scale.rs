@@ -564,6 +564,52 @@ fn virtual_clock_metered_create_is_10x_faster_in_wall_clock() {
 }
 
 #[test]
+fn hot_path_codec_cuts_allocs_5x_and_oneway_evals_10x() {
+    // The zero-copy-hot-path acceptance bar: the steady-state F-box
+    // metered-create workload under the pooled codec (recycled frame
+    // buffers, recycled reply ports, memoized F-box) must pay ≥5×
+    // fewer buffer allocations per operation and ≥10× fewer one-way-
+    // function evaluations per operation than the pre-PR codec (fresh
+    // allocation per frame, fresh random reply port per transaction,
+    // F recomputed per packet). Wire bytes are identical in both modes
+    // — `documented_example_frames` and the batch-frame proptests pin
+    // that — so the comparison isolates codec cost. Counters are
+    // per-fleet (one shared BufPool, per-box F counters), so
+    // concurrent tests in this binary cannot pollute the measurement.
+    const WARMUP: usize = 8;
+    const OPS: usize = 32;
+
+    let legacy = amoeba_bench::hot_path_round(&Network::new_virtual(), true, WARMUP, OPS);
+    let fast = amoeba_bench::hot_path_round(&Network::new_virtual(), false, WARMUP, OPS);
+
+    assert_eq!(legacy.ops, fast.ops);
+    assert!(
+        legacy.fresh_allocs >= 5 * fast.fresh_allocs.max(1),
+        "pooled codec must cut allocs/op ≥5×: legacy={} fast={} (per op: {:.2} vs {:.2})",
+        legacy.fresh_allocs,
+        fast.fresh_allocs,
+        legacy.allocs_per_op(),
+        fast.allocs_per_op(),
+    );
+    assert!(
+        legacy.oneway_evals >= 10 * fast.oneway_evals.max(1),
+        "memoized F-box must cut oneway evals/op ≥10×: legacy={} fast={} (per op: {:.2} vs {:.2})",
+        legacy.oneway_evals,
+        fast.oneway_evals,
+        legacy.oneway_per_op(),
+        fast.oneway_per_op(),
+    );
+    // Same workload, same protocol: the fast path must not change what
+    // goes on the wire (modulo retransmission jitter).
+    assert!(
+        fast.frames <= legacy.frames + legacy.ops,
+        "the fast path must not inflate wire traffic: legacy={} fast={}",
+        legacy.frames,
+        fast.frames,
+    );
+}
+
+#[test]
 fn reactor_pool_drives_64_services_on_4_threads_through_the_hammer() {
     // The spawn_reactor acceptance bar: 64 services multiplexed onto 4
     // driver threads survive the scale hammer — concurrent clients

@@ -2,10 +2,18 @@
 //!
 //! Provides the slice of the `bytes` API this workspace uses: a cheaply
 //! cloneable, sliceable immutable byte buffer ([`Bytes`]) and a growable
-//! builder ([`BytesMut`]). Cloning and slicing never copy the payload —
-//! they share one allocation behind an `Arc`, which is the property the
-//! simulated network relies on when fanning a packet out to many
-//! machines.
+//! builder ([`BytesMut`]). Cloning, slicing and [`Bytes::split_to`]
+//! never copy the payload — they share one allocation behind an `Arc`,
+//! which is the property the simulated network relies on when fanning a
+//! packet out to many machines and the RPC codec relies on for
+//! zero-copy frame decode.
+//!
+//! Because this shim is the single place the workspace allocates payload
+//! buffers, it doubles as the hot-path allocation probe: every fresh
+//! backing-store allocation (and every growth reallocation) bumps a
+//! process-wide counter readable via [`stats::buffer_allocs`], and the
+//! buffer-pool recycling entry points ([`Bytes::try_reclaim`],
+//! [`BytesMut::from_recycled`]) bump [`stats::buffer_reuses`] instead.
 
 #![forbid(unsafe_code)]
 
@@ -13,6 +21,43 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
+
+/// Process-wide counters of payload-buffer allocations and reuses.
+///
+/// `buffer_allocs` counts fresh heap allocations (and growth
+/// reallocations) of **backing storage** performed by this crate;
+/// `buffer_reuses` counts buffers resurrected through the recycling
+/// entry points without touching the allocator. Deliberately out of
+/// scope: the small `Arc` control block `freeze()` creates per frame
+/// (and `try_reclaim` frees) — the metric is payload-buffer traffic,
+/// the O(len) allocations whose count scales with body size and frame
+/// rate, not total allocator call volume. Benchmarks diff these
+/// around a workload; per-instance accounting (immune to concurrent
+/// tests) lives in `amoeba_net::BufPool`.
+pub mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static BUFFER_ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BUFFER_REUSES: AtomicU64 = AtomicU64::new(0);
+
+    /// Cumulative fresh backing-store allocations since process start.
+    pub fn buffer_allocs() -> u64 {
+        BUFFER_ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative recycled-buffer reuses since process start.
+    pub fn buffer_reuses() -> u64 {
+        BUFFER_REUSES.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_alloc() {
+        BUFFER_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_reuse() {
+        BUFFER_REUSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 #[derive(Clone)]
 enum Repr {
@@ -49,6 +94,9 @@ impl Bytes {
 
     /// Copies a slice into a fresh buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        if !data.is_empty() {
+            stats::note_alloc();
+        }
         Bytes::from(data.to_vec())
     }
 
@@ -86,6 +134,22 @@ impl Bytes {
         }
     }
 
+    /// Splits off and returns the first `at` bytes; `self` keeps the
+    /// rest. Both halves share the original storage — O(1), no copy.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            repr: self.repr.clone(),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
     /// The underlying bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
         let full = match &self.repr {
@@ -98,6 +162,35 @@ impl Bytes {
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+
+    /// Whether this buffer is backed by `'static` borrowed data (so
+    /// its storage can never be reclaimed for reuse). Lets buffer
+    /// pools drop such handles immediately instead of parking them in
+    /// a retry queue forever.
+    pub fn is_static(&self) -> bool {
+        matches!(self.repr, Repr::Static(_))
+    }
+
+    /// Reclaims the backing storage for reuse if this handle is the
+    /// **only** owner (no clones or slices alive anywhere): returns the
+    /// whole backing `Vec` (capacity intact, contents unspecified) on
+    /// success, or gives the handle back unchanged when the storage is
+    /// still shared or static. This is the buffer-pool recycling hook —
+    /// a pool parks sent frames here and resurrects their allocations
+    /// once every receiver has dropped its zero-copy slices.
+    ///
+    /// # Errors
+    /// Returns `Err(self)` when the storage is shared or static.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        match self.repr {
+            Repr::Static(_) => Err(self),
+            Repr::Shared(arc) => Arc::try_unwrap(arc).map_err(|arc| Bytes {
+                repr: Repr::Shared(arc),
+                start: self.start,
+                end: self.end,
+            }),
+        }
     }
 }
 
@@ -241,13 +334,30 @@ impl BytesMut {
 
     /// An empty buffer with pre-reserved capacity.
     pub fn with_capacity(capacity: usize) -> BytesMut {
+        if capacity > 0 {
+            stats::note_alloc();
+        }
         BytesMut {
             buf: Vec::with_capacity(capacity),
         }
     }
 
+    /// Wraps storage reclaimed from [`Bytes::try_reclaim`]: the vector
+    /// is cleared but keeps its capacity, and no allocation (or alloc
+    /// count) happens. The buffer-pool fast path.
+    pub fn from_recycled(mut storage: Vec<u8>) -> BytesMut {
+        storage.clear();
+        stats::note_reuse();
+        BytesMut { buf: storage }
+    }
+
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, data: &[u8]) {
+        // A growth reallocation is a fresh backing-store allocation as
+        // far as the hot-path probe is concerned.
+        if self.buf.len() + data.len() > self.buf.capacity() {
+            stats::note_alloc();
+        }
         self.buf.extend_from_slice(data);
     }
 
@@ -259,6 +369,16 @@ impl BytesMut {
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Empties the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Converts into an immutable [`Bytes`] without copying.
@@ -315,5 +435,86 @@ mod tests {
     #[should_panic(expected = "slice out of bounds")]
     fn bad_slice_panics() {
         Bytes::from_static(b"abc").slice(2..9);
+    }
+
+    /// Pins the zero-copy contract with pointer equality: `clone`,
+    /// `slice` and `split_to` must all alias the original backing
+    /// storage, never copy it. If this test fails, every "O(1) decode"
+    /// claim in the RPC codec is silently void.
+    #[test]
+    fn clone_slice_and_split_share_backing_storage() {
+        let original = Bytes::from(vec![10, 11, 12, 13, 14, 15]);
+        let base = &original[0];
+
+        let cloned = original.clone();
+        assert!(std::ptr::eq(base, &cloned[0]), "clone copied the payload");
+
+        let sliced = original.slice(2..5);
+        assert!(
+            std::ptr::eq(&original[2], &sliced[0]),
+            "slice copied the payload"
+        );
+
+        let mut tail = original.clone();
+        let head = tail.split_to(3);
+        assert!(std::ptr::eq(base, &head[0]), "split_to copied the head");
+        assert!(
+            std::ptr::eq(&original[3], &tail[0]),
+            "split_to copied the tail"
+        );
+        assert_eq!(&head[..], &[10, 11, 12]);
+        assert_eq!(&tail[..], &[13, 14, 15]);
+
+        // Nested re-slicing still aliases the one allocation.
+        let nested = sliced.slice(1..);
+        assert!(std::ptr::eq(&original[3], &nested[0]));
+    }
+
+    #[test]
+    fn split_to_consumes_and_respects_bounds() {
+        let mut b = Bytes::from(vec![1, 2, 3]);
+        let head = b.split_to(0);
+        assert!(head.is_empty());
+        let head = b.split_to(3);
+        assert_eq!(&head[..], &[1, 2, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_past_end_panics() {
+        Bytes::from_static(b"ab").split_to(3);
+    }
+
+    #[test]
+    fn try_reclaim_only_succeeds_for_unique_owners() {
+        let b = Bytes::from(vec![7u8; 32]);
+        let clone = b.clone();
+        // Shared: both handles alive, reclamation must fail and hand
+        // the Bytes back intact.
+        let b = b.try_reclaim().expect_err("shared storage reclaimed");
+        assert_eq!(&b[..], &[7u8; 32]);
+        drop(clone);
+        // Unique again: the backing Vec comes back, capacity intact.
+        let v = b.try_reclaim().expect("unique storage must reclaim");
+        assert!(v.capacity() >= 32);
+        // Static storage is never reclaimable.
+        assert!(Bytes::from_static(b"s").try_reclaim().is_err());
+    }
+
+    #[test]
+    fn recycled_bytesmut_reuses_without_reallocating() {
+        let v = Bytes::from(vec![1u8; 64]).try_reclaim().unwrap();
+        // Counters are process-global; concurrent tests may bump them,
+        // so assert monotone growth of reuses, not exact values.
+        let reuses_before = stats::buffer_reuses();
+        let mut m = BytesMut::from_recycled(v);
+        assert!(m.is_empty());
+        let cap = m.capacity();
+        assert!(cap >= 64);
+        m.extend_from_slice(&[9u8; 32]); // fits: no growth
+        assert_eq!(m.capacity(), cap, "in-capacity append must not grow");
+        assert!(stats::buffer_reuses() > reuses_before);
+        assert_eq!(&m.freeze()[..], &[9u8; 32]);
     }
 }
