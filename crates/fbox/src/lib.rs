@@ -112,7 +112,14 @@ impl<F: OneWay> FBox<F> {
     /// claim and egress — the pre-memoization behaviour, kept callable
     /// so benchmarks can measure exactly what the cache buys.
     pub fn uncached(f: F) -> Self {
-        Self::build(f, Placement::Hardware, false)
+        Self::uncached_with_placement(f, Placement::Hardware)
+    }
+
+    /// An uncached F-box with explicit placement — the baseline knob
+    /// composed with [`with_placement`](Self::with_placement), so a
+    /// trusted-kernel box can be benchmarked pre-memoization too.
+    pub fn uncached_with_placement(f: F, placement: Placement) -> Self {
+        Self::build(f, placement, false)
     }
 
     fn build(f: F, placement: Placement, cached: bool) -> Self {
@@ -332,6 +339,16 @@ mod tests {
         }
         assert_eq!(fbox.evals(), 5);
         assert_eq!(fbox.crypto_evals(), 5, "NIC hook mirrors the counter");
+    }
+
+    #[test]
+    fn uncached_composes_with_placement() {
+        let fbox = FBox::uncached_with_placement(ShaOneWay, Placement::TrustedKernel);
+        assert_eq!(fbox.placement(), Placement::TrustedKernel);
+        let g = port(0x1003);
+        fbox.put_port(g);
+        fbox.put_port(g);
+        assert_eq!(fbox.evals(), 2, "placement must not re-enable the cache");
     }
 
     #[test]

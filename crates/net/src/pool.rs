@@ -162,6 +162,14 @@ impl BufPool {
             Ok(storage) => self.stash(storage),
             Err(still_shared) => {
                 let mut retired = self.inner.retired.lock();
+                // Park at most one handle per allocation: retired
+                // siblings would hold each other's refcount above one
+                // forever, making every one of them unreclaimable.
+                // Dropping the duplicate instead walks the refcount
+                // down toward the parked handle becoming unique.
+                if retired.iter().any(|f| f.shares_storage(&still_shared)) {
+                    return;
+                }
                 retired.push_back(still_shared);
                 if retired.len() > MAX_RETIRED {
                     retired.pop_front();
@@ -173,19 +181,24 @@ impl BufPool {
     /// Moves every retired frame that has become uniquely owned into
     /// the free list.
     fn sweep_retired(&self) {
-        let mut retired = self.inner.retired.lock();
-        for _ in 0..retired.len() {
-            let Some(frame) = retired.pop_front() else {
-                break;
-            };
-            match frame.try_reclaim() {
-                Ok(storage) => {
-                    drop(retired);
-                    self.stash(storage);
-                    retired = self.inner.retired.lock();
+        // One pass over a snapshot of the queue under a single lock
+        // hold; stashing (which takes the free-list lock) happens after
+        // release. Frames retired concurrently wait for the next sweep.
+        let mut reclaimed = Vec::new();
+        {
+            let mut retired = self.inner.retired.lock();
+            for _ in 0..retired.len() {
+                let Some(frame) = retired.pop_front() else {
+                    break;
+                };
+                match frame.try_reclaim() {
+                    Ok(storage) => reclaimed.push(storage),
+                    Err(still_shared) => retired.push_back(still_shared),
                 }
-                Err(still_shared) => retired.push_back(still_shared),
             }
+        }
+        for storage in reclaimed {
+            self.stash(storage);
         }
     }
 
@@ -233,6 +246,25 @@ mod tests {
         assert_eq!(pool.fresh_allocs(), 1, "second take must reuse");
         assert_eq!(pool.reuses(), 1);
         assert!(buf.is_empty(), "recycled buffers come back empty");
+    }
+
+    #[test]
+    fn duplicate_retired_siblings_do_not_wedge_reclamation() {
+        // Retiring several handles of ONE allocation (a batch that
+        // shipped N clones of the same body) must not park them all:
+        // parked siblings would keep each other's refcount above one
+        // forever, so none could ever be reclaimed.
+        let pool = BufPool::new();
+        let mut buf = pool.take();
+        buf.extend_from_slice(b"shared body");
+        let frame = buf.freeze();
+        let dup1 = frame.clone();
+        let dup2 = frame.clone();
+        pool.retire(frame); // still shared: parks
+        pool.retire(dup1); // sibling already parked: dropped instead
+        pool.retire(dup2); // ditto — parked handle is now the sole owner
+        let _b = pool.take();
+        assert_eq!(pool.reuses(), 1, "parked sibling must reclaim, not wedge");
     }
 
     #[test]

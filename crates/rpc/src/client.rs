@@ -154,12 +154,20 @@ pub struct CodecConfig {
     /// cooperating parties to aggregate their allocation counters.
     pub pool: BufPool,
     /// Whether a client may reuse the private reply port of a
-    /// transaction that completed on its first transmission. Ports of
-    /// timed-out, retransmitted or abandoned transactions are never
-    /// reused (a straggler reply could alias a later transaction), so
-    /// recycling is invisible to correctness — it only removes the
-    /// per-transaction random-port mint and its one-way-function
-    /// evaluations.
+    /// transaction that completed on its first transmission — and, as
+    /// the precondition that makes reuse sound, whether it may keep the
+    /// §2.1 kernel cache of `(put-port, machine)` answers that turns
+    /// untargeted calls into machine-targeted ones.
+    ///
+    /// Only a **machine-targeted** transaction can prove its reply port
+    /// quiescent: an untargeted request is *offered* to every machine
+    /// claiming the destination port, so N replicas produce N replies
+    /// and N−1 stragglers may still be in flight when the transaction
+    /// completes. Ports of untargeted, timed-out, retransmitted or
+    /// abandoned transactions are therefore never reused (a straggler
+    /// reply could alias a later transaction), which keeps recycling
+    /// invisible to correctness — it only removes the per-transaction
+    /// random-port mint and its one-way-function evaluations.
     pub recycle_reply_ports: bool,
 }
 
@@ -187,6 +195,13 @@ impl CodecConfig {
 /// transactions; beyond it ports are released normally. Bounds both the
 /// claim table and the concurrency level that benefits from recycling.
 const MAX_RECYCLED_REPLY_PORTS: usize = 64;
+
+/// Upper bound on `(put-port, machine)` route-cache entries. Clients
+/// talk to a bounded service fleet in practice, so the cap is generous;
+/// on overflow the table is cleared wholesale (the F-box memo-table
+/// idiom) rather than tracked with an eviction order — correctness is
+/// unaffected, the next call per port just goes associative once.
+const MAX_CACHED_ROUTES: usize = 1024;
 
 /// Errors from a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,6 +281,16 @@ pub struct Client {
     /// Parked `(get, wire)` reply-port pairs from cleanly completed
     /// transactions, still claimed on the interface, ready for reuse.
     reply_ports: Mutex<Vec<(Port, Port)>>,
+    /// The §2.1 kernel cache: put-port → the machine that last answered
+    /// it. "To avoid having to broadcast the LOCATE message for every
+    /// transaction, each kernel maintains a cache of (port, machine)
+    /// pairs" — here it upgrades associative sends to machine-targeted
+    /// ones, which is also what makes reply-port recycling sound (a
+    /// targeted request reaches one machine, so at most one reply ever
+    /// exists). A hint, never load-bearing: a timed-out hinted attempt
+    /// evicts the entry and retransmits associatively, so replica
+    /// failover still works.
+    routes: Mutex<HashMap<Port, MachineId>>,
 }
 
 impl Client {
@@ -287,6 +312,7 @@ impl Client {
             pending: Mutex::new(HashMap::new()),
             codec: CodecConfig::default(),
             reply_ports: Mutex::new(Vec::new()),
+            routes: Mutex::new(HashMap::new()),
         }
     }
 
@@ -423,15 +449,23 @@ impl Client {
         if requests.is_empty() {
             return Ok(results);
         }
+        let mut outcome = Ok(());
         for chunk in requests.chunks(MAX_BATCH_ENTRIES) {
-            results.extend(self.trans_batch_chunk(dest, chunk)?);
+            match self.trans_batch_chunk(dest, chunk) {
+                Ok(chunk_results) => results.extend(chunk_results),
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
         }
         // The wire frames carried copies of every body; recycle the
-        // body buffers for the next batch.
+        // body buffers — on the failure path too, where the frames are
+        // just as spent.
         for body in requests {
             self.codec.pool.retire(body);
         }
-        Ok(results)
+        outcome.map(|()| results)
     }
 
     /// The plain single-frame transaction path.
@@ -565,6 +599,21 @@ impl Client {
         }
     }
 
+    /// Records `machine` as the route-cache answer for put-port `dest`,
+    /// keeping the table bounded (wholesale clear on overflow, the
+    /// F-box memo-table idiom). No-op for broadcasts and on the legacy
+    /// codec, which keeps pure associative addressing.
+    fn note_route(&self, dest: Port, machine: MachineId) {
+        if !self.codec.recycle_reply_ports || dest.is_broadcast() {
+            return;
+        }
+        let mut routes = self.routes.lock();
+        if routes.len() >= MAX_CACHED_ROUTES && !routes.contains_key(&dest) {
+            routes.clear();
+        }
+        routes.insert(dest, machine);
+    }
+
     /// Starts a transaction and returns its completion handle without
     /// blocking: the request frame is already on the wire when this
     /// returns, and the caller decides when (and whether) to
@@ -636,8 +685,20 @@ impl Client {
         let (tx, rx) = unbounded();
         self.pending.lock().insert(reply_wire, tx);
         let mut header = Header::to(dest).with_reply(reply_get);
-        if let Some(machine) = target {
-            header = header.targeted(machine);
+        let mut hinted = false;
+        match target {
+            Some(machine) => header = header.targeted(machine),
+            // Untargeted: upgrade to a targeted send when the route
+            // cache knows which machine answers this port. Broadcasts
+            // stay broadcasts — the network ignores the hint for them
+            // anyway, so a cached target would be a lie.
+            None if self.codec.recycle_reply_ports && !dest.is_broadcast() => {
+                if let Some(&machine) = self.routes.lock().get(&dest) {
+                    header = header.targeted(machine);
+                    hinted = true;
+                }
+            }
+            None => {}
         }
         if let Some(s) = self.signature {
             header = header.with_signature(s);
@@ -654,6 +715,7 @@ impl Client {
             attempt_deadline: Timestamp::ZERO,
             transmits: 0,
             completed: false,
+            hinted,
         };
         completion.transmit();
         completion
@@ -685,10 +747,17 @@ pub struct Completion<'c, T> {
     /// Attempts actually put on the wire.
     transmits: u32,
     /// Whether the transaction finished with an accepted reply. Only a
-    /// `completed && transmits == 1` transaction may recycle its reply
-    /// port: exactly one request frame existed, so exactly one reply
-    /// could ever have been produced — and it was consumed.
+    /// `completed && transmits == 1` **machine-targeted** transaction
+    /// may recycle its reply port: exactly one request frame existed
+    /// and reached exactly one machine, so exactly one reply could ever
+    /// have been produced — and it was consumed. An untargeted request
+    /// is offered to every claimer of the destination port, so replicas
+    /// can leave straggler replies in flight and the port must burn.
     completed: bool,
+    /// Whether `header.target` came from the client's route cache
+    /// rather than the caller. A hinted attempt that times out evicts
+    /// the cache entry and falls back to associative addressing.
+    hinted: bool,
 }
 
 impl<T> std::fmt::Debug for Completion<'_, T> {
@@ -718,7 +787,13 @@ impl<T> Completion<'_, T> {
             self.client.route_foreign(pkt);
             return None;
         }
-        Frame::decode(&pkt.payload).and_then(&*self.accept)
+        let source = pkt.source;
+        let value = Frame::decode(&pkt.payload).and_then(&*self.accept)?;
+        // Feed the route cache: this machine answers for `dest`, so the
+        // next transaction to it can be machine-targeted (and thereby
+        // recycle its reply port).
+        self.client.note_route(self.header.dest, source);
+        Some(value)
     }
 
     /// Makes all currently-possible progress: drains the mailbox and
@@ -755,6 +830,24 @@ impl<T> Completion<'_, T> {
                 continue; // keep draining
             }
             if self.client.endpoint.now() >= self.attempt_deadline {
+                if self.hinted {
+                    // The cached machine never answered — crashed, or
+                    // the service moved. Evict the route (unless a peer
+                    // already learned a newer one) and fall back to
+                    // associative addressing, so a surviving replica
+                    // can take the retransmission — or, when this was
+                    // the last attempt, the *next* transaction: the
+                    // cache is a hint, never load-bearing for
+                    // reachability, which is why eviction must happen
+                    // before the out-of-attempts return below.
+                    if let Some(stale) = self.header.target.take() {
+                        let mut routes = self.client.routes.lock();
+                        if routes.get(&self.header.dest) == Some(&stale) {
+                            routes.remove(&self.header.dest);
+                        }
+                    }
+                    self.hinted = false;
+                }
                 if self.attempts_left == 0 {
                     return Some(Err(RpcError::Timeout));
                 }
@@ -830,13 +923,20 @@ impl<T> Drop for Completion<'_, T> {
             .codec
             .pool
             .retire(std::mem::take(&mut self.payload));
-        // A transaction that completed on its single transmission and
-        // left no stragglers can park its reply port (still claimed)
-        // for reuse — no packet addressed to it can ever arrive again.
-        // Timed-out, retransmitted or abandoned transactions release
-        // the port instead: a late reply must find a dead port, never a
-        // recycled one.
-        let clean = self.completed && self.transmits == 1 && !stale_deposits;
+        // A machine-targeted transaction that completed on its single
+        // transmission and left no stragglers can park its reply port
+        // (still claimed) for reuse — one frame reached one machine, so
+        // the one possible reply was consumed and no packet addressed
+        // to the port can ever arrive again. Untargeted (or broadcast)
+        // requests are offered to every claimer of the destination
+        // port: N replicas send N replies, and stragglers still in
+        // flight would alias whatever transaction reused the port —
+        // check_packet correlates by reply port alone. Those ports, and
+        // those of timed-out, retransmitted or abandoned transactions,
+        // are released instead: a late reply must find a dead port,
+        // never a recycled one.
+        let unicast = self.header.target.is_some() && !self.header.dest.is_broadcast();
+        let clean = self.completed && self.transmits == 1 && unicast && !stale_deposits;
         if clean && self.client.codec.recycle_reply_ports {
             let mut parked = self.client.reply_ports.lock();
             if parked.len() < MAX_RECYCLED_REPLY_PORTS {
@@ -978,6 +1078,161 @@ mod tests {
             "failover callers need Timeout, not a hang"
         );
         drop(server);
+    }
+
+    #[test]
+    fn replica_fanout_burns_the_reply_port_then_the_learned_route_recycles() {
+        // An untargeted request to a replicated port is answered by
+        // every replica, so a straggler reply may still be in flight
+        // when the transaction completes: its reply port must burn,
+        // never park. The answering machine is cached, making the next
+        // call machine-targeted — and that one may recycle its port.
+        let net = Network::new();
+        let g = Port::new(0xD0).unwrap();
+        let a = crate::ServerPort::bind(net.attach_open(), g);
+        let b = crate::ServerPort::bind(net.attach_open(), g);
+        let p = a.put_port();
+        let a_machine = a.endpoint().id();
+        let serve = |s: crate::ServerPort, tag: &'static [u8]| {
+            std::thread::spawn(move || {
+                while let Ok(req) = s.next_request_timeout(Duration::from_millis(200)) {
+                    s.reply(&req, Bytes::from_static(tag));
+                }
+            })
+        };
+        let ta = serve(a, b"replica-a");
+        let tb = serve(b, b"replica-b");
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        );
+        let first = client.trans(p, Bytes::from_static(b"one")).unwrap();
+        assert!(
+            client.reply_ports.lock().is_empty(),
+            "fan-out reply port was recycled"
+        );
+        let learned = client.routes.lock().get(&p).copied().expect("route cached");
+        let expected: &[u8] = if learned == a_machine {
+            b"replica-a"
+        } else {
+            b"replica-b"
+        };
+        assert_eq!(
+            &first[..],
+            expected,
+            "cached machine must be the one that answered"
+        );
+        let second = client.trans(p, Bytes::from_static(b"two")).unwrap();
+        assert_eq!(second, first, "hinted call must hit the learned replica");
+        assert_eq!(
+            client.reply_ports.lock().len(),
+            1,
+            "targeted call must recycle its reply port"
+        );
+        ta.join().unwrap();
+        tb.join().unwrap();
+    }
+
+    #[test]
+    fn stale_route_evicts_even_when_out_of_attempts() {
+        // A one-attempt client (the replicated-service shape) whose
+        // cached machine died must not stay wedged on it: the timed-out
+        // hinted transaction evicts the route even though it has no
+        // retransmission left, so the *next* call goes associative and
+        // reaches a live server.
+        let net = Network::new();
+        let g = Port::new(0xD3).unwrap();
+        let server = crate::ServerPort::bind(net.attach_open(), g);
+        let t = std::thread::spawn(move || {
+            while let Ok(req) = server.next_request_timeout(Duration::from_millis(300)) {
+                server.reply(&req, Bytes::from_static(b"alive"));
+            }
+        });
+        let ghost = net.attach_open().id(); // detached immediately
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_millis(20),
+                attempts: 1,
+            },
+        );
+        client.routes.lock().insert(g, ghost);
+        assert_eq!(
+            client.trans(g, Bytes::from_static(b"x")).unwrap_err(),
+            RpcError::Timeout
+        );
+        assert!(
+            !client.routes.lock().contains_key(&g),
+            "stale route must evict on the final attempt"
+        );
+        assert_eq!(
+            &client.trans(g, Bytes::from_static(b"y")).unwrap()[..],
+            b"alive"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn route_cache_stays_bounded() {
+        let net = Network::new();
+        let client = Client::new(net.attach_open());
+        let machine = client.endpoint().id();
+        for v in 1..=(MAX_CACHED_ROUTES as u64 + 7) {
+            client.note_route(Port::new(v).unwrap(), machine);
+        }
+        let cached = client.routes.lock().len();
+        assert!(
+            cached <= MAX_CACHED_ROUTES,
+            "route cache exceeded its bound: {cached}"
+        );
+        // Broadcast and legacy-codec notes are dropped, not cached.
+        client.note_route(Port::BROADCAST, machine);
+        assert!(!client.routes.lock().contains_key(&Port::BROADCAST));
+    }
+
+    #[test]
+    fn straggler_replica_reply_never_aliases_a_later_transaction() {
+        // Two replicas answer call 1; the straggler reply is still in
+        // flight when the transaction completes. Call 2 — which under
+        // unsound recycling would inherit call 1's reply port — must
+        // return its own server's body, not the straggler.
+        let net = Network::new();
+        net.set_latency(Duration::from_millis(10));
+        let g1 = Port::new(0xD1).unwrap();
+        let g2 = Port::new(0xD2).unwrap();
+        let serve = |s: crate::ServerPort, tag: &'static [u8]| {
+            std::thread::spawn(move || {
+                while let Ok(req) = s.next_request_timeout(Duration::from_millis(200)) {
+                    s.reply(&req, Bytes::from_static(tag));
+                }
+            })
+        };
+        let ta = serve(crate::ServerPort::bind(net.attach_open(), g1), b"dup");
+        let tb = serve(crate::ServerPort::bind(net.attach_open(), g1), b"dup");
+        let tc = serve(crate::ServerPort::bind(net.attach_open(), g2), b"fresh");
+        let client = Client::with_config(
+            net.attach_open(),
+            RpcConfig {
+                timeout: Duration::from_secs(2),
+                attempts: 2,
+            },
+        );
+        assert_eq!(
+            &client.trans(g1, Bytes::from_static(b"x")).unwrap()[..],
+            b"dup"
+        );
+        assert_eq!(
+            &client.trans(g2, Bytes::from_static(b"y")).unwrap()[..],
+            b"fresh",
+            "straggler reply aliased a later transaction"
+        );
+        net.set_latency(Duration::ZERO);
+        for t in [ta, tb, tc] {
+            t.join().unwrap();
+        }
     }
 
     #[test]

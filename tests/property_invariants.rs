@@ -615,10 +615,16 @@ fn max_entry_batch_frames_decode_identically() {
     assert_eq!(Some(decoded), reference_codec::decode(&wire));
 
     // One entry past the cap must be rejected by both (the encoder
-    // refuses to build it, so forge the count field instead).
+    // refuses to build it, so forge the count field instead). The count
+    // sits at absolute bytes 6..8: tag(1) ‖ version(1) ‖ id(4) ‖ count(2).
     let mut forged = wire.to_vec();
+    assert_eq!(
+        u16::from_be_bytes(forged[6..8].try_into().unwrap()) as usize,
+        MAX_BATCH_ENTRIES,
+        "count-field offset drifted; the forge below would corrupt another field"
+    );
     let over = (MAX_BATCH_ENTRIES + 1) as u16;
-    forged[5..7].copy_from_slice(&over.to_be_bytes());
+    forged[6..8].copy_from_slice(&over.to_be_bytes());
     assert_eq!(Frame::decode(&Bytes::from(forged.clone())), None);
     assert_eq!(reference_codec::decode(&forged), None);
 }

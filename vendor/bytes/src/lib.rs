@@ -172,6 +172,19 @@ impl Bytes {
         matches!(self.repr, Repr::Static(_))
     }
 
+    /// Whether two handles alias the **same backing allocation**
+    /// (regardless of their ranges). Buffer pools use this to park at
+    /// most one handle per allocation: two parked siblings would hold
+    /// each other's refcount above one forever, making both
+    /// unreclaimable.
+    pub fn shares_storage(&self, other: &Bytes) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Shared(a), Repr::Shared(b)) => Arc::ptr_eq(a, b),
+            (Repr::Static(a), Repr::Static(b)) => std::ptr::eq(a.as_ptr(), b.as_ptr()),
+            _ => false,
+        }
+    }
+
     /// Reclaims the backing storage for reuse if this handle is the
     /// **only** owner (no clones or slices alive anywhere): returns the
     /// whole backing `Vec` (capacity intact, contents unspecified) on
@@ -484,6 +497,20 @@ mod tests {
     #[should_panic(expected = "split_to out of bounds")]
     fn split_past_end_panics() {
         Bytes::from_static(b"ab").split_to(3);
+    }
+
+    #[test]
+    fn shares_storage_is_allocation_identity_not_content_equality() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let same_alloc_clone = a.clone();
+        let same_alloc_slice = a.slice(1..3);
+        let equal_content = Bytes::from(vec![1, 2, 3, 4]);
+        assert!(a.shares_storage(&same_alloc_clone));
+        assert!(a.shares_storage(&same_alloc_slice));
+        assert!(!a.shares_storage(&equal_content));
+        let s = Bytes::from_static(b"st");
+        assert!(s.shares_storage(&s.clone()));
+        assert!(!s.shares_storage(&a));
     }
 
     #[test]
