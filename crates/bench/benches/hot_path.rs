@@ -15,7 +15,11 @@
 //!   frame, server-side fan-out, embedded bank client pipelined;
 //! * **cluster** — the creates spread over a 3-replica sharded
 //!   placement group (open interfaces; the leg isolates pooling, not
-//!   crypto).
+//!   crypto);
+//! * **contended** — independent fleets sharing one `BufPool`, at one
+//!   thread and at two: per-op hot-lock acquisitions and the 1→2-core
+//!   throughput scaling (the lock-free demux and thread-local pool
+//!   caches should leave nothing for a second core to wait on).
 //!
 //! Each shape runs twice: once with [`CodecConfig::legacy`] (fresh
 //! allocation per frame, fresh random reply port per transaction,
@@ -30,7 +34,7 @@
 //! trajectory and fail on allocation regressions.
 
 use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
-use amoeba_bench::{hot_path_round, HotPathMeasure, METERED_HOP_LATENCY};
+use amoeba_bench::{contended_hot_path, hot_path_round, HotPathMeasure, METERED_HOP_LATENCY};
 use amoeba_cap::schemes::SchemeKind;
 use amoeba_cap::Capability;
 use amoeba_cluster::{ShardedClient, ShardedCluster};
@@ -160,6 +164,7 @@ fn batched_leg(legacy: bool) -> HotPathMeasure {
     }
     let allocs0 = pool.fresh_allocs();
     let takes0 = pool.takes();
+    let locks0 = pool.lock_acquisitions();
     let hot0 = net.hot_path();
     let t0 = std::time::Instant::now();
     for _ in 0..rounds {
@@ -174,6 +179,7 @@ fn batched_leg(legacy: bool) -> HotPathMeasure {
         pool_takes: pool.takes() - takes0,
         oneway_evals: hot.oneway_evals,
         frames: hot.frames_sent,
+        hot_locks: pool.lock_acquisitions() - locks0,
     };
     net.set_latency(Duration::ZERO);
     runner.stop();
@@ -253,6 +259,7 @@ fn cluster_leg(legacy: bool) -> HotPathMeasure {
     }
     let allocs0 = pool.fresh_allocs();
     let takes0 = pool.takes();
+    let locks0 = pool.lock_acquisitions();
     let hot0 = net.hot_path();
     let t0 = std::time::Instant::now();
     for _ in 0..MEASURED_OPS {
@@ -267,6 +274,7 @@ fn cluster_leg(legacy: bool) -> HotPathMeasure {
         pool_takes: pool.takes() - takes0,
         oneway_evals: hot.oneway_evals,
         frames: hot.frames_sent,
+        hot_locks: pool.lock_acquisitions() - locks0,
     };
     net.set_latency(Duration::ZERO);
     cluster.stop();
@@ -284,6 +292,7 @@ fn leg_json(name: &str, legacy: &HotPathMeasure, fast: &HotPathMeasure) -> Strin
     format!(
         "  \"{name}\": {{\n    \"ops\": {},\n    \"ns_per_op\": {:.0},\n    \
          \"allocs_per_op\": {:.3},\n    \"oneway_per_op\": {:.3},\n    \
+         \"locks_per_op\": {:.3},\n    \
          \"frames_per_op\": {:.3},\n    \"legacy_ns_per_op\": {:.0},\n    \
          \"legacy_allocs_per_op\": {:.3},\n    \"legacy_oneway_per_op\": {:.3},\n    \
          \"alloc_reduction\": {:.1},\n    \"oneway_reduction\": {:.1}\n  }}",
@@ -291,6 +300,7 @@ fn leg_json(name: &str, legacy: &HotPathMeasure, fast: &HotPathMeasure) -> Strin
         fast.ns_per_op(),
         fast.allocs_per_op(),
         fast.oneway_per_op(),
+        fast.locks_per_op(),
         fast.frames as f64 / fast.ops as f64,
         legacy.ns_per_op(),
         legacy.allocs_per_op(),
@@ -300,13 +310,31 @@ fn leg_json(name: &str, legacy: &HotPathMeasure, fast: &HotPathMeasure) -> Strin
     )
 }
 
+/// The contended-leg JSON block: absolute throughput at one and two
+/// fleets, their ratio (the 1→2-core scaling CI gates at ≥1.5× on a
+/// 2-core runner), and locks/op under contention.
+fn contended_json(one: &HotPathMeasure, two: &HotPathMeasure) -> String {
+    format!(
+        "  \"contended\": {{\n    \"threads_1_ops_per_sec\": {:.1},\n    \
+         \"threads_2_ops_per_sec\": {:.1},\n    \"scaling\": {:.3},\n    \
+         \"locks_per_op\": {:.3},\n    \"allocs_per_op\": {:.3}\n  }}",
+        one.ops_per_sec(),
+        two.ops_per_sec(),
+        two.ops_per_sec() / one.ops_per_sec(),
+        two.locks_per_op(),
+        two.allocs_per_op(),
+    )
+}
+
 fn print_leg(name: &str, legacy: &HotPathMeasure, fast: &HotPathMeasure) {
     println!(
-        "hot-path/{name}: fast {:.0} ns/op, {:.2} allocs/op, {:.2} oneway/op \
-         (legacy {:.0} ns/op, {:.2} allocs/op, {:.2} oneway/op — {:.0}x / {:.0}x fewer)",
+        "hot-path/{name}: fast {:.0} ns/op, {:.2} allocs/op, {:.2} oneway/op, \
+         {:.2} locks/op (legacy {:.0} ns/op, {:.2} allocs/op, {:.2} oneway/op — \
+         {:.0}x / {:.0}x fewer)",
         fast.ns_per_op(),
         fast.allocs_per_op(),
         fast.oneway_per_op(),
+        fast.locks_per_op(),
         legacy.ns_per_op(),
         legacy.allocs_per_op(),
         legacy.oneway_per_op(),
@@ -326,13 +354,29 @@ fn report_headline_numbers() {
     let cluster_fast = cluster_leg(false);
     print_leg("cluster", &cluster_legacy, &cluster_fast);
 
+    // The contended leg: identical independent fleets against one
+    // shared BufPool, at one thread and at two. On a machine with ≥2
+    // cores the second fleet should run on its own core, so the ratio
+    // measures how much shared-structure locking steals.
+    let contended_1 = contended_hot_path(1, WARMUP_OPS, MEASURED_OPS);
+    let contended_2 = contended_hot_path(2, WARMUP_OPS, MEASURED_OPS);
+    println!(
+        "hot-path/contended: 1 fleet {:.0} ops/s, 2 fleets {:.0} ops/s \
+         (scaling {:.2}x, {:.2} locks/op contended)",
+        contended_1.ops_per_sec(),
+        contended_2.ops_per_sec(),
+        contended_2.ops_per_sec() / contended_1.ops_per_sec(),
+        contended_2.locks_per_op(),
+    );
+
     let json = format!(
         "{{\n  \"workload\": \"metered-create hot path\",\n  \
-         \"hop_latency_ms\": {},\n{},\n{},\n{}\n}}\n",
+         \"hop_latency_ms\": {},\n{},\n{},\n{},\n{}\n}}\n",
         METERED_HOP_LATENCY.as_millis(),
         leg_json("single", &single_legacy, &single_fast),
         leg_json("batched", &batched_legacy, &batched_fast),
         leg_json("cluster", &cluster_legacy, &cluster_fast),
+        contended_json(&contended_1, &contended_2),
     );
     let out = std::env::var("BENCH_HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
     match std::fs::write(&out, &json) {

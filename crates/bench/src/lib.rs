@@ -85,6 +85,11 @@ pub struct HotPathMeasure {
     pub oneway_evals: u64,
     /// Wire frames sent during the measured phase.
     pub frames: u64,
+    /// Hot-mutex acquisitions recorded by the fleet's shared
+    /// [`LockMeter`](amoeba_net::LockMeter) during the measured phase
+    /// (pool spill queues, demux overflow, batch accumulators, lease
+    /// broker — see `amoeba_net::hot_lock_acquisitions` for scope).
+    pub hot_locks: u64,
 }
 
 impl HotPathMeasure {
@@ -101,6 +106,16 @@ impl HotPathMeasure {
     /// Nanoseconds of real wall-clock per operation.
     pub fn ns_per_op(&self) -> f64 {
         self.elapsed.as_secs_f64() * 1e9 / self.ops as f64
+    }
+
+    /// Fleet-metered hot-mutex acquisitions per operation.
+    pub fn locks_per_op(&self) -> f64 {
+        self.hot_locks as f64 / self.ops as f64
+    }
+
+    /// Operations per second of real wall-clock.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
     }
 }
 
@@ -127,91 +142,27 @@ pub fn hot_path_round(
     warmup: usize,
     creates: usize,
 ) -> HotPathMeasure {
-    use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
-    use amoeba_cap::schemes::SchemeKind as Kind;
-    use amoeba_crypto::oneway::ShaOneWay;
-    use amoeba_fbox::FBox;
-    use amoeba_flatfs::{FlatFsClient, FlatFsServer, QuotaPolicy};
-    use amoeba_net::Endpoint;
-    use amoeba_rpc::{Client, CodecConfig};
-    use amoeba_server::{ServiceClient, ServiceRunner};
-    use std::sync::Arc;
-
-    let patient = amoeba_rpc::RpcConfig {
-        timeout: Duration::from_secs(30),
-        attempts: 2,
-    };
     // One pool handle for the whole fleet (disabled = the baseline that
     // allocates on every take, but still counts).
     let codec = if legacy {
-        CodecConfig::legacy()
+        amoeba_rpc::CodecConfig::legacy()
     } else {
-        CodecConfig::default()
+        amoeba_rpc::CodecConfig::default()
     };
     let pool = codec.pool.clone();
-    let attach_fbox = |net: &Network| -> Endpoint {
-        if legacy {
-            net.attach(Arc::new(FBox::uncached(ShaOneWay)))
-        } else {
-            net.attach(Arc::new(FBox::hardware(ShaOneWay)))
-        }
-    };
-    let mut rng = bench_rng();
-
-    let (bank_server, treasury_rx) =
-        BankServer::new(vec![Currency::convertible("dollar", 1)], Kind::OneWay);
-    let bank_runner = ServiceRunner::spawn_workers_with_codec(
-        attach_fbox(net),
-        Port::random(&mut rng),
-        bank_server,
-        1,
-        codec.clone(),
-    );
-    let bank_port = bank_runner.put_port();
-    let treasury = treasury_rx.recv().expect("treasury cap");
-    let svc_client = |net: &Network| {
-        ServiceClient::with_client(
-            Client::with_config(attach_fbox(net), patient).with_codec(codec.clone()),
-        )
-    };
-    let bank = BankClient::with_service(svc_client(net), bank_port);
-    let server_account = bank.open_account().expect("server account");
-    let wallet = bank.open_account().expect("wallet");
-    bank.mint(&treasury, &wallet, CurrencyId(0), 1_000_000)
-        .expect("mint");
-
-    let runner = ServiceRunner::spawn_workers_with_codec(
-        attach_fbox(net),
-        Port::random(&mut rng),
-        FlatFsServer::with_quota(
-            Kind::OneWay,
-            QuotaPolicy {
-                bank: BankClient::with_service(svc_client(net), bank_port),
-                server_account,
-                currency: CurrencyId(0),
-                price_per_kib: 1,
-            },
-        ),
-        2,
-        codec.clone(),
-    );
-    let fs = FlatFsClient::with_service(svc_client(net), runner.put_port());
-
+    let fleet = HotPathFleet::build(net, codec, legacy);
     net.set_latency(METERED_HOP_LATENCY);
-    let one_op = |fs: &FlatFsClient| {
-        let cap = fs.create_paid(&wallet, 1).expect("metered create");
-        fs.destroy(&cap).expect("destroy");
-    };
     for _ in 0..warmup {
-        one_op(&fs);
+        fleet.one_op();
     }
 
     let allocs0 = pool.fresh_allocs();
     let takes0 = pool.takes();
+    let locks0 = pool.lock_acquisitions();
     let hot0 = net.hot_path();
     let t0 = std::time::Instant::now();
     for _ in 0..creates {
-        one_op(&fs);
+        fleet.one_op();
     }
     let elapsed = t0.elapsed();
     let hot = net.hot_path() - hot0;
@@ -222,12 +173,192 @@ pub fn hot_path_round(
         pool_takes: pool.takes() - takes0,
         oneway_evals: hot.oneway_evals,
         frames: hot.frames_sent,
+        hot_locks: pool.lock_acquisitions() - locks0,
     };
 
     net.set_latency(Duration::ZERO);
-    runner.stop();
-    bank_runner.stop();
+    fleet.stop();
     measure
+}
+
+/// The full metered-create party set of [`hot_path_round`] — bank,
+/// quota'd file server, hammering client — as a reusable fleet, so the
+/// contended leg can stand up one fleet per core against a shared
+/// [`BufPool`](amoeba_net::BufPool).
+pub struct HotPathFleet {
+    fs: amoeba_flatfs::FlatFsClient,
+    wallet: amoeba_cap::Capability,
+    runner: amoeba_server::ServiceRunner,
+    bank_runner: amoeba_server::ServiceRunner,
+}
+
+impl std::fmt::Debug for HotPathFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HotPathFleet").finish_non_exhaustive()
+    }
+}
+
+impl HotPathFleet {
+    /// Stands the fleet up on `net` with every party sharing `codec`'s
+    /// pool. `legacy` selects uncached F-boxes (the pre-PR baseline);
+    /// otherwise the parties run behind memoized hardware F-boxes.
+    pub fn build(net: &Network, codec: amoeba_rpc::CodecConfig, legacy: bool) -> HotPathFleet {
+        use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
+        use amoeba_cap::schemes::SchemeKind as Kind;
+        use amoeba_crypto::oneway::ShaOneWay;
+        use amoeba_fbox::FBox;
+        use amoeba_flatfs::{FlatFsClient, FlatFsServer, QuotaPolicy};
+        use amoeba_net::Endpoint;
+        use amoeba_rpc::Client;
+        use amoeba_server::{ServiceClient, ServiceRunner};
+        use std::sync::Arc;
+
+        let patient = amoeba_rpc::RpcConfig {
+            timeout: Duration::from_secs(30),
+            attempts: 2,
+        };
+        let attach_fbox = |net: &Network| -> Endpoint {
+            if legacy {
+                net.attach(Arc::new(FBox::uncached(ShaOneWay)))
+            } else {
+                net.attach(Arc::new(FBox::hardware(ShaOneWay)))
+            }
+        };
+        let mut rng = bench_rng();
+
+        let (bank_server, treasury_rx) =
+            BankServer::new(vec![Currency::convertible("dollar", 1)], Kind::OneWay);
+        let bank_runner = ServiceRunner::spawn_workers_with_codec(
+            attach_fbox(net),
+            Port::random(&mut rng),
+            bank_server,
+            1,
+            codec.clone(),
+        );
+        let bank_port = bank_runner.put_port();
+        let treasury = treasury_rx.recv().expect("treasury cap");
+        let svc_client = |net: &Network| {
+            ServiceClient::with_client(
+                Client::with_config(attach_fbox(net), patient).with_codec(codec.clone()),
+            )
+        };
+        let bank = BankClient::with_service(svc_client(net), bank_port);
+        let server_account = bank.open_account().expect("server account");
+        let wallet = bank.open_account().expect("wallet");
+        bank.mint(&treasury, &wallet, CurrencyId(0), 1_000_000)
+            .expect("mint");
+
+        let runner = ServiceRunner::spawn_workers_with_codec(
+            attach_fbox(net),
+            Port::random(&mut rng),
+            FlatFsServer::with_quota(
+                Kind::OneWay,
+                QuotaPolicy {
+                    bank: BankClient::with_service(svc_client(net), bank_port),
+                    server_account,
+                    currency: CurrencyId(0),
+                    price_per_kib: 1,
+                },
+            ),
+            2,
+            codec.clone(),
+        );
+        let fs = FlatFsClient::with_service(svc_client(net), runner.put_port());
+        HotPathFleet {
+            fs,
+            wallet,
+            runner,
+            bank_runner,
+        }
+    }
+
+    /// One operation: a paid create and its destroy.
+    pub fn one_op(&self) {
+        let cap = self
+            .fs
+            .create_paid(&self.wallet, 1)
+            .expect("metered create");
+        self.fs.destroy(&cap).expect("destroy");
+    }
+
+    /// Stops both runners.
+    pub fn stop(self) {
+        self.runner.stop();
+        self.bank_runner.stop();
+    }
+}
+
+/// The contended leg: `threads` independent metered-create fleets, each
+/// on its own virtual network, all sharing **one**
+/// [`BufPool`](amoeba_net::BufPool) — the shared structure whose lock
+/// behaviour is under test. Threads warm up, rendezvous on a barrier,
+/// then hammer concurrently; the returned measure aggregates every
+/// fleet's ops over the contended wall-clock window, with `hot_locks`
+/// diffed from the shared pool's fleet meter.
+///
+/// With the lock-free demux and thread-local pool caches the fleets
+/// share no hot lock, so throughput should scale with cores (the CI
+/// gate wants ≥1.5× from one thread to two on a 2-core runner).
+pub fn contended_hot_path(threads: usize, warmup: usize, creates: usize) -> HotPathMeasure {
+    use std::sync::{Arc, Barrier};
+
+    let codec = amoeba_rpc::CodecConfig::default();
+    let pool = codec.pool.clone();
+    // Three rendezvous: fleets warm → counters snapshotted, go → done.
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let codec = codec.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let net = Network::new_virtual();
+                let fleet = HotPathFleet::build(&net, codec, false);
+                net.set_latency(METERED_HOP_LATENCY);
+                for _ in 0..warmup {
+                    fleet.one_op();
+                }
+                barrier.wait();
+                barrier.wait();
+                let hot0 = net.hot_path();
+                for _ in 0..creates {
+                    fleet.one_op();
+                }
+                let hot = net.hot_path() - hot0;
+                barrier.wait();
+                net.set_latency(Duration::ZERO);
+                fleet.stop();
+                hot
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let allocs0 = pool.fresh_allocs();
+    let takes0 = pool.takes();
+    let locks0 = pool.lock_acquisitions();
+    let t0 = std::time::Instant::now();
+    barrier.wait();
+    barrier.wait();
+    let elapsed = t0.elapsed();
+    let fresh_allocs = pool.fresh_allocs() - allocs0;
+    let pool_takes = pool.takes() - takes0;
+    let hot_locks = pool.lock_acquisitions() - locks0;
+    let mut oneway_evals = 0;
+    let mut frames = 0;
+    for handle in handles {
+        let hot = handle.join().expect("contended fleet thread");
+        oneway_evals += hot.oneway_evals;
+        frames += hot.frames_sent;
+    }
+    HotPathMeasure {
+        ops: (threads * creates) as u64,
+        elapsed,
+        fresh_allocs,
+        pool_takes,
+        oneway_evals,
+        frames,
+        hot_locks,
+    }
 }
 
 /// One §3.6 metered-create round — every CREATE pays through a nested

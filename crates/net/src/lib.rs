@@ -53,6 +53,7 @@ mod packet;
 mod pool;
 mod reactor;
 mod stats;
+mod sync;
 
 pub use addr::{MachineId, Port};
 pub use network::{Endpoint, Network, RecvError};
@@ -61,3 +62,4 @@ pub use packet::{Header, Packet};
 pub use pool::BufPool;
 pub use reactor::{Clock, Gate, Reactor, Timestamp, VirtualClock, WallClock, QUIESCENCE_GRACE};
 pub use stats::{HotPathSnapshot, NetworkStats};
+pub use sync::{hot_lock_acquisitions, HotMutex, HotMutexGuard, LockMeter};

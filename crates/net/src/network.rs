@@ -40,7 +40,7 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,8 +60,13 @@ struct NetworkInner {
     colocated: RwLock<HashSet<(MachineId, MachineId)>>,
     partitioned: RwLock<HashSet<(MachineId, MachineId)>>,
     next_id: AtomicU32,
-    latency: Mutex<Duration>,
-    drop_rate: Mutex<f64>,
+    /// One-way hop latency, stored as whole nanoseconds so the send
+    /// path reads it with one atomic load instead of a lock.
+    latency_nanos: AtomicU64,
+    /// Loss probability, stored as `f64` bits. Zero bits == 0.0 == no
+    /// loss, so the send fast path is a single load-and-compare; the
+    /// loss RNG below is only locked when the rate is nonzero.
+    drop_rate_bits: AtomicU64,
     rng: Mutex<StdRng>,
     stats: NetworkStats,
 }
@@ -80,7 +85,10 @@ impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("machines", &self.inner.machines.read().len())
-            .field("latency", &*self.inner.latency.lock())
+            .field(
+                "latency",
+                &Duration::from_nanos(self.inner.latency_nanos.load(Ordering::Relaxed)),
+            )
             .finish()
     }
 }
@@ -120,8 +128,8 @@ impl Network {
                 colocated: RwLock::new(HashSet::new()),
                 partitioned: RwLock::new(HashSet::new()),
                 next_id: AtomicU32::new(1),
-                latency: Mutex::new(Duration::ZERO),
-                drop_rate: Mutex::new(0.0),
+                latency_nanos: AtomicU64::new(0),
+                drop_rate_bits: AtomicU64::new(0),
                 rng: Mutex::new(StdRng::seed_from_u64(0x0A11_0E8A)),
                 stats: NetworkStats::default(),
             }),
@@ -176,7 +184,8 @@ impl Network {
     /// Sets the one-way delivery latency for all future packets between
     /// non-co-located machines.
     pub fn set_latency(&self, latency: Duration) {
-        *self.inner.latency.lock() = latency;
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.inner.latency_nanos.store(nanos, Ordering::Relaxed);
     }
 
     /// Sets the probability (0.0–1.0) that a transmitted packet is lost.
@@ -185,7 +194,9 @@ impl Network {
     /// Panics if `rate` is not within `[0, 1]`.
     pub fn set_drop_rate(&self, rate: f64) {
         assert!((0.0..=1.0).contains(&rate), "drop rate must be in [0,1]");
-        *self.inner.drop_rate.lock() = rate;
+        self.inner
+            .drop_rate_bits
+            .store(rate.to_bits(), Ordering::Relaxed);
     }
 
     /// Reseeds the loss-decision RNG, for reproducible failure injection.
@@ -233,8 +244,9 @@ impl Network {
 
     /// Snapshots the hot-path cost counters: frames sent on this
     /// network, one-way-function evaluations by its attached
-    /// interfaces, and process-wide payload-buffer allocations. See
-    /// [`HotPathSnapshot`] for the accounting caveats.
+    /// interfaces, process-wide payload-buffer allocations, and
+    /// process-wide counted lock acquisitions. See [`HotPathSnapshot`]
+    /// for the accounting caveats.
     pub fn hot_path(&self) -> HotPathSnapshot {
         use std::sync::atomic::Ordering;
         let oneway_evals = self
@@ -248,6 +260,7 @@ impl Network {
             frames_sent: self.inner.stats.packets_sent.load(Ordering::Relaxed),
             oneway_evals,
             buffer_allocs: bytes::stats::buffer_allocs(),
+            lock_acquisitions: crate::sync::hot_lock_acquisitions(),
         }
     }
 
@@ -301,13 +314,13 @@ impl Network {
             );
         }
 
-        let drop_rate = *self.inner.drop_rate.lock();
+        let drop_rate = f64::from_bits(self.inner.drop_rate_bits.load(Ordering::Relaxed));
         if drop_rate > 0.0 && self.inner.rng.lock().gen::<f64>() < drop_rate {
             stats.packets_dropped.fetch_add(1, Ordering::Relaxed);
             return 0;
         }
 
-        let latency = *self.inner.latency.lock();
+        let latency = Duration::from_nanos(self.inner.latency_nanos.load(Ordering::Relaxed));
         let now = self.inner.reactor.now();
 
         // Intruder taps see the frame as transmitted. Tap copies are

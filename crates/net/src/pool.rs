@@ -1,4 +1,5 @@
-//! Reusable frame-buffer pools for the allocation-free send path.
+//! Reusable frame-buffer pools for the allocation-free, lock-free
+//! send path.
 //!
 //! Every wire frame this workspace transmits is built in a `BytesMut`
 //! and frozen into the packet's [`Bytes`] payload. Before this pool
@@ -19,28 +20,58 @@
 //! ```
 //!
 //! A retired frame whose payload is still referenced (a packet in
-//! flight, a decoded body held by a handler) parks in a bounded FIFO;
-//! each `take` first sweeps that FIFO for buffers that have become
-//! uniquely owned. Both the free list and the FIFO are bounded, so a
-//! pool can never hoard more than a fixed amount of memory, and
-//! oversized buffers are dropped rather than retained.
+//! flight, a decoded body held by a handler) parks in a bounded queue;
+//! each `take` first sweeps that queue for buffers that have become
+//! uniquely owned. All queues are bounded, so a pool can never hoard
+//! more than a fixed amount of memory, and oversized buffers are
+//! dropped rather than retained.
+//!
+//! # Thread-local fast path
+//!
+//! The steady-state take/retire cycle runs entirely on a per-thread
+//! cache: each thread keeps a small free list and retired queue keyed
+//! by pool identity, so a client thread recycles its request frames
+//! and a server worker recycles its reply frames with **zero lock
+//! acquisitions**. The shared, mutex-guarded queues remain as spill
+//! targets (cache overflow, cross-thread imbalance) and their locks
+//! are counted [`HotMutex`]es — the hot-path gate measures that steady
+//! state never touches them.
+//!
+//! Two retire disciplines keep buffers circulating back to the thread
+//! that will take them next:
+//!
+//! * [`retire`](BufPool::retire) — for frames **this thread took**
+//!   (a client's request frame, a server's reply frame). Still-shared
+//!   frames park in this thread's cache; the storage comes home once
+//!   receivers drop their slices.
+//! * [`release`](BufPool::release) — for **foreign** handles (a server
+//!   releasing slices of a client-built request, a handler's reply
+//!   body that may alias the request). Reclaims if already unique,
+//!   otherwise just drops the handle so the frame's owner — not this
+//!   thread — parks the storage. Parking foreign storage here would
+//!   strand client buffers in server caches (and risk two threads
+//!   parking siblings of one allocation, pinning it forever).
 //!
 //! # Measurement
 //!
-//! The pool counts `takes`, `fresh_allocs` (takes that had to allocate)
-//! and `reuses` (takes served from recycled storage) per instance —
+//! The pool counts `takes`, `fresh_allocs` (takes that had to
+//! allocate) and `reuses` (takes served from recycled storage) per
+//! instance, plus every acquisition of its spill locks via a
+//! [`LockMeter`] shared with the rest of the fleet's hot mutexes —
 //! race-free accounting for benchmarks and acceptance gates even when
 //! unrelated tests run concurrently in the same process. A pool built
 //! with [`BufPool::disabled`] never recycles (every take is a fresh
-//! allocation) but still counts, which is exactly the pre-pool baseline
-//! the `hot_path` bench compares against. The metric is **backing
-//! storage**: each take→freeze→retire cycle still creates and frees
-//! one small `Arc` control block for shared ownership of the payload —
-//! bounded, size-independent, and deliberately outside the counter
-//! (see `bytes::stats`).
+//! allocation) but still counts, which is exactly the pre-pool
+//! baseline the `hot_path` bench compares against. The metric is
+//! **backing storage**: each take→freeze→retire cycle still creates
+//! and frees one small `Arc` control block for shared ownership of the
+//! payload — bounded, size-independent, and deliberately outside the
+//! counter (see `bytes::stats`).
+
+use crate::sync::{HotMutex, LockMeter};
 
 use bytes::{Bytes, BytesMut};
-use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,29 +82,64 @@ use std::sync::Arc;
 /// then keep their larger capacity across reuses.
 const FRESH_CAPACITY: usize = 256;
 
-/// Upper bound on reclaimed buffers kept ready in the free list.
+/// Upper bound on reclaimed buffers kept ready in the shared free list.
 const MAX_FREE: usize = 64;
 
-/// Upper bound on retired-but-still-shared frames awaiting reclamation.
-/// Beyond this the oldest entry is dropped (its storage simply returns
-/// to the allocator when the last reference dies).
+/// Upper bound on retired-but-still-shared frames awaiting reclamation
+/// in the shared queue. Beyond this the oldest entry is dropped (its
+/// storage simply returns to the allocator when the last reference
+/// dies).
 const MAX_RETIRED: usize = 128;
 
 /// Buffers that grew beyond this are dropped instead of pooled, so one
 /// giant frame cannot pin megabytes in every pool forever.
 const MAX_RETAINED_CAPACITY: usize = 64 * 1024;
 
+/// Per-thread free-list bound. A thread's steady-state working set is
+/// a handful of in-flight frames; overflow is dropped — owner-parking
+/// already routes every taken buffer back to its taking thread, so a
+/// full list means this thread holds a genuine surplus.
+const TL_MAX_FREE: usize = 8;
+
+/// Per-thread retired-queue bound. Overflow triggers a lock-free local
+/// sweep; only frames still shared after a whole cap cycle spill to
+/// the shared queue.
+const TL_MAX_RETIRED: usize = 16;
+
+/// Distinguishes pools so one thread's cache never mixes buffers from
+/// two pools. Identity, not index: ids are never reused.
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+struct TlCache {
+    pool_id: u64,
+    free: Vec<Vec<u8>>,
+    retired: Vec<Bytes>,
+}
+
+thread_local! {
+    static TL_CACHE: RefCell<TlCache> = const {
+        RefCell::new(TlCache {
+            pool_id: 0,
+            free: Vec::new(),
+            retired: Vec::new(),
+        })
+    };
+}
+
 #[derive(Debug)]
 struct PoolInner {
     /// `false` for the measurement baseline: take() always allocates.
     enabled: bool,
-    /// Reclaimed storage, ready to hand out.
-    free: Mutex<Vec<Vec<u8>>>,
-    /// Sent frames whose payload may still be referenced by receivers.
-    retired: Mutex<VecDeque<Bytes>>,
+    /// Identity tag for the thread-local caches.
+    id: u64,
+    /// Reclaimed storage, ready to hand out (shared spill).
+    free: HotMutex<Vec<Vec<u8>>>,
+    /// Sent frames whose payload may still be referenced (shared spill).
+    retired: HotMutex<VecDeque<Bytes>>,
     takes: AtomicU64,
     fresh: AtomicU64,
     reused: AtomicU64,
+    meter: LockMeter,
 }
 
 /// A bounded pool of reusable frame buffers (see the module docs).
@@ -110,14 +176,17 @@ impl BufPool {
     }
 
     fn with_enabled(enabled: bool) -> BufPool {
+        let meter = LockMeter::new();
         BufPool {
             inner: Arc::new(PoolInner {
                 enabled,
-                free: Mutex::new(Vec::new()),
-                retired: Mutex::new(VecDeque::new()),
+                id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+                free: HotMutex::with_meter(Vec::new(), meter.clone()),
+                retired: HotMutex::with_meter(VecDeque::new(), meter.clone()),
                 takes: AtomicU64::new(0),
                 fresh: AtomicU64::new(0),
                 reused: AtomicU64::new(0),
+                meter,
             }),
         }
     }
@@ -127,18 +196,75 @@ impl BufPool {
         self.inner.enabled
     }
 
+    /// The lock meter every hot mutex of this pool's fleet shares.
+    ///
+    /// The pool feeds its own spill-queue locks into it; RPC components
+    /// built around the same pool (demux overflow, batch accumulators,
+    /// lease broker) attach theirs too, so diffing
+    /// [`lock_acquisitions`](BufPool::lock_acquisitions) around a
+    /// workload counts the whole fleet's hot-path lock traffic without
+    /// interference from concurrent tests.
+    pub fn lock_meter(&self) -> LockMeter {
+        self.inner.meter.clone()
+    }
+
+    /// Hot-mutex acquisitions recorded by this fleet's meter so far.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.inner.meter.count()
+    }
+
+    /// Runs `f` on this pool's thread-local cache, rebinding (and
+    /// discarding) the cache if it last served a different pool.
+    fn with_cache<R>(&self, f: impl FnOnce(&mut TlCache) -> R) -> R {
+        TL_CACHE.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            if cache.pool_id != self.inner.id {
+                cache.free.clear();
+                cache.retired.clear();
+                cache.pool_id = self.inner.id;
+            }
+            f(&mut cache)
+        })
+    }
+
     /// Hands out an empty buffer: recycled storage when available, a
-    /// fresh allocation otherwise. The retired queue is swept only
-    /// when the free list is empty — the common steady-state take is
-    /// one lock and one pop.
+    /// fresh allocation otherwise. The steady-state take is served
+    /// from the thread-local cache without any lock; the shared spill
+    /// queues are consulted (and the retired queues swept) only when
+    /// the caches run dry.
     pub fn take(&self) -> BytesMut {
         self.inner.takes.fetch_add(1, Ordering::Relaxed);
         if self.inner.enabled {
+            let local = self.with_cache(|cache| {
+                if let Some(storage) = cache.free.pop() {
+                    return Some(storage);
+                }
+                // Sweep this thread's retired frames for ones whose
+                // receivers have finished.
+                let parked = std::mem::take(&mut cache.retired);
+                for frame in parked {
+                    match frame.try_reclaim() {
+                        Ok(storage) => {
+                            if storage.capacity() <= MAX_RETAINED_CAPACITY
+                                && cache.free.len() < TL_MAX_FREE
+                            {
+                                cache.free.push(storage);
+                            }
+                        }
+                        Err(still_shared) => cache.retired.push(still_shared),
+                    }
+                }
+                cache.free.pop()
+            });
+            if let Some(storage) = local {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                return BytesMut::from_recycled(storage);
+            }
             if let Some(storage) = self.inner.free.lock().pop() {
                 self.inner.reused.fetch_add(1, Ordering::Relaxed);
                 return BytesMut::from_recycled(storage);
             }
-            self.sweep_retired();
+            self.sweep_shared_retired();
             if let Some(storage) = self.inner.free.lock().pop() {
                 self.inner.reused.fetch_add(1, Ordering::Relaxed);
                 return BytesMut::from_recycled(storage);
@@ -148,10 +274,12 @@ impl BufPool {
         BytesMut::with_capacity(FRESH_CAPACITY)
     }
 
-    /// Returns a sent frame (or a spent body) to the pool. If the
+    /// Returns a frame **this thread took** to the pool. If the
     /// payload is still shared — receivers hold zero-copy slices — it
-    /// parks in the retired queue until it becomes uniquely owned;
-    /// reclamation happens lazily on later [`take`](BufPool::take)s.
+    /// parks in this thread's retired cache until it becomes uniquely
+    /// owned; reclamation happens lazily on later
+    /// [`take`](BufPool::take)s. Use [`release`](BufPool::release) for
+    /// handles of frames another thread owns.
     pub fn retire(&self, frame: Bytes) {
         // Static-backed buffers can never be reclaimed; parking them
         // would waste retired-queue slots on permanent misses.
@@ -160,27 +288,88 @@ impl BufPool {
         }
         match frame.try_reclaim() {
             Ok(storage) => self.stash(storage),
-            Err(still_shared) => {
-                let mut retired = self.inner.retired.lock();
-                // Park at most one handle per allocation: retired
+            Err(still_shared) => self.with_cache(|cache| {
+                // Park at most one handle per allocation: parked
                 // siblings would hold each other's refcount above one
                 // forever, making every one of them unreclaimable.
                 // Dropping the duplicate instead walks the refcount
                 // down toward the parked handle becoming unique.
-                if retired.iter().any(|f| f.shares_storage(&still_shared)) {
+                if cache
+                    .retired
+                    .iter()
+                    .any(|f| f.shares_storage(&still_shared))
+                {
                     return;
                 }
-                retired.push_back(still_shared);
-                if retired.len() > MAX_RETIRED {
-                    retired.pop_front();
+                cache.retired.push(still_shared);
+                if cache.retired.len() > TL_MAX_RETIRED {
+                    // Sweep locally first: take() only sweeps when the
+                    // free cache runs dry, so on a thread whose free
+                    // cache never empties (steady inflow of released
+                    // body storage) reclaimable parked frames would
+                    // pile up here and every park would spill through
+                    // the shared lock. A local sweep is lock-free and
+                    // keeps the queue at the genuine in-flight count.
+                    Self::sweep_local(cache);
                 }
+                if cache.retired.len() > TL_MAX_RETIRED {
+                    // Still over cap after the sweep: the eldest parked
+                    // frame has been shared for a whole cap cycle —
+                    // hand it to the shared queue so any thread's sweep
+                    // can reclaim it eventually.
+                    let spilled = cache.retired.remove(0);
+                    let mut retired = self.inner.retired.lock();
+                    if !retired.iter().any(|f| f.shares_storage(&spilled)) {
+                        retired.push_back(spilled);
+                        if retired.len() > MAX_RETIRED {
+                            retired.pop_front();
+                        }
+                    }
+                }
+            }),
+        }
+    }
+
+    /// Reclaims every parked frame in `cache` whose other holders have
+    /// dropped, moving the storage to the cache's free list (or
+    /// dropping it when the list is full — a full list means this
+    /// thread already holds more storage than it consumes). Entirely
+    /// thread-local: no lock.
+    fn sweep_local(cache: &mut TlCache) {
+        let parked = std::mem::take(&mut cache.retired);
+        for frame in parked {
+            match frame.try_reclaim() {
+                Ok(storage) => {
+                    if storage.capacity() <= MAX_RETAINED_CAPACITY && cache.free.len() < TL_MAX_FREE
+                    {
+                        cache.free.push(storage);
+                    }
+                }
+                Err(still_shared) => cache.retired.push(still_shared),
             }
         }
     }
 
-    /// Moves every retired frame that has become uniquely owned into
-    /// the free list.
-    fn sweep_retired(&self) {
+    /// Lets go of a **foreign** handle — a zero-copy slice of a frame
+    /// some other thread built and will retire (a server worker done
+    /// with a request body, a client done with a reply body it fed
+    /// back as params). Reclaims the storage if this was the last
+    /// handle; otherwise simply drops it, leaving parking to the
+    /// frame's owner so buffers flow back to the thread that takes
+    /// them. Safe (just suboptimal) to call on frames this thread
+    /// owns.
+    pub fn release(&self, handle: Bytes) {
+        if !self.inner.enabled || handle.is_empty() || handle.is_static() {
+            return;
+        }
+        if let Ok(storage) = handle.try_reclaim() {
+            self.stash(storage);
+        }
+    }
+
+    /// Moves every shared-queue retired frame that has become uniquely
+    /// owned into the shared free list.
+    fn sweep_shared_retired(&self) {
         // One pass over a snapshot of the queue under a single lock
         // hold; stashing (which takes the free-list lock) happens after
         // release. Frames retired concurrently wait for the next sweep.
@@ -198,13 +387,34 @@ impl BufPool {
             }
         }
         for storage in reclaimed {
-            self.stash(storage);
+            self.stash_shared(storage);
         }
     }
 
+    /// Stashes reclaimed storage: thread-local free list if there is
+    /// room, dropped otherwise. A full list means this thread already
+    /// holds more storage than it consumes — workloads that mint fresh
+    /// body buffers (`wire::Writer` payloads) feed a steady surplus in
+    /// through [`release`](BufPool::release), so the cap *will* be hit
+    /// every transaction, and spilling the surplus to the shared list
+    /// would put a lock acquisition on the steady-state path for
+    /// storage nobody reads back (cross-thread circulation rides the
+    /// shared *retired* queue instead — see
+    /// [`retire`](BufPool::retire)).
     fn stash(&self, storage: Vec<u8>) {
         if storage.capacity() > MAX_RETAINED_CAPACITY {
             return; // oversized: let the allocator have it back
+        }
+        self.with_cache(|cache| {
+            if cache.free.len() < TL_MAX_FREE {
+                cache.free.push(storage);
+            }
+        });
+    }
+
+    fn stash_shared(&self, storage: Vec<u8>) {
+        if storage.capacity() > MAX_RETAINED_CAPACITY {
+            return;
         }
         let mut free = self.inner.free.lock();
         if free.len() < MAX_FREE {
@@ -287,6 +497,29 @@ mod tests {
     }
 
     #[test]
+    fn release_reclaims_unique_and_drops_shared() {
+        let pool = BufPool::new();
+        // Unique handle: release reclaims it like retire would.
+        let mut buf = pool.take();
+        buf.extend_from_slice(b"body");
+        pool.release(buf.freeze());
+        let _again = pool.take();
+        assert_eq!(pool.reuses(), 1);
+
+        // Shared handle: release drops it WITHOUT parking, so the
+        // owner's later retire is the one that parks — the storage is
+        // reclaimed on the owner's side, never stranded here.
+        let mut buf = pool.take(); // fresh (the reclaimed one is out)
+        buf.extend_from_slice(b"frame");
+        let frame = buf.freeze();
+        let foreign_slice = frame.slice(1..3);
+        pool.release(foreign_slice); // a worker finishing with a body
+        pool.retire(frame); // the owner retires: now unique, reclaims
+        let _b = pool.take();
+        assert_eq!(pool.reuses(), 2, "owner-retired storage must reclaim");
+    }
+
+    #[test]
     fn disabled_pool_always_allocates() {
         let pool = BufPool::disabled();
         for _ in 0..4 {
@@ -311,11 +544,71 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_cycle_takes_no_locks() {
+        // The invariant the hot-path bench gates on: once warm, the
+        // take→retire cycle runs on the thread-local cache alone.
+        let pool = BufPool::new();
+        for _ in 0..4 {
+            let mut buf = pool.take();
+            buf.extend_from_slice(b"warm");
+            pool.retire(buf.freeze());
+        }
+        let locks_before = pool.lock_acquisitions();
+        for _ in 0..32 {
+            let mut buf = pool.take();
+            buf.extend_from_slice(b"steady");
+            pool.retire(buf.freeze());
+        }
+        assert_eq!(
+            pool.lock_acquisitions() - locks_before,
+            0,
+            "steady-state take/retire must not touch the spill locks"
+        );
+        assert_eq!(pool.fresh_allocs(), 1, "and must not allocate either");
+    }
+
+    #[test]
+    fn cross_thread_retires_spill_to_the_shared_queues() {
+        // A thread that parks more still-shared frames than its local
+        // retired cache holds spills the overflow to the shared retired
+        // queue; once the other holders drop, any thread's sweep can
+        // reclaim the storage. (Uniquely-owned surplus is dropped, not
+        // spilled — the free list is thread-local by design.)
+        let pool = BufPool::new();
+        let feeder = pool.clone();
+        let clones = std::thread::spawn(move || {
+            let mut clones = Vec::new();
+            for _ in 0..(TL_MAX_RETIRED + 4) {
+                let mut buf = feeder.take();
+                buf.extend_from_slice(b"z");
+                let frame = buf.freeze();
+                clones.push(frame.clone()); // keeps the frame shared
+                feeder.retire(frame); // parks, overflows, spills
+            }
+            clones
+        })
+        .join()
+        .unwrap();
+        assert!(
+            !pool.inner.retired.lock().is_empty(),
+            "retired-cache overflow must reach the shared queue"
+        );
+        drop(clones); // the spilled frames are now uniquely owned
+        let takes_before_reuse = pool.reuses();
+        let _buf = pool.take(); // this thread's cache is cold
+        assert_eq!(
+            pool.reuses(),
+            takes_before_reuse + 1,
+            "spilled storage must be takeable from another thread"
+        );
+    }
+
+    #[test]
     fn bounded_queues_never_grow_past_their_caps() {
         let pool = BufPool::new();
         // Park far more shared frames than MAX_RETIRED allows.
         let mut keep_alive = Vec::new();
-        for _ in 0..(MAX_RETIRED + 50) {
+        for _ in 0..(MAX_RETIRED + TL_MAX_RETIRED + 50) {
             let mut buf = pool.take();
             buf.extend_from_slice(b"y");
             let frame = buf.freeze();
@@ -324,8 +617,9 @@ mod tests {
         }
         assert!(pool.inner.retired.lock().len() <= MAX_RETIRED);
         drop(keep_alive);
-        // Everything reclaimable now, but the free list stays bounded.
+        // Everything reclaimable now, but the free lists stay bounded.
         let _ = pool.take();
+        pool.sweep_shared_retired();
         assert!(pool.inner.free.lock().len() <= MAX_FREE);
     }
 }

@@ -67,10 +67,11 @@ impl NetworkStats {
     }
 }
 
-/// A point-in-time view of the three hot-path cost counters the
-/// zero-copy codec optimises: frames on the wire, payload-buffer
-/// allocations, and one-way-function evaluations. Diff two snapshots
-/// around a workload to get per-operation costs.
+/// A point-in-time view of the four hot-path cost counters the
+/// zero-copy codec and lock-free demux optimise: frames on the wire,
+/// payload-buffer allocations, one-way-function evaluations, and
+/// blocking lock acquisitions. Diff two snapshots around a workload to
+/// get per-operation costs.
 ///
 /// `frames_sent` is per network; `oneway_evals` sums the
 /// [`crypto_evals`](crate::NetworkInterface::crypto_evals) of the
@@ -78,7 +79,11 @@ impl NetworkStats {
 /// with them, so snapshot while the fleet is stable); `buffer_allocs`
 /// is the process-wide counter from the vendored `bytes` shim (for
 /// race-free per-workload accounting prefer diffing
-/// [`BufPool`](crate::BufPool) instances directly).
+/// [`BufPool`](crate::BufPool) instances directly);
+/// `lock_acquisitions` is the process-wide [`HotMutex`](crate::HotMutex) counter (see
+/// [`hot_lock_acquisitions`](crate::hot_lock_acquisitions) for its
+/// scope, and prefer [`LockMeter`](crate::LockMeter) accounting under
+/// concurrent tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HotPathSnapshot {
     /// Send operations performed on this network.
@@ -89,6 +94,9 @@ pub struct HotPathSnapshot {
     /// Process-wide fresh payload-buffer allocations
     /// ([`bytes::stats::buffer_allocs`]).
     pub buffer_allocs: u64,
+    /// Process-wide counted mutex acquisitions
+    /// ([`crate::hot_lock_acquisitions`]).
+    pub lock_acquisitions: u64,
 }
 
 impl std::ops::Sub for HotPathSnapshot {
@@ -102,6 +110,7 @@ impl std::ops::Sub for HotPathSnapshot {
             // detaches between snapshots (e.g. a halted replica).
             oneway_evals: self.oneway_evals.saturating_sub(rhs.oneway_evals),
             buffer_allocs: self.buffer_allocs - rhs.buffer_allocs,
+            lock_acquisitions: self.lock_acquisitions - rhs.lock_acquisitions,
         }
     }
 }

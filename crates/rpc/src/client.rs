@@ -7,7 +7,9 @@
 //! pool embedding a client does exactly that). All in-flight
 //! transactions share the endpoint's single packet queue, so whichever
 //! waiter happens to pull a packet routes it to the transaction that
-//! owns its destination port via the *pending* table, and every waiter
+//! owns its destination port via the lock-free demux slot table (see
+//! the `demux` module: resolution is one atomic load plus one
+//! generation compare — no lock, no hash), and every waiter
 //! alternates between two waits:
 //!
 //! 1. a non-blocking check of its private mailbox (a peer may have
@@ -42,15 +44,17 @@
 //! frame — exactly the pool-worker fan-in pattern the dispatch engine
 //! produces.
 
+use crate::demux::{decode_reply_port, encode_reply_port, DemuxTable, RouteCache, SlotToken};
 use crate::frame::{self, BatchStatus, Frame, MAX_BATCH_ENTRIES};
+use crate::lease::PortLeaseBroker;
 use amoeba_net::{BufPool, Endpoint, Header, MachineId, Packet, Port, RecvError, Timestamp};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunables for [`Client::trans`].
@@ -191,17 +195,13 @@ impl CodecConfig {
     }
 }
 
-/// Upper bound on recycled reply-port pairs a client parks between
+/// Upper bound on recycled reply-port bindings a client parks between
 /// transactions; beyond it ports are released normally. Bounds both the
 /// claim table and the concurrency level that benefits from recycling.
-const MAX_RECYCLED_REPLY_PORTS: usize = 64;
+const MAX_RECYCLED_REPLY_PORTS: u32 = 64;
 
-/// Upper bound on `(put-port, machine)` route-cache entries. Clients
-/// talk to a bounded service fleet in practice, so the cap is generous;
-/// on overflow the table is cleared wholesale (the F-box memo-table
-/// idiom) rather than tracked with an eviction order — correctness is
-/// unaffected, the next call per port just goes associative once.
-const MAX_CACHED_ROUTES: usize = 1024;
+/// Route hints a dying client exports to its lease broker.
+const MAX_EXPORTED_ROUTES: usize = 256;
 
 /// Errors from a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,19 +268,25 @@ pub struct Client {
     config: RpcConfig,
     demux: DemuxPolicy,
     signature: Option<Port>,
-    rng: Mutex<StdRng>,
+    /// splitmix64 state: a lock-free source of port salts, replacing
+    /// the mutex-guarded `StdRng` of earlier revisions. Reply-port
+    /// secrecy rests on the 48-bit sparseness argument of §2.2, not on
+    /// cryptographic stream quality, so a statistically-uniform mixer
+    /// seeded from entropy is the right tool on the hot path.
+    rng_state: AtomicU64,
     /// Monotonic source of batch ids; uniqueness per client plus the
     /// per-batch private reply port makes `(reply port, id)` unique on
     /// the wire.
     next_batch_id: AtomicU32,
     pipeline: Option<PipelineState>,
-    /// In-flight transactions: wire reply port → that waiter's mailbox.
-    pending: Mutex<HashMap<Port, Sender<Packet>>>,
+    /// In-flight transactions: the lock-free slot table (see the
+    /// `demux` module) that routes each wire reply port to its
+    /// waiter's pooled mailbox, parks recycled bindings on an indexed
+    /// freelist, and falls back to a counted-mutex map only on
+    /// overflow.
+    table: DemuxTable,
     /// Hot-path knobs: frame-buffer pool + reply-port recycling.
     codec: CodecConfig,
-    /// Parked `(get, wire)` reply-port pairs from cleanly completed
-    /// transactions, still claimed on the interface, ready for reuse.
-    reply_ports: Mutex<Vec<(Port, Port)>>,
     /// The §2.1 kernel cache: put-port → the machine that last answered
     /// it. "To avoid having to broadcast the LOCATE message for every
     /// transaction, each kernel maintains a cache of (port, machine)
@@ -289,8 +295,13 @@ pub struct Client {
     /// targeted request reaches one machine, so at most one reply ever
     /// exists). A hint, never load-bearing: a timed-out hinted attempt
     /// evicts the entry and retransmits associatively, so replica
-    /// failover still works.
-    routes: Mutex<HashMap<Port, MachineId>>,
+    /// failover still works. Lock-free (see `demux::RouteCache`).
+    routes: RouteCache,
+    /// Fresh reply-port mints performed (excludes recycled and leased
+    /// bindings) — observability for the warm-path guarantees.
+    minted_ports: AtomicU64,
+    /// Where parked ports and route hints go when this client dies.
+    broker: Option<Arc<PortLeaseBroker>>,
 }
 
 impl Client {
@@ -301,26 +312,97 @@ impl Client {
 
     /// Wraps an endpoint with explicit timeouts/retries.
     pub fn with_config(endpoint: Endpoint, config: RpcConfig) -> Client {
+        let codec = CodecConfig::default();
         Client {
             endpoint,
             config,
             demux: DemuxPolicy::default(),
             signature: None,
-            rng: Mutex::new(StdRng::from_entropy()),
+            rng_state: AtomicU64::new(rand::rngs::StdRng::from_entropy().next_u64()),
             next_batch_id: AtomicU32::new(1),
             pipeline: None,
-            pending: Mutex::new(HashMap::new()),
-            codec: CodecConfig::default(),
-            reply_ports: Mutex::new(Vec::new()),
-            routes: Mutex::new(HashMap::new()),
+            table: DemuxTable::new(codec.pool.lock_meter()),
+            codec,
+            routes: RouteCache::new(),
+            minted_ports: AtomicU64::new(0),
+            broker: None,
         }
     }
 
     /// Builder knob: replaces the hot-path codec configuration (frame
     /// pooling, reply-port recycling). See [`CodecConfig`].
     pub fn with_codec(mut self, codec: CodecConfig) -> Client {
+        // Re-key the (still empty) demux table so its overflow-map
+        // lock counts against the new pool's meter.
+        self.table = DemuxTable::new(codec.pool.lock_meter());
         self.codec = codec;
         self
+    }
+
+    /// Builder knob: connects this client to a fleet-wide
+    /// [`PortLeaseBroker`] and immediately tries to lease a pre-warmed
+    /// identity from it: a recycled reply get-port (claimed here and
+    /// parked, so the first transaction skips the mint entirely) and
+    /// the route hints that travelled with it (so that first
+    /// transaction is already machine-targeted — no LOCATE broadcast,
+    /// and its port recycles again). On drop the client offers its own
+    /// clean parked ports and routes back.
+    ///
+    /// No-op (beyond registering the broker) on a
+    /// [legacy codec](CodecConfig::legacy), which never recycles.
+    pub fn with_broker(mut self, broker: Arc<PortLeaseBroker>) -> Client {
+        if self.codec.recycle_reply_ports {
+            if let Some(grant) = broker.lease() {
+                self.adopt_leased_port(grant.get);
+                for (key, val) in grant.routes {
+                    self.routes.insert(key, val);
+                }
+            }
+        }
+        self.broker = Some(broker);
+        self
+    }
+
+    /// Claims a leased get-port on this endpoint and parks it, ready
+    /// for the first transaction. F is deterministic, so the claim
+    /// yields the same wire port the previous owner answered to —
+    /// which is what makes the pooled route hints line up with it.
+    fn adopt_leased_port(&self, get: Port) {
+        let Some((idx, _)) = self.table.reserve_fresh() else {
+            return;
+        };
+        // The binding keeps the generation engraved at its original
+        // mint (generation continuity across owners; see `lease`).
+        let (_, gen8, _) = decode_reply_port(get);
+        self.table.set_reserved_gen(idx, gen8);
+        let wire = self.endpoint.claim(get);
+        let reactor = self.endpoint.reactor();
+        match self.table.activate_fresh(idx, get, wire) {
+            Some(token) => {
+                if !self
+                    .table
+                    .try_park(token, reactor, MAX_RECYCLED_REPLY_PORTS)
+                {
+                    self.table.burn(token, reactor);
+                    self.endpoint.release(get);
+                }
+            }
+            None => {
+                self.table.abort_reserved(idx);
+                self.endpoint.release(get);
+            }
+        }
+    }
+
+    /// The next value of the lock-free splitmix64 stream.
+    fn next_rand(&self) -> u64 {
+        let mut z = self
+            .rng_state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// The frame-buffer pool this client encodes into. Callers that
@@ -578,40 +660,55 @@ impl Client {
 
     /// Routes a packet that is not ours to whichever in-flight
     /// transaction owns its destination port (concurrent `trans` calls
-    /// share one endpoint queue). Unclaimed packets are stale noise and
-    /// are dropped.
-    fn route_foreign(&self, mut pkt: Packet) {
-        let pending = self.pending.lock();
-        if let Some(waiter) = pending.get(&pkt.header.dest) {
-            // Re-gate the handed-off packet: the virtual timeline may
-            // not run past its arrival until the owner consumes it.
-            self.endpoint.reactor().regate(&mut pkt);
-            match waiter.send(pkt) {
-                Ok(()) => {
-                    drop(pending);
-                    // The owner may be parked on the reactor (virtual
-                    // clock); mailbox deposits are not network events,
-                    // so wake it explicitly.
-                    self.endpoint.reactor().notify();
-                }
-                Err(e) => self.endpoint.reactor().discard(&e.0),
-            }
-        }
+    /// share one endpoint queue) — one index load plus one generation
+    /// compare, no lock. Unclaimed packets are stale noise and are
+    /// dropped.
+    fn route_foreign(&self, pkt: Packet) {
+        // A failed deposit means nobody owns the port (a straggler or
+        // forged packet): drop it. Its delivery gate was already
+        // released when the puller consumed it; deposit re-gates only
+        // the packets it actually hands off.
+        let _ = self.table.deposit(pkt, self.endpoint.reactor());
     }
 
-    /// Records `machine` as the route-cache answer for put-port `dest`,
-    /// keeping the table bounded (wholesale clear on overflow, the
-    /// F-box memo-table idiom). No-op for broadcasts and on the legacy
-    /// codec, which keeps pure associative addressing.
+    /// Records `machine` as the route-cache answer for put-port `dest`.
+    /// No-op for broadcasts and on the legacy codec, which keeps pure
+    /// associative addressing.
     fn note_route(&self, dest: Port, machine: MachineId) {
         if !self.codec.recycle_reply_ports || dest.is_broadcast() {
             return;
         }
-        let mut routes = self.routes.lock();
-        if routes.len() >= MAX_CACHED_ROUTES && !routes.contains_key(&dest) {
-            routes.clear();
-        }
-        routes.insert(dest, machine);
+        self.routes
+            .insert(dest.value(), u64::from(machine.as_u32()) + 1);
+    }
+
+    /// The machine the route cache currently names for put-port `dest`.
+    pub fn cached_route(&self, dest: Port) -> Option<MachineId> {
+        self.routes
+            .lookup(dest.value())
+            .map(|v| MachineId::from((v - 1) as u32))
+    }
+
+    /// Occupied route-cache entries.
+    pub fn cached_routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Transactions currently in flight on this client.
+    pub fn active_transactions(&self) -> u32 {
+        self.table.active()
+    }
+
+    /// Reply-port bindings currently parked for recycling.
+    pub fn parked_reply_ports(&self) -> u32 {
+        self.table.parked()
+    }
+
+    /// Fresh reply ports minted so far (recycled and leased bindings
+    /// don't count — this is the cold-start cost the port-lease broker
+    /// removes).
+    pub fn minted_reply_ports(&self) -> u64 {
+        self.minted_ports.load(Ordering::Relaxed)
     }
 
     /// Starts a transaction and returns its completion handle without
@@ -659,6 +756,45 @@ impl Client {
         self.start(dest, target, payload, accept).wait()
     }
 
+    /// Binds a reply port in the slot table (recycled when possible,
+    /// minted otherwise). Returns the binding plus its get/wire ports.
+    fn bind_reply_port(&self) -> (Binding, Port, Port, Receiver<Packet>) {
+        let reactor = self.endpoint.reactor();
+        // Recycled from a cleanly completed transaction when allowed:
+        // the port is then already claimed (an F-box has its F values
+        // memoized) and still resolvable in the index — claiming it is
+        // one O(1) freelist pop.
+        if self.codec.recycle_reply_ports {
+            if let Some((token, get, wire)) = self.table.claim_parked(reactor) {
+                let rx = self.table.receiver(token);
+                return (Binding::Slot(token), get, wire, rx);
+            }
+        }
+        // Fresh mint: reserve a slot and engrave its (index, gen) in
+        // the minted get-port.
+        if let Some((idx, gen8)) = self.table.reserve_fresh() {
+            let get = encode_reply_port(idx as u8, gen8, self.next_rand() as u32);
+            self.minted_ports.fetch_add(1, Ordering::Relaxed);
+            let wire = self.endpoint.claim(get);
+            if let Some(token) = self.table.activate_fresh(idx, get, wire) {
+                let rx = self.table.receiver(token);
+                return (Binding::Slot(token), get, wire, rx);
+            }
+            // Index probe window full: give the slot back and fall
+            // through to the overflow map.
+            self.table.abort_reserved(idx);
+            self.endpoint.release(get);
+        }
+        // Overflow (more concurrent transactions than slots, or a
+        // pathological index collision run): a plain random port and a
+        // per-transaction mailbox under the counted overflow lock.
+        let get = Port::from_raw(self.next_rand());
+        self.minted_ports.fetch_add(1, Ordering::Relaxed);
+        let wire = self.endpoint.claim(get);
+        let rx = self.table.register_overflow(wire);
+        (Binding::Overflow, get, wire, rx)
+    }
+
     /// Registers the demux entry, transmits the first attempt, and
     /// hands back the in-flight transaction state.
     fn start<T>(
@@ -669,21 +805,8 @@ impl Client {
         accept: impl Fn(Frame) -> Option<T> + Send + Sync + 'static,
     ) -> Completion<'_, T> {
         // Reply get-port per transaction, stable across retries so a
-        // late first reply satisfies a retransmitted request. Recycled
-        // from a cleanly completed transaction when allowed (the port
-        // is then already claimed, and an F-box has its F values
-        // memoized); minted fresh and claimed otherwise.
-        let recycled = self
-            .codec
-            .recycle_reply_ports
-            .then(|| self.reply_ports.lock().pop())
-            .flatten();
-        let (reply_get, reply_wire) = recycled.unwrap_or_else(|| {
-            let reply_get = Port::random(&mut *self.rng.lock());
-            (reply_get, self.endpoint.claim(reply_get))
-        });
-        let (tx, rx) = unbounded();
-        self.pending.lock().insert(reply_wire, tx);
+        // late first reply satisfies a retransmitted request.
+        let (binding, reply_get, reply_wire, mailbox) = self.bind_reply_port();
         let mut header = Header::to(dest).with_reply(reply_get);
         let mut hinted = false;
         match target {
@@ -693,8 +816,8 @@ impl Client {
             // stay broadcasts — the network ignores the hint for them
             // anyway, so a cached target would be a lie.
             None if self.codec.recycle_reply_ports && !dest.is_broadcast() => {
-                if let Some(&machine) = self.routes.lock().get(&dest) {
-                    header = header.targeted(machine);
+                if let Some(val) = self.routes.lookup(dest.value()) {
+                    header = header.targeted(MachineId::from((val - 1) as u32));
                     hinted = true;
                 }
             }
@@ -709,7 +832,8 @@ impl Client {
             payload,
             reply_get,
             reply_wire,
-            mailbox: rx,
+            binding,
+            mailbox,
             accept: Box::new(accept),
             attempts_left: self.config.attempts.max(1),
             attempt_deadline: Timestamp::ZERO,
@@ -720,6 +844,37 @@ impl Client {
         completion.transmit();
         completion
     }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let reactor = self.endpoint.reactor().clone();
+        // No transaction can be in flight (completions borrow the
+        // client), but parked bindings and stale mailbox deposits
+        // remain. Export the clean parked ports — and a route-cache
+        // snapshot — to the broker, if any; their interface claims die
+        // with this endpoint either way.
+        let parked = self.table.drain_parked_for_export(&reactor);
+        if let Some(broker) = &self.broker {
+            if self.codec.recycle_reply_ports {
+                broker.offer_routes(&self.routes.export(MAX_EXPORTED_ROUTES));
+                for (get, _wire) in parked {
+                    broker.offer_port(get);
+                }
+            }
+        }
+        // Any still-gated deposit left anywhere would wedge the
+        // virtual timeline.
+        self.table.drain_all(&reactor);
+    }
+}
+
+/// How a completion's replies are routed: a slot-table binding (the
+/// hot path) or an overflow-map entry.
+#[derive(Debug, Clone, Copy)]
+enum Binding {
+    Slot(SlotToken),
+    Overflow,
 }
 
 /// An in-flight transaction: the completion side of
@@ -736,8 +891,12 @@ pub struct Completion<'c, T> {
     payload: Bytes,
     reply_get: Port,
     reply_wire: Port,
+    /// The demux registration this transaction owns.
+    binding: Binding,
     /// Replies claimed from the shared endpoint by *peer* waiters and
-    /// routed here.
+    /// routed here: a clone of the slot's pooled mailbox receiver (no
+    /// channel is constructed per transaction), or the overflow
+    /// mailbox.
     mailbox: Receiver<Packet>,
     accept: Box<dyn Fn(Frame) -> Option<T> + Send + Sync>,
     /// Attempts not yet transmitted (the first transmit happens in
@@ -841,10 +1000,9 @@ impl<T> Completion<'_, T> {
                     // reachability, which is why eviction must happen
                     // before the out-of-attempts return below.
                     if let Some(stale) = self.header.target.take() {
-                        let mut routes = self.client.routes.lock();
-                        if routes.get(&self.header.dest) == Some(&stale) {
-                            routes.remove(&self.header.dest);
-                        }
+                        self.client
+                            .routes
+                            .evict_if(self.header.dest.value(), u64::from(stale.as_u32()) + 1);
                     }
                     self.hinted = false;
                 }
@@ -886,7 +1044,7 @@ impl<T> Completion<'_, T> {
                     (!mailbox.is_empty() || endpoint.has_arrivals()).then_some(())
                 });
             } else {
-                let tick = if client.pending.lock().len() > 1 {
+                let tick = if client.table.active() > 1 {
                     client.demux.contended_tick
                 } else {
                     client.demux.idle_tick
@@ -909,15 +1067,7 @@ impl<T> Completion<'_, T> {
 
 impl<T> Drop for Completion<'_, T> {
     fn drop(&mut self) {
-        self.client.pending.lock().remove(&self.reply_wire);
-        // Deposits never consumed (late replies to an abandoned or
-        // already-completed transaction) must release their delivery
-        // gates, or the virtual timeline wedges.
-        let mut stale_deposits = false;
-        while let Ok(pkt) = self.mailbox.try_recv() {
-            stale_deposits = true;
-            self.client.endpoint.reactor().discard(&pkt);
-        }
+        let reactor = self.client.endpoint.reactor();
         // The frame buffer returns to the pool for the next encode.
         self.client
             .codec
@@ -925,26 +1075,43 @@ impl<T> Drop for Completion<'_, T> {
             .retire(std::mem::take(&mut self.payload));
         // A machine-targeted transaction that completed on its single
         // transmission and left no stragglers can park its reply port
-        // (still claimed) for reuse — one frame reached one machine, so
-        // the one possible reply was consumed and no packet addressed
-        // to the port can ever arrive again. Untargeted (or broadcast)
+        // (still claimed, still indexed) for reuse — one frame reached
+        // one machine, so the one possible reply could ever have been
+        // produced — and it was consumed. Untargeted (or broadcast)
         // requests are offered to every claimer of the destination
         // port: N replicas send N replies, and stragglers still in
         // flight would alias whatever transaction reused the port —
         // check_packet correlates by reply port alone. Those ports, and
         // those of timed-out, retransmitted or abandoned transactions,
-        // are released instead: a late reply must find a dead port,
-        // never a recycled one.
-        let unicast = self.header.target.is_some() && !self.header.dest.is_broadcast();
-        let clean = self.completed && self.transmits == 1 && unicast && !stale_deposits;
-        if clean && self.client.codec.recycle_reply_ports {
-            let mut parked = self.client.reply_ports.lock();
-            if parked.len() < MAX_RECYCLED_REPLY_PORTS {
-                parked.push((self.reply_get, self.reply_wire));
-                return;
+        // are burned instead: a late reply must find a dead port,
+        // never a recycled one. Unconsumed deposits are detected (and
+        // their gates released) inside try_park/burn; either path
+        // leaves no gated packet behind, or the virtual timeline would
+        // wedge.
+        match self.binding {
+            Binding::Slot(token) => {
+                let unicast = self.header.target.is_some() && !self.header.dest.is_broadcast();
+                let clean = self.completed && self.transmits == 1 && unicast;
+                if clean
+                    && self.client.codec.recycle_reply_ports
+                    && self
+                        .client
+                        .table
+                        .try_park(token, reactor, MAX_RECYCLED_REPLY_PORTS)
+                {
+                    return;
+                }
+                self.client.table.burn(token, reactor);
+                self.client.endpoint.release(self.reply_get);
+            }
+            Binding::Overflow => {
+                self.client.table.remove_overflow(self.reply_wire);
+                while let Ok(pkt) = self.mailbox.try_recv() {
+                    reactor.discard(&pkt);
+                }
+                self.client.endpoint.release(self.reply_get);
             }
         }
-        self.client.endpoint.release(self.reply_get);
     }
 }
 
@@ -1110,11 +1277,12 @@ mod tests {
             },
         );
         let first = client.trans(p, Bytes::from_static(b"one")).unwrap();
-        assert!(
-            client.reply_ports.lock().is_empty(),
+        assert_eq!(
+            client.parked_reply_ports(),
+            0,
             "fan-out reply port was recycled"
         );
-        let learned = client.routes.lock().get(&p).copied().expect("route cached");
+        let learned = client.cached_route(p).expect("route cached");
         let expected: &[u8] = if learned == a_machine {
             b"replica-a"
         } else {
@@ -1128,7 +1296,7 @@ mod tests {
         let second = client.trans(p, Bytes::from_static(b"two")).unwrap();
         assert_eq!(second, first, "hinted call must hit the learned replica");
         assert_eq!(
-            client.reply_ports.lock().len(),
+            client.parked_reply_ports(),
             1,
             "targeted call must recycle its reply port"
         );
@@ -1159,13 +1327,13 @@ mod tests {
                 attempts: 1,
             },
         );
-        client.routes.lock().insert(g, ghost);
+        client.note_route(g, ghost);
         assert_eq!(
             client.trans(g, Bytes::from_static(b"x")).unwrap_err(),
             RpcError::Timeout
         );
         assert!(
-            !client.routes.lock().contains_key(&g),
+            client.cached_route(g).is_none(),
             "stale route must evict on the final attempt"
         );
         assert_eq!(
@@ -1177,20 +1345,21 @@ mod tests {
 
     #[test]
     fn route_cache_stays_bounded() {
+        use crate::demux::MAX_CACHED_ROUTES;
         let net = Network::new();
         let client = Client::new(net.attach_open());
         let machine = client.endpoint().id();
         for v in 1..=(MAX_CACHED_ROUTES as u64 + 7) {
             client.note_route(Port::new(v).unwrap(), machine);
         }
-        let cached = client.routes.lock().len();
+        let cached = client.cached_routes();
         assert!(
             cached <= MAX_CACHED_ROUTES,
             "route cache exceeded its bound: {cached}"
         );
         // Broadcast and legacy-codec notes are dropped, not cached.
         client.note_route(Port::BROADCAST, machine);
-        assert!(!client.routes.lock().contains_key(&Port::BROADCAST));
+        assert!(client.cached_route(Port::BROADCAST).is_none());
     }
 
     #[test]
@@ -1276,8 +1445,9 @@ mod tests {
         let net = Network::new();
         let client = Client::new(net.attach_open());
         let pending = client.trans_async(Port::new(0xAB).unwrap(), Bytes::from_static(b"x"));
+        assert_eq!(client.active_transactions(), 1);
         drop(pending); // releases the demux entry and the reply port
-        assert!(client.pending.lock().is_empty(), "demux entry must be gone");
+        assert_eq!(client.active_transactions(), 0, "demux entry must be gone");
     }
 
     #[test]
@@ -1483,5 +1653,180 @@ mod tests {
             flush_window: Duration::from_millis(1),
             max_entries: 0,
         });
+    }
+
+    fn echo_server(
+        net: &Network,
+        g: Port,
+        lifetime: Duration,
+    ) -> (Port, std::thread::JoinHandle<()>) {
+        let server = crate::ServerPort::bind(net.attach_open(), g);
+        let p = server.put_port();
+        let t = std::thread::spawn(move || {
+            while let Ok(req) = server.next_request_timeout(lifetime) {
+                server.reply(&req, req.payload.clone());
+            }
+        });
+        (p, t)
+    }
+
+    #[test]
+    fn leased_client_runs_warm_from_its_first_transaction() {
+        // The cross-client hand-off: client A parks a clean reply port
+        // and a learned route, dies, and offers both to the broker.
+        // A newborn client B leases them and its very first
+        // transaction takes the warm path — no fresh mint (the leased
+        // port is parked and ready) and no associative fan-out (the
+        // seeded route targets the machine directly), which in turn
+        // lets that first transaction re-park the port.
+        let net = Network::new();
+        let (p, t) = echo_server(&net, Port::new(0xE0).unwrap(), Duration::from_millis(400));
+        let cfg = RpcConfig {
+            timeout: Duration::from_secs(2),
+            attempts: 2,
+        };
+        let broker = Arc::new(PortLeaseBroker::new());
+        {
+            let a = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+            // Call 1 learns the route (its port burns — untargeted);
+            // call 2 is hinted, completes clean, and parks its port.
+            a.trans(p, Bytes::from_static(b"a1")).unwrap();
+            a.trans(p, Bytes::from_static(b"a2")).unwrap();
+            assert_eq!(a.parked_reply_ports(), 1);
+        }
+        assert_eq!(broker.available_ports(), 1, "drop must offer the port");
+        assert!(broker.pooled_routes() >= 1, "drop must offer the routes");
+
+        let b = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+        assert_eq!(broker.available_ports(), 0, "birth must consume the lease");
+        assert_eq!(
+            b.parked_reply_ports(),
+            1,
+            "the leased port must be claimed and parked at birth"
+        );
+        assert!(b.cached_route(p).is_some(), "the route must be seeded");
+        assert_eq!(&b.trans(p, Bytes::from_static(b"b1")).unwrap()[..], b"b1");
+        assert_eq!(
+            b.minted_reply_ports(),
+            0,
+            "a leased client's first transaction must not mint a port"
+        );
+        assert_eq!(
+            b.parked_reply_ports(),
+            1,
+            "the warm first transaction must recycle the leased port"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn expired_lease_is_never_granted_and_the_client_cold_starts() {
+        // TTL zero expires offers instantly: the stale-lease guard. A
+        // client born from an empty (all-expired) broker mints fresh.
+        let net = Network::new();
+        let (p, t) = echo_server(&net, Port::new(0xE1).unwrap(), Duration::from_millis(300));
+        let cfg = RpcConfig {
+            timeout: Duration::from_secs(2),
+            attempts: 2,
+        };
+        let broker = Arc::new(PortLeaseBroker::with_ttl(Duration::ZERO));
+        {
+            let a = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+            a.trans(p, Bytes::from_static(b"a1")).unwrap();
+            a.trans(p, Bytes::from_static(b"a2")).unwrap();
+            assert_eq!(a.parked_reply_ports(), 1);
+        }
+        let b = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+        assert_eq!(
+            b.parked_reply_ports(),
+            0,
+            "an expired lease must never be granted"
+        );
+        assert_eq!(&b.trans(p, Bytes::from_static(b"b1")).unwrap()[..], b"b1");
+        assert_eq!(b.minted_reply_ports(), 1, "cold start mints fresh");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn dirty_ports_never_enter_the_lease_pool_and_stragglers_never_alias() {
+        // The cross-client extension of the PR 5 straggler rule: an
+        // untargeted call to a replicated port leaves a straggler reply
+        // in flight, so its port is dirty and must be *burned*, never
+        // offered to the broker — even though the client dies while
+        // the straggler is still on the wire. The next client (born
+        // from that broker) must see its own replies only.
+        let net = Network::new();
+        net.set_latency(Duration::from_millis(10));
+        let g1 = Port::new(0xE2).unwrap();
+        let g2 = Port::new(0xE3).unwrap();
+        let serve = |s: crate::ServerPort, tag: &'static [u8]| {
+            std::thread::spawn(move || {
+                while let Ok(req) = s.next_request_timeout(Duration::from_millis(250)) {
+                    s.reply(&req, Bytes::from_static(tag));
+                }
+            })
+        };
+        let ta = serve(crate::ServerPort::bind(net.attach_open(), g1), b"dup");
+        let tb = serve(crate::ServerPort::bind(net.attach_open(), g1), b"dup");
+        let tc = serve(crate::ServerPort::bind(net.attach_open(), g2), b"fresh");
+        let cfg = RpcConfig {
+            timeout: Duration::from_secs(2),
+            attempts: 2,
+        };
+        let broker = Arc::new(PortLeaseBroker::new());
+        {
+            let a = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+            // Untargeted, two replicas answer: one reply consumed, one
+            // straggler in flight when the client dies.
+            assert_eq!(&a.trans(g1, Bytes::from_static(b"x")).unwrap()[..], b"dup");
+            assert_eq!(a.parked_reply_ports(), 0, "fan-out port must burn");
+        }
+        assert_eq!(
+            broker.available_ports(),
+            0,
+            "a dirty port must never be offered for lease"
+        );
+        let b = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+        assert_eq!(
+            &b.trans(g2, Bytes::from_static(b"y")).unwrap()[..],
+            b"fresh",
+            "a straggler from the dead client aliased the new one"
+        );
+        net.set_latency(Duration::ZERO);
+        for t in [ta, tb, tc] {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn leases_chain_across_a_generation_of_clients() {
+        // A swarm of short-lived clients sharing one broker: after the
+        // first client warms the pool, every successor runs mint-free.
+        let net = Network::new();
+        let (p, t) = echo_server(&net, Port::new(0xE4).unwrap(), Duration::from_millis(600));
+        let cfg = RpcConfig {
+            timeout: Duration::from_secs(2),
+            attempts: 2,
+        };
+        let broker = Arc::new(PortLeaseBroker::new());
+        {
+            let warm = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+            warm.trans(p, Bytes::from_static(b"w1")).unwrap();
+            warm.trans(p, Bytes::from_static(b"w2")).unwrap();
+        }
+        for i in 0..3u8 {
+            let c = Client::with_config(net.attach_open(), cfg).with_broker(Arc::clone(&broker));
+            assert_eq!(
+                &c.trans(p, Bytes::from(vec![i])).unwrap()[..],
+                [i],
+                "generation {i} reply"
+            );
+            assert_eq!(
+                c.minted_reply_ports(),
+                0,
+                "generation {i} must run entirely on its lease"
+            );
+        }
+        t.join().unwrap();
     }
 }

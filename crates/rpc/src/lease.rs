@@ -1,0 +1,231 @@
+//! The cross-client **port-lease broker**.
+//!
+//! PR 5 recycles reply ports *within* one client. A swarm of
+//! short-lived clients (the paper's many-small-transactions shape)
+//! still pays the cold-start tax per client: mint a fresh get-port,
+//! evaluate F to claim it, and broadcast-LOCATE every service it
+//! talks to. The broker amortises that across client lifetimes:
+//!
+//! * A dying client **offers** its clean parked reply ports (the PR 5
+//!   recycling rules: machine-targeted, single-transmit, straggler
+//!   free — see `docs/ARCHITECTURE.md`) and a snapshot of its route
+//!   cache.
+//! * A newborn client **leases** one pre-warmed port plus the route
+//!   snapshot, claims the port on its own interface (F is
+//!   deterministic, so the same get-port yields the same wire port),
+//!   and seeds its route cache — its first transaction already runs
+//!   the warm path: no fresh mint, no LOCATE broadcast.
+//!
+//! # Soundness
+//!
+//! Leasing a port value is safe for the same reason in-client
+//! recycling is: only *clean* bindings are offered, so no straggler
+//! addressed to the port can exist, and interface claims die with the
+//! old client's endpoint, so the port is deliverable only to its new
+//! owner. Two extra guards cover the cross-client window:
+//!
+//! * **Expiry**: offers carry a TTL. A port parked long ago is more
+//!   likely to have leaked (logs, debuggers) and its routes to be
+//!   stale, so expired offers are pruned, never granted.
+//! * **Generation continuity**: a leased port keeps the generation
+//!   tag engraved at its original mint (see `demux`), so once the new
+//!   owner burns it, packets bearing the old tag are rejected by the
+//!   same stale-generation rule as in-client reuse.
+
+use amoeba_net::{HotMutex, LockMeter, Port};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Most ports the broker will hold; excess offers are dropped (the
+/// ports were released by their owner anyway).
+const MAX_LEASED_PORTS: usize = 256;
+
+/// Most route hints the broker will hold.
+const MAX_BROKER_ROUTES: usize = 1024;
+
+/// Default lease lifetime.
+const DEFAULT_TTL: Duration = Duration::from_secs(30);
+
+#[derive(Debug)]
+struct Offer {
+    get: Port,
+    born: Instant,
+}
+
+#[derive(Debug, Default)]
+struct BrokerInner {
+    /// LIFO: the most recently parked port is the warmest.
+    ports: Vec<Offer>,
+    /// put-port value → cached machine id + 1 (the route-cache value
+    /// encoding), with the time it was last refreshed.
+    routes: HashMap<u64, (u64, Instant)>,
+}
+
+/// A pre-warmed identity granted to a newborn client: a recycled
+/// reply get-port and the route hints that came with it.
+#[derive(Debug)]
+pub(crate) struct LeaseGrant {
+    pub get: Port,
+    /// `(put-port value, machine id + 1)` pairs to seed the route
+    /// cache with.
+    pub routes: Vec<(u64, u64)>,
+}
+
+/// Hands warm ports and route hints from dying clients to newborn
+/// ones. Share one broker (in an `Arc`) across the clients of a
+/// fleet; see [`Client::with_broker`](crate::Client::with_broker).
+///
+/// The broker's lock is a counted [`HotMutex`], but it is only taken
+/// at client birth and death — never per transaction — so it does not
+/// appear in steady-state lock counts.
+#[derive(Debug)]
+pub struct PortLeaseBroker {
+    inner: HotMutex<BrokerInner>,
+    ttl: Duration,
+}
+
+impl Default for PortLeaseBroker {
+    fn default() -> PortLeaseBroker {
+        PortLeaseBroker::new()
+    }
+}
+
+impl PortLeaseBroker {
+    /// A broker with the default lease TTL.
+    pub fn new() -> PortLeaseBroker {
+        PortLeaseBroker::with_ttl(DEFAULT_TTL)
+    }
+
+    /// A broker whose offers expire `ttl` after being made. A zero
+    /// TTL expires everything immediately (useful in tests).
+    pub fn with_ttl(ttl: Duration) -> PortLeaseBroker {
+        PortLeaseBroker {
+            inner: HotMutex::with_meter(BrokerInner::default(), LockMeter::new()),
+            ttl,
+        }
+    }
+
+    /// Offers a clean parked reply port. Called by `Client::drop`;
+    /// offers beyond capacity are silently dropped.
+    pub(crate) fn offer_port(&self, get: Port) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        Self::prune(&mut inner, now, self.ttl);
+        if inner.ports.len() < MAX_LEASED_PORTS {
+            inner.ports.push(Offer { get, born: now });
+        }
+    }
+
+    /// Merges a dying client's route hints into the broker's pool.
+    pub(crate) fn offer_routes(&self, routes: &[(u64, u64)]) {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        Self::prune(&mut inner, now, self.ttl);
+        for &(key, val) in routes {
+            if inner.routes.len() >= MAX_BROKER_ROUTES && !inner.routes.contains_key(&key) {
+                break;
+            }
+            inner.routes.insert(key, (val, now));
+        }
+    }
+
+    /// Grants the warmest unexpired lease, if any.
+    pub(crate) fn lease(&self) -> Option<LeaseGrant> {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        Self::prune(&mut inner, now, self.ttl);
+        let offer = inner.ports.pop()?;
+        let routes = inner.routes.iter().map(|(&k, &(v, _))| (k, v)).collect();
+        Some(LeaseGrant {
+            get: offer.get,
+            routes,
+        })
+    }
+
+    /// Unexpired ports currently available for lease.
+    pub fn available_ports(&self) -> usize {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        Self::prune(&mut inner, now, self.ttl);
+        inner.ports.len()
+    }
+
+    /// Unexpired route hints currently pooled.
+    pub fn pooled_routes(&self) -> usize {
+        let now = Instant::now();
+        let mut inner = self.inner.lock();
+        Self::prune(&mut inner, now, self.ttl);
+        inner.routes.len()
+    }
+
+    fn prune(inner: &mut BrokerInner, now: Instant, ttl: Duration) {
+        inner
+            .ports
+            .retain(|o| now.saturating_duration_since(o.born) < ttl);
+        inner
+            .routes
+            .retain(|_, (_, born)| now.saturating_duration_since(*born) < ttl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn port(v: u64) -> Port {
+        Port::new(v).unwrap()
+    }
+
+    #[test]
+    fn lifo_grant_with_routes() {
+        let broker = PortLeaseBroker::new();
+        broker.offer_port(port(0x10));
+        broker.offer_port(port(0x20));
+        broker.offer_routes(&[(0xAAA, 4), (0xBBB, 5)]);
+        assert_eq!(broker.available_ports(), 2);
+        assert_eq!(broker.pooled_routes(), 2);
+
+        let grant = broker.lease().expect("an offer is pooled");
+        assert_eq!(grant.get, port(0x20), "warmest (most recent) first");
+        let mut routes = grant.routes.clone();
+        routes.sort_unstable();
+        assert_eq!(routes, vec![(0xAAA, 4), (0xBBB, 5)]);
+        assert_eq!(broker.available_ports(), 1);
+    }
+
+    #[test]
+    fn expired_offers_are_never_granted() {
+        let broker = PortLeaseBroker::with_ttl(Duration::ZERO);
+        broker.offer_port(port(0x30));
+        broker.offer_routes(&[(0xCCC, 2)]);
+        assert!(broker.lease().is_none(), "zero TTL expires immediately");
+        assert_eq!(broker.available_ports(), 0);
+        assert_eq!(broker.pooled_routes(), 0);
+    }
+
+    #[test]
+    fn port_pool_is_bounded() {
+        let broker = PortLeaseBroker::new();
+        for v in 1..=(MAX_LEASED_PORTS as u64 + 50) {
+            broker.offer_port(port(v));
+        }
+        assert_eq!(broker.available_ports(), MAX_LEASED_PORTS);
+    }
+
+    #[test]
+    fn route_pool_is_bounded_but_refreshable() {
+        let broker = PortLeaseBroker::new();
+        let routes: Vec<(u64, u64)> = (1..=(MAX_BROKER_ROUTES as u64 + 10))
+            .map(|k| (k, 1))
+            .collect();
+        broker.offer_routes(&routes);
+        assert_eq!(broker.pooled_routes(), MAX_BROKER_ROUTES);
+        // A known key still updates at capacity.
+        broker.offer_routes(&[(1, 9)]);
+        let grant_routes = {
+            broker.offer_port(port(0xF00));
+            broker.lease().unwrap().routes
+        };
+        assert!(grant_routes.contains(&(1, 9)));
+    }
+}

@@ -60,7 +60,9 @@
 #![warn(missing_docs)]
 
 mod client;
+mod demux;
 mod frame;
+mod lease;
 mod locate;
 pub mod matchmaker;
 mod server;
@@ -68,6 +70,8 @@ mod server;
 pub use client::{
     BatchResult, Client, CodecConfig, Completion, DemuxPolicy, PipelineConfig, RpcConfig, RpcError,
 };
+pub use lease::PortLeaseBroker;
+
 pub use frame::{
     BatchReplyEntry, BatchStatus, Frame, FrameKind, ReplicaInfo, BATCH_VERSION, CLUSTER_VERSION,
     MAX_BATCH_ENTRIES, MAX_LOCATE_REPLICAS,

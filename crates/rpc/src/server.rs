@@ -5,16 +5,17 @@
 //! A [`ServerPort`] is shared (via `Arc`) by every worker of a dispatch
 //! pool. Internally it separates **pumping** from **serving**:
 //!
-//! * At most one worker at a time is the *pump* (a try-lock decides):
-//!   it drains the endpoint's packet queue, decodes frames, and pushes
+//! * At most one worker at a time is the *pump* (a lock-free atomic
+//!   flag decides — a single compare-exchange, no mutex): it drains
+//!   the endpoint's packet queue, decodes frames, and pushes
 //!   ready-to-serve [`IncomingRequest`]s onto an internal MPMC queue.
 //!   A single-frame request yields one entry; a `BATCH_REQUEST` frame
 //!   is **exploded** into one entry per batch element, so the elements
 //!   fan out across the whole pool.
 //! * Every other worker blocks on the ready queue (waking instantly
 //!   when the pump pushes) and periodically — every
-//!   [`PUMP_TAKEOVER_TICK`] — retries the pump lock, so the pump role
-//!   migrates when its holder goes off to execute a handler.
+//!   [`PUMP_TAKEOVER_TICK`] — retries the pump role, so it migrates
+//!   when its holder goes off to execute a handler.
 //!
 //! # Batch fan-in
 //!
@@ -32,14 +33,16 @@
 
 use crate::client::CodecConfig;
 use crate::frame::{self, BatchReplyEntry, BatchStatus, Frame};
-use amoeba_net::{BufPool, Endpoint, Gate, Header, MachineId, Port, RecvError, Timestamp};
+use amoeba_net::{
+    BufPool, Endpoint, Gate, Header, HotMutex, MachineId, Port, RecvError, Timestamp,
+};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How often a worker blocked on the ready queue retries the pump lock.
+/// How often a worker blocked on the ready queue retries the pump role.
 /// Bounds the hand-off gap when the current pump leaves for a handler:
 /// packets sit undecoded for at most this long while blocked workers
 /// are available.
@@ -83,12 +86,15 @@ struct BatchSlot {
     index: u16,
 }
 
-/// Collects per-entry replies until the batch is complete.
+/// Collects per-entry replies until the batch is complete. The slot
+/// lock is a counted [`HotMutex`] (metered against the server's pool):
+/// batch fan-in is inherently a rendezvous, so its cost is accounted,
+/// not hidden — the lock-free single-frame path never touches it.
 #[derive(Debug)]
 struct BatchAccumulator {
     id: u32,
     reply_to: Port,
-    slots: Mutex<BatchSlots>,
+    slots: HotMutex<BatchSlots>,
 }
 
 #[derive(Debug)]
@@ -104,15 +110,18 @@ struct BatchSlots {
 }
 
 impl BatchAccumulator {
-    fn new(id: u32, reply_to: Port, count: usize) -> BatchAccumulator {
+    fn new(id: u32, reply_to: Port, count: usize, pool: &BufPool) -> BatchAccumulator {
         BatchAccumulator {
             id,
             reply_to,
-            slots: Mutex::new(BatchSlots {
-                entries: vec![None; count],
-                filled: 0,
-                done: false,
-            }),
+            slots: HotMutex::with_meter(
+                BatchSlots {
+                    entries: vec![None; count],
+                    filled: 0,
+                    done: false,
+                },
+                pool.lock_meter(),
+            ),
         }
     }
 
@@ -162,11 +171,13 @@ impl BatchAccumulator {
         };
         let mut buf = pool.take();
         reply.encode_into(&mut buf);
-        // The frame now carries copies of every body; retire the body
-        // buffers so they recycle once their other holders drop.
+        // The frame now carries copies of every body. The bodies are
+        // foreign handles (handler threads own their storage), so
+        // *release* them — reclaim-if-unique — rather than parking
+        // still-shared buffers on this thread.
         if let Frame::BatchReply { entries, .. } = reply {
             for e in entries {
-                pool.retire(e.body);
+                pool.release(e.body);
             }
         }
         Some(buf.freeze())
@@ -189,8 +200,11 @@ pub struct ServerPort {
     /// Decoded, ready-to-serve requests (MPMC: each claimed once).
     ready_tx: Sender<IncomingRequest>,
     ready_rx: Receiver<IncomingRequest>,
-    /// Held by the one worker currently draining the endpoint.
-    pump: Mutex<()>,
+    /// `true` while one worker holds the pump role (drains the
+    /// endpoint). A bare atomic, not a mutex: acquisition is a single
+    /// compare-exchange and probing is a load, so the hot receive path
+    /// takes no lock.
+    pump: AtomicBool,
     /// Reply frames (and handler-built bodies) are encoded into and
     /// retired back to this pool; steady-state replies allocate
     /// nothing.
@@ -203,6 +217,19 @@ const _: () = {
     const fn assert_shareable<T: Send + Sync>() {}
     assert_shareable::<ServerPort>();
 };
+
+/// RAII ownership of the pump role: releases the flag on drop, so every
+/// early-return path in the pump loop hands the role back correctly.
+#[derive(Debug)]
+struct PumpGuard<'a> {
+    role: &'a AtomicBool,
+}
+
+impl Drop for PumpGuard<'_> {
+    fn drop(&mut self) {
+        self.role.store(false, Ordering::Release);
+    }
+}
 
 impl ServerPort {
     /// `GET(G)`: claims the get-port on the endpoint's interface and
@@ -225,7 +252,7 @@ impl ServerPort {
             wire_port,
             ready_tx,
             ready_rx,
-            pump: Mutex::new(()),
+            pump: AtomicBool::new(false),
             pool: codec.pool,
         }
     }
@@ -287,6 +314,23 @@ impl ServerPort {
             .then(|| reactor.register_gate(pkt.deliver_at()))
     }
 
+    /// Tries to become the pump. A single compare-exchange; the
+    /// returned guard releases the role on drop.
+    fn try_pump(&self) -> Option<PumpGuard<'_>> {
+        self.pump
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+            .then(|| PumpGuard { role: &self.pump })
+    }
+
+    /// Whether the pump role is currently unheld. A probe only (a
+    /// plain load, no acquisition) — the answer may be stale by the
+    /// time the caller acts on it, which every call site tolerates by
+    /// retrying.
+    fn pump_is_free(&self) -> bool {
+        !self.pump.load(Ordering::Acquire)
+    }
+
     /// Claims a request off the ready queue, releasing its gate.
     fn claim(&self, req: IncomingRequest) -> IncomingRequest {
         if let Some(gate) = req.gate {
@@ -307,7 +351,7 @@ impl ServerPort {
         if let Ok(req) = self.ready_rx.try_recv() {
             return Some(self.claim(req));
         }
-        if let Some(_pumping) = self.pump.try_lock() {
+        if let Some(_pumping) = self.try_pump() {
             while let Some(pkt) = self.endpoint.poll_arrival() {
                 // Consume the delivery (ordered under the virtual
                 // clock) before decoding.
@@ -323,18 +367,12 @@ impl ServerPort {
     /// undecoded arrivals are queued **and** the pump role is free to
     /// claim (a held pump means another worker is already draining —
     /// waking for that would be a busy-spin). The pump probe is a
-    /// `try_lock`, never a block.
+    /// plain atomic load, never a block and never an acquisition.
     pub fn has_claimable_work(&self) -> bool {
         if !self.ready_rx.is_empty() {
             return true;
         }
-        if self.endpoint.has_arrivals() {
-            if let Some(free) = self.pump.try_lock() {
-                drop(free);
-                return true;
-            }
-        }
-        false
+        self.endpoint.has_arrivals() && self.pump_is_free()
     }
 
     /// The pump/serve loop shared by both receive paths. `None` means
@@ -368,12 +406,12 @@ impl ServerPort {
                 Pumped,
                 NotPump,
             }
-            let outcome = match self.pump.try_lock() {
+            let outcome = match self.try_pump() {
                 Some(_pumping) => {
                     // The previous pump may have pushed entries between
-                    // our ready-queue check above and winning the lock;
-                    // serve those before blocking on the wire (only a
-                    // lock holder can push, so this check cannot race).
+                    // our ready-queue check above and winning the role;
+                    // serve those before blocking on the wire (only the
+                    // role holder can push, so this check cannot race).
                     if let Ok(req) = self.ready_rx.try_recv() {
                         Outcome::Return(Ok(self.claim(req)))
                     } else {
@@ -449,14 +487,11 @@ impl ServerPort {
                     if let Ok(req) = self.ready_rx.try_recv() {
                         return Some(Wake::Ready(req));
                     }
-                    if self.endpoint.has_arrivals() {
-                        // try_lock as a probe only (never blocks, so
-                        // the reactor-lock → pump-lock order cannot
-                        // deadlock against the pump's reverse order).
-                        if let Some(free) = self.pump.try_lock() {
-                            drop(free);
-                            return Some(Wake::Takeover);
-                        }
+                    if self.endpoint.has_arrivals() && self.pump_is_free() {
+                        // A load-only probe (never blocks, so the
+                        // reactor lock held here cannot deadlock
+                        // against a pump holder taking it later).
+                        return Some(Wake::Takeover);
                     }
                     None
                 });
@@ -502,8 +537,14 @@ impl ServerPort {
                 // One-way batches (null reply port) are dispatched with
                 // no accumulator: every entry is served, nothing is
                 // sent back — mirroring one-way single frames.
-                let acc = (!pkt.header.reply.is_null())
-                    .then(|| Arc::new(BatchAccumulator::new(id, pkt.header.reply, entries.len())));
+                let acc = (!pkt.header.reply.is_null()).then(|| {
+                    Arc::new(BatchAccumulator::new(
+                        id,
+                        pkt.header.reply,
+                        entries.len(),
+                        &self.pool,
+                    ))
+                });
                 for (index, body) in entries.into_iter().enumerate() {
                     let _ = self.ready_tx.send(IncomingRequest {
                         payload: body,
@@ -755,7 +796,7 @@ mod tests {
         // retirement). They must be no-ops — not panics, not second
         // frames.
         let pool = amoeba_net::BufPool::new();
-        let acc = BatchAccumulator::new(7, Port::new(0x99).unwrap(), 2);
+        let acc = BatchAccumulator::new(7, Port::new(0x99).unwrap(), 2, &pool);
         assert!(acc
             .submit(0, BatchStatus::Ok, Bytes::from_static(b"a"), &pool)
             .is_none());

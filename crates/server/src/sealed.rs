@@ -96,7 +96,7 @@ fn serve_sealed_one(
     let mut buf = pool.take();
     reply.encode_into(&mut buf);
     let Reply { body, .. } = reply;
-    pool.retire(body);
+    pool.release(body);
     server.reply(incoming, buf.freeze());
 }
 

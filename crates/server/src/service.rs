@@ -73,8 +73,10 @@ impl Drop for LoadGuard<'_> {
 ///
 /// The reply body is encoded into a recycled buffer from the bound
 /// port's [`BufPool`](amoeba_net::BufPool) and the handler's body bytes
-/// are retired back into it, so a steady-state dispatch loop serves
-/// without touching the allocator.
+/// are released back into it (reclaimed only if this is the last
+/// handle — the body is often a slice of the client-owned request
+/// frame), so a steady-state dispatch loop serves without touching the
+/// allocator.
 pub(crate) fn serve_one(
     service: &(impl Service + ?Sized),
     server: &ServerPort,
@@ -92,7 +94,7 @@ pub(crate) fn serve_one(
     let mut buf = pool.take();
     reply.encode_into(&mut buf);
     let Reply { body, .. } = reply;
-    pool.retire(body);
+    pool.release(body);
     server.reply(incoming, buf.freeze());
 }
 
@@ -459,8 +461,10 @@ impl ServiceClient {
     }
 
     /// Encodes a request body into a recycled buffer from the client's
-    /// [`BufPool`](amoeba_net::BufPool), retiring the params bytes — a
-    /// steady-state call allocates nothing on the way out.
+    /// [`BufPool`](amoeba_net::BufPool), releasing the params bytes
+    /// (reclaimed only if this was the last handle — params are often
+    /// slices of buffers owned elsewhere) — a steady-state call
+    /// allocates nothing on the way out.
     fn encode_request(&self, cap: &Capability, command: u32, params: Bytes) -> Bytes {
         let req = Request {
             cap: *cap,
@@ -470,7 +474,7 @@ impl ServiceClient {
         let pool = self.rpc.buf_pool();
         let mut buf = pool.take();
         req.encode_into(&mut buf);
-        pool.retire(req.params);
+        pool.release(req.params);
         buf.freeze()
     }
 

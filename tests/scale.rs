@@ -607,6 +607,21 @@ fn hot_path_codec_cuts_allocs_5x_and_oneway_evals_10x() {
         legacy.frames,
         fast.frames,
     );
+    // The lock-free demux bar: once warm, a transaction takes zero
+    // fleet-metered hot-mutex acquisitions — the slot table, pooled
+    // mailboxes and thread-local buffer caches leave nothing to lock.
+    // (The meter covers the fleet's shared BufPool spill queues, demux
+    // overflow, batch accumulators and the lease broker; channel and
+    // simulator internals are out of scope — see `amoeba_net::sync`.)
+    assert_eq!(
+        fast.hot_locks,
+        0,
+        "steady-state transactions must be lock-free: {} hot-lock \
+         acquisitions over {} ops ({:.2}/op)",
+        fast.hot_locks,
+        fast.ops,
+        fast.locks_per_op(),
+    );
 }
 
 #[test]
