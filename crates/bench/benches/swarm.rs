@@ -1,0 +1,321 @@
+//! The million-client swarm: an open-loop latency bench in *modeled*
+//! time, on the deterministic simulation executor.
+//!
+//! The paper's performance story (§4) is measured with a handful of
+//! real machines; the question a transaction-layer design actually has
+//! to answer is what the latency distribution looks like when a large
+//! population shares a small service fleet. Threads cannot answer it —
+//! 10⁵ clients do not fit in a process, and wall-clock scheduling
+//! noise would drown the distribution anyway. The simulation executor
+//! can: every arrival, transmission and reply is an exact event on the
+//! virtual timeline, so a single process models a hundred thousand
+//! clients against a sharded echo cluster and reads p50/p99/p999
+//! straight off the modeled clock.
+//!
+//! Shape: `SWARM_SHARDS` single-machine echo services, each on its own
+//! port; `SWARM_DRIVERS` driver actors, each owning one RPC client
+//! endpoint; `SWARM_CLIENTS` logical clients, each contributing one
+//! transaction at a seeded arrival time drawn uniformly from the
+//! modeled window (~50 µs of window per client, floor 500 ms — an
+//! open-loop Poisson-ish offered load, arrivals do not wait for
+//! completions). A driver serves its arrival queue serially, so
+//! latency = completion − *scheduled arrival* includes driver queueing
+//! — the open-loop convention that makes tails honest.
+//!
+//! The criterion group times a small-population run for trend
+//! tracking; the headline pass runs the full population once and
+//! writes `BENCH_swarm.json` (override with `BENCH_SWARM_OUT`):
+//! populations, completion counts, modeled p50/p99/p999 µs, modeled vs
+//! wall elapsed, and the event-schedule fingerprint (two runs of one
+//! seed must produce the same one — CI replays it).
+
+use amoeba_net::{ActorPoll, Network, Port, SimExecutor, Timestamp};
+use amoeba_rpc::{Client, Completion, RpcConfig, RpcError};
+use amoeba_server::proto::{null_cap, Reply, Request, Status};
+use amoeba_server::{RequestCtx, Service, SimPump};
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SWARM_SEED: u64 = 0x5AA2_30CF_0000_0001;
+/// One-way wire latency: 1 ms, so an uncontended echo RTT is 2 ms.
+const WIRE_LATENCY: Duration = Duration::from_millis(1);
+/// Modeled window scale: ~50 µs of arrival window per logical client.
+const WINDOW_PER_CLIENT: Duration = Duration::from_micros(50);
+const MIN_WINDOW: Duration = Duration::from_millis(500);
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Replies to every request with an empty body — the swarm measures
+/// the transaction layer and the schedule, not a service's work.
+struct NopService;
+
+impl Service for NopService {
+    fn handle(&self, _req: &Request, _ctx: &RequestCtx) -> Reply {
+        Reply::ok(Bytes::new())
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn shard_port(s: usize) -> Port {
+    Port::new(0x5A12_0000 + s as u64).expect("shard port")
+}
+
+/// One logical client's scheduled transaction.
+#[derive(Clone, Copy)]
+struct Arrival {
+    at: Timestamp,
+    shard: usize,
+}
+
+#[derive(Debug, Default)]
+struct SwarmTally {
+    /// Modeled latencies, µs, one per completed transaction.
+    latencies_us: Vec<u64>,
+    timeouts: u64,
+}
+
+#[derive(Debug)]
+struct SwarmReport {
+    clients: usize,
+    shards: usize,
+    drivers: usize,
+    completed: u64,
+    timeouts: u64,
+    sim_elapsed: Duration,
+    wall: Duration,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    events: u64,
+    event_hash: u64,
+}
+
+fn percentile(sorted: &[u64], per_mille: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * per_mille).div_ceil(1000);
+    sorted[(rank.max(1) as usize - 1).min(sorted.len() - 1)]
+}
+
+/// Runs one seeded swarm and returns its report. Deterministic: the
+/// same `(seed, clients, shards, drivers)` produces the same event
+/// fingerprint and the same percentiles, byte for byte.
+fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmReport {
+    let wall0 = std::time::Instant::now();
+    let net = Network::new_sim(seed);
+    net.set_latency(WIRE_LATENCY);
+
+    let pumps: Vec<Arc<SimPump>> = (0..shards)
+        .map(|s| Arc::new(SimPump::bind(net.attach_open(), shard_port(s), NopService)))
+        .collect();
+    let shard_ports: Vec<Port> = pumps.iter().map(|p| p.put_port()).collect();
+
+    // Seeded open-loop arrival schedule, dealt round-robin to drivers
+    // and sorted per driver (a driver serves its queue in time order).
+    let window = WINDOW_PER_CLIENT * clients as u32;
+    let window = if window < MIN_WINDOW {
+        MIN_WINDOW
+    } else {
+        window
+    };
+    let mut rng = seed ^ 0x5AA2_A221_7A15_0000;
+    let mut queues: Vec<Vec<Arrival>> = vec![Vec::new(); drivers];
+    for i in 0..clients {
+        let at =
+            Timestamp::ZERO + Duration::from_nanos(splitmix64(&mut rng) % window.as_nanos() as u64);
+        let shard = (splitmix64(&mut rng) % shards as u64) as usize;
+        queues[i % drivers].push(Arrival { at, shard });
+    }
+    for q in &mut queues {
+        q.sort_unstable_by_key(|a| a.at);
+    }
+
+    // The request body is identical for every transaction (the reply
+    // port, not the payload, disambiguates) — encode it once.
+    let body = {
+        let req = Request {
+            cap: null_cap(),
+            command: 0x5A12,
+            params: Bytes::new(),
+        };
+        let mut buf = BytesMut::new();
+        req.encode_into(&mut buf);
+        buf.freeze()
+    };
+
+    let arena: Vec<Client> = (0..drivers)
+        .map(|_| {
+            Client::with_config(
+                net.attach_open(),
+                RpcConfig {
+                    timeout: Duration::from_millis(250),
+                    attempts: 4,
+                },
+            )
+            .with_rng_seed(splitmix64(&mut rng))
+        })
+        .collect();
+
+    let tally = Rc::new(RefCell::new(SwarmTally::default()));
+    let mut exec = SimExecutor::new(&net);
+    for pump in &pumps {
+        let pump = Arc::clone(pump);
+        exec.spawn_daemon(pump.machine(), move || {
+            if pump.poll() {
+                ActorPoll::Progress
+            } else {
+                ActorPoll::Idle
+            }
+        });
+    }
+    for (d, client) in arena.iter().enumerate() {
+        let tally = Rc::clone(&tally);
+        let queue = std::mem::take(&mut queues[d]);
+        let ports = shard_ports.clone();
+        let body = body.clone();
+        let net = net.clone();
+        let mut next = 0usize;
+        let mut current: Option<(Completion<'_, Bytes>, Timestamp)> = None;
+        exec.spawn(client.endpoint().id(), move || loop {
+            if let Some((comp, arrival)) = current.as_mut() {
+                match comp.poll() {
+                    Some(Ok(raw)) => {
+                        let reply = Reply::decode(&raw).expect("echo reply decodes");
+                        assert_eq!(reply.status, Status::Ok);
+                        let lat = net.now().saturating_duration_since(*arrival);
+                        tally.borrow_mut().latencies_us.push(lat.as_micros() as u64);
+                        current = None;
+                        next += 1;
+                    }
+                    Some(Err(RpcError::Timeout)) => {
+                        // Quiet plan: a timeout here is driver overload,
+                        // not loss. Count it and retry the same arrival
+                        // (its latency keeps accruing — open loop).
+                        tally.borrow_mut().timeouts += 1;
+                        let arrival = *arrival;
+                        let comp = client.trans_async(ports[queue[next].shard], body.clone());
+                        current = Some((comp, arrival));
+                    }
+                    Some(Err(e)) => panic!("swarm driver {d}: {e}"),
+                    None => return ActorPoll::IdleUntil(comp.deadline()),
+                }
+            } else if next == queue.len() {
+                return ActorPoll::Done;
+            } else {
+                let a = queue[next];
+                if net.now() < a.at {
+                    return ActorPoll::IdleUntil(a.at);
+                }
+                let comp = client.trans_async(ports[a.shard], body.clone());
+                current = Some((comp, a.at));
+            }
+        });
+    }
+    exec.run()
+        .unwrap_or_else(|stall| panic!("swarm stalled: {stall}"));
+    drop(exec);
+    let sim_elapsed = net.now().since_epoch();
+    let (event_hash, events) = net.sim_fingerprint();
+    drop(arena);
+
+    let mut tally = Rc::try_unwrap(tally).expect("actors dropped").into_inner();
+    tally.latencies_us.sort_unstable();
+    SwarmReport {
+        clients,
+        shards,
+        drivers,
+        completed: tally.latencies_us.len() as u64,
+        timeouts: tally.timeouts,
+        sim_elapsed,
+        wall: wall0.elapsed(),
+        p50_us: percentile(&tally.latencies_us, 500),
+        p99_us: percentile(&tally.latencies_us, 990),
+        p999_us: percentile(&tally.latencies_us, 999),
+        events,
+        event_hash,
+    }
+}
+
+fn report_json(r: &SwarmReport, seed: u64) -> String {
+    format!(
+        "{{\n  \"workload\": \"open-loop swarm vs sharded echo cluster\",\n  \
+         \"seed\": {seed},\n  \"clients\": {},\n  \"shards\": {},\n  \
+         \"drivers\": {},\n  \"completed\": {},\n  \"timeouts\": {},\n  \
+         \"sim_elapsed_ms\": {},\n  \"wall_ms\": {},\n  \"p50_us\": {},\n  \
+         \"p99_us\": {},\n  \"p999_us\": {},\n  \"events\": {},\n  \
+         \"event_hash\": {}\n}}\n",
+        r.clients,
+        r.shards,
+        r.drivers,
+        r.completed,
+        r.timeouts,
+        r.sim_elapsed.as_millis(),
+        r.wall.as_millis(),
+        r.p50_us,
+        r.p99_us,
+        r.p999_us,
+        r.events,
+        r.event_hash,
+    )
+}
+
+fn report_headline_numbers() {
+    let clients = env_usize("SWARM_CLIENTS", 100_000);
+    let shards = env_usize("SWARM_SHARDS", 8);
+    let drivers = env_usize("SWARM_DRIVERS", 64);
+    let r = run_swarm(SWARM_SEED, clients, shards, drivers);
+    assert_eq!(
+        r.completed, r.clients as u64,
+        "every logical client's transaction must complete"
+    );
+    println!(
+        "swarm: {} clients / {} shards / {} drivers — modeled p50 {} µs, \
+         p99 {} µs, p999 {} µs ({} modeled ms in {} wall ms, {} events)",
+        r.clients,
+        r.shards,
+        r.drivers,
+        r.p50_us,
+        r.p99_us,
+        r.p999_us,
+        r.sim_elapsed.as_millis(),
+        r.wall.as_millis(),
+        r.events,
+    );
+    let out = std::env::var("BENCH_SWARM_OUT").unwrap_or_else(|_| "BENCH_swarm.json".into());
+    match std::fs::write(&out, report_json(&r, SWARM_SEED)) {
+        Ok(()) => println!("swarm: wrote {out}"),
+        Err(e) => println!("swarm: could not write {out}: {e}"),
+    }
+}
+
+fn bench_swarm(c: &mut Criterion) {
+    let mut g = amoeba_bench::net_group(c, "swarm");
+    g.sample_size(10);
+    // A small population for the timed trend line; the headline run
+    // below models the full population once.
+    g.bench_function("open-loop/2k-clients", |b| {
+        b.iter(|| run_swarm(SWARM_SEED, 2_000, 8, 64))
+    });
+    g.finish();
+    report_headline_numbers();
+}
+
+criterion_group!(benches, bench_swarm);
+criterion_main!(benches);

@@ -41,8 +41,10 @@
 mod registry;
 mod replicated;
 mod sharded;
+mod sim;
 
 pub use amoeba_rpc::{PlacementPolicy, Replica};
 pub use registry::ClusterRegistry;
 pub use replicated::{ClusterClient, HealthProber, ServiceCluster};
 pub use sharded::{range_capability, ShardedClient, ShardedCluster};
+pub use sim::SimReplicaSet;

@@ -52,14 +52,21 @@ mod nic;
 mod packet;
 mod pool;
 mod reactor;
+mod sim;
 mod stats;
 mod sync;
 
 pub use addr::{MachineId, Port};
-pub use network::{Endpoint, Network, RecvError};
+pub use network::{Endpoint, Network, RecvError, SimRelease};
 pub use nic::{NetworkInterface, OpenNic};
 pub use packet::{Header, Packet};
 pub use pool::BufPool;
-pub use reactor::{Clock, Gate, Reactor, Timestamp, VirtualClock, WallClock, QUIESCENCE_GRACE};
+pub use reactor::{
+    Clock, Gate, Reactor, SimClock, Timestamp, VirtualClock, WallClock, QUIESCENCE_GRACE,
+};
+pub use sim::{
+    ActorPoll, CrashWindow, FaultCounters, FaultPlan, PartitionWindow, SimExecutor, SimStall,
+    SEED_PLAN_TARGETS,
+};
 pub use stats::{HotPathSnapshot, NetworkStats};
 pub use sync::{hot_lock_acquisitions, HotMutex, HotMutexGuard, LockMeter};

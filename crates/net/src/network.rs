@@ -32,7 +32,8 @@
 use crate::addr::{MachineId, Port};
 use crate::nic::{NetworkInterface, OpenNic};
 use crate::packet::{Header, Packet};
-use crate::reactor::{Clock, Reactor, Timestamp};
+use crate::reactor::{Clock, Reactor, SimClock, SimSource, Timestamp};
+use crate::sim::{FaultCounters, FaultPlan, SimController};
 use crate::stats::{HotPathSnapshot, NetworkStats};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
@@ -41,7 +42,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 struct MachineEntry {
@@ -69,6 +70,11 @@ struct NetworkInner {
     drop_rate_bits: AtomicU64,
     rng: Mutex<StdRng>,
     stats: NetworkStats,
+    /// The deterministic-simulation controller, present only on
+    /// networks built with [`Network::new_sim`]. When set, every send
+    /// is parked in its schedule instead of entering machine queues
+    /// directly, and the seeded fault plan is applied at this gate.
+    sim: Option<Arc<SimController>>,
 }
 
 /// A simulated broadcast network.
@@ -120,6 +126,10 @@ impl Network {
     }
 
     fn with_reactor(reactor: Arc<Reactor>) -> Network {
+        Self::with_parts(reactor, None)
+    }
+
+    fn with_parts(reactor: Arc<Reactor>, sim: Option<Arc<SimController>>) -> Network {
         Network {
             inner: Arc::new(NetworkInner {
                 reactor,
@@ -132,8 +142,32 @@ impl Network {
                 drop_rate_bits: AtomicU64::new(0),
                 rng: Mutex::new(StdRng::seed_from_u64(0x0A11_0E8A)),
                 stats: NetworkStats::default(),
+                sim,
             }),
         }
+    }
+
+    /// Creates an empty network in **deterministic simulation** mode
+    /// with a fault-free plan: a [`SimClock`] timeline, centrally
+    /// ordered deliveries with seeded tie-breaking, and every source
+    /// of scheduling nondeterminism pinned to `seed`. Drive it with a
+    /// [`SimExecutor`](crate::SimExecutor), or let blocking receives
+    /// advance it one delivery at a time.
+    pub fn new_sim(seed: u64) -> Network {
+        Self::new_sim_with_plan(seed, FaultPlan::quiet())
+    }
+
+    /// As [`new_sim`](Network::new_sim), with a seeded [`FaultPlan`]
+    /// applied at the delivery gate (loss, duplication, delay spikes,
+    /// reorder jitter, partitions, machine crash windows).
+    pub fn new_sim_with_plan(seed: u64, plan: FaultPlan) -> Network {
+        let reactor = Reactor::new(Arc::new(SimClock::new()));
+        let sim = Arc::new(SimController::new(seed, plan));
+        let net = Self::with_parts(reactor, Some(sim));
+        net.inner.reactor.set_sim_source(Arc::new(SimHook {
+            net: Arc::downgrade(&net.inner),
+        }));
+        net
     }
 
     /// The network's reactor (scheduler + clock).
@@ -314,7 +348,14 @@ impl Network {
             );
         }
 
-        let drop_rate = f64::from_bits(self.inner.drop_rate_bits.load(Ordering::Relaxed));
+        // The legacy probabilistic drop knob draws from a shared RNG;
+        // in simulation mode loss comes from the seeded fault plan
+        // instead, so the knob is ignored for reproducibility.
+        let drop_rate = if self.inner.sim.is_some() {
+            0.0
+        } else {
+            f64::from_bits(self.inner.drop_rate_bits.load(Ordering::Relaxed))
+        };
         if drop_rate > 0.0 && self.inner.rng.lock().gen::<f64>() < drop_rate {
             stats.packets_dropped.fetch_add(1, Ordering::Relaxed);
             return 0;
@@ -341,6 +382,10 @@ impl Network {
                     let _ = tap.send(pkt.clone());
                 }
             }
+        }
+
+        if let Some(sim) = &self.inner.sim {
+            return self.send_sim(sim, from, header, payload, now, latency);
         }
 
         let machines = self.inner.machines.read();
@@ -377,7 +422,7 @@ impl Network {
             let gate = self
                 .inner
                 .reactor
-                .is_virtual()
+                .uses_gates()
                 .then(|| self.inner.reactor.register_gate(deliver_at));
             let pkt = Packet {
                 source: from,
@@ -408,11 +453,245 @@ impl Network {
         delivered
     }
 
+    /// The simulation-mode transmit path: applies the same recipient
+    /// filters as the live path, then offers each copy to the seeded
+    /// fault gate instead of the machine queues. Recipients are
+    /// visited in `MachineId` order — the live path's `HashMap`
+    /// iteration order is the kind of nondeterminism the simulation
+    /// exists to eliminate. Returns how many recipients had at least
+    /// one copy parked in the schedule.
+    fn send_sim(
+        &self,
+        sim: &Arc<SimController>,
+        from: MachineId,
+        header: Header,
+        payload: Bytes,
+        now: Timestamp,
+        latency: Duration,
+    ) -> usize {
+        let stats = &self.inner.stats;
+        let machines = self.inner.machines.read();
+        let colocated = self.inner.colocated.read();
+        let partitioned = self.inner.partitioned.read();
+        let mut recipients: Vec<MachineId> = Vec::new();
+        for (&id, entry) in machines.iter() {
+            if id == from {
+                continue;
+            }
+            if !header.dest.is_broadcast() && header.target.is_some_and(|t| t != id) {
+                continue;
+            }
+            if !header.dest.is_broadcast() && !entry.nic.accepts(header.dest) {
+                stats.packets_filtered.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if partitioned.contains(&(from, id)) {
+                stats.packets_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            recipients.push(id);
+        }
+        recipients.sort_unstable();
+        let mut parked = 0;
+        for id in recipients {
+            let deliver_at = if colocated.contains(&(from, id)) {
+                now
+            } else {
+                now + latency
+            };
+            let pkt = Packet {
+                source: from,
+                header,
+                // Must clone: fan-out shares the one payload buffer.
+                payload: payload.clone(),
+                deliver_at,
+                // Sim packets are never gated: ordering is enforced
+                // centrally by the controller's release schedule.
+                gate: None,
+            };
+            if sim.offer(now, id, pkt) {
+                parked += 1;
+            } else {
+                stats.packets_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        drop(machines);
+        drop(colocated);
+        drop(partitioned);
+        self.inner.reactor.notify();
+        parked
+    }
+
+    /// Whether this network runs in deterministic simulation mode.
+    pub fn is_sim(&self) -> bool {
+        self.inner.sim.is_some()
+    }
+
+    /// Whether this network may deliver **more than one copy** of a
+    /// transmitted frame (a simulation fault plan with duplication).
+    /// Layers above consult this to disable optimizations whose
+    /// soundness rests on at-most-once delivery — reply-port recycling
+    /// reasons "one transmit to one machine ⇒ at most one reply",
+    /// which a duplicating wire falsifies.
+    pub fn may_duplicate(&self) -> bool {
+        self.inner
+            .sim
+            .as_deref()
+            .is_some_and(SimController::duplicates)
+    }
+
+    fn sim(&self) -> &Arc<SimController> {
+        self.inner
+            .sim
+            .as_ref()
+            .expect("not a simulation network (use Network::new_sim)")
+    }
+
+    /// The simulation seed.
+    ///
+    /// # Panics
+    /// Panics (like every `sim_*` accessor) on a non-sim network.
+    pub fn sim_seed(&self) -> u64 {
+        self.sim().seed()
+    }
+
+    /// Binds fault-target index `index` of the [`FaultPlan`] to a
+    /// machine. Plan windows naming unbound indices are inert, so a
+    /// harness chooses which machines a seeded plan may victimise.
+    pub fn sim_bind_fault_target(&self, index: usize, machine: MachineId) {
+        self.sim().bind_target(index, machine);
+    }
+
+    /// Schedules an explicit crash/restart window for `machine` (in
+    /// addition to any windows in the plan).
+    pub fn sim_crash(&self, machine: MachineId, from: Timestamp, until: Timestamp) {
+        self.sim().crash_machine(machine, from, until);
+    }
+
+    /// The end of the crash window covering `machine` at `t`, if any.
+    pub fn sim_down_until(&self, machine: MachineId, t: Timestamp) -> Option<Timestamp> {
+        self.sim().down_until(machine, t)
+    }
+
+    /// Whether `machine` is inside a crash window at `t`.
+    pub fn sim_is_down(&self, machine: MachineId, t: Timestamp) -> bool {
+        self.sim_down_until(machine, t).is_some()
+    }
+
+    /// The instant of the earliest parked delivery, if any.
+    pub fn sim_next_delivery_at(&self) -> Option<Timestamp> {
+        self.sim().next_at()
+    }
+
+    /// Releases the earliest parked delivery: advances the timeline to
+    /// its instant and pushes the packet into the target machine's
+    /// queue (unless the target crashed or detached in the meantime —
+    /// then the in-flight frame is gone).
+    pub fn sim_release_next(&self) -> SimRelease {
+        let Some((at, target, pkt)) = self.sim().pop_next() else {
+            return SimRelease::Idle;
+        };
+        self.inner.reactor.advance_to(at);
+        let Some(pkt) = pkt else {
+            self.inner
+                .stats
+                .packets_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner.reactor.notify();
+            return SimRelease::Dropped { at };
+        };
+        let delivered = {
+            let machines = self.inner.machines.read();
+            machines
+                .get(&target)
+                .is_some_and(|entry| entry.sender.send(pkt).is_ok())
+        };
+        self.inner.reactor.notify();
+        if delivered {
+            self.inner
+                .stats
+                .packets_delivered
+                .fetch_add(1, Ordering::Relaxed);
+            SimRelease::Delivered { at, to: target }
+        } else {
+            self.inner
+                .stats
+                .packets_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            SimRelease::Dropped { at }
+        }
+    }
+
+    /// The run's event fingerprint: `(fnv1a_hash, event_count)` over
+    /// every schedule event so far. Equal fingerprints for equal seeds
+    /// is the determinism contract CI asserts.
+    pub fn sim_fingerprint(&self) -> (u64, u64) {
+        self.sim().fingerprint()
+    }
+
+    /// Cumulative fault-injection counters.
+    pub fn sim_fault_counters(&self) -> FaultCounters {
+        self.sim().counters()
+    }
+
+    /// Starts (or stops) recording the raw event log for byte-identical
+    /// comparison between runs. Recording resets any previous log.
+    pub fn sim_record_log(&self, on: bool) {
+        self.sim().record_log(on);
+    }
+
+    /// Takes the recorded event log (empty if recording was off).
+    pub fn sim_take_log(&self) -> Vec<u8> {
+        self.sim().take_log()
+    }
+
     fn detach(&self, id: MachineId) {
         self.inner.machines.write().remove(&id);
         // Parked receivers of the detached endpoint observe the
         // disconnect on their next poll.
         self.inner.reactor.notify();
+    }
+}
+
+/// The outcome of [`Network::sim_release_next`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimRelease {
+    /// The earliest delivery landed in `to`'s queue at instant `at`.
+    Delivered {
+        /// The delivery instant the timeline advanced to.
+        at: Timestamp,
+        /// The receiving machine.
+        to: MachineId,
+    },
+    /// The earliest delivery was consumed but not delivered (target
+    /// crashed mid-flight or detached).
+    Dropped {
+        /// The instant the timeline advanced to.
+        at: Timestamp,
+    },
+    /// Nothing was pending.
+    Idle,
+}
+
+/// Bridges the reactor's deterministic park branch to the simulation
+/// controller: a parked thread with no earlier deadline asks the
+/// network to release the next scheduled delivery.
+struct SimHook {
+    net: Weak<NetworkInner>,
+}
+
+impl SimSource for SimHook {
+    fn next_delivery_at(&self) -> Option<Timestamp> {
+        let inner = self.net.upgrade()?;
+        inner.sim.as_ref()?.next_at()
+    }
+
+    fn release_next(&self) -> bool {
+        let Some(inner) = self.net.upgrade() else {
+            return false;
+        };
+        let net = Network { inner };
+        !matches!(net.sim_release_next(), SimRelease::Idle)
     }
 }
 

@@ -109,6 +109,17 @@ pub trait Clock: Send + Sync + fmt::Debug + 'static {
     /// (wall).
     fn is_virtual(&self) -> bool;
 
+    /// Whether this clock belongs to the **deterministic simulation
+    /// executor** ([`SimClock`]): a single-threaded timeline with no
+    /// grace/patience heuristics and no delivery gates. Every
+    /// real-time wait in the reactor is bypassed for such clocks —
+    /// progress comes exclusively from releasing the simulation
+    /// controller's next pending delivery or jumping straight to the
+    /// next timeline deadline.
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+
     /// Attempts to move the timeline forward to `t` without waiting.
     /// Returns `true` if the clock jumped (virtual clocks; a no-op
     /// when `t` is already past), `false` if the caller must physically
@@ -202,6 +213,70 @@ impl Clock for VirtualClock {
     }
 }
 
+/// The deterministic simulation clock: an atomic-nanosecond timeline
+/// like [`VirtualClock`], but flagged [`Clock::is_deterministic`] so
+/// the reactor takes the exact single-threaded paths — no quiescence
+/// grace, no far-jump confirmation, no gate patience, no real-time
+/// waits of any kind. Two runs over the same seed produce the same
+/// timeline, event for event. Construct networks on it with
+/// [`Network::new_sim`](crate::Network::new_sim).
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+}
+
+impl SimClock {
+    /// A deterministic simulation clock at the epoch.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Timestamp {
+        Timestamp(Duration::from_nanos(self.nanos.load(Ordering::Acquire)))
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    fn try_jump_to(&self, t: Timestamp) -> bool {
+        let target = t.0.as_nanos().min(u64::MAX as u128) as u64;
+        let _ = self
+            .nanos
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur < target).then_some(target)
+            });
+        true
+    }
+
+    fn real_instant(&self, _t: Timestamp) -> Option<Instant> {
+        None
+    }
+}
+
+/// The deterministic executor's hook into the reactor: the network's
+/// simulation controller exposes its earliest pending delivery so a
+/// thread parked inside [`Reactor::park_until`] can release it (and
+/// thereby make progress) instead of waiting out a real-time grace.
+/// Registered once by `Network::new_sim`; only consulted under a
+/// deterministic clock.
+pub(crate) trait SimSource: Send + Sync {
+    /// The timeline instant of the earliest pending (not yet released)
+    /// delivery, if any.
+    fn next_delivery_at(&self) -> Option<Timestamp>;
+
+    /// Releases the earliest pending delivery into its destination
+    /// machine's queue, advancing the clock to its instant. Returns
+    /// `false` if nothing was pending.
+    fn release_next(&self) -> bool;
+}
+
 /// How long a parked thread waits without observing any reactor event
 /// before declaring the system quiescent and advancing a
 /// [`VirtualClock`] to the next pending deadline. See the module docs
@@ -286,6 +361,9 @@ pub struct Reactor {
     /// skip the lock entirely on the (wall-clock hot path) common case
     /// of nobody waiting.
     waiters: AtomicUsize,
+    /// The deterministic executor's delivery source (set once by
+    /// `Network::new_sim`, never on wall/virtual networks).
+    sim_source: std::sync::OnceLock<Arc<dyn SimSource>>,
 }
 
 impl fmt::Debug for Reactor {
@@ -305,6 +383,7 @@ impl Reactor {
             state: Mutex::new(ReactorState::default()),
             cv: Condvar::new(),
             waiters: AtomicUsize::new(0),
+            sim_source: std::sync::OnceLock::new(),
         })
     }
 
@@ -331,6 +410,27 @@ impl Reactor {
     /// Whether the timeline is virtual.
     pub fn is_virtual(&self) -> bool {
         self.clock.is_virtual()
+    }
+
+    /// Whether the timeline belongs to the deterministic simulation
+    /// executor (see [`SimClock`]).
+    pub fn is_deterministic(&self) -> bool {
+        self.clock.is_deterministic()
+    }
+
+    /// Whether enqueued packets should carry delivery gates. Gates
+    /// keep concurrent OS threads causally ordered under the
+    /// cooperative virtual clock; the deterministic executor is
+    /// single-threaded and orders deliveries centrally, so gating it
+    /// would only add real-time patience waits nobody needs.
+    pub fn uses_gates(&self) -> bool {
+        self.clock.is_virtual() && !self.clock.is_deterministic()
+    }
+
+    /// Registers the deterministic executor's delivery source. First
+    /// registration wins; called once per network by `new_sim`.
+    pub(crate) fn set_sim_source(&self, source: Arc<dyn SimSource>) {
+        let _ = self.sim_source.set(source);
     }
 
     fn lock(&self) -> MutexGuard<'_, ReactorState> {
@@ -475,7 +575,7 @@ impl Reactor {
     /// final consumer [`deliver`](Self::deliver)s it. No-op under a
     /// wall clock.
     pub fn regate(&self, pkt: &mut crate::Packet) {
-        if self.is_virtual() {
+        if self.uses_gates() {
             pkt.gate = Some(self.register_gate(pkt.deliver_at()));
         }
     }
@@ -515,6 +615,41 @@ impl Reactor {
             let now = self.clock.now();
             if deadline.is_some_and(|d| now >= d) {
                 break None;
+            }
+            if self.clock.is_deterministic() {
+                // The deterministic executor: single-threaded, so the
+                // quiescence grace, far-jump confirmation and gate
+                // patience below would be pure real-time sleeps that
+                // nothing can interrupt. Progress instead comes from
+                // releasing the simulation controller's earliest
+                // pending delivery, or jumping straight to the next
+                // registered deadline — exact virtual time, zero
+                // heuristics.
+                let next_delivery = self.sim_source.get().and_then(|s| s.next_delivery_at());
+                let next_sleeper = state.sleepers.iter().map(|&(t, _)| t).find(|&t| t > now);
+                let release = match (next_delivery, next_sleeper) {
+                    (Some(d), Some(s)) => d <= s,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => panic!(
+                        "deterministic reactor stalled: parked with no pending \
+                         deliveries or deadlines (an actor blocked on an event \
+                         that can never arrive)"
+                    ),
+                };
+                if release {
+                    let source = Arc::clone(self.sim_source.get().expect("checked above"));
+                    // Releasing pushes into a machine queue and
+                    // notifies this reactor; the state lock must not
+                    // be held across it.
+                    drop(state);
+                    let _ = source.release_next();
+                    state = self.lock();
+                } else if let Some(t) = next_sleeper {
+                    self.clock.try_jump_to(t);
+                    self.cv.notify_all();
+                }
+                continue;
             }
             if self.clock.is_virtual() {
                 let seen = state.events;

@@ -329,6 +329,16 @@ impl Client {
         }
     }
 
+    /// Builder knob: pins the client's reply-port/request-id RNG
+    /// stream to a seed. Every port mint and request id becomes a
+    /// deterministic function of the seed — required for reproducible
+    /// runs under the deterministic simulation executor, where the
+    /// default entropy seeding would diverge between replays.
+    pub fn with_rng_seed(mut self, seed: u64) -> Client {
+        *self.rng_state.get_mut() = seed;
+        self
+    }
+
     /// Builder knob: replaces the hot-path codec configuration (frame
     /// pooling, reply-port recycling). See [`CodecConfig`].
     pub fn with_codec(mut self, codec: CodecConfig) -> Client {
@@ -929,6 +939,14 @@ impl<T> std::fmt::Debug for Completion<'_, T> {
 }
 
 impl<T> Completion<'_, T> {
+    /// The current attempt's retransmission deadline. A poll-driven
+    /// caller (the deterministic simulation executor's actors) that
+    /// got `None` from [`poll`](Self::poll) need not be polled again
+    /// until a packet arrives or the timeline reaches this instant.
+    pub fn deadline(&self) -> Timestamp {
+        self.attempt_deadline
+    }
+
     /// Transmits one attempt and arms its retransmission deadline.
     fn transmit(&mut self) {
         self.attempts_left -= 1;
@@ -1091,7 +1109,14 @@ impl<T> Drop for Completion<'_, T> {
         match self.binding {
             Binding::Slot(token) => {
                 let unicast = self.header.target.is_some() && !self.header.dest.is_broadcast();
-                let clean = self.completed && self.transmits == 1 && unicast;
+                // "One transmit, one machine ⇒ at most one reply" is
+                // only a theorem on a network that never duplicates
+                // frames. A simulation fault plan that duplicates can
+                // turn one targeted request into two served requests —
+                // two replies — so recycling is unsound there and every
+                // port burns.
+                let at_most_once = !self.client.endpoint.network().may_duplicate();
+                let clean = self.completed && self.transmits == 1 && unicast && at_most_once;
                 if clean
                     && self.client.codec.recycle_reply_ports
                     && self

@@ -310,7 +310,7 @@ impl ServerPort {
     fn ready_gate(&self, pkt: &amoeba_net::Packet) -> Option<Gate> {
         let reactor = self.endpoint.reactor();
         reactor
-            .is_virtual()
+            .uses_gates()
             .then(|| reactor.register_gate(pkt.deliver_at()))
     }
 

@@ -68,6 +68,7 @@ pub mod proto;
 mod reactor_pool;
 pub mod sealed;
 mod service;
+mod sim_pump;
 mod table;
 pub mod wire;
 
@@ -76,4 +77,5 @@ pub use principals::PrincipalRegistry;
 pub use reactor_pool::{ReactorPool, MAX_BURST};
 pub use sealed::{SealedServiceClient, SealedServiceRunner};
 pub use service::{ClientError, RequestCtx, Service, ServiceClient, ServiceRunner};
+pub use sim_pump::SimPump;
 pub use table::{placement_range, ObjectTable, ServerError, DEFAULT_SHARDS};

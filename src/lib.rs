@@ -60,7 +60,7 @@ pub mod prelude {
     pub use amoeba_cap::{CapError, Capability, ObjectNum, Rights};
     pub use amoeba_cluster::{
         ClusterClient, ClusterRegistry, HealthProber, PlacementPolicy, ServiceCluster,
-        ShardedClient, ShardedCluster,
+        ShardedClient, ShardedCluster, SimReplicaSet,
     };
     pub use amoeba_crypto::oneway::{OneWay, PurdyOneWay, ShaOneWay};
     pub use amoeba_dirsvr::{DirClient, DirServer};
@@ -69,8 +69,9 @@ pub mod prelude {
     pub use amoeba_memsvr::{MemClient, MemServer, ProcState};
     pub use amoeba_mvfs::{MvfsClient, MvfsServer};
     pub use amoeba_net::{
-        BufPool, Clock, Endpoint, Header, HotPathSnapshot, MachineId, Network, Port, Reactor,
-        Timestamp, VirtualClock, WallClock,
+        ActorPoll, BufPool, Clock, CrashWindow, Endpoint, FaultCounters, FaultPlan, Header,
+        HotPathSnapshot, MachineId, Network, PartitionWindow, Port, Reactor, SimClock, SimExecutor,
+        SimStall, Timestamp, VirtualClock, WallClock,
     };
     pub use amoeba_rpc::{
         Client, CodecConfig, Locator, Matchmaker, RendezvousNode, RpcConfig, ServerPort,
@@ -78,7 +79,7 @@ pub mod prelude {
     pub use amoeba_server::proto::{Reply, Request, Status};
     pub use amoeba_server::{
         ClientError, ObjectLocks, ObjectTable, PrincipalRegistry, ReactorPool, RequestCtx,
-        SealedServiceClient, SealedServiceRunner, Service, ServiceClient, ServiceRunner,
+        SealedServiceClient, SealedServiceRunner, Service, ServiceClient, ServiceRunner, SimPump,
     };
     pub use amoeba_softprot::{
         CapSealer, ClientSession, KeyMatrix, MachineKeys, SealedCap, SecureLink, ServerBoot,

@@ -3,8 +3,16 @@
 //! any other long-lived communication structures" means recovery needs
 //! no state machinery — a retransmitted request either reaches a server
 //! or it does not.
+//!
+//! The hand-rolled schedules below are kept as smoke tests; the seeded
+//! `FaultPlan` variants at the bottom run the same failure classes
+//! through the deterministic simulation, where the schedule is exact,
+//! replayable, and adversarial (see `tests/sim_fault_plans.rs`).
+
+mod sim_support;
 
 use amoeba::prelude::*;
+use sim_support::run_scenario;
 use std::time::Duration;
 
 fn patient() -> RpcConfig {
@@ -131,4 +139,72 @@ fn mixed_loss_and_latency_with_concurrent_clients() {
         h.join().unwrap();
     }
     runner.stop();
+}
+
+// --- Seeded FaultPlan variants -------------------------------------
+//
+// The same failure classes as above, but the schedule is drawn from a
+// seed and injected at the simulated delivery gate: exact, replayable,
+// and counted. The harness itself asserts every transaction completes
+// and no reply ever aliases across transactions.
+
+/// Heavy loss as a *plan*, not a coin-flip on a live wire: every
+/// dropped frame is logged and counted, and the run is replayable.
+#[test]
+fn seeded_loss_plan_completes_every_transaction() {
+    let plan = FaultPlan {
+        loss_per_mille: 350,
+        jitter_max: Duration::from_micros(500),
+        ..FaultPlan::quiet()
+    };
+    let report = run_scenario(0xFA17_1055, plan, 3, 3, false);
+    assert!(
+        report.counters.lost > 0,
+        "a 35% loss plan must actually drop frames, got {:?}",
+        report.counters
+    );
+}
+
+/// Frame duplication at the delivery gate. The echo body canary inside
+/// the harness turns any straggler-reply aliasing into a panic, which
+/// is exactly how the sim caught the recycling bug this plan guards.
+#[test]
+fn seeded_duplication_never_aliases_replies() {
+    let plan = FaultPlan {
+        dup_per_mille: 250,
+        jitter_max: Duration::from_micros(500),
+        ..FaultPlan::quiet()
+    };
+    let report = run_scenario(0xFA17_D0B1, plan, 3, 3, false);
+    assert!(
+        report.counters.duplicated > 0,
+        "a 25% duplication plan must actually fork frames, got {:?}",
+        report.counters
+    );
+}
+
+/// A replica crashes *mid-transaction* and restarts: the window opens
+/// one network latency after the first fan-out, so replica 0 has the
+/// request on its wire (or in hand) when it dies — the frame is eaten
+/// at delivery, or the reply dies with the machine. The surviving
+/// replicas answer, the client routes around the corpse, and §2.1's
+/// statelessness under restart plays out on an exact schedule instead
+/// of a racing thread kill.
+#[test]
+fn seeded_crash_window_mid_transaction_recovers() {
+    let plan = FaultPlan {
+        jitter_max: Duration::from_micros(300),
+        crashes: vec![CrashWindow {
+            victim: 0, // replica 0 — fault targets 0..2 are the replicas
+            from: Duration::from_millis(1),
+            until: Duration::from_millis(60),
+        }],
+        ..FaultPlan::quiet()
+    };
+    let report = run_scenario(0xFA17_C4A5, plan, 3, 3, false);
+    assert!(
+        report.counters.crash_dropped > 0,
+        "the crash window must intersect live traffic, got {:?}",
+        report.counters
+    );
 }

@@ -1,8 +1,16 @@
 //! Partition tests: severed links, healing, and a soak workload that
 //! keeps every service busy while links flap.
+//!
+//! The hand-rolled `partition`/`heal` schedules below stay as smoke
+//! tests; the seeded `FaultPlan` variants at the bottom express the
+//! same cuts as deterministic [`PartitionWindow`]s at the simulated
+//! delivery gate, so the exact frames a cut eats are replayable.
+
+mod sim_support;
 
 use amoeba::prelude::*;
 use amoeba::rpc::{Matchmaker, RendezvousNode};
+use sim_support::run_scenario;
 use std::time::Duration;
 
 fn quick() -> RpcConfig {
@@ -160,3 +168,52 @@ fn soak_mixed_workload_with_flapping_link() {
     }
     runner.stop();
 }
+
+// --- Seeded FaultPlan variants -------------------------------------
+
+/// The pairwise-partition scenario as an exact plan: the first client
+/// of each wave (fault target 3) is cut from every replica (targets
+/// 0..2) for a bounded window while the other clients sail through.
+/// Once the window passes, the victim's retransmissions land and the
+/// harness's completion invariant proves the heal — the same story as
+/// `rpc_fails_during_partition_and_recovers_after_heal`, but every
+/// eaten frame is counted and the schedule replays byte for byte.
+#[test]
+fn seeded_partition_window_cuts_one_client_then_heals() {
+    let cut = |replica: usize| PartitionWindow {
+        a: replica,
+        b: 3, // the first client machine bound each wave
+        from: Duration::from_millis(1),
+        until: Duration::from_millis(80),
+    };
+    let plan = FaultPlan {
+        jitter_max: Duration::from_micros(300),
+        partitions: vec![cut(0), cut(1), cut(2)],
+        ..FaultPlan::quiet()
+    };
+    let report = run_scenario(0xFA17_9A27, plan, 3, 3, false);
+    assert!(
+        report.counters.partition_dropped > 0,
+        "the cut must eat live frames, got {:?}",
+        report.counters
+    );
+}
+
+/// Seed-derived plans (the hammer's diet) can include partition
+/// windows alongside loss and crashes; this pins one seed whose plan
+/// provably cuts a live pair, as a fast smoke for the combined path.
+#[test]
+fn seeded_plan_with_partition_window_completes() {
+    // Chosen by sweeping `FaultPlan::from_seed` for a plan with a
+    // partition window that intersects live traffic.
+    const SEED: u64 = PINNED_PARTITION_SEED;
+    let report = run_scenario(SEED, FaultPlan::from_seed(SEED), 4, 3, false);
+    assert!(
+        report.counters.partition_dropped > 0,
+        "pinned seed must exercise the partition gate, got {:?}",
+        report.counters
+    );
+}
+
+/// Found by sweep; see `seeded_plan_with_partition_window_completes`.
+const PINNED_PARTITION_SEED: u64 = 0x5EED_008C;
