@@ -29,7 +29,7 @@
 //! wall elapsed, and the event-schedule fingerprint (two runs of one
 //! seed must produce the same one — CI replays it).
 
-use amoeba_net::{ActorPoll, Network, Port, SimExecutor, Timestamp};
+use amoeba_net::{ActorPoll, Histogram, Network, Port, SimExecutor, Timestamp};
 use amoeba_rpc::{Client, Completion, RpcConfig, RpcError};
 use amoeba_server::proto::{null_cap, Reply, Request, Status};
 use amoeba_server::{RequestCtx, Service, SimPump};
@@ -102,8 +102,20 @@ struct SwarmReport {
     p50_us: u64,
     p99_us: u64,
     p999_us: u64,
+    /// The same percentiles re-derived from an `amoeba-obs` log-scale
+    /// histogram fed the identical latency stream — the cross-check
+    /// that bench percentiles and live metrics come from one code
+    /// path. Bucketed, so these carry bucket resolution, not exact
+    /// sample values.
+    hist_p50_us: u64,
+    hist_p99_us: u64,
+    hist_p999_us: u64,
     events: u64,
     event_hash: u64,
+    /// The network's live metrics registry at the end of the run
+    /// (client/server counters plus the RPC-layer latency histogram) —
+    /// exported as its own JSON document for CI.
+    metrics: amoeba_net::MetricsSnapshot,
 }
 
 fn percentile(sorted: &[u64], per_mille: u64) -> u64 {
@@ -121,6 +133,9 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
     let wall0 = std::time::Instant::now();
     let net = Network::new_sim(seed);
     net.set_latency(WIRE_LATENCY);
+    // Live metrics on: the swarm doubles as the obs layer's scale test
+    // (every transaction feeds the latency histogram and counters).
+    net.obs().enable();
 
     let pumps: Vec<Arc<SimPump>> = (0..shards)
         .map(|s| Arc::new(SimPump::bind(net.attach_open(), shard_port(s), NopService)))
@@ -174,6 +189,9 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
         .collect();
 
     let tally = Rc::new(RefCell::new(SwarmTally::default()));
+    // Fed the exact values the sampler vector records, so the two
+    // percentile paths can be cross-checked after the run.
+    let hist = Rc::new(Histogram::new());
     let mut exec = SimExecutor::new(&net);
     for pump in &pumps {
         let pump = Arc::clone(pump);
@@ -187,6 +205,7 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
     }
     for (d, client) in arena.iter().enumerate() {
         let tally = Rc::clone(&tally);
+        let hist = Rc::clone(&hist);
         let queue = std::mem::take(&mut queues[d]);
         let ports = shard_ports.clone();
         let body = body.clone();
@@ -200,7 +219,9 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
                         let reply = Reply::decode(&raw).expect("echo reply decodes");
                         assert_eq!(reply.status, Status::Ok);
                         let lat = net.now().saturating_duration_since(*arrival);
-                        tally.borrow_mut().latencies_us.push(lat.as_micros() as u64);
+                        let lat_us = lat.as_micros() as u64;
+                        hist.record(lat_us);
+                        tally.borrow_mut().latencies_us.push(lat_us);
                         current = None;
                         next += 1;
                     }
@@ -233,10 +254,34 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
     drop(exec);
     let sim_elapsed = net.now().since_epoch();
     let (event_hash, events) = net.sim_fingerprint();
+    let metrics = net.obs().snapshot().expect("obs was enabled");
     drop(arena);
 
     let mut tally = Rc::try_unwrap(tally).expect("actors dropped").into_inner();
     tally.latencies_us.sort_unstable();
+    let hist = Rc::try_unwrap(hist).expect("actors dropped");
+
+    // Cross-check: the histogram uses the same rank formula as the
+    // sorted-sample percentile, so the exact sample must fall inside
+    // the histogram bucket the same per-mille resolves to — not
+    // "close", *inside*. A divergence means the two percentile paths
+    // no longer compute the same statistic.
+    let cross = |per_mille: u64| -> u64 {
+        let exact = percentile(&tally.latencies_us, per_mille);
+        let (lo, hi) = hist
+            .percentile_bounds(per_mille)
+            .expect("histogram saw every completion");
+        assert!(
+            lo <= exact && (exact < hi || hi == u64::MAX),
+            "p{per_mille} cross-check: sampler says {exact} µs but the \
+             obs histogram bucket is [{lo}, {hi}) µs"
+        );
+        hist.percentile(per_mille).unwrap_or(0)
+    };
+    let hist_p50_us = cross(500);
+    let hist_p99_us = cross(990);
+    let hist_p999_us = cross(999);
+
     SwarmReport {
         clients,
         shards,
@@ -248,8 +293,12 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
         p50_us: percentile(&tally.latencies_us, 500),
         p99_us: percentile(&tally.latencies_us, 990),
         p999_us: percentile(&tally.latencies_us, 999),
+        hist_p50_us,
+        hist_p99_us,
+        hist_p999_us,
         events,
         event_hash,
+        metrics,
     }
 }
 
@@ -259,7 +308,8 @@ fn report_json(r: &SwarmReport, seed: u64) -> String {
          \"seed\": {seed},\n  \"clients\": {},\n  \"shards\": {},\n  \
          \"drivers\": {},\n  \"completed\": {},\n  \"timeouts\": {},\n  \
          \"sim_elapsed_ms\": {},\n  \"wall_ms\": {},\n  \"p50_us\": {},\n  \
-         \"p99_us\": {},\n  \"p999_us\": {},\n  \"events\": {},\n  \
+         \"p99_us\": {},\n  \"p999_us\": {},\n  \"hist_p50_us\": {},\n  \
+         \"hist_p99_us\": {},\n  \"hist_p999_us\": {},\n  \"events\": {},\n  \
          \"event_hash\": {}\n}}\n",
         r.clients,
         r.shards,
@@ -271,6 +321,9 @@ fn report_json(r: &SwarmReport, seed: u64) -> String {
         r.p50_us,
         r.p99_us,
         r.p999_us,
+        r.hist_p50_us,
+        r.hist_p99_us,
+        r.hist_p999_us,
         r.events,
         r.event_hash,
     )
@@ -302,6 +355,12 @@ fn report_headline_numbers() {
     match std::fs::write(&out, report_json(&r, SWARM_SEED)) {
         Ok(()) => println!("swarm: wrote {out}"),
         Err(e) => println!("swarm: could not write {out}: {e}"),
+    }
+    let metrics_out = std::env::var("BENCH_SWARM_METRICS_OUT")
+        .unwrap_or_else(|_| "BENCH_swarm_metrics.json".into());
+    match std::fs::write(&metrics_out, r.metrics.to_json()) {
+        Ok(()) => println!("swarm: wrote {metrics_out}"),
+        Err(e) => println!("swarm: could not write {metrics_out}: {e}"),
     }
 }
 

@@ -516,6 +516,20 @@ impl ClusterClient {
                     self.dead.lock().entry(port).or_default().insert(machine, 0);
                     if attempt + 1 < self.max_attempts {
                         self.failovers.fetch_add(1, Ordering::Relaxed);
+                        let endpoint = self.svc.rpc().endpoint();
+                        let obs = endpoint.obs();
+                        if obs.enabled() {
+                            obs.record(
+                                amoeba_net::EventKind::Failover,
+                                endpoint.now().since_epoch().as_nanos() as u64,
+                                0,
+                                port.value(),
+                                u64::from(machine.as_u32()),
+                            );
+                            if let Some(m) = obs.metrics() {
+                                m.failovers.add(1);
+                            }
+                        }
                     }
                     last = e;
                 }

@@ -68,5 +68,9 @@ pub use sim::{
     ActorPoll, CrashWindow, FaultCounters, FaultPlan, PartitionWindow, SimExecutor, SimStall,
     SEED_PLAN_TARGETS,
 };
-pub use stats::{HotPathSnapshot, NetworkStats};
+pub use stats::{HotPathSnapshot, NetworkStats, StatsSnapshot};
 pub use sync::{hot_lock_acquisitions, HotMutex, HotMutexGuard, LockMeter};
+
+// Observability is threaded through every layer above `net`, so the
+// transport crate re-exports the whole handle surface.
+pub use amoeba_obs::{Counter, EventKind, FlightEvent, Histogram, Metrics, MetricsSnapshot, Obs};

@@ -35,6 +35,7 @@ use crate::packet::{Header, Packet};
 use crate::reactor::{Clock, Reactor, SimClock, SimSource, Timestamp};
 use crate::sim::{FaultCounters, FaultPlan, SimController};
 use crate::stats::{HotPathSnapshot, NetworkStats};
+use amoeba_obs::Obs;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
@@ -70,6 +71,11 @@ struct NetworkInner {
     drop_rate_bits: AtomicU64,
     rng: Mutex<StdRng>,
     stats: NetworkStats,
+    /// The network's observability handle (disabled until
+    /// [`Network::obs`] + [`Obs::enable`]): shared with the reactor,
+    /// the sim controller, and every layer above via
+    /// [`Endpoint::obs`].
+    obs: Obs,
     /// The deterministic-simulation controller, present only on
     /// networks built with [`Network::new_sim`]. When set, every send
     /// is parked in its schedule instead of entering machine queues
@@ -130,6 +136,13 @@ impl Network {
     }
 
     fn with_parts(reactor: Arc<Reactor>, sim: Option<Arc<SimController>>) -> Network {
+        let obs = Obs::new();
+        // The reactor dumps the flight recorder before its stall
+        // panic; the sim controller mirrors fault verdicts into it.
+        reactor.set_obs(obs.clone());
+        if let Some(sim) = &sim {
+            sim.attach_obs(obs.clone());
+        }
         Network {
             inner: Arc::new(NetworkInner {
                 reactor,
@@ -142,6 +155,7 @@ impl Network {
                 drop_rate_bits: AtomicU64::new(0),
                 rng: Mutex::new(StdRng::seed_from_u64(0x0A11_0E8A)),
                 stats: NetworkStats::default(),
+                obs,
                 sim,
             }),
         }
@@ -274,6 +288,13 @@ impl Network {
     /// The cumulative traffic counters.
     pub fn stats(&self) -> &NetworkStats {
         &self.inner.stats
+    }
+
+    /// The network's observability handle. Disabled (zero-cost) by
+    /// default; `net.obs().enable()` switches on the flight recorder
+    /// and the metrics registry for every layer sharing this network.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Snapshots the hot-path cost counters: frames sent on this
@@ -750,6 +771,11 @@ impl Endpoint {
     /// The machine's network interface.
     pub fn nic(&self) -> &Arc<dyn NetworkInterface> {
         &self.nic
+    }
+
+    /// The network's observability handle (see [`Network::obs`]).
+    pub fn obs(&self) -> &Obs {
+        self.net.obs()
     }
 
     /// Sets this machine's advertised load gauge (an arbitrary

@@ -364,6 +364,9 @@ pub struct Reactor {
     /// The deterministic executor's delivery source (set once by
     /// `Network::new_sim`, never on wall/virtual networks).
     sim_source: std::sync::OnceLock<Arc<dyn SimSource>>,
+    /// The owning network's observability handle, for a flight-
+    /// recorder dump ahead of the deterministic-stall panic.
+    obs: std::sync::OnceLock<amoeba_obs::Obs>,
 }
 
 impl fmt::Debug for Reactor {
@@ -384,6 +387,7 @@ impl Reactor {
             cv: Condvar::new(),
             waiters: AtomicUsize::new(0),
             sim_source: std::sync::OnceLock::new(),
+            obs: std::sync::OnceLock::new(),
         })
     }
 
@@ -431,6 +435,12 @@ impl Reactor {
     /// registration wins; called once per network by `new_sim`.
     pub(crate) fn set_sim_source(&self, source: Arc<dyn SimSource>) {
         let _ = self.sim_source.set(source);
+    }
+
+    /// Shares the owning network's observability handle. First
+    /// registration wins; called once per network constructor.
+    pub(crate) fn set_obs(&self, obs: amoeba_obs::Obs) {
+        let _ = self.obs.set(obs);
     }
 
     fn lock(&self) -> MutexGuard<'_, ReactorState> {
@@ -631,11 +641,16 @@ impl Reactor {
                     (Some(d), Some(s)) => d <= s,
                     (Some(_), None) => true,
                     (None, Some(_)) => false,
-                    (None, None) => panic!(
-                        "deterministic reactor stalled: parked with no pending \
-                         deliveries or deadlines (an actor blocked on an event \
-                         that can never arrive)"
-                    ),
+                    (None, None) => {
+                        if let Some(obs) = self.obs.get() {
+                            obs.dump("deterministic reactor stalled");
+                        }
+                        panic!(
+                            "deterministic reactor stalled: parked with no pending \
+                             deliveries or deadlines (an actor blocked on an event \
+                             that can never arrive)"
+                        )
+                    }
                 };
                 if release {
                     let source = Arc::clone(self.sim_source.get().expect("checked above"));

@@ -31,6 +31,7 @@ use crate::addr::MachineId;
 use crate::network::{Network, SimRelease};
 use crate::packet::Packet;
 use crate::reactor::Timestamp;
+use amoeba_obs::{EventKind, Obs};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -208,6 +209,11 @@ struct SimState {
     /// byte-identical comparison.
     log: Option<Vec<u8>>,
     counters: FaultCounters,
+    /// The network's observability handle: every schedule event is
+    /// mirrored into the flight recorder (and fault verdicts into the
+    /// metrics) when enabled. Recording never touches the RNG, the
+    /// fingerprint, or the byte log, so determinism is unaffected.
+    obs: Obs,
 }
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -235,6 +241,31 @@ impl SimState {
         self.events += 1;
         if let Some(log) = &mut self.log {
             log.extend_from_slice(&buf);
+        }
+        if self.obs.enabled() {
+            let kind = match tag {
+                b'E' => EventKind::DeliveryGate,
+                b'L' => EventKind::Loss,
+                b'C' => EventKind::CrashDrop,
+                b'P' => EventKind::PartitionDrop,
+                b'D' => EventKind::Delivered,
+                _ => EventKind::Unknown,
+            };
+            self.obs.record(
+                kind,
+                at.since_epoch().as_nanos() as u64,
+                0,
+                pkt.header.dest.value(),
+                u64::from(target.as_u32()),
+            );
+            if let Some(m) = self.obs.metrics() {
+                match tag {
+                    b'L' => m.faults_lost.add(1),
+                    b'C' => m.faults_crash_dropped.add(1),
+                    b'P' => m.faults_partition_dropped.add(1),
+                    _ => {}
+                }
+            }
         }
     }
 
@@ -279,6 +310,29 @@ impl SimState {
         per_mille > 0 && splitmix64(&mut self.rng) % 1000 < u64::from(per_mille)
     }
 
+    /// Mirrors a spike/duplicate verdict into the flight recorder and
+    /// metrics (the loss/crash/partition verdicts piggyback on
+    /// [`record`](Self::record)'s tag mapping instead).
+    fn obs_fault(&self, kind: EventKind, at: Timestamp, target: MachineId, pkt: &Packet) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.record(
+            kind,
+            at.since_epoch().as_nanos() as u64,
+            0,
+            pkt.header.dest.value(),
+            u64::from(target.as_u32()),
+        );
+        if let Some(m) = self.obs.metrics() {
+            match kind {
+                EventKind::Spike => m.faults_spiked.add(1),
+                EventKind::Duplicate => m.faults_duplicated.add(1),
+                _ => {}
+            }
+        }
+    }
+
     /// Parks one copy of `pkt` for `target` at `at`, with a seeded
     /// tie-break against other deliveries at the same instant.
     fn park(&mut self, target: MachineId, mut pkt: Packet, at: Timestamp) {
@@ -312,8 +366,15 @@ impl SimController {
                 events: 0,
                 log: None,
                 counters: FaultCounters::default(),
+                obs: Obs::new(),
             }),
         }
+    }
+
+    /// Shares the network's observability handle with the controller
+    /// (called once from the network constructor).
+    pub(crate) fn attach_obs(&self, obs: Obs) {
+        self.state.lock().obs = obs;
     }
 
     pub(crate) fn seed(&self) -> u64 {
@@ -391,6 +452,7 @@ impl SimController {
             let extra = spike_max.saturating_sub(spike_min);
             at = at + spike_min + st.duration_draw(extra);
             st.counters.spiked += 1;
+            st.obs_fault(EventKind::Spike, now, target, &pkt);
         }
         let dup = st.roll(dup_pm);
         if dup {
@@ -398,6 +460,7 @@ impl SimController {
                 + st.duration_draw(spike_max.max(Duration::from_millis(1)));
             let copy_at = at + lag;
             st.counters.duplicated += 1;
+            st.obs_fault(EventKind::Duplicate, now, target, &pkt);
             st.park(target, pkt.clone(), copy_at);
         }
         st.park(target, pkt, at);
@@ -641,9 +704,17 @@ impl<'a> SimExecutor<'a> {
                 (Some(_), None) => true,
                 (None, Some(_)) => false,
                 (None, None) => {
-                    return Err(SimStall {
+                    let stall = SimStall {
                         live_actors: self.actors.iter().filter(|a| !a.done && !a.daemon).count(),
-                    })
+                    };
+                    // Postmortem before the error propagates: the
+                    // flight recorder holds the events leading up to
+                    // the wedge (no-op when obs is disabled).
+                    self.net.obs().dump(&format!(
+                        "SimStall seed {:#x}: {stall}",
+                        self.net.sim_seed()
+                    ));
+                    return Err(stall);
                 }
             };
             if deliver {

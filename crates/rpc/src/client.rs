@@ -47,7 +47,9 @@
 use crate::demux::{decode_reply_port, encode_reply_port, DemuxTable, RouteCache, SlotToken};
 use crate::frame::{self, BatchStatus, Frame, MAX_BATCH_ENTRIES};
 use crate::lease::PortLeaseBroker;
-use amoeba_net::{BufPool, Endpoint, Header, MachineId, Packet, Port, RecvError, Timestamp};
+use amoeba_net::{
+    BufPool, Endpoint, EventKind, Header, MachineId, Packet, Port, RecvError, Timestamp,
+};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -302,6 +304,11 @@ pub struct Client {
     minted_ports: AtomicU64,
     /// Where parked ports and route hints go when this client dies.
     broker: Option<Arc<PortLeaseBroker>>,
+    /// Client-local trace-id mint (no cross-client coordination): the
+    /// endpoint's machine id occupies the high 32 bits, a per-client
+    /// counter the low 32, so spans from different clients never alias
+    /// in a shared flight recording. Never on the wire.
+    next_trace: AtomicU64,
 }
 
 impl Client {
@@ -313,6 +320,7 @@ impl Client {
     /// Wraps an endpoint with explicit timeouts/retries.
     pub fn with_config(endpoint: Endpoint, config: RpcConfig) -> Client {
         let codec = CodecConfig::default();
+        let trace_base = (u64::from(endpoint.id().as_u32()) << 32) | 1;
         Client {
             endpoint,
             config,
@@ -326,6 +334,7 @@ impl Client {
             routes: RouteCache::new(),
             minted_ports: AtomicU64::new(0),
             broker: None,
+            next_trace: AtomicU64::new(trace_base),
         }
     }
 
@@ -363,6 +372,9 @@ impl Client {
     pub fn with_broker(mut self, broker: Arc<PortLeaseBroker>) -> Client {
         if self.codec.recycle_reply_ports {
             if let Some(grant) = broker.lease() {
+                if let Some(m) = self.endpoint.obs().metrics() {
+                    m.reply_ports_leased.add(1);
+                }
                 self.adopt_leased_port(grant.get);
                 for (key, val) in grant.routes {
                     self.routes.insert(key, val);
@@ -776,6 +788,9 @@ impl Client {
         // one O(1) freelist pop.
         if self.codec.recycle_reply_ports {
             if let Some((token, get, wire)) = self.table.claim_parked(reactor) {
+                if let Some(m) = self.endpoint.obs().metrics() {
+                    m.reply_ports_recycled.add(1);
+                }
                 let rx = self.table.receiver(token);
                 return (Binding::Slot(token), get, wire, rx);
             }
@@ -787,6 +802,9 @@ impl Client {
             self.minted_ports.fetch_add(1, Ordering::Relaxed);
             let wire = self.endpoint.claim(get);
             if let Some(token) = self.table.activate_fresh(idx, get, wire) {
+                if let Some(m) = self.endpoint.obs().metrics() {
+                    m.reply_ports_fresh.add(1);
+                }
                 let rx = self.table.receiver(token);
                 return (Binding::Slot(token), get, wire, rx);
             }
@@ -800,6 +818,10 @@ impl Client {
         // per-transaction mailbox under the counted overflow lock.
         let get = Port::from_raw(self.next_rand());
         self.minted_ports.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.endpoint.obs().metrics() {
+            m.reply_ports_fresh.add(1);
+            m.demux_overflows.add(1);
+        }
         let wire = self.endpoint.claim(get);
         let rx = self.table.register_overflow(wire);
         (Binding::Overflow, get, wire, rx)
@@ -836,6 +858,26 @@ impl Client {
         if let Some(s) = self.signature {
             header = header.with_signature(s);
         }
+        // Span root: a trace id is minted only when the recorder is
+        // live, so the disabled path never touches the mint counter.
+        let started_at = self.endpoint.now();
+        let obs = self.endpoint.obs();
+        let mut trace = 0;
+        if obs.enabled() {
+            trace = self.next_trace.fetch_add(1, Ordering::Relaxed);
+            let t = started_at.since_epoch().as_nanos() as u64;
+            obs.record(
+                EventKind::TransStart,
+                t,
+                trace,
+                dest.value(),
+                payload.len() as u64,
+            );
+            obs.record(EventKind::Encode, t, trace, reply_wire.value(), 0);
+            if let Some(m) = obs.metrics() {
+                m.trans_started.add(1);
+            }
+        }
         let mut completion = Completion {
             client: self,
             header,
@@ -850,6 +892,8 @@ impl Client {
             transmits: 0,
             completed: false,
             hinted,
+            trace,
+            started_at,
         };
         completion.transmit();
         completion
@@ -868,6 +912,9 @@ impl Drop for Client {
         if let Some(broker) = &self.broker {
             if self.codec.recycle_reply_ports {
                 broker.offer_routes(&self.routes.export(MAX_EXPORTED_ROUTES));
+                if let Some(m) = self.endpoint.obs().metrics() {
+                    m.lease_offers.add(parked.len() as u64);
+                }
                 for (get, _wire) in parked {
                     broker.offer_port(get);
                 }
@@ -927,6 +974,12 @@ pub struct Completion<'c, T> {
     /// rather than the caller. A hinted attempt that times out evicts
     /// the cache entry and falls back to associative addressing.
     hinted: bool,
+    /// Flight-recorder span id (0 when the recorder was disabled at
+    /// start — events are suppressed for the whole span then, so a
+    /// mid-flight enable never produces a headless trace).
+    trace: u64,
+    /// When the span opened; completion latency is measured from here.
+    started_at: Timestamp,
 }
 
 impl<T> std::fmt::Debug for Completion<'_, T> {
@@ -955,6 +1008,56 @@ impl<T> Completion<'_, T> {
         // the transaction completes (a refcount bump, no byte copy).
         self.client.endpoint.send(self.header, self.payload.clone());
         self.attempt_deadline = self.client.endpoint.now() + self.client.config.timeout;
+        if self.trace != 0 {
+            let obs = self.client.endpoint.obs();
+            let t = self.client.endpoint.now().since_epoch().as_nanos() as u64;
+            if self.transmits > 1 {
+                obs.record(
+                    EventKind::Retransmit,
+                    t,
+                    self.trace,
+                    self.header.dest.value(),
+                    u64::from(self.transmits),
+                );
+                if let Some(m) = obs.metrics() {
+                    m.retransmits.add(1);
+                }
+            } else {
+                obs.record(
+                    EventKind::FrameOnWire,
+                    t,
+                    self.trace,
+                    self.header.dest.value(),
+                    u64::from(self.transmits),
+                );
+            }
+        }
+    }
+
+    /// Closes the span: records the completion wake-up (with the
+    /// start-to-finish latency as payload) and feeds the latency
+    /// histogram. Shared by the poll and wait completion sites so
+    /// bench percentiles and live metrics come from one code path.
+    fn note_completed(&self) {
+        let obs = self.client.endpoint.obs();
+        if !obs.enabled() {
+            return;
+        }
+        let now = self.client.endpoint.now();
+        let latency = now.saturating_duration_since(self.started_at).as_nanos() as u64;
+        if self.trace != 0 {
+            obs.record(
+                EventKind::CompletionWake,
+                now.since_epoch().as_nanos() as u64,
+                self.trace,
+                latency,
+                u64::from(self.transmits),
+            );
+        }
+        if let Some(m) = obs.metrics() {
+            m.trans_completed.add(1);
+            m.trans_latency_ns.record(latency);
+        }
     }
 
     /// Decodes a packet against this transaction; foreign packets are
@@ -966,6 +1069,15 @@ impl<T> Completion<'_, T> {
         }
         let source = pkt.source;
         let value = Frame::decode(&pkt.payload).and_then(&*self.accept)?;
+        if self.trace != 0 {
+            self.client.endpoint.obs().record(
+                EventKind::ReplyDemux,
+                self.client.endpoint.now().since_epoch().as_nanos() as u64,
+                self.trace,
+                self.reply_wire.value(),
+                u64::from(source.as_u32()),
+            );
+        }
         // Feed the route cache: this machine answers for `dest`, so the
         // next transaction to it can be machine-targeted (and thereby
         // recycle its reply port).
@@ -995,6 +1107,7 @@ impl<T> Completion<'_, T> {
                 self.client.endpoint.reactor().deliver(&pkt);
                 if let Some(value) = self.check_packet(pkt) {
                     self.completed = true;
+                    self.note_completed();
                     return Some(Ok(value));
                 }
             }
@@ -1002,6 +1115,7 @@ impl<T> Completion<'_, T> {
                 self.client.endpoint.reactor().deliver(&pkt);
                 if let Some(value) = self.check_packet(pkt) {
                     self.completed = true;
+                    self.note_completed();
                     return Some(Ok(value));
                 }
                 continue; // keep draining
@@ -1025,6 +1139,9 @@ impl<T> Completion<'_, T> {
                     self.hinted = false;
                 }
                 if self.attempts_left == 0 {
+                    if let Some(m) = self.client.endpoint.obs().metrics() {
+                        m.trans_timeouts.add(1);
+                    }
                     return Some(Err(RpcError::Timeout));
                 }
                 self.transmit();
@@ -1072,6 +1189,7 @@ impl<T> Completion<'_, T> {
                     Ok(pkt) => {
                         if let Some(value) = self.check_packet(pkt) {
                             self.completed = true;
+                            self.note_completed();
                             return Ok(value);
                         }
                     }

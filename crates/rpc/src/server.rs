@@ -331,10 +331,22 @@ impl ServerPort {
         !self.pump.load(Ordering::Acquire)
     }
 
-    /// Claims a request off the ready queue, releasing its gate.
+    /// Claims a request off the ready queue, releasing its gate. Every
+    /// receive path funnels through here, so it is also where the
+    /// flight recorder sees a request leave the queue for a worker.
     fn claim(&self, req: IncomingRequest) -> IncomingRequest {
         if let Some(gate) = req.gate {
             self.endpoint.reactor().release_gate(gate);
+        }
+        let obs = self.endpoint.obs();
+        if obs.enabled() {
+            obs.record(
+                amoeba_net::EventKind::PumpDequeue,
+                self.endpoint.now().since_epoch().as_nanos() as u64,
+                0,
+                req.reply_to.value(),
+                u64::from(req.source.as_u32()),
+            );
         }
         req
     }

@@ -5,7 +5,7 @@ use crate::wire;
 use amoeba_cap::{Capability, Rights};
 use amoeba_crypto::oneway::ShaOneWay;
 use amoeba_fbox::FBox;
-use amoeba_net::{Endpoint, MachineId, Network, Port, RecvError};
+use amoeba_net::{Endpoint, EventKind, MachineId, Network, Port, RecvError};
 use amoeba_rpc::{Client, IncomingRequest, RpcConfig, RpcError, ServerPort};
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -86,6 +86,20 @@ pub(crate) fn serve_one(
         source: incoming.source,
         signature: incoming.signature,
     };
+    let endpoint = server.endpoint();
+    let obs = endpoint.obs();
+    if obs.enabled() {
+        obs.record(
+            EventKind::HandlerStart,
+            endpoint.now().since_epoch().as_nanos() as u64,
+            0,
+            incoming.reply_to.value(),
+            u64::from(incoming.source.as_u32()),
+        );
+        if let Some(m) = obs.metrics() {
+            m.server_requests.add(1);
+        }
+    }
     let reply = match Request::decode(&incoming.payload) {
         Some(decoded) => service.handle(&decoded, &ctx),
         None => Reply::status(Status::BadRequest),
@@ -96,6 +110,18 @@ pub(crate) fn serve_one(
     let Reply { body, .. } = reply;
     pool.release(body);
     server.reply(incoming, buf.freeze());
+    if obs.enabled() {
+        obs.record(
+            EventKind::HandlerEnd,
+            endpoint.now().since_epoch().as_nanos() as u64,
+            0,
+            incoming.reply_to.value(),
+            u64::from(incoming.source.as_u32()),
+        );
+        if let Some(m) = obs.metrics() {
+            m.handlers_completed.add(1);
+        }
+    }
 }
 
 /// Runs a [`Service`] on one or more background dispatch workers.

@@ -44,6 +44,7 @@ pub use amoeba_flatfs as flatfs;
 pub use amoeba_memsvr as memsvr;
 pub use amoeba_mvfs as mvfs;
 pub use amoeba_net as net;
+pub use amoeba_obs as obs;
 pub use amoeba_rpc as rpc;
 pub use amoeba_server as server;
 pub use amoeba_softprot as softprot;
@@ -71,8 +72,9 @@ pub mod prelude {
     pub use amoeba_net::{
         ActorPoll, BufPool, Clock, CrashWindow, Endpoint, FaultCounters, FaultPlan, Header,
         HotPathSnapshot, MachineId, Network, PartitionWindow, Port, Reactor, SimClock, SimExecutor,
-        SimStall, Timestamp, VirtualClock, WallClock,
+        SimStall, StatsSnapshot, Timestamp, VirtualClock, WallClock,
     };
+    pub use amoeba_obs::{EventKind, FlightEvent, Metrics, MetricsSnapshot, Obs};
     pub use amoeba_rpc::{
         Client, CodecConfig, Locator, Matchmaker, RendezvousNode, RpcConfig, ServerPort,
     };

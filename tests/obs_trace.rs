@@ -1,0 +1,189 @@
+//! Trace causality: every transaction span the flight recorder
+//! captures must be internally ordered — event timestamps monotone
+//! along the span, and each span phase recorded before the phases it
+//! causes (start before wire, wire before demux, demux before the
+//! completion wake). The property must hold under all three clock
+//! disciplines: wall (real sleeps), virtual (timeline jumps), and the
+//! deterministic simulation executor (seeded single-threaded
+//! scheduling) — the recorder reads the shared `Clock`, so a clock
+//! whose timeline ever ran backwards would fail here.
+
+mod sim_support;
+
+use amoeba::prelude::*;
+use amoeba::rpc::Client;
+use bytes::Bytes;
+use proptest::prelude::*;
+use sim_support::EchoService;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Groups the recording into per-trace spans and asserts causal order
+/// within each. Returns how many spans were checked.
+fn assert_traces_causal(events: &[FlightEvent], context: &str) -> usize {
+    use std::collections::BTreeMap;
+    let mut spans: BTreeMap<u64, Vec<&FlightEvent>> = BTreeMap::new();
+    for e in events {
+        if e.trace != 0 {
+            // `Obs::events` yields recording order (sorted by seq).
+            spans.entry(e.trace).or_default().push(e);
+        }
+    }
+    for (trace, span) in &spans {
+        for w in span.windows(2) {
+            assert!(
+                w[0].t_nanos <= w[1].t_nanos,
+                "{context}: trace {trace} ran backwards: {} at {} ns \
+                 recorded before {} at {} ns",
+                w[0].kind.name(),
+                w[0].t_nanos,
+                w[1].kind.name(),
+                w[1].t_nanos,
+            );
+        }
+        // Parent-before-child along the span's phase chain. Retransmits
+        // make FrameOnWire/ReplyDemux repeatable, so compare the FIRST
+        // occurrence of each phase.
+        let first = |kind: EventKind| span.iter().position(|e| e.kind == kind);
+        let chain = [
+            EventKind::TransStart,
+            EventKind::Encode,
+            EventKind::FrameOnWire,
+            EventKind::ReplyDemux,
+            EventKind::CompletionWake,
+        ];
+        let mut last_seen: Option<(EventKind, usize)> = None;
+        for kind in chain {
+            let Some(pos) = first(kind) else {
+                // A span may legitimately lack later phases (timed out,
+                // still in flight when the recording was taken) — but
+                // never earlier ones.
+                continue;
+            };
+            if let Some((parent, parent_pos)) = last_seen {
+                assert!(
+                    parent_pos < pos,
+                    "{context}: trace {trace}: {} recorded before its \
+                     parent {}",
+                    kind.name(),
+                    parent.name(),
+                );
+            }
+            last_seen = Some((kind, pos));
+        }
+        assert_eq!(
+            first(EventKind::TransStart),
+            Some(0),
+            "{context}: trace {trace} must open with TransStart",
+        );
+    }
+    spans.len()
+}
+
+/// A blocking echo workload on a threaded (wall or virtual clock)
+/// network; returns the recording.
+fn threaded_workload(net: &Network, ops: usize) -> Vec<FlightEvent> {
+    net.obs().enable();
+    let runner = ServiceRunner::spawn_open(net, EchoService);
+    let client = Client::new(net.attach_open());
+    for i in 0..ops {
+        let tag = format!("op-{i}");
+        let body = sim_support::encode_echo(tag.as_bytes());
+        let raw = client
+            .trans(runner.put_port(), body)
+            .expect("echo completes");
+        let reply = amoeba::server::proto::Reply::decode(&raw).expect("decodes");
+        assert_eq!(&reply.body[..], tag.as_bytes());
+    }
+    let events = net.obs().events();
+    runner.stop();
+    events
+}
+
+/// A poll-driven echo workload on the deterministic simulation
+/// executor; returns the recording.
+fn sim_workload(seed: u64, clients: usize, ops: usize) -> Vec<FlightEvent> {
+    let net = Network::new_sim(seed);
+    net.obs().enable();
+    net.set_latency(Duration::from_millis(1));
+    let port = Port::new(0x0B5_7ACE).unwrap();
+    let pump = Arc::new(SimPump::bind(net.attach_open(), port, EchoService));
+    let put_port = pump.put_port();
+
+    let arena: Vec<Client> = (0..clients)
+        .map(|i| Client::new(net.attach_open()).with_rng_seed(seed ^ i as u64))
+        .collect();
+    let done = Rc::new(Cell::new(0usize));
+    let mut exec = SimExecutor::new(&net);
+    {
+        let pump = Arc::clone(&pump);
+        exec.spawn_daemon(pump.machine(), move || {
+            if pump.poll() {
+                ActorPoll::Progress
+            } else {
+                ActorPoll::Idle
+            }
+        });
+    }
+    for (ci, client) in arena.iter().enumerate() {
+        let done = Rc::clone(&done);
+        let mut op = 0usize;
+        let mut current: Option<amoeba::rpc::Completion<'_, Bytes>> = None;
+        exec.spawn(client.endpoint().id(), move || loop {
+            if let Some(comp) = current.as_mut() {
+                match comp.poll() {
+                    Some(Ok(_)) => {
+                        done.set(done.get() + 1);
+                        current = None;
+                        op += 1;
+                        if op == ops {
+                            return ActorPoll::Done;
+                        }
+                    }
+                    Some(Err(e)) => panic!("sim client {ci} op {op}: {e}"),
+                    None => return ActorPoll::IdleUntil(comp.deadline()),
+                }
+            } else {
+                let tag = format!("c{ci}.o{op}");
+                let body = sim_support::encode_echo(tag.as_bytes());
+                current = Some(client.trans_async(put_port, body));
+            }
+        });
+    }
+    exec.run().expect("sim workload must not stall");
+    drop(exec);
+    assert_eq!(done.get(), clients * ops);
+    net.obs().events()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sim clock: seeded schedules, several interleaved clients.
+    #[test]
+    fn sim_traces_are_causal(seed in any::<u64>()) {
+        let events = sim_workload(seed, 3, 2);
+        let spans = assert_traces_causal(&events, "sim");
+        prop_assert_eq!(spans, 6, "one span per transaction");
+    }
+
+    /// Virtual clock: the timeline jumps over modeled latency; spans
+    /// must still read forward.
+    #[test]
+    fn virtual_traces_are_causal(ops in 1usize..4) {
+        let events = threaded_workload(&Network::new_virtual(), ops);
+        let spans = assert_traces_causal(&events, "virtual");
+        prop_assert_eq!(spans, ops);
+    }
+}
+
+/// Wall clock: real time, real thread scheduling. Not proptest-swept —
+/// wall-clock runs cost real milliseconds, one pass is the point.
+#[test]
+fn wall_traces_are_causal() {
+    let events = threaded_workload(&Network::new(), 3);
+    let spans = assert_traces_causal(&events, "wall");
+    assert_eq!(spans, 3);
+}

@@ -580,7 +580,13 @@ fn hot_path_codec_cuts_allocs_5x_and_oneway_evals_10x() {
     const OPS: usize = 32;
 
     let legacy = amoeba_bench::hot_path_round(&Network::new_virtual(), true, WARMUP, OPS);
-    let fast = amoeba_bench::hot_path_round(&Network::new_virtual(), false, WARMUP, OPS);
+    // The fast path runs with the flight recorder and metrics registry
+    // live: the observability layer must not cost the hot path its
+    // alloc/lock budget even when *enabled* (the disabled path has its
+    // own gate in `tests/obs_hotpath.rs`).
+    let fast_net = Network::new_virtual();
+    fast_net.obs().enable();
+    let fast = amoeba_bench::hot_path_round(&fast_net, false, WARMUP, OPS);
 
     assert_eq!(legacy.ops, fast.ops);
     assert!(

@@ -81,6 +81,12 @@ proptest! {
         prop_assert_eq!(a.fingerprint, b.fingerprint);
         prop_assert_eq!(a.counters, b.counters);
         prop_assert_eq!(a.timeouts, b.timeouts);
+        // Determinism reaches past the delivery schedule into every
+        // observable aggregate: the traffic counters and the metrics
+        // registry (completions, retransmits, latency histogram) must
+        // replay byte-identically too.
+        prop_assert_eq!(a.stats, b.stats, "traffic counters must replay exactly");
+        prop_assert_eq!(a.metrics, b.metrics, "metrics snapshots must replay exactly");
     }
 }
 

@@ -54,6 +54,14 @@ pub struct ScenarioReport {
     pub completed: u64,
     /// Full-attempt timeouts that were retried as a fresh transaction.
     pub timeouts: u64,
+    /// The network traffic counters at the end of the run — part of the
+    /// determinism contract: two runs of one seed must not just deliver
+    /// the same events, they must *send* the same packets.
+    pub stats: StatsSnapshot,
+    /// The live metrics registry at the end of the run (the recorder is
+    /// always enabled for scenarios, so a failing seed dumps a flight
+    /// recording with the injected faults on its timeline).
+    pub metrics: MetricsSnapshot,
     /// The raw event log (empty unless `record_log` was set).
     pub log: Vec<u8>,
 }
@@ -66,7 +74,8 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn encode_echo(tag: &[u8]) -> Bytes {
+/// Encodes one echo request carrying `tag` as its body.
+pub fn encode_echo(tag: &[u8]) -> Bytes {
     let req = Request {
         cap: null_cap(),
         command: ECHO_CMD,
@@ -191,25 +200,41 @@ pub fn run_scenario(
 ) -> ScenarioReport {
     let net = Network::new_sim_with_plan(seed, plan);
     net.set_latency(Duration::from_millis(1));
+    // The flight recorder rides every scenario: when a seed fails (any
+    // panic — aliasing canary, liveness budget, stall), the recording
+    // is dumped to stderr and, when `OBS_DUMP_DIR` is set, to a JSON
+    // file CI uploads as an artifact. Recording never touches the sim
+    // RNG, fingerprint or byte log, so determinism is unaffected.
+    net.obs().enable();
     if record_log {
         net.sim_record_log(true);
     }
     let replicas = SimReplicaSet::bind(&net, service_port(), 3, |_| EchoService);
     let broker = Arc::new(PortLeaseBroker::new());
 
-    let mut totals = WaveStats::default();
-    for wave in 0..2u64 {
-        let w = run_wave(
-            &net,
-            &replicas,
-            &broker,
-            seed ^ (0x57A6E << 8) ^ wave,
-            clients_per_wave,
-            ops_per_client,
-        );
-        totals.completed += w.completed;
-        totals.timeouts += w.timeouts;
-    }
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut totals = WaveStats::default();
+        for wave in 0..2u64 {
+            let w = run_wave(
+                &net,
+                &replicas,
+                &broker,
+                seed ^ (0x57A6E << 8) ^ wave,
+                clients_per_wave,
+                ops_per_client,
+            );
+            totals.completed += w.completed;
+            totals.timeouts += w.timeouts;
+        }
+        totals
+    }));
+    let totals = match run {
+        Ok(totals) => totals,
+        Err(panic) => {
+            net.obs().dump(&format!("scenario seed {seed:#x} panicked"));
+            std::panic::resume_unwind(panic);
+        }
+    };
 
     let expected = 2 * (clients_per_wave * ops_per_client) as u64;
     assert_eq!(
@@ -221,6 +246,8 @@ pub fn run_scenario(
         counters: net.sim_fault_counters(),
         completed: totals.completed,
         timeouts: totals.timeouts,
+        stats: net.stats().snapshot(),
+        metrics: net.obs().snapshot().expect("recorder enabled above"),
         log: if record_log {
             net.sim_take_log()
         } else {
