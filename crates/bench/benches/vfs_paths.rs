@@ -1,0 +1,313 @@
+//! Capability-VFS path benchmarks: what the batched RESOLVE, the
+//! extent allocator and the client-side capability cache buy.
+//!
+//! Three legs, all on the virtual clock so "latency" is the modeled
+//! per-frame hop cost and frame counts are exact:
+//!
+//! * **deep-tree** — a depth-8 directory chain straddling two servers.
+//!   The per-segment `walk` pays one round-trip per component; the
+//!   batched `resolve` pays one per *hop-chain* (two here: the chain
+//!   crosses servers once). Reports frames and virtual-time p50/p99
+//!   per operation over a mixed-depth workload.
+//! * **extent-write** — a 64-block file write against the block
+//!   server: one `ALLOC_N` round-trip plus one scatter round-trip,
+//!   regardless of block count. Reports frames and disk round-trips.
+//! * **cache** — repeat resolution with the capability cache warm:
+//!   zero frames, reported as real ns/hit.
+//!
+//! Besides stdout, the headline numbers go to `BENCH_vfs.json`
+//! (override with `BENCH_VFS_OUT`); CI archives the file and gates the
+//! deep-tree frame reduction against `crates/bench/vfs_baseline.json`.
+
+use amoeba_block::BlockServer;
+use amoeba_block::DiskConfig;
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::Capability;
+use amoeba_dirsvr::{DirClient, DirServer};
+use amoeba_flatfs::{BlockFlatFsServer, FlatFsClient};
+use amoeba_net::Network;
+use amoeba_server::ServiceRunner;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const DEPTH: usize = 8;
+const HOP_LATENCY: Duration = Duration::from_millis(1);
+const MIXED_OPS: usize = 64;
+
+fn frames(net: &Network) -> u64 {
+    net.stats().snapshot().packets_sent
+}
+
+fn virtual_nanos(dirs: &DirClient) -> u64 {
+    dirs.service()
+        .rpc()
+        .endpoint()
+        .now()
+        .since_epoch()
+        .as_nanos() as u64
+}
+
+/// Builds the depth-8 chain with the first half on server 1 and the
+/// second half on server 2; returns the runners, a plain client, the
+/// root and the full path.
+fn deep_tree(net: &Network) -> (ServiceRunner, ServiceRunner, DirClient, Capability, String) {
+    let s1 = ServiceRunner::spawn_open(net, DirServer::new(SchemeKind::OneWay));
+    let s2 = ServiceRunner::spawn_open(net, DirServer::new(SchemeKind::Commutative));
+    let dirs = DirClient::open(net, s1.put_port());
+    let root = dirs.create_dir_on(s1.put_port()).unwrap();
+    let mut current = root;
+    let mut segments = Vec::new();
+    for i in 0..DEPTH {
+        let port = if i < DEPTH / 2 {
+            s1.put_port()
+        } else {
+            s2.put_port()
+        };
+        let next = dirs.create_dir_on(port).unwrap();
+        dirs.enter(&current, &format!("seg{i}"), &next).unwrap();
+        segments.push(format!("seg{i}"));
+        current = next;
+    }
+    (s1, s2, dirs, root, segments.join("/"))
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct DeepTreeNumbers {
+    walk_frames: u64,
+    resolve_frames: u64,
+    reduction: f64,
+    walk_p50_ms: f64,
+    walk_p99_ms: f64,
+    resolve_p50_ms: f64,
+    resolve_p99_ms: f64,
+}
+
+/// One timed op at every prefix depth 1..=[`DEPTH`], repeated until
+/// [`MIXED_OPS`] samples are in, through `op`; returns sorted virtual
+/// latencies.
+fn mixed_latencies(
+    dirs: &DirClient,
+    root: &Capability,
+    path: &str,
+    op: impl Fn(&DirClient, &Capability, &str),
+) -> Vec<u64> {
+    let prefixes: Vec<&str> = (1..=DEPTH)
+        .map(|d| {
+            let end = path
+                .match_indices('/')
+                .nth(d - 1)
+                .map_or(path.len(), |(i, _)| i);
+            &path[..end]
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(MIXED_OPS);
+    for i in 0..MIXED_OPS {
+        let prefix = prefixes[i % prefixes.len()];
+        let t0 = virtual_nanos(dirs);
+        op(dirs, root, prefix);
+        samples.push(virtual_nanos(dirs) - t0);
+    }
+    samples.sort_unstable();
+    samples
+}
+
+fn deep_tree_leg() -> DeepTreeNumbers {
+    let net = Network::new_virtual();
+    net.set_latency(HOP_LATENCY);
+    let (s1, s2, dirs, root, path) = deep_tree(&net);
+
+    let before = frames(&net);
+    dirs.walk(&root, &path).unwrap();
+    let walk_frames = frames(&net) - before;
+    let before = frames(&net);
+    dirs.resolve(&root, &path).unwrap();
+    let resolve_frames = frames(&net) - before;
+
+    let walk = mixed_latencies(&dirs, &root, &path, |d, r, p| {
+        d.walk(r, p).unwrap();
+    });
+    let resolve = mixed_latencies(&dirs, &root, &path, |d, r, p| {
+        d.resolve(r, p).unwrap();
+    });
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let numbers = DeepTreeNumbers {
+        walk_frames,
+        resolve_frames,
+        reduction: walk_frames as f64 / resolve_frames.max(1) as f64,
+        walk_p50_ms: ms(percentile(&walk, 0.50)),
+        walk_p99_ms: ms(percentile(&walk, 0.99)),
+        resolve_p50_ms: ms(percentile(&resolve, 0.50)),
+        resolve_p99_ms: ms(percentile(&resolve, 0.99)),
+    };
+    s1.stop();
+    s2.stop();
+    numbers
+}
+
+struct ExtentNumbers {
+    blocks: u64,
+    frames: u64,
+    disk_rtts: u64,
+    single_block_frames: u64,
+}
+
+fn extent_write_leg() -> ExtentNumbers {
+    const BLOCK: u32 = 512;
+    const BLOCKS: u64 = 64;
+    let net = Network::new_virtual();
+    let disk = ServiceRunner::spawn_open(
+        &net,
+        BlockServer::new(
+            DiskConfig {
+                block_size: BLOCK,
+                capacity_blocks: 256,
+            },
+            SchemeKind::OneWay,
+        ),
+    );
+    let fs_runner = ServiceRunner::spawn_open(
+        &net,
+        BlockFlatFsServer::new(&net, disk.put_port(), SchemeKind::Commutative),
+    );
+    let fs = FlatFsClient::open(&net, fs_runner.put_port());
+
+    let cap = fs.create().unwrap();
+    let body = vec![7u8; (BLOCKS * BLOCK as u64) as usize];
+    let before = frames(&net);
+    fs.write(&cap, 0, &body).unwrap();
+    let write_frames = frames(&net) - before;
+
+    let single = fs.create().unwrap();
+    let before = frames(&net);
+    fs.write(&single, 0, &body[..BLOCK as usize]).unwrap();
+    let single_block_frames = frames(&net) - before;
+
+    let numbers = ExtentNumbers {
+        blocks: BLOCKS,
+        frames: write_frames,
+        // Total frames minus the client's own round-trip, in
+        // round-trips: how often the file server hit the disk.
+        disk_rtts: write_frames.saturating_sub(2) / 2,
+        single_block_frames,
+    };
+    fs_runner.stop();
+    disk.stop();
+    numbers
+}
+
+struct CacheNumbers {
+    hits: u64,
+    ns_per_hit: f64,
+    frames_per_hit: f64,
+}
+
+fn cache_leg() -> CacheNumbers {
+    const HITS: u64 = 50_000;
+    let net = Network::new_virtual();
+    let (s1, s2, dirs, root, path) = deep_tree(&net);
+    let cached = DirClient::open(&net, s1.put_port()).with_cache(Duration::from_secs(3600));
+    cached.resolve(&root, &path).unwrap(); // warm
+    drop(dirs);
+
+    let before = frames(&net);
+    let t0 = std::time::Instant::now();
+    for _ in 0..HITS {
+        cached.resolve(&root, &path).unwrap();
+    }
+    let elapsed = t0.elapsed();
+    let numbers = CacheNumbers {
+        hits: HITS,
+        ns_per_hit: elapsed.as_nanos() as f64 / HITS as f64,
+        frames_per_hit: (frames(&net) - before) as f64 / HITS as f64,
+    };
+    s1.stop();
+    s2.stop();
+    numbers
+}
+
+fn report_headline_numbers() {
+    let deep = deep_tree_leg();
+    println!(
+        "vfs-paths/deep-tree: depth {DEPTH}, walk {} frames vs resolve {} \
+         ({:.1}x fewer); virtual p50/p99 walk {:.1}/{:.1} ms, resolve {:.1}/{:.1} ms",
+        deep.walk_frames,
+        deep.resolve_frames,
+        deep.reduction,
+        deep.walk_p50_ms,
+        deep.walk_p99_ms,
+        deep.resolve_p50_ms,
+        deep.resolve_p99_ms,
+    );
+    let extent = extent_write_leg();
+    println!(
+        "vfs-paths/extent-write: {} blocks in {} frames ({} disk round-trips; \
+         single block {} frames)",
+        extent.blocks, extent.frames, extent.disk_rtts, extent.single_block_frames,
+    );
+    let cache = cache_leg();
+    println!(
+        "vfs-paths/cache: {} hits at {:.0} ns/hit, {:.3} frames/hit",
+        cache.hits, cache.ns_per_hit, cache.frames_per_hit,
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"capability VFS paths\",\n  \
+         \"hop_latency_ms\": {},\n  \
+         \"deep_tree\": {{\n    \"depth\": {DEPTH},\n    \"walk_frames\": {},\n    \
+         \"resolve_frames\": {},\n    \"frame_reduction\": {:.2},\n    \
+         \"walk_p50_ms\": {:.3},\n    \"walk_p99_ms\": {:.3},\n    \
+         \"resolve_p50_ms\": {:.3},\n    \"resolve_p99_ms\": {:.3}\n  }},\n  \
+         \"extent_write\": {{\n    \"blocks\": {},\n    \"frames\": {},\n    \
+         \"disk_rtts\": {},\n    \"single_block_frames\": {}\n  }},\n  \
+         \"cache\": {{\n    \"hits\": {},\n    \"ns_per_hit\": {:.0},\n    \
+         \"frames_per_hit\": {:.3}\n  }}\n}}\n",
+        HOP_LATENCY.as_millis(),
+        deep.walk_frames,
+        deep.resolve_frames,
+        deep.reduction,
+        deep.walk_p50_ms,
+        deep.walk_p99_ms,
+        deep.resolve_p50_ms,
+        deep.resolve_p99_ms,
+        extent.blocks,
+        extent.frames,
+        extent.disk_rtts,
+        extent.single_block_frames,
+        cache.hits,
+        cache.ns_per_hit,
+        cache.frames_per_hit,
+    );
+    let out = std::env::var("BENCH_VFS_OUT").unwrap_or_else(|_| "BENCH_vfs.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("vfs-paths: wrote {out}"),
+        Err(e) => println!("vfs-paths: could not write {out}: {e}"),
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = amoeba_bench::net_group(c, "vfs-paths");
+    g.sample_size(10);
+    g.bench_function("resolve/depth8", |b| {
+        let net = Network::new_virtual();
+        let (_s1, _s2, dirs, root, path) = deep_tree(&net);
+        b.iter(|| dirs.resolve(&root, &path).unwrap())
+    });
+    g.bench_function("walk/depth8", |b| {
+        let net = Network::new_virtual();
+        let (_s1, _s2, dirs, root, path) = deep_tree(&net);
+        b.iter(|| dirs.walk(&root, &path).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_vfs_paths(c: &mut Criterion) {
+    bench_rounds(c);
+    report_headline_numbers();
+}
+
+criterion_group!(benches, bench_vfs_paths);
+criterion_main!(benches);

@@ -37,7 +37,7 @@
 use amoeba_cap::schemes::SchemeKind;
 use amoeba_cap::{Capability, Rights};
 use amoeba_net::{Network, Port};
-use amoeba_server::proto::{Reply, Request, Status};
+use amoeba_server::proto::{null_cap, Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
 use bytes::Bytes;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -50,11 +50,18 @@ pub mod ops {
     pub const READ: u32 = 2;
     /// Write bytes at `offset`. Params: `u32 offset`, `bytes data`.
     pub const WRITE: u32 = 3;
-    /// Deallocate the block. Requires DELETE.
+    /// Deallocate the block or extent. Requires DELETE.
     pub const FREE: u32 = 4;
     /// Report disk geometry; anonymous. Reply: `u32 block_size`,
     /// `u32 capacity`, `u32 allocated`.
     pub const STATFS: u32 = 5;
+    /// Allocate a contiguous extent of `n` zeroed blocks under ONE
+    /// capability; anonymous. Params: `u32 n` (≥ 1). Reply: capability,
+    /// `u32 blocks`. The extent reads and writes like one large block
+    /// of `n × block_size` bytes, and FREE returns all `n` blocks at
+    /// once — a file server pays one allocation round-trip regardless
+    /// of how many blocks it needs.
+    pub const ALLOC_N: u32 = 6;
 }
 
 /// Simulated disk geometry.
@@ -82,10 +89,18 @@ impl Default for DiskConfig {
     }
 }
 
+/// One allocation unit: a run of `blocks` contiguous blocks addressed
+/// through a single capability. A plain ALLOC is an extent of 1.
+#[derive(Debug)]
+struct Extent {
+    data: Box<[u8]>,
+    blocks: u32,
+}
+
 /// The block server.
 #[derive(Debug)]
 pub struct BlockServer {
-    table: ObjectTable<Box<[u8]>>,
+    table: ObjectTable<Extent>,
     config: DiskConfig,
     /// Blocks currently allocated; an atomic reservation counter so
     /// concurrent ALLOCs cannot overshoot the disk capacity.
@@ -105,19 +120,49 @@ impl BlockServer {
         }
     }
 
-    fn alloc(&self) -> Reply {
+    /// Atomically reserves `n` blocks against capacity and mints one
+    /// capability covering all of them.
+    fn alloc_extent(&self, n: u32) -> Reply {
         let capacity = self.config.capacity_blocks;
         let reserved = self
             .allocated
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
-                (cur < capacity).then_some(cur + 1)
+                cur.checked_add(n).filter(|&next| next <= capacity)
             });
         if reserved.is_err() {
             return Reply::status(Status::NoSpace);
         }
-        let block = vec![0u8; self.config.block_size as usize].into_boxed_slice();
-        let (_, cap) = self.table.create(block);
-        Reply::ok(wire::Writer::new().cap(&cap).finish())
+        let bytes = self.config.block_size as usize * n as usize;
+        let (_, cap) = self.table.create(Extent {
+            data: vec![0u8; bytes].into_boxed_slice(),
+            blocks: n,
+        });
+        Reply::ok(wire::Writer::new().cap(&cap).u32(n).finish())
+    }
+
+    fn alloc(&self) -> Reply {
+        // A single block's reply carries only the capability — the
+        // pre-extent wire shape, kept frozen for old clients.
+        match self.alloc_extent(1) {
+            reply if reply.status == Status::Ok => {
+                let cap = wire::Reader::new(&reply.body).cap();
+                match cap {
+                    Some(cap) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
+                    None => Reply::status(Status::NoSpace),
+                }
+            }
+            reply => reply,
+        }
+    }
+
+    fn alloc_n(&self, req: &Request) -> Reply {
+        let Some(n) = wire::Reader::new(&req.params).u32() else {
+            return Reply::status(Status::BadRequest);
+        };
+        if n == 0 {
+            return Reply::status(Status::BadRequest);
+        }
+        self.alloc_extent(n)
     }
 
     fn read(&self, req: &Request) -> Reply {
@@ -125,12 +170,12 @@ impl BlockServer {
         let (Some(offset), Some(len)) = (r.u32(), r.u32()) else {
             return Reply::status(Status::BadRequest);
         };
-        let result = self.table.with_object(&req.cap, Rights::READ, |block| {
+        let result = self.table.with_object(&req.cap, Rights::READ, |ext| {
             let end = offset.checked_add(len)? as usize;
-            if end > block.len() {
+            if end > ext.data.len() {
                 return None;
             }
-            Some(Bytes::copy_from_slice(&block[offset as usize..end]))
+            Some(Bytes::copy_from_slice(&ext.data[offset as usize..end]))
         });
         match result {
             Ok(Some(data)) => Reply::ok(data),
@@ -144,16 +189,14 @@ impl BlockServer {
         let (Some(offset), Some(data)) = (r.u32(), r.bytes()) else {
             return Reply::status(Status::BadRequest);
         };
-        let result = self
-            .table
-            .with_object_mut(&req.cap, Rights::WRITE, |block| {
-                let end = (offset as usize).checked_add(data.len())?;
-                if end > block.len() {
-                    return None;
-                }
-                block[offset as usize..end].copy_from_slice(data);
-                Some(())
-            });
+        let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |ext| {
+            let end = (offset as usize).checked_add(data.len())?;
+            if end > ext.data.len() {
+                return None;
+            }
+            ext.data[offset as usize..end].copy_from_slice(data);
+            Some(())
+        });
         match result {
             Ok(Some(())) => Reply::ok(Bytes::new()),
             Ok(None) => Reply::status(Status::OutOfRange),
@@ -163,8 +206,11 @@ impl BlockServer {
 
     fn free(&self, req: &Request) -> Reply {
         match self.table.delete(&req.cap, Rights::DELETE) {
-            Ok(_) => {
-                self.allocated.fetch_sub(1, Ordering::AcqRel);
+            Ok(ext) => {
+                // The whole extent comes back at once — a failed
+                // multi-block allocation can never strand part of its
+                // reservation.
+                self.allocated.fetch_sub(ext.blocks, Ordering::AcqRel);
                 Reply::ok(Bytes::new())
             }
             Err(e) => Reply::status(e.into()),
@@ -193,6 +239,7 @@ impl Service for BlockServer {
         }
         match req.command {
             ops::ALLOC => self.alloc(),
+            ops::ALLOC_N => self.alloc_n(req),
             ops::READ => self.read(req),
             ops::WRITE => self.write(req),
             ops::FREE => self.free(req),
@@ -250,6 +297,58 @@ impl BlockClient {
         wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
     }
 
+    /// Allocates a contiguous extent of `n` zeroed blocks under one
+    /// capability — one round-trip regardless of `n`. The extent reads
+    /// and writes as a single `n × block_size` byte range, and
+    /// [`free`](Self::free) returns all of it at once.
+    ///
+    /// # Errors
+    /// `Status::NoSpace` when fewer than `n` blocks remain,
+    /// `Status::BadRequest` for `n == 0`; transport errors.
+    pub fn alloc_n(&self, n: u32) -> Result<(Capability, u32), ClientError> {
+        let body = self.svc.call_anonymous(
+            self.port,
+            ops::ALLOC_N,
+            wire::Writer::new().u32(n).finish(),
+        )?;
+        let mut r = wire::Reader::new(&body);
+        match (r.cap(), r.u32()) {
+            (Some(cap), Some(blocks)) => Ok((cap, blocks)),
+            _ => Err(ClientError::Malformed),
+        }
+    }
+
+    /// Allocates `n` *independent* single-block capabilities in one
+    /// BATCH_REQUEST frame — for file servers (like `amoeba-unixfs`)
+    /// whose truncate semantics need to free blocks one at a time. On
+    /// any entry failing, already-allocated blocks are freed and the
+    /// failure is returned: the caller never holds a partial run.
+    ///
+    /// # Errors
+    /// As for [`alloc`](Self::alloc).
+    pub fn alloc_many(&self, n: usize) -> Result<Vec<Capability>, ClientError> {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let calls = (0..n)
+            .map(|_| (null_cap(), ops::ALLOC, Bytes::new()))
+            .collect();
+        let results = self.svc.call_batch(self.port, calls)?;
+        let mut caps = Vec::with_capacity(n);
+        for entry in results {
+            match entry
+                .and_then(|body| wire::Reader::new(&body).cap().ok_or(ClientError::Malformed))
+            {
+                Ok(cap) => caps.push(cap),
+                Err(e) => {
+                    let _ = self.free_many(&caps);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(caps)
+    }
+
     /// Reads `len` bytes at `offset`.
     ///
     /// # Errors
@@ -276,6 +375,58 @@ impl BlockClient {
         Ok(())
     }
 
+    /// Writes many `(capability, offset, data)` scatters in one
+    /// BATCH_REQUEST frame — a file server's data round-trip stays O(1)
+    /// no matter how many blocks or extents a write spans.
+    ///
+    /// # Errors
+    /// The first entry failure, in order; transport errors.
+    pub fn write_many(&self, writes: &[(Capability, u32, &[u8])]) -> Result<(), ClientError> {
+        match writes {
+            [] => Ok(()),
+            // One scatter needs no batch envelope.
+            [(cap, offset, data)] => self.write(cap, *offset, data),
+            _ => {
+                let calls = writes
+                    .iter()
+                    .map(|(cap, offset, data)| {
+                        (
+                            *cap,
+                            ops::WRITE,
+                            wire::Writer::new().u32(*offset).bytes(data).finish(),
+                        )
+                    })
+                    .collect();
+                for entry in self.svc.call_batch(self.port, calls)? {
+                    entry?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads many `(capability, offset, len)` gathers in one
+    /// BATCH_REQUEST frame, returning the bodies in order.
+    ///
+    /// # Errors
+    /// The first entry failure, in order; transport errors.
+    pub fn read_many(&self, reads: &[(Capability, u32, u32)]) -> Result<Vec<Bytes>, ClientError> {
+        if reads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let calls = reads
+            .iter()
+            .map(|(cap, offset, len)| {
+                (
+                    *cap,
+                    ops::READ,
+                    wire::Writer::new().u32(*offset).u32(*len).finish(),
+                )
+            })
+            .collect();
+        self.svc.call_batch(self.port, calls)?.into_iter().collect()
+    }
+
     /// Deallocates the block (requires DELETE).
     ///
     /// # Errors
@@ -283,6 +434,33 @@ impl BlockClient {
     pub fn free(&self, cap: &Capability) -> Result<(), ClientError> {
         self.svc.call(cap, ops::FREE, Bytes::new())?;
         Ok(())
+    }
+
+    /// Frees many blocks/extents in one BATCH_REQUEST frame. Entries
+    /// fail independently; the first failure is reported after the
+    /// whole batch has been attempted, so one dead capability cannot
+    /// strand its neighbours' disk space.
+    ///
+    /// # Errors
+    /// Rights/validation errors; transport errors.
+    pub fn free_many(&self, caps: &[Capability]) -> Result<(), ClientError> {
+        match caps {
+            [] => Ok(()),
+            [cap] => self.free(cap),
+            _ => {
+                let calls = caps
+                    .iter()
+                    .map(|cap| (*cap, ops::FREE, Bytes::new()))
+                    .collect();
+                let mut first_err: Result<(), ClientError> = Ok(());
+                for entry in self.svc.call_batch(self.port, calls)? {
+                    if let Err(e) = entry {
+                        first_err = first_err.and(Err(e));
+                    }
+                }
+                first_err
+            }
+        }
     }
 
     /// Reports disk geometry and usage.
@@ -423,6 +601,102 @@ mod tests {
         assert_eq!(s0.block_size, 256);
         let _cap = client.alloc().unwrap();
         assert_eq!(client.statfs().unwrap().allocated_blocks, 1);
+        runner.stop();
+    }
+
+    #[test]
+    fn extent_reads_writes_and_frees_as_one_unit() {
+        let (_net, runner, client) = setup(DiskConfig {
+            block_size: 64,
+            capacity_blocks: 16,
+        });
+        let (ext, blocks) = client.alloc_n(4).unwrap();
+        assert_eq!(blocks, 4);
+        assert_eq!(client.statfs().unwrap().allocated_blocks, 4);
+        // The extent addresses all 4 × 64 bytes through one capability,
+        // including a write spanning what would be a block boundary.
+        client.write(&ext, 60, b"spanning").unwrap();
+        assert_eq!(&client.read(&ext, 60, 8).unwrap(), b"spanning");
+        assert_eq!(client.read(&ext, 255, 1).unwrap(), vec![0]);
+        assert_eq!(
+            client.read(&ext, 256, 1).unwrap_err(),
+            ClientError::Status(Status::OutOfRange)
+        );
+        client.free(&ext).unwrap();
+        assert_eq!(
+            client.statfs().unwrap().allocated_blocks,
+            0,
+            "freeing an extent must return every block it reserved"
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn extent_allocation_respects_capacity_atomically() {
+        let (_net, runner, client) = setup(DiskConfig {
+            block_size: 64,
+            capacity_blocks: 4,
+        });
+        let _one = client.alloc().unwrap();
+        assert_eq!(
+            client.alloc_n(4).unwrap_err(),
+            ClientError::Status(Status::NoSpace),
+            "an oversized extent must not partially reserve"
+        );
+        // The failed request reserved nothing: 3 blocks still fit.
+        let (ext, _) = client.alloc_n(3).unwrap();
+        assert_eq!(client.statfs().unwrap().allocated_blocks, 4);
+        client.free(&ext).unwrap();
+        assert_eq!(
+            client.alloc_n(0).unwrap_err(),
+            ClientError::Status(Status::BadRequest)
+        );
+        runner.stop();
+    }
+
+    #[test]
+    fn batched_alloc_write_read_free_roundtrip() {
+        let (_net, runner, client) = setup(DiskConfig {
+            block_size: 32,
+            capacity_blocks: 8,
+        });
+        let caps = client.alloc_many(3).unwrap();
+        assert_eq!(caps.len(), 3);
+        assert_eq!(client.statfs().unwrap().allocated_blocks, 3);
+        let writes: Vec<(Capability, u32, &[u8])> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, cap)| (*cap, i as u32, b"data".as_slice()))
+            .collect();
+        client.write_many(&writes).unwrap();
+        let reads: Vec<(Capability, u32, u32)> = caps
+            .iter()
+            .enumerate()
+            .map(|(i, cap)| (*cap, i as u32, 4))
+            .collect();
+        for body in client.read_many(&reads).unwrap() {
+            assert_eq!(&body[..], b"data");
+        }
+        client.free_many(&caps).unwrap();
+        assert_eq!(client.statfs().unwrap().allocated_blocks, 0);
+        runner.stop();
+    }
+
+    #[test]
+    fn oversized_batched_alloc_returns_the_partial_run() {
+        let (_net, runner, client) = setup(DiskConfig {
+            block_size: 32,
+            capacity_blocks: 2,
+        });
+        assert_eq!(
+            client.alloc_many(3).unwrap_err(),
+            ClientError::Status(Status::NoSpace)
+        );
+        assert_eq!(
+            client.statfs().unwrap().allocated_blocks,
+            0,
+            "the two blocks that did allocate must have been freed"
+        );
         runner.stop();
     }
 

@@ -30,6 +30,11 @@
 //!   directory exactly as §3.4 prescribes, so clients bootstrap the
 //!   range map with ordinary directory lookups.
 //!
+//! A third, finer-grained shape handles hot *directories* rather than
+//! hot services: [`ShardedDir`] hashes the entries of one logical
+//! directory across several directory-server replicas, with fan-out
+//! operations batched one frame per replica.
+//!
 //! The discovery machinery lives in `amoeba-rpc` (`Locator` replica
 //! sets, `Matchmaker` registration, the cluster wire frames of
 //! `docs/PROTOCOL.md`); this crate composes it with the server runtime
@@ -38,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dir;
 mod registry;
 mod replicated;
 mod sharded;
 mod sim;
 
 pub use amoeba_rpc::{PlacementPolicy, Replica};
+pub use dir::ShardedDir;
 pub use registry::ClusterRegistry;
 pub use replicated::{ClusterClient, HealthProber, ServiceCluster};
 pub use sharded::{range_capability, ShardedClient, ShardedCluster};

@@ -1,0 +1,261 @@
+//! The client-side capability cache: (directory capability, name) →
+//! capability, with a TTL riding the network's shared [`Clock`].
+//!
+//! The hit path is the whole point: **zero heap allocations and zero
+//! locks**, so a cached lookup costs hashing the name plus a handful
+//! of atomic loads — cheap enough to consult before every resolution
+//! hop. Like the F-box memo, this is a *pure cache*: bounded by
+//! construction (a fixed direct-mapped slot array, collisions simply
+//! overwrite), safe to drop wholesale, never authoritative. Staleness
+//! is bounded by the TTL — a concurrent rename on another client is
+//! visible here for at most `ttl` of timeline time — and the owning
+//! [`DirClient`](crate::DirClient) invalidates eagerly on its own
+//! `NotFound`s, removes and renames.
+//!
+//! Each slot is a tiny seqlock (the flight-recorder idiom, but with
+//! CAS-claimed write ownership so a torn write can never be
+//! *accepted*): an even stamp brackets stable fields, an odd stamp
+//! marks a write in progress, and both readers and competing writers
+//! simply treat a busy slot as a miss — caches may always miss.
+//!
+//! [`Clock`]: amoeba_net::Clock
+
+use amoeba_cap::Capability;
+use amoeba_net::Timestamp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Slot count; a power of two so indexing is one mask. 512 slots × 6
+/// words ≈ 24 KiB per client.
+const SLOTS: usize = 512;
+
+/// FNV-1a offset basis (the standard one) and a second, independent
+/// basis so every key carries 128 bits of hash: a single 64-bit hash
+/// indexes the table, but accepting a hit on it alone would let a
+/// colliding name silently return the wrong capability.
+const FNV_BASIS_A: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_BASIS_B: u64 = 0xAF63_BD4C_8601_B7DF;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[derive(Debug)]
+struct Slot {
+    /// 0 = never written; odd = write in progress; even ≥ 2 = stable.
+    stamp: AtomicU64,
+    key_a: AtomicU64,
+    key_b: AtomicU64,
+    /// The 16-byte wire form of the cached capability, split across
+    /// two words.
+    cap_hi: AtomicU64,
+    cap_lo: AtomicU64,
+    /// Timeline nanoseconds after which the entry is dead. 0 = dead.
+    expires_ns: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            key_a: AtomicU64::new(0),
+            key_b: AtomicU64::new(0),
+            cap_hi: AtomicU64::new(0),
+            cap_lo: AtomicU64::new(0),
+            expires_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims write ownership: the stamp goes odd, or the slot is busy
+    /// and the write is skipped (insertion is best-effort).
+    fn claim(&self) -> Option<u64> {
+        let s = self.stamp.load(Ordering::Acquire);
+        if s % 2 == 1 {
+            return None;
+        }
+        self.stamp
+            .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .ok()
+            .map(|_| s)
+    }
+}
+
+/// A bounded, lock-free (dir-cap, name) → capability cache.
+///
+/// See the `cache` module docs for the staleness contract.
+#[derive(Debug)]
+pub struct CapCache {
+    slots: Box<[Slot]>,
+    ttl_ns: u64,
+}
+
+fn fnv1a(basis: u64, dir: &Capability, name: &str) -> u64 {
+    let mut h = basis;
+    for byte in dir.encode().into_iter().chain(name.bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn nanos(t: Timestamp) -> u64 {
+    t.since_epoch().as_nanos().min(u64::MAX as u128) as u64
+}
+
+impl CapCache {
+    /// An empty cache whose entries live for `ttl` of timeline time.
+    pub fn new(ttl: Duration) -> CapCache {
+        let mut slots = Vec::with_capacity(SLOTS);
+        slots.resize_with(SLOTS, Slot::empty);
+        CapCache {
+            slots: slots.into_boxed_slice(),
+            ttl_ns: ttl.as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// The configured entry lifetime.
+    pub fn ttl(&self) -> Duration {
+        Duration::from_nanos(self.ttl_ns)
+    }
+
+    fn slot(&self, key_a: u64) -> &Slot {
+        &self.slots[(key_a as usize) & (SLOTS - 1)]
+    }
+
+    /// Looks `(dir, name)` up; `now` is the network's timeline time.
+    /// Zero allocations, zero locks, bounded work — a busy or torn
+    /// slot reads as a miss rather than being retried.
+    pub fn get(&self, dir: &Capability, name: &str, now: Timestamp) -> Option<Capability> {
+        let key_a = fnv1a(FNV_BASIS_A, dir, name);
+        let slot = self.slot(key_a);
+        let s1 = slot.stamp.load(Ordering::Acquire);
+        if s1 == 0 || s1 % 2 == 1 {
+            return None;
+        }
+        let seen_a = slot.key_a.load(Ordering::Acquire);
+        let seen_b = slot.key_b.load(Ordering::Acquire);
+        let cap_hi = slot.cap_hi.load(Ordering::Acquire);
+        let cap_lo = slot.cap_lo.load(Ordering::Acquire);
+        let expires = slot.expires_ns.load(Ordering::Acquire);
+        if slot.stamp.load(Ordering::Acquire) != s1 {
+            return None;
+        }
+        if seen_a != key_a || seen_b != fnv1a(FNV_BASIS_B, dir, name) {
+            return None;
+        }
+        if nanos(now) >= expires {
+            return None;
+        }
+        let mut wire = [0u8; 16];
+        wire[..8].copy_from_slice(&cap_hi.to_be_bytes());
+        wire[8..].copy_from_slice(&cap_lo.to_be_bytes());
+        Capability::decode(&wire)
+    }
+
+    /// Records `(dir, name) → cap`, expiring `ttl` from `now`.
+    /// Best-effort: a slot busy under a concurrent writer is skipped.
+    pub fn insert(&self, dir: &Capability, name: &str, cap: &Capability, now: Timestamp) {
+        let key_a = fnv1a(FNV_BASIS_A, dir, name);
+        let slot = self.slot(key_a);
+        let Some(s) = slot.claim() else { return };
+        let wire = cap.encode();
+        let mut hi = [0u8; 8];
+        let mut lo = [0u8; 8];
+        hi.copy_from_slice(&wire[..8]);
+        lo.copy_from_slice(&wire[8..]);
+        slot.key_a.store(key_a, Ordering::Release);
+        slot.key_b
+            .store(fnv1a(FNV_BASIS_B, dir, name), Ordering::Release);
+        slot.cap_hi.store(u64::from_be_bytes(hi), Ordering::Release);
+        slot.cap_lo.store(u64::from_be_bytes(lo), Ordering::Release);
+        slot.expires_ns
+            .store(nanos(now).saturating_add(self.ttl_ns), Ordering::Release);
+        slot.stamp.store(s + 2, Ordering::Release);
+    }
+
+    /// Kills any entry for `(dir, name)` — called on `NotFound`, so a
+    /// name another client removed stops being served the moment this
+    /// client notices.
+    pub fn invalidate(&self, dir: &Capability, name: &str) {
+        let key_a = fnv1a(FNV_BASIS_A, dir, name);
+        let slot = self.slot(key_a);
+        let Some(s) = slot.claim() else { return };
+        if slot.key_a.load(Ordering::Acquire) == key_a
+            && slot.key_b.load(Ordering::Acquire) == fnv1a(FNV_BASIS_B, dir, name)
+        {
+            slot.expires_ns.store(0, Ordering::Release);
+        }
+        slot.stamp.store(s + 2, Ordering::Release);
+    }
+
+    /// Kills *every* entry — called on remove and rename, because
+    /// resolved prefixes are memoised under composite `(dir, "a/b/c")`
+    /// keys that a targeted invalidation cannot enumerate (the slots
+    /// hold only hashes). A pure cache may always be dropped; this
+    /// keeps "this client's own mutations are never served stale"
+    /// unconditional.
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            // A slot busy under a concurrent insert is left alone: that
+            // insert raced the mutation and is equivalent to one that
+            // landed just after the clear.
+            let Some(s) = slot.claim() else { continue };
+            slot.expires_ns.store(0, Ordering::Release);
+            slot.stamp.store(s + 2, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_cap::{ObjectNum, Rights};
+    use amoeba_net::Port;
+
+    fn cap(object: u32) -> Capability {
+        Capability::new(
+            Port::new(0xD1D1).unwrap(),
+            ObjectNum::new(object).unwrap(),
+            Rights::ALL,
+            0xC0FFEE,
+        )
+    }
+
+    fn at(ns: u64) -> Timestamp {
+        Timestamp::ZERO + Duration::from_nanos(ns)
+    }
+
+    #[test]
+    fn hit_roundtrips_the_capability() {
+        let cache = CapCache::new(Duration::from_secs(1));
+        let dir = cap(1);
+        let target = cap(2);
+        assert_eq!(cache.get(&dir, "x", at(0)), None);
+        cache.insert(&dir, "x", &target, at(0));
+        assert_eq!(cache.get(&dir, "x", at(10)), Some(target));
+        // A different name or directory misses.
+        assert_eq!(cache.get(&dir, "y", at(10)), None);
+        assert_eq!(cache.get(&cap(3), "x", at(10)), None);
+    }
+
+    #[test]
+    fn entries_expire_at_ttl() {
+        let cache = CapCache::new(Duration::from_nanos(100));
+        let (dir, target) = (cap(1), cap(2));
+        cache.insert(&dir, "x", &target, at(50));
+        assert_eq!(cache.get(&dir, "x", at(149)), Some(target));
+        assert_eq!(cache.get(&dir, "x", at(150)), None, "dead exactly at TTL");
+    }
+
+    #[test]
+    fn invalidate_kills_only_its_key() {
+        let cache = CapCache::new(Duration::from_secs(1));
+        let dir = cap(1);
+        cache.insert(&dir, "a", &cap(2), at(0));
+        cache.insert(&dir, "b", &cap(3), at(0));
+        cache.invalidate(&dir, "a");
+        assert_eq!(cache.get(&dir, "a", at(1)), None);
+        assert_eq!(cache.get(&dir, "b", at(1)), Some(cap(3)));
+        // Invalidating an absent name must not kill a colliding slot's
+        // different key.
+        cache.invalidate(&dir, "never-inserted");
+        assert_eq!(cache.get(&dir, "b", at(1)), Some(cap(3)));
+    }
+}

@@ -11,7 +11,12 @@
 //!
 //! [`DirClient::walk`] implements exactly that client-side path walk:
 //! each step routes to the port in the capability returned by the
-//! previous step.
+//! previous step. [`DirClient::resolve`] is the fast path over the
+//! same namespace: one `RESOLVE` frame per *hop-chain* — the server
+//! walks every locally-owned segment itself and hands back either the
+//! final capability or the capability at the first cross-server
+//! boundary, where the client resumes — plus an optional client-side
+//! [`CapCache`] so repeated resolutions cost no frames at all.
 //!
 //! # Example
 //!
@@ -36,13 +41,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+
+pub use cache::CapCache;
+
 use amoeba_cap::schemes::SchemeKind;
 use amoeba_cap::{Capability, Rights};
-use amoeba_net::{Network, Port};
+use amoeba_net::{EventKind, Network, Port, Timestamp};
 use amoeba_server::proto::{Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
 use bytes::Bytes;
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// Directory-server operation codes.
 pub mod ops {
@@ -63,6 +73,19 @@ pub mod ops {
     /// Rename an entry (requires WRITE). Params: `str from`, `str to`.
     /// `NotFound` if `from` is absent, `Conflict` if `to` exists.
     pub const RENAME: u32 = 7;
+    /// Resolve a multi-component `/`-separated path in one frame
+    /// (requires READ on every directory walked). Params: `str path`.
+    /// The server walks segments as long as each intermediate
+    /// capability names an object it serves itself, then stops.
+    ///
+    /// The reply is always `Status::Ok` at the envelope level with a
+    /// structured body — `u32 consumed`, `u32 status`, and (when
+    /// `status` is `Ok`) the capability reached — so the client learns
+    /// *how far* the walk got even on failure, which a bare error
+    /// status could not carry. `consumed < total segments` with an
+    /// `Ok` status is the cross-server handoff: the client resumes at
+    /// the returned capability's port.
+    pub const RESOLVE: u32 = 8;
 }
 
 type Directory = BTreeMap<String, Capability>;
@@ -82,12 +105,14 @@ impl DirServer {
     }
 
     fn lookup(&self, req: &Request) -> Reply {
-        let Some(name) = wire::Reader::new(&req.params).str() else {
+        // `str_ref`: the name is only compared, never kept — the reply
+        // path stays free of stray heap copies (PR 5 pooling audit).
+        let Some(name) = wire::Reader::new(&req.params).str_ref() else {
             return Reply::status(Status::BadRequest);
         };
         match self
             .table
-            .with_object(&req.cap, Rights::READ, |d| d.get(&name).copied())
+            .with_object(&req.cap, Rights::READ, |d| d.get(name).copied())
         {
             Ok(Some(cap)) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
             Ok(None) => Reply::status(Status::NotFound),
@@ -97,17 +122,18 @@ impl DirServer {
 
     fn enter(&self, req: &Request) -> Reply {
         let mut r = wire::Reader::new(&req.params);
-        let (Some(name), Some(cap)) = (r.str(), r.cap()) else {
+        let (Some(name), Some(cap)) = (r.str_ref(), r.cap()) else {
             return Reply::status(Status::BadRequest);
         };
         if name.is_empty() || name.contains('/') {
             return Reply::status(Status::BadRequest);
         }
         let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |d| {
-            if d.contains_key(&name) {
+            if d.contains_key(name) {
                 false
             } else {
-                d.insert(name.clone(), cap);
+                // The only copy: the directory owns the stored name.
+                d.insert(name.to_owned(), cap);
                 true
             }
         });
@@ -119,12 +145,12 @@ impl DirServer {
     }
 
     fn remove(&self, req: &Request) -> Reply {
-        let Some(name) = wire::Reader::new(&req.params).str() else {
+        let Some(name) = wire::Reader::new(&req.params).str_ref() else {
             return Reply::status(Status::BadRequest);
         };
         match self
             .table
-            .with_object_mut(&req.cap, Rights::WRITE, |d| d.remove(&name).is_some())
+            .with_object_mut(&req.cap, Rights::WRITE, |d| d.remove(name).is_some())
         {
             Ok(true) => Reply::ok(Bytes::new()),
             Ok(false) => Reply::status(Status::NotFound),
@@ -147,7 +173,7 @@ impl DirServer {
 
     fn rename(&self, req: &Request) -> Reply {
         let mut r = wire::Reader::new(&req.params);
-        let (Some(from), Some(to)) = (r.str(), r.str()) else {
+        let (Some(from), Some(to)) = (r.str_ref(), r.str_ref()) else {
             return Reply::status(Status::BadRequest);
         };
         if to.is_empty() || to.contains('/') {
@@ -155,18 +181,18 @@ impl DirServer {
         }
         let result = self.table.with_object_mut(&req.cap, Rights::WRITE, |d| {
             if from == to {
-                return if d.contains_key(&from) {
+                return if d.contains_key(from) {
                     Ok(())
                 } else {
                     Err(Status::NotFound)
                 };
             }
-            if d.contains_key(&to) {
+            if d.contains_key(to) {
                 return Err(Status::Conflict);
             }
-            match d.remove(&from) {
+            match d.remove(from) {
                 Some(cap) => {
-                    d.insert(to.clone(), cap);
+                    d.insert(to.to_owned(), cap);
                     Ok(())
                 }
                 None => Err(Status::NotFound),
@@ -177,6 +203,56 @@ impl DirServer {
             Ok(Err(status)) => Reply::status(status),
             Err(e) => Reply::status(e.into()),
         }
+    }
+
+    /// Encodes the RESOLVE reply body: how far the walk got, what
+    /// stopped it (or `Ok`), and the capability reached if any. Always
+    /// an `Ok` envelope — a bare error status cannot carry `consumed`.
+    fn resolve_reply(consumed: u32, status: Status, cap: Option<&Capability>) -> Reply {
+        let mut w = wire::Writer::new().u32(consumed).u32(status as u32);
+        if let Some(cap) = cap {
+            w = w.cap(cap);
+        }
+        Reply::ok(w.finish())
+    }
+
+    /// The server half of the batched path walk: consume as many
+    /// segments as name objects on *this* server, then either finish
+    /// or hand the chain off at the first foreign capability.
+    fn resolve(&self, req: &Request) -> Reply {
+        let Some(path) = wire::Reader::new(&req.params).str_ref() else {
+            return Reply::status(Status::BadRequest);
+        };
+        let own_port = self.table.port();
+        let mut current = req.cap;
+        let mut consumed = 0u32;
+        let mut segs = path.split('/').filter(|s| !s.is_empty()).peekable();
+        if segs.peek().is_none() {
+            // An empty path still validates the starting capability.
+            return match self.table.with_object(&req.cap, Rights::READ, |_| ()) {
+                Ok(()) => Self::resolve_reply(0, Status::Ok, Some(&req.cap)),
+                Err(e) => Self::resolve_reply(0, e.into(), None),
+            };
+        }
+        while let Some(segment) = segs.next() {
+            let found = self
+                .table
+                .with_object(&current, Rights::READ, |d| d.get(segment).copied());
+            match found {
+                Ok(Some(cap)) => {
+                    consumed += 1;
+                    if segs.peek().is_none() || cap.port != own_port {
+                        // Done — or the chain crosses to another
+                        // server and the client resumes there.
+                        return Self::resolve_reply(consumed, Status::Ok, Some(&cap));
+                    }
+                    current = cap;
+                }
+                Ok(None) => return Self::resolve_reply(consumed, Status::NotFound, None),
+                Err(e) => return Self::resolve_reply(consumed, e.into(), None),
+            }
+        }
+        unreachable!("the loop returns on the last segment");
     }
 
     fn delete_dir(&self, req: &Request) -> Reply {
@@ -223,9 +299,82 @@ impl Service for DirServer {
             ops::LIST => self.list(req),
             ops::DELETE_DIR => self.delete_dir(req),
             ops::RENAME => self.rename(req),
+            ops::RESOLVE => self.resolve(req),
             _ => Reply::status(Status::BadCommand),
         }
     }
+}
+
+/// A path operation failed at a specific segment: [`DirClient::walk`]
+/// and [`DirClient::resolve`] both report *which* component broke the
+/// chain, not just that something did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathError {
+    /// 0-based index of the failing segment among the path's
+    /// non-empty segments.
+    pub index: usize,
+    /// The failing segment's text (empty if the reply was malformed
+    /// beyond locating one).
+    pub segment: String,
+    /// What went wrong there.
+    pub error: ClientError,
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "path segment {} ({:?}): {}",
+            self.index, self.segment, self.error
+        )
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl From<PathError> for ClientError {
+    fn from(e: PathError) -> ClientError {
+        e.error
+    }
+}
+
+/// Builds a [`PathError`] for segment `index` of `path`.
+fn path_error(path: &str, index: usize, error: ClientError) -> PathError {
+    let segment = path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .nth(index)
+        .unwrap_or_default()
+        .to_owned();
+    PathError {
+        index,
+        segment,
+        error,
+    }
+}
+
+/// Splits `path` after its first `n` non-empty segments, returning
+/// `(consumed_prefix, remainder)`.
+fn split_after_segments(path: &str, n: usize) -> (&str, &str) {
+    if n == 0 {
+        return ("", path);
+    }
+    let mut seen = 0usize;
+    let mut in_segment = false;
+    for (i, b) in path.bytes().enumerate() {
+        if b == b'/' {
+            if in_segment {
+                seen += 1;
+                if seen == n {
+                    return (&path[..i], &path[i..]);
+                }
+                in_segment = false;
+            }
+        } else {
+            in_segment = true;
+        }
+    }
+    (path, "")
 }
 
 /// A typed client for directory servers.
@@ -233,10 +382,17 @@ impl Service for DirServer {
 /// Note the client is *not* bound to one server: every operation routes
 /// to the port inside the directory capability, so a path walk hops
 /// between servers transparently.
+///
+/// With [`with_cache`](Self::with_cache), lookups and resolutions
+/// consult a local [`CapCache`] first: hits cost zero frames, zero
+/// heap allocations and zero locks. The cache is TTL-bounded against
+/// *other* clients' mutations and invalidated eagerly against this
+/// client's own (`remove`, `rename`, observed `NotFound`s).
 #[derive(Debug)]
 pub struct DirClient {
     svc: ServiceClient,
     default_port: Port,
+    cache: Option<CapCache>,
 }
 
 impl DirClient {
@@ -247,12 +403,36 @@ impl DirClient {
         DirClient {
             svc: ServiceClient::open(net),
             default_port,
+            cache: None,
         }
     }
 
     /// A client over an existing [`ServiceClient`].
     pub fn with_service(svc: ServiceClient, default_port: Port) -> DirClient {
-        DirClient { svc, default_port }
+        DirClient {
+            svc,
+            default_port,
+            cache: None,
+        }
+    }
+
+    /// Enables the client-side capability cache with entries living
+    /// `ttl` of timeline time. Opt-in: a cached client may serve a
+    /// name up to `ttl` stale against another client's rename/remove.
+    #[must_use]
+    pub fn with_cache(mut self, ttl: Duration) -> DirClient {
+        self.cache = Some(CapCache::new(ttl));
+        self
+    }
+
+    /// The cache, if enabled.
+    pub fn cache(&self) -> Option<&CapCache> {
+        self.cache.as_ref()
+    }
+
+    /// The network's current timeline time (TTLs ride the shared clock).
+    fn now(&self) -> Timestamp {
+        self.svc.rpc().endpoint().now()
     }
 
     /// Creates an empty directory on the default server.
@@ -272,15 +452,29 @@ impl DirClient {
         wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
     }
 
-    /// Looks `name` up in `dir` (routed to `dir.port`).
+    /// Looks `name` up in `dir` (routed to `dir.port`). With a cache
+    /// enabled, a live cached entry answers without any frame.
     ///
     /// # Errors
     /// `NotFound`, rights/validation errors.
     pub fn lookup(&self, dir: &Capability, name: &str) -> Result<Capability, ClientError> {
-        let body = self
+        if let Some(cache) = &self.cache {
+            if let Some(cap) = cache.get(dir, name, self.now()) {
+                return Ok(cap);
+            }
+        }
+        let result = self
             .svc
-            .call(dir, ops::LOOKUP, wire::Writer::new().str(name).finish())?;
-        wire::Reader::new(&body).cap().ok_or(ClientError::Malformed)
+            .call(dir, ops::LOOKUP, wire::Writer::new().str(name).finish())
+            .and_then(|body| wire::Reader::new(&body).cap().ok_or(ClientError::Malformed));
+        if let Some(cache) = &self.cache {
+            match &result {
+                Ok(cap) => cache.insert(dir, name, cap, self.now()),
+                Err(ClientError::Status(Status::NotFound)) => cache.invalidate(dir, name),
+                Err(_) => {}
+            }
+        }
+        result
     }
 
     /// Enters `(name, cap)` into `dir`.
@@ -293,6 +487,9 @@ impl DirClient {
             ops::ENTER,
             wire::Writer::new().str(name).cap(cap).finish(),
         )?;
+        if let Some(cache) = &self.cache {
+            cache.insert(dir, name, cap, self.now());
+        }
         Ok(())
     }
 
@@ -301,6 +498,11 @@ impl DirClient {
     /// # Errors
     /// `NotFound`; rights/validation errors.
     pub fn remove(&self, dir: &Capability, name: &str) -> Result<(), ClientError> {
+        if let Some(cache) = &self.cache {
+            // A full clear, not a targeted kill: resolved prefixes are
+            // memoised under composite keys this name may be part of.
+            cache.clear();
+        }
         self.svc
             .call(dir, ops::REMOVE, wire::Writer::new().str(name).finish())?;
         Ok(())
@@ -327,6 +529,10 @@ impl DirClient {
     /// `NotFound` if `from` is absent, `Conflict` if `to` exists;
     /// rights/validation errors.
     pub fn rename(&self, dir: &Capability, from: &str, to: &str) -> Result<(), ClientError> {
+        if let Some(cache) = &self.cache {
+            // See `remove` — composite path keys force a full clear.
+            cache.clear();
+        }
         self.svc.call(
             dir,
             ops::RENAME,
@@ -345,16 +551,119 @@ impl DirClient {
     }
 
     /// Walks a `/`-separated path from `root`, hopping servers as the
-    /// stored capabilities dictate (§3.4's `a/b/c` example). Empty
-    /// segments are ignored, so `"a//b/"` equals `"a/b"`.
+    /// stored capabilities dictate (§3.4's `a/b/c` example) — one RPC
+    /// per component. Empty segments are ignored, so `"a//b/"` equals
+    /// `"a/b"`. Prefer [`resolve`](Self::resolve), which covers each
+    /// hop-chain in a single frame; `walk` remains the reference
+    /// oracle the fast path is tested against.
     ///
     /// # Errors
-    /// `NotFound` at the failing segment; rights/validation errors.
-    pub fn walk(&self, root: &Capability, path: &str) -> Result<Capability, ClientError> {
+    /// A [`PathError`] naming the failing segment: `NotFound`,
+    /// rights/validation errors.
+    pub fn walk(&self, root: &Capability, path: &str) -> Result<Capability, PathError> {
         let mut current = *root;
-        for segment in path.split('/').filter(|s| !s.is_empty()) {
-            current = self.lookup(&current, segment)?;
+        for (index, segment) in path.split('/').filter(|s| !s.is_empty()).enumerate() {
+            current = self.lookup(&current, segment).map_err(|error| PathError {
+                index,
+                segment: segment.to_owned(),
+                error,
+            })?;
         }
+        Ok(current)
+    }
+
+    /// Resolves a `/`-separated path from `root` using the batched
+    /// server-side walk: **one frame per hop-chain** instead of one
+    /// per component. Each server consumes every segment it can serve
+    /// locally; the client only resumes at genuine cross-server
+    /// boundaries, exactly the transparency §3.4 describes. With a
+    /// cache enabled, consumed prefixes and the full path are recorded
+    /// and a live hit costs zero frames.
+    ///
+    /// Records an [`EventKind::PathResolve`] span event (operands:
+    /// hops, segments consumed) under the first hop's trace id, so
+    /// flight recordings show the resolution fan-out.
+    ///
+    /// # Errors
+    /// A [`PathError`] naming the failing segment, in parity with
+    /// [`walk`](Self::walk).
+    pub fn resolve(&self, root: &Capability, path: &str) -> Result<Capability, PathError> {
+        let endpoint = self.svc.rpc().endpoint();
+        // Peeked *before* the first hop: the first transaction will
+        // mint exactly this id, tying the PathResolve span event to
+        // the hop-chain it summarises.
+        let trace_hint = self.svc.rpc().trace_peek();
+        let full = path.trim_start_matches('/');
+        let mut current = *root;
+        let mut rest = full;
+        let mut base = 0usize;
+        let mut hops = 0u64;
+        while !rest.is_empty() {
+            if let Some(cache) = &self.cache {
+                if let Some(cap) = cache.get(&current, rest, endpoint.now()) {
+                    base += rest.split('/').filter(|s| !s.is_empty()).count();
+                    current = cap;
+                    break;
+                }
+            }
+            hops += 1;
+            let body = self
+                .svc
+                .call(
+                    &current,
+                    ops::RESOLVE,
+                    wire::Writer::new().str(rest).finish(),
+                )
+                .map_err(|error| path_error(full, base, error))?;
+            let mut r = wire::Reader::new(&body);
+            let (Some(consumed), Some(status_raw)) = (r.u32(), r.u32()) else {
+                return Err(path_error(full, base, ClientError::Malformed));
+            };
+            let Some(status) = Status::from_u32(status_raw) else {
+                return Err(path_error(full, base, ClientError::Malformed));
+            };
+            let consumed = consumed as usize;
+            if status != Status::Ok {
+                return Err(path_error(
+                    full,
+                    base + consumed,
+                    ClientError::Status(status),
+                ));
+            }
+            let Some(cap) = r.cap() else {
+                return Err(path_error(full, base, ClientError::Malformed));
+            };
+            if consumed == 0 {
+                // A server consuming nothing on a non-empty path would
+                // loop the client forever; treat it as a broken reply.
+                return Err(path_error(full, base, ClientError::Malformed));
+            }
+            let (prefix, after) = split_after_segments(rest, consumed);
+            if let Some(cache) = &self.cache {
+                cache.insert(&current, prefix, &cap, endpoint.now());
+            }
+            base += consumed;
+            current = cap;
+            rest = after.trim_start_matches('/');
+        }
+        if hops > 1 {
+            // Multi-hop chains also memoise end-to-end, so the repeat
+            // resolution is a single cache probe.
+            if let Some(cache) = &self.cache {
+                cache.insert(root, full, &current, endpoint.now());
+            }
+        }
+        let now = endpoint
+            .now()
+            .since_epoch()
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        // A pure cache hit is not transaction-scoped (no trans ran):
+        // trace 0 keeps it out of per-transaction spans.
+        let trace = if hops == 0 { 0 } else { trace_hint };
+        endpoint
+            .obs()
+            .record(EventKind::PathResolve, now, trace, hops, base as u64);
         Ok(current)
     }
 
@@ -523,10 +832,10 @@ mod tests {
         assert_eq!(dirs.walk(&root, "a/b/c").unwrap(), c);
         assert_eq!(dirs.walk(&root, "/a//b/c/").unwrap(), c, "empty segments");
         assert_eq!(dirs.walk(&root, "").unwrap(), root);
-        assert_eq!(
-            dirs.walk(&root, "a/missing/c").unwrap_err(),
-            ClientError::Status(Status::NotFound)
-        );
+        let err = dirs.walk(&root, "a/missing/c").unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.segment, "missing");
+        assert_eq!(err.error, ClientError::Status(Status::NotFound));
         runner.stop();
     }
 
@@ -551,5 +860,124 @@ mod tests {
         assert_ne!(root.port, found.port);
         runner1.stop();
         runner2.stop();
+    }
+
+    /// Builds `root/s0/s1/…/s{depth-1}` on one server and returns
+    /// `(root, leaf, path)`.
+    fn deep_chain(dirs: &DirClient, depth: usize) -> (Capability, Capability, String) {
+        let root = dirs.create_dir().unwrap();
+        let mut current = root;
+        let mut segments = Vec::new();
+        for i in 0..depth {
+            let next = dirs.create_dir().unwrap();
+            let name = format!("s{i}");
+            dirs.enter(&current, &name, &next).unwrap();
+            segments.push(name);
+            current = next;
+        }
+        (root, current, segments.join("/"))
+    }
+
+    #[test]
+    fn resolve_matches_walk_in_one_frame() {
+        let (net, runner, dirs) = setup();
+        let (root, leaf, path) = deep_chain(&dirs, 8);
+
+        let before = net.stats().snapshot().packets_sent;
+        let walked = dirs.walk(&root, &path).unwrap();
+        let walk_frames = net.stats().snapshot().packets_sent - before;
+
+        let before = net.stats().snapshot().packets_sent;
+        let resolved = dirs.resolve(&root, &path).unwrap();
+        let resolve_frames = net.stats().snapshot().packets_sent - before;
+
+        assert_eq!(walked, leaf);
+        assert_eq!(resolved, leaf);
+        // Eight lookups vs a single RESOLVE round-trip.
+        assert_eq!(resolve_frames, 2);
+        assert!(
+            walk_frames >= 4 * resolve_frames,
+            "walk {walk_frames} frames vs resolve {resolve_frames}"
+        );
+        // Leading slashes and empty segments behave like walk.
+        let s1 = dirs.walk(&root, "s0/s1").unwrap();
+        assert_eq!(dirs.resolve(&root, "/s0//s1/").unwrap(), s1);
+        assert_eq!(dirs.resolve(&root, "").unwrap(), root);
+        runner.stop();
+    }
+
+    #[test]
+    fn resolve_hands_off_across_servers() {
+        let net = Network::new();
+        let runner1 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::OneWay));
+        let runner2 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+        let dirs = DirClient::open(&net, runner1.put_port());
+
+        // root/a on server 1, then b/c on server 2.
+        let root = dirs.create_dir_on(runner1.put_port()).unwrap();
+        let a = dirs.create_dir_on(runner1.put_port()).unwrap();
+        let b = dirs.create_dir_on(runner2.put_port()).unwrap();
+        let c = dirs.create_dir_on(runner2.put_port()).unwrap();
+        dirs.enter(&root, "a", &a).unwrap();
+        dirs.enter(&a, "b", &b).unwrap();
+        dirs.enter(&b, "c", &c).unwrap();
+
+        let before = net.stats().snapshot().packets_sent;
+        let found = dirs.resolve(&root, "a/b/c").unwrap();
+        let frames = net.stats().snapshot().packets_sent - before;
+        assert_eq!(found, c);
+        // Two hop-chains (server 1 consumes a/b, server 2 consumes c):
+        // two round-trips, regardless of depth per server.
+        assert_eq!(frames, 4);
+        runner1.stop();
+        runner2.stop();
+    }
+
+    #[test]
+    fn resolve_reports_the_failing_segment_like_walk() {
+        let (_n, runner, dirs) = setup();
+        let (root, _leaf, _path) = deep_chain(&dirs, 3);
+        let walk_err = dirs.walk(&root, "s0/ghost/s2").unwrap_err();
+        let resolve_err = dirs.resolve(&root, "s0/ghost/s2").unwrap_err();
+        assert_eq!(resolve_err, walk_err);
+        assert_eq!(resolve_err.index, 1);
+        assert_eq!(resolve_err.segment, "ghost");
+        assert_eq!(resolve_err.error, ClientError::Status(Status::NotFound));
+
+        // A leaf that exists but is not a directory on this server:
+        // the error indexes the segment *after* it.
+        let not_dir = dirs
+            .service()
+            .restrict(&dirs.create_dir().unwrap(), Rights::NONE)
+            .unwrap();
+        dirs.enter(&root, "locked", &not_dir).unwrap();
+        let err = dirs.resolve(&root, "locked/inner").unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(dirs.walk(&root, "locked/inner").unwrap_err().index, 1);
+        runner.stop();
+    }
+
+    #[test]
+    fn cached_resolve_answers_without_frames() {
+        let (net, runner, dirs) = setup();
+        let dirs = dirs.with_cache(Duration::from_secs(60));
+        let (root, leaf, path) = deep_chain(&dirs, 6);
+
+        assert_eq!(dirs.resolve(&root, &path).unwrap(), leaf);
+        let before = net.stats().snapshot().packets_sent;
+        assert_eq!(dirs.resolve(&root, &path).unwrap(), leaf);
+        assert_eq!(
+            net.stats().snapshot().packets_sent,
+            before,
+            "repeat resolve must be served from cache"
+        );
+
+        // The client's own rename invalidates, so the next resolve
+        // goes back to the server and sees the new truth.
+        dirs.rename(&root, "s0", "renamed").unwrap();
+        let err = dirs.resolve(&root, &path).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(err.error, ClientError::Status(Status::NotFound));
+        runner.stop();
     }
 }

@@ -25,11 +25,41 @@ use amoeba_server::proto::{Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectLocks, ObjectTable, RequestCtx, Service};
 use bytes::Bytes;
 
+/// One contiguous allocation: a block-server extent capability and the
+/// number of blocks it covers. Each file write that grows the file
+/// adds at most one extent (one `ALLOC_N` round-trip), so a file's
+/// metadata is O(growth events), not O(blocks).
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    /// Full-rights extent capability, private to this server.
+    cap: Capability,
+    blocks: u32,
+}
+
 #[derive(Debug)]
 struct Inode {
     size: u64,
-    /// Full-rights block capabilities, private to this server.
-    blocks: Vec<Capability>,
+    extents: Vec<Extent>,
+}
+
+/// Maps the byte range `[start, end)` onto `(extent index,
+/// within-extent offset, length)` runs, in order.
+fn extent_runs(extents: &[Extent], bs: u64, start: u64, end: u64) -> Vec<(usize, u32, u32)> {
+    let mut runs = Vec::new();
+    let mut base = 0u64;
+    for (idx, ext) in extents.iter().enumerate() {
+        let ext_end = base + u64::from(ext.blocks) * bs;
+        if ext_end > start && base < end {
+            let run_start = start.max(base);
+            let run_end = end.min(ext_end);
+            runs.push((idx, (run_start - base) as u32, (run_end - run_start) as u32));
+        }
+        if ext_end >= end {
+            break;
+        }
+        base = ext_end;
+    }
+    runs
 }
 
 /// A flat file server whose storage is a block server.
@@ -75,7 +105,7 @@ impl BlockFlatFsServer {
     fn create(&self) -> Reply {
         let (_, cap) = self.table.create(Inode {
             size: 0,
-            blocks: Vec::new(),
+            extents: Vec::new(),
         });
         Reply::ok(wire::Writer::new().cap(&cap).finish())
     }
@@ -87,30 +117,32 @@ impl BlockFlatFsServer {
         };
         let meta = self
             .table
-            .with_object(&req.cap, Rights::READ, |f| (f.size, f.blocks.clone()));
-        let (size, blocks) = match meta {
+            .with_object(&req.cap, Rights::READ, |f| (f.size, f.extents.clone()));
+        let (size, extents) = match meta {
             Ok(m) => m,
             Err(e) => return Reply::status(e.into()),
         };
         let start = offset.min(size);
         let end = offset.saturating_add(len as u64).min(size);
-        let mut out = Vec::with_capacity((end - start) as usize);
-        let bs = self.block_size;
-        let mut pos = start;
-        // No lock on the read path: the RPC client demuxes concurrent
-        // transactions and reads never touch inode metadata.
-        while pos < end {
-            let idx = (pos / bs) as usize;
-            let within = (pos % bs) as u32;
-            let take = ((bs - within as u64).min(end - pos)) as u32;
-            match self.disk.read(&blocks[idx], within, take) {
-                Ok(data) => out.extend_from_slice(&data),
-                Err(ClientError::Status(s)) => return Reply::status(s),
-                Err(_) => return Reply::status(Status::NoSpace),
+        // One gather frame covers the whole range, however many extents
+        // it crosses. No lock on the read path: the RPC client demuxes
+        // concurrent transactions and reads never touch inode metadata.
+        let gathers: Vec<(Capability, u32, u32)> =
+            extent_runs(&extents, self.block_size, start, end)
+                .into_iter()
+                .map(|(idx, within, take)| (extents[idx].cap, within, take))
+                .collect();
+        match self.disk.read_many(&gathers) {
+            Ok(bodies) => {
+                let mut out = Vec::with_capacity((end - start) as usize);
+                for body in bodies {
+                    out.extend_from_slice(&body);
+                }
+                Reply::ok(Bytes::from(out))
             }
-            pos += take as u64;
+            Err(ClientError::Status(s)) => Reply::status(s),
+            Err(_) => Reply::status(Status::NoSpace),
         }
-        Reply::ok(Bytes::from(out))
     }
 
     fn write(&self, req: &Request) -> Reply {
@@ -125,8 +157,8 @@ impl BlockFlatFsServer {
         let _writing = self.inode_locks.lock(req.cap.object);
         let meta = self
             .table
-            .with_object(&req.cap, Rights::WRITE, |f| (f.size, f.blocks.clone()));
-        let (old_size, mut blocks) = match meta {
+            .with_object(&req.cap, Rights::WRITE, |f| (f.size, f.extents.clone()));
+        let (old_size, mut extents) = match meta {
             Ok(m) => m,
             Err(e) => return Reply::status(e.into()),
         };
@@ -134,21 +166,24 @@ impl BlockFlatFsServer {
         let Some(end) = offset.checked_add(data.len() as u64) else {
             return Reply::status(Status::OutOfRange);
         };
-        let needed = end.div_ceil(bs) as usize;
-        let original_blocks = blocks.len();
-        // On any failure below, give freshly allocated blocks back —
-        // they are not yet in the inode and would otherwise leak disk
-        // capacity forever.
-        let free_new = |blocks: &[Capability]| {
-            for b in &blocks[original_blocks..] {
-                let _ = self.disk.free(b);
-            }
-        };
-        while blocks.len() < needed {
-            match self.disk.alloc() {
-                Ok(cap) => blocks.push(cap),
+        let have: u64 = extents.iter().map(|e| u64::from(e.blocks)).sum();
+        let needed = end.div_ceil(bs);
+        // At most ONE allocation round-trip, however many blocks the
+        // write needs: the shortfall comes back as a single contiguous
+        // extent. On any failure below the fresh extent is returned
+        // whole — it is not yet in the inode and would otherwise leak
+        // disk capacity forever.
+        let mut fresh: Option<Capability> = None;
+        if needed > have {
+            let Ok(shortfall) = u32::try_from(needed - have) else {
+                return Reply::status(Status::OutOfRange);
+            };
+            match self.disk.alloc_n(shortfall) {
+                Ok((cap, blocks)) => {
+                    fresh = Some(cap);
+                    extents.push(Extent { cap, blocks });
+                }
                 Err(e) => {
-                    free_new(&blocks);
                     return Reply::status(match e {
                         ClientError::Status(s) => s,
                         _ => Status::NoSpace,
@@ -156,32 +191,40 @@ impl BlockFlatFsServer {
                 }
             }
         }
-        let mut pos = offset;
-        let mut remaining = data;
-        while !remaining.is_empty() {
-            let idx = (pos / bs) as usize;
-            let within = (pos % bs) as u32;
-            let take = ((bs - within as u64) as usize).min(remaining.len());
-            if let Err(e) = self.disk.write(&blocks[idx], within, &remaining[..take]) {
-                free_new(&blocks);
-                return Reply::status(match e {
-                    ClientError::Status(s) => s,
-                    _ => Status::NoSpace,
-                });
+        let free_fresh = || {
+            if let Some(cap) = &fresh {
+                let _ = self.disk.free(cap);
             }
-            pos += take as u64;
-            remaining = &remaining[take..];
+        };
+        // One scatter frame carries every byte of the write.
+        let runs = extent_runs(&extents, bs, offset, end);
+        let mut scatters: Vec<(Capability, u32, &[u8])> = Vec::with_capacity(runs.len());
+        let mut taken = 0usize;
+        for (idx, within, take) in runs {
+            scatters.push((
+                extents[idx].cap,
+                within,
+                &data[taken..taken + take as usize],
+            ));
+            taken += take as usize;
+        }
+        if let Err(e) = self.disk.write_many(&scatters) {
+            free_fresh();
+            return Reply::status(match e {
+                ClientError::Status(s) => s,
+                _ => Status::NoSpace,
+            });
         }
         let new_size = old_size.max(end);
         match self.table.with_object_mut(&req.cap, Rights::WRITE, |f| {
             f.size = new_size;
-            f.blocks = blocks.clone();
+            f.extents = extents.clone();
         }) {
             Ok(()) => Reply::ok(wire::Writer::new().u64(new_size).finish()),
             Err(e) => {
                 // The file vanished mid-write (revoked/destroyed): the
-                // new blocks never made it into any inode.
-                free_new(&blocks);
+                // new extent never made it into any inode.
+                free_fresh();
                 Reply::status(e.into())
             }
         }
@@ -198,11 +241,11 @@ impl BlockFlatFsServer {
         match self.table.delete(&req.cap, Rights::DELETE) {
             Ok(inode) => {
                 // Wait for any in-flight writer of this inode before
-                // freeing its blocks; unrelated files are unaffected.
+                // freeing its extents (one batch frame); unrelated
+                // files are unaffected.
                 let _writing = self.inode_locks.lock(req.cap.object);
-                for b in inode.blocks {
-                    let _ = self.disk.free(&b);
-                }
+                let caps: Vec<Capability> = inode.extents.iter().map(|e| e.cap).collect();
+                let _ = self.disk.free_many(&caps);
                 Reply::ok(Bytes::new())
             }
             Err(e) => Reply::status(e.into()),

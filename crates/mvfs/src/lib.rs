@@ -47,6 +47,7 @@ use amoeba_net::{Network, Port};
 use amoeba_server::proto::{Reply, Request, Status};
 use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
 use bytes::Bytes;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Multiversion-file-server operation codes.
@@ -376,6 +377,10 @@ impl Service for MvfsServer {
 pub struct MvfsClient {
     svc: ServiceClient,
     port: Port,
+    /// The server's page size, learned once and reused — geometry is
+    /// immutable, so every later ranged read/write saves a round-trip.
+    /// 0 = not yet fetched.
+    cached_page_size: AtomicU32,
 }
 
 impl MvfsClient {
@@ -384,12 +389,17 @@ impl MvfsClient {
         MvfsClient {
             svc: ServiceClient::open(net),
             port,
+            cached_page_size: AtomicU32::new(0),
         }
     }
 
     /// A client over an existing [`ServiceClient`].
     pub fn with_service(svc: ServiceClient, port: Port) -> MvfsClient {
-        MvfsClient { svc, port }
+        MvfsClient {
+            svc,
+            port,
+            cached_page_size: AtomicU32::new(0),
+        }
     }
 
     /// Creates an empty multiversion file.
@@ -498,15 +508,24 @@ impl MvfsClient {
         Ok(())
     }
 
-    /// The server's page size in bytes.
+    /// The server's page size in bytes — fetched once, then answered
+    /// from a local atomic (page size is fixed server geometry).
     ///
     /// # Errors
-    /// Transport errors.
+    /// Transport errors (first call only).
     pub fn page_size(&self) -> Result<u32, ClientError> {
+        let cached = self.cached_page_size.load(Ordering::Acquire);
+        if cached != 0 {
+            return Ok(cached);
+        }
         let body = self
             .svc
             .call_anonymous(self.port, ops::PAGE_SIZE, Bytes::new())?;
-        wire::Reader::new(&body).u32().ok_or(ClientError::Malformed)
+        let size = wire::Reader::new(&body)
+            .u32()
+            .ok_or(ClientError::Malformed)?;
+        self.cached_page_size.store(size, Ordering::Release);
+        Ok(size)
     }
 
     /// Convenience: reads `len` bytes at byte `offset`, spanning pages.
@@ -737,6 +756,20 @@ mod tests {
         assert!(fs.read_range(&v, 0, 40).unwrap().iter().all(|&b| b == 0));
         fs.commit(&v).unwrap();
         assert_eq!(fs.read_range(&file, 40, 200).unwrap(), data);
+        runner.stop();
+    }
+
+    #[test]
+    fn page_size_is_fetched_once() {
+        let (net, runner, fs) = setup();
+        let first = fs.page_size().unwrap();
+        let before = net.stats().snapshot().packets_sent;
+        assert_eq!(fs.page_size().unwrap(), first);
+        assert_eq!(
+            net.stats().snapshot().packets_sent,
+            before,
+            "repeat geometry queries must be answered locally"
+        );
         runner.stop();
     }
 

@@ -91,6 +91,11 @@ pub enum EventKind {
     CompletionWake = 16,
     /// A cluster client failed over off a dead replica (`a` = machine).
     Failover = 17,
+    /// A batched path resolution completed (`a` = server hops,
+    /// `b` = segments consumed). Recorded under the first hop's trace
+    /// id, so a flight recording shows each hop-chain's fan-out;
+    /// trace 0 marks a pure cache hit (no transaction ran).
+    PathResolve = 18,
 }
 
 impl EventKind {
@@ -115,6 +120,7 @@ impl EventKind {
             EventKind::ReplyDemux => "ReplyDemux",
             EventKind::CompletionWake => "CompletionWake",
             EventKind::Failover => "Failover",
+            EventKind::PathResolve => "PathResolve",
         }
     }
 
@@ -138,6 +144,7 @@ impl EventKind {
             15 => EventKind::ReplyDemux,
             16 => EventKind::CompletionWake,
             17 => EventKind::Failover,
+            18 => EventKind::PathResolve,
             _ => EventKind::Unknown,
         }
     }
@@ -351,6 +358,7 @@ mod tests {
             EventKind::ReplyDemux,
             EventKind::CompletionWake,
             EventKind::Failover,
+            EventKind::PathResolve,
         ] {
             assert_eq!(EventKind::from_u64(k as u64), k);
             assert_ne!(k.name(), "Unknown");

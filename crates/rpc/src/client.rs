@@ -434,6 +434,15 @@ impl Client {
         &self.codec.pool
     }
 
+    /// The trace id the *next* transaction on this client will mint
+    /// (meaningful only while the recorder is enabled — a disabled
+    /// recorder mints nothing). Multi-RPC operations (e.g. a batched
+    /// path resolution) peek this before their first hop to stamp
+    /// their own span events with the hop-chain's trace id.
+    pub fn trace_peek(&self) -> u64 {
+        self.next_trace.load(Ordering::Relaxed)
+    }
+
     /// Builder knob: replaces the demux back-off policy (see
     /// [`DemuxPolicy`]). The pipeliner benches set a tighter contended
     /// tick so batch replies are routed with minimal added latency.

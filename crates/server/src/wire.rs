@@ -109,8 +109,16 @@ impl<'a> Reader<'a> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Option<String> {
+        self.str_ref().map(str::to_owned)
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a borrow of the input —
+    /// the server hot paths (lookup, resolve) validate and compare
+    /// names without copying them to the heap; callers that must keep
+    /// the name (enter, rename) own it explicitly at the insert site.
+    pub fn str_ref(&mut self) -> Option<&'a str> {
         let raw = self.bytes()?;
-        String::from_utf8(raw.to_vec()).ok()
+        std::str::from_utf8(raw).ok()
     }
 
     /// Reads a 16-byte capability.

@@ -269,13 +269,12 @@ impl UnixFsServer {
             }
             None => Vec::new(), // dangling entry: just drop it
         };
-        // Destroy the inode and free its disk blocks, waiting out any
-        // in-flight writer of this inode (unrelated files unaffected).
+        // Destroy the inode and free its disk blocks in one batch
+        // frame, waiting out any in-flight writer of this inode
+        // (unrelated files unaffected).
         let _ = self.table.delete(&victim_cap, Rights::NONE);
         let _writing = self.inode_locks.lock(victim_cap.object);
-        for b in blocks {
-            let _ = self.disk.free(&b);
-        }
+        let _ = self.disk.free_many(&blocks);
         Reply::ok(Bytes::new())
     }
 
@@ -295,23 +294,46 @@ impl UnixFsServer {
         };
         let start = offset.min(size);
         let end = offset.saturating_add(len as u64).min(size);
-        let mut out = Vec::with_capacity((end - start) as usize);
         let bs = self.block_size as u64;
+        // Plan the whole range first — allocated blocks become one
+        // gather batch (a single frame however many blocks the read
+        // spans), holes stay local zeros. No lock on the read path: the
+        // RPC client demuxes concurrent transactions and reads never
+        // touch inode metadata.
+        enum Seg {
+            Disk,
+            Hole(u32),
+        }
+        let mut segs = Vec::new();
+        let mut gathers: Vec<(Capability, u32, u32)> = Vec::new();
         let mut pos = start;
-        // No lock on the read path: the RPC client demuxes concurrent
-        // transactions and reads never touch inode metadata.
         while pos < end {
             let block_idx = (pos / bs) as usize;
             let within = (pos % bs) as u32;
             let take = ((bs - within as u64).min(end - pos)) as u32;
             match blocks.get(block_idx) {
-                Some(bcap) => match self.disk.read(bcap, within, take) {
-                    Ok(data) => out.extend_from_slice(&data),
-                    Err(_) => return Reply::status(Status::NoSpace),
-                },
-                None => out.extend(std::iter::repeat_n(0u8, take as usize)),
+                Some(bcap) => {
+                    segs.push(Seg::Disk);
+                    gathers.push((*bcap, within, take));
+                }
+                None => segs.push(Seg::Hole(take)),
             }
             pos += take as u64;
+        }
+        let bodies = match self.disk.read_many(&gathers) {
+            Ok(b) => b,
+            Err(_) => return Reply::status(Status::NoSpace),
+        };
+        let mut bodies = bodies.into_iter();
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for seg in segs {
+            match seg {
+                Seg::Disk => match bodies.next() {
+                    Some(body) => out.extend_from_slice(&body),
+                    None => return Reply::status(Status::NoSpace),
+                },
+                Seg::Hole(take) => out.extend(std::iter::repeat_n(0u8, take as usize)),
+            }
         }
         Reply::ok(Bytes::from(out))
     }
@@ -341,21 +363,19 @@ impl UnixFsServer {
             Some(e) => e,
             None => return Reply::status(Status::OutOfRange),
         };
-        // Allocate blocks out to the new end. On any failure, freshly
-        // allocated blocks are given back — they are not yet in the
-        // inode and would otherwise leak disk capacity forever.
+        // Allocate every missing block in ONE batch frame. Truncate
+        // frees per block, so the inode keeps independent single-block
+        // capabilities rather than an extent; `alloc_many` gives back
+        // any partial run itself, so a failure here leaks nothing.
         let needed_blocks = (end.div_ceil(bs)) as usize;
         let original_blocks = blocks.len();
         let free_new = |blocks: &[Capability]| {
-            for b in &blocks[original_blocks..] {
-                let _ = self.disk.free(b);
-            }
+            let _ = self.disk.free_many(&blocks[original_blocks..]);
         };
-        while blocks.len() < needed_blocks {
-            match self.disk.alloc() {
-                Ok(cap) => blocks.push(cap),
+        if needed_blocks > original_blocks {
+            match self.disk.alloc_many(needed_blocks - original_blocks) {
+                Ok(fresh) => blocks.extend(fresh),
                 Err(e) => {
-                    free_new(&blocks);
                     return Reply::status(match e {
                         ClientError::Status(s) => s,
                         _ => Status::NoSpace,
@@ -363,25 +383,24 @@ impl UnixFsServer {
                 }
             }
         }
-        // Scatter the data across blocks.
+        // Scatter the data across blocks in one batch frame.
+        let mut scatters: Vec<(Capability, u32, &[u8])> = Vec::new();
         let mut pos = offset;
         let mut remaining = data;
         while !remaining.is_empty() {
             let block_idx = (pos / bs) as usize;
             let within = (pos % bs) as u32;
             let take = ((bs - within as u64) as usize).min(remaining.len());
-            if let Err(e) = self
-                .disk
-                .write(&blocks[block_idx], within, &remaining[..take])
-            {
-                free_new(&blocks);
-                return Reply::status(match e {
-                    ClientError::Status(s) => s,
-                    _ => Status::NoSpace,
-                });
-            }
+            scatters.push((blocks[block_idx], within, &remaining[..take]));
             pos += take as u64;
             remaining = &remaining[take..];
+        }
+        if let Err(e) = self.disk.write_many(&scatters) {
+            free_new(&blocks);
+            return Reply::status(match e {
+                ClientError::Status(s) => s,
+                _ => Status::NoSpace,
+            });
         }
         let new_size = old_size.max(end);
         let update = self.table.with_object_mut(&req.cap, Rights::WRITE, |n| {
@@ -459,9 +478,7 @@ impl UnixFsServer {
         match result {
             Ok(Ok(freed)) => {
                 let _writing = self.inode_locks.lock(req.cap.object);
-                for b in freed {
-                    let _ = self.disk.free(&b);
-                }
+                let _ = self.disk.free_many(&freed);
                 Reply::ok(Bytes::new())
             }
             Ok(Err(status)) => Reply::status(status),

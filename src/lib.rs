@@ -53,7 +53,7 @@ pub use amoeba_unixfs as unixfs;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
-    pub use amoeba_block::{BlockClient, BlockServer, DiskConfig};
+    pub use amoeba_block::{BlockClient, BlockServer, DiskConfig, DiskStats};
     pub use amoeba_cap::schemes::{
         CommutativeScheme, EncryptedScheme, ObjectSecret, OneWayScheme, ProtectionScheme,
         SchemeKind, SimpleScheme,
@@ -61,10 +61,10 @@ pub mod prelude {
     pub use amoeba_cap::{CapError, Capability, ObjectNum, Rights};
     pub use amoeba_cluster::{
         ClusterClient, ClusterRegistry, HealthProber, PlacementPolicy, ServiceCluster,
-        ShardedClient, ShardedCluster, SimReplicaSet,
+        ShardedClient, ShardedCluster, ShardedDir, SimReplicaSet,
     };
     pub use amoeba_crypto::oneway::{OneWay, PurdyOneWay, ShaOneWay};
-    pub use amoeba_dirsvr::{DirClient, DirServer};
+    pub use amoeba_dirsvr::{CapCache, DirClient, DirServer, PathError};
     pub use amoeba_fbox::FBox;
     pub use amoeba_flatfs::{BlockFlatFsServer, FlatFsClient, FlatFsServer, QuotaPolicy};
     pub use amoeba_memsvr::{MemClient, MemServer, ProcState};

@@ -187,3 +187,47 @@ fn wall_traces_are_causal() {
     let spans = assert_traces_causal(&events, "wall");
     assert_eq!(spans, 3);
 }
+
+/// A batched path resolution records one `PathResolve` span event —
+/// operands (hops, segments consumed) — threaded under the trace id of
+/// its FIRST hop, without breaking span causality.
+#[test]
+fn resolve_records_a_path_span_under_the_first_hop_trace() {
+    let net = Network::new_virtual();
+    net.obs().enable();
+    let s1 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::OneWay));
+    let s2 = ServiceRunner::spawn_open(&net, DirServer::new(SchemeKind::Commutative));
+    let dirs = DirClient::open(&net, s1.put_port());
+
+    // root/a on server 1; b/c on server 2 → exactly two hops.
+    let root = dirs.create_dir_on(s1.put_port()).unwrap();
+    let a = dirs.create_dir_on(s1.put_port()).unwrap();
+    let b = dirs.create_dir_on(s2.put_port()).unwrap();
+    let c = dirs.create_dir_on(s2.put_port()).unwrap();
+    dirs.enter(&root, "a", &a).unwrap();
+    dirs.enter(&a, "b", &b).unwrap();
+    dirs.enter(&b, "c", &c).unwrap();
+
+    assert_eq!(dirs.resolve(&root, "a/b/c").unwrap(), c);
+    let events = net.obs().events();
+
+    let resolves: Vec<&FlightEvent> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::PathResolve)
+        .collect();
+    assert_eq!(resolves.len(), 1, "one span event per resolution");
+    let span = resolves[0];
+    assert_eq!(span.a, 2, "two server hops for the cross-server chain");
+    assert_eq!(span.b, 3, "all three segments consumed");
+    assert_ne!(span.trace, 0, "threaded from the first hop's trace");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.trace == span.trace && e.kind == EventKind::TransStart),
+        "the span's trace id must belong to a recorded transaction"
+    );
+    // The extra span event must not disturb per-transaction causality.
+    assert!(assert_traces_causal(&events, "resolve") >= 2);
+    s1.stop();
+    s2.stop();
+}
