@@ -1,0 +1,271 @@
+//! Live rebalancing: Zipf-skewed tenant traffic before and after the
+//! load-driven shard repack.
+//!
+//! The experiment reproduces the situation the migration machinery
+//! exists for. Sixteen tenants hit a 4-replica elastic metered flat
+//! file cluster; tenant popularity is Zipf(s=1.0), and the tenant→shard
+//! placement is adversarial: the four hottest tenants' shards all live
+//! on replica 0 (61.6% of all traffic through one single-worker
+//! machine, which serialises every metered CREATE on a nested bank
+//! round-trip at 2 ms per hop). The run measures:
+//!
+//! 1. **skewed** — the hammer against the pathological placement;
+//! 2. the [`Rebalancer`] reads the per-shard load gauges the hammer
+//!    left behind and live-migrates the hot shards apart;
+//! 3. **rebalanced** — the identical hammer against the new map.
+//!
+//! LPT repacking caps the hottest machine near the Zipf head's own
+//! mass (~29.6% vs 61.6%), so the modelled speedup is ~2.1×. CI gates
+//! the measured `speedup` against the committed floor in
+//! `crates/bench/rebalance_baseline.json` (1.5×). Headline numbers go
+//! to `BENCH_rebalance.json` (override with `BENCH_REBALANCE_OUT`).
+
+use amoeba_bank::{BankClient, BankServer, Currency, CurrencyId};
+use amoeba_cap::schemes::SchemeKind;
+use amoeba_cap::Capability;
+use amoeba_cluster::{ElasticCluster, Rebalancer};
+use amoeba_flatfs::{ops, FlatFsServer, QuotaPolicy};
+use amoeba_net::{Network, Port};
+use amoeba_rpc::Client;
+use amoeba_server::{placement_range, wire, ServiceClient, ServiceRunner, DEFAULT_SHARDS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REPLICAS: usize = 4;
+const TENANTS: usize = 16;
+const CLIENTS: usize = 24;
+const OPS_PER_CLIENT: usize = 8;
+const HOP_LATENCY: Duration = Duration::from_millis(2);
+
+/// Tenant rank → home shard. Rank r's shard is `(r % 4) * 4 + r / 4`,
+/// so ranks 0–3 (61.6% of Zipf(1.0) mass) map to shards 0, 4, 8, 12 —
+/// which the initial `shard % replicas` placement all puts on
+/// replica 0. The worst case the planner is supposed to fix.
+const RANK_TO_SHARD: [usize; TENANTS] = [0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-tenant cumulative Zipf(s=1.0) thresholds scaled to 2^32.
+fn zipf_thresholds() -> [u64; TENANTS] {
+    let h: f64 = (1..=TENANTS).map(|k| 1.0 / k as f64).sum();
+    let mut acc = 0.0;
+    let mut out = [0u64; TENANTS];
+    for (r, slot) in out.iter_mut().enumerate() {
+        acc += 1.0 / ((r + 1) as f64 * h);
+        *slot = (acc * 4_294_967_296.0) as u64;
+    }
+    out[TENANTS - 1] = 1 << 32; // close the distribution exactly
+    out
+}
+
+fn draw_tenant(thresholds: &[u64; TENANTS], rng: &mut u64) -> usize {
+    let x = splitmix64(rng) & 0xFFFF_FFFF;
+    thresholds.iter().position(|&t| x < t).unwrap()
+}
+
+struct Rig {
+    net: Network,
+    _bank_runner: ServiceRunner,
+    cluster: Option<ElasticCluster>,
+    wallet: Capability,
+    /// Tenant rank → a pre-created file on that tenant's home shard
+    /// (the capability whose validation is the per-shard load signal).
+    anchors: Vec<Capability>,
+}
+
+fn shard_of(cap: &Capability) -> usize {
+    placement_range(cap.object, DEFAULT_SHARDS, DEFAULT_SHARDS)
+}
+
+fn rig() -> Rig {
+    let net = Network::new();
+    let (bank_server, treasury_rx) =
+        BankServer::new(vec![Currency::convertible("dollar", 1)], SchemeKind::OneWay);
+    let bank_runner = ServiceRunner::spawn_open(&net, bank_server);
+    let bank_port = bank_runner.put_port();
+    let treasury = treasury_rx.recv().unwrap();
+    let bank = BankClient::open(&net, bank_port);
+    let server_account = bank.open_account().unwrap();
+    let wallet = bank.open_account().unwrap();
+    bank.mint(&treasury, &wallet, CurrencyId(0), 10_000_000)
+        .unwrap();
+    let cluster = ElasticCluster::spawn_open(&net, REPLICAS, 1, |_| {
+        FlatFsServer::with_quota(
+            SchemeKind::OneWay,
+            QuotaPolicy {
+                bank: BankClient::open(&net, bank_port),
+                server_account,
+                currency: CurrencyId(0),
+                price_per_kib: 1,
+            },
+        )
+    });
+
+    // Pin one anchor file per tenant onto its home shard: each
+    // replica's table round-robins creates over its own four mintable
+    // shards, so a handful of creates at the owner's port is enough to
+    // land one on the wanted shard.
+    let svc = ServiceClient::open(&net);
+    let ports = cluster.shard_ports();
+    let anchors = RANK_TO_SHARD
+        .iter()
+        .map(|&shard| {
+            for _ in 0..4 * DEFAULT_SHARDS {
+                let params = wire::Writer::new().cap(&wallet).u64(1).finish();
+                let body = svc
+                    .call_anonymous(ports[shard], ops::CREATE, params)
+                    .unwrap();
+                let cap = wire::Reader::new(&body).cap().unwrap();
+                if shard_of(&cap) == shard {
+                    return cap;
+                }
+            }
+            panic!("shard {shard} never minted an anchor");
+        })
+        .collect();
+    Rig {
+        net,
+        _bank_runner: bank_runner,
+        cluster: Some(cluster),
+        wallet,
+        anchors,
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        self.net.set_latency(Duration::ZERO);
+        if let Some(c) = self.cluster.take() {
+            c.stop();
+        }
+    }
+}
+
+/// CLIENTS threads each perform OPS_PER_CLIENT tenant ops: draw a
+/// tenant by Zipf, read its anchor (the load signal the rebalancer
+/// sees) and pay for a fresh CREATE — both routed at the tenant
+/// shard's *current* owner per the shared port snapshot.
+fn hammer(rig: &Rig, seed: u64) {
+    let ports: Arc<Vec<Port>> = Arc::new(rig.cluster.as_ref().unwrap().shard_ports());
+    let thresholds = zipf_thresholds();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|ci| {
+            let net = rig.net.clone();
+            let ports = Arc::clone(&ports);
+            let wallet = rig.wallet;
+            let anchors = rig.anchors.clone();
+            std::thread::spawn(move || {
+                let svc = ServiceClient::open(&net);
+                let mut rng = seed ^ ((ci as u64) << 32);
+                for _ in 0..OPS_PER_CLIENT {
+                    let tenant = draw_tenant(&thresholds, &mut rng);
+                    let port = ports[RANK_TO_SHARD[tenant]];
+                    svc.call_at(
+                        port,
+                        &anchors[tenant],
+                        ops::READ,
+                        wire::Writer::new().u64(0).u32(8).finish(),
+                    )
+                    .unwrap();
+                    let params = wire::Writer::new().cap(&wallet).u64(1).finish();
+                    let body = svc.call_anonymous(port, ops::CREATE, params).unwrap();
+                    wire::Reader::new(&body).cap().unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_skewed(c: &mut Criterion) {
+    let mut g = amoeba_bench::net_group(c, "rebalance");
+    g.bench_function("skewed-create", |b| {
+        let rig = rig();
+        rig.net.set_latency(HOP_LATENCY);
+        b.iter(|| hammer(&rig, 0x2EBA_0001));
+    });
+    g.finish();
+}
+
+/// The headline experiment: one rig, the same hammer before and after
+/// the live repack; printed and written to `BENCH_rebalance.json`.
+fn report_headline_numbers() {
+    let rig = rig();
+    let cluster = rig.cluster.as_ref().unwrap();
+
+    rig.net.set_latency(HOP_LATENCY);
+    let t0 = Instant::now();
+    hammer(&rig, 0x2EBA_0001);
+    let skewed = t0.elapsed();
+    rig.net.set_latency(Duration::ZERO);
+
+    let loads = cluster.shard_loads();
+    let rpc = Client::new(rig.net.attach_open());
+    let moves = Rebalancer::default()
+        .rebalance(cluster, &rpc)
+        .expect("live repack");
+    let owners = cluster.owners();
+
+    rig.net.set_latency(HOP_LATENCY);
+    let t0 = Instant::now();
+    hammer(&rig, 0x2EBA_0001);
+    let rebalanced = t0.elapsed();
+    rig.net.set_latency(Duration::ZERO);
+
+    let speedup = skewed.as_secs_f64() / rebalanced.as_secs_f64();
+    let total_ops = CLIENTS * OPS_PER_CLIENT;
+    println!(
+        "rebalance/zipf-create/{total_ops}: skewed {skewed:?}, \
+         rebalanced {rebalanced:?} ({speedup:.2}x, {} shard moves)",
+        moves.len()
+    );
+    println!("rebalance/loads-before: {loads:?}");
+    println!("rebalance/owners-after: {owners:?}");
+
+    let fmt_usizes = |v: &[usize]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let json = format!(
+        "{{\n  \"workload\": \"zipf-create\",\n  \"tenants\": {TENANTS},\n  \
+         \"zipf_s\": 1.0,\n  \"ops\": {total_ops},\n  \"hop_latency_ms\": {},\n  \
+         \"skewed_ms\": {:.3},\n  \"rebalanced_ms\": {:.3},\n  \"speedup\": {:.3},\n  \
+         \"moves\": {},\n  \"shard_loads_before\": [{}],\n  \"owners_after\": [{}]\n}}\n",
+        HOP_LATENCY.as_millis(),
+        skewed.as_secs_f64() * 1e3,
+        rebalanced.as_secs_f64() * 1e3,
+        speedup,
+        moves.len(),
+        loads
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        fmt_usizes(&owners),
+    );
+    let out =
+        std::env::var("BENCH_REBALANCE_OUT").unwrap_or_else(|_| "BENCH_rebalance.json".into());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("rebalance: wrote {out}"),
+        Err(e) => println!("rebalance: could not write {out}: {e}"),
+    }
+}
+
+fn bench_rebalance(c: &mut Criterion) {
+    bench_skewed(c);
+    report_headline_numbers();
+}
+
+criterion_group!(benches, bench_rebalance);
+criterion_main!(benches);

@@ -22,6 +22,12 @@
 //! latency = completion − *scheduled arrival* includes driver queueing
 //! — the open-loop convention that makes tails honest.
 //!
+//! The shard pick is uniform by default; set `SWARM_ZIPF` to a
+//! positive exponent (e.g. `SWARM_ZIPF=1.0`) to skew the offered load
+//! Zipf-style onto the low shards and watch the tail percentiles feel
+//! a hot shard. The per-shard offered-load distribution is printed and
+//! recorded in the JSON either way.
+//!
 //! The criterion group times a small-population run for trend
 //! tracking; the headline pass runs the full population once and
 //! writes `BENCH_swarm.json` (override with `BENCH_SWARM_OUT`):
@@ -52,6 +58,27 @@ fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Cumulative Zipf(`s`) thresholds over `shards` ranks, scaled to
+/// 2^32, for mapping a uniform 32-bit draw to a skewed shard pick.
+fn zipf_thresholds(shards: usize, s: f64) -> Vec<u64> {
+    let h: f64 = (1..=shards).map(|k| (k as f64).powf(-s)).sum();
+    let mut acc = 0.0;
+    let mut out = vec![0u64; shards];
+    for (r, slot) in out.iter_mut().enumerate() {
+        acc += ((r + 1) as f64).powf(-s) / h;
+        *slot = (acc * 4_294_967_296.0) as u64;
+    }
+    out[shards - 1] = 1 << 32; // close the distribution exactly
+    out
 }
 
 /// Replies to every request with an empty body — the swarm measures
@@ -102,6 +129,11 @@ struct SwarmReport {
     p50_us: u64,
     p99_us: u64,
     p999_us: u64,
+    /// Zipf exponent of the shard pick (0 = uniform, the default).
+    zipf_s: f64,
+    /// Offered transactions per shard — the skew the exponent
+    /// actually produced, for eyeballing hot-shard imbalance.
+    shard_load: Vec<u64>,
     /// The same percentiles re-derived from an `amoeba-obs` log-scale
     /// histogram fed the identical latency stream — the cross-check
     /// that bench percentiles and live metrics come from one code
@@ -129,7 +161,7 @@ fn percentile(sorted: &[u64], per_mille: u64) -> u64 {
 /// Runs one seeded swarm and returns its report. Deterministic: the
 /// same `(seed, clients, shards, drivers)` produces the same event
 /// fingerprint and the same percentiles, byte for byte.
-fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmReport {
+fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize, zipf_s: f64) -> SwarmReport {
     let wall0 = std::time::Instant::now();
     let net = Network::new_sim(seed);
     net.set_latency(WIRE_LATENCY);
@@ -151,11 +183,25 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
         window
     };
     let mut rng = seed ^ 0x5AA2_A221_7A15_0000;
+    // With the knob at 0 (default) the draw stays the historical
+    // `% shards` uniform — the seeded event fingerprint CI replays is
+    // unchanged. A positive exponent maps the same 64-bit stream
+    // through Zipf thresholds instead.
+    let zipf = (zipf_s > 0.0).then(|| zipf_thresholds(shards, zipf_s));
+    let mut shard_load = vec![0u64; shards];
     let mut queues: Vec<Vec<Arrival>> = vec![Vec::new(); drivers];
     for i in 0..clients {
         let at =
             Timestamp::ZERO + Duration::from_nanos(splitmix64(&mut rng) % window.as_nanos() as u64);
-        let shard = (splitmix64(&mut rng) % shards as u64) as usize;
+        let draw = splitmix64(&mut rng);
+        let shard = match &zipf {
+            Some(t) => t
+                .iter()
+                .position(|&v| (draw & 0xFFFF_FFFF) < v)
+                .expect("thresholds close at 2^32"),
+            None => (draw % shards as u64) as usize,
+        };
+        shard_load[shard] += 1;
         queues[i % drivers].push(Arrival { at, shard });
     }
     for q in &mut queues {
@@ -293,6 +339,8 @@ fn run_swarm(seed: u64, clients: usize, shards: usize, drivers: usize) -> SwarmR
         p50_us: percentile(&tally.latencies_us, 500),
         p99_us: percentile(&tally.latencies_us, 990),
         p999_us: percentile(&tally.latencies_us, 999),
+        zipf_s,
+        shard_load,
         hist_p50_us,
         hist_p99_us,
         hist_p999_us,
@@ -309,7 +357,8 @@ fn report_json(r: &SwarmReport, seed: u64) -> String {
          \"drivers\": {},\n  \"completed\": {},\n  \"timeouts\": {},\n  \
          \"sim_elapsed_ms\": {},\n  \"wall_ms\": {},\n  \"p50_us\": {},\n  \
          \"p99_us\": {},\n  \"p999_us\": {},\n  \"hist_p50_us\": {},\n  \
-         \"hist_p99_us\": {},\n  \"hist_p999_us\": {},\n  \"events\": {},\n  \
+         \"hist_p99_us\": {},\n  \"hist_p999_us\": {},\n  \"zipf_s\": {},\n  \
+         \"shard_load\": [{}],\n  \"events\": {},\n  \
          \"event_hash\": {}\n}}\n",
         r.clients,
         r.shards,
@@ -324,6 +373,12 @@ fn report_json(r: &SwarmReport, seed: u64) -> String {
         r.hist_p50_us,
         r.hist_p99_us,
         r.hist_p999_us,
+        r.zipf_s,
+        r.shard_load
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
         r.events,
         r.event_hash,
     )
@@ -333,17 +388,19 @@ fn report_headline_numbers() {
     let clients = env_usize("SWARM_CLIENTS", 100_000);
     let shards = env_usize("SWARM_SHARDS", 8);
     let drivers = env_usize("SWARM_DRIVERS", 64);
-    let r = run_swarm(SWARM_SEED, clients, shards, drivers);
+    let zipf_s = env_f64("SWARM_ZIPF", 0.0);
+    let r = run_swarm(SWARM_SEED, clients, shards, drivers, zipf_s);
     assert_eq!(
         r.completed, r.clients as u64,
         "every logical client's transaction must complete"
     );
     println!(
-        "swarm: {} clients / {} shards / {} drivers — modeled p50 {} µs, \
+        "swarm: {} clients / {} shards / {} drivers (zipf {}) — modeled p50 {} µs, \
          p99 {} µs, p999 {} µs ({} modeled ms in {} wall ms, {} events)",
         r.clients,
         r.shards,
         r.drivers,
+        r.zipf_s,
         r.p50_us,
         r.p99_us,
         r.p999_us,
@@ -351,6 +408,7 @@ fn report_headline_numbers() {
         r.wall.as_millis(),
         r.events,
     );
+    println!("swarm: shard load {:?}", r.shard_load);
     let out = std::env::var("BENCH_SWARM_OUT").unwrap_or_else(|_| "BENCH_swarm.json".into());
     match std::fs::write(&out, report_json(&r, SWARM_SEED)) {
         Ok(()) => println!("swarm: wrote {out}"),
@@ -370,7 +428,7 @@ fn bench_swarm(c: &mut Criterion) {
     // A small population for the timed trend line; the headline run
     // below models the full population once.
     g.bench_function("open-loop/2k-clients", |b| {
-        b.iter(|| run_swarm(SWARM_SEED, 2_000, 8, 64))
+        b.iter(|| run_swarm(SWARM_SEED, 2_000, 8, 64, 0.0))
     });
     g.finish();
     report_headline_numbers();

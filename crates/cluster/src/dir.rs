@@ -411,6 +411,83 @@ mod tests {
         }
     }
 
+    /// Pins the documented non-atomicity of a cross-shard rename by
+    /// replaying its exact decomposition (lookup → enter → remove) and
+    /// checking the state a concurrent reader would see at every step
+    /// boundary. The legal intermediate states are exactly:
+    /// `{from}` (before), `{from, to}` (between enter and remove — both
+    /// names resolve to the same capability), `{to}` (after). The entry
+    /// is never absent and never resolves to a different capability.
+    #[test]
+    fn cross_shard_rename_intermediate_states_are_the_documented_ones() {
+        let (_net, runners, dirs, hot) = setup(3);
+        let target = dirs.create_dir().unwrap();
+        let names: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+        let (from, to) = names
+            .iter()
+            .flat_map(|a| names.iter().map(move |b| (a, b)))
+            .find(|(a, b)| hot.shard_for(a) != hot.shard_for(b))
+            .expect("64 names must straddle 3 shards");
+        hot.enter(&dirs, from, &target).unwrap();
+
+        let observe = || (hot.lookup(&dirs, from).ok(), hot.lookup(&dirs, to).ok());
+
+        assert_eq!(observe(), (Some(target), None));
+        // Step 1: lookup — pure read, mutates nothing.
+        let src = *hot.shard_for(from);
+        let dst = *hot.shard_for(to);
+        let cap = dirs.lookup(&src, from).unwrap();
+        assert_eq!(cap, target);
+        assert_eq!(observe(), (Some(target), None));
+        // Step 2: enter on the destination shard. The transient a
+        // reader may catch: BOTH names resolve, to the same target.
+        dirs.enter(&dst, to, &cap).unwrap();
+        assert_eq!(
+            observe(),
+            (Some(target), Some(target)),
+            "the documented transient is both-names-visible; a gap \
+             where neither resolves would lose the entry on a crash"
+        );
+        // Step 3: remove from the source shard — the terminal state.
+        dirs.remove(&src, from).unwrap();
+        assert_eq!(observe(), (None, Some(target)));
+        for r in runners {
+            r.stop();
+        }
+    }
+
+    /// A same-shard rename must stay the server's single atomic RENAME
+    /// op — one round-trip, no decomposition, no observable transient.
+    #[test]
+    fn same_shard_rename_is_one_atomic_server_op() {
+        let (net, runners, dirs, hot) = setup(3);
+        let target = dirs.create_dir().unwrap();
+        let names: Vec<String> = (0..64).map(|i| format!("t{i}")).collect();
+        let (from, to) = names
+            .iter()
+            .flat_map(|a| names.iter().map(move |b| (a, b)))
+            .find(|(a, b)| a != b && hot.shard_for(a) == hot.shard_for(b))
+            .expect("64 names must collide somewhere on 3 shards");
+        hot.enter(&dirs, from, &target).unwrap();
+
+        let before = net.stats().snapshot().packets_sent;
+        hot.rename(&dirs, from, to).unwrap();
+        let frames = net.stats().snapshot().packets_sent - before;
+        assert!(
+            frames <= 2,
+            "same-shard rename took {frames} frames — it decomposed \
+             instead of riding the server's atomic RENAME"
+        );
+        assert_eq!(hot.lookup(&dirs, to).unwrap(), target);
+        assert_eq!(
+            hot.lookup(&dirs, from).unwrap_err(),
+            ClientError::Status(Status::NotFound)
+        );
+        for r in runners {
+            r.stop();
+        }
+    }
+
     #[test]
     fn publishes_and_bootstraps_the_shard_map() {
         let (net, runners, dirs, hot) = setup(2);

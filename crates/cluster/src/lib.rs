@@ -35,6 +35,15 @@
 //! directory across several directory-server replicas, with fan-out
 //! operations batched one frame per replica.
 //!
+//! Static sharding melts under skewed traffic, so the sharded shape
+//! also comes *elastic*: [`ElasticCluster`] keeps the shard→replica
+//! map mutable, moving whole shards between replicas with **live
+//! migration** ([`migrate`] streams a shard's objects and secrets over
+//! the TRANSFER frames, then flips ownership with the old owner
+//! forwarding stale traffic), and a load-driven [`Rebalancer`] decides
+//! which shards should move. [`ElasticClient`] refreshes its shard map
+//! from the directory when a call hits a drained replica.
+//!
 //! The discovery machinery lives in `amoeba-rpc` (`Locator` replica
 //! sets, `Matchmaker` registration, the cluster wire frames of
 //! `docs/PROTOCOL.md`); this crate composes it with the server runtime
@@ -44,6 +53,9 @@
 #![warn(missing_docs)]
 
 mod dir;
+mod elastic;
+pub mod migrate;
+mod rebalance;
 mod registry;
 mod replicated;
 mod sharded;
@@ -51,6 +63,9 @@ mod sim;
 
 pub use amoeba_rpc::{PlacementPolicy, Replica};
 pub use dir::ShardedDir;
+pub use elastic::{ElasticClient, ElasticCluster};
+pub use migrate::{migrate_shard, MigrateError, MigrationStats, ShardMigration};
+pub use rebalance::Rebalancer;
 pub use registry::ClusterRegistry;
 pub use replicated::{ClusterClient, HealthProber, ServiceCluster};
 pub use sharded::{range_capability, ShardedClient, ShardedCluster};

@@ -1,0 +1,419 @@
+//! The live shard-migration driver: streams one [`ObjectTable`] shard
+//! from its current owner to a new one over the `TRANSFER_*` wire
+//! frames, then flips ownership without clients observing a gap.
+//!
+//! The table-side mechanics (dirty tracking, sealing, the inflight
+//! gauge, idempotent staging) live in `amoeba_server::migrate`; this
+//! module is the *conductor*: it holds a local handle on the source's
+//! [`ShardMigrator`] and an RPC [`Client`] aimed at the target, and
+//! runs the copy → catch-up → seal → quiesce → commit → release
+//! sequence. Two shapes share the logic:
+//!
+//! * [`migrate_shard`] — the blocking driver a control plane (the
+//!   [`Rebalancer`](crate::Rebalancer), a drain) calls from a thread;
+//! * [`ShardMigration`] — a poll-driven actor for the deterministic
+//!   simulation executor, so fault plans can crash machines *in the
+//!   middle of* a migration.
+//!
+//! Every step is observable through the flight recorder
+//! (`MigrateBegin`/`MigrateChunk`/`MigrateCommit`/`MigrateAbort`).
+//!
+//! [`ObjectTable`]: amoeba_server::ObjectTable
+//! [`ShardMigrator`]: amoeba_server::ShardMigrator
+
+use amoeba_net::{ActorPoll, EventKind, MachineId, Port};
+use amoeba_rpc::{Client, Completion, RpcError, TransferOp};
+use amoeba_server::proto::{Reply, Status};
+use amoeba_server::ShardMigrator;
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// Records per transfer chunk: small enough that one chunk frame stays
+/// comfortably inside a single simulated packet, large enough that a
+/// populated shard ships in a handful of round trips.
+pub const CHUNK_RECORDS: usize = 64;
+
+/// Catch-up rounds before the driver stops chasing a write-hot shard
+/// and seals it: sealing always converges (held requests retransmit
+/// after the flip), so a bounded chase only trades a slightly longer
+/// hold window for a guaranteed finish.
+pub const MAX_CATCHUP_ROUNDS: usize = 8;
+
+/// Why a migration did not complete. The source table is always rolled
+/// back to normal service on failure (`abort_export`), so a failed
+/// migration is invisible to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The source refused to export (shard sealed, already migrated
+    /// away, or not owned).
+    SourceBusy,
+    /// The source service has no [`ShardMigrator`] handle.
+    NoMigrator,
+    /// The transfer RPC failed (target crashed or unreachable).
+    Transport(RpcError),
+    /// The target answered a transfer op with a non-OK status.
+    Refused(Status),
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::SourceBusy => write!(f, "source shard is not exportable"),
+            MigrateError::NoMigrator => write!(f, "service exposes no shard migrator"),
+            MigrateError::Transport(e) => write!(f, "transfer transport: {e}"),
+            MigrateError::Refused(s) => write!(f, "target refused transfer: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// What a completed migration shipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Total `TRANSFER_CHUNK` frames sent (snapshot + deltas).
+    pub chunks: u32,
+    /// Catch-up rounds run before the shard was sealed.
+    pub catchup_rounds: usize,
+}
+
+fn check_reply(raw: Bytes) -> Result<(), MigrateError> {
+    let reply = Reply::decode(&raw).ok_or(MigrateError::Refused(Status::BadRequest))?;
+    if reply.status == Status::Ok {
+        Ok(())
+    } else {
+        Err(MigrateError::Refused(reply.status))
+    }
+}
+
+/// Migrates `shard` from the local `source` table to the replica
+/// serving `target_port` (on `target_machine` when several machines
+/// serve the port), blocking until the cutover completes or fails.
+///
+/// Sequence: snapshot-copy while serving → bounded catch-up of dirty
+/// slots → seal (new requests held) → wait for in-flight handlers to
+/// drain → ship the final delta → `TRANSFER_COMMIT` (target installs
+/// and adopts) → release the source shard into forwarding mode. On any
+/// transport or protocol failure the export is aborted and the source
+/// keeps serving — `xfer` ids make a retried migration idempotent on
+/// the target.
+///
+/// # Errors
+/// [`MigrateError`]; the source is rolled back to normal service.
+pub fn migrate_shard(
+    client: &Client,
+    source: &dyn ShardMigrator,
+    shard: usize,
+    xfer: u64,
+    target_port: Port,
+    target_machine: Option<MachineId>,
+) -> Result<MigrationStats, MigrateError> {
+    let endpoint = client.endpoint();
+    let obs = endpoint.obs();
+    let stamp = |kind: EventKind, a: u64, b: u64| {
+        if obs.enabled() {
+            obs.record(
+                kind,
+                endpoint.now().since_epoch().as_nanos() as u64,
+                0,
+                a,
+                b,
+            );
+        }
+    };
+    if !source.begin_export(shard) {
+        return Err(MigrateError::SourceBusy);
+    }
+    stamp(EventKind::MigrateBegin, shard as u64, xfer);
+
+    let send = |op: &TransferOp| -> Result<(), MigrateError> {
+        let raw = client
+            .trans_transfer_to(target_port, target_machine, op)
+            .map_err(MigrateError::Transport)?;
+        check_reply(raw)
+    };
+    let mut seq: u32 = 0;
+    let mut rounds = 0usize;
+    let mut run = || -> Result<(), MigrateError> {
+        send(&TransferOp::Begin {
+            xfer,
+            shard: shard as u8,
+        })?;
+        // Full snapshot while the shard keeps serving.
+        for records in source.export_chunks(shard, None, CHUNK_RECORDS) {
+            stamp(EventKind::MigrateChunk, seq as u64, records.len() as u64);
+            send(&TransferOp::Chunk { xfer, seq, records })?;
+            seq += 1;
+        }
+        // Catch up writes that landed during the copy.
+        loop {
+            let dirty = source.take_dirty(shard);
+            if dirty.is_empty() {
+                break;
+            }
+            for records in source.export_chunks(shard, Some(&dirty), CHUNK_RECORDS) {
+                stamp(EventKind::MigrateChunk, seq as u64, records.len() as u64);
+                send(&TransferOp::Chunk { xfer, seq, records })?;
+                seq += 1;
+            }
+            rounds += 1;
+            if rounds >= MAX_CATCHUP_ROUNDS {
+                break;
+            }
+        }
+        // Cutover: hold new requests, let dispatched ones drain, ship
+        // whatever they dirtied, then commit.
+        source.seal(shard);
+        while source.inflight(shard) > 0 {
+            std::thread::yield_now();
+        }
+        loop {
+            let dirty = source.take_dirty(shard);
+            if dirty.is_empty() {
+                break;
+            }
+            for records in source.export_chunks(shard, Some(&dirty), CHUNK_RECORDS) {
+                stamp(EventKind::MigrateChunk, seq as u64, records.len() as u64);
+                send(&TransferOp::Chunk { xfer, seq, records })?;
+                seq += 1;
+            }
+        }
+        send(&TransferOp::Commit { xfer, chunks: seq })
+    };
+    match run() {
+        Ok(()) => {
+            source.release(shard, target_port);
+            stamp(EventKind::MigrateCommit, shard as u64, xfer);
+            Ok(MigrationStats {
+                chunks: seq,
+                catchup_rounds: rounds,
+            })
+        }
+        Err(e) => {
+            source.abort(shard);
+            stamp(EventKind::MigrateAbort, shard as u64, xfer);
+            Err(e)
+        }
+    }
+}
+
+enum Phase {
+    Start,
+    CatchUp,
+    Quiesce,
+    FinalDrain,
+    Committing,
+    Done,
+}
+
+/// A poll-driven shard migration for the deterministic simulation
+/// executor: the same sequence as [`migrate_shard`], advanced one step
+/// per [`poll`](Self::poll) so seeded fault plans can crash the source
+/// or target machine mid-copy, mid-catch-up, or mid-commit.
+///
+/// Terminal state is reported by [`result`](Self::result): `Ok` after
+/// the source released the shard, `Err` after a clean abort (the
+/// source serves on as if the migration never started).
+pub struct ShardMigration<'a> {
+    client: &'a Client,
+    source: &'a dyn ShardMigrator,
+    shard: usize,
+    xfer: u64,
+    target_port: Port,
+    target_machine: Option<MachineId>,
+    phase: Phase,
+    queue: VecDeque<TransferOp>,
+    pending: Option<Completion<'a, Bytes>>,
+    seq: u32,
+    rounds: usize,
+    outcome: Option<Result<MigrationStats, MigrateError>>,
+}
+
+impl std::fmt::Debug for ShardMigration<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardMigration")
+            .field("shard", &self.shard)
+            .field("xfer", &self.xfer)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl<'a> ShardMigration<'a> {
+    /// Prepares (but does not start) a migration of `shard` from
+    /// `source` to the replica at `target_port`/`target_machine`,
+    /// driven through `client`'s endpoint.
+    pub fn new(
+        client: &'a Client,
+        source: &'a dyn ShardMigrator,
+        shard: usize,
+        xfer: u64,
+        target_port: Port,
+        target_machine: Option<MachineId>,
+    ) -> ShardMigration<'a> {
+        ShardMigration {
+            client,
+            source,
+            shard,
+            xfer,
+            target_port,
+            target_machine,
+            phase: Phase::Start,
+            queue: VecDeque::new(),
+            pending: None,
+            seq: 0,
+            rounds: 0,
+            outcome: None,
+        }
+    }
+
+    /// The migration's outcome, once [`poll`](Self::poll) has returned
+    /// [`ActorPoll::Done`].
+    pub fn result(&self) -> Option<&Result<MigrationStats, MigrateError>> {
+        self.outcome.as_ref()
+    }
+
+    fn stamp(&self, kind: EventKind, a: u64, b: u64) {
+        let endpoint = self.client.endpoint();
+        let obs = endpoint.obs();
+        if obs.enabled() {
+            obs.record(
+                kind,
+                endpoint.now().since_epoch().as_nanos() as u64,
+                0,
+                a,
+                b,
+            );
+        }
+    }
+
+    fn fail(&mut self, err: MigrateError) -> ActorPoll {
+        self.source.abort(self.shard);
+        self.stamp(EventKind::MigrateAbort, self.shard as u64, self.xfer);
+        self.pending = None;
+        self.queue.clear();
+        self.phase = Phase::Done;
+        self.outcome = Some(Err(err));
+        ActorPoll::Done
+    }
+
+    fn queue_chunks(&mut self, slots: Option<&[u32]>) -> usize {
+        let chunks = self.source.export_chunks(self.shard, slots, CHUNK_RECORDS);
+        let n = chunks.len();
+        for records in chunks {
+            self.stamp(
+                EventKind::MigrateChunk,
+                self.seq as u64,
+                records.len() as u64,
+            );
+            self.queue.push_back(TransferOp::Chunk {
+                xfer: self.xfer,
+                seq: self.seq,
+                records,
+            });
+            self.seq += 1;
+        }
+        n
+    }
+
+    /// Advances the migration one step. Feed this to
+    /// [`SimExecutor::spawn`](amoeba_net::SimExecutor) from the
+    /// driver's machine.
+    pub fn poll(&mut self) -> ActorPoll {
+        if self.outcome.is_some() {
+            return ActorPoll::Done;
+        }
+        // 1. An op on the wire: drive its completion.
+        if let Some(completion) = self.pending.as_mut() {
+            return match completion.poll() {
+                None => {
+                    let deadline = completion.deadline();
+                    ActorPoll::IdleUntil(deadline)
+                }
+                Some(Ok(raw)) => {
+                    self.pending = None;
+                    match check_reply(raw) {
+                        Ok(()) => ActorPoll::Progress,
+                        Err(e) => self.fail(e),
+                    }
+                }
+                Some(Err(e)) => {
+                    self.pending = None;
+                    self.fail(MigrateError::Transport(e))
+                }
+            };
+        }
+        // 2. Queued ops: put the next one on the wire.
+        if let Some(op) = self.queue.pop_front() {
+            self.pending = Some(self.client.start_transfer_to(
+                self.target_port,
+                self.target_machine,
+                &op,
+            ));
+            return ActorPoll::Progress;
+        }
+        // 3. Phase transitions (queue drained, nothing in flight).
+        match self.phase {
+            Phase::Start => {
+                if !self.source.begin_export(self.shard) {
+                    return self.fail(MigrateError::SourceBusy);
+                }
+                self.stamp(EventKind::MigrateBegin, self.shard as u64, self.xfer);
+                self.queue.push_back(TransferOp::Begin {
+                    xfer: self.xfer,
+                    shard: self.shard as u8,
+                });
+                self.queue_chunks(None);
+                self.phase = Phase::CatchUp;
+                ActorPoll::Progress
+            }
+            Phase::CatchUp => {
+                let dirty = self.source.take_dirty(self.shard);
+                if dirty.is_empty() || self.rounds >= MAX_CATCHUP_ROUNDS {
+                    self.source.seal(self.shard);
+                    self.phase = Phase::Quiesce;
+                    if !dirty.is_empty() {
+                        self.queue_chunks(Some(&dirty));
+                    }
+                } else {
+                    self.queue_chunks(Some(&dirty));
+                    self.rounds += 1;
+                }
+                ActorPoll::Progress
+            }
+            Phase::Quiesce => {
+                if self.source.inflight(self.shard) == 0 {
+                    self.phase = Phase::FinalDrain;
+                    ActorPoll::Progress
+                } else {
+                    ActorPoll::Idle
+                }
+            }
+            Phase::FinalDrain => {
+                let dirty = self.source.take_dirty(self.shard);
+                if dirty.is_empty() {
+                    self.queue.push_back(TransferOp::Commit {
+                        xfer: self.xfer,
+                        chunks: self.seq,
+                    });
+                    self.phase = Phase::Committing;
+                } else {
+                    self.queue_chunks(Some(&dirty));
+                }
+                ActorPoll::Progress
+            }
+            Phase::Committing => {
+                // The commit's reply has been verified OK.
+                self.source.release(self.shard, self.target_port);
+                self.stamp(EventKind::MigrateCommit, self.shard as u64, self.xfer);
+                self.phase = Phase::Done;
+                self.outcome = Some(Ok(MigrationStats {
+                    chunks: self.seq,
+                    catchup_rounds: self.rounds,
+                }));
+                ActorPoll::Done
+            }
+            Phase::Done => ActorPoll::Done,
+        }
+    }
+}

@@ -258,4 +258,71 @@ mod tests {
         cache.invalidate(&dir, "never-inserted");
         assert_eq!(cache.get(&dir, "b", at(1)), Some(cap(3)));
     }
+
+    use proptest::prelude::*;
+
+    /// A name that shares `reference`'s direct-mapped slot under `dir`
+    /// but is a different key — the adversarial collision the 128-bit
+    /// key check exists for. With 512 slots, ~512 candidates suffice.
+    fn colliding_name(dir: &Capability, reference: &str, tag: usize) -> String {
+        let slot = fnv1a(FNV_BASIS_A, dir, reference) as usize & (SLOTS - 1);
+        (0usize..)
+            .map(|i| format!("collide-{tag}-{i}"))
+            .find(|n| fnv1a(FNV_BASIS_A, dir, n) as usize & (SLOTS - 1) == slot)
+            .expect("the candidate stream is infinite")
+    }
+
+    proptest! {
+        /// Two distinct keys landing in the same slot must never serve
+        /// each other's capability — a collision is a miss (or, after
+        /// an overwrite, an eviction), never an alias.
+        #[test]
+        fn same_slot_keys_never_alias(
+            dir_obj in 0u32..=ObjectNum::MAX,
+            target_obj in 0u32..ObjectNum::MAX,
+            tag in 0usize..10_000,
+        ) {
+            let cache = CapCache::new(Duration::from_secs(1));
+            let dir = cap(dir_obj);
+            let name1 = format!("n-{tag}");
+            let name2 = colliding_name(&dir, &name1, tag);
+            let (first, second) = (cap(target_obj), cap(target_obj + 1));
+
+            cache.insert(&dir, &name1, &first, at(0));
+            // The colliding key reads the same slot and must miss.
+            prop_assert_eq!(cache.get(&dir, &name2, at(1)), None);
+            prop_assert_eq!(cache.get(&dir, &name1, at(1)), Some(first));
+
+            // Direct-mapped overwrite: the new key wins the slot and
+            // the evicted key must miss, not serve the winner's cap.
+            cache.insert(&dir, &name2, &second, at(1));
+            prop_assert_eq!(cache.get(&dir, &name2, at(2)), Some(second));
+            prop_assert_eq!(cache.get(&dir, &name1, at(2)), None);
+        }
+
+        /// The staleness contract: a mutation made elsewhere on the
+        /// timeline is invisible to this cache, so no entry may ever
+        /// be served at or past `insert time + ttl` — that bound is
+        /// exactly what makes foreign renames safe.
+        #[test]
+        fn no_entry_outlives_its_ttl(
+            ttl_ns in 1u64..=1_000_000,
+            t0 in 0u64..(u64::MAX / 2),
+            dt in 0u64..=2_000_000,
+        ) {
+            let cache = CapCache::new(Duration::from_nanos(ttl_ns));
+            let (dir, target) = (cap(1), cap(2));
+            cache.insert(&dir, "x", &target, at(t0));
+            let got = cache.get(&dir, "x", at(t0 + dt));
+            if dt >= ttl_ns {
+                prop_assert_eq!(
+                    got, None,
+                    "a foreign rename at insert time would still be \
+                     served {} ns past the {} ns TTL", dt - ttl_ns, ttl_ns
+                );
+            } else {
+                prop_assert_eq!(got, Some(target), "a live entry must hit");
+            }
+        }
+    }
 }

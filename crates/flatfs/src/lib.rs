@@ -52,7 +52,9 @@ use amoeba_cap::schemes::SchemeKind;
 use amoeba_cap::{Capability, Rights};
 use amoeba_net::{Network, Port};
 use amoeba_server::proto::{Reply, Request, Status};
-use amoeba_server::{wire, ClientError, ObjectTable, RequestCtx, Service, ServiceClient};
+use amoeba_server::{
+    wire, ClientError, MigrateData, ObjectTable, RequestCtx, Service, ServiceClient, ShardMigrator,
+};
 use bytes::Bytes;
 
 /// Flat-file-server operation codes.
@@ -82,6 +84,41 @@ struct File {
     /// blocks...) returning the resource might result in the client
     /// getting his money" back.
     paid: Option<(Capability, u64)>,
+}
+
+impl MigrateData for File {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = wire::Writer::new().bytes(&self.data);
+        w = match self.quota_bytes {
+            Some(q) => w.u32(1).u64(q),
+            None => w.u32(0),
+        };
+        w = match &self.paid {
+            Some((account, prepay)) => w.u32(1).cap(account).u64(*prepay),
+            None => w.u32(0),
+        };
+        w.finish().to_vec()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<File> {
+        let mut r = wire::Reader::new(bytes);
+        let data = r.bytes()?.to_vec();
+        let quota_bytes = match r.u32()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => return None,
+        };
+        let paid = match r.u32()? {
+            0 => None,
+            1 => Some((r.cap()?, r.u64()?)),
+            _ => return None,
+        };
+        Some(File {
+            data,
+            quota_bytes,
+            paid,
+        })
+    }
 }
 
 /// Pricing for bank-backed quotas.
@@ -123,6 +160,14 @@ impl FlatFsServer {
         }
     }
 
+    /// Derives per-object secrets from `seed` instead of OS entropy.
+    /// Simulation-only (see [`ObjectTable::reseed_secrets`]): the
+    /// deterministic executor needs byte-identical minting across
+    /// replays of one scenario seed.
+    pub fn reseed_secrets(&self, seed: u64) {
+        self.table.reseed_secrets(seed);
+    }
+
     fn create(&self, req: &Request) -> Reply {
         let mut paid = None;
         let quota_bytes = match &self.quota {
@@ -150,12 +195,27 @@ impl FlatFsServer {
                 Some(prepay.saturating_mul(1024) / policy.price_per_kib.max(1))
             }
         };
-        let (_, cap) = self.table.create(File {
+        match self.table.try_create(File {
             data: Vec::new(),
             quota_bytes,
             paid,
-        });
-        Reply::ok(wire::Writer::new().cap(&cap).finish())
+        }) {
+            Ok((_, cap)) => Reply::ok(wire::Writer::new().cap(&cap).finish()),
+            Err(e) => {
+                // A drained replica (every owned shard migrated away)
+                // cannot mint; hand the payment back before refusing so
+                // the client can retry against the shard map's owner.
+                if let (Some(policy), Some((account, prepay))) = (&self.quota, paid) {
+                    let _ = policy.bank.transfer(
+                        &policy.server_account,
+                        &account,
+                        policy.currency,
+                        prepay,
+                    );
+                }
+                Reply::status(e.into())
+            }
+        }
     }
 
     fn read(&self, req: &Request) -> Reply {
@@ -261,6 +321,10 @@ impl Service for FlatFsServer {
             ops::SIZE => self.size(req),
             _ => Reply::status(Status::BadCommand),
         }
+    }
+
+    fn migrator(&self) -> Option<&dyn ShardMigrator> {
+        Some(&self.table)
     }
 }
 

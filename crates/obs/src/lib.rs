@@ -96,6 +96,21 @@ pub enum EventKind {
     /// id, so a flight recording shows each hop-chain's fan-out;
     /// trace 0 marks a pure cache hit (no transaction ran).
     PathResolve = 18,
+    /// A shard migration opened (`a` = shard index, `b` = transfer id).
+    MigrateBegin = 19,
+    /// One transfer chunk shipped (`a` = chunk seq, `b` = record
+    /// bytes).
+    MigrateChunk = 20,
+    /// A shard migration committed on the target and cut over
+    /// (`a` = shard index, `b` = transfer id).
+    MigrateCommit = 21,
+    /// A shard migration aborted; the source kept ownership
+    /// (`a` = shard index, `b` = transfer id).
+    MigrateAbort = 22,
+    /// The old owner relayed an in-flight request to the new owner
+    /// during cutover (`a` = destination port, `b` = client reply
+    /// port).
+    RequestForwarded = 23,
 }
 
 impl EventKind {
@@ -121,6 +136,11 @@ impl EventKind {
             EventKind::CompletionWake => "CompletionWake",
             EventKind::Failover => "Failover",
             EventKind::PathResolve => "PathResolve",
+            EventKind::MigrateBegin => "MigrateBegin",
+            EventKind::MigrateChunk => "MigrateChunk",
+            EventKind::MigrateCommit => "MigrateCommit",
+            EventKind::MigrateAbort => "MigrateAbort",
+            EventKind::RequestForwarded => "RequestForwarded",
         }
     }
 
@@ -145,6 +165,11 @@ impl EventKind {
             16 => EventKind::CompletionWake,
             17 => EventKind::Failover,
             18 => EventKind::PathResolve,
+            19 => EventKind::MigrateBegin,
+            20 => EventKind::MigrateChunk,
+            21 => EventKind::MigrateCommit,
+            22 => EventKind::MigrateAbort,
+            23 => EventKind::RequestForwarded,
             _ => EventKind::Unknown,
         }
     }
@@ -359,6 +384,11 @@ mod tests {
             EventKind::CompletionWake,
             EventKind::Failover,
             EventKind::PathResolve,
+            EventKind::MigrateBegin,
+            EventKind::MigrateChunk,
+            EventKind::MigrateCommit,
+            EventKind::MigrateAbort,
+            EventKind::RequestForwarded,
         ] {
             assert_eq!(EventKind::from_u64(k as u64), k);
             assert_ne!(k.name(), "Unknown");

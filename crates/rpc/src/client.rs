@@ -45,7 +45,7 @@
 //! produces.
 
 use crate::demux::{decode_reply_port, encode_reply_port, DemuxTable, RouteCache, SlotToken};
-use crate::frame::{self, BatchStatus, Frame, MAX_BATCH_ENTRIES};
+use crate::frame::{self, BatchStatus, Frame, TransferOp, MAX_BATCH_ENTRIES};
 use crate::lease::PortLeaseBroker;
 use amoeba_net::{
     BufPool, Endpoint, EventKind, Header, MachineId, Packet, Port, RecvError, Timestamp,
@@ -522,6 +522,45 @@ impl Client {
     ) -> Result<Bytes, RpcError> {
         let payload = self.encode_request_frame(request);
         self.transact(dest, Some(machine), payload, |frame| match frame {
+            Frame::Reply(body) => Some(body),
+            _ => None,
+        })
+    }
+
+    /// Performs a blocking shard-transfer transaction: send `op` to
+    /// put-port `dest` (targeted at `machine` when given) and await the
+    /// acknowledging reply body. Transfer frames ride the same
+    /// at-least-once machinery as requests — the receiving side keeps
+    /// every op idempotent (see [`TransferOp`]), so a retransmitted
+    /// chunk or commit is harmless.
+    ///
+    /// # Errors
+    /// As for [`trans`](Self::trans).
+    pub fn trans_transfer_to(
+        &self,
+        dest: Port,
+        machine: Option<MachineId>,
+        op: &TransferOp,
+    ) -> Result<Bytes, RpcError> {
+        self.start_transfer_to(dest, machine, op).wait()
+    }
+
+    /// The non-blocking form of
+    /// [`trans_transfer_to`](Self::trans_transfer_to): returns the
+    /// in-flight [`Completion`], for pollable migration drivers running
+    /// under the simulation executor.
+    pub fn start_transfer_to(
+        &self,
+        dest: Port,
+        machine: Option<MachineId>,
+        op: &TransferOp,
+    ) -> Completion<'_, Bytes> {
+        let payload = {
+            let mut buf = self.codec.pool.take();
+            frame::encode_transfer_into(&mut buf, op);
+            buf.freeze()
+        };
+        self.start(dest, machine, payload, |frame| match frame {
             Frame::Reply(body) => Some(body),
             _ => None,
         })

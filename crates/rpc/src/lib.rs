@@ -73,8 +73,8 @@ pub use client::{
 pub use lease::PortLeaseBroker;
 
 pub use frame::{
-    BatchReplyEntry, BatchStatus, Frame, FrameKind, ReplicaInfo, BATCH_VERSION, CLUSTER_VERSION,
-    MAX_BATCH_ENTRIES, MAX_LOCATE_REPLICAS,
+    BatchReplyEntry, BatchStatus, Frame, FrameKind, ReplicaInfo, TransferOp, BATCH_VERSION,
+    CLUSTER_VERSION, MAX_BATCH_ENTRIES, MAX_LOCATE_REPLICAS, TRANSFER_VERSION,
 };
 pub use locate::{Locator, PlacementPolicy, Replica, ReplicaCache};
 pub use matchmaker::{Matchmaker, RendezvousNode};

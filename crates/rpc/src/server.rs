@@ -32,7 +32,7 @@
 //! for its port, implementing the software match-making of §2.2.
 
 use crate::client::CodecConfig;
-use crate::frame::{self, BatchReplyEntry, BatchStatus, Frame};
+use crate::frame::{self, BatchReplyEntry, BatchStatus, Frame, TransferOp};
 use amoeba_net::{
     BufPool, Endpoint, Gate, Header, HotMutex, MachineId, Port, RecvError, Timestamp,
 };
@@ -66,6 +66,10 @@ pub struct IncomingRequest {
     /// Present when this request arrived as one entry of a batch frame;
     /// routes the reply into the batch's fan-in accumulator.
     batch: Option<BatchSlot>,
+    /// Present when this request arrived as a transfer frame (shard
+    /// migration); `payload` is empty and the dispatch layer routes the
+    /// op to the service's migrator instead of its request handler.
+    transfer: Option<TransferOp>,
     /// Virtual-clock delivery gate, held while the decoded request
     /// waits in the ready queue and released when a worker claims it.
     gate: Option<Gate>,
@@ -76,6 +80,13 @@ impl IncomingRequest {
     /// `BATCH_REQUEST` frame, `None` for a single-frame request.
     pub fn batch_context(&self) -> Option<(u32, u16)> {
         self.batch.as_ref().map(|s| (s.acc.id, s.index))
+    }
+
+    /// The shard-migration op when this "request" arrived as a transfer
+    /// frame, `None` for an ordinary request. Transfer ops are answered
+    /// with [`ServerPort::reply`] like any other request.
+    pub fn transfer_op(&self) -> Option<&TransferOp> {
+        self.transfer.as_ref()
     }
 }
 
@@ -539,10 +550,23 @@ impl ServerPort {
                     signature: signature_of(&pkt),
                     source: pkt.source,
                     batch: None,
+                    transfer: None,
                     gate: self.ready_gate(&pkt),
                 });
                 // Ready pushes are not network events; wake
                 // reactor-parked workers explicitly.
+                self.endpoint.reactor().notify();
+            }
+            Some(Frame::Transfer(op)) if pkt.header.dest == self.wire_port => {
+                let _ = self.ready_tx.send(IncomingRequest {
+                    payload: Bytes::new(),
+                    reply_to: pkt.header.reply,
+                    signature: signature_of(&pkt),
+                    source: pkt.source,
+                    batch: None,
+                    transfer: Some(op),
+                    gate: self.ready_gate(&pkt),
+                });
                 self.endpoint.reactor().notify();
             }
             Some(Frame::BatchRequest { id, entries }) if pkt.header.dest == self.wire_port => {
@@ -567,6 +591,7 @@ impl ServerPort {
                             acc: Arc::clone(acc),
                             index: index as u16,
                         }),
+                        transfer: None,
                         gate: self.ready_gate(&pkt),
                     });
                 }
@@ -622,6 +647,65 @@ impl ServerPort {
                 let frame = buf.freeze();
                 self.endpoint
                     .send(Header::to(request.reply_to), frame.clone());
+                self.pool.retire(frame);
+            }
+        }
+    }
+
+    /// Relays `request` to another server port, preserving the client's
+    /// reply port (and signature) so the new owner replies *straight to
+    /// the client* — the client's demultiplexer correlates on the reply
+    /// port alone, so the relayed reply completes the original
+    /// transaction with no gap and no extra hop back through us.
+    ///
+    /// Only sound on **open interfaces** (every cluster deployment in
+    /// this repository): an F-box would transform the relayed reply and
+    /// signature fields a second time on our egress, breaking the
+    /// correlation. Batch entries cannot be relayed either — their
+    /// replies fan into this server's accumulator — so they are
+    /// rejected instead ([`BatchStatus::Rejected`], which the client
+    /// surfaces as a retryable transport error). Returns `true` when
+    /// the request actually went to `dest`.
+    pub fn forward(&self, request: &IncomingRequest, dest: Port) -> bool {
+        if request.batch.is_some() {
+            self.reject(request);
+            return false;
+        }
+        let mut buf = self.pool.take();
+        frame::encode_request_into(&mut buf, &request.payload);
+        let frame = buf.freeze();
+        let mut header = Header::to(dest).with_reply(request.reply_to);
+        if let Some(sig) = request.signature {
+            header = header.with_signature(sig);
+        }
+        self.endpoint.send(header, frame.clone());
+        self.pool.retire(frame);
+        let obs = self.endpoint.obs();
+        if obs.enabled() {
+            obs.record(
+                amoeba_net::EventKind::RequestForwarded,
+                self.endpoint.now().since_epoch().as_nanos() as u64,
+                0,
+                dest.value(),
+                request.reply_to.value(),
+            );
+        }
+        true
+    }
+
+    /// Declines `request` without serving it. A batch entry deposits
+    /// [`BatchStatus::Rejected`] (the client sees a retryable transport
+    /// error); a single-frame request is simply dropped, so the
+    /// client's retransmission machinery retries it — the contract a
+    /// sealed shard relies on during the migration cutover window.
+    pub fn reject(&self, request: &IncomingRequest) {
+        if let Some(slot) = &request.batch {
+            if let Some(frame) =
+                slot.acc
+                    .submit(slot.index, BatchStatus::Rejected, Bytes::new(), &self.pool)
+            {
+                self.endpoint
+                    .send(Header::to(slot.acc.reply_to), frame.clone());
                 self.pool.retire(frame);
             }
         }

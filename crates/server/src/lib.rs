@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 mod locks;
+pub mod migrate;
 pub mod principals;
 pub mod proto;
 mod reactor_pool;
@@ -73,6 +74,7 @@ mod table;
 pub mod wire;
 
 pub use locks::{ObjectLocks, DEFAULT_OBJECT_LOCK_STRIPES};
+pub use migrate::{MigrateData, ShardDisposition, ShardMigrator};
 pub use principals::PrincipalRegistry;
 pub use reactor_pool::{ReactorPool, MAX_BURST};
 pub use sealed::{SealedServiceClient, SealedServiceRunner};

@@ -1,0 +1,197 @@
+//! The shard-migration surface: how a live [`ObjectTable`] shard is
+//! exported off one machine and imported on another without clients
+//! observing a gap.
+//!
+//! # The cutover protocol (driven from `amoeba-cluster`)
+//!
+//! 1. **Track** — [`begin_export`] flips the shard into dirty-tracking
+//!    mode: every mutation records its slot while the driver streams a
+//!    full snapshot to the target (`TRANSFER_BEGIN` + `TRANSFER_CHUNK`
+//!    frames, staged there keyed by transfer id).
+//! 2. **Catch up** — the driver repeatedly drains [`take_dirty`] and
+//!    ships delta chunks until the dirty set runs dry.
+//! 3. **Seal** — [`seal`] closes the shard: newly dispatched requests
+//!    are *held* (dropped without a reply, so the client's standard
+//!    retransmission machinery retries them — at-least-once is the
+//!    transport contract already). The driver waits for [`inflight`]
+//!    to reach zero, drains the final dirty delta, and commits.
+//! 4. **Flip** — the target installs the staged records and adopts the
+//!    shard ([`handle_transfer`] with `TRANSFER_COMMIT`); the source
+//!    [`release`]s it into forwarding mode, relaying the held
+//!    retransmissions (and any stale-map traffic) straight to the new
+//!    owner, which replies directly to the client.
+//!
+//! Object numbers and per-object secrets are preserved exactly, so
+//! every outstanding capability validates unchanged on the new owner —
+//! the paper's port indirection means clients address the *service*,
+//! and the shard map (or the forwarding relay) finds the machine.
+//!
+//! Why no request is lost or doubly executed: dirty slots are recorded
+//! under the shard's entry write lock, so an export round that drained
+//! the dirty set and then read the entries sees either the mutation or
+//! its dirty record; after sealing, the inflight gauge proves every
+//! already-dispatched request has finished (and dirtied) before the
+//! final delta ships. Requests arriving later are held or forwarded —
+//! executed exactly once, on exactly one owner. (Retransmits can still
+//! duplicate *idempotent* executions, but that is the pre-existing
+//! at-least-once transport contract, unchanged by migration.)
+//!
+//! [`ObjectTable`]: crate::ObjectTable
+//! [`begin_export`]: ShardMigrator::begin_export
+//! [`take_dirty`]: ShardMigrator::take_dirty
+//! [`seal`]: ShardMigrator::seal
+//! [`inflight`]: ShardMigrator::inflight
+//! [`release`]: ShardMigrator::release
+//! [`handle_transfer`]: ShardMigrator::handle_transfer
+
+use crate::proto::{Reply, Request};
+use amoeba_net::Port;
+use amoeba_rpc::TransferOp;
+use bytes::Bytes;
+
+/// What the dispatch layer should do with a request, given the
+/// migration mode of the shard its capability addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDisposition {
+    /// Serve locally (the steady state).
+    Serve,
+    /// Cutover window: drop without replying, so the client
+    /// retransmits and lands after the flip. Batch entries are
+    /// rejected instead (their replies cannot be relayed).
+    Hold,
+    /// Migrated away: relay the raw request to the new owner's
+    /// put-port; the new owner replies straight to the client.
+    Forward(Port),
+}
+
+/// Serialisation of a service's per-object payload for migration.
+/// The encoding is private to the service (both ends run the same
+/// code); only the framing around it is fixed by the record codec.
+pub trait MigrateData: Sized + Send {
+    /// Serialises the payload.
+    fn encode(&self) -> Vec<u8>;
+    /// Deserialises a payload; `None` rejects the record (and the
+    /// whole commit).
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl MigrateData for Vec<u8> {
+    fn encode(&self) -> Vec<u8> {
+        self.clone()
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+impl MigrateData for String {
+    fn encode(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// One decoded migration record: a slot and either `(secret, data)`
+/// for a live object or `None` for a tombstone (the slot was deleted
+/// after the snapshot).
+pub(crate) type Record<T> = (u32, Option<(u64, T)>);
+
+const KIND_TOMBSTONE: u8 = 0;
+const KIND_LIVE: u8 = 1;
+
+/// Appends one live record: `slot ‖ kind=1 ‖ secret ‖ len ‖ data`.
+pub(crate) fn encode_live_record(out: &mut Vec<u8>, slot: u32, secret: u64, data: &[u8]) {
+    out.extend_from_slice(&slot.to_be_bytes());
+    out.push(KIND_LIVE);
+    out.extend_from_slice(&secret.to_be_bytes());
+    out.extend_from_slice(&(u32::try_from(data.len()).expect("record fits in u32")).to_be_bytes());
+    out.extend_from_slice(data);
+}
+
+/// Appends one tombstone record: `slot ‖ kind=0`.
+pub(crate) fn encode_tombstone(out: &mut Vec<u8>, slot: u32) {
+    out.extend_from_slice(&slot.to_be_bytes());
+    out.push(KIND_TOMBSTONE);
+}
+
+/// Decodes a chunk's record blob; `None` on any malformed framing
+/// (truncation, trailing bytes, an undecodable payload).
+pub(crate) fn decode_records<T: MigrateData>(mut bytes: &[u8]) -> Option<Vec<Record<T>>> {
+    let mut records = Vec::new();
+    while !bytes.is_empty() {
+        let slot = u32::from_be_bytes(bytes.get(..4)?.try_into().ok()?);
+        match *bytes.get(4)? {
+            KIND_TOMBSTONE => {
+                records.push((slot, None));
+                bytes = &bytes[5..];
+            }
+            KIND_LIVE => {
+                let secret = u64::from_be_bytes(bytes.get(5..13)?.try_into().ok()?);
+                let len = u32::from_be_bytes(bytes.get(13..17)?.try_into().ok()?) as usize;
+                let end = 17usize.checked_add(len)?;
+                let data = T::decode(bytes.get(17..end)?)?;
+                records.push((slot, Some((secret, data))));
+                bytes = &bytes[end..];
+            }
+            _ => return None,
+        }
+    }
+    Some(records)
+}
+
+/// The object-safe migration handle a [`Service`] exposes so generic
+/// machinery (the dispatch loop, the cluster-layer migration driver,
+/// the rebalancer) can move its shards without knowing the service
+/// type. [`ObjectTable`] implements it whenever its payload type
+/// implements [`MigrateData`]; a service built on one table simply
+/// returns `Some(&self.table)` from [`Service::migrator`].
+///
+/// [`Service`]: crate::Service
+/// [`Service::migrator`]: crate::Service::migrator
+/// [`ObjectTable`]: crate::ObjectTable
+pub trait ShardMigrator: Send + Sync {
+    /// The shard a request's capability addresses, or `None` for
+    /// anonymous requests (null or range capabilities), which are
+    /// always served locally.
+    fn shard_of(&self, req: &Request) -> Option<usize>;
+    /// The dispatch disposition for a shard right now.
+    fn disposition(&self, shard: usize) -> ShardDisposition;
+    /// Marks one request for `shard` as inside a handler.
+    fn enter(&self, shard: usize);
+    /// Marks one request for `shard` as done with its handler.
+    fn exit(&self, shard: usize);
+    /// Requests for `shard` currently inside handlers.
+    fn inflight(&self, shard: usize) -> u64;
+    /// Total shard count.
+    fn shard_count(&self) -> usize;
+    /// The shards this replica currently owns (mints into).
+    fn owned_shards(&self) -> Vec<usize>;
+    /// Cumulative per-shard operation counters — the load signal the
+    /// rebalancer steers by.
+    fn shard_ops(&self) -> Vec<u64>;
+    /// Starts (or restarts) dirty-tracking for an export of `shard`.
+    /// `false` if the shard is sealed, already migrated away, or not
+    /// owned.
+    fn begin_export(&self, shard: usize) -> bool;
+    /// Serialises records into chunk blobs of at most `max_records`
+    /// records each: the full shard when `slots` is `None`, otherwise
+    /// exactly the listed slots (absent slots become tombstones).
+    fn export_chunks(&self, shard: usize, slots: Option<&[u32]>, max_records: usize) -> Vec<Bytes>;
+    /// Drains the shard's dirty-slot set (sorted, deduplicated).
+    fn take_dirty(&self, shard: usize) -> Vec<u32>;
+    /// Seals the shard for cutover: dispatch holds new requests.
+    fn seal(&self, shard: usize);
+    /// Completes the export: the shard leaves the owned set and
+    /// requests relay to `forward_to` (the new owner's put-port).
+    fn release(&self, shard: usize, forward_to: Port);
+    /// Abandons an export: back to normal service, ownership kept.
+    fn abort(&self, shard: usize);
+    /// The import side: stages/installs transfer ops, replying with an
+    /// ordinary wire [`Reply`] (status `Ok` on success). Every op is
+    /// idempotent so retransmitted frames are harmless.
+    fn handle_transfer(&self, op: &TransferOp) -> Reply;
+    /// The port requests for `shard` are being relayed to, if any.
+    fn forward_target(&self, shard: usize) -> Option<Port>;
+}

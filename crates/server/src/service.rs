@@ -55,6 +55,16 @@ pub trait Service: Send + Sync + 'static {
     /// Handles one request. May be called from many worker threads at
     /// once.
     fn handle(&self, req: &Request, ctx: &RequestCtx) -> Reply;
+
+    /// The live-migration handle for this service's shards, if any.
+    /// Returning `Some` opts the dispatch layer into per-request shard
+    /// dispositions (serve / hold / forward during a cutover) and into
+    /// answering `TRANSFER_*` frames — see [`crate::migrate`]. Services
+    /// built on one [`ObjectTable`](crate::ObjectTable) of
+    /// [`MigrateData`](crate::MigrateData) return `Some(&self.table)`.
+    fn migrator(&self) -> Option<&dyn crate::migrate::ShardMigrator> {
+        None
+    }
 }
 
 /// Decrements the machine load gauge on drop — unwinding included, so
@@ -100,16 +110,30 @@ pub(crate) fn serve_one(
             m.server_requests.add(1);
         }
     }
-    let reply = match Request::decode(&incoming.payload) {
-        Some(decoded) => service.handle(&decoded, &ctx),
-        None => Reply::status(Status::BadRequest),
+    let reply = if let Some(op) = incoming.transfer_op() {
+        // Shard-transfer frames bypass request decoding: they carry a
+        // TransferOp instead of a capability-framed body.
+        Some(match service.migrator() {
+            Some(migrator) => migrator.handle_transfer(op),
+            None => Reply::status(Status::Unsupported),
+        })
+    } else {
+        match Request::decode(&incoming.payload) {
+            Some(decoded) => dispatch(service, server, incoming, &decoded, &ctx),
+            None => Some(Reply::status(Status::BadRequest)),
+        }
     };
-    let pool = server.buf_pool();
-    let mut buf = pool.take();
-    reply.encode_into(&mut buf);
-    let Reply { body, .. } = reply;
-    pool.release(body);
-    server.reply(incoming, buf.freeze());
+    // Hold/forward dispositions answer nothing from here: held requests
+    // are retried by the client, forwarded ones are answered by the new
+    // owner.
+    if let Some(reply) = reply {
+        let pool = server.buf_pool();
+        let mut buf = pool.take();
+        reply.encode_into(&mut buf);
+        let Reply { body, .. } = reply;
+        pool.release(body);
+        server.reply(incoming, buf.freeze());
+    }
     if obs.enabled() {
         obs.record(
             EventKind::HandlerEnd,
@@ -124,6 +148,44 @@ pub(crate) fn serve_one(
     }
 }
 
+/// Routes one decoded request through the service's migration
+/// disposition (when it has a migrator): serve locally, hold during a
+/// cutover window, or relay to the shard's new owner. Returns the
+/// reply to send, or `None` when no reply leaves this machine.
+///
+/// The inflight gauge brackets the *disposition read* as well as the
+/// handler: a migration driver that seals a shard and then observes
+/// the gauge at zero knows every request that read the pre-seal
+/// disposition has finished mutating (and dirty-marking) the table.
+fn dispatch(
+    service: &(impl Service + ?Sized),
+    server: &ServerPort,
+    incoming: &IncomingRequest,
+    req: &Request,
+    ctx: &RequestCtx,
+) -> Option<Reply> {
+    let Some(migrator) = service.migrator() else {
+        return Some(service.handle(req, ctx));
+    };
+    let Some(shard) = migrator.shard_of(req) else {
+        return Some(service.handle(req, ctx));
+    };
+    migrator.enter(shard);
+    let reply = match migrator.disposition(shard) {
+        crate::migrate::ShardDisposition::Serve => Some(service.handle(req, ctx)),
+        crate::migrate::ShardDisposition::Hold => {
+            server.reject(incoming);
+            None
+        }
+        crate::migrate::ShardDisposition::Forward(port) => {
+            server.forward(incoming, port);
+            None
+        }
+    };
+    migrator.exit(shard);
+    reply
+}
+
 /// Runs a [`Service`] on one or more background dispatch workers.
 ///
 /// The runner owns the server's secret get-port; only the put-port is
@@ -131,7 +193,6 @@ pub(crate) fn serve_one(
 /// its underlying MPMC packet channel concurrently — the classic
 /// worker-pool dispatch engine. [`stop`](ServiceRunner::stop) (or drop)
 /// shuts every worker down.
-#[derive(Debug)]
 pub struct ServiceRunner {
     put_port: Port,
     machine: MachineId,
@@ -141,8 +202,23 @@ pub struct ServiceRunner {
     /// runner still claims its port, modelling a crashed server whose
     /// clients see timeouts rather than instant disconnects.
     server: Arc<ServerPort>,
+    /// The shared service instance the workers dispatch into, exposed
+    /// via [`service`](Self::service) so local control planes (the
+    /// cluster migration driver, the rebalancer) can reach its
+    /// migration handle.
+    service: Arc<dyn Service>,
     shutdown: Arc<AtomicBool>,
     handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServiceRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRunner")
+            .field("put_port", &self.put_port)
+            .field("machine", &self.machine)
+            .field("workers", &self.handles.len())
+            .finish()
+    }
 }
 
 impl ServiceRunner {
@@ -202,7 +278,7 @@ impl ServiceRunner {
         let server = ServerPort::bind_with_codec(endpoint, get_port, codec);
         let put_port = server.put_port();
         service.bind(put_port);
-        let service = Arc::new(service);
+        let service: Arc<dyn Service> = Arc::new(service);
         let server = Arc::new(server);
         let shutdown = Arc::new(AtomicBool::new(false));
         let handles = (0..workers)
@@ -243,6 +319,7 @@ impl ServiceRunner {
             put_port,
             machine,
             server,
+            service,
             shutdown,
             handles,
         }
@@ -316,6 +393,13 @@ impl ServiceRunner {
     /// Number of dispatch workers serving this port.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The shared service instance the workers dispatch into — how a
+    /// co-located control plane (migration driver, rebalancer) reaches
+    /// the service's [`migrator`](Service::migrator) handle.
+    pub fn service(&self) -> &Arc<dyn Service> {
+        &self.service
     }
 
     /// The machine's current load gauge (in-flight requests).

@@ -69,4 +69,10 @@ impl SimPump {
     pub fn server(&self) -> &ServerPort {
         &self.server
     }
+
+    /// The service being pumped (e.g. to reach its
+    /// [`ShardMigrator`](crate::ShardMigrator) from a migration actor).
+    pub fn service(&self) -> &Arc<dyn Service> {
+        &self.service
+    }
 }

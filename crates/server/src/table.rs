@@ -6,15 +6,19 @@
 //! validation on distinct objects therefore never contends on a shared
 //! lock, which is what lets one service scale across dispatch workers.
 
+use crate::migrate::{MigrateData, ShardDisposition};
 use crate::proto::{cmd, Reply, Request, Status};
 use crate::wire;
 use amoeba_cap::schemes::{ObjectSecret, ProtectionScheme};
 use amoeba_cap::{CapError, Capability, ObjectNum, Rights};
 use amoeba_net::Port;
+use amoeba_rpc::TransferOp;
+use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Errors from object-table operations, mapping 1:1 onto wire
 /// [`Status`] codes.
@@ -66,6 +70,69 @@ struct Entry<T> {
     secret: ObjectSecret,
     data: T,
 }
+
+/// Per-shard migration mode, mirrored in a lock-free tag so the hot
+/// request path (and `create`'s shard pick) reads one atomic.
+mod mode {
+    pub const NORMAL: u8 = 0;
+    /// Being exported: mutations are recorded in the dirty set.
+    pub const TRACKING: u8 = 1;
+    /// Cutover window: requests for the shard are held (dropped, so
+    /// clients retransmit); mutations from already-dispatched requests
+    /// still record dirty slots.
+    pub const SEALED: u8 = 2;
+    /// Migrated away: requests are relayed to the new owner's port.
+    pub const FORWARDED: u8 = 3;
+}
+
+/// Per-shard migration state riding next to the entry slab. All cold
+/// unless a migration is in progress; the steady-state cost is one
+/// relaxed load per mutation.
+struct MigrationState {
+    /// One of the [`mode`] tags.
+    tag: AtomicU8,
+    /// The new owner's put-port (raw value) while [`mode::FORWARDED`].
+    forward_to: AtomicU64,
+    /// Slots mutated since the last [`ObjectTable::take_dirty`], kept
+    /// sorted on drain so exports are deterministic.
+    dirty: Mutex<Vec<u32>>,
+    /// Requests for this shard currently inside a service handler
+    /// (maintained by the dispatch layer via enter/exit). The
+    /// migration driver waits for this to reach zero after sealing,
+    /// so every mutation that passed the dispatch check lands in the
+    /// dirty set before the final catch-up round.
+    inflight: AtomicU64,
+    /// Table operations touching this shard (lookups and creates) —
+    /// the per-shard load signal the rebalancer steers by.
+    ops: AtomicU64,
+}
+
+impl MigrationState {
+    fn new() -> MigrationState {
+        MigrationState {
+            tag: AtomicU8::new(mode::NORMAL),
+            forward_to: AtomicU64::new(0),
+            dirty: Mutex::new(Vec::new()),
+            inflight: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One incoming transfer's staged (still serialised) chunks, keyed by
+/// chunk sequence number.
+struct Staging {
+    shard: usize,
+    chunks: BTreeMap<u32, Bytes>,
+}
+
+/// Bound on concurrently staged incoming transfers — a hostile or
+/// confused peer cannot grow the staging map without bound.
+const MAX_STAGED_TRANSFERS: usize = 8;
+
+/// How many committed transfer ids are remembered for idempotent
+/// re-acknowledgement of retransmitted `Commit`/`Begin` frames.
+const REMEMBERED_TRANSFERS: usize = 64;
 
 /// One independent stripe of the table: a slab of entries plus its own
 /// free list and RNG, so operations on different shards never touch the
@@ -136,6 +203,14 @@ pub struct ObjectTable<T> {
     /// indices `create` may mint into. `None` = every shard (the
     /// single-machine default).
     owned: RwLock<Option<Box<[usize]>>>,
+    /// Per-shard migration state, parallel to `shards`.
+    migration: Box<[MigrationState]>,
+    /// Incoming transfers staged ahead of their commit, keyed by
+    /// transfer id.
+    staging: Mutex<BTreeMap<u64, Staging>>,
+    /// Recently committed transfer ids (newest last), for idempotent
+    /// acknowledgement of retransmitted transfer frames.
+    committed_transfers: Mutex<Vec<u64>>,
 }
 
 impl<T> std::fmt::Debug for ObjectTable<T> {
@@ -180,6 +255,9 @@ impl<T> ObjectTable<T> {
             shard_bits: shards.trailing_zeros(),
             next_shard: AtomicUsize::new(0),
             owned: RwLock::new(None),
+            migration: (0..shards).map(|_| MigrationState::new()).collect(),
+            staging: Mutex::new(BTreeMap::new()),
+            committed_transfers: Mutex::new(Vec::new()),
         }
     }
 
@@ -194,6 +272,17 @@ impl<T> ObjectTable<T> {
     /// capability).
     pub fn set_port(&self, port: Port) {
         *self.port.write() = Some(port);
+    }
+
+    /// Replaces every shard's secret RNG with a deterministic stream
+    /// derived from `seed`. **Simulation only**: real deployments keep
+    /// the entropy-seeded default — predictable secrets are forgeable
+    /// secrets. The deterministic executor needs this so two runs of
+    /// one scenario seed mint byte-identical capabilities.
+    pub fn reseed_secrets(&self, seed: u64) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            *shard.rng.lock() = StdRng::seed_from_u64(seed ^ ((i as u64) << 32));
+        }
     }
 
     /// The bound put-port.
@@ -256,11 +345,35 @@ impl<T> ObjectTable<T> {
         self.len() == 0
     }
 
-    /// Splits an object number into (shard, slot).
+    /// The shard index an object number lives in (its low bits).
+    fn shard_index(&self, object: ObjectNum) -> usize {
+        (object.value() as usize) & (self.shards.len() - 1)
+    }
+
+    /// Splits an object number into (shard, slot), counting the touch
+    /// on the shard's load gauge.
     fn locate(&self, object: ObjectNum) -> (&Shard<T>, usize) {
         let raw = object.value();
-        let shard = (raw as usize) & (self.shards.len() - 1);
+        let shard = self.shard_index(object);
+        self.migration[shard].ops.fetch_add(1, Ordering::Relaxed);
         (&self.shards[shard], (raw >> self.shard_bits) as usize)
+    }
+
+    /// Records a mutated slot in the shard's dirty set when an export
+    /// is tracking it. Called while the caller still holds the shard's
+    /// entry write lock, so an export round that drained the dirty set
+    /// and then read the entries is guaranteed to see either the
+    /// mutation or its dirty record.
+    fn note_dirty(&self, shard: usize, slot: usize) {
+        let m = &self.migration[shard];
+        let tag = m.tag.load(Ordering::SeqCst);
+        if tag == mode::TRACKING || tag == mode::SEALED {
+            let mut dirty = m.dirty.lock();
+            let slot = slot as u32;
+            if !dirty.contains(&slot) {
+                dirty.push(slot);
+            }
+        }
     }
 
     /// Picks the shard for a new object: any shard advertising a
@@ -269,30 +382,46 @@ impl<T> ObjectTable<T> {
     /// round-robin cursor spreads fresh objects evenly. With an owned
     /// set ([`set_owned_shards`](Self::set_owned_shards)) only owned
     /// shards are considered.
-    fn create_shard_index(&self) -> usize {
+    fn create_shard_index(&self) -> Option<usize> {
         let rr = self.next_shard.fetch_add(1, Ordering::Relaxed);
         let owned = self.owned.read();
         match owned.as_deref() {
             Some(owned) => {
                 for offset in 0..owned.len() {
                     let idx = owned[(rr + offset) % owned.len()];
-                    if self.shards[idx].free_count.load(Ordering::Acquire) > 0 {
-                        return idx;
+                    if self.shard_mintable(idx)
+                        && self.shards[idx].free_count.load(Ordering::Acquire) > 0
+                    {
+                        return Some(idx);
                     }
                 }
-                owned[rr % owned.len()]
+                (0..owned.len())
+                    .map(|offset| owned[(rr + offset) % owned.len()])
+                    .find(|&idx| self.shard_mintable(idx))
             }
             None => {
                 let mask = self.shards.len() - 1;
                 for offset in 0..self.shards.len() {
                     let idx = (rr + offset) & mask;
-                    if self.shards[idx].free_count.load(Ordering::Acquire) > 0 {
-                        return idx;
+                    if self.shard_mintable(idx)
+                        && self.shards[idx].free_count.load(Ordering::Acquire) > 0
+                    {
+                        return Some(idx);
                     }
                 }
-                rr & mask
+                (0..self.shards.len())
+                    .map(|offset| (rr + offset) & mask)
+                    .find(|&idx| self.shard_mintable(idx))
             }
         }
+    }
+
+    /// Whether `create` may mint into the shard right now: sealed and
+    /// migrated-away shards are off limits (a mint there would bypass
+    /// the cutover or land on a shard this table no longer owns).
+    fn shard_mintable(&self, shard: usize) -> bool {
+        let tag = self.migration[shard].tag.load(Ordering::SeqCst);
+        tag == mode::NORMAL || tag == mode::TRACKING
     }
 
     /// Creates an object: picks a random number, stores it, and mints
@@ -304,12 +433,32 @@ impl<T> ObjectTable<T> {
     /// never contend with each other on distinct objects.
     ///
     /// # Panics
+    /// Panics if the table is unbound, the shard's slice of the 2²⁴
+    /// object-number space is exhausted, or every owned shard has been
+    /// migrated away (use [`try_create`](Self::try_create) on a table
+    /// that can be drained).
+    pub fn create(&self, data: T) -> (ObjectNum, Capability) {
+        self.try_create(data)
+            .expect("no mintable shard (every owned shard sealed or migrated away)")
+    }
+
+    /// Fallible form of [`create`](Self::create): fails with
+    /// [`ServerError::Unsupported`] when no owned shard can mint —
+    /// every owned shard is mid-cutover or migrated away (a fully
+    /// drained replica). Clusters route creates by the published shard
+    /// map, so a drained replica answering `Unsupported` tells the
+    /// client to refresh and retry elsewhere.
+    ///
+    /// # Panics
     /// Panics if the table is unbound or the shard's slice of the 2²⁴
     /// object-number space is exhausted.
-    pub fn create(&self, data: T) -> (ObjectNum, Capability) {
+    pub fn try_create(&self, data: T) -> Result<(ObjectNum, Capability), ServerError> {
         let port = self.port();
-        let shard_index = self.create_shard_index();
+        let shard_index = self.create_shard_index().ok_or(ServerError::Unsupported)?;
         let shard = &self.shards[shard_index];
+        self.migration[shard_index]
+            .ops
+            .fetch_add(1, Ordering::Relaxed);
         let secret = self.scheme.new_secret(&mut *shard.rng.lock());
         let mut entries = shard.entries.write();
         let slot = match shard.free.lock().pop() {
@@ -330,8 +479,9 @@ impl<T> ObjectTable<T> {
         let raw = (slot << self.shard_bits) | shard_index as u32;
         let object = ObjectNum::new(raw).expect("slot bounded by MAX >> shard_bits");
         entries[slot as usize] = Some(Entry { secret, data });
+        self.note_dirty(shard_index, slot as usize);
         let cap = self.scheme.mint(port, object, &secret);
-        (object, cap)
+        Ok((object, cap))
     }
 
     /// Validates a capability, returning its effective rights.
@@ -392,7 +542,9 @@ impl<T> ObjectTable<T> {
         if !rights.contains(need) {
             return Err(ServerError::RightsViolation);
         }
-        Ok(f(&mut slot_entry.data))
+        let out = f(&mut slot_entry.data);
+        self.note_dirty(self.shard_index(cap.object), slot);
+        Ok(out)
     }
 
     /// Direct access by object number, **bypassing capability checks** —
@@ -412,10 +564,14 @@ impl<T> ObjectTable<T> {
     pub fn with_data_mut<R>(&self, object: ObjectNum, f: impl FnOnce(&mut T) -> R) -> Option<R> {
         let (shard, slot) = self.locate(object);
         let mut entries = shard.entries.write();
-        entries
+        let out = entries
             .get_mut(slot)
             .and_then(|e| e.as_mut())
-            .map(|e| f(&mut e.data))
+            .map(|e| f(&mut e.data));
+        if out.is_some() {
+            self.note_dirty(self.shard_index(object), slot);
+        }
+        out
     }
 
     /// Server-side restriction: fabricates a capability with exactly
@@ -456,7 +612,9 @@ impl<T> ObjectTable<T> {
             return Err(ServerError::RightsViolation);
         }
         slot_entry.secret = self.scheme.new_secret(&mut *shard.rng.lock());
-        Ok(self.scheme.mint(port, cap.object, &slot_entry.secret))
+        let fresh = self.scheme.mint(port, cap.object, &slot_entry.secret);
+        self.note_dirty(self.shard_index(cap.object), slot);
+        Ok(fresh)
     }
 
     /// Deletes the object, returning its data. Requires `need`
@@ -478,6 +636,7 @@ impl<T> ObjectTable<T> {
         let entry = entries[slot].take().expect("checked above");
         shard.free.lock().push(slot as u32);
         shard.free_count.fetch_add(1, Ordering::AcqRel);
+        self.note_dirty(self.shard_index(cap.object), slot);
         Ok(entry.data)
     }
 
@@ -508,6 +667,414 @@ impl<T> ObjectTable<T> {
             }),
             _ => None,
         }
+    }
+}
+
+/// Live shard migration: the table-side export/import machinery. The
+/// protocol narrative (tracking → catch-up → seal → flip) lives in
+/// [`crate::migrate`]; the cluster layer drives these methods over the
+/// `TRANSFER_*` wire frames.
+impl<T> ObjectTable<T> {
+    /// Whether this replica currently owns `shard` (may mint into it
+    /// and is the authority for its objects).
+    fn owns_shard(&self, shard: usize) -> bool {
+        match self.owned.read().as_deref() {
+            Some(owned) => owned.contains(&shard),
+            None => shard < self.shards.len(),
+        }
+    }
+
+    /// The shards this replica currently owns.
+    pub fn owned_shards(&self) -> Vec<usize> {
+        match self.owned.read().as_deref() {
+            Some(owned) => owned.to_vec(),
+            None => (0..self.shards.len()).collect(),
+        }
+    }
+
+    /// Cumulative operations per shard (lookups + creates) — the load
+    /// signal the rebalancer steers by. Index = shard.
+    pub fn shard_ops(&self) -> Vec<u64> {
+        self.migration
+            .iter()
+            .map(|m| m.ops.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The shard a request's capability addresses, or `None` for
+    /// anonymous capabilities (the null capability and published range
+    /// capabilities both carry no rights and a zero check field);
+    /// anonymous requests are always served locally.
+    pub fn request_shard(&self, req: &Request) -> Option<usize> {
+        if req.cap.rights.bits() == 0 && req.cap.check == 0 {
+            return None;
+        }
+        Some(self.shard_index(req.cap.object))
+    }
+
+    /// The dispatch disposition for a shard right now. Only sealed and
+    /// forwarded shards deviate from [`ShardDisposition::Serve`].
+    pub fn disposition(&self, shard: usize) -> ShardDisposition {
+        let m = &self.migration[shard];
+        match m.tag.load(Ordering::SeqCst) {
+            mode::SEALED => ShardDisposition::Hold,
+            mode::FORWARDED => match Port::new(m.forward_to.load(Ordering::SeqCst)) {
+                Some(port) => ShardDisposition::Forward(port),
+                None => ShardDisposition::Hold,
+            },
+            _ => ShardDisposition::Serve,
+        }
+    }
+
+    /// Counts one request for `shard` entering a service handler.
+    /// Paired with [`exit_shard`](Self::exit_shard) by the dispatch
+    /// layer; the gauge lets a migration driver prove quiescence after
+    /// sealing.
+    pub fn enter_shard(&self, shard: usize) {
+        self.migration[shard]
+            .inflight
+            .fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Counts one request for `shard` leaving its service handler.
+    pub fn exit_shard(&self, shard: usize) {
+        self.migration[shard]
+            .inflight
+            .fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Requests for `shard` currently inside handlers.
+    pub fn shard_inflight(&self, shard: usize) -> u64 {
+        self.migration[shard].inflight.load(Ordering::SeqCst)
+    }
+
+    /// Starts (or restarts) dirty-tracking for an export of `shard`.
+    /// Returns `false` if the shard is sealed, already migrated away,
+    /// out of range, or not owned by this replica.
+    pub fn begin_export(&self, shard: usize) -> bool {
+        if shard >= self.shards.len() || !self.owns_shard(shard) {
+            return false;
+        }
+        let m = &self.migration[shard];
+        let tag = m.tag.load(Ordering::SeqCst);
+        if tag != mode::NORMAL && tag != mode::TRACKING {
+            return false;
+        }
+        m.dirty.lock().clear();
+        m.tag.store(mode::TRACKING, Ordering::SeqCst);
+        true
+    }
+
+    /// Drains the shard's dirty-slot set, sorted so the export stream
+    /// is deterministic for a given mutation history.
+    pub fn take_dirty(&self, shard: usize) -> Vec<u32> {
+        let mut out = std::mem::take(&mut *self.migration[shard].dirty.lock());
+        out.sort_unstable();
+        out
+    }
+
+    /// Seals a tracking shard for cutover: dispatch holds new requests
+    /// while already-dispatched ones drain (watch
+    /// [`shard_inflight`](Self::shard_inflight)).
+    pub fn seal_shard(&self, shard: usize) {
+        let _ = self.migration[shard].tag.compare_exchange(
+            mode::TRACKING,
+            mode::SEALED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+    }
+
+    /// Abandons an in-progress export: back to normal service with
+    /// ownership unchanged. No-op unless the shard is tracking or
+    /// sealed.
+    pub fn abort_export(&self, shard: usize) {
+        let m = &self.migration[shard];
+        let tag = m.tag.load(Ordering::SeqCst);
+        if tag == mode::TRACKING || tag == mode::SEALED {
+            m.tag.store(mode::NORMAL, Ordering::SeqCst);
+            m.dirty.lock().clear();
+        }
+    }
+
+    /// Completes an export: the shard leaves this replica's owned set
+    /// and every subsequent request for it is relayed to `forward_to`
+    /// (the new owner's put-port).
+    pub fn release_shard(&self, shard: usize, forward_to: Port) {
+        {
+            let mut owned = self.owned.write();
+            let remaining: Box<[usize]> = match owned.as_deref() {
+                Some(o) => o.iter().copied().filter(|&s| s != shard).collect(),
+                None => (0..self.shards.len()).filter(|&s| s != shard).collect(),
+            };
+            *owned = Some(remaining);
+        }
+        let m = &self.migration[shard];
+        m.forward_to.store(forward_to.value(), Ordering::SeqCst);
+        m.tag.store(mode::FORWARDED, Ordering::SeqCst);
+        m.dirty.lock().clear();
+    }
+
+    /// Takes ownership of a shard (the import side of a cutover, also
+    /// used directly in tests): the shard joins the owned set and
+    /// serves normally.
+    pub fn adopt_shard(&self, shard: usize) {
+        {
+            let mut owned = self.owned.write();
+            if let Some(o) = owned.as_deref() {
+                if !o.contains(&shard) {
+                    let mut v = o.to_vec();
+                    v.push(shard);
+                    v.sort_unstable();
+                    *owned = Some(v.into_boxed_slice());
+                }
+            }
+        }
+        let m = &self.migration[shard];
+        m.tag.store(mode::NORMAL, Ordering::SeqCst);
+        m.forward_to.store(0, Ordering::SeqCst);
+        m.dirty.lock().clear();
+    }
+
+    /// The port requests for `shard` are being relayed to, if the
+    /// shard has been migrated away.
+    pub fn forward_target(&self, shard: usize) -> Option<Port> {
+        let m = &self.migration[shard];
+        if m.tag.load(Ordering::SeqCst) == mode::FORWARDED {
+            Port::new(m.forward_to.load(Ordering::SeqCst))
+        } else {
+            None
+        }
+    }
+
+    fn transfer_committed(&self, xfer: u64) -> bool {
+        self.committed_transfers.lock().contains(&xfer)
+    }
+}
+
+impl<T: MigrateData> ObjectTable<T> {
+    /// Serialises migration records into chunk blobs of at most
+    /// `max_records` records each: the whole shard when `slots` is
+    /// `None` (snapshot), otherwise exactly the listed slots, with
+    /// absent ones encoded as tombstones (catch-up delta — a dirty
+    /// slot whose object was deleted must erase the target's copy).
+    pub fn export_chunks(
+        &self,
+        shard: usize,
+        slots: Option<&[u32]>,
+        max_records: usize,
+    ) -> Vec<Bytes> {
+        let max_records = max_records.max(1);
+        let entries = self.shards[shard].entries.read();
+        let mut chunks = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        let mut count = 0usize;
+        let emit = |cur: &mut Vec<u8>, count: &mut usize, chunks: &mut Vec<Bytes>| {
+            *count += 1;
+            if *count == max_records {
+                chunks.push(Bytes::from(std::mem::take(cur)));
+                *count = 0;
+            }
+        };
+        match slots {
+            None => {
+                for (slot, entry) in entries.iter().enumerate() {
+                    if let Some(e) = entry {
+                        crate::migrate::encode_live_record(
+                            &mut cur,
+                            slot as u32,
+                            e.secret.value(),
+                            &e.data.encode(),
+                        );
+                        emit(&mut cur, &mut count, &mut chunks);
+                    }
+                }
+            }
+            Some(list) => {
+                for &slot in list {
+                    match entries.get(slot as usize).and_then(|e| e.as_ref()) {
+                        Some(e) => crate::migrate::encode_live_record(
+                            &mut cur,
+                            slot,
+                            e.secret.value(),
+                            &e.data.encode(),
+                        ),
+                        None => crate::migrate::encode_tombstone(&mut cur, slot),
+                    }
+                    emit(&mut cur, &mut count, &mut chunks);
+                }
+            }
+        }
+        if count > 0 {
+            chunks.push(Bytes::from(cur));
+        }
+        chunks
+    }
+
+    /// The import side of a migration: stages `TRANSFER_BEGIN` /
+    /// `TRANSFER_CHUNK` ops and installs + adopts the shard on
+    /// `TRANSFER_COMMIT`. Every op is idempotent — a retransmitted
+    /// frame for an already-committed transfer is re-acknowledged with
+    /// `Ok` — so the driver's at-least-once RPCs are safe.
+    ///
+    /// Commit is all-or-nothing: every chunk `0..chunks` must be
+    /// staged and every record must decode before anything is
+    /// installed, so a half-arrived transfer can never leave the shard
+    /// in a mixed state.
+    pub fn handle_transfer(&self, op: &TransferOp) -> Reply {
+        match op {
+            TransferOp::Begin { xfer, shard } => {
+                if self.transfer_committed(*xfer) {
+                    return Reply::ok(Bytes::new());
+                }
+                let shard = *shard as usize;
+                if shard >= self.shards.len() {
+                    return Reply::status(Status::BadRequest);
+                }
+                let mut staging = self.staging.lock();
+                if !staging.contains_key(xfer) && staging.len() >= MAX_STAGED_TRANSFERS {
+                    return Reply::status(Status::NoSpace);
+                }
+                staging.insert(
+                    *xfer,
+                    Staging {
+                        shard,
+                        chunks: BTreeMap::new(),
+                    },
+                );
+                Reply::ok(Bytes::new())
+            }
+            TransferOp::Chunk { xfer, seq, records } => {
+                if self.transfer_committed(*xfer) {
+                    return Reply::ok(Bytes::new());
+                }
+                let mut staging = self.staging.lock();
+                match staging.get_mut(xfer) {
+                    Some(st) => {
+                        st.chunks.entry(*seq).or_insert_with(|| records.clone());
+                        Reply::ok(Bytes::new())
+                    }
+                    None => Reply::status(Status::Conflict),
+                }
+            }
+            TransferOp::Commit { xfer, chunks } => {
+                if self.transfer_committed(*xfer) {
+                    return Reply::ok(Bytes::new());
+                }
+                // Install while holding the staging lock, so a racing
+                // retransmitted commit observes either "still staged"
+                // or "committed" — never a window where the transfer
+                // has vanished (which would read as Conflict).
+                let mut staging = self.staging.lock();
+                let Some(st) = staging.get(xfer) else {
+                    return Reply::status(Status::Conflict);
+                };
+                let complete = st.chunks.len() == *chunks as usize
+                    && st.chunks.keys().enumerate().all(|(i, &s)| s == i as u32);
+                if !complete {
+                    return Reply::status(Status::Conflict);
+                }
+                let mut records = Vec::new();
+                for blob in st.chunks.values() {
+                    match crate::migrate::decode_records::<T>(blob) {
+                        Some(r) => records.extend(r),
+                        None => return Reply::status(Status::BadRequest),
+                    }
+                }
+                let max_slot = ObjectNum::MAX >> self.shard_bits;
+                if records.iter().any(|(slot, _)| *slot > max_slot) {
+                    return Reply::status(Status::BadRequest);
+                }
+                let shard = st.shard;
+                self.install_records(shard, records);
+                self.adopt_shard(shard);
+                staging.remove(xfer);
+                let mut committed = self.committed_transfers.lock();
+                committed.push(*xfer);
+                if committed.len() > REMEMBERED_TRANSFERS {
+                    committed.remove(0);
+                }
+                Reply::ok(Bytes::new())
+            }
+        }
+    }
+
+    /// Installs decoded records into a shard slab (live records
+    /// overwrite, tombstones clear) and rebuilds the free list so
+    /// future creates reuse the holes. Object numbers and secrets are
+    /// preserved exactly: outstanding capabilities keep validating.
+    fn install_records(&self, shard_index: usize, records: Vec<crate::migrate::Record<T>>) {
+        let shard = &self.shards[shard_index];
+        let mut entries = shard.entries.write();
+        for (slot, payload) in records {
+            let slot = slot as usize;
+            if entries.len() <= slot {
+                entries.resize_with(slot + 1, || None);
+            }
+            entries[slot] = payload.map(|(secret, data)| Entry {
+                secret: ObjectSecret::from_value(secret),
+                data,
+            });
+        }
+        let free: Vec<u32> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_none())
+            .map(|(i, _)| i as u32)
+            .collect();
+        shard.free_count.store(free.len(), Ordering::Release);
+        *shard.free.lock() = free;
+    }
+}
+
+impl<T: MigrateData + Send + Sync> crate::migrate::ShardMigrator for ObjectTable<T> {
+    fn shard_of(&self, req: &Request) -> Option<usize> {
+        ObjectTable::request_shard(self, req)
+    }
+    fn disposition(&self, shard: usize) -> ShardDisposition {
+        ObjectTable::disposition(self, shard)
+    }
+    fn enter(&self, shard: usize) {
+        self.enter_shard(shard);
+    }
+    fn exit(&self, shard: usize) {
+        self.exit_shard(shard);
+    }
+    fn inflight(&self, shard: usize) -> u64 {
+        self.shard_inflight(shard)
+    }
+    fn shard_count(&self) -> usize {
+        ObjectTable::shard_count(self)
+    }
+    fn owned_shards(&self) -> Vec<usize> {
+        ObjectTable::owned_shards(self)
+    }
+    fn shard_ops(&self) -> Vec<u64> {
+        ObjectTable::shard_ops(self)
+    }
+    fn begin_export(&self, shard: usize) -> bool {
+        ObjectTable::begin_export(self, shard)
+    }
+    fn export_chunks(&self, shard: usize, slots: Option<&[u32]>, max_records: usize) -> Vec<Bytes> {
+        ObjectTable::export_chunks(self, shard, slots, max_records)
+    }
+    fn take_dirty(&self, shard: usize) -> Vec<u32> {
+        ObjectTable::take_dirty(self, shard)
+    }
+    fn seal(&self, shard: usize) {
+        self.seal_shard(shard);
+    }
+    fn release(&self, shard: usize, forward_to: Port) {
+        self.release_shard(shard, forward_to);
+    }
+    fn abort(&self, shard: usize) {
+        self.abort_export(shard);
+    }
+    fn handle_transfer(&self, op: &TransferOp) -> Reply {
+        ObjectTable::handle_transfer(self, op)
+    }
+    fn forward_target(&self, shard: usize) -> Option<Port> {
+        ObjectTable::forward_target(self, shard)
     }
 }
 
@@ -793,6 +1360,212 @@ mod tests {
         raw.dedup();
         assert_eq!(raw.len(), 400, "object numbers must never collide");
         assert_eq!(t.len(), 400);
+    }
+
+    #[test]
+    fn export_import_preserves_objects_and_capabilities() {
+        for kind in SchemeKind::ALL {
+            let src = table(kind);
+            let dst: ObjectTable<String> =
+                ObjectTable::with_port(kind.instantiate(), Port::new(0x1111).unwrap());
+            // Empty owned set on the target: it owns nothing until it
+            // adopts the migrated shard.
+            dst.set_owned_shards(0, 1);
+            *dst.owned.write() = Some(Box::new([]));
+
+            let caps: Vec<(ObjectNum, Capability)> =
+                (0..40).map(|i| src.create(format!("obj-{i}"))).collect();
+            let shard = 3usize;
+            assert!(src.begin_export(shard));
+            let chunks = src.export_chunks(shard, None, 4);
+            let xfer = 7u64;
+            assert_eq!(
+                dst.handle_transfer(&TransferOp::Begin {
+                    xfer,
+                    shard: shard as u8
+                })
+                .status,
+                Status::Ok
+            );
+            for (seq, records) in chunks.iter().enumerate() {
+                let op = TransferOp::Chunk {
+                    xfer,
+                    seq: seq as u32,
+                    records: records.clone(),
+                };
+                assert_eq!(dst.handle_transfer(&op).status, Status::Ok);
+            }
+            let commit = TransferOp::Commit {
+                xfer,
+                chunks: chunks.len() as u32,
+            };
+            assert_eq!(dst.handle_transfer(&commit).status, Status::Ok);
+            // Retransmitted commit is re-acknowledged, not re-executed.
+            assert_eq!(dst.handle_transfer(&commit).status, Status::Ok);
+
+            assert_eq!(dst.owned_shards(), vec![shard]);
+            for (obj, cap) in &caps {
+                if (obj.value() as usize) & (DEFAULT_SHARDS - 1) != shard {
+                    continue;
+                }
+                // Same object number, same secret: the old capability
+                // validates on the new owner.
+                assert_eq!(dst.validate(cap).unwrap(), Rights::ALL, "{kind}");
+                let body = dst.with_object(cap, Rights::READ, |s| s.clone()).unwrap();
+                let orig = src.with_object(cap, Rights::READ, |s| s.clone()).unwrap();
+                assert_eq!(body, orig);
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_tracking_captures_mutations_and_deletes() {
+        let t = table(SchemeKind::OneWay);
+        let caps: Vec<(ObjectNum, Capability)> =
+            (0..32).map(|i| t.create(format!("{i}"))).collect();
+        let shard = 0usize;
+        assert!(t.begin_export(shard));
+        assert!(t.take_dirty(shard).is_empty(), "tracking starts clean");
+        let in_shard: Vec<&(ObjectNum, Capability)> = caps
+            .iter()
+            .filter(|(o, _)| (o.value() as usize) & (DEFAULT_SHARDS - 1) == shard)
+            .collect();
+        let (obj_w, cap_w) = in_shard[0];
+        let (_, cap_d) = in_shard[1];
+        t.with_object_mut(cap_w, Rights::WRITE, |s| s.push('!'))
+            .unwrap();
+        t.delete(cap_d, Rights::DELETE).unwrap();
+        // A mutation in a foreign shard must not dirty this one.
+        let foreign = caps
+            .iter()
+            .find(|(o, _)| (o.value() as usize) & (DEFAULT_SHARDS - 1) != shard)
+            .unwrap();
+        t.with_object_mut(&foreign.1, Rights::WRITE, |s| s.push('?'))
+            .unwrap();
+        let dirty = t.take_dirty(shard);
+        assert_eq!(dirty.len(), 2);
+        assert!(dirty.contains(&(obj_w.value() >> t.shard_bits)));
+        assert!(t.take_dirty(shard).is_empty(), "drain empties the set");
+        // Delta export of the dirty slots: one live record, one tombstone.
+        let delta = t.export_chunks(shard, Some(&dirty), 64);
+        assert_eq!(delta.len(), 1);
+        let records = crate::migrate::decode_records::<String>(&delta[0]).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records.iter().filter(|(_, r)| r.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn seal_and_release_change_disposition() {
+        use crate::migrate::ShardDisposition;
+        let t = table(SchemeKind::Simple);
+        let shard = 5usize;
+        assert_eq!(t.disposition(shard), ShardDisposition::Serve);
+        assert!(t.begin_export(shard));
+        assert_eq!(t.disposition(shard), ShardDisposition::Serve);
+        t.seal_shard(shard);
+        assert_eq!(t.disposition(shard), ShardDisposition::Hold);
+        let new_owner = Port::new(0xBEEF).unwrap();
+        t.release_shard(shard, new_owner);
+        assert_eq!(t.disposition(shard), ShardDisposition::Forward(new_owner));
+        assert_eq!(t.forward_target(shard), Some(new_owner));
+        assert!(!t.owned_shards().contains(&shard));
+        assert!(!t.begin_export(shard), "cannot re-export a released shard");
+        // Aborting an export restores normal service.
+        assert!(t.begin_export(0));
+        t.seal_shard(0);
+        t.abort_export(0);
+        assert_eq!(t.disposition(0), ShardDisposition::Serve);
+    }
+
+    #[test]
+    fn drained_replica_refuses_creates() {
+        let t = table(SchemeKind::OneWay);
+        t.set_owned_shards(0, 4);
+        let fwd = Port::new(0xD00D).unwrap();
+        for shard in t.owned_shards() {
+            t.release_shard(shard, fwd);
+        }
+        assert_eq!(
+            t.try_create("x".into()).unwrap_err(),
+            ServerError::Unsupported
+        );
+        // Re-adopting one shard makes the replica mintable again.
+        t.adopt_shard(0);
+        assert!(t.try_create("y".into()).is_ok());
+    }
+
+    #[test]
+    fn sealed_shard_is_skipped_by_create() {
+        let t = table(SchemeKind::Simple);
+        let mask = (DEFAULT_SHARDS - 1) as u32;
+        t.begin_export(2);
+        t.seal_shard(2);
+        for i in 0..(DEFAULT_SHARDS * 4) {
+            let (obj, _) = t.create(format!("{i}"));
+            assert_ne!(obj.value() & mask, 2, "sealed shard must not mint");
+        }
+    }
+
+    #[test]
+    fn transfer_chunks_out_of_order_and_incomplete_commits() {
+        let t = table(SchemeKind::OneWay);
+        let xfer = 99u64;
+        let begin = TransferOp::Begin { xfer, shard: 1 };
+        assert_eq!(t.handle_transfer(&begin).status, Status::Ok);
+        // Commit before all chunks arrive: refused, staging intact.
+        let mut blob = Vec::new();
+        crate::migrate::encode_tombstone(&mut blob, 4);
+        let chunk1 = TransferOp::Chunk {
+            xfer,
+            seq: 1,
+            records: Bytes::from(blob.clone()),
+        };
+        assert_eq!(t.handle_transfer(&chunk1).status, Status::Ok);
+        let commit = TransferOp::Commit { xfer, chunks: 2 };
+        assert_eq!(t.handle_transfer(&commit).status, Status::Conflict);
+        // Chunk for an unknown transfer: refused.
+        let stray = TransferOp::Chunk {
+            xfer: 1234,
+            seq: 0,
+            records: Bytes::new(),
+        };
+        assert_eq!(t.handle_transfer(&stray).status, Status::Conflict);
+        // The missing chunk arrives (duplicate of seq 1 is ignored),
+        // then commit succeeds.
+        let chunk0 = TransferOp::Chunk {
+            xfer,
+            seq: 0,
+            records: Bytes::from(blob),
+        };
+        assert_eq!(t.handle_transfer(&chunk0).status, Status::Ok);
+        assert_eq!(t.handle_transfer(&chunk1).status, Status::Ok);
+        assert_eq!(t.handle_transfer(&commit).status, Status::Ok);
+    }
+
+    #[test]
+    fn staging_is_bounded() {
+        let t = table(SchemeKind::Simple);
+        for xfer in 0..MAX_STAGED_TRANSFERS as u64 {
+            let op = TransferOp::Begin { xfer, shard: 0 };
+            assert_eq!(t.handle_transfer(&op).status, Status::Ok);
+        }
+        let overflow = TransferOp::Begin {
+            xfer: 1_000,
+            shard: 0,
+        };
+        assert_eq!(t.handle_transfer(&overflow).status, Status::NoSpace);
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_enter_exit() {
+        let t = table(SchemeKind::Simple);
+        assert_eq!(t.shard_inflight(7), 0);
+        t.enter_shard(7);
+        t.enter_shard(7);
+        assert_eq!(t.shard_inflight(7), 2);
+        t.exit_shard(7);
+        t.exit_shard(7);
+        assert_eq!(t.shard_inflight(7), 0);
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub mod prelude {
     };
     pub use amoeba_cap::{CapError, Capability, ObjectNum, Rights};
     pub use amoeba_cluster::{
-        ClusterClient, ClusterRegistry, HealthProber, PlacementPolicy, ServiceCluster,
-        ShardedClient, ShardedCluster, ShardedDir, SimReplicaSet,
+        ClusterClient, ClusterRegistry, ElasticClient, ElasticCluster, HealthProber, MigrateError,
+        MigrationStats, PlacementPolicy, Rebalancer, ServiceCluster, ShardMigration, ShardedClient,
+        ShardedCluster, ShardedDir, SimReplicaSet,
     };
     pub use amoeba_crypto::oneway::{OneWay, PurdyOneWay, ShaOneWay};
     pub use amoeba_dirsvr::{CapCache, DirClient, DirServer, PathError};
